@@ -1,0 +1,65 @@
+/// Ablation: how much of EA-DVFS's advantage depends on harvest-prediction
+/// quality?  The paper only says it "traces the P_S(t) profile"; this sweep
+/// runs the Figure-8 experiment under four predictors from perfect
+/// knowledge (oracle) down to assuming no future harvest at all
+/// (pessimistic).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "exp/miss_rate_sweep.hpp"
+#include "exp/report.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eadvfs;
+
+  util::ArgParser args("ablation: predictor quality (fig8 setup, U=0.4)");
+  bench::add_common_options(args, /*default_sets=*/80);
+  args.add_option("utilization", "0.4", "target utilization");
+  if (!args.parse(argc, argv)) return 0;
+  bench::apply_logging(args);
+
+  const std::vector<std::string> predictors = {
+      "oracle", "slotted-ewma", "running-average", "persistence", "pessimistic"};
+
+  exp::print_banner(std::cout, "Ablation — harvest predictor",
+                    "paper under-specifies prediction; this quantifies its "
+                    "effect on both algorithms",
+                    "fig8 setup (U=" + args.str("utilization") + "), " +
+                        std::to_string(args.integer("sets")) + " task sets");
+
+  exp::TextTable table({"predictor", "capacity", "LSA", "EA-DVFS", "reduction"});
+  for (const auto& predictor : predictors) {
+    exp::MissRateSweepConfig cfg;
+    cfg.capacities = args.real_list("capacities");
+    cfg.schedulers = {"lsa", "ea-dvfs"};
+    cfg.predictor = predictor;
+    cfg.n_task_sets = static_cast<std::size_t>(args.integer("sets"));
+    cfg.seed = static_cast<std::uint64_t>(args.integer("seed"));
+    cfg.generator.target_utilization = args.real("utilization");
+    cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
+    cfg.sim.horizon = args.real("horizon");
+    cfg.solar.horizon = cfg.sim.horizon;
+
+    const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
+    for (double capacity : cfg.capacities) {
+      const double lsa = result.cell("lsa", capacity).miss_rate.mean();
+      const double ea = result.cell("ea-dvfs", capacity).miss_rate.mean();
+      table.add_row({predictor, exp::fmt(capacity, 0), exp::fmt(lsa, 4),
+                     exp::fmt(ea, 4),
+                     lsa > 0 ? exp::fmt(100.0 * (lsa - ea) / lsa, 1) + "%"
+                             : "n/a"});
+    }
+  }
+  std::cout << table.render() << "\n";
+  std::cout
+      << "reading guide: over-prediction (running-average during troughs)\n"
+         "collapses both algorithms toward plain EDF (they believe energy is\n"
+         "plentiful); the oracle and the slotted profile preserve EA-DVFS's\n"
+         "advantage; full pessimism stretches early and often.\n";
+  const std::string path = exp::output_dir() + "/ablation_predictor.csv";
+  table.write_csv(path);
+  std::cout << "table written to " << path << "\n";
+  return 0;
+}

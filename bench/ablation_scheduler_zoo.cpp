@@ -1,0 +1,15 @@
+/// Ablation: the full scheduler zoo on the Figure-8 axes.  Adds plain EDF
+/// (energy-oblivious) and Greedy-DVFS (stretch-always, the §4.3 strawman)
+/// to the paper's LSA vs EA-DVFS comparison, isolating which ingredient —
+/// procrastination, stretching, or the s2 switch-back — buys what.
+
+#include "miss_rate.hpp"
+
+int main(int argc, char** argv) {
+  return eadvfs::bench::run_miss_rate_figure(
+      argc, argv, "ablation_scheduler_zoo", 0.4,
+      "decomposes EA-DVFS's win: EDF (neither trick), LSA (procrastinate "
+      "only), Greedy (stretch only), static EA-DVFS (one-shot plan), "
+      "EA-DVFS (dynamic plan + s2 rule)",
+      {"edf", "lsa", "greedy-dvfs", "ea-dvfs-static", "ea-dvfs"});
+}

@@ -1,0 +1,67 @@
+/// Ablation: actual execution times below the worst case (the follow-up
+/// direction to the paper — "harvesting-aware" slack reclamation).  The
+/// paper's model runs every job for its full WCET; real jobs finish early.
+/// EA-DVFS recomputes (s1, s2, f_n) at every event from the *remaining*
+/// budget, so early completions automatically free energy for successors;
+/// LSA can only bank the unused time as idle harvesting.
+///
+/// Sweeps the best-case/worst-case ratio and reports miss rates at a small
+/// capacity where energy is the binding constraint.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "exp/miss_rate_sweep.hpp"
+#include "exp/report.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eadvfs;
+
+  util::ArgParser args("ablation: actual execution times (slack reclamation)");
+  bench::add_common_options(args, /*default_sets=*/80);
+  args.add_option("utilization", "0.6", "target (WCET-based) utilization");
+  args.add_option("capacity", "60", "storage capacity for this sweep");
+  if (!args.parse(argc, argv)) return 0;
+  bench::apply_logging(args);
+
+  const std::vector<double> bcet_fractions = {1.0, 0.75, 0.5, 0.25};
+
+  exp::print_banner(std::cout, "Ablation — slack reclamation",
+                    "paper assumes actual = WCET; sweep actual ~ U[b·w, w]",
+                    "U=" + args.str("utilization") + " (WCET-based), capacity " +
+                        args.str("capacity") + ", " +
+                        std::to_string(args.integer("sets")) + " task sets");
+
+  exp::TextTable table({"bcet fraction", "LSA miss", "EA-DVFS miss",
+                        "reduction", "EA-DVFS busy time"});
+  for (double fraction : bcet_fractions) {
+    exp::MissRateSweepConfig cfg;
+    cfg.capacities = {args.real("capacity")};
+    cfg.schedulers = {"lsa", "ea-dvfs"};
+    cfg.predictor = args.str("predictor");
+    cfg.n_task_sets = static_cast<std::size_t>(args.integer("sets"));
+    cfg.seed = static_cast<std::uint64_t>(args.integer("seed"));
+    cfg.generator.target_utilization = args.real("utilization");
+    cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
+    cfg.sim.horizon = args.real("horizon");
+    cfg.solar.horizon = cfg.sim.horizon;
+    cfg.execution.bcet_fraction = fraction;
+
+    const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
+    const double lsa = result.cell("lsa", cfg.capacities[0]).miss_rate.mean();
+    const double ea = result.cell("ea-dvfs", cfg.capacities[0]).miss_rate.mean();
+    table.add_row(
+        {exp::fmt(fraction, 2), exp::fmt(lsa, 4), exp::fmt(ea, 4),
+         lsa > 0 ? exp::fmt(100.0 * (lsa - ea) / lsa, 1) + "%" : "n/a",
+         exp::fmt(result.cell("ea-dvfs", cfg.capacities[0]).busy_time.mean(), 1)});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "reading guide: as jobs finish further below their WCET both\n"
+               "algorithms gain headroom, but EA-DVFS converts the freed\n"
+               "budget into deeper slow-down on subsequent jobs.\n";
+  const std::string path = exp::output_dir() + "/ablation_slack_reclamation.csv";
+  table.write_csv(path);
+  std::cout << "table written to " << path << "\n";
+  return 0;
+}

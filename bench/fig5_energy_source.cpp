@@ -1,0 +1,91 @@
+/// Reproduces paper Figure 5: the behaviour of the synthetic solar source
+/// P_S(t) = 10·|N(t)|·cos²(t/70π) over 10,000 time units.
+///
+/// The paper's figure is a raw time-series plot; this binary prints the
+/// distributional fingerprint (mean/min/max, histogram, cycle period) that
+/// determines every downstream experiment, renders a coarse ASCII strip of
+/// the series, and writes the full series to fig5_energy_source.csv for
+/// re-plotting.
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "energy/solar_source.hpp"
+#include "exp/report.hpp"
+#include "util/args.hpp"
+#include "util/csv.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eadvfs;
+
+  util::ArgParser args("fig5: energy source behaviour (paper eq. 13)");
+  args.add_option("seed", "1", "noise seed");
+  args.add_option("horizon", "10000", "series length in time units");
+  args.add_option("step", "1", "noise resampling step");
+  if (!args.parse(argc, argv)) return 0;
+
+  energy::SolarSourceConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.integer("seed"));
+  cfg.horizon = args.real("horizon");
+  cfg.step = args.real("step");
+  const energy::SolarSource source(cfg);
+
+  exp::print_banner(std::cout, "Figure 5 — energy source behaviour",
+                    "stochastic solar profile, peaks ~20, diurnal cycle 70"
+                    "π² ≈ 691 time units",
+                    "eq. 13 with |N(t)|, step " + exp::fmt(cfg.step, 2) +
+                        ", horizon " + exp::fmt(cfg.horizon, 0));
+
+  util::RunningStats stats;
+  util::Histogram histogram(0.0, 20.0, 20);
+  for (Time t = 0.0; t < cfg.horizon; t += cfg.step) {
+    const Power p = source.power_at(t);
+    stats.add(p);
+    histogram.add(p);
+  }
+
+  std::cout << "samples:        " << stats.count() << "\n";
+  std::cout << "mean power:     " << exp::fmt(stats.mean(), 4)
+            << "  (analytic " << exp::fmt(energy::SolarSource::analytic_mean_power(), 4)
+            << ")\n";
+  std::cout << "min/max power:  " << exp::fmt(stats.min(), 4) << " / "
+            << exp::fmt(stats.max(), 4)
+            << "  (paper plot peaks just under 20)\n";
+  std::cout << "std deviation:  " << exp::fmt(stats.stddev(), 4) << "\n";
+  std::cout << "cycle period:   " << exp::fmt(source.cycle_period(), 1)
+            << " time units\n\n";
+
+  std::cout << "power histogram (0..20 W):\n" << histogram.ascii(48) << "\n";
+
+  // Coarse ASCII strip of the series itself: 100-unit bucket means.
+  std::cout << "series (each column = 100 time units, height ~ mean power):\n";
+  const int buckets = static_cast<int>(cfg.horizon / 100.0);
+  std::vector<double> bucket_mean(static_cast<std::size_t>(buckets), 0.0);
+  for (int b = 0; b < buckets; ++b) {
+    bucket_mean[static_cast<std::size_t>(b)] =
+        source.energy_between(b * 100.0, (b + 1) * 100.0) / 100.0;
+  }
+  for (int row = 7; row >= 0; --row) {
+    for (int b = 0; b < buckets; ++b)
+      std::cout << (bucket_mean[static_cast<std::size_t>(b)] > row ? '#' : ' ');
+    std::cout << '\n';
+  }
+  std::cout << std::string(static_cast<std::size_t>(buckets), '-') << "\n";
+  std::cout << "0" << std::string(static_cast<std::size_t>(buckets) - 6, ' ')
+            << exp::fmt(cfg.horizon, 0) << "\n\n";
+
+  const std::string path = exp::output_dir() + "/fig5_energy_source.csv";
+  std::ofstream file(path);
+  if (file) {
+    util::CsvWriter csv(file);
+    csv.write_row({std::string("time"), std::string("power")});
+    for (Time t = 0.0; t < cfg.horizon; t += cfg.step)
+      csv.write_row(std::vector<double>{t, source.power_at(t)});
+    std::cout << "full series written to " << path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+/// Reproduces paper Figure 6: normalized remaining energy over time at low
+/// utilization (U = 0.4).  Paper claim: "the EA-DVFS-based system stores
+/// significantly more energy than the LSA-based system on average".
+
+#include "remaining_energy.hpp"
+
+int main(int argc, char** argv) {
+  return eadvfs::bench::run_remaining_energy_figure(
+      argc, argv, "fig6", 0.4,
+      "EA-DVFS stores significantly more energy than LSA at U=0.4");
+}

@@ -1,0 +1,12 @@
+/// Reproduces paper Figure 7: normalized remaining energy over time at high
+/// utilization (U = 0.8).  Paper claim: "EA-DVFS-based system only has
+/// slightly more stored energy than the LSA-based system" — the advantage
+/// nearly vanishes because there is little slack to trade.
+
+#include "remaining_energy.hpp"
+
+int main(int argc, char** argv) {
+  return eadvfs::bench::run_remaining_energy_figure(
+      argc, argv, "fig7", 0.8,
+      "EA-DVFS has only slightly more stored energy than LSA at U=0.8");
+}

@@ -1,0 +1,11 @@
+/// Reproduces paper Figure 8: deadline miss rate vs normalized storage
+/// capacity at U = 0.4.  Paper claim: "EA-DVFS algorithm reduces the
+/// deadline miss rate over 50% on average, compared to LSA".
+
+#include "miss_rate.hpp"
+
+int main(int argc, char** argv) {
+  return eadvfs::bench::run_miss_rate_figure(
+      argc, argv, "fig8", 0.4,
+      "EA-DVFS reduces the deadline miss rate by >50% vs LSA at U=0.4");
+}

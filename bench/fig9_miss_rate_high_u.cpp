@@ -1,0 +1,12 @@
+/// Reproduces paper Figure 9: deadline miss rate vs normalized storage
+/// capacity at U = 0.8.  Paper claim: "EA-DVFS algorithm performs as well
+/// as LSA algorithm does" — the advantage shrinks because high utilization
+/// leaves little slack to trade for energy.
+
+#include "miss_rate.hpp"
+
+int main(int argc, char** argv) {
+  return eadvfs::bench::run_miss_rate_figure(
+      argc, argv, "fig9", 0.8,
+      "EA-DVFS performs close to LSA at U=0.8 (little slack to trade)");
+}

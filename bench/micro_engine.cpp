@@ -1,0 +1,137 @@
+/// Micro-benchmarks (google-benchmark): raw performance of the simulator's
+/// hot paths.  These are not paper reproductions — they document the cost
+/// profile that makes the 5000-task-set sweeps tractable.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "energy/slotted_ewma_predictor.hpp"
+#include "energy/solar_source.hpp"
+#include "energy/storage.hpp"
+#include "exp/setup.hpp"
+#include "proc/frequency_table.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "task/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eadvfs;
+
+std::shared_ptr<const energy::SolarSource> shared_source() {
+  static const auto source = [] {
+    energy::SolarSourceConfig cfg;
+    cfg.seed = 7;
+    cfg.horizon = 10'000.0;
+    return std::make_shared<const energy::SolarSource>(cfg);
+  }();
+  return source;
+}
+
+task::TaskSet shared_task_set(double utilization) {
+  task::GeneratorConfig cfg;
+  cfg.target_utilization = utilization;
+  task::TaskSetGenerator gen(cfg);
+  util::Xoshiro256ss rng(11);
+  return gen.generate(rng);
+}
+
+/// Full 10k-time-unit simulation per iteration, per scheduler.
+void BM_FullSimulation(benchmark::State& state, const char* scheduler_name) {
+  const auto source = shared_source();
+  const task::TaskSet set = shared_task_set(0.4);
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  sim::SimulationConfig cfg;
+  std::size_t segments = 0;
+  for (auto _ : state) {
+    const auto scheduler = sched::make_scheduler(scheduler_name);
+    const auto result =
+        exp::run_once(cfg, source, 100.0, table, *scheduler, "slotted-ewma", set);
+    segments += result.segments;
+    benchmark::DoNotOptimize(result.jobs_missed);
+  }
+  state.counters["segments/s"] = benchmark::Counter(
+      static_cast<double>(segments), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_FullSimulation, edf, "edf");
+BENCHMARK_CAPTURE(BM_FullSimulation, lsa, "lsa");
+BENCHMARK_CAPTURE(BM_FullSimulation, ea_dvfs, "ea-dvfs");
+
+/// Cost of one scheduling decision.
+void BM_SchedulerDecide(benchmark::State& state, const char* scheduler_name) {
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  const energy::ConstantPredictor predictor(2.0);
+  std::vector<task::Job> ready;
+  for (task::JobId i = 0; i < 8; ++i) {
+    task::Job j;
+    j.id = i;
+    j.arrival = 0.0;
+    j.absolute_deadline = 10.0 + static_cast<double>(i);
+    j.wcet = 2.0;
+    j.remaining = 1.5;
+    ready.push_back(j);
+  }
+  sim::SchedulingContext ctx;
+  ctx.now = 3.0;
+  ctx.ready = &ready;
+  ctx.stored = 12.0;
+  ctx.predictor = &predictor;
+  ctx.table = &table;
+  const auto scheduler = sched::make_scheduler(scheduler_name);
+  for (auto _ : state) {
+    const sim::Decision d = scheduler->decide(ctx);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK_CAPTURE(BM_SchedulerDecide, edf, "edf");
+BENCHMARK_CAPTURE(BM_SchedulerDecide, lsa, "lsa");
+BENCHMARK_CAPTURE(BM_SchedulerDecide, ea_dvfs, "ea-dvfs");
+
+/// Exact source integration over windows of growing length.
+void BM_SourceIntegral(benchmark::State& state) {
+  const auto source = shared_source();
+  const double window = static_cast<double>(state.range(0));
+  double t = 0.0;
+  for (auto _ : state) {
+    const Energy e = source->energy_between(t, t + window);
+    benchmark::DoNotOptimize(e);
+    t += 1.0;
+    if (t > 9'000.0) t = 0.0;
+  }
+}
+BENCHMARK(BM_SourceIntegral)->Arg(10)->Arg(100)->Arg(1000);
+
+/// Slotted-EWMA prediction queries.
+void BM_SlottedEwmaPredict(benchmark::State& state) {
+  energy::SlottedEwmaPredictor predictor(energy::SlottedEwmaConfig{});
+  const auto source = shared_source();
+  for (Time t = 0.0; t < 2'000.0; t += 1.0)
+    predictor.observe(t, t + 1.0, source->power_at(t));
+  double t = 0.0;
+  for (auto _ : state) {
+    const Energy e = predictor.predict(t, t + 100.0);
+    benchmark::DoNotOptimize(e);
+    t += 0.7;
+    if (t > 5'000.0) t = 0.0;
+  }
+}
+BENCHMARK(BM_SlottedEwmaPredict);
+
+/// Task-set generation (includes redraw-until-feasible).
+void BM_TaskSetGeneration(benchmark::State& state) {
+  task::GeneratorConfig cfg;
+  cfg.target_utilization = static_cast<double>(state.range(0)) / 10.0;
+  task::TaskSetGenerator gen(cfg);
+  util::Xoshiro256ss rng(5);
+  for (auto _ : state) {
+    const task::TaskSet set = gen.generate(rng);
+    benchmark::DoNotOptimize(set.utilization());
+  }
+}
+BENCHMARK(BM_TaskSetGeneration)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file miss_rate.hpp
+/// Shared implementation for the Figure 8 / Figure 9 reproductions (and the
+/// scheduler-zoo ablation): deadline miss rate vs normalized storage
+/// capacity for several schedulers under the paper's workload recipe.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/miss_rate_sweep.hpp"
+#include "exp/report.hpp"
+#include "util/args.hpp"
+
+namespace eadvfs::bench {
+
+inline void print_miss_rate_table(const exp::MissRateSweepResult& result,
+                                  const std::string& csv_path) {
+  const auto& cfg = result.config;
+  const double max_capacity =
+      *std::max_element(cfg.capacities.begin(), cfg.capacities.end());
+
+  std::vector<std::string> header = {"capacity", "normalized"};
+  for (const auto& s : cfg.schedulers) header.push_back(s);
+  header.push_back("reduction vs " + cfg.schedulers.front());
+  exp::TextTable table(header);
+
+  for (double capacity : cfg.capacities) {
+    std::vector<std::string> row = {exp::fmt(capacity, 0),
+                                    exp::fmt(capacity / max_capacity, 3)};
+    const double base = result.cell(cfg.schedulers.front(), capacity).miss_rate.mean();
+    double last = base;
+    for (const auto& s : cfg.schedulers) {
+      last = result.cell(s, capacity).miss_rate.mean();
+      row.push_back(exp::fmt(last, 4));
+    }
+    row.push_back(base > 0.0 ? exp::fmt(100.0 * (base - last) / base, 1) + "%"
+                             : "n/a");
+    table.add_row(std::move(row));
+  }
+  std::cout << table.render() << "\n";
+  table.write_csv(csv_path);
+  std::cout << "table written to " << csv_path << "\n";
+}
+
+inline int run_miss_rate_figure(int argc, char** argv,
+                                const std::string& figure_id, double utilization,
+                                const std::string& paper_claim,
+                                std::vector<std::string> schedulers = {"lsa",
+                                                                       "ea-dvfs"}) {
+  util::ArgParser args(figure_id + ": deadline miss rate vs capacity, U=" +
+                       exp::fmt(utilization, 1));
+  add_common_options(args, /*default_sets=*/150);
+  if (!args.parse(argc, argv)) return 0;
+  apply_logging(args);
+
+  exp::MissRateSweepConfig cfg;
+  cfg.capacities = args.real_list("capacities");
+  cfg.schedulers = std::move(schedulers);
+  cfg.predictor = args.str("predictor");
+  cfg.n_task_sets = static_cast<std::size_t>(args.integer("sets"));
+  cfg.seed = static_cast<std::uint64_t>(args.integer("seed"));
+  cfg.generator.target_utilization = utilization;
+  cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
+  cfg.sim.horizon = args.real("horizon");
+  cfg.solar.horizon = cfg.sim.horizon;
+
+  exp::print_banner(std::cout, figure_id, paper_claim,
+                    "U=" + exp::fmt(utilization, 1) + ", " +
+                        std::to_string(cfg.n_task_sets) +
+                        " task sets, predictor " + cfg.predictor +
+                        ", capacity axis normalized by its max");
+
+  const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
+  print_miss_rate_table(result,
+                        exp::output_dir() + "/" + figure_id + "_miss_rate.csv");
+
+  // Headline number in the paper's terms.
+  double base_sum = 0.0, ea_sum = 0.0;
+  std::size_t stressed = 0;
+  for (double capacity : cfg.capacities) {
+    const double base = result.cell(cfg.schedulers.front(), capacity).miss_rate.mean();
+    const double ea = result.cell(cfg.schedulers.back(), capacity).miss_rate.mean();
+    if (base > 1e-4) {
+      base_sum += base;
+      ea_sum += ea;
+      ++stressed;
+    }
+  }
+  if (stressed > 0 && base_sum > 0.0) {
+    std::cout << "\naverage miss-rate reduction of " << cfg.schedulers.back()
+              << " vs " << cfg.schedulers.front() << " over the " << stressed
+              << " stressed capacities: "
+              << exp::fmt(100.0 * (base_sum - ea_sum) / base_sum, 1) << "%\n";
+  }
+  return 0;
+}
+
+}  // namespace eadvfs::bench

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file remaining_energy.hpp
+/// Shared implementation for the Figure 6 / Figure 7 reproductions: the
+/// normalized remaining energy E_C(t)/C under LSA vs EA-DVFS, averaged with
+/// equal weight over the capacity grid and over many random task sets
+/// (paper §5.2).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "exp/energy_trace_experiment.hpp"
+#include "exp/report.hpp"
+#include "util/args.hpp"
+#include "util/csv.hpp"
+
+namespace eadvfs::bench {
+
+inline int run_remaining_energy_figure(int argc, char** argv,
+                                       const std::string& figure_id,
+                                       double utilization,
+                                       const std::string& paper_claim) {
+  util::ArgParser args(figure_id + ": normalized remaining energy, U=" +
+                       exp::fmt(utilization, 1));
+  add_common_options(args, /*default_sets=*/60);
+  args.add_option("interval", "250", "trace sample interval");
+  if (!args.parse(argc, argv)) return 0;
+  apply_logging(args);
+
+  exp::EnergyTraceConfig cfg;
+  cfg.capacities = args.real_list("capacities");
+  cfg.schedulers = {"lsa", "ea-dvfs"};
+  cfg.predictor = args.str("predictor");
+  cfg.n_task_sets = static_cast<std::size_t>(args.integer("sets"));
+  cfg.seed = static_cast<std::uint64_t>(args.integer("seed"));
+  cfg.sample_interval = args.real("interval");
+  cfg.generator.target_utilization = utilization;
+  cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
+  cfg.sim.horizon = args.real("horizon");
+  cfg.solar.horizon = cfg.sim.horizon;
+
+  exp::print_banner(std::cout, figure_id, paper_claim,
+                    "U=" + exp::fmt(utilization, 1) + ", " +
+                        std::to_string(cfg.n_task_sets) + " task sets, " +
+                        std::to_string(cfg.capacities.size()) +
+                        " capacities (equal weight), predictor " +
+                        cfg.predictor);
+
+  const exp::EnergyTraceResult result = exp::run_energy_trace(cfg);
+  const auto& lsa = result.curve("lsa");
+  const auto& ea = result.curve("ea-dvfs");
+
+  exp::TextTable table({"time", "LSA", "EA-DVFS", "EA - LSA"});
+  double lsa_avg = 0.0, ea_avg = 0.0;
+  for (std::size_t i = 0; i < lsa.times.size(); ++i) {
+    table.add_row(exp::fmt(lsa.times[i], 0),
+                  {lsa.mean_normalized_level[i], ea.mean_normalized_level[i],
+                   ea.mean_normalized_level[i] - lsa.mean_normalized_level[i]});
+    lsa_avg += lsa.mean_normalized_level[i];
+    ea_avg += ea.mean_normalized_level[i];
+  }
+  lsa_avg /= static_cast<double>(lsa.times.size());
+  ea_avg /= static_cast<double>(ea.times.size());
+
+  std::cout << table.render() << "\n";
+  std::cout << "time-averaged normalized remaining energy:\n";
+  std::cout << "  LSA      " << exp::fmt(lsa_avg, 4) << "\n";
+  std::cout << "  EA-DVFS  " << exp::fmt(ea_avg, 4) << "  ("
+            << exp::fmt(100.0 * (ea_avg - lsa_avg) / (lsa_avg > 0 ? lsa_avg : 1.0), 1)
+            << "% more stored energy than LSA)\n";
+
+  const std::string path =
+      exp::output_dir() + "/" + figure_id + "_remaining_energy.csv";
+  table.write_csv(path);
+  std::cout << "series written to " << path << "\n";
+  return 0;
+}
+
+}  // namespace eadvfs::bench

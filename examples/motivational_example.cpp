@@ -1,0 +1,109 @@
+/// \file motivational_example.cpp
+/// Replays the paper's two worked examples with a full printed timeline:
+///
+///   §2 / Figure 1  — τ1=(0,16,4), τ2=(5,16,1.5), E_C(0)=24, P_S=0.5,
+///                    P_max=8: LSA drains the storage on τ1 and τ2 misses;
+///                    EA-DVFS stretches τ1 and both deadlines hold.
+///   §4.3 / Figure 3 — τ1=(0,16,4), τ2=(5,12,1.5), 32 units of energy:
+///                    greedy stretching starves τ2; EA-DVFS's rule "switch
+///                    to f_max at s2" saves it.
+
+#include <iostream>
+#include <memory>
+
+#include "energy/predictor.hpp"
+#include "energy/source.hpp"
+#include "energy/storage.hpp"
+#include "proc/frequency_table.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/gantt.hpp"
+#include "sim/trace.hpp"
+#include "task/releaser.hpp"
+
+namespace {
+
+using namespace eadvfs;
+
+task::Job make_job(task::JobId id, Time arrival, Time relative_deadline,
+                   Work wcet) {
+  task::Job j;
+  j.id = id;
+  j.arrival = arrival;
+  j.absolute_deadline = arrival + relative_deadline;
+  j.wcet = wcet;
+  j.remaining = wcet;
+  return j;
+}
+
+void replay(const std::string& title, const std::vector<task::Job>& jobs,
+            const proc::FrequencyTable& table, Power harvest, Energy initial,
+            const std::string& scheduler_name) {
+  auto source = std::make_shared<const energy::ConstantSource>(harvest);
+  energy::StorageConfig storage_cfg;
+  storage_cfg.capacity = 1000.0;
+  storage_cfg.initial = initial;
+  energy::EnergyStorage storage(storage_cfg);
+  proc::Processor processor(table);
+  energy::OraclePredictor predictor(source);
+  auto scheduler = sched::make_scheduler(scheduler_name);
+  task::JobReleaser releaser(jobs);
+  sim::SimulationConfig cfg;
+  cfg.horizon = 30.0;
+
+  sim::ScheduleRecorder recorder;
+  sim::Engine engine(cfg, *source, storage, processor, predictor, *scheduler,
+                     releaser);
+  engine.add_observer(recorder);
+  const sim::SimulationResult result = engine.run();
+
+  std::cout << "--- " << title << " under " << scheduler->name() << " ---\n";
+  for (const auto& slice : recorder.slices()) {
+    std::cout << "  t=[" << slice.start << ", " << slice.end << ")  job τ"
+              << (slice.job + 1) << " at speed "
+              << table.at(slice.op_index).speed << " (P="
+              << table.at(slice.op_index).power << ")\n";
+  }
+  for (const auto& outcome : recorder.outcomes()) {
+    std::cout << "  job τ" << (outcome.job.id + 1)
+              << (outcome.missed ? " MISSED its deadline at t="
+                                 : " completed at t=")
+              << outcome.time << "\n";
+  }
+  std::cout << "  energy: consumed " << result.consumed << ", final storage "
+            << result.storage_final << "\n";
+  sim::GanttOptions gantt;
+  gantt.start = 0.0;
+  gantt.end = 22.0;
+  gantt.width = 66;
+  std::cout << sim::render_gantt(recorder, gantt) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace eadvfs;
+
+  std::cout << "Paper worked example 1 (Section 2, Figure 1)\n";
+  std::cout << "τ1 = (0, 16, 4), τ2 = (5, 16, 1.5); stored energy 24,\n"
+               "harvest 0.5, two speeds {0.5, 1.0} at powers {8/3, 8}.\n\n";
+  const std::vector<task::Job> example1 = {make_job(0, 0.0, 16.0, 4.0),
+                                           make_job(1, 5.0, 16.0, 1.5)};
+  const proc::FrequencyTable two_speed = proc::FrequencyTable::two_speed(8.0);
+  replay("Figure 1", example1, two_speed, 0.5, 24.0, "lsa");
+  replay("Figure 1", example1, two_speed, 0.5, 24.0, "ea-dvfs");
+
+  std::cout << "Paper worked example 2 (Section 4.3, Figure 3)\n";
+  std::cout << "τ1 = (0, 16, 4), τ2 = (5, 12, 1.5); available energy 32,\n"
+               "no harvest, speeds {0.25, 1.0} at powers {1, 8}.\n\n";
+  const std::vector<task::Job> example2 = {make_job(0, 0.0, 16.0, 4.0),
+                                           make_job(1, 5.0, 12.0, 1.5)};
+  const proc::FrequencyTable quarter(
+      {{250.0, 0.25, 1.0}, {1000.0, 1.0, 8.0}});
+  replay("Figure 3", example2, quarter, 0.0, 32.0, "greedy-dvfs");
+  replay("Figure 3", example2, quarter, 0.0, 32.0, "ea-dvfs");
+
+  std::cout << "Takeaway: stretching saves τ2 in example 1; *bounded*\n"
+               "stretching (the s2 switch-back) saves it in example 2.\n";
+  return 0;
+}

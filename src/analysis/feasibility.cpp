@@ -1,0 +1,235 @@
+#include "analysis/feasibility.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "task/releaser.hpp"
+#include "util/math.hpp"
+
+namespace eadvfs::analysis {
+
+namespace {
+
+struct HullPoint {
+  double speed;
+  double power;
+};
+
+/// Lower convex hull of {(0,0)} ∪ {(S_n, P_n)}, speeds ascending.
+std::vector<HullPoint> lower_hull(const proc::FrequencyTable& table) {
+  std::vector<HullPoint> points;
+  points.push_back({0.0, 0.0});
+  for (std::size_t i = 0; i < table.size(); ++i)
+    points.push_back({table.at(i).speed, table.at(i).power});
+  std::vector<HullPoint> hull;
+  for (const HullPoint& p : points) {
+    while (hull.size() >= 2) {
+      const HullPoint& a = hull[hull.size() - 2];
+      const HullPoint& b = hull[hull.size() - 1];
+      // Remove b if it lies on/above segment a->p (non-convex corner).
+      const double cross = (b.speed - a.speed) * (p.power - a.power) -
+                           (p.speed - a.speed) * (b.power - a.power);
+      if (cross <= 0.0) {
+        hull.pop_back();
+      } else {
+        break;
+      }
+    }
+    hull.push_back(p);
+  }
+  return hull;
+}
+
+}  // namespace
+
+std::optional<Energy> min_energy_for_work(const proc::FrequencyTable& table,
+                                          Work work, Time window) {
+  if (work < 0.0)
+    throw std::invalid_argument("min_energy_for_work: negative work");
+  if (work == 0.0) return Energy{0.0};
+  if (window <= 0.0) return std::nullopt;
+  const double target_speed = work / window;
+  if (target_speed > 1.0 + util::kEps) return std::nullopt;
+
+  const std::vector<HullPoint> hull = lower_hull(table);
+  for (std::size_t i = 1; i < hull.size(); ++i) {
+    if (target_speed <= hull[i].speed + util::kEps) {
+      const HullPoint& a = hull[i - 1];
+      const HullPoint& b = hull[i];
+      const double frac =
+          (target_speed - a.speed) / (b.speed - a.speed);
+      const double power = a.power + frac * (b.power - a.power);
+      return power * window;
+    }
+  }
+  // target_speed == 1 within epsilon: the last hull point is f_max.
+  return hull.back().power * window;
+}
+
+std::string InfeasibilityWitness::describe() const {
+  std::ostringstream out;
+  out << "window [" << window_start << ", " << window_end << "] holds "
+      << work << " mandatory work: ";
+  if (kind == Kind::kTime) {
+    out << "needs " << work << " time at full speed but only "
+        << (window_end - window_start) << " is available";
+  } else {
+    out << "needs >= " << energy_needed << " energy but at most "
+        << energy_available << " (full storage + harvest) can be supplied";
+  }
+  return out.str();
+}
+
+std::optional<InfeasibilityWitness> find_infeasibility(
+    const std::vector<task::Job>& jobs, const energy::EnergySource& source,
+    Energy capacity, const proc::FrequencyTable& table) {
+  if (capacity <= 0.0)
+    throw std::invalid_argument("find_infeasibility: capacity must be positive");
+  if (jobs.empty()) return std::nullopt;
+
+  // Sort once by deadline; collect distinct arrival instants.
+  std::vector<task::Job> by_deadline = jobs;
+  std::sort(by_deadline.begin(), by_deadline.end(),
+            [](const task::Job& a, const task::Job& b) {
+              return a.absolute_deadline < b.absolute_deadline;
+            });
+  std::vector<Time> arrivals;
+  arrivals.reserve(jobs.size());
+  for (const auto& j : jobs) arrivals.push_back(j.arrival);
+  std::sort(arrivals.begin(), arrivals.end());
+  arrivals.erase(std::unique(arrivals.begin(), arrivals.end()), arrivals.end());
+
+  // For each window start t1 (a distinct arrival), sweep deadlines in
+  // ascending order accumulating the work of jobs contained in the window.
+  // The source integral is accumulated incrementally along the same sweep.
+  for (Time t1 : arrivals) {
+    Work work = 0.0;
+    Time cursor = t1;
+    Energy harvested = 0.0;
+    for (const task::Job& job : by_deadline) {
+      const Time t2 = job.absolute_deadline;
+      if (t2 <= t1) continue;
+      if (t2 > cursor) {
+        harvested += source.energy_between(cursor, t2);
+        cursor = t2;
+      }
+      if (job.arrival >= t1) {
+        work += job.wcet;
+
+        InfeasibilityWitness witness;
+        witness.window_start = t1;
+        witness.window_end = t2;
+        witness.work = work;
+        witness.energy_available = capacity + harvested;
+
+        const std::optional<Energy> needed =
+            min_energy_for_work(table, work, t2 - t1);
+        if (!needed) {
+          witness.kind = InfeasibilityWitness::Kind::kTime;
+          witness.energy_needed = 0.0;
+          return witness;
+        }
+        witness.energy_needed = *needed;
+        if (util::definitely_greater(witness.energy_needed,
+                                     witness.energy_available, 1e-7)) {
+          witness.kind = InfeasibilityWitness::Kind::kEnergy;
+          return witness;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Expand a task set into the judged job list (deadline within horizon —
+/// the simulator leaves later jobs unresolved as well).
+std::vector<task::Job> expand_jobs_for_analysis(const task::TaskSet& task_set,
+                                                Time horizon) {
+  task::JobReleaser releaser(task_set, horizon);
+  std::vector<task::Job> jobs;
+  jobs.reserve(releaser.total_jobs());
+  while (!releaser.exhausted()) {
+    for (task::Job& job : releaser.release_due(releaser.next_arrival()))
+      jobs.push_back(std::move(job));
+  }
+  std::erase_if(jobs, [horizon](const task::Job& j) {
+    return j.absolute_deadline > horizon;
+  });
+  return jobs;
+}
+
+}  // namespace
+
+std::optional<InfeasibilityWitness> find_infeasibility(
+    const task::TaskSet& task_set, Time horizon,
+    const energy::EnergySource& source, Energy capacity,
+    const proc::FrequencyTable& table) {
+  return find_infeasibility(expand_jobs_for_analysis(task_set, horizon), source,
+                            capacity, table);
+}
+
+std::optional<Energy> min_capacity_lower_bound(
+    const std::vector<task::Job>& jobs, const energy::EnergySource& source,
+    const proc::FrequencyTable& table) {
+  if (jobs.empty()) return Energy{0.0};
+
+  std::vector<task::Job> by_deadline = jobs;
+  std::sort(by_deadline.begin(), by_deadline.end(),
+            [](const task::Job& a, const task::Job& b) {
+              return a.absolute_deadline < b.absolute_deadline;
+            });
+  std::vector<Time> arrivals;
+  arrivals.reserve(jobs.size());
+  for (const auto& j : jobs) arrivals.push_back(j.arrival);
+  std::sort(arrivals.begin(), arrivals.end());
+  arrivals.erase(std::unique(arrivals.begin(), arrivals.end()), arrivals.end());
+
+  Energy bound = 0.0;
+  for (Time t1 : arrivals) {
+    Work work = 0.0;
+    Time cursor = t1;
+    Energy harvested = 0.0;
+    for (const task::Job& job : by_deadline) {
+      const Time t2 = job.absolute_deadline;
+      if (t2 <= t1) continue;
+      if (t2 > cursor) {
+        harvested += source.energy_between(cursor, t2);
+        cursor = t2;
+      }
+      if (job.arrival < t1) continue;
+      work += job.wcet;
+      const std::optional<Energy> needed =
+          min_energy_for_work(table, work, t2 - t1);
+      if (!needed) return std::nullopt;  // time-infeasible window
+      bound = std::max(bound, *needed - harvested);
+    }
+  }
+  return bound;
+}
+
+std::optional<Energy> min_capacity_lower_bound(const task::TaskSet& task_set,
+                                               Time horizon,
+                                               const energy::EnergySource& source,
+                                               const proc::FrequencyTable& table) {
+  return min_capacity_lower_bound(expand_jobs_for_analysis(task_set, horizon),
+                                  source, table);
+}
+
+Energy long_run_energy_shortfall(const task::TaskSet& task_set, Time horizon,
+                                 const energy::EnergySource& source,
+                                 Energy capacity,
+                                 const proc::FrequencyTable& table) {
+  if (horizon <= 0.0)
+    throw std::invalid_argument("long_run_energy_shortfall: bad horizon");
+  const Work total_work = task_set.utilization() * horizon;
+  const std::optional<Energy> needed =
+      min_energy_for_work(table, total_work, horizon);
+  const Energy available = capacity + source.energy_between(0.0, horizon);
+  if (!needed) return kHuge;  // cannot even fit the work in time
+  return *needed > available ? *needed - available : 0.0;
+}
+
+}  // namespace eadvfs::analysis

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file feasibility.hpp
+/// Offline infeasibility analysis in the spirit of Moser et al.'s
+/// schedulability conditions for regenerative energy (paper refs [7][10]).
+///
+/// For every *critical window* [t1, t2] — t1 an arrival instant, t2 a
+/// deadline instant — the jobs wholly contained in the window (arrival >=
+/// t1 and deadline <= t2) must be executed inside it by ANY correct
+/// scheduler.  Two lower bounds therefore apply to every scheduling policy,
+/// clairvoyant or not, at any DVFS operating points:
+///
+///   * time:   their total work w (measured at f_max) needs at least w time
+///             units even at full speed, so  w <= t2 - t1  must hold;
+///   * energy: executing one unit of work costs at least
+///             min_n (P_n / S_n)  — the cheapest energy-per-work in the
+///             frequency table — and the energy usable inside the window is
+///             at most the full storage C at t1 plus everything harvested,
+///             so  w * min_epw <= C + E_S(t1, t2)  must hold.
+///
+/// If either inequality fails for some window, the workload is infeasible:
+/// *every* scheduler misses at least one deadline on this source trace.
+/// (The converse does not hold — passing both tests does not guarantee a
+/// schedule exists — so the result is an infeasibility *witness*, not a
+/// schedulability proof; the tests validate exactly this one-sided claim
+/// against the simulator.)
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "energy/source.hpp"
+#include "proc/frequency_table.hpp"
+#include "task/job.hpp"
+#include "task/task_set.hpp"
+
+namespace eadvfs::analysis {
+
+struct InfeasibilityWitness {
+  enum class Kind {
+    kTime,    ///< more mandatory work than wall-clock time in the window.
+    kEnergy,  ///< more energy needed than storage + harvest can supply.
+  };
+
+  Kind kind = Kind::kEnergy;
+  Time window_start = 0.0;
+  Time window_end = 0.0;
+  Work work = 0.0;                ///< mandatory work inside the window.
+  Energy energy_needed = 0.0;     ///< work * cheapest energy-per-work.
+  Energy energy_available = 0.0;  ///< C + E_S(window)  (energy witnesses).
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Scan all critical windows of an explicit job list.  Jobs may be in any
+/// order.  Returns the first (most constrained found) witness, or nullopt
+/// when no lower bound is violated.
+[[nodiscard]] std::optional<InfeasibilityWitness> find_infeasibility(
+    const std::vector<task::Job>& jobs, const energy::EnergySource& source,
+    Energy capacity, const proc::FrequencyTable& table);
+
+/// Convenience overload: expands a periodic task set over [0, horizon).
+[[nodiscard]] std::optional<InfeasibilityWitness> find_infeasibility(
+    const task::TaskSet& task_set, Time horizon,
+    const energy::EnergySource& source, Energy capacity,
+    const proc::FrequencyTable& table);
+
+/// The minimum energy ANY schedule can spend to complete `work` (measured
+/// at f_max) within a window of length `window` on this frequency table.
+/// The bound is the lower convex hull of {(0, 0)} ∪ {(S_n, P_n)}: a window
+/// that averages speed s* = work/window must average at least P_hull(s*)
+/// power (time-sharing two hull points achieves it, so the bound is tight).
+/// Returns nullopt when the work does not fit even at full speed.
+[[nodiscard]] std::optional<Energy> min_energy_for_work(
+    const proc::FrequencyTable& table, Work work, Time window);
+
+/// A provable lower bound on the storage capacity ANY scheduler needs for
+/// zero misses on this workload/source: the maximum, over all critical
+/// windows, of (minimal energy for the window's mandatory work) − (energy
+/// harvested inside the window).  C_min of every real scheduler — including
+/// the Table-1 measurements — must lie at or above this number.  Returns 0
+/// when harvest alone covers every window, and nullopt when some window is
+/// infeasible in *time* (no capacity can ever help).
+[[nodiscard]] std::optional<Energy> min_capacity_lower_bound(
+    const std::vector<task::Job>& jobs, const energy::EnergySource& source,
+    const proc::FrequencyTable& table);
+
+/// Convenience overload over a periodic task set released on [0, horizon).
+[[nodiscard]] std::optional<Energy> min_capacity_lower_bound(
+    const task::TaskSet& task_set, Time horizon,
+    const energy::EnergySource& source, const proc::FrequencyTable& table);
+
+/// Long-run average check (a cheap screen before the O(n²) window scan):
+/// over [0, horizon], utilization * P_max-work demand cannot exceed initial
+/// storage + total harvest when executed at the cheapest energy-per-work.
+/// Returns the energy shortfall (> 0 means provably infeasible in the long
+/// run), or 0 when the average balance closes.
+[[nodiscard]] Energy long_run_energy_shortfall(const task::TaskSet& task_set,
+                                               Time horizon,
+                                               const energy::EnergySource& source,
+                                               Energy capacity,
+                                               const proc::FrequencyTable& table);
+
+}  // namespace eadvfs::analysis

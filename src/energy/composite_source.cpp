@@ -1,0 +1,40 @@
+#include "energy/composite_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eadvfs::energy {
+
+ScaledSource::ScaledSource(std::shared_ptr<const EnergySource> inner, double factor)
+    : inner_(std::move(inner)), factor_(factor) {
+  if (!inner_) throw std::invalid_argument("ScaledSource: null inner source");
+  if (factor_ < 0.0) throw std::invalid_argument("ScaledSource: negative factor");
+}
+
+Power ScaledSource::power_at(Time t) const { return factor_ * inner_->power_at(t); }
+
+Time ScaledSource::piece_end(Time t) const { return inner_->piece_end(t); }
+
+std::string ScaledSource::name() const {
+  return std::to_string(factor_) + "*" + inner_->name();
+}
+
+SumSource::SumSource(std::shared_ptr<const EnergySource> a,
+                     std::shared_ptr<const EnergySource> b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  if (!a_ || !b_) throw std::invalid_argument("SumSource: null input source");
+}
+
+Power SumSource::power_at(Time t) const {
+  return a_->power_at(t) + b_->power_at(t);
+}
+
+Time SumSource::piece_end(Time t) const {
+  return std::min(a_->piece_end(t), b_->piece_end(t));
+}
+
+std::string SumSource::name() const {
+  return a_->name() + "+" + b_->name();
+}
+
+}  // namespace eadvfs::energy

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file composite_source.hpp
+/// Combinators over energy sources: scaling (panel size / converter
+/// efficiency sweeps) and summation (hybrid harvesters, e.g. solar +
+/// vibration).  Both preserve the piecewise-constant contract.
+
+#include <memory>
+#include <string>
+
+#include "energy/source.hpp"
+
+namespace eadvfs::energy {
+
+/// P(t) = factor * inner(t).
+class ScaledSource final : public EnergySource {
+ public:
+  ScaledSource(std::shared_ptr<const EnergySource> inner, double factor);
+
+  [[nodiscard]] Power power_at(Time t) const override;
+  [[nodiscard]] Time piece_end(Time t) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::shared_ptr<const EnergySource> inner_;
+  double factor_;
+};
+
+/// P(t) = a(t) + b(t).  Piece boundaries are the union of both inputs'.
+class SumSource final : public EnergySource {
+ public:
+  SumSource(std::shared_ptr<const EnergySource> a,
+            std::shared_ptr<const EnergySource> b);
+
+  [[nodiscard]] Power power_at(Time t) const override;
+  [[nodiscard]] Time piece_end(Time t) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::shared_ptr<const EnergySource> a_;
+  std::shared_ptr<const EnergySource> b_;
+};
+
+}  // namespace eadvfs::energy

@@ -1,0 +1,85 @@
+#include "energy/markov_weather_source.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace eadvfs::energy {
+
+MarkovWeatherSource::MarkovWeatherSource(const MarkovWeatherConfig& config)
+    : config_(config) {
+  if (config_.amplitude < 0.0)
+    throw std::invalid_argument("MarkovWeatherSource: negative amplitude");
+  if (config_.step <= 0.0)
+    throw std::invalid_argument("MarkovWeatherSource: step must be positive");
+  if (config_.horizon < config_.step)
+    throw std::invalid_argument("MarkovWeatherSource: horizon < one step");
+  if (config_.cos_divisor <= 0.0)
+    throw std::invalid_argument("MarkovWeatherSource: bad cos divisor");
+  if (config_.states.empty())
+    throw std::invalid_argument("MarkovWeatherSource: no weather states");
+  for (const WeatherState& s : config_.states) {
+    if (s.attenuation < 0.0 || s.attenuation > 1.0)
+      throw std::invalid_argument("MarkovWeatherSource: attenuation outside [0,1]");
+    if (s.mean_dwell <= 0.0)
+      throw std::invalid_argument("MarkovWeatherSource: dwell must be positive");
+  }
+
+  const auto n = static_cast<std::size_t>(std::ceil(config_.horizon / config_.step));
+  samples_.reserve(n);
+  state_samples_.reserve(n);
+  util::Xoshiro256ss rng(config_.seed);
+
+  std::size_t state = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Geometric dwell: leave with probability step / mean_dwell per step.
+    const double leave_probability =
+        std::min(1.0, config_.step / config_.states[state].mean_dwell);
+    if (config_.states.size() > 1 && rng.uniform01() < leave_probability) {
+      const auto offset =
+          rng.uniform_int(1, config_.states.size() - 1);  // skip self
+      state = (state + offset) % config_.states.size();
+    }
+    const Time t = static_cast<double>(k) * config_.step;
+    const double envelope = std::cos(t / config_.cos_divisor);
+    const double noise =
+        config_.per_step_noise ? std::abs(rng.normal()) : std::sqrt(2.0 / 3.14159265358979323846);
+    samples_.push_back(config_.amplitude * config_.states[state].attenuation *
+                       noise * envelope * envelope);
+    state_samples_.push_back(static_cast<std::uint8_t>(state));
+  }
+}
+
+std::size_t MarkovWeatherSource::index_for(Time t) const {
+  if (t < 0.0) throw std::invalid_argument("MarkovWeatherSource: negative time");
+  auto k = static_cast<std::size_t>(std::floor(t / config_.step));
+  if (static_cast<double>(k + 1) * config_.step <= t) ++k;
+  return k % samples_.size();
+}
+
+Power MarkovWeatherSource::power_at(Time t) const { return samples_[index_for(t)]; }
+
+Time MarkovWeatherSource::piece_end(Time t) const {
+  auto k = static_cast<std::size_t>(std::floor(t / config_.step));
+  if (static_cast<double>(k + 1) * config_.step <= t) ++k;
+  return static_cast<double>(k + 1) * config_.step;
+}
+
+std::string MarkovWeatherSource::name() const { return "markov-weather"; }
+
+double MarkovWeatherSource::mean_attenuation() const {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const WeatherState& s : config_.states) {
+    weighted += s.attenuation * s.mean_dwell;
+    total += s.mean_dwell;
+  }
+  return weighted / total;
+}
+
+std::size_t MarkovWeatherSource::state_at(Time t) const {
+  return state_samples_[index_for(t)];
+}
+
+}  // namespace eadvfs::energy

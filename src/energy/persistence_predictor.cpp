@@ -1,0 +1,38 @@
+#include "energy/persistence_predictor.hpp"
+
+#include <stdexcept>
+
+namespace eadvfs::energy {
+
+PersistencePredictor::PersistencePredictor(Power prior, double smoothing)
+    : last_power_(prior), smoothing_(smoothing) {
+  if (prior < 0.0)
+    throw std::invalid_argument("PersistencePredictor: negative prior");
+  if (smoothing < 0.0 || smoothing >= 1.0)
+    throw std::invalid_argument("PersistencePredictor: smoothing outside [0, 1)");
+}
+
+void PersistencePredictor::observe(Time t0, Time t1, Energy harvested) {
+  if (t1 < t0)
+    throw std::invalid_argument("PersistencePredictor: t1 < t0");
+  if (harvested < 0.0)
+    throw std::invalid_argument("PersistencePredictor: negative harvest");
+  if (t1 == t0) return;
+  const Power observed = harvested / (t1 - t0);
+  if (!seen_anything_ || smoothing_ == 0.0) {
+    last_power_ = observed;
+    seen_anything_ = true;
+  } else {
+    last_power_ = smoothing_ * last_power_ + (1.0 - smoothing_) * observed;
+  }
+}
+
+Energy PersistencePredictor::predict(Time now, Time until) const {
+  if (until < now)
+    throw std::invalid_argument("PersistencePredictor: until < now");
+  return last_power_ * (until - now);
+}
+
+std::string PersistencePredictor::name() const { return "persistence"; }
+
+}  // namespace eadvfs::energy

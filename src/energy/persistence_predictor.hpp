@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file persistence_predictor.hpp
+/// Persistence forecast: the future delivers the power observed most
+/// recently.  The weather-forecasting baseline ("tomorrow ≈ today"); in the
+/// harvesting literature this is the zero-knowledge reference every
+/// profile-based predictor (Kansal's EWMA etc.) must beat.  It reacts
+/// instantly to regime changes but extrapolates troughs and peaks alike —
+/// over a long window it is badly wrong half the time, which is exactly the
+/// failure mode the predictor ablation quantifies.
+
+#include <string>
+
+#include "energy/predictor.hpp"
+
+namespace eadvfs::energy {
+
+class PersistencePredictor final : public EnergyPredictor {
+ public:
+  /// `prior` is returned before anything has been observed.  `smoothing`
+  /// in [0, 1) optionally EWMA-filters the per-segment power (0 = raw last
+  /// observation, larger = smoother estimate).
+  explicit PersistencePredictor(Power prior = 0.0, double smoothing = 0.0);
+
+  void observe(Time t0, Time t1, Energy harvested) override;
+  [[nodiscard]] Energy predict(Time now, Time until) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] Power last_power() const { return last_power_; }
+
+ private:
+  Power last_power_;
+  double smoothing_;
+  bool seen_anything_ = false;
+};
+
+}  // namespace eadvfs::energy

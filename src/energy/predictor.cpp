@@ -1,0 +1,37 @@
+#include "energy/predictor.hpp"
+
+#include <stdexcept>
+
+namespace eadvfs::energy {
+
+OraclePredictor::OraclePredictor(std::shared_ptr<const EnergySource> source)
+    : source_(std::move(source)) {
+  if (!source_) throw std::invalid_argument("OraclePredictor: null source");
+}
+
+void OraclePredictor::observe(Time /*t0*/, Time /*t1*/, Energy /*harvested*/) {}
+
+Energy OraclePredictor::predict(Time now, Time until) const {
+  if (until < now) throw std::invalid_argument("OraclePredictor: until < now");
+  return source_->energy_between(now, until);
+}
+
+std::string OraclePredictor::name() const { return "oracle"; }
+
+ConstantPredictor::ConstantPredictor(Power mean_power) : mean_power_(mean_power) {
+  if (mean_power < 0.0)
+    throw std::invalid_argument("ConstantPredictor: negative power");
+}
+
+void ConstantPredictor::observe(Time /*t0*/, Time /*t1*/, Energy /*harvested*/) {}
+
+Energy ConstantPredictor::predict(Time now, Time until) const {
+  if (until < now) throw std::invalid_argument("ConstantPredictor: until < now");
+  return mean_power_ * (until - now);
+}
+
+std::string ConstantPredictor::name() const {
+  return "constant(" + std::to_string(mean_power_) + ")";
+}
+
+}  // namespace eadvfs::energy

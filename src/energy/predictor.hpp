@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file predictor.hpp
+/// Harvested-energy prediction (paper §3.1: "What we need to do is to
+/// predict P_S(t) by tracing its profile").  Both LSA and EA-DVFS consume
+/// Ê_S(t1, t2), the predicted harvest over a future window; the engine feeds
+/// every predictor the *actual* harvest of each elapsed segment via
+/// `observe`, so predictors learn online exactly as a deployed system would.
+
+#include <memory>
+#include <string>
+
+#include "energy/source.hpp"
+#include "util/types.hpp"
+
+namespace eadvfs::energy {
+
+class EnergyPredictor {
+ public:
+  virtual ~EnergyPredictor() = default;
+
+  /// The engine reports that `harvested` energy actually arrived during
+  /// [t0, t1].  Called with non-overlapping, time-ordered segments.
+  virtual void observe(Time t0, Time t1, Energy harvested) = 0;
+
+  /// Predicted harvest over the future window [now, until], `until >= now`.
+  /// Must return a finite value >= 0.
+  [[nodiscard]] virtual Energy predict(Time now, Time until) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Perfect knowledge of the future: integrates the true (presampled,
+/// deterministic) source.  Not realizable in deployment; used as the
+/// upper-bound arm in the predictor ablation and to make scheduler tests
+/// deterministic.
+class OraclePredictor final : public EnergyPredictor {
+ public:
+  explicit OraclePredictor(std::shared_ptr<const EnergySource> source);
+
+  void observe(Time t0, Time t1, Energy harvested) override;
+  [[nodiscard]] Energy predict(Time now, Time until) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::shared_ptr<const EnergySource> source_;
+};
+
+/// Predicts a fixed mean power regardless of observations.  With power = 0
+/// this is the fully pessimistic predictor ("never count on future energy"),
+/// another ablation arm.
+class ConstantPredictor final : public EnergyPredictor {
+ public:
+  explicit ConstantPredictor(Power mean_power);
+
+  void observe(Time t0, Time t1, Energy harvested) override;
+  [[nodiscard]] Energy predict(Time now, Time until) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Power mean_power_;
+};
+
+}  // namespace eadvfs::energy

@@ -1,0 +1,39 @@
+#include "energy/running_average_predictor.hpp"
+
+#include <stdexcept>
+
+namespace eadvfs::energy {
+
+RunningAveragePredictor::RunningAveragePredictor(Power prior_mean_power,
+                                                 Time prior_weight)
+    : prior_mean_(prior_mean_power), prior_weight_(prior_weight) {
+  if (prior_mean_ < 0.0)
+    throw std::invalid_argument("RunningAveragePredictor: negative prior");
+  if (prior_weight_ < 0.0)
+    throw std::invalid_argument("RunningAveragePredictor: negative prior weight");
+}
+
+void RunningAveragePredictor::observe(Time t0, Time t1, Energy harvested) {
+  if (t1 < t0)
+    throw std::invalid_argument("RunningAveragePredictor: t1 < t0");
+  if (harvested < 0.0)
+    throw std::invalid_argument("RunningAveragePredictor: negative harvest");
+  observed_time_ += (t1 - t0);
+  observed_energy_ += harvested;
+}
+
+Power RunningAveragePredictor::estimate() const {
+  const double denom = prior_weight_ + observed_time_;
+  if (denom <= 0.0) return prior_mean_;
+  return (prior_mean_ * prior_weight_ + observed_energy_) / denom;
+}
+
+Energy RunningAveragePredictor::predict(Time now, Time until) const {
+  if (until < now)
+    throw std::invalid_argument("RunningAveragePredictor: until < now");
+  return estimate() * (until - now);
+}
+
+std::string RunningAveragePredictor::name() const { return "running-average"; }
+
+}  // namespace eadvfs::energy

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file running_average_predictor.hpp
+/// The simplest realization of "trace the profile": predict that the future
+/// window will deliver the long-run average power observed so far.  Ignores
+/// the diurnal cycle, so it over-predicts during troughs and under-predicts
+/// during peaks — the motivating weakness the slotted predictor fixes.
+
+#include <string>
+
+#include "energy/predictor.hpp"
+
+namespace eadvfs::energy {
+
+class RunningAveragePredictor final : public EnergyPredictor {
+ public:
+  /// `prior_mean_power` seeds the estimate before any observation, and
+  /// `prior_weight` (in time units) controls how quickly observations take
+  /// over: the estimate is (prior·w + observed_energy) / (w + observed_time).
+  explicit RunningAveragePredictor(Power prior_mean_power = 0.0,
+                                   Time prior_weight = 1.0);
+
+  void observe(Time t0, Time t1, Energy harvested) override;
+  [[nodiscard]] Energy predict(Time now, Time until) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Current mean-power estimate.
+  [[nodiscard]] Power estimate() const;
+
+ private:
+  Power prior_mean_;
+  Time prior_weight_;
+  Energy observed_energy_ = 0.0;
+  Time observed_time_ = 0.0;
+};
+
+}  // namespace eadvfs::energy

@@ -1,0 +1,105 @@
+#include "energy/slotted_ewma_predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eadvfs::energy {
+
+SlottedEwmaPredictor::SlottedEwmaPredictor(const SlottedEwmaConfig& config)
+    : config_(config) {
+  if (config_.cycle <= 0.0)
+    throw std::invalid_argument("SlottedEwmaPredictor: cycle must be positive");
+  if (config_.slots == 0)
+    throw std::invalid_argument("SlottedEwmaPredictor: slots must be > 0");
+  if (config_.alpha <= 0.0 || config_.alpha > 1.0)
+    throw std::invalid_argument("SlottedEwmaPredictor: alpha must be in (0, 1]");
+  if (config_.prior < 0.0)
+    throw std::invalid_argument("SlottedEwmaPredictor: negative prior");
+  slot_width_ = config_.cycle / static_cast<double>(config_.slots);
+  slots_.resize(config_.slots);
+}
+
+long long SlottedEwmaPredictor::global_slot(Time t) const {
+  auto g = static_cast<long long>(std::floor(t / slot_width_));
+  // Floating-point guard: when t sits exactly on a slot boundary but the
+  // division rounds down (t/width = k - ulp), floor returns k-1 and the
+  // boundary walk would compute slot_end == t and never advance.  Nudge to
+  // the slot whose interior (or exact start) contains t.
+  if (static_cast<double>(g + 1) * slot_width_ <= t) ++g;
+  return g;
+}
+
+void SlottedEwmaPredictor::finalize_slot(std::size_t slot) {
+  Slot& s = slots_[slot];
+  if (s.pending_time <= 0.0) return;
+  const Power observed_mean = s.pending_energy / s.pending_time;
+  if (s.seeded) {
+    s.ewma = config_.alpha * observed_mean + (1.0 - config_.alpha) * s.ewma;
+  } else {
+    s.ewma = observed_mean;
+    s.seeded = true;
+  }
+  s.pending_energy = 0.0;
+  s.pending_time = 0.0;
+}
+
+void SlottedEwmaPredictor::observe(Time t0, Time t1, Energy harvested) {
+  if (t1 < t0)
+    throw std::invalid_argument("SlottedEwmaPredictor: t1 < t0");
+  if (harvested < 0.0)
+    throw std::invalid_argument("SlottedEwmaPredictor: negative harvest");
+  if (t1 == t0) return;
+  const Power mean_power = harvested / (t1 - t0);
+
+  // Walk the segment slot by slot; power is attributed uniformly (engine
+  // segments are much shorter than a slot in practice).
+  Time t = t0;
+  while (t < t1) {
+    const long long g = global_slot(t);
+    if (g != current_global_slot_) {
+      // Entering a new slot: the slot we were filling is complete.
+      if (current_global_slot_ >= 0) {
+        finalize_slot(static_cast<std::size_t>(
+            current_global_slot_ % static_cast<long long>(config_.slots)));
+      }
+      current_global_slot_ = g;
+    }
+    const Time slot_end = static_cast<double>(g + 1) * slot_width_;
+    const Time sub_end = std::min(slot_end, t1);
+    Slot& s = slots_[static_cast<std::size_t>(
+        g % static_cast<long long>(config_.slots))];
+    s.pending_energy += mean_power * (sub_end - t);
+    s.pending_time += (sub_end - t);
+    t = sub_end;
+  }
+}
+
+Power SlottedEwmaPredictor::slot_estimate(std::size_t slot) const {
+  const Slot& s = slots_.at(slot);
+  if (s.seeded) return s.ewma;
+  // First cycle: fall back to this slot's partial observation, then prior.
+  if (s.pending_time > 0.0) return s.pending_energy / s.pending_time;
+  return config_.prior;
+}
+
+Energy SlottedEwmaPredictor::predict(Time now, Time until) const {
+  if (until < now)
+    throw std::invalid_argument("SlottedEwmaPredictor: until < now");
+  Energy total = 0.0;
+  Time t = now;
+  while (t < until) {
+    const long long g = global_slot(t);
+    const Time slot_end = static_cast<double>(g + 1) * slot_width_;
+    const Time sub_end = std::min(slot_end, until);
+    const auto slot = static_cast<std::size_t>(
+        g % static_cast<long long>(config_.slots));
+    total += slot_estimate(slot) * (sub_end - t);
+    t = sub_end;
+  }
+  return total;
+}
+
+std::string SlottedEwmaPredictor::name() const { return "slotted-ewma"; }
+
+}  // namespace eadvfs::energy

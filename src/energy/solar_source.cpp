@@ -1,0 +1,61 @@
+#include "energy/solar_source.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace eadvfs::energy {
+
+SolarSource::SolarSource(const SolarSourceConfig& config) : config_(config) {
+  if (config_.amplitude < 0.0)
+    throw std::invalid_argument("SolarSource: negative amplitude");
+  if (config_.step <= 0.0)
+    throw std::invalid_argument("SolarSource: step must be positive");
+  if (config_.horizon < config_.step)
+    throw std::invalid_argument("SolarSource: horizon shorter than one step");
+  if (config_.cos_divisor <= 0.0)
+    throw std::invalid_argument("SolarSource: cos_divisor must be positive");
+
+  const auto n = static_cast<std::size_t>(std::ceil(config_.horizon / config_.step));
+  samples_.reserve(n);
+  util::Xoshiro256ss rng(config_.seed);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Time t = static_cast<double>(k) * config_.step;
+    const double envelope = std::cos(t / config_.cos_divisor);
+    const double noise = std::abs(rng.normal());
+    samples_.push_back(config_.amplitude * noise * envelope * envelope);
+  }
+}
+
+std::size_t SolarSource::index_for(Time t) const {
+  if (t < 0.0) throw std::invalid_argument("SolarSource: negative time");
+  auto k = static_cast<std::size_t>(std::floor(t / config_.step));
+  // Floating-point boundary guard: if t sits exactly on step boundary k+1
+  // but the division rounded down, piece_end would return t itself and the
+  // engine would make no progress.
+  if (static_cast<double>(k + 1) * config_.step <= t) ++k;
+  return k % samples_.size();  // wrap beyond the presampled horizon
+}
+
+Power SolarSource::power_at(Time t) const { return samples_[index_for(t)]; }
+
+Time SolarSource::piece_end(Time t) const {
+  auto k = static_cast<std::size_t>(std::floor(t / config_.step));
+  if (static_cast<double>(k + 1) * config_.step <= t) ++k;
+  return static_cast<double>(k + 1) * config_.step;
+}
+
+std::string SolarSource::name() const { return "solar-eq13"; }
+
+Power SolarSource::analytic_mean_power(double amplitude) {
+  // E|N| = sqrt(2/pi) for N ~ Normal(0,1); time-average of cos^2 is 1/2.
+  return amplitude * std::sqrt(2.0 / 3.14159265358979323846) * 0.5;
+}
+
+Time SolarSource::cycle_period() const {
+  // cos^2(t/d) has period pi*d.
+  return 3.14159265358979323846 * config_.cos_divisor;
+}
+
+}  // namespace eadvfs::energy

@@ -1,0 +1,35 @@
+#include "energy/source.hpp"
+
+#include <stdexcept>
+
+namespace eadvfs::energy {
+
+Energy EnergySource::energy_between(Time t1, Time t2) const {
+  if (t1 > t2) throw std::invalid_argument("energy_between: t1 > t2");
+  Energy total = 0.0;
+  Time t = t1;
+  while (t < t2) {
+    const Time end = piece_end(t);
+    if (!(end > t))
+      throw std::logic_error(
+          "EnergySource::energy_between: piece_end did not advance");
+    const Time segment_end = (end < t2) ? end : t2;
+    total += power_at(t) * (segment_end - t);
+    t = segment_end;
+  }
+  return total;
+}
+
+ConstantSource::ConstantSource(Power power) : power_(power) {
+  if (power < 0.0) throw std::invalid_argument("ConstantSource: negative power");
+}
+
+Power ConstantSource::power_at(Time /*t*/) const { return power_; }
+
+Time ConstantSource::piece_end(Time /*t*/) const { return kHuge; }
+
+std::string ConstantSource::name() const {
+  return "constant(" + std::to_string(power_) + ")";
+}
+
+}  // namespace eadvfs::energy

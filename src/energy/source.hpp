@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file source.hpp
+/// Energy-source abstraction (paper §3.1).
+///
+/// All sources in this simulator are *piecewise-constant* in time.  That is
+/// not a loss of generality for the paper's experiments (eq. 13 samples its
+/// noise once per time unit) and it buys the engine something crucial: energy
+/// integrals and storage-crossing instants are exact, so the discrete-event
+/// engine never needs numerical ODE integration.
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace eadvfs::energy {
+
+/// Interface for a harvested-power profile P_S(t), t >= 0.
+///
+/// Contract: `power_at(t)` is constant on [t, piece_end(t)), and
+/// `piece_end(t) > t` for every t (sources must make progress).
+class EnergySource {
+ public:
+  virtual ~EnergySource() = default;
+
+  /// Net harvested power at time t (after converter losses; paper §3.1).
+  /// Always >= 0.
+  [[nodiscard]] virtual Power power_at(Time t) const = 0;
+
+  /// End (exclusive) of the constant piece containing t.  Sources that are
+  /// constant forever return a huge sentinel (> any simulation horizon).
+  [[nodiscard]] virtual Time piece_end(Time t) const = 0;
+
+  /// Exact integral of power over [t1, t2] (paper eq. 2), computed by
+  /// walking the constant pieces.  Requires t1 <= t2.
+  [[nodiscard]] Energy energy_between(Time t1, Time t2) const;
+
+  /// Human-readable identifier for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// P_S(t) = P for all t.  The motivational examples in paper §2 and §4.3 use
+/// a constant 0.5 W source.
+class ConstantSource final : public EnergySource {
+ public:
+  explicit ConstantSource(Power power);
+
+  [[nodiscard]] Power power_at(Time t) const override;
+  [[nodiscard]] Time piece_end(Time t) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Power power_;
+};
+
+}  // namespace eadvfs::energy

@@ -1,0 +1,67 @@
+#include "energy/storage.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace eadvfs::energy {
+
+EnergyStorage::EnergyStorage(const StorageConfig& config)
+    : config_(config), capacity_(config.capacity) {
+  if (capacity_ <= 0.0)
+    throw std::invalid_argument("EnergyStorage: capacity must be positive");
+  if (config_.charge_efficiency <= 0.0 || config_.charge_efficiency > 1.0)
+    throw std::invalid_argument("EnergyStorage: efficiency must be in (0, 1]");
+  if (config_.leakage < 0.0)
+    throw std::invalid_argument("EnergyStorage: negative leakage");
+  initial_ = (config_.initial < 0.0) ? capacity_ : config_.initial;
+  if (initial_ > capacity_)
+    throw std::invalid_argument("EnergyStorage: initial level exceeds capacity");
+  level_ = initial_;
+}
+
+EnergyStorage EnergyStorage::ideal(Energy capacity) {
+  StorageConfig cfg;
+  cfg.capacity = capacity;
+  return EnergyStorage(cfg);
+}
+
+bool EnergyStorage::full() const {
+  return util::approx_equal(level_, capacity_) || level_ >= capacity_;
+}
+
+bool EnergyStorage::empty() const {
+  return util::approx_equal(level_, 0.0) || level_ <= 0.0;
+}
+
+Energy EnergyStorage::charge(Energy amount) {
+  if (amount < 0.0) throw std::invalid_argument("EnergyStorage::charge: negative");
+  const Energy stored_candidate = amount * config_.charge_efficiency;
+  const Energy accepted = std::min(stored_candidate, headroom());
+  level_ += accepted;
+  total_charged_ += accepted;
+  // Overflow is counted in *incoming* units: what the harvester produced
+  // that did not end up in the storage (conversion loss + spill).
+  const Energy overflow = amount - accepted;
+  total_overflow_ += overflow;
+  return overflow;
+}
+
+void EnergyStorage::discharge(Energy amount) {
+  if (amount < 0.0) throw std::invalid_argument("EnergyStorage::discharge: negative");
+  if (util::definitely_greater(amount, level_, 1e-6))
+    throw std::logic_error("EnergyStorage::discharge: overdraw (engine bug)");
+  level_ = util::snap_nonnegative(level_ - amount, 1e-6);
+  total_discharged_ += amount;
+}
+
+void EnergyStorage::leak(Time duration) {
+  if (duration < 0.0) throw std::invalid_argument("EnergyStorage::leak: negative duration");
+  if (config_.leakage == 0.0) return;
+  const Energy lost = std::min(level_, config_.leakage * duration);
+  level_ -= lost;
+  total_leaked_ += lost;
+}
+
+}  // namespace eadvfs::energy

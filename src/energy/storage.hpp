@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file storage.hpp
+/// Ideal energy storage (paper §3.2): chargeable to capacity C, dischargeable
+/// to zero, with incoming energy discarded once full (paper ineq. 1/3/4).
+/// Tracks full energy accounting (charged / overflowed / discharged) so the
+/// engine's conservation invariant  ΔE_C = charged − discharged  is testable
+/// to floating-point accuracy.
+///
+/// An optional non-ideality extension (charge efficiency < 1 and constant
+/// leakage power) is provided for ablations; the paper's model is the
+/// default (efficiency 1, leakage 0).
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace eadvfs::energy {
+
+struct StorageConfig {
+  Energy capacity = 1000.0;       ///< C; may be kHuge for "infinite".
+  Energy initial = -1.0;          ///< initial level; < 0 means "full" (paper §5.1).
+  double charge_efficiency = 1.0; ///< fraction of incoming energy stored.
+  Power leakage = 0.0;            ///< constant self-discharge power.
+};
+
+class EnergyStorage {
+ public:
+  explicit EnergyStorage(const StorageConfig& config);
+
+  /// Convenience: ideal storage at the given capacity, initially full.
+  static EnergyStorage ideal(Energy capacity);
+
+  [[nodiscard]] Energy capacity() const { return capacity_; }
+  [[nodiscard]] Energy level() const { return level_; }
+  [[nodiscard]] Energy headroom() const { return capacity_ - level_; }
+  [[nodiscard]] bool full() const;
+  [[nodiscard]] bool empty() const;
+
+  /// Add harvested energy; returns the portion discarded as overflow.
+  /// `amount` must be >= 0.
+  Energy charge(Energy amount);
+
+  /// Remove energy consumed by the processor.  `amount` must not exceed the
+  /// current level by more than a numerical epsilon (the engine computes
+  /// exact crossing times, so larger overdraw is a logic error and throws).
+  void discharge(Energy amount);
+
+  /// Apply leakage over a duration (no-op for the paper's ideal model).
+  void leak(Time duration);
+
+  // --- lifetime accounting --------------------------------------------
+  [[nodiscard]] Energy total_charged() const { return total_charged_; }
+  [[nodiscard]] Energy total_overflow() const { return total_overflow_; }
+  [[nodiscard]] Energy total_discharged() const { return total_discharged_; }
+  [[nodiscard]] Energy total_leaked() const { return total_leaked_; }
+  [[nodiscard]] Energy initial_level() const { return initial_; }
+
+  [[nodiscard]] const StorageConfig& config() const { return config_; }
+
+ private:
+  StorageConfig config_;
+  Energy capacity_;
+  Energy initial_;
+  Energy level_;
+  Energy total_charged_ = 0.0;
+  Energy total_overflow_ = 0.0;
+  Energy total_discharged_ = 0.0;
+  Energy total_leaked_ = 0.0;
+};
+
+}  // namespace eadvfs::energy

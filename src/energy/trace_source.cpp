@@ -1,0 +1,80 @@
+#include "energy/trace_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace eadvfs::energy {
+
+TraceSource::TraceSource(std::vector<TracePoint> points, EndBehavior end_behavior,
+                         Time duration)
+    : points_(std::move(points)), end_behavior_(end_behavior), duration_(duration) {
+  if (points_.empty())
+    throw std::invalid_argument("TraceSource: empty trace");
+  if (points_.front().start != 0.0)
+    throw std::invalid_argument("TraceSource: trace must start at t = 0");
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].power < 0.0)
+      throw std::invalid_argument("TraceSource: negative power in trace");
+    if (i > 0 && points_[i].start <= points_[i - 1].start)
+      throw std::invalid_argument("TraceSource: breakpoints must strictly increase");
+  }
+  if (end_behavior_ == EndBehavior::kWrap && duration_ <= points_.back().start)
+    throw std::invalid_argument(
+        "TraceSource: wrap duration must exceed the last breakpoint");
+}
+
+TraceSource TraceSource::from_csv(const std::string& path, EndBehavior end_behavior,
+                                  Time duration) {
+  const auto rows = util::csv_read_file(path);
+  std::vector<TracePoint> points;
+  points.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() < 2)
+      throw std::runtime_error("TraceSource: row with fewer than 2 columns in " + path);
+    try {
+      points.push_back({std::stod(row[0]), std::stod(row[1])});
+    } catch (const std::exception&) {
+      if (r == 0) continue;  // header row
+      throw std::runtime_error("TraceSource: malformed number in " + path);
+    }
+  }
+  return TraceSource(std::move(points), end_behavior, duration);
+}
+
+Time TraceSource::to_local(Time t) const {
+  if (t < 0.0) throw std::invalid_argument("TraceSource: negative time");
+  if (end_behavior_ == EndBehavior::kWrap)
+    return t - std::floor(t / duration_) * duration_;
+  return t;
+}
+
+std::size_t TraceSource::index_for(Time local) const {
+  // Last breakpoint with start <= local.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), local,
+      [](Time value, const TracePoint& p) { return value < p.start; });
+  return static_cast<std::size_t>(std::distance(points_.begin(), it)) - 1;
+}
+
+Power TraceSource::power_at(Time t) const {
+  return points_[index_for(to_local(t))].power;
+}
+
+Time TraceSource::piece_end(Time t) const {
+  const Time local = to_local(t);
+  const std::size_t i = index_for(local);
+  if (i + 1 < points_.size()) return t + (points_[i + 1].start - local);
+  // Final segment.
+  if (end_behavior_ == EndBehavior::kWrap) return t + (duration_ - local);
+  return kHuge;
+}
+
+std::string TraceSource::name() const {
+  return "trace(" + std::to_string(points_.size()) + " points)";
+}
+
+}  // namespace eadvfs::energy

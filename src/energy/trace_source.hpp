@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file trace_source.hpp
+/// Piecewise-constant source backed by an explicit (time, power) trace —
+/// the path for replaying *real* irradiance measurements (the paper's refs
+/// [6][9] drive their evaluation from measured solar traces).  Breakpoints
+/// must be strictly increasing and start at t = 0; behaviour past the last
+/// breakpoint is configurable (hold the final value or wrap around).
+
+#include <string>
+#include <vector>
+
+#include "energy/source.hpp"
+
+namespace eadvfs::energy {
+
+/// One breakpoint: the source outputs `power` from `start` until the next
+/// breakpoint's `start`.
+struct TracePoint {
+  Time start = 0.0;
+  Power power = 0.0;
+};
+
+class TraceSource final : public EnergySource {
+ public:
+  enum class EndBehavior {
+    kHoldLast,  ///< power stays at the final breakpoint's value forever
+    kWrap,      ///< trace repeats with period = `duration` passed at build
+  };
+
+  /// `duration` is only used (and required > last breakpoint start) for
+  /// kWrap; ignored for kHoldLast.
+  TraceSource(std::vector<TracePoint> points, EndBehavior end_behavior,
+              Time duration = 0.0);
+
+  /// Load a two-column CSV (time, power); a header row is auto-detected and
+  /// skipped.  Throws std::runtime_error on malformed input.
+  static TraceSource from_csv(const std::string& path,
+                              EndBehavior end_behavior = EndBehavior::kHoldLast,
+                              Time duration = 0.0);
+
+  [[nodiscard]] Power power_at(Time t) const override;
+  [[nodiscard]] Time piece_end(Time t) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+ private:
+  std::vector<TracePoint> points_;
+  EndBehavior end_behavior_;
+  Time duration_;
+
+  /// Index of the breakpoint active at local (post-wrap) time t.
+  [[nodiscard]] std::size_t index_for(Time local) const;
+  /// Map absolute time to local trace time per end behaviour.
+  [[nodiscard]] Time to_local(Time t) const;
+};
+
+}  // namespace eadvfs::energy

@@ -1,0 +1,42 @@
+#include "energy/two_mode_source.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eadvfs::energy {
+
+TwoModeSource::TwoModeSource(const TwoModeSourceConfig& config) : config_(config) {
+  if (config_.day_power < 0.0 || config_.night_power < 0.0)
+    throw std::invalid_argument("TwoModeSource: negative power");
+  if (config_.day_duration <= 0.0 || config_.night_duration <= 0.0)
+    throw std::invalid_argument("TwoModeSource: durations must be positive");
+  if (config_.phase < 0.0)
+    throw std::invalid_argument("TwoModeSource: negative phase");
+}
+
+Time TwoModeSource::cycle() const {
+  return config_.day_duration + config_.night_duration;
+}
+
+Time TwoModeSource::cycle_offset(Time t) const {
+  const Time c = cycle();
+  const Time shifted = t + config_.phase;
+  return shifted - std::floor(shifted / c) * c;
+}
+
+Power TwoModeSource::power_at(Time t) const {
+  return cycle_offset(t) < config_.day_duration ? config_.day_power
+                                                : config_.night_power;
+}
+
+Time TwoModeSource::piece_end(Time t) const {
+  const Time offset = cycle_offset(t);
+  const Time remaining = (offset < config_.day_duration)
+                             ? config_.day_duration - offset
+                             : cycle() - offset;
+  return t + remaining;
+}
+
+std::string TwoModeSource::name() const { return "two-mode(day/night)"; }
+
+}  // namespace eadvfs::energy

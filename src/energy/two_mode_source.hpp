@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file two_mode_source.hpp
+/// The coarse day/night solar model of Rusu et al. (paper ref. [5]): the
+/// source alternates between a "day" power and a "night" power with fixed
+/// durations.  Included both as a substrate the paper's related work uses
+/// and as a deterministic stress source for tests.
+
+#include <string>
+
+#include "energy/source.hpp"
+
+namespace eadvfs::energy {
+
+struct TwoModeSourceConfig {
+  Power day_power = 8.0;
+  Power night_power = 0.0;
+  Time day_duration = 345.0;    ///< ≈ half of the eq. 13 cycle by default.
+  Time night_duration = 345.0;
+  Time phase = 0.0;             ///< time offset into the cycle at t = 0.
+};
+
+class TwoModeSource final : public EnergySource {
+ public:
+  explicit TwoModeSource(const TwoModeSourceConfig& config);
+
+  [[nodiscard]] Power power_at(Time t) const override;
+  [[nodiscard]] Time piece_end(Time t) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const TwoModeSourceConfig& config() const { return config_; }
+  [[nodiscard]] Time cycle() const;
+
+ private:
+  TwoModeSourceConfig config_;
+
+  /// Position within the cycle, in [0, cycle()).
+  [[nodiscard]] Time cycle_offset(Time t) const;
+};
+
+}  // namespace eadvfs::energy

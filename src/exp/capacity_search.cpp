@@ -1,0 +1,105 @@
+#include "exp/capacity_search.hpp"
+
+#include <stdexcept>
+
+#include "exp/setup.hpp"
+#include "sched/factory.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::exp {
+
+double CapacitySearchResult::ratio_of_means() const {
+  if (cmin.size() < 2 || cmin[0].empty() || cmin[1].empty()) return 0.0;
+  return cmin[0].mean() / cmin[1].mean();
+}
+
+namespace {
+
+/// True when the workload meets every deadline at this capacity.
+bool zero_miss(const CapacitySearchConfig& config, sim::Scheduler& scheduler,
+               const task::TaskSet& task_set,
+               const std::shared_ptr<const energy::EnergySource>& source,
+               const proc::FrequencyTable& table, double capacity) {
+  const sim::SimulationResult run = run_once(
+      config.sim, source, capacity, table, scheduler, config.predictor, task_set);
+  return run.jobs_missed == 0;
+}
+
+}  // namespace
+
+double find_min_capacity(const CapacitySearchConfig& config,
+                         const std::string& scheduler_name,
+                         const task::TaskSet& task_set,
+                         const std::shared_ptr<const energy::EnergySource>& source) {
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  const auto scheduler = sched::make_scheduler(scheduler_name);
+
+  if (!zero_miss(config, *scheduler, task_set, source, table, config.capacity_hi))
+    return -1.0;
+  if (zero_miss(config, *scheduler, task_set, source, table, config.capacity_lo))
+    return config.capacity_lo;
+
+  double lo = config.capacity_lo;  // misses here
+  double hi = config.capacity_hi;  // zero-miss here
+  while (hi - lo > config.rel_tolerance * hi) {
+    const double mid = 0.5 * (lo + hi);
+    if (zero_miss(config, *scheduler, task_set, source, table, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+CapacitySearchResult run_capacity_search(const CapacitySearchConfig& config) {
+  if (config.schedulers.empty())
+    throw std::invalid_argument("run_capacity_search: no schedulers");
+  if (config.capacity_lo <= 0.0 || config.capacity_hi <= config.capacity_lo)
+    throw std::invalid_argument("run_capacity_search: bad capacity bracket");
+
+  CapacitySearchResult result;
+  result.config = config;
+  result.cmin.resize(config.schedulers.size());
+
+  task::TaskSetGenerator generator(config.generator);
+  const auto seeds = derive_seeds(config.seed, config.n_task_sets);
+
+  for (std::size_t rep = 0; rep < config.n_task_sets; ++rep) {
+    util::Xoshiro256ss rng(seeds[rep]);
+    const task::TaskSet task_set = generator.generate(rng);
+
+    energy::SolarSourceConfig solar = config.solar;
+    solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
+    solar.horizon = std::max(solar.horizon, config.sim.horizon);
+    const auto source = std::make_shared<const energy::SolarSource>(solar);
+
+    std::vector<double> cmins;
+    cmins.reserve(config.schedulers.size());
+    bool all_feasible = true;
+    for (const auto& name : config.schedulers) {
+      const double cmin = find_min_capacity(config, name, task_set, source);
+      if (cmin < 0.0) {
+        all_feasible = false;
+        break;
+      }
+      cmins.push_back(cmin);
+    }
+    if (!all_feasible) {
+      ++result.sets_skipped;
+      continue;
+    }
+    ++result.sets_evaluated;
+    for (std::size_t s = 0; s < cmins.size(); ++s) result.cmin[s].add(cmins[s]);
+    if (cmins.size() >= 2 && cmins[1] > 0.0)
+      result.ratio_first_over_second.add(cmins[0] / cmins[1]);
+
+    if ((rep + 1) % 20 == 0)
+      EADVFS_LOG_INFO << "capacity search: " << (rep + 1) << "/"
+                      << config.n_task_sets << " task sets";
+  }
+  return result;
+}
+
+}  // namespace eadvfs::exp

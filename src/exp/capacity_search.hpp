@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file capacity_search.hpp
+/// The experiment behind paper Table 1: the minimum storage capacity C_min
+/// that achieves a zero deadline-miss rate over the simulated horizon, per
+/// scheduler, and the ratio C_min,LSA / C_min,EA-DVFS as utilization varies.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/solar_source.hpp"
+#include "sim/config.hpp"
+#include "task/generator.hpp"
+#include "util/stats.hpp"
+
+namespace eadvfs::exp {
+
+struct CapacitySearchConfig {
+  std::vector<std::string> schedulers = {"lsa", "ea-dvfs"};
+  std::string predictor = "slotted-ewma";
+  std::size_t n_task_sets = 100;
+  std::uint64_t seed = 42;
+  double capacity_lo = 1.0;       ///< search bracket lower edge.
+  double capacity_hi = 50'000.0;  ///< upper edge; sets failing here are skipped.
+  double rel_tolerance = 0.01;    ///< binary-search convergence (relative).
+  task::GeneratorConfig generator;
+  sim::SimulationConfig sim;
+  energy::SolarSourceConfig solar;
+};
+
+struct CapacitySearchResult {
+  CapacitySearchConfig config;
+  /// Per-scheduler C_min statistics over the task sets that were feasible
+  /// (zero-miss achievable within the bracket) for *all* schedulers.
+  std::vector<util::RunningStats> cmin;      ///< parallel to config.schedulers.
+  /// Statistics of the per-task-set ratio cmin[0] / cmin[1] (only defined
+  /// when exactly two schedulers are compared, which is the paper's setup;
+  /// empty otherwise).
+  util::RunningStats ratio_first_over_second;
+  std::size_t sets_evaluated = 0;
+  std::size_t sets_skipped = 0;  ///< zero-miss unreachable within bracket.
+
+  /// Ratio of mean C_mins (headline number, more robust than mean ratio).
+  [[nodiscard]] double ratio_of_means() const;
+};
+
+/// Binary-search C_min for one prepared workload.  Returns a negative value
+/// when even `capacity_hi` cannot reach zero misses.
+[[nodiscard]] double find_min_capacity(
+    const CapacitySearchConfig& config, const std::string& scheduler_name,
+    const task::TaskSet& task_set,
+    const std::shared_ptr<const energy::EnergySource>& source);
+
+[[nodiscard]] CapacitySearchResult run_capacity_search(
+    const CapacitySearchConfig& config);
+
+}  // namespace eadvfs::exp

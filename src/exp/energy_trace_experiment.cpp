@@ -1,0 +1,78 @@
+#include "exp/energy_trace_experiment.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "exp/setup.hpp"
+#include "sched/factory.hpp"
+#include "sim/trace.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::exp {
+
+const EnergyTraceCurve& EnergyTraceResult::curve(const std::string& scheduler) const {
+  for (const auto& c : curves)
+    if (c.scheduler == scheduler) return c;
+  throw std::out_of_range("EnergyTraceResult: no such curve");
+}
+
+EnergyTraceResult run_energy_trace(const EnergyTraceConfig& config) {
+  if (config.capacities.empty() || config.schedulers.empty())
+    throw std::invalid_argument("run_energy_trace: empty axes");
+
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  task::TaskSetGenerator generator(config.generator);
+  const auto seeds = derive_seeds(config.seed, config.n_task_sets);
+
+  const auto n_points = static_cast<std::size_t>(
+                            config.sim.horizon / config.sample_interval) +
+                        1;
+  std::vector<util::CurveAccumulator> accumulators(
+      config.schedulers.size(), util::CurveAccumulator(n_points));
+  std::vector<Time> grid;
+
+  for (std::size_t rep = 0; rep < config.n_task_sets; ++rep) {
+    util::Xoshiro256ss rng(seeds[rep]);
+    const task::TaskSet task_set = generator.generate(rng);
+
+    energy::SolarSourceConfig solar = config.solar;
+    solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
+    solar.horizon = std::max(solar.horizon, config.sim.horizon);
+    const auto source = std::make_shared<const energy::SolarSource>(solar);
+
+    for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
+      const auto scheduler = sched::make_scheduler(config.schedulers[s]);
+      for (double capacity : config.capacities) {
+        sim::EnergyTraceRecorder recorder(config.sample_interval,
+                                          config.sim.horizon);
+        (void)run_once(config.sim, source, capacity, table, *scheduler,
+                       config.predictor, task_set, {&recorder});
+        if (grid.empty()) grid = recorder.times();
+        for (std::size_t i = 0; i < n_points && i < recorder.levels().size(); ++i)
+          accumulators[s].add(i, recorder.levels()[i] / capacity);
+      }
+    }
+    if ((rep + 1) % 10 == 0)
+      EADVFS_LOG_INFO << "energy trace: " << (rep + 1) << "/" << config.n_task_sets
+                      << " task sets";
+  }
+
+  EnergyTraceResult result;
+  result.config = config;
+  for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
+    EnergyTraceCurve curve;
+    curve.scheduler = config.schedulers[s];
+    curve.times = grid;
+    curve.mean_normalized_level.reserve(n_points);
+    curve.ci95.reserve(n_points);
+    for (std::size_t i = 0; i < n_points; ++i) {
+      curve.mean_normalized_level.push_back(accumulators[s].mean(i));
+      curve.ci95.push_back(accumulators[s].at(i).ci95_halfwidth());
+    }
+    result.curves.push_back(std::move(curve));
+  }
+  return result;
+}
+
+}  // namespace eadvfs::exp

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file energy_trace_experiment.hpp
+/// The experiment behind paper Figures 6/7: the normalized remaining energy
+/// E_C(t)/C over time, averaged with equal weight over the capacity set
+/// {200, ..., 5000} and over many random task sets (paper §5.2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/solar_source.hpp"
+#include "sim/config.hpp"
+#include "task/generator.hpp"
+#include "util/stats.hpp"
+
+namespace eadvfs::exp {
+
+struct EnergyTraceConfig {
+  std::vector<double> capacities = {200, 300, 500, 1000, 2000, 3000, 5000};
+  std::vector<std::string> schedulers = {"lsa", "ea-dvfs"};
+  std::string predictor = "slotted-ewma";
+  std::size_t n_task_sets = 50;
+  std::uint64_t seed = 42;
+  Time sample_interval = 100.0;  ///< grid step of the averaged curve.
+  task::GeneratorConfig generator;
+  sim::SimulationConfig sim;
+  energy::SolarSourceConfig solar;
+};
+
+struct EnergyTraceCurve {
+  std::string scheduler;
+  std::vector<Time> times;
+  /// Mean over (task sets × capacities) of E_C(t)/C at each grid instant.
+  std::vector<double> mean_normalized_level;
+  /// 95% CI half-width at each grid instant.
+  std::vector<double> ci95;
+};
+
+struct EnergyTraceResult {
+  EnergyTraceConfig config;
+  std::vector<EnergyTraceCurve> curves;  ///< one per scheduler.
+
+  [[nodiscard]] const EnergyTraceCurve& curve(const std::string& scheduler) const;
+};
+
+[[nodiscard]] EnergyTraceResult run_energy_trace(const EnergyTraceConfig& config);
+
+}  // namespace eadvfs::exp

@@ -1,0 +1,114 @@
+#include "exp/harvester_sizing.hpp"
+
+#include <stdexcept>
+
+#include "energy/composite_source.hpp"
+#include "exp/setup.hpp"
+#include "sched/factory.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::exp {
+
+double HarvesterSizingResult::ratio_of_means() const {
+  if (min_scale.size() < 2 || min_scale[0].empty() || min_scale[1].empty())
+    return 0.0;
+  return min_scale[0].mean() / min_scale[1].mean();
+}
+
+namespace {
+
+bool zero_miss_at_scale(const HarvesterSizingConfig& config,
+                        sim::Scheduler& scheduler, const task::TaskSet& task_set,
+                        const std::shared_ptr<const energy::EnergySource>& base,
+                        const proc::FrequencyTable& table, double scale) {
+  const auto scaled = std::make_shared<const energy::ScaledSource>(base, scale);
+  const sim::SimulationResult run =
+      run_once(config.sim, scaled, config.capacity, table, scheduler,
+               config.predictor, task_set);
+  return run.jobs_missed == 0;
+}
+
+}  // namespace
+
+double find_min_harvester_scale(
+    const HarvesterSizingConfig& config, const std::string& scheduler_name,
+    const task::TaskSet& task_set,
+    const std::shared_ptr<const energy::EnergySource>& base_source) {
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  const auto scheduler = sched::make_scheduler(scheduler_name);
+
+  if (!zero_miss_at_scale(config, *scheduler, task_set, base_source, table,
+                          config.scale_hi))
+    return -1.0;
+  if (zero_miss_at_scale(config, *scheduler, task_set, base_source, table,
+                         config.scale_lo))
+    return config.scale_lo;
+
+  double lo = config.scale_lo;  // misses
+  double hi = config.scale_hi;  // zero-miss
+  while (hi - lo > config.rel_tolerance * hi) {
+    const double mid = 0.5 * (lo + hi);
+    if (zero_miss_at_scale(config, *scheduler, task_set, base_source, table,
+                           mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+HarvesterSizingResult run_harvester_sizing(const HarvesterSizingConfig& config) {
+  if (config.schedulers.empty())
+    throw std::invalid_argument("run_harvester_sizing: no schedulers");
+  if (config.scale_lo <= 0.0 || config.scale_hi <= config.scale_lo)
+    throw std::invalid_argument("run_harvester_sizing: bad scale bracket");
+  if (config.capacity <= 0.0)
+    throw std::invalid_argument("run_harvester_sizing: bad capacity");
+
+  HarvesterSizingResult result;
+  result.config = config;
+  result.min_scale.resize(config.schedulers.size());
+
+  task::TaskSetGenerator generator(config.generator);
+  const auto seeds = derive_seeds(config.seed, config.n_task_sets);
+
+  for (std::size_t rep = 0; rep < config.n_task_sets; ++rep) {
+    util::Xoshiro256ss rng(seeds[rep]);
+    const task::TaskSet task_set = generator.generate(rng);
+
+    energy::SolarSourceConfig solar = config.solar;
+    solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
+    solar.horizon = std::max(solar.horizon, config.sim.horizon);
+    const auto base = std::make_shared<const energy::SolarSource>(solar);
+
+    std::vector<double> scales;
+    scales.reserve(config.schedulers.size());
+    bool all_feasible = true;
+    for (const auto& name : config.schedulers) {
+      const double scale = find_min_harvester_scale(config, name, task_set, base);
+      if (scale < 0.0) {
+        all_feasible = false;
+        break;
+      }
+      scales.push_back(scale);
+    }
+    if (!all_feasible) {
+      ++result.sets_skipped;
+      continue;
+    }
+    ++result.sets_evaluated;
+    for (std::size_t s = 0; s < scales.size(); ++s)
+      result.min_scale[s].add(scales[s]);
+    if (scales.size() >= 2 && scales[1] > 0.0)
+      result.ratio_first_over_second.add(scales[0] / scales[1]);
+
+    if ((rep + 1) % 20 == 0)
+      EADVFS_LOG_INFO << "harvester sizing: " << (rep + 1) << "/"
+                      << config.n_task_sets << " task sets";
+  }
+  return result;
+}
+
+}  // namespace eadvfs::exp

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file harvester_sizing.hpp
+/// The dual of the paper's Table 1: instead of the smallest *storage* that
+/// achieves zero misses at a fixed harvester, find the smallest *harvester*
+/// (solar-panel scale factor) that achieves zero misses at a fixed storage.
+/// A deployment usually fixes one and shops for the other; EA-DVFS's energy
+/// efficiency shrinks both bills.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/solar_source.hpp"
+#include "energy/source.hpp"
+#include "sim/config.hpp"
+#include "task/generator.hpp"
+#include "util/stats.hpp"
+
+namespace eadvfs::exp {
+
+struct HarvesterSizingConfig {
+  std::vector<std::string> schedulers = {"lsa", "ea-dvfs"};
+  std::string predictor = "slotted-ewma";
+  std::size_t n_task_sets = 50;
+  std::uint64_t seed = 42;
+  Energy capacity = 100.0;     ///< fixed storage.
+  double scale_lo = 1e-3;      ///< search bracket on the source scale factor.
+  double scale_hi = 10.0;
+  double rel_tolerance = 0.01;
+  task::GeneratorConfig generator;
+  sim::SimulationConfig sim;
+  energy::SolarSourceConfig solar;  ///< base (unit-scale) source.
+};
+
+struct HarvesterSizingResult {
+  HarvesterSizingConfig config;
+  /// Per-scheduler minimum scale factors over task sets feasible for all.
+  std::vector<util::RunningStats> min_scale;  ///< parallel to schedulers.
+  util::RunningStats ratio_first_over_second;
+  std::size_t sets_evaluated = 0;
+  std::size_t sets_skipped = 0;
+
+  [[nodiscard]] double ratio_of_means() const;
+};
+
+/// Smallest source scale (binary search) with zero misses for one workload;
+/// negative when even scale_hi misses.
+[[nodiscard]] double find_min_harvester_scale(
+    const HarvesterSizingConfig& config, const std::string& scheduler_name,
+    const task::TaskSet& task_set,
+    const std::shared_ptr<const energy::EnergySource>& base_source);
+
+[[nodiscard]] HarvesterSizingResult run_harvester_sizing(
+    const HarvesterSizingConfig& config);
+
+}  // namespace eadvfs::exp

@@ -1,0 +1,76 @@
+#include "exp/miss_rate_sweep.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "exp/setup.hpp"
+#include "sched/factory.hpp"
+#include "util/log.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::exp {
+
+const MissRateCell& MissRateSweepResult::cell(const std::string& scheduler,
+                                              double capacity) const {
+  for (const auto& c : cells) {
+    if (c.scheduler == scheduler && util::approx_equal(c.capacity, capacity))
+      return c;
+  }
+  throw std::out_of_range("MissRateSweepResult: no such cell");
+}
+
+MissRateSweepResult run_miss_rate_sweep(const MissRateSweepConfig& config) {
+  if (config.capacities.empty() || config.schedulers.empty())
+    throw std::invalid_argument("run_miss_rate_sweep: empty sweep axes");
+
+  MissRateSweepResult result;
+  result.config = config;
+  for (const auto& sched_name : config.schedulers) {
+    for (double capacity : config.capacities) {
+      MissRateCell cell;
+      cell.scheduler = sched_name;
+      cell.capacity = capacity;
+      result.cells.push_back(cell);
+    }
+  }
+  auto cell_at = [&](std::size_t sched_i, std::size_t cap_i) -> MissRateCell& {
+    return result.cells[sched_i * config.capacities.size() + cap_i];
+  };
+
+  const proc::FrequencyTable& table = config.table;
+  task::TaskSetGenerator generator(config.generator);
+  const auto seeds = derive_seeds(config.seed, config.n_task_sets);
+
+  for (std::size_t rep = 0; rep < config.n_task_sets; ++rep) {
+    util::Xoshiro256ss rng(seeds[rep]);
+    const task::TaskSet task_set = generator.generate(rng);
+
+    energy::SolarSourceConfig solar = config.solar;
+    solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
+    solar.horizon = std::max(solar.horizon, config.sim.horizon);
+    const auto source = std::make_shared<const energy::SolarSource>(solar);
+
+    for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
+      const auto scheduler = sched::make_scheduler(config.schedulers[s]);
+      for (std::size_t c = 0; c < config.capacities.size(); ++c) {
+        task::ExecutionTimeModel execution = config.execution;
+        execution.seed = seeds[rep] ^ 0xac7ac7ac7ULL;  // same jobs per cell
+        const sim::SimulationResult run =
+            run_once(config.sim, source, config.capacities[c], table, *scheduler,
+                     config.predictor, task_set, {}, config.overhead, execution);
+        MissRateCell& cell = cell_at(s, c);
+        cell.miss_rate.add(run.miss_rate());
+        cell.stall_time.add(run.stall_time);
+        cell.busy_time.add(run.busy_time);
+        cell.frequency_switches.add(static_cast<double>(run.frequency_switches));
+      }
+    }
+    if ((rep + 1) % 50 == 0)
+      EADVFS_LOG_INFO << "miss-rate sweep: " << (rep + 1) << "/"
+                      << config.n_task_sets << " task sets";
+  }
+  return result;
+}
+
+}  // namespace eadvfs::exp

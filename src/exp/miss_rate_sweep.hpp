@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file miss_rate_sweep.hpp
+/// The experiment behind paper Figures 8/9: deadline miss rate as a function
+/// of storage capacity, for several schedulers, averaged over many random
+/// task sets (paired across schedulers and capacities).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/solar_source.hpp"
+#include "proc/frequency_table.hpp"
+#include "proc/processor.hpp"
+#include "sim/config.hpp"
+#include "task/generator.hpp"
+#include "task/releaser.hpp"
+#include "util/stats.hpp"
+
+namespace eadvfs::exp {
+
+struct MissRateSweepConfig {
+  /// Paper §5.2 capacity set.
+  std::vector<double> capacities = {200, 300, 500, 1000, 2000, 3000, 5000};
+  std::vector<std::string> schedulers = {"lsa", "ea-dvfs"};
+  std::string predictor = "slotted-ewma";
+  std::size_t n_task_sets = 200;  ///< paper uses 5000; see DESIGN.md §3.
+  std::uint64_t seed = 42;
+  task::GeneratorConfig generator;      ///< utilization, task count, ...
+  sim::SimulationConfig sim;            ///< horizon etc.
+  energy::SolarSourceConfig solar;      ///< seed field is overridden per set.
+  proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  proc::SwitchOverhead overhead;        ///< per-transition cost (ablation).
+  /// Actual-vs-worst-case execution model (ablation; 1.0 = paper's model).
+  task::ExecutionTimeModel execution;
+};
+
+/// Result cell: one (scheduler, capacity) pair aggregated over task sets.
+struct MissRateCell {
+  std::string scheduler;
+  double capacity = 0.0;
+  util::RunningStats miss_rate;          ///< per-task-set miss rates.
+  util::RunningStats stall_time;         ///< diagnostics.
+  util::RunningStats busy_time;
+  util::RunningStats frequency_switches;
+};
+
+struct MissRateSweepResult {
+  MissRateSweepConfig config;
+  std::vector<MissRateCell> cells;  ///< schedulers × capacities, row-major by
+                                    ///< scheduler then capacity.
+
+  [[nodiscard]] const MissRateCell& cell(const std::string& scheduler,
+                                         double capacity) const;
+};
+
+/// Run the sweep.  Deterministic for a fixed config.
+[[nodiscard]] MissRateSweepResult run_miss_rate_sweep(const MissRateSweepConfig& config);
+
+}  // namespace eadvfs::exp

@@ -1,0 +1,85 @@
+#include "exp/predictor_error.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "energy/solar_source.hpp"
+#include "exp/setup.hpp"
+#include "util/math.hpp"
+
+namespace eadvfs::exp {
+
+const PredictorErrorCell& PredictorErrorResult::cell(const std::string& predictor,
+                                                     Time window) const {
+  for (const auto& c : cells) {
+    if (c.predictor == predictor && util::approx_equal(c.window, window))
+      return c;
+  }
+  throw std::out_of_range("PredictorErrorResult: no such cell");
+}
+
+PredictorErrorResult run_predictor_error(const PredictorErrorConfig& config) {
+  if (config.predictors.empty() || config.windows.empty())
+    throw std::invalid_argument("run_predictor_error: empty axes");
+  if (config.query_interval <= 0.0)
+    throw std::invalid_argument("run_predictor_error: bad query interval");
+
+  PredictorErrorResult result;
+  result.config = config;
+  for (const auto& name : config.predictors) {
+    for (Time window : config.windows) {
+      PredictorErrorCell cell;
+      cell.predictor = name;
+      cell.window = window;
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  auto cell_at = [&](std::size_t p, std::size_t w) -> PredictorErrorCell& {
+    return result.cells[p * config.windows.size() + w];
+  };
+
+  const double mean_power = energy::SolarSource::analytic_mean_power(
+      config.solar.amplitude);
+  const auto seeds = derive_seeds(config.seed, config.n_sources);
+
+  Time max_window = 0.0;
+  for (Time w : config.windows) max_window = std::max(max_window, w);
+
+  for (std::size_t rep = 0; rep < config.n_sources; ++rep) {
+    energy::SolarSourceConfig solar = config.solar;
+    solar.seed = seeds[rep];
+    solar.horizon = config.horizon + max_window + 1.0;
+    const auto source = std::make_shared<const energy::SolarSource>(solar);
+
+    std::vector<std::unique_ptr<energy::EnergyPredictor>> predictors;
+    predictors.reserve(config.predictors.size());
+    for (const auto& name : config.predictors)
+      predictors.push_back(make_predictor(name, source));
+
+    Time next_query = config.warmup;
+    for (Time t = 0.0; t < config.horizon; t += config.solar.step) {
+      // Score *before* observing [t, t+step): predictions may only use the
+      // past, exactly like a scheduler at time t.
+      if (t >= next_query) {
+        next_query += config.query_interval;
+        for (std::size_t p = 0; p < predictors.size(); ++p) {
+          for (std::size_t w = 0; w < config.windows.size(); ++w) {
+            const Time window = config.windows[w];
+            const Energy predicted = predictors[p]->predict(t, t + window);
+            const Energy actual = source->energy_between(t, t + window);
+            const double scale = mean_power * window;
+            cell_at(p, w).absolute_error.add(std::abs(predicted - actual) /
+                                             scale);
+            cell_at(p, w).bias.add((predicted - actual) / scale);
+          }
+        }
+      }
+      const Time t1 = t + config.solar.step;
+      const Energy harvested = source->energy_between(t, t1);
+      for (auto& predictor : predictors) predictor->observe(t, t1, harvested);
+    }
+  }
+  return result;
+}
+
+}  // namespace eadvfs::exp

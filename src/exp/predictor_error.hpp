@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file predictor_error.hpp
+/// Direct measurement of harvest-prediction quality: every predictor is fed
+/// the actual harvest stream segment by segment (exactly as the engine
+/// feeds it) and queried for future windows of several lengths; the
+/// predictions are scored against the true integral of the source.
+///
+/// This turns the predictor ablation's indirect evidence (miss rates) into
+/// the underlying cause: which predictor is wrong, by how much, at which
+/// horizon, and in which direction (over-prediction is what kills LSA and
+/// EA-DVFS — they procrastinate on energy that never arrives).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/solar_source.hpp"
+#include "util/stats.hpp"
+
+namespace eadvfs::exp {
+
+struct PredictorErrorConfig {
+  std::vector<std::string> predictors = {"oracle", "slotted-ewma",
+                                         "running-average", "persistence",
+                                         "pessimistic"};
+  /// Prediction horizons, in time units (task deadlines span 10..100).
+  std::vector<Time> windows = {10.0, 50.0, 200.0};
+  std::size_t n_sources = 20;   ///< independent source realizations.
+  Time horizon = 5'000.0;       ///< observation span per realization.
+  Time query_interval = 10.0;   ///< how often predictions are scored.
+  Time warmup = 700.0;          ///< skip scoring during the first cycle.
+  std::uint64_t seed = 42;
+  energy::SolarSourceConfig solar;
+};
+
+struct PredictorErrorCell {
+  std::string predictor;
+  Time window = 0.0;
+  /// |predicted − actual| normalized by the mean window energy.
+  util::RunningStats absolute_error;
+  /// (predicted − actual) normalized the same way; > 0 = over-prediction.
+  util::RunningStats bias;
+};
+
+struct PredictorErrorResult {
+  PredictorErrorConfig config;
+  std::vector<PredictorErrorCell> cells;  ///< predictors × windows.
+
+  [[nodiscard]] const PredictorErrorCell& cell(const std::string& predictor,
+                                               Time window) const;
+};
+
+[[nodiscard]] PredictorErrorResult run_predictor_error(
+    const PredictorErrorConfig& config);
+
+}  // namespace eadvfs::exp

@@ -1,0 +1,87 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+namespace eadvfs::exp {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::string& label, const std::vector<double>& values,
+                        int precision) {
+  std::vector<std::string> cells;
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << std::setw(static_cast<int>(widths[c]))
+          << (c < row.size() ? row[c] : "");
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  out << std::string(total + 2 * (header_.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TextTable::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    EADVFS_LOG_WARN << "could not write CSV to " << path;
+    return;
+  }
+  util::CsvWriter writer(file);
+  writer.write_row(header_);
+  for (const auto& row : rows_) writer.write_row(row);
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+void print_banner(std::ostream& out, const std::string& experiment_id,
+                  const std::string& paper_claim, const std::string& setup) {
+  out << "==============================================================\n";
+  out << experiment_id << '\n';
+  out << "paper: " << paper_claim << '\n';
+  out << "setup: " << setup << '\n';
+  out << "==============================================================\n";
+}
+
+std::string output_dir() {
+  if (const char* dir = std::getenv("EADVFS_OUT_DIR"); dir != nullptr && *dir)
+    return dir;
+  return ".";
+}
+
+}  // namespace eadvfs::exp

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file report.hpp
+/// Console/table/CSV reporting shared by the bench binaries, so every
+/// reproduced figure prints a consistent, paper-comparable layout and drops
+/// a CSV for re-plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eadvfs::exp {
+
+/// A simple fixed-width text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: format doubles with `precision` decimals.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 4);
+
+  /// Render with column alignment and a separator under the header.
+  [[nodiscard]] std::string render() const;
+
+  /// Write the same data as CSV into `path` (best-effort; logs a warning on
+  /// failure rather than aborting a long experiment).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals.
+[[nodiscard]] std::string fmt(double value, int precision = 4);
+
+/// Print the standard experiment banner (figure id, paper claim, config).
+void print_banner(std::ostream& out, const std::string& experiment_id,
+                  const std::string& paper_claim, const std::string& setup);
+
+/// Directory for CSV outputs: $EADVFS_OUT_DIR or "." — created by callers'
+/// shell, not here; returned path has no trailing slash.
+[[nodiscard]] std::string output_dir();
+
+}  // namespace eadvfs::exp

@@ -1,0 +1,83 @@
+#include "exp/setup.hpp"
+
+#include <stdexcept>
+
+#include "energy/persistence_predictor.hpp"
+#include "energy/running_average_predictor.hpp"
+#include "energy/slotted_ewma_predictor.hpp"
+#include "energy/storage.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::exp {
+
+std::unique_ptr<energy::EnergyPredictor> make_predictor(
+    const std::string& name, std::shared_ptr<const energy::EnergySource> source) {
+  if (name == "oracle")
+    return std::make_unique<energy::OraclePredictor>(std::move(source));
+  if (name == "slotted-ewma") {
+    energy::SlottedEwmaConfig cfg;
+    // Default cycle: eq. 13's 70π²; if the source actually is a SolarSource
+    // with a non-default divisor, follow it.
+    if (auto solar = std::dynamic_pointer_cast<const energy::SolarSource>(source))
+      cfg.cycle = solar->cycle_period();
+    return std::make_unique<energy::SlottedEwmaPredictor>(cfg);
+  }
+  if (name == "running-average")
+    return std::make_unique<energy::RunningAveragePredictor>();
+  if (name == "persistence")
+    return std::make_unique<energy::PersistencePredictor>();
+  if (name == "pessimistic")
+    return std::make_unique<energy::ConstantPredictor>(0.0);
+  if (name.rfind("constant:", 0) == 0) {
+    const double p = std::stod(name.substr(9));
+    return std::make_unique<energy::ConstantPredictor>(p);
+  }
+  throw std::invalid_argument("unknown predictor: " + name);
+}
+
+std::vector<std::string> predictor_names() {
+  return {"oracle", "slotted-ewma", "running-average", "persistence",
+          "pessimistic", "constant:<P>"};
+}
+
+std::vector<std::uint64_t> derive_seeds(std::uint64_t master, std::size_t count) {
+  util::SplitMix64 sm(master);
+  std::vector<std::uint64_t> seeds(count);
+  for (auto& s : seeds) s = sm.next();
+  return seeds;
+}
+
+sim::SimulationResult run_once(
+    const sim::SimulationConfig& config,
+    const std::shared_ptr<const energy::EnergySource>& source, Energy capacity,
+    const proc::FrequencyTable& table, sim::Scheduler& scheduler,
+    const std::string& predictor_name, const task::TaskSet& task_set,
+    const std::vector<sim::SimObserver*>& observers,
+    const proc::SwitchOverhead& overhead,
+    const task::ExecutionTimeModel& execution) {
+  energy::StorageConfig storage_config;
+  storage_config.capacity = capacity;
+  return run_once_with_storage(config, source, storage_config, table, scheduler,
+                               predictor_name, task_set, observers, overhead,
+                               execution);
+}
+
+sim::SimulationResult run_once_with_storage(
+    const sim::SimulationConfig& config,
+    const std::shared_ptr<const energy::EnergySource>& source,
+    const energy::StorageConfig& storage_config, const proc::FrequencyTable& table,
+    sim::Scheduler& scheduler, const std::string& predictor_name,
+    const task::TaskSet& task_set, const std::vector<sim::SimObserver*>& observers,
+    const proc::SwitchOverhead& overhead,
+    const task::ExecutionTimeModel& execution) {
+  energy::EnergyStorage storage(storage_config);
+  proc::Processor processor(table, overhead);
+  auto predictor = make_predictor(predictor_name, source);
+  task::JobReleaser releaser(task_set, config.horizon, execution);
+  sim::Engine engine(config, *source, storage, processor, *predictor, scheduler,
+                     releaser);
+  for (sim::SimObserver* obs : observers) engine.add_observer(*obs);
+  return engine.run();
+}
+
+}  // namespace eadvfs::exp

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file setup.hpp
+/// Experiment plumbing: predictor construction by name, per-replication seed
+/// derivation, and the single-run helper every experiment builds on.
+///
+/// Seeding discipline: one master seed expands (via SplitMix64) into one
+/// sub-seed per replication; within a replication the *same* task set and
+/// the *same* energy-source realization are used for every scheduler and
+/// capacity — the paper's "for the fair comparison of LSA and EA-DVFS, all
+/// simulations are performed under the same condition" (§5.2), i.e. paired
+/// comparisons.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/predictor.hpp"
+#include "energy/solar_source.hpp"
+#include "energy/source.hpp"
+#include "proc/frequency_table.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/result.hpp"
+#include "sim/scheduler.hpp"
+#include "task/releaser.hpp"
+#include "task/task_set.hpp"
+
+namespace eadvfs::exp {
+
+/// Construct a predictor by name:
+///   "oracle"           — perfect future knowledge of `source`;
+///   "slotted-ewma"     — Kansal-style profile (cycle defaults to 70π², the
+///                        eq. 13 cycle; the experiment default);
+///   "running-average"  — long-run observed mean power;
+///   "persistence"      — the most recently observed power persists;
+///   "pessimistic"      — always predicts zero future harvest;
+///   "constant:<P>"     — fixed mean power P.
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<energy::EnergyPredictor> make_predictor(
+    const std::string& name, std::shared_ptr<const energy::EnergySource> source);
+
+/// Names accepted by make_predictor (for help text).
+[[nodiscard]] std::vector<std::string> predictor_names();
+
+/// Expand a master seed into `count` replication sub-seeds.
+[[nodiscard]] std::vector<std::uint64_t> derive_seeds(std::uint64_t master,
+                                                      std::size_t count);
+
+/// One full simulation run: builds storage (ideal, initially full, given
+/// capacity), processor, predictor and engine around the supplied immutable
+/// pieces, runs, and returns the result.  `observers` are registered before
+/// the run.  `overhead` is the per-DVFS-transition cost (zero = the paper's
+/// assumption).
+[[nodiscard]] sim::SimulationResult run_once(
+    const sim::SimulationConfig& config,
+    const std::shared_ptr<const energy::EnergySource>& source,
+    Energy capacity, const proc::FrequencyTable& table, sim::Scheduler& scheduler,
+    const std::string& predictor_name, const task::TaskSet& task_set,
+    const std::vector<sim::SimObserver*>& observers = {},
+    const proc::SwitchOverhead& overhead = {},
+    const task::ExecutionTimeModel& execution = {});
+
+/// Variant with an explicit storage model (charge efficiency, leakage,
+/// partial initial charge) for the non-ideality ablations.
+[[nodiscard]] sim::SimulationResult run_once_with_storage(
+    const sim::SimulationConfig& config,
+    const std::shared_ptr<const energy::EnergySource>& source,
+    const energy::StorageConfig& storage_config, const proc::FrequencyTable& table,
+    sim::Scheduler& scheduler, const std::string& predictor_name,
+    const task::TaskSet& task_set,
+    const std::vector<sim::SimObserver*>& observers = {},
+    const proc::SwitchOverhead& overhead = {},
+    const task::ExecutionTimeModel& execution = {});
+
+}  // namespace eadvfs::exp

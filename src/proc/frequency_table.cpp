@@ -1,0 +1,98 @@
+#include "proc/frequency_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace eadvfs::proc {
+
+FrequencyTable::FrequencyTable(std::vector<OperatingPoint> points)
+    : points_(std::move(points)) {
+  if (points_.empty())
+    throw std::invalid_argument("FrequencyTable: no operating points");
+  std::sort(points_.begin(), points_.end(),
+            [](const OperatingPoint& a, const OperatingPoint& b) {
+              return a.speed < b.speed;
+            });
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const OperatingPoint& p = points_[i];
+    if (p.speed <= 0.0 || p.speed > 1.0)
+      throw std::invalid_argument("FrequencyTable: speed outside (0, 1]");
+    if (p.power <= 0.0)
+      throw std::invalid_argument("FrequencyTable: power must be positive");
+    if (i > 0) {
+      if (p.speed <= points_[i - 1].speed)
+        throw std::invalid_argument("FrequencyTable: duplicate speed");
+      if (p.power <= points_[i - 1].power)
+        throw std::invalid_argument("FrequencyTable: power not increasing with speed");
+      if (p.energy_per_work() + util::kEps < points_[i - 1].energy_per_work())
+        throw std::invalid_argument(
+            "FrequencyTable: energy-per-work must not decrease with speed");
+    }
+  }
+  if (!util::approx_equal(points_.back().speed, 1.0))
+    throw std::invalid_argument("FrequencyTable: fastest point must have speed 1");
+}
+
+FrequencyTable FrequencyTable::xscale() {
+  return FrequencyTable({
+      {150.0, 0.15, 0.08},
+      {400.0, 0.40, 0.40},
+      {600.0, 0.60, 1.00},
+      {800.0, 0.80, 2.00},
+      {1000.0, 1.00, 3.20},
+  });
+}
+
+FrequencyTable FrequencyTable::two_speed(Power p_max) {
+  if (p_max <= 0.0) throw std::invalid_argument("two_speed: p_max must be positive");
+  return FrequencyTable({
+      {500.0, 0.5, p_max / 3.0},
+      {1000.0, 1.0, p_max},
+  });
+}
+
+FrequencyTable FrequencyTable::cubic(std::size_t n, Power p_max) {
+  if (n == 0) throw std::invalid_argument("cubic: need at least one point");
+  if (p_max <= 0.0) throw std::invalid_argument("cubic: p_max must be positive");
+  std::vector<OperatingPoint> points;
+  points.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double speed = static_cast<double>(i) / static_cast<double>(n);
+    points.push_back({1000.0 * speed, speed, p_max * speed * speed * speed});
+  }
+  return FrequencyTable(std::move(points));
+}
+
+const OperatingPoint& FrequencyTable::at(std::size_t index) const {
+  return points_.at(index);
+}
+
+const OperatingPoint& FrequencyTable::max_point() const { return points_.back(); }
+
+std::optional<std::size_t> FrequencyTable::min_feasible(Work work, Time window) const {
+  if (work < 0.0) throw std::invalid_argument("min_feasible: negative work");
+  if (work == 0.0) return 0;
+  if (window <= 0.0) return std::nullopt;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    // w / S_n <= window, with a tolerance so that exact fits count (the
+    // motivational examples rely on "exactly fills the window" stretches).
+    if (work / points_[i].speed <= window + util::kEps) return i;
+  }
+  return std::nullopt;
+}
+
+std::string FrequencyTable::describe() const {
+  std::ostringstream out;
+  out << points_.size() << " operating points:";
+  for (const auto& p : points_) {
+    out << " [" << p.frequency_mhz << "MHz S=" << p.speed << " P=" << p.power
+        << "W]";
+  }
+  return out.str();
+}
+
+}  // namespace eadvfs::proc

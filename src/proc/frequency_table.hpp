@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file frequency_table.hpp
+/// The processor's menu of operating points, sorted by ascending speed.
+/// Provides the two queries the schedulers need:
+///   * the maximum point (LSA always runs there), and
+///   * the minimum point that still fits a given amount of remaining work
+///     into a given time window (paper ineq. 6).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proc/operating_point.hpp"
+
+namespace eadvfs::proc {
+
+class FrequencyTable {
+ public:
+  /// Points are sorted internally.  Validates: at least one point; speeds
+  /// strictly increasing in (0, 1] with the fastest exactly 1.0; powers
+  /// strictly increasing; energy-per-work non-decreasing in speed (slowing
+  /// down must never cost energy, or DVFS-for-energy is meaningless).
+  explicit FrequencyTable(std::vector<OperatingPoint> points);
+
+  /// The paper's 5-point Intel XScale-like table (§5.1):
+  /// 150/400/600/800/1000 MHz at 0.08/0.4/1.0/2.0/3.2 W.
+  static FrequencyTable xscale();
+
+  /// A reduced 2-point table (the motivational example of paper §2 uses a
+  /// half-speed point at one third of the power): speeds {0.5, 1.0} with
+  /// powers {p_max/3, p_max}.
+  static FrequencyTable two_speed(Power p_max);
+
+  /// An `n`-point table with evenly spaced speeds in (0, 1] and cubic
+  /// power scaling P(S) = p_max * S^3 (classic CMOS model) — used by the
+  /// frequency-granularity ablation.
+  static FrequencyTable cubic(std::size_t n, Power p_max);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const OperatingPoint& at(std::size_t index) const;
+  [[nodiscard]] const OperatingPoint& max_point() const;
+  [[nodiscard]] std::size_t max_index() const { return points_.size() - 1; }
+  [[nodiscard]] Power max_power() const { return max_point().power; }
+
+  /// Smallest index n such that `work / speed_n <= window`; nullopt when
+  /// even full speed cannot fit the work (deadline unreachable).
+  /// `work` >= 0; a zero-work query returns the slowest point.
+  [[nodiscard]] std::optional<std::size_t> min_feasible(Work work, Time window) const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<OperatingPoint> points_;
+};
+
+}  // namespace eadvfs::proc

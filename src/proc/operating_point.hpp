@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file operating_point.hpp
+/// One DVFS operating point (paper §3.3): a clock frequency with its
+/// relative speed S_n = f_n / f_max and active power draw P_n.
+
+#include "util/types.hpp"
+
+namespace eadvfs::proc {
+
+struct OperatingPoint {
+  double frequency_mhz = 0.0;  ///< nominal clock, informational.
+  double speed = 1.0;          ///< S_n in (0, 1]; work completes at rate S_n.
+  Power power = 0.0;           ///< P_n, active power at this point.
+
+  /// Energy consumed per unit of work (work is measured at f_max):
+  /// executing w work takes w / speed time at `power`, so P_n / S_n.
+  /// EA-DVFS's premise requires this to be increasing in speed — validated
+  /// by FrequencyTable.
+  [[nodiscard]] double energy_per_work() const { return power / speed; }
+};
+
+}  // namespace eadvfs::proc

@@ -1,0 +1,52 @@
+#include "proc/processor.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace eadvfs::proc {
+
+Processor::Processor(FrequencyTable table, SwitchOverhead overhead,
+                     Power idle_power)
+    : table_(std::move(table)), overhead_(overhead), idle_power_(idle_power) {
+  if (overhead_.time < 0.0 || overhead_.energy < 0.0)
+    throw std::invalid_argument("Processor: negative switch overhead");
+  if (idle_power_ < 0.0)
+    throw std::invalid_argument("Processor: negative idle power");
+  if (idle_power_ > table_.at(0).power)
+    throw std::invalid_argument(
+        "Processor: idle power above the slowest active point is nonsensical");
+}
+
+SwitchOverhead Processor::switch_to(std::size_t index) {
+  if (index >= table_.size())
+    throw std::out_of_range("Processor::switch_to: bad operating point index");
+  if (index == current_) return {};
+  current_ = index;
+  ++switch_count_;
+  return overhead_;
+}
+
+void Processor::note_busy(Time duration) {
+  if (duration < 0.0) throw std::invalid_argument("note_busy: negative duration");
+  busy_time_ += duration;
+}
+
+void Processor::note_idle(Time duration) {
+  if (duration < 0.0) throw std::invalid_argument("note_idle: negative duration");
+  idle_time_ += duration;
+}
+
+void Processor::note_stall(Time duration) {
+  if (duration < 0.0) throw std::invalid_argument("note_stall: negative duration");
+  stall_time_ += duration;
+}
+
+void Processor::reset() {
+  current_ = 0;
+  switch_count_ = 0;
+  busy_time_ = 0.0;
+  idle_time_ = 0.0;
+  stall_time_ = 0.0;
+}
+
+}  // namespace eadvfs::proc

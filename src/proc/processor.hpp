@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file processor.hpp
+/// Stateful DVFS processor: the frequency table plus the current operating
+/// point, switch counting, and an optional per-switch overhead model.
+///
+/// The paper assumes "the overhead from voltage switching is negligible"
+/// (§5.1); the default SwitchOverhead is therefore zero, and the ablation
+/// bench sweeps non-zero values to test how much that assumption matters.
+
+#include <cstddef>
+
+#include "proc/frequency_table.hpp"
+#include "util/types.hpp"
+
+namespace eadvfs::proc {
+
+/// Cost of one frequency/voltage transition.
+struct SwitchOverhead {
+  Time time = 0.0;     ///< stall duration during the transition.
+  Energy energy = 0.0; ///< extra energy drawn by the transition.
+};
+
+class Processor {
+ public:
+  /// `idle_power` is the draw while not executing (the paper assumes 0;
+  /// a real XScale idles at tens of mW).  The engine models it, including
+  /// brownout when the storage is empty and the harvest cannot cover it.
+  explicit Processor(FrequencyTable table, SwitchOverhead overhead = {},
+                     Power idle_power = 0.0);
+
+  [[nodiscard]] const FrequencyTable& table() const { return table_; }
+  [[nodiscard]] const SwitchOverhead& overhead_model() const { return overhead_; }
+  [[nodiscard]] Power idle_power() const { return idle_power_; }
+
+  /// Index of the operating point currently configured.
+  [[nodiscard]] std::size_t current() const { return current_; }
+  [[nodiscard]] const OperatingPoint& current_point() const {
+    return table_.at(current_);
+  }
+
+  /// Reconfigure to `index`.  Returns the overhead actually incurred
+  /// (zero-cost when already at that point).
+  SwitchOverhead switch_to(std::size_t index);
+
+  /// Time-accounting hooks called by the engine.
+  void note_busy(Time duration);
+  void note_idle(Time duration);
+  void note_stall(Time duration);
+
+  [[nodiscard]] std::size_t switch_count() const { return switch_count_; }
+  [[nodiscard]] Time busy_time() const { return busy_time_; }
+  [[nodiscard]] Time idle_time() const { return idle_time_; }
+  [[nodiscard]] Time stall_time() const { return stall_time_; }
+
+  /// Reset dynamic state (point back to slowest, counters to zero) so one
+  /// Processor can be reused across repeated simulations.
+  void reset();
+
+ private:
+  FrequencyTable table_;
+  SwitchOverhead overhead_;
+  Power idle_power_ = 0.0;
+  std::size_t current_ = 0;
+  std::size_t switch_count_ = 0;
+  Time busy_time_ = 0.0;
+  Time idle_time_ = 0.0;
+  Time stall_time_ = 0.0;
+};
+
+}  // namespace eadvfs::proc

@@ -1,0 +1,50 @@
+#include "sched/ea_dvfs_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace eadvfs::sched {
+
+sim::Decision EaDvfsScheduler::decide(const sim::SchedulingContext& ctx) {
+  const task::Job& job = ctx.edf_front();
+  const Time deadline = job.absolute_deadline;
+  const std::size_t max_op = ctx.table->max_index();
+
+  const Time window = deadline - ctx.now;
+  if (window <= util::kEps) {
+    // Past/at the deadline (kContinueLate): no slack to trade, run flat out.
+    return sim::Decision::run(job.id, max_op);
+  }
+
+  // Step 1 — minimum feasible frequency under ineq. (6).
+  const auto feasible = ctx.table->min_feasible(job.remaining, window);
+  if (!feasible) {
+    // Even full speed cannot meet the deadline; best effort at f_max.
+    return sim::Decision::run(job.id, max_op);
+  }
+  const std::size_t n = *feasible;
+
+  // Steps 2–3 — energy-feasible start times.
+  const Energy available = ctx.stored + ctx.predictor->predict(ctx.now, deadline);
+  const Time sr_n = available / ctx.table->at(n).power;
+  const Time sr_max = available / ctx.table->max_power();
+  const Time s1 = std::max(ctx.now, deadline - sr_n);
+  const Time s2 = std::max(ctx.now, deadline - sr_max);
+
+  // Step 4 — the three-zone policy.
+  if (ctx.now >= s2 - util::kEps) {
+    return sim::Decision::run(job.id, max_op);
+  }
+  if (ctx.now >= s1 - util::kEps) {
+    // Stretched execution; the engine must re-ask us at s2 so the planned
+    // switch to full speed (the "don't steal from future tasks" rule of
+    // §4.3) happens even if no other event intervenes.
+    return sim::Decision::run(job.id, n, s2);
+  }
+  return sim::Decision::idle_until(s1);
+}
+
+std::string EaDvfsScheduler::name() const { return "EA-DVFS"; }
+
+}  // namespace eadvfs::sched

@@ -1,0 +1,12 @@
+#include "sched/edf_scheduler.hpp"
+
+namespace eadvfs::sched {
+
+sim::Decision EdfScheduler::decide(const sim::SchedulingContext& ctx) {
+  const task::Job& job = ctx.edf_front();
+  return sim::Decision::run(job.id, ctx.table->max_index());
+}
+
+std::string EdfScheduler::name() const { return "EDF"; }
+
+}  // namespace eadvfs::sched

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file edf_scheduler.hpp
+/// Plain earliest-deadline-first at maximum frequency, completely
+/// energy-oblivious.  This is (a) the classical baseline, (b) the provable
+/// infinite-storage limit of EA-DVFS (paper §4.3), and (c) what both LSA
+/// and EA-DVFS degenerate to when energy never runs low.
+
+#include "sim/scheduler.hpp"
+
+namespace eadvfs::sched {
+
+class EdfScheduler final : public sim::Scheduler {
+ public:
+  [[nodiscard]] sim::Decision decide(const sim::SchedulingContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+};
+
+}  // namespace eadvfs::sched

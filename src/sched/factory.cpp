@@ -1,0 +1,44 @@
+#include "sched/factory.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "sched/ea_dvfs_scheduler.hpp"
+#include "sched/edf_scheduler.hpp"
+#include "sched/fixed_priority_scheduler.hpp"
+#include "sched/greedy_dvfs_scheduler.hpp"
+#include "sched/lsa_scheduler.hpp"
+#include "sched/static_ea_dvfs_scheduler.hpp"
+
+namespace eadvfs::sched {
+
+namespace {
+std::string lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+}  // namespace
+
+std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name) {
+  const std::string key = lowered(name);
+  if (key == "edf") return std::make_unique<EdfScheduler>();
+  if (key == "lsa") return std::make_unique<LsaScheduler>();
+  if (key == "ea-dvfs" || key == "eadvfs" || key == "ea_dvfs")
+    return std::make_unique<EaDvfsScheduler>();
+  if (key == "ea-dvfs-static" || key == "ea_dvfs_static" || key == "static")
+    return std::make_unique<StaticEaDvfsScheduler>();
+  if (key == "rm" || key == "dm" || key == "fixed-priority")
+    return std::make_unique<FixedPriorityScheduler>();
+  if (key == "greedy-dvfs" || key == "greedy" || key == "greedy_dvfs")
+    return std::make_unique<GreedyDvfsScheduler>();
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"edf", "rm", "lsa", "ea-dvfs", "ea-dvfs-static", "greedy-dvfs"};
+}
+
+}  // namespace eadvfs::sched

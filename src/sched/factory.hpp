@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file factory.hpp
+/// Name-based scheduler construction for CLI tools and parameter sweeps.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace eadvfs::sched {
+
+/// Construct a scheduler by name (case-insensitive):
+/// "edf", "lsa", "ea-dvfs" (aliases "eadvfs", "ea_dvfs"), "ea-dvfs-static"
+/// (alias "static"), "rm" (aliases "dm", "fixed-priority"), "greedy-dvfs"
+/// (aliases "greedy", "greedy_dvfs").
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name);
+
+/// Canonical names accepted by make_scheduler, for help text.
+[[nodiscard]] std::vector<std::string> scheduler_names();
+
+}  // namespace eadvfs::sched

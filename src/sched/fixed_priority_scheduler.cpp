@@ -1,0 +1,22 @@
+#include "sched/fixed_priority_scheduler.hpp"
+
+#include <algorithm>
+
+namespace eadvfs::sched {
+
+sim::Decision FixedPriorityScheduler::decide(const sim::SchedulingContext& ctx) {
+  const auto highest = std::min_element(
+      ctx.ready->begin(), ctx.ready->end(),
+      [](const task::Job& a, const task::Job& b) {
+        const Time da = a.absolute_deadline - a.arrival;
+        const Time db = b.absolute_deadline - b.arrival;
+        if (da != db) return da < db;
+        if (a.arrival != b.arrival) return a.arrival < b.arrival;
+        return a.id < b.id;
+      });
+  return sim::Decision::run(highest->id, ctx.table->max_index());
+}
+
+std::string FixedPriorityScheduler::name() const { return "RM/DM"; }
+
+}  // namespace eadvfs::sched

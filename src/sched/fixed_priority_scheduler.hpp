@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file fixed_priority_scheduler.hpp
+/// Classical fixed-priority preemptive scheduling at f_max — rate-monotonic
+/// when deadlines equal periods (priority = shorter relative deadline, i.e.
+/// deadline-monotonic in general).  Energy-oblivious, like EdfScheduler.
+///
+/// Included as a substrate baseline: RM/DM is what most deployed RTOSes
+/// actually run, it is *not* optimal (utilization bound ln 2 ≈ 0.693 for
+/// implicit deadlines), and comparing it against the EDF-based algorithms
+/// separates "misses caused by energy" from "misses caused by priority
+/// inversion" in the experiment zoo.
+///
+/// Priorities are derived per job as (absolute_deadline − arrival), i.e.
+/// the task's relative deadline, so the scheduler needs no task table and
+/// works with explicit job lists too.  Ties break toward earlier arrival,
+/// then lower job id (deterministic).
+
+#include "sim/scheduler.hpp"
+
+namespace eadvfs::sched {
+
+class FixedPriorityScheduler final : public sim::Scheduler {
+ public:
+  [[nodiscard]] sim::Decision decide(const sim::SchedulingContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+};
+
+}  // namespace eadvfs::sched

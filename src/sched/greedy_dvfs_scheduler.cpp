@@ -1,0 +1,18 @@
+#include "sched/greedy_dvfs_scheduler.hpp"
+
+#include "util/math.hpp"
+
+namespace eadvfs::sched {
+
+sim::Decision GreedyDvfsScheduler::decide(const sim::SchedulingContext& ctx) {
+  const task::Job& job = ctx.edf_front();
+  const std::size_t max_op = ctx.table->max_index();
+  const Time window = job.absolute_deadline - ctx.now;
+  if (window <= util::kEps) return sim::Decision::run(job.id, max_op);
+  const auto feasible = ctx.table->min_feasible(job.remaining, window);
+  return sim::Decision::run(job.id, feasible.value_or(max_op));
+}
+
+std::string GreedyDvfsScheduler::name() const { return "Greedy-DVFS"; }
+
+}  // namespace eadvfs::sched

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file greedy_dvfs_scheduler.hpp
+/// The strawman the paper's §4.3 (Figure 3) warns about: always stretch the
+/// EDF job to the minimum feasible frequency and start immediately, with no
+/// energy awareness and no planned switch back to full speed.  Greedy
+/// stretching steals slack from future jobs — the paper's second worked
+/// example shows it missing a deadline that EA-DVFS meets — and it also
+/// never procrastinates, so it cannot bank harvest energy before a burst.
+/// Included as an ablation baseline.
+
+#include "sim/scheduler.hpp"
+
+namespace eadvfs::sched {
+
+class GreedyDvfsScheduler final : public sim::Scheduler {
+ public:
+  [[nodiscard]] sim::Decision decide(const sim::SchedulingContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+};
+
+}  // namespace eadvfs::sched

@@ -1,0 +1,35 @@
+#include "sched/lsa_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace eadvfs::sched {
+
+sim::Decision LsaScheduler::decide(const sim::SchedulingContext& ctx) {
+  const task::Job& job = ctx.edf_front();
+  const Time deadline = job.absolute_deadline;
+  const std::size_t max_op = ctx.table->max_index();
+
+  if (deadline <= ctx.now + util::kEps) {
+    // Past/at the deadline (only reachable under kContinueLate): nothing to
+    // procrastinate for — run flat out.
+    return sim::Decision::run(job.id, max_op);
+  }
+
+  const Energy available = ctx.stored + ctx.predictor->predict(ctx.now, deadline);
+  const Time sr_max = available / ctx.table->max_power();
+  const Time s2 = std::max(ctx.now, deadline - sr_max);
+
+  if (ctx.now >= s2 - util::kEps) {
+    return sim::Decision::run(job.id, max_op);
+  }
+  // Procrastinate; the engine will also re-invoke us on every arrival and
+  // energy-source change, so s2 is continuously refined as the prediction
+  // and stored energy evolve.
+  return sim::Decision::idle_until(s2);
+}
+
+std::string LsaScheduler::name() const { return "LSA"; }
+
+}  // namespace eadvfs::sched

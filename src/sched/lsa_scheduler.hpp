@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file lsa_scheduler.hpp
+/// The Lazy Scheduling Algorithm of Moser et al. (paper refs [7][10]) — the
+/// baseline the paper compares EA-DVFS against.
+///
+/// LSA always executes at full power, but *procrastinates*: the EDF job is
+/// started only once the system can sustain full power from now to the
+/// job's deadline, i.e. at
+///
+///     s2 = max(now, D − sr_max),   sr_max = (E_C(now) + Ê_S(now, D)) / P_max
+///
+/// (paper eqs. 8–9).  Idling before s2 lets the harvester refill the storage
+/// so that the eventual full-power burst does not die of energy starvation.
+/// The paper's three LSA conditions (§1) are exactly "now >= s2".
+
+#include "sim/scheduler.hpp"
+
+namespace eadvfs::sched {
+
+class LsaScheduler final : public sim::Scheduler {
+ public:
+  [[nodiscard]] sim::Decision decide(const sim::SchedulingContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+};
+
+}  // namespace eadvfs::sched

@@ -1,0 +1,49 @@
+#include "sched/static_ea_dvfs_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace eadvfs::sched {
+
+StaticEaDvfsScheduler::Plan StaticEaDvfsScheduler::make_plan(
+    const sim::SchedulingContext& ctx, const task::Job& job) const {
+  Plan plan;
+  const Time deadline = job.absolute_deadline;
+  const Time window = deadline - ctx.now;
+  const auto feasible = ctx.table->min_feasible(job.remaining, window);
+  if (window <= util::kEps || !feasible) {
+    plan.feasible_slowdown = false;
+    return plan;
+  }
+  plan.op_index = *feasible;
+  const Energy available = ctx.stored + ctx.predictor->predict(ctx.now, deadline);
+  const Time sr_n = available / ctx.table->at(plan.op_index).power;
+  const Time sr_max = available / ctx.table->max_power();
+  plan.s1 = std::max(ctx.now, deadline - sr_n);
+  plan.s2 = std::max(ctx.now, deadline - sr_max);
+  return plan;
+}
+
+sim::Decision StaticEaDvfsScheduler::decide(const sim::SchedulingContext& ctx) {
+  const task::Job& job = ctx.edf_front();
+  const std::size_t max_op = ctx.table->max_index();
+
+  auto it = plans_.find(job.id);
+  if (it == plans_.end()) {
+    it = plans_.emplace(job.id, make_plan(ctx, job)).first;
+  }
+  const Plan& plan = it->second;
+
+  if (!plan.feasible_slowdown) return sim::Decision::run(job.id, max_op);
+  if (ctx.now >= plan.s2 - util::kEps) return sim::Decision::run(job.id, max_op);
+  if (ctx.now >= plan.s1 - util::kEps)
+    return sim::Decision::run(job.id, plan.op_index, plan.s2);
+  return sim::Decision::idle_until(plan.s1);
+}
+
+std::string StaticEaDvfsScheduler::name() const { return "EA-DVFS-static"; }
+
+void StaticEaDvfsScheduler::reset() { plans_.clear(); }
+
+}  // namespace eadvfs::sched

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file static_ea_dvfs_scheduler.hpp
+/// The *literal* reading of the paper's equations (5)–(9): s1, s2 and the
+/// stretched frequency f_n are computed ONCE per job — from the energy
+/// state when the job first becomes the earliest-deadline job — and then
+/// followed open-loop (idle until s1, run f_n in [s1, s2), f_max after s2).
+///
+/// The repository's main EaDvfsScheduler instead re-evaluates the plan at
+/// every event from the job's *remaining* work (the dynamic reading of the
+/// paper's Figure 4 loop).  Keeping both lets the scheduler-zoo ablation
+/// quantify what the re-evaluation buys: the static plan cannot react to
+/// prediction error, to preemption by later arrivals, or to early
+/// completions.
+
+#include <map>
+
+#include "sim/scheduler.hpp"
+
+namespace eadvfs::sched {
+
+class StaticEaDvfsScheduler final : public sim::Scheduler {
+ public:
+  [[nodiscard]] sim::Decision decide(const sim::SchedulingContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+
+ private:
+  struct Plan {
+    std::size_t op_index = 0;  ///< stretched operating point (f_n).
+    Time s1 = 0.0;
+    Time s2 = 0.0;
+    bool feasible_slowdown = true;  ///< false: run f_max immediately.
+  };
+
+  /// Plans are keyed by job and kept for the run's duration (a few
+  /// thousand entries over a 10k-unit horizon; cleared by reset()).
+  std::map<task::JobId, Plan> plans_;
+
+  [[nodiscard]] Plan make_plan(const sim::SchedulingContext& ctx,
+                               const task::Job& job) const;
+};
+
+}  // namespace eadvfs::sched

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file config.hpp
+/// Engine-level simulation parameters (policy-independent).
+
+#include "util/types.hpp"
+
+namespace eadvfs::sim {
+
+/// What happens to a job that is still unfinished at its deadline.
+enum class MissPolicy {
+  /// Count the miss and discard the remaining work (firm real-time
+  /// semantics; the default, and what keeps LSA/EA-DVFS comparisons clean —
+  /// no energy is spent on already-dead jobs).
+  kDropAtDeadline,
+  /// Count the miss but keep executing the job to completion (soft
+  /// real-time semantics).
+  kContinueLate,
+};
+
+struct SimulationConfig {
+  Time horizon = 10'000.0;  ///< paper §5.1: simulate 10,000 time units.
+  MissPolicy miss_policy = MissPolicy::kDropAtDeadline;
+  /// While stalled (scheduler wants to run but the storage is empty and the
+  /// instantaneous harvest is below the requested power), the engine
+  /// re-evaluates at least this often so accumulating harvest can restart
+  /// execution even when no other event is pending.  Matches the solar
+  /// source's noise step by default.
+  Time stall_wakeup = 1.0;
+  /// Safety valve: abort with an error after this many engine segments
+  /// (guards against a zero-progress loop bug rather than hanging a sweep).
+  std::size_t max_segments = 50'000'000;
+};
+
+}  // namespace eadvfs::sim

@@ -1,0 +1,316 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/math.hpp"
+
+namespace eadvfs::sim {
+
+using util::kEps;
+
+Engine::Engine(const SimulationConfig& config, const energy::EnergySource& source,
+               energy::EnergyStorage& storage, proc::Processor& processor,
+               energy::EnergyPredictor& predictor, Scheduler& scheduler,
+               task::JobReleaser& releaser)
+    : config_(config),
+      source_(source),
+      storage_(storage),
+      processor_(processor),
+      predictor_(predictor),
+      scheduler_(scheduler),
+      releaser_(releaser) {
+  if (config_.horizon <= 0.0)
+    throw std::invalid_argument("Engine: horizon must be positive");
+  if (config_.stall_wakeup <= 0.0)
+    throw std::invalid_argument("Engine: stall_wakeup must be positive");
+}
+
+void Engine::add_observer(SimObserver& observer) {
+  observers_.push_back(&observer);
+}
+
+void Engine::notify_segment(const SegmentRecord& record) {
+  for (SimObserver* obs : observers_) obs->on_segment(record);
+}
+
+std::vector<task::Job>::iterator Engine::find_ready(task::JobId id) {
+  return std::find_if(ready_.begin(), ready_.end(),
+                      [id](const task::Job& j) { return j.id == id; });
+}
+
+void Engine::insert_ready(const task::Job& job) {
+  const auto pos =
+      std::upper_bound(ready_.begin(), ready_.end(), job, task::EdfBefore{});
+  ready_.insert(pos, job);
+}
+
+SchedulingContext Engine::make_context() const {
+  SchedulingContext ctx;
+  ctx.now = now_;
+  ctx.ready = &ready_;
+  ctx.stored = storage_.level();
+  ctx.predictor = &predictor_;
+  ctx.table = &processor_.table();
+  return ctx;
+}
+
+void Engine::release_arrivals() {
+  for (task::Job& job : releaser_.release_due(now_)) {
+    job.arrival = std::min(job.arrival, now_);  // normalize epsilon-early pops
+    ++result_.jobs_released;
+    for (SimObserver* obs : observers_) obs->on_release(job);
+    if (job.actual_remaining <= kEps) {
+      // Degenerate zero-work job: complete on the spot (a zero-length
+      // execution segment would stall the engine's progress guarantee).
+      job.remaining = 0.0;
+      job.actual_remaining = 0.0;
+      ++result_.jobs_completed;
+      for (SimObserver* obs : observers_) obs->on_complete(job, now_);
+      continue;
+    }
+    events_.push({job.absolute_deadline, EventType::kDeadline, job.id, 0});
+    insert_ready(job);
+  }
+}
+
+void Engine::process_deadlines() {
+  for (const Event& e : events_.pop_due(now_)) {
+    if (e.type != EventType::kDeadline) continue;
+    auto it = find_ready(e.job);
+    if (it == ready_.end()) continue;            // completed earlier
+    if (missed_ids_.count(e.job) != 0) continue; // already counted (late mode)
+    ++result_.jobs_missed;
+    for (SimObserver* obs : observers_) obs->on_miss(*it, e.time);
+    if (config_.miss_policy == MissPolicy::kDropAtDeadline) {
+      result_.work_dropped += it->remaining;
+      ready_.erase(it);
+    } else {
+      missed_ids_.insert(e.job);
+    }
+  }
+}
+
+void Engine::apply_switch_overhead(const proc::SwitchOverhead& overhead) {
+  // Model: the transition stalls the processor for `overhead.time` while
+  // drawing `overhead.energy` from the storage (clamped at empty), with
+  // harvesting continuing.  Deadlines/arrivals crossed during the stall are
+  // processed at the next loop iteration (the stall is not interruptible,
+  // which is the physically conservative choice).
+  const Time t_end = std::min(now_ + overhead.time, config_.horizon);
+  const Time dt = t_end - now_;
+  const Energy level_start = storage_.level();
+  Energy harvested = 0.0;
+  if (dt > 0.0) {
+    harvested = source_.energy_between(now_, t_end);
+    result_.harvested += harvested;
+    result_.overflow += storage_.charge(harvested);
+    processor_.note_stall(dt);
+    result_.stall_time += dt;
+  }
+  const Energy drawn = std::min(storage_.level(), overhead.energy);
+  storage_.discharge(drawn);
+  result_.consumed += drawn;
+
+  if (dt > 0.0) {
+    predictor_.observe(now_, t_end, harvested);
+    SegmentRecord rec;
+    rec.start = now_;
+    rec.end = t_end;
+    rec.harvest_power = dt > 0.0 ? harvested / dt : 0.0;
+    rec.consume_power = dt > 0.0 ? drawn / dt : 0.0;
+    rec.level_start = level_start;
+    rec.level_end = storage_.level();
+    rec.stalled = true;
+    notify_segment(rec);
+    now_ = t_end;
+  }
+}
+
+void Engine::complete_job(std::vector<task::Job>::iterator it) {
+  task::Job job = *it;
+  job.remaining = util::snap_nonnegative(job.remaining);
+  job.actual_remaining = 0.0;
+  result_.work_completed += job.actual_work;
+  if (now_ <= job.absolute_deadline + kEps) {
+    ++result_.jobs_completed;
+  } else {
+    ++result_.jobs_completed_late;  // miss was already counted at deadline
+  }
+  missed_ids_.erase(job.id);
+  ready_.erase(it);
+  for (SimObserver* obs : observers_) obs->on_complete(job, now_);
+}
+
+void Engine::execute_segment(const Decision& decision) {
+  const Power ps = source_.power_at(now_);
+
+  // --- resolve what will actually happen this segment -------------------
+  bool running = false;
+  bool stalled = false;
+  std::vector<task::Job>::iterator job_it = ready_.end();
+  std::size_t op_index = 0;
+  Power consume = 0.0;
+  double speed = 0.0;
+
+  if (decision.kind == Decision::Kind::kRun) {
+    job_it = find_ready(decision.job);
+    if (job_it == ready_.end())
+      throw std::logic_error("Engine: scheduler chose a job not in the ready set");
+    op_index = decision.op_index;
+    const proc::OperatingPoint& op = processor_.table().at(op_index);
+    if (storage_.level() <= kEps && op.power > ps + kEps) {
+      // Physically impossible: no stored energy and harvest below demand.
+      stalled = true;
+    } else {
+      const proc::SwitchOverhead overhead = processor_.switch_to(op_index);
+      if (overhead.time > 0.0 || overhead.energy > 0.0) {
+        apply_switch_overhead(overhead);
+        return;  // re-decide after the transition stall
+      }
+      running = true;
+      consume = op.power;
+      speed = op.speed;
+    }
+  }
+
+  // --- choose the segment end -------------------------------------------
+  Time t_next = config_.horizon;
+  t_next = std::min(t_next, releaser_.next_arrival());
+  t_next = std::min(t_next, events_.next_time());
+  t_next = std::min(t_next, source_.piece_end(now_));
+  if (decision.recheck_at > now_ + kEps)
+    t_next = std::min(t_next, decision.recheck_at);
+  if (stalled) t_next = std::min(t_next, now_ + config_.stall_wakeup);
+
+  const Energy level = storage_.level();
+  // Power drawn this segment: the operating point when running, the idle
+  // draw otherwise (the processor is powered even while waiting).  With an
+  // empty storage and harvest below the idle draw the device *browns out*:
+  // it consumes only what arrives and the unmet remainder is tracked.
+  const Power draw = running ? consume : processor_.idle_power();
+  const bool brownout = !running && level <= kEps && draw > ps + kEps;
+  const Power net = brownout ? 0.0 : ps - draw;
+  if (running) {
+    // The job physically completes when its *actual* demand is done, which
+    // may be earlier than the WCET budget the scheduler planned with.
+    const Time t_complete = now_ + job_it->actual_remaining / speed;
+    t_next = std::min(t_next, t_complete);
+  }
+  if (net < -kEps) {
+    const Time t_empty = now_ + level / (draw - ps);
+    t_next = std::min(t_next, t_empty);
+  }
+  if (net > kEps && !storage_.full()) {
+    const Time t_full = now_ + storage_.headroom() / net;
+    if (t_full > now_ + kEps) t_next = std::min(t_next, t_full);
+  }
+
+  if (!(t_next > now_))
+    throw std::logic_error("Engine: zero-progress segment (engine bug)");
+
+  // --- integrate ----------------------------------------------------------
+  const Time dt = t_next - now_;
+  const Energy level_start = storage_.level();
+  const Energy harvested = ps * dt;
+  result_.harvested += harvested;
+  Energy overflow = 0.0;
+  if (running) {
+    const Energy consumed = consume * dt;
+    result_.consumed += consumed;
+    const Energy net_energy = harvested - consumed;
+    if (net_energy >= 0.0) {
+      overflow = storage_.charge(net_energy);
+    } else {
+      storage_.discharge(-net_energy);
+    }
+    job_it->remaining = util::snap_nonnegative(job_it->remaining - speed * dt);
+    job_it->actual_remaining =
+        util::snap_nonnegative(job_it->actual_remaining - speed * dt);
+    if (job_it->actual_remaining <= kEps) job_it->actual_remaining = 0.0;
+    processor_.note_busy(dt);
+    result_.busy_time += dt;
+    result_.time_at_op[op_index] += dt;
+  } else {
+    if (brownout) {
+      // Harvest feeds the idle draw directly; nothing reaches the storage
+      // and the shortfall (draw - ps) goes unmet.
+      result_.consumed += harvested;
+      result_.brownout_time += dt;
+    } else {
+      const Energy idle_draw = draw * dt;
+      result_.consumed += idle_draw;
+      const Energy net_energy = harvested - idle_draw;
+      if (net_energy >= 0.0) {
+        overflow = storage_.charge(net_energy);
+      } else {
+        storage_.discharge(-net_energy);
+      }
+    }
+    if (stalled) {
+      processor_.note_stall(dt);
+      result_.stall_time += dt;
+    } else {
+      processor_.note_idle(dt);
+      result_.idle_time += dt;
+    }
+  }
+  storage_.leak(dt);
+  result_.overflow += overflow;
+  predictor_.observe(now_, t_next, harvested);
+
+  SegmentRecord rec;
+  rec.start = now_;
+  rec.end = t_next;
+  if (running) {
+    rec.job = job_it->id;
+    rec.op_index = op_index;
+  }
+  rec.harvest_power = ps;
+  rec.consume_power = running ? consume : (brownout ? ps : draw);
+  rec.level_start = level_start;
+  rec.level_end = storage_.level();
+  rec.overflow = overflow;
+  rec.stalled = stalled;
+  notify_segment(rec);
+
+  now_ = t_next;
+  if (running && job_it->finished()) complete_job(job_it);
+}
+
+SimulationResult Engine::run() {
+  if (ran_) throw std::logic_error("Engine::run: single-shot; create a new Engine");
+  ran_ = true;
+
+  result_ = SimulationResult{};
+  result_.storage_initial = storage_.level();
+  result_.time_at_op.assign(processor_.table().size(), 0.0);
+  now_ = 0.0;
+  scheduler_.reset();
+
+  while (true) {
+    release_arrivals();
+    process_deadlines();
+    if (now_ >= config_.horizon - kEps) break;
+    if (++result_.segments > config_.max_segments)
+      throw std::runtime_error("Engine: segment budget exceeded (runaway loop?)");
+
+    const Decision decision = ready_.empty()
+                                  ? Decision::idle_until(kHuge)
+                                  : scheduler_.decide(make_context());
+    execute_segment(decision);
+  }
+
+  for (const task::Job& job : ready_) {
+    if (missed_ids_.count(job.id) == 0) ++result_.jobs_unresolved;
+  }
+  result_.end_time = now_;
+  result_.storage_final = storage_.level();
+  result_.leaked = storage_.total_leaked();
+  result_.frequency_switches = processor_.switch_count();
+  return result_;
+}
+
+}  // namespace eadvfs::sim

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file engine.hpp
+/// The discrete-event simulation engine (paper §3's system model made
+/// executable).  The engine owns the *physics* and defers all *policy* to a
+/// Scheduler:
+///
+///   * time advances in segments of constant dynamics — constant harvest
+///     power (sources are piecewise constant), constant consumption, linear
+///     storage level — whose boundaries are the earliest of: next job
+///     arrival, next deadline, energy-source piece boundary, running job's
+///     completion, storage-empty/full crossing, scheduler recheck instant,
+///     and the horizon;
+///   * within a segment every energy quantity is integrated exactly (no
+///     time-stepping error anywhere in the simulator);
+///   * the engine enforces physical feasibility: a scheduler that asks to
+///     run with an empty storage and insufficient instantaneous harvest is
+///     overridden into a stall (the processor cannot draw energy that does
+///     not exist — paper ineq. 3).
+///
+/// One Engine instance performs one run over externally-owned mutable
+/// components (storage, processor, predictor, scheduler, releaser), so
+/// experiment harnesses control construction cost and seeding precisely.
+
+#include <set>
+#include <vector>
+
+#include "energy/predictor.hpp"
+#include "energy/source.hpp"
+#include "energy/storage.hpp"
+#include "proc/processor.hpp"
+#include "sim/config.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/observer.hpp"
+#include "sim/result.hpp"
+#include "sim/scheduler.hpp"
+#include "task/releaser.hpp"
+
+namespace eadvfs::sim {
+
+class Engine {
+ public:
+  Engine(const SimulationConfig& config, const energy::EnergySource& source,
+         energy::EnergyStorage& storage, proc::Processor& processor,
+         energy::EnergyPredictor& predictor, Scheduler& scheduler,
+         task::JobReleaser& releaser);
+
+  /// Register an observer (not owned; must outlive run()).
+  void add_observer(SimObserver& observer);
+
+  /// Execute the simulation from t = 0 to the horizon.  Single-shot: create
+  /// a fresh Engine (and fresh mutable components) for each run.
+  SimulationResult run();
+
+ private:
+  const SimulationConfig& config_;
+  const energy::EnergySource& source_;
+  energy::EnergyStorage& storage_;
+  proc::Processor& processor_;
+  energy::EnergyPredictor& predictor_;
+  Scheduler& scheduler_;
+  task::JobReleaser& releaser_;
+  std::vector<SimObserver*> observers_;
+
+  // --- per-run state ----------------------------------------------------
+  Time now_ = 0.0;
+  std::vector<task::Job> ready_;      ///< EDF-sorted.
+  std::set<task::JobId> missed_ids_;  ///< kContinueLate: already-missed jobs.
+  EventQueue events_;
+  SimulationResult result_;
+  bool ran_ = false;
+
+  void release_arrivals();
+  void process_deadlines();
+
+  /// Perform one segment according to `decision`; advances now_.
+  void execute_segment(const Decision& decision);
+
+  /// Apply a non-zero DVFS transition cost as a mini stall segment.
+  void apply_switch_overhead(const proc::SwitchOverhead& overhead);
+
+  void complete_job(std::vector<task::Job>::iterator it);
+
+  [[nodiscard]] SchedulingContext make_context() const;
+  [[nodiscard]] std::vector<task::Job>::iterator find_ready(task::JobId id);
+  void insert_ready(const task::Job& job);
+
+  void notify_segment(const SegmentRecord& record);
+};
+
+}  // namespace eadvfs::sim

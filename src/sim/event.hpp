@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file event.hpp
+/// Timed events managed by the engine's event queue.  Arrivals come from the
+/// JobReleaser; the queue carries everything whose *instant* is known in
+/// advance once created — currently job deadlines (checked for misses) and
+/// user-scheduled probes (tests/observers can request a wake-up).
+
+#include <cstdint>
+
+#include "task/job.hpp"
+#include "util/types.hpp"
+
+namespace eadvfs::sim {
+
+enum class EventType : std::uint8_t {
+  kDeadline,  ///< a job's absolute deadline; miss check fires here.
+  kProbe,     ///< engine wake-up with no intrinsic meaning (forces a
+              ///< scheduling decision at a chosen instant).
+};
+
+struct Event {
+  Time time = 0.0;
+  EventType type = EventType::kProbe;
+  task::JobId job = 0;      ///< meaningful for kDeadline.
+  std::uint64_t tag = 0;    ///< user payload for kProbe.
+};
+
+/// Min-heap order on time; ties broken deterministically (deadlines before
+/// probes, then by job id / tag).
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.type != b.type) return a.type > b.type;
+    if (a.job != b.job) return a.job > b.job;
+    return a.tag > b.tag;
+  }
+};
+
+}  // namespace eadvfs::sim

@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace eadvfs::sim {
+
+void EventQueue::push(const Event& event) { heap_.push(event); }
+
+Time EventQueue::next_time() const {
+  return heap_.empty() ? kHuge : heap_.top().time;
+}
+
+const Event& EventQueue::peek() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::peek: empty");
+  return heap_.top();
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+std::vector<Event> EventQueue::pop_due(Time now) {
+  std::vector<Event> due;
+  while (!heap_.empty() && heap_.top().time <= now + util::kEps) {
+    due.push_back(heap_.top());
+    heap_.pop();
+  }
+  return due;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace eadvfs::sim

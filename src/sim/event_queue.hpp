@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// Deterministic time-ordered event queue.  A thin, well-tested wrapper over
+/// a binary heap with the two operations the engine needs beyond push/pop:
+/// "when is the next event?" and "pop everything due at/before t".
+
+#include <queue>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace eadvfs::sim {
+
+class EventQueue {
+ public:
+  void push(const Event& event);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; kHuge when empty.
+  [[nodiscard]] Time next_time() const;
+
+  /// Earliest pending event; queue must not be empty.
+  [[nodiscard]] const Event& peek() const;
+
+  /// Remove and return the earliest event; queue must not be empty.
+  Event pop();
+
+  /// Pop every event with time <= now (within epsilon), in order.
+  [[nodiscard]] std::vector<Event> pop_due(Time now);
+
+  void clear();
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+};
+
+}  // namespace eadvfs::sim

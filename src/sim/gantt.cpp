@@ -1,0 +1,109 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace eadvfs::sim {
+
+std::string render_gantt(const ScheduleRecorder& schedule,
+                         const GanttOptions& options) {
+  const auto& slices = schedule.slices();
+  GanttOptions opts = options;
+  if (opts.width == 0) opts.width = 64;
+  if (opts.end <= opts.start) {
+    Time lo = 0.0, hi = 0.0;
+    if (!slices.empty()) {
+      lo = slices.front().start;
+      hi = slices.front().end;
+      for (const auto& s : slices) {
+        lo = std::min(lo, s.start);
+        hi = std::max(hi, s.end);
+      }
+    }
+    opts.start = lo;
+    opts.end = hi > lo ? hi : lo + 1.0;
+  }
+  const double bucket = (opts.end - opts.start) / static_cast<double>(opts.width);
+
+  // Rows in first-execution order.
+  std::vector<task::JobId> row_order;
+  std::map<task::JobId, std::vector<double>> rows;  // per-bucket op time (enc)
+  auto row_of = [&](task::JobId id) -> std::vector<double>& {
+    auto it = rows.find(id);
+    if (it == rows.end()) {
+      row_order.push_back(id);
+      it = rows.emplace(id, std::vector<double>(opts.width * 16, 0.0)).first;
+    }
+    return it->second;
+  };
+
+  // Accumulate executed time per (bucket, op) pair; op capped at 15.
+  for (const auto& s : slices) {
+    const Time lo = std::max(s.start, opts.start);
+    const Time hi = std::min(s.end, opts.end);
+    if (hi <= lo) continue;
+    auto& row = row_of(s.job);
+    const std::size_t op = std::min<std::size_t>(s.op_index, 15);
+    Time t = lo;
+    while (t < hi) {
+      auto b = static_cast<std::size_t>((t - opts.start) / bucket);
+      // Boundary guard: when t sits on a bucket edge but the division
+      // rounded down, step to the bucket whose interior contains t.
+      if (opts.start + (static_cast<double>(b) + 1) * bucket <= t) ++b;
+      b = std::min(b, opts.width - 1);
+      const Time bucket_end =
+          std::max(opts.start + (static_cast<double>(b) + 1) * bucket,
+                   std::nextafter(t, kHuge));
+      const Time sub_end = std::min(bucket_end, hi);
+      row[b * 16 + op] += sub_end - t;
+      t = sub_end;
+    }
+  }
+
+  // Outcome lookup.
+  std::map<task::JobId, const JobOutcome*> outcomes;
+  for (const auto& o : schedule.outcomes()) outcomes[o.job.id] = &o;
+  std::map<task::JobId, const task::Job*> releases;
+  for (const auto& r : schedule.releases()) releases[r.id] = &r;
+
+  std::ostringstream out;
+  out << "t=[" << opts.start << ", " << opts.end << ")  each column = "
+      << bucket << " time units\n";
+  for (task::JobId id : row_order) {
+    out << "job ";
+    out.width(3);
+    out << id << " |";
+    const auto& row = rows[id];
+    for (std::size_t b = 0; b < opts.width; ++b) {
+      std::size_t best_op = 0;
+      double best_time = 0.0;
+      for (std::size_t op = 0; op < 16; ++op) {
+        if (row[b * 16 + op] > best_time) {
+          best_time = row[b * 16 + op];
+          best_op = op;
+        }
+      }
+      out << (best_time <= 0.0
+                  ? ' '
+                  : static_cast<char>(best_op < 10 ? '0' + best_op
+                                                   : 'a' + (best_op - 10)));
+    }
+    out << '|';
+    if (const auto rel = releases.find(id); rel != releases.end()) {
+      out << "  arr=" << rel->second->arrival
+          << " dl=" << rel->second->absolute_deadline;
+    }
+    if (opts.show_outcomes) {
+      if (const auto it = outcomes.find(id); it != outcomes.end()) {
+        out << (it->second->missed ? "  MISS@" : "  done@") << it->second->time;
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace eadvfs::sim

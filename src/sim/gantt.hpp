@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file gantt.hpp
+/// ASCII Gantt rendering of a recorded schedule — the debugging view for
+/// "what did the scheduler actually do": one row per job, one column per
+/// time bucket, the glyph showing the operating point in use.
+///
+///     t=[0, 20)  each column = 0.5 time units
+///     job 0 |000000000000000044          |  arr=0 dl=16
+///     job 1 |                  44        |  arr=5 dl=17
+///
+/// Glyphs: '0'..'9' = operating-point index (capped at '9'), ' ' = not
+/// executing.  The dominant operating point within a bucket wins the glyph.
+
+#include <string>
+
+#include "proc/frequency_table.hpp"
+#include "sim/trace.hpp"
+
+namespace eadvfs::sim {
+
+struct GanttOptions {
+  Time start = 0.0;
+  Time end = 0.0;          ///< <= start means "span of the recording".
+  std::size_t width = 64;  ///< columns.
+  bool show_outcomes = true;  ///< append "done@t" / "MISS@t" per row.
+};
+
+/// Render the execution slices of `schedule` between the requested times.
+/// Jobs are rows in first-execution order; jobs with no slices in range are
+/// omitted.  Returns a multi-line string ending in '\n'.
+[[nodiscard]] std::string render_gantt(const ScheduleRecorder& schedule,
+                                       const GanttOptions& options = {});
+
+}  // namespace eadvfs::sim

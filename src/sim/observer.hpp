@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file observer.hpp
+/// Engine instrumentation hooks.  The engine's state between two consecutive
+/// decision points is one *segment* with constant harvest power, constant
+/// consumption, and therefore a linear storage level — observers get the
+/// exact segment record and can reconstruct any quantity without sampling
+/// error.
+
+#include <cstddef>
+#include <optional>
+
+#include "task/job.hpp"
+#include "util/types.hpp"
+
+namespace eadvfs::sim {
+
+/// One engine segment [start, end) with constant dynamics.
+struct SegmentRecord {
+  Time start = 0.0;
+  Time end = 0.0;
+  /// Job being executed, or nullopt when idle/stalled.
+  std::optional<task::JobId> job;
+  /// Operating point in use (valid only when `job` is set).
+  std::size_t op_index = 0;
+  Power harvest_power = 0.0;   ///< P_S, constant on the segment.
+  Power consume_power = 0.0;   ///< P_n when running, else 0.
+  Energy level_start = 0.0;    ///< E_C at `start`.
+  Energy level_end = 0.0;      ///< E_C at `end` (linear in between).
+  Energy overflow = 0.0;       ///< harvested energy discarded (storage full).
+  bool stalled = false;        ///< true when the scheduler wanted to run but
+                               ///< the storage was empty (forced idle).
+};
+
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  virtual void on_release(const task::Job& /*job*/) {}
+  virtual void on_complete(const task::Job& /*job*/, Time /*finish*/) {}
+  virtual void on_miss(const task::Job& /*job*/, Time /*deadline*/) {}
+  virtual void on_segment(const SegmentRecord& /*segment*/) {}
+};
+
+}  // namespace eadvfs::sim

@@ -1,0 +1,32 @@
+#include "sim/result.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace eadvfs::sim {
+
+double SimulationResult::miss_rate() const {
+  const std::size_t resolved = jobs_completed + jobs_missed;
+  if (resolved == 0) return 0.0;
+  return static_cast<double>(jobs_missed) / static_cast<double>(resolved);
+}
+
+Energy SimulationResult::conservation_error() const {
+  return std::abs(storage_initial + harvested - consumed - overflow - leaked -
+                  storage_final);
+}
+
+std::string SimulationResult::summary() const {
+  std::ostringstream out;
+  out << "jobs: released=" << jobs_released << " completed=" << jobs_completed
+      << " missed=" << jobs_missed << " unresolved=" << jobs_unresolved
+      << " (miss rate " << miss_rate() << ")\n";
+  out << "energy: harvested=" << harvested << " consumed=" << consumed
+      << " overflow=" << overflow << " storage " << storage_initial << " -> "
+      << storage_final << "\n";
+  out << "processor: busy=" << busy_time << " idle=" << idle_time
+      << " stall=" << stall_time << " switches=" << frequency_switches;
+  return out.str();
+}
+
+}  // namespace eadvfs::sim

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file result.hpp
+/// Aggregate outcome of one simulation run: job bookkeeping (the paper's
+/// deadline-miss metric), full energy accounting (conservation-checkable),
+/// and processor utilization details.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace eadvfs::sim {
+
+struct SimulationResult {
+  // --- job outcomes ----------------------------------------------------
+  std::size_t jobs_released = 0;
+  /// Completed no later than their deadline.
+  std::size_t jobs_completed = 0;
+  /// Unfinished at their deadline (paper's "deadline miss").
+  std::size_t jobs_missed = 0;
+  /// Released but neither completed nor past-deadline at the horizon.
+  std::size_t jobs_unresolved = 0;
+  /// Completed after their deadline (kContinueLate only; these jobs were
+  /// already counted in jobs_missed at the deadline instant).
+  std::size_t jobs_completed_late = 0;
+
+  /// Fraction of deadline-resolved jobs that missed (paper's y-axis in
+  /// Figures 8/9).  0 when nothing resolved.
+  [[nodiscard]] double miss_rate() const;
+
+  // --- energy accounting ------------------------------------------------
+  Energy harvested = 0.0;        ///< gross harvester output over the run.
+  Energy consumed = 0.0;         ///< drawn by the processor (incl. overhead).
+  Energy overflow = 0.0;         ///< harvested energy discarded (storage full).
+  Energy leaked = 0.0;           ///< storage self-discharge (0 for the paper's
+                                 ///< ideal model).
+  Energy storage_initial = 0.0;
+  Energy storage_final = 0.0;
+
+  /// |initial + harvested − consumed − overflow − leaked − final| — should
+  /// be ~0; exposed so tests can assert conservation on arbitrary workloads.
+  [[nodiscard]] Energy conservation_error() const;
+
+  // --- processor --------------------------------------------------------
+  Time busy_time = 0.0;
+  Time idle_time = 0.0;
+  Time stall_time = 0.0;   ///< scheduler wanted to run, storage was empty.
+  /// Idle/stall time during which the storage was empty and the harvest
+  /// could not even cover the processor's idle draw (only possible with a
+  /// non-zero idle-power model).  Subset of idle_time + stall_time.
+  Time brownout_time = 0.0;
+  std::size_t frequency_switches = 0;
+  std::vector<Time> time_at_op;  ///< busy-time residency per operating point.
+
+  Work work_completed = 0.0;
+  Work work_dropped = 0.0;  ///< remaining work of jobs dropped at deadline.
+
+  Time end_time = 0.0;
+  std::size_t segments = 0;  ///< engine segments processed (diagnostics).
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace eadvfs::sim

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// The policy boundary between the engine (physics: time, energy, job
+/// progress) and the scheduling algorithms (LSA, EA-DVFS, ...).
+///
+/// At every decision point the engine hands the scheduler a read-only view
+/// of the world and receives a Decision: either idle (with a wake-up bound)
+/// or run a specific ready job at a specific operating point (with a recheck
+/// bound).  The engine re-invokes the scheduler at *every* state change —
+/// arrival, completion, deadline, energy-source piece boundary, storage
+/// full/empty crossing — so `recheck_at` only needs to encode the policy's
+/// own planned switch instants (EA-DVFS's s1/s2).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "energy/predictor.hpp"
+#include "proc/frequency_table.hpp"
+#include "task/job.hpp"
+#include "util/types.hpp"
+
+namespace eadvfs::sim {
+
+/// Read-only world view at a decision point.
+struct SchedulingContext {
+  Time now = 0.0;
+  /// Ready (released, unfinished, not dropped) jobs, EDF-sorted: front has
+  /// the earliest absolute deadline.  Never empty when decide() is called.
+  const std::vector<task::Job>* ready = nullptr;
+  /// Stored energy E_C(now).
+  Energy stored = 0.0;
+  /// Harvest predictor Ê_S (already updated with all past observations).
+  const energy::EnergyPredictor* predictor = nullptr;
+  /// The processor's DVFS menu.
+  const proc::FrequencyTable* table = nullptr;
+
+  [[nodiscard]] const task::Job& edf_front() const { return ready->front(); }
+};
+
+struct Decision {
+  enum class Kind { kIdle, kRun };
+
+  Kind kind = Kind::kIdle;
+  task::JobId job = 0;          ///< job to run (kRun only).
+  std::size_t op_index = 0;     ///< operating point to run at (kRun only).
+  /// Engine must re-invoke decide() no later than this instant (the engine
+  /// may re-invoke earlier on any event).  kHuge means "no planned switch".
+  Time recheck_at = kHuge;
+
+  static Decision idle_until(Time t) {
+    Decision d;
+    d.kind = Kind::kIdle;
+    d.recheck_at = t;
+    return d;
+  }
+
+  static Decision run(task::JobId job, std::size_t op_index, Time recheck_at = kHuge) {
+    Decision d;
+    d.kind = Kind::kRun;
+    d.job = job;
+    d.op_index = op_index;
+    d.recheck_at = recheck_at;
+    return d;
+  }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Choose what to do now.  `ctx.ready` is non-empty; returning kRun for a
+  /// job id not in the ready set is a logic error (engine throws).
+  [[nodiscard]] virtual Decision decide(const SchedulingContext& ctx) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Clear any per-run internal state (default: stateless).
+  virtual void reset() {}
+};
+
+}  // namespace eadvfs::sim

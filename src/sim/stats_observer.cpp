@@ -1,0 +1,42 @@
+#include "sim/stats_observer.hpp"
+
+namespace eadvfs::sim {
+
+void StatsObserver::on_release(const task::Job& job) {
+  ++per_task_[job.task_id].released;
+}
+
+void StatsObserver::on_complete(const task::Job& job, Time finish) {
+  TaskStats& stats = per_task_[job.task_id];
+  const bool on_time = finish <= job.absolute_deadline + 1e-9;
+  if (on_time) {
+    ++stats.completed;
+  } else {
+    ++stats.completed_late;
+  }
+  const double response = finish - job.arrival;
+  stats.response_time.add(response);
+  response_times_.push_back(response);
+  const double window = job.absolute_deadline - job.arrival;
+  if (window > 0.0)
+    stats.window_margin.add((job.absolute_deadline - finish) / window);
+}
+
+void StatsObserver::on_miss(const task::Job& job, Time /*deadline*/) {
+  ++per_task_[job.task_id].missed;
+}
+
+TaskStats StatsObserver::total() const {
+  TaskStats aggregate;
+  for (const auto& [id, stats] : per_task_) {
+    aggregate.released += stats.released;
+    aggregate.completed += stats.completed;
+    aggregate.completed_late += stats.completed_late;
+    aggregate.missed += stats.missed;
+    aggregate.response_time.merge(stats.response_time);
+    aggregate.window_margin.merge(stats.window_margin);
+  }
+  return aggregate;
+}
+
+}  // namespace eadvfs::sim

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file stats_observer.hpp
+/// Per-task and response-time statistics collected during a run.
+///
+/// The paper's only metric is the deadline miss rate; a deployment also
+/// cares about *response times* — and stretching jobs (EA-DVFS's whole
+/// mechanism) deliberately trades response time for energy.  This observer
+/// measures that trade: per task it tracks release/completion/miss counts,
+/// and per completed job the response time (completion − arrival) and the
+/// normalized lateness margin ((deadline − completion) / relative
+/// deadline, i.e. how much of the window was left).
+
+#include <map>
+#include <vector>
+
+#include "sim/observer.hpp"
+#include "util/stats.hpp"
+
+namespace eadvfs::sim {
+
+struct TaskStats {
+  std::size_t released = 0;
+  std::size_t completed = 0;   ///< on time.
+  std::size_t completed_late = 0;
+  std::size_t missed = 0;
+  util::RunningStats response_time;   ///< completion − arrival (completions).
+  util::RunningStats window_margin;   ///< (deadline − completion) / window.
+
+  [[nodiscard]] double miss_rate() const {
+    const std::size_t resolved = completed + missed;
+    return resolved == 0 ? 0.0
+                         : static_cast<double>(missed) /
+                               static_cast<double>(resolved);
+  }
+};
+
+class StatsObserver final : public SimObserver {
+ public:
+  void on_release(const task::Job& job) override;
+  void on_complete(const task::Job& job, Time finish) override;
+  void on_miss(const task::Job& job, Time deadline) override;
+
+  [[nodiscard]] const std::map<task::TaskId, TaskStats>& per_task() const {
+    return per_task_;
+  }
+  [[nodiscard]] const TaskStats& task(task::TaskId id) const {
+    return per_task_.at(id);
+  }
+
+  /// Aggregate over all tasks.
+  [[nodiscard]] TaskStats total() const;
+
+  /// All completed jobs' response times (for quantiles).
+  [[nodiscard]] const std::vector<double>& response_times() const {
+    return response_times_;
+  }
+
+ private:
+  std::map<task::TaskId, TaskStats> per_task_;
+  std::vector<double> response_times_;
+};
+
+}  // namespace eadvfs::sim

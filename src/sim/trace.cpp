@@ -1,0 +1,74 @@
+#include "sim/trace.hpp"
+
+#include <stdexcept>
+
+namespace eadvfs::sim {
+
+EnergyTraceRecorder::EnergyTraceRecorder(Time interval, Time horizon) {
+  if (interval <= 0.0)
+    throw std::invalid_argument("EnergyTraceRecorder: interval must be positive");
+  if (horizon < 0.0)
+    throw std::invalid_argument("EnergyTraceRecorder: negative horizon");
+  for (Time t = 0.0; t <= horizon + 1e-9; t += interval) times_.push_back(t);
+  levels_.assign(times_.size(), 0.0);
+}
+
+void EnergyTraceRecorder::on_segment(const SegmentRecord& segment) {
+  const Time dt = segment.end - segment.start;
+  while (next_ < times_.size() && times_[next_] <= segment.end + 1e-9) {
+    const Time t = times_[next_];
+    if (t < segment.start - 1e-9) {
+      // Grid point before any observed segment (can only be t=0 races);
+      // take the segment's start level.
+      levels_[next_] = segment.level_start;
+    } else if (dt <= 0.0) {
+      levels_[next_] = segment.level_end;
+    } else {
+      const double frac = (t - segment.start) / dt;
+      levels_[next_] =
+          segment.level_start + (segment.level_end - segment.level_start) * frac;
+    }
+    ++next_;
+  }
+}
+
+void ScheduleRecorder::on_segment(const SegmentRecord& segment) {
+  if (!segment.job.has_value()) return;
+  if (segment.end <= segment.start) return;
+  // Merge with the previous slice when it is a seamless continuation.
+  if (!slices_.empty()) {
+    ExecutionSlice& last = slices_.back();
+    if (last.job == *segment.job && last.op_index == segment.op_index &&
+        last.end == segment.start) {
+      last.end = segment.end;
+      return;
+    }
+  }
+  slices_.push_back({*segment.job, segment.op_index, segment.start, segment.end});
+}
+
+void ScheduleRecorder::on_release(const task::Job& job) { releases_.push_back(job); }
+
+void ScheduleRecorder::on_complete(const task::Job& job, Time finish) {
+  outcomes_.push_back({job, finish, false});
+}
+
+void ScheduleRecorder::on_miss(const task::Job& job, Time deadline) {
+  outcomes_.push_back({job, deadline, true});
+}
+
+Time ScheduleRecorder::executed_time(task::JobId job) const {
+  Time total = 0.0;
+  for (const auto& s : slices_)
+    if (s.job == job) total += s.end - s.start;
+  return total;
+}
+
+std::vector<ExecutionSlice> ScheduleRecorder::slices_of(task::JobId job) const {
+  std::vector<ExecutionSlice> result;
+  for (const auto& s : slices_)
+    if (s.job == job) result.push_back(s);
+  return result;
+}
+
+}  // namespace eadvfs::sim

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file trace.hpp
+/// Ready-made observers:
+///   * EnergyTraceRecorder — samples the storage level E_C(t) on a fixed
+///     grid by exact linear interpolation within segments (this is how the
+///     remaining-energy curves of paper Figures 6/7 are produced);
+///   * ScheduleRecorder — full execution log (who ran when at which speed,
+///     completions, misses), used by the schedule-validity property tests
+///     and by the worked-example binaries to print Gantt-style output.
+
+#include <vector>
+
+#include "sim/observer.hpp"
+
+namespace eadvfs::sim {
+
+class EnergyTraceRecorder final : public SimObserver {
+ public:
+  /// Samples at t = 0, interval, 2*interval, ... up to `horizon` inclusive.
+  EnergyTraceRecorder(Time interval, Time horizon);
+
+  void on_segment(const SegmentRecord& segment) override;
+
+  /// Sample instants (fixed grid).
+  [[nodiscard]] const std::vector<Time>& times() const { return times_; }
+  /// E_C at each grid instant (levels_[i] corresponds to times_[i]).
+  /// Valid once the run has covered the grid; trailing entries stay at the
+  /// last observed level if the run ended early.
+  [[nodiscard]] const std::vector<Energy>& levels() const { return levels_; }
+
+ private:
+  std::vector<Time> times_;
+  std::vector<Energy> levels_;
+  std::size_t next_ = 0;  ///< first grid index not yet filled.
+};
+
+/// One executed slice of a job.
+struct ExecutionSlice {
+  task::JobId job = 0;
+  std::size_t op_index = 0;
+  Time start = 0.0;
+  Time end = 0.0;
+};
+
+/// Outcome notice for a job.
+struct JobOutcome {
+  task::Job job;
+  Time time = 0.0;
+  bool missed = false;  ///< true: deadline miss; false: completion.
+};
+
+class ScheduleRecorder final : public SimObserver {
+ public:
+  void on_segment(const SegmentRecord& segment) override;
+  void on_release(const task::Job& job) override;
+  void on_complete(const task::Job& job, Time finish) override;
+  void on_miss(const task::Job& job, Time deadline) override;
+
+  [[nodiscard]] const std::vector<ExecutionSlice>& slices() const { return slices_; }
+  [[nodiscard]] const std::vector<task::Job>& releases() const { return releases_; }
+  [[nodiscard]] const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
+
+  /// Total executed time of one job across all slices.
+  [[nodiscard]] Time executed_time(task::JobId job) const;
+
+  /// Total executed *work* (slice length × slice speed requires the table;
+  /// recorder stores speeds are not known here, so this sums wall time —
+  /// see tests which combine it with the frequency table via op_index).
+  [[nodiscard]] std::vector<ExecutionSlice> slices_of(task::JobId job) const;
+
+ private:
+  std::vector<ExecutionSlice> slices_;
+  std::vector<task::Job> releases_;
+  std::vector<JobOutcome> outcomes_;
+};
+
+}  // namespace eadvfs::sim

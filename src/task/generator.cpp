@@ -1,0 +1,62 @@
+#include "task/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eadvfs::task {
+
+TaskSetGenerator::TaskSetGenerator(const GeneratorConfig& config) : config_(config) {
+  if (config_.n_tasks == 0)
+    throw std::invalid_argument("TaskSetGenerator: need at least one task");
+  if (config_.target_utilization <= 0.0 || config_.target_utilization > 1.0)
+    throw std::invalid_argument("TaskSetGenerator: utilization must be in (0, 1]");
+  if (config_.mean_harvest_power <= 0.0)
+    throw std::invalid_argument("TaskSetGenerator: mean harvest power must be positive");
+  if (config_.p_max <= 0.0)
+    throw std::invalid_argument("TaskSetGenerator: p_max must be positive");
+  if (config_.period_choices.empty())
+    throw std::invalid_argument("TaskSetGenerator: no period choices");
+  for (Time p : config_.period_choices)
+    if (p <= 0.0)
+      throw std::invalid_argument("TaskSetGenerator: non-positive period choice");
+}
+
+TaskSet TaskSetGenerator::generate(util::Xoshiro256ss& rng) const {
+  for (std::size_t attempt = 0; attempt < config_.max_redraws; ++attempt) {
+    // Draw raw (unscaled) tasks.  The raw WCET can exceed the period (the
+    // paper's energy draw allows w up to P̄_S·p/P_max = 1.25·p for the
+    // defaults), so feasibility is only checked after scaling.
+    std::vector<Task> tasks;
+    tasks.reserve(config_.n_tasks);
+    double raw_utilization = 0.0;
+    for (std::size_t i = 0; i < config_.n_tasks; ++i) {
+      Task t;
+      t.id = static_cast<TaskId>(i);
+      const auto choice = rng.uniform_int(0, config_.period_choices.size() - 1);
+      t.period = config_.period_choices[choice];
+      t.relative_deadline = t.period;  // paper: deadline = period
+      const Energy e = rng.uniform(0.0, config_.mean_harvest_power * t.period);
+      t.wcet = e / config_.p_max;
+      t.phase = 0.0;  // synchronous release, as in the paper's examples
+      raw_utilization += t.wcet / t.period;
+      tasks.push_back(t);
+    }
+    if (raw_utilization <= 0.0) continue;  // degenerate all-zero draw
+
+    const double scale = config_.target_utilization / raw_utilization;
+    bool feasible = true;
+    for (Task& t : tasks) {
+      t.wcet *= scale;
+      if (t.wcet > std::min(t.relative_deadline, t.period)) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    return TaskSet(std::move(tasks));
+  }
+  throw std::runtime_error(
+      "TaskSetGenerator: exceeded max_redraws without a feasible set");
+}
+
+}  // namespace eadvfs::task

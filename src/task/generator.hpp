@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file generator.hpp
+/// Random task-set generation following the paper's recipe (§5.1):
+///   * period drawn uniformly from {10, 20, ..., 100};
+///   * relative deadline = period;
+///   * per-job worst-case *energy* e ~ Uniform[0, P̄_S · p] where P̄_S is the
+///     mean harvested power, converted to WCET as w = e / P_max;
+///   * all WCETs then rescaled by a common factor to hit the target
+///     utilization U (redrawing the set if the scale would make any task
+///     infeasible, i.e. w > p).
+
+#include <cstdint>
+#include <vector>
+
+#include "task/task_set.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace eadvfs::task {
+
+struct GeneratorConfig {
+  std::size_t n_tasks = 5;          ///< tasks per set (paper's figures use 5).
+  double target_utilization = 0.4;
+  Power mean_harvest_power = 3.99;  ///< P̄_S; eq. 13's analytic mean by default.
+  Power p_max = 3.2;                ///< processor max power (XScale table).
+  std::vector<Time> period_choices =  ///< the paper's {10, 20, ..., 100}.
+      {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  std::size_t max_redraws = 1000;   ///< attempts before giving up.
+};
+
+class TaskSetGenerator {
+ public:
+  explicit TaskSetGenerator(const GeneratorConfig& config);
+
+  /// Generate one task set; each call consumes randomness from `rng`.
+  /// Throws std::runtime_error if `max_redraws` sets in a row cannot be
+  /// scaled to the target utilization (only possible for U near 1 with few
+  /// tasks).
+  [[nodiscard]] TaskSet generate(util::Xoshiro256ss& rng) const;
+
+  [[nodiscard]] const GeneratorConfig& config() const { return config_; }
+
+ private:
+  GeneratorConfig config_;
+
+  /// One unscaled draw (may fail scaling).
+  [[nodiscard]] TaskSet draw(util::Xoshiro256ss& rng) const;
+};
+
+}  // namespace eadvfs::task

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file job.hpp
+/// One released task instance: the (a, d, w) triple of the paper plus the
+/// execution-progress state the engine maintains.  Work is measured in
+/// f_max-time: running at speed S for dt completes S·dt work.
+
+#include <cstdint>
+
+#include "task/task.hpp"
+#include "util/types.hpp"
+
+namespace eadvfs::task {
+
+using JobId = std::uint64_t;
+
+struct Job {
+  JobId id = 0;
+  TaskId task_id = 0;
+  std::uint32_t sequence = 0;      ///< which release of the task (0-based).
+  Time arrival = 0.0;              ///< a_m.
+  Time absolute_deadline = 0.0;    ///< a_m + d_m.
+  Work wcet = 0.0;                 ///< w_m at f_max — what schedulers budget.
+  Work remaining = 0.0;            ///< *budgeted* work left (wcet-based);
+                                   ///< this is the value schedulers see.
+  /// True execution demand at f_max.  Real jobs often finish below their
+  /// worst case; schedulers must not peek at this (they only know the WCET
+  /// budget), but the engine completes the job once `actual_remaining`
+  /// reaches zero — the resulting early-completion slack is what dynamic
+  /// policies can reclaim.  Defaults to the WCET (the paper's model).
+  Work actual_work = 0.0;
+  Work actual_remaining = 0.0;
+
+  [[nodiscard]] bool finished() const { return actual_remaining <= 0.0; }
+
+  /// Work already executed (true progress).
+  [[nodiscard]] Work completed() const { return actual_work - actual_remaining; }
+
+  /// Time left until the deadline from `now` (may be negative when late).
+  [[nodiscard]] Time laxity_window(Time now) const {
+    return absolute_deadline - now;
+  }
+};
+
+/// EDF ordering: earlier absolute deadline = higher priority; ties broken by
+/// arrival then id so the order is total and deterministic.
+struct EdfBefore {
+  bool operator()(const Job& a, const Job& b) const {
+    if (a.absolute_deadline != b.absolute_deadline)
+      return a.absolute_deadline < b.absolute_deadline;
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace eadvfs::task

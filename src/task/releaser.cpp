@@ -1,0 +1,75 @@
+#include "task/releaser.hpp"
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::task {
+
+JobReleaser::JobReleaser(const TaskSet& task_set, Time horizon,
+                         const ExecutionTimeModel& execution) {
+  if (horizon <= 0.0)
+    throw std::invalid_argument("JobReleaser: horizon must be positive");
+  if (execution.bcet_fraction <= 0.0 || execution.bcet_fraction > 1.0)
+    throw std::invalid_argument("JobReleaser: bcet_fraction outside (0, 1]");
+  util::Xoshiro256ss rng(execution.seed);
+  JobId next_id = 0;
+  for (const Task& t : task_set) {
+    std::uint32_t seq = 0;
+    for (Time a = t.phase; a < horizon; a += t.period, ++seq) {
+      Job job;
+      job.id = next_id++;
+      job.task_id = t.id;
+      job.sequence = seq;
+      job.arrival = a;
+      job.absolute_deadline = a + t.relative_deadline;
+      job.wcet = t.wcet;
+      job.remaining = t.wcet;
+      job.actual_work =
+          execution.bcet_fraction >= 1.0
+              ? t.wcet
+              : rng.uniform(execution.bcet_fraction * t.wcet, t.wcet);
+      job.actual_remaining = job.actual_work;
+      pending_.push(job);
+    }
+  }
+  total_jobs_ = pending_.size();
+}
+
+JobReleaser::JobReleaser(std::vector<Job> jobs) {
+  JobId next_id = 0;
+  for (Job& job : jobs) {
+    if (job.wcet < 0.0)
+      throw std::invalid_argument("JobReleaser: negative WCET");
+    if (job.absolute_deadline < job.arrival)
+      throw std::invalid_argument("JobReleaser: deadline before arrival");
+    if (job.actual_work < 0.0 || job.actual_work > job.wcet)
+      throw std::invalid_argument(
+          "JobReleaser: actual work outside [0, wcet]");
+    job.id = next_id++;
+    job.remaining = job.wcet;
+    job.actual_work = job.actual_work > 0.0 ? job.actual_work : job.wcet;
+    job.actual_remaining = job.actual_work;
+    pending_.push(job);
+  }
+  total_jobs_ = pending_.size();
+}
+
+Time JobReleaser::next_arrival() const {
+  return pending_.empty() ? kHuge : pending_.top().arrival;
+}
+
+std::vector<Job> JobReleaser::release_due(Time now) {
+  std::vector<Job> released;
+  while (!pending_.empty() &&
+         pending_.top().arrival <= now + util::kEps) {
+    released.push_back(pending_.top());
+    pending_.pop();
+  }
+  return released;
+}
+
+bool JobReleaser::exhausted() const { return pending_.empty(); }
+
+}  // namespace eadvfs::task

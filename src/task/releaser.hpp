@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file releaser.hpp
+/// Turns a task set (or an explicit job list) into the time-ordered arrival
+/// stream the engine consumes.  Job parameters are unknown before release
+/// (paper §3.3) — the engine only ever asks for the *next* arrival instant
+/// and pops jobs whose time has come.
+
+#include <queue>
+#include <vector>
+
+#include "task/job.hpp"
+#include "task/task_set.hpp"
+
+namespace eadvfs::task {
+
+/// How a job's *actual* execution demand relates to its WCET budget.
+/// The paper assumes every job runs for its full WCET (`bcet_fraction = 1`);
+/// setting it below 1 draws each job's actual work uniformly from
+/// [bcet_fraction · wcet, wcet], modelling early completions whose slack
+/// dynamic policies can reclaim.
+struct ExecutionTimeModel {
+  double bcet_fraction = 1.0;  ///< in (0, 1].
+  std::uint64_t seed = 0;      ///< draw stream for the actual times.
+};
+
+class JobReleaser {
+ public:
+  /// Periodic mode: releases every job of every task with arrival < horizon.
+  JobReleaser(const TaskSet& task_set, Time horizon,
+              const ExecutionTimeModel& execution = {});
+
+  /// Explicit mode: the given one-shot jobs (used by the paper's worked
+  /// examples and by tests).  Jobs may be passed in any order; `remaining`
+  /// is initialized to `wcet` (and `actual_*` to `actual_work`, or the WCET
+  /// when unset) and ids are reassigned to be unique.
+  explicit JobReleaser(std::vector<Job> jobs);
+
+  /// Arrival instant of the next unreleased job, or kHuge when exhausted.
+  [[nodiscard]] Time next_arrival() const;
+
+  /// Pop every job with arrival <= now (within epsilon).
+  [[nodiscard]] std::vector<Job> release_due(Time now);
+
+  [[nodiscard]] bool exhausted() const;
+
+  /// Total number of jobs this releaser will ever produce.
+  [[nodiscard]] std::size_t total_jobs() const { return total_jobs_; }
+
+ private:
+  struct ArrivalAfter {
+    bool operator()(const Job& a, const Job& b) const {
+      if (a.arrival != b.arrival) return a.arrival > b.arrival;  // min-heap
+      return a.id > b.id;
+    }
+  };
+
+  std::priority_queue<Job, std::vector<Job>, ArrivalAfter> pending_;
+  std::size_t total_jobs_ = 0;
+};
+
+}  // namespace eadvfs::task

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file task.hpp
+/// Periodic task model (paper §3.3): every `period` time units the task
+/// releases a job with the given relative deadline and worst-case execution
+/// time (WCET, measured at maximum frequency).
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace eadvfs::task {
+
+using TaskId = std::uint32_t;
+
+struct Task {
+  TaskId id = 0;
+  Time period = 0.0;
+  Time relative_deadline = 0.0;  ///< the paper sets this equal to period.
+  Work wcet = 0.0;               ///< w_m at f_max.
+  Time phase = 0.0;              ///< first release time.
+
+  /// Utilization contribution w_m / p_m (paper eq. 14).
+  [[nodiscard]] double utilization() const { return wcet / period; }
+};
+
+}  // namespace eadvfs::task

@@ -1,0 +1,73 @@
+#include "task/task_set.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace eadvfs::task {
+
+TaskSet::TaskSet(std::vector<Task> tasks) : tasks_(std::move(tasks)) { validate(); }
+
+TaskSet::TaskSet(std::initializer_list<Task> tasks) : tasks_(tasks) { validate(); }
+
+void TaskSet::validate() const {
+  for (const Task& t : tasks_) {
+    if (t.period <= 0.0)
+      throw std::invalid_argument("TaskSet: task period must be positive");
+    if (t.relative_deadline <= 0.0)
+      throw std::invalid_argument("TaskSet: relative deadline must be positive");
+    if (t.wcet < 0.0)
+      throw std::invalid_argument("TaskSet: negative WCET");
+    if (t.phase < 0.0)
+      throw std::invalid_argument("TaskSet: negative phase");
+    if (t.wcet > std::min(t.relative_deadline, t.period))
+      throw std::invalid_argument(
+          "TaskSet: WCET exceeds min(deadline, period); infeasible at any speed");
+  }
+}
+
+double TaskSet::utilization() const {
+  double total = 0.0;
+  for (const Task& t : tasks_) total += t.utilization();
+  return total;
+}
+
+double TaskSet::max_feasible_utilization() const {
+  if (tasks_.empty()) return 0.0;
+  double max_scale = 1e308;
+  for (const Task& t : tasks_) {
+    if (t.wcet <= 0.0) continue;
+    const Time window = std::min(t.relative_deadline, t.period);
+    max_scale = std::min(max_scale, window / t.wcet);
+  }
+  return utilization() * max_scale;
+}
+
+void TaskSet::scale_to_utilization(double target) {
+  if (target <= 0.0)
+    throw std::invalid_argument("scale_to_utilization: target must be positive");
+  const double current = utilization();
+  if (current <= 0.0)
+    throw std::logic_error("scale_to_utilization: task set has zero utilization");
+  const double scale = target / current;
+  // Validate before mutating so failure leaves the set unchanged.
+  for (const Task& t : tasks_) {
+    const Time window = std::min(t.relative_deadline, t.period);
+    if (t.wcet * scale > window + 1e-12)
+      throw std::invalid_argument(
+          "scale_to_utilization: target utilization makes a task infeasible");
+  }
+  for (Task& t : tasks_) t.wcet *= scale;
+}
+
+std::string TaskSet::describe() const {
+  std::ostringstream out;
+  out << tasks_.size() << " tasks, U=" << utilization() << ":";
+  for (const Task& t : tasks_) {
+    out << " (id=" << t.id << " p=" << t.period << " d=" << t.relative_deadline
+        << " w=" << t.wcet << ")";
+  }
+  return out.str();
+}
+
+}  // namespace eadvfs::task

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file task_set.hpp
+/// A validated collection of periodic tasks with the utilization operations
+/// the paper's experiment setup needs (eq. 14 and the uniform WCET rescale
+/// used to hit a target utilization).
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "task/task.hpp"
+
+namespace eadvfs::task {
+
+class TaskSet {
+ public:
+  TaskSet() = default;
+  explicit TaskSet(std::vector<Task> tasks);
+  TaskSet(std::initializer_list<Task> tasks);
+
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] bool empty() const { return tasks_.empty(); }
+  [[nodiscard]] const Task& at(std::size_t index) const { return tasks_.at(index); }
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+
+  [[nodiscard]] auto begin() const { return tasks_.begin(); }
+  [[nodiscard]] auto end() const { return tasks_.end(); }
+
+  /// Total utilization Σ w_m / p_m (paper eq. 14).
+  [[nodiscard]] double utilization() const;
+
+  /// Scale every WCET by the same factor so that utilization() == target
+  /// (paper §5.1: "we scale the worst case execution time of each task in a
+  /// task set in the same ratio").  Throws if the scale would push any
+  /// task's WCET above its effective window (min(deadline, period)) — such
+  /// a set could never meet deadlines even with infinite energy.
+  void scale_to_utilization(double target);
+
+  /// Largest scale factor that keeps every wcet <= min(deadline, period);
+  /// the corresponding utilization bounds what scale_to_utilization accepts.
+  [[nodiscard]] double max_feasible_utilization() const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<Task> tasks_;
+
+  void validate() const;
+};
+
+}  // namespace eadvfs::task

@@ -1,0 +1,145 @@
+#include "util/args.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace eadvfs::util {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help_text) {
+  if (specs_.count(name) != 0)
+    throw std::logic_error("ArgParser: duplicate option --" + name);
+  specs_[name] = Spec{true, "", help_text};
+  order_.push_back(name);
+  flags_[name] = false;
+}
+
+void ArgParser::add_option(const std::string& name, const std::string& default_value,
+                           const std::string& help_text) {
+  if (specs_.count(name) != 0)
+    throw std::logic_error("ArgParser: duplicate option --" + name);
+  specs_[name] = Spec{false, default_value, help_text};
+  order_.push_back(name);
+  values_[name] = default_value;
+}
+
+const ArgParser::Spec& ArgParser::spec_or_throw(const std::string& name) const {
+  auto it = specs_.find(name);
+  if (it == specs_.end())
+    throw std::logic_error("ArgParser: undeclared option --" + name);
+  return it->second;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      std::cout << help();
+      return false;
+    }
+    if (token.rfind("--", 0) != 0)
+      throw std::invalid_argument("unexpected positional argument: " + token);
+    token = token.substr(2);
+
+    std::string name = token;
+    std::optional<std::string> inline_value;
+    if (auto eq = token.find('='); eq != std::string::npos) {
+      name = token.substr(0, eq);
+      inline_value = token.substr(eq + 1);
+    }
+
+    auto it = specs_.find(name);
+    if (it == specs_.end())
+      throw std::invalid_argument("unknown option --" + name);
+
+    if (it->second.is_flag) {
+      if (inline_value)
+        throw std::invalid_argument("flag --" + name + " does not take a value");
+      flags_[name] = true;
+    } else if (inline_value) {
+      values_[name] = *inline_value;
+    } else {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("option --" + name + " expects a value");
+      values_[name] = argv[++i];
+    }
+    provided_[name] = true;
+  }
+  return true;
+}
+
+bool ArgParser::provided(const std::string& name) const {
+  (void)spec_or_throw(name);  // typo protection
+  const auto it = provided_.find(name);
+  return it != provided_.end() && it->second;
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  if (!spec_or_throw(name).is_flag)
+    throw std::logic_error("option --" + name + " is not a flag");
+  return flags_.at(name);
+}
+
+std::string ArgParser::str(const std::string& name) const {
+  if (spec_or_throw(name).is_flag)
+    throw std::logic_error("option --" + name + " is a flag");
+  return values_.at(name);
+}
+
+long long ArgParser::integer(const std::string& name) const {
+  const std::string v = str(name);
+  std::size_t pos = 0;
+  const long long parsed = std::stoll(v, &pos);
+  if (pos != v.size())
+    throw std::invalid_argument("option --" + name + ": not an integer: " + v);
+  return parsed;
+}
+
+double ArgParser::real(const std::string& name) const {
+  const std::string v = str(name);
+  std::size_t pos = 0;
+  const double parsed = std::stod(v, &pos);
+  if (pos != v.size())
+    throw std::invalid_argument("option --" + name + ": not a number: " + v);
+  return parsed;
+}
+
+std::vector<std::string> ArgParser::str_list(const std::string& name) const {
+  std::vector<std::string> items;
+  std::stringstream stream(str(name));
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+std::vector<double> ArgParser::real_list(const std::string& name) const {
+  std::vector<double> items;
+  for (const auto& s : str_list(name)) {
+    std::size_t pos = 0;
+    const double parsed = std::stod(s, &pos);
+    if (pos != s.size())
+      throw std::invalid_argument("option --" + name + ": not a number: " + s);
+    items.push_back(parsed);
+  }
+  return items;
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream out;
+  out << description_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Spec& s = specs_.at(name);
+    out << "  --" << name;
+    if (!s.is_flag) out << " <value> (default: " << s.default_value << ")";
+    out << "\n      " << s.help_text << '\n';
+  }
+  out << "  --help\n      Show this message.\n";
+  return out.str();
+}
+
+}  // namespace eadvfs::util

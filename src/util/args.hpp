@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file args.hpp
+/// Tiny declarative CLI parser for the bench/example binaries.
+///
+/// Supported syntax: `--name value`, `--name=value`, and boolean flags
+/// (`--verbose`).  Unknown options are an error (typo protection for
+/// long-running experiment sweeps).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eadvfs::util {
+
+class ArgParser {
+ public:
+  /// `program_description` is printed by help().
+  explicit ArgParser(std::string program_description);
+
+  /// Declare options (call before parse()).  `help_text` appears in help().
+  void add_flag(const std::string& name, const std::string& help_text);
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help_text);
+
+  /// Parse argv.  Returns false (after printing help) when `--help` was
+  /// requested; throws std::invalid_argument on unknown/malformed options.
+  bool parse(int argc, const char* const* argv);
+
+  /// True when the option/flag was explicitly present on the command line
+  /// (as opposed to holding its default).  Lets callers layer config-file
+  /// values between defaults and explicit CLI overrides.
+  [[nodiscard]] bool provided(const std::string& name) const;
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] long long integer(const std::string& name) const;
+  [[nodiscard]] double real(const std::string& name) const;
+
+  /// Comma-separated list of doubles, e.g. `--capacities 200,300,500`.
+  [[nodiscard]] std::vector<double> real_list(const std::string& name) const;
+
+  /// Comma-separated list of strings.
+  [[nodiscard]] std::vector<std::string> str_list(const std::string& name) const;
+
+  /// Rendered help text.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Spec {
+    bool is_flag = false;
+    std::string default_value;
+    std::string help_text;
+  };
+
+  std::string description_;
+  std::vector<std::string> order_;  // declaration order for help()
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+  std::map<std::string, bool> provided_;
+
+  const Spec& spec_or_throw(const std::string& name) const;
+};
+
+}  // namespace eadvfs::util

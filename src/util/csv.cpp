@@ -1,0 +1,106 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace eadvfs::util {
+
+std::string csv_quote(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::put(const std::string& raw) {
+  if (row_started_) out_ << ',';
+  out_ << raw;
+  row_started_ = true;
+}
+
+CsvWriter& CsvWriter::cell(const std::string& value) {
+  put(csv_quote(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value, int precision) {
+  std::ostringstream tmp;
+  tmp.precision(precision);
+  tmp << value;
+  put(tmp.str());
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(long long value) {
+  put(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_started_ = false;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) cell(c);
+  end_row();
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells, int precision) {
+  for (double c : cells) cell(c, precision);
+  end_row();
+}
+
+std::vector<std::string> csv_split(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      current += c;
+    }
+  }
+  cells.push_back(std::move(current));
+  return cells;
+}
+
+std::vector<std::vector<std::string>> csv_read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv_read_file: cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    rows.push_back(csv_split(line));
+  }
+  return rows;
+}
+
+}  // namespace eadvfs::util

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV writing/reading.  Bench binaries dump every reproduced figure
+/// as a CSV next to the printed table so results can be re-plotted; the
+/// TraceSource energy model reads real harvest traces back in.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eadvfs::util {
+
+/// Streaming CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write a full row of string cells (quoted as needed).
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Write a row of doubles with the given precision.
+  void write_row(const std::vector<double>& cells, int precision = 9);
+
+  /// Append one cell to the current row.
+  CsvWriter& cell(const std::string& value);
+  CsvWriter& cell(double value, int precision = 9);
+  CsvWriter& cell(long long value);
+
+  /// Terminate the current row.
+  void end_row();
+
+ private:
+  std::ostream& out_;
+  bool row_started_ = false;
+
+  void put(const std::string& raw);
+};
+
+/// Quote a single cell per RFC 4180 (only when needed).
+[[nodiscard]] std::string csv_quote(const std::string& cell);
+
+/// Parse one CSV line into cells, honouring quotes and escaped quotes.
+[[nodiscard]] std::vector<std::string> csv_split(const std::string& line);
+
+/// Read a whole CSV file into rows of cells.  Throws std::runtime_error on
+/// I/O failure.  Blank lines are skipped.
+[[nodiscard]] std::vector<std::vector<std::string>> csv_read_file(const std::string& path);
+
+}  // namespace eadvfs::util

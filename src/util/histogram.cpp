@@ -1,0 +1,70 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace eadvfs::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: requires lo < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: requires bins > 0");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((x - lo_) / width);
+  bin = std::min(bin, counts_.size() - 1);  // guard against fp edge at hi_
+  ++counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin + 1);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(std::llround(static_cast<double>(counts_[b]) /
+                                              static_cast<double>(peak) *
+                                              static_cast<double>(width)));
+    out << '[';
+    out.setf(std::ios::fixed);
+    out.precision(2);
+    out.width(9);
+    out << bin_lo(b) << ',';
+    out.width(9);
+    out << bin_hi(b) << ") ";
+    out << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+  if (underflow_ > 0) out << "underflow: " << underflow_ << '\n';
+  if (overflow_ > 0) out << "overflow:  " << overflow_ << '\n';
+  return out.str();
+}
+
+}  // namespace eadvfs::util

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-bin histogram, used for distributional views of experiment outputs
+/// (e.g. per-task-set miss rates, per-job tardiness) and for test assertions
+/// about the shape of the eq. 13 energy-source generator.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eadvfs::util {
+
+/// Equal-width histogram over [lo, hi); samples outside are counted in
+/// underflow/overflow buckets rather than silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// Lower edge of the given bin.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  /// Upper edge of the given bin.
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Fraction of all samples (including under/overflow) inside this bin.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering (one row per bin with a bar), for bench
+  /// binaries that want a quick visual without plotting tools.
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace eadvfs::util

@@ -1,0 +1,144 @@
+#include "util/ini.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace eadvfs::util {
+
+namespace {
+
+std::string trimmed(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Strip an unquoted trailing comment (# or ;).
+std::string strip_comment(const std::string& s) {
+  const auto pos = s.find_first_of("#;");
+  return pos == std::string::npos ? s : s.substr(0, pos);
+}
+
+}  // namespace
+
+IniFile IniFile::parse(const std::string& text) {
+  IniFile ini;
+  std::istringstream stream(text);
+  std::string line;
+  std::string current_section;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::string content = trimmed(strip_comment(line));
+    if (content.empty()) continue;
+    if (content.front() == '[') {
+      if (content.back() != ']')
+        throw std::runtime_error("ini: unterminated section header at line " +
+                                 std::to_string(line_no));
+      current_section = trimmed(content.substr(1, content.size() - 2));
+      if (ini.sections_.find(current_section) == ini.sections_.end()) {
+        ini.sections_[current_section] = {};
+        ini.section_order_.push_back(current_section);
+      }
+      continue;
+    }
+    const auto eq = content.find('=');
+    if (eq == std::string::npos)
+      throw std::runtime_error("ini: expected key = value at line " +
+                               std::to_string(line_no));
+    const std::string key = trimmed(content.substr(0, eq));
+    const std::string value = trimmed(content.substr(eq + 1));
+    if (key.empty())
+      throw std::runtime_error("ini: empty key at line " + std::to_string(line_no));
+    if (ini.sections_.find(current_section) == ini.sections_.end()) {
+      ini.sections_[current_section] = {};
+      ini.section_order_.push_back(current_section);
+    }
+    Section& section = ini.sections_[current_section];
+    if (section.values.find(key) == section.values.end())
+      section.key_order.push_back(key);
+    section.values[key] = value;
+  }
+  return ini;
+}
+
+IniFile IniFile::load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("ini: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse(buffer.str());
+}
+
+bool IniFile::has(const std::string& section, const std::string& key) const {
+  const auto it = sections_.find(section);
+  return it != sections_.end() &&
+         it->second.values.find(key) != it->second.values.end();
+}
+
+std::optional<std::string> IniFile::get(const std::string& section,
+                                        const std::string& key) const {
+  const auto it = sections_.find(section);
+  if (it == sections_.end()) return std::nullopt;
+  const auto kv = it->second.values.find(key);
+  if (kv == it->second.values.end()) return std::nullopt;
+  return kv->second;
+}
+
+std::string IniFile::get_string(const std::string& section, const std::string& key,
+                                const std::string& fallback) const {
+  return get(section, key).value_or(fallback);
+}
+
+double IniFile::get_real(const std::string& section, const std::string& key,
+                         double fallback) const {
+  const auto value = get(section, key);
+  if (!value) return fallback;
+  std::size_t pos = 0;
+  const double parsed = std::stod(*value, &pos);
+  if (pos != value->size())
+    throw std::invalid_argument("ini: [" + section + "] " + key +
+                                " is not a number: " + *value);
+  return parsed;
+}
+
+long long IniFile::get_integer(const std::string& section, const std::string& key,
+                               long long fallback) const {
+  const auto value = get(section, key);
+  if (!value) return fallback;
+  std::size_t pos = 0;
+  const long long parsed = std::stoll(*value, &pos);
+  if (pos != value->size())
+    throw std::invalid_argument("ini: [" + section + "] " + key +
+                                " is not an integer: " + *value);
+  return parsed;
+}
+
+bool IniFile::get_bool(const std::string& section, const std::string& key,
+                       bool fallback) const {
+  const auto value = get(section, key);
+  if (!value) return fallback;
+  std::string lower = *value;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "true" || lower == "yes" || lower == "1" || lower == "on")
+    return true;
+  if (lower == "false" || lower == "no" || lower == "0" || lower == "off")
+    return false;
+  throw std::invalid_argument("ini: [" + section + "] " + key +
+                              " is not a boolean: " + *value);
+}
+
+std::vector<std::string> IniFile::sections() const { return section_order_; }
+
+std::vector<std::string> IniFile::keys(const std::string& section) const {
+  const auto it = sections_.find(section);
+  if (it == sections_.end()) return {};
+  return it->second.key_order;
+}
+
+}  // namespace eadvfs::util

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file ini.hpp
+/// Minimal INI-style configuration reader for scenario files:
+///
+///     # comment            ; also a comment
+///     [section]
+///     key = value          # values keep internal spaces, edges trimmed
+///
+/// Used by the `eadvfs-sim` tool so full experiment scenarios can live in
+/// version-controlled files instead of long command lines.  Key lookup is
+/// case-sensitive; sections may repeat (later keys override earlier ones).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eadvfs::util {
+
+class IniFile {
+ public:
+  IniFile() = default;
+
+  /// Parse from text.  Throws std::runtime_error with a line number on
+  /// malformed input (key outside any section is allowed under "").
+  static IniFile parse(const std::string& text);
+
+  /// Load from a file path (throws std::runtime_error when unreadable).
+  static IniFile load(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& section, const std::string& key) const;
+
+  /// Raw string value, or nullopt when absent.
+  [[nodiscard]] std::optional<std::string> get(const std::string& section,
+                                               const std::string& key) const;
+
+  /// Typed getters with defaults; throw std::invalid_argument when the
+  /// stored text does not parse as the requested type.
+  [[nodiscard]] std::string get_string(const std::string& section,
+                                       const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_real(const std::string& section, const std::string& key,
+                                double fallback) const;
+  [[nodiscard]] long long get_integer(const std::string& section,
+                                      const std::string& key,
+                                      long long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& section, const std::string& key,
+                              bool fallback) const;
+
+  /// Section names in first-appearance order.
+  [[nodiscard]] std::vector<std::string> sections() const;
+  /// Keys of one section in first-appearance order.
+  [[nodiscard]] std::vector<std::string> keys(const std::string& section) const;
+
+ private:
+  struct Section {
+    std::map<std::string, std::string> values;
+    std::vector<std::string> key_order;
+  };
+  std::map<std::string, Section> sections_;
+  std::vector<std::string> section_order_;
+};
+
+}  // namespace eadvfs::util

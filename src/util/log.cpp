@@ -1,0 +1,49 @@
+#include "util/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <iostream>
+#include <stdexcept>
+
+namespace eadvfs::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level: " + name);
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  if (level < g_level.load() || level == LogLevel::kOff) return;
+  std::cerr << "[" << level_tag(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace eadvfs::util

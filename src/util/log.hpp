@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file log.hpp
+/// Leveled stderr logging.  Kept intentionally simple: the simulator is a
+/// library, so logging defaults to warnings-only and is globally adjustable
+/// by the embedding binary (bench tools expose `--verbose`).
+
+#include <sstream>
+#include <string>
+
+namespace eadvfs::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+[[nodiscard]] LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement:  LOG_AT(LogLevel::kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace eadvfs::util
+
+#define EADVFS_LOG(level) ::eadvfs::util::LogLine(level)
+#define EADVFS_LOG_DEBUG EADVFS_LOG(::eadvfs::util::LogLevel::kDebug)
+#define EADVFS_LOG_INFO EADVFS_LOG(::eadvfs::util::LogLevel::kInfo)
+#define EADVFS_LOG_WARN EADVFS_LOG(::eadvfs::util::LogLevel::kWarn)
+#define EADVFS_LOG_ERROR EADVFS_LOG(::eadvfs::util::LogLevel::kError)

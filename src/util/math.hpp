@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file math.hpp
+/// Small numeric helpers shared by the continuous-time engine.  The engine
+/// advances time by computing exact crossing instants (storage empty, job
+/// complete, ...) from doubles, so robust approximate comparison is load
+/// bearing: a segment of length 1e-12 must be treated as "no progress".
+
+#include <algorithm>
+#include <cmath>
+
+namespace eadvfs::util {
+
+/// Absolute tolerance used for time/energy comparisons inside the engine.
+/// Quantities in this simulator are O(1)..O(1e4), so a fixed absolute
+/// epsilon is appropriate (relative epsilon would misbehave near zero,
+/// which is exactly where storage-empty logic operates).
+inline constexpr double kEps = 1e-9;
+
+/// True when |a - b| <= eps.
+[[nodiscard]] constexpr bool approx_equal(double a, double b, double eps = kEps) {
+  return std::abs(a - b) <= eps;
+}
+
+/// True when a < b by more than eps (strictly less, robust to noise).
+[[nodiscard]] constexpr bool definitely_less(double a, double b, double eps = kEps) {
+  return a < b - eps;
+}
+
+/// True when a > b by more than eps.
+[[nodiscard]] constexpr bool definitely_greater(double a, double b, double eps = kEps) {
+  return a > b + eps;
+}
+
+/// Clamp x into [lo, hi].
+[[nodiscard]] constexpr double clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+/// Clamp tiny negative values (numerical dust) to exactly zero; values more
+/// negative than eps are left alone so invariant assertions still fire.
+[[nodiscard]] constexpr double snap_nonnegative(double x, double eps = kEps) {
+  return (x < 0.0 && x >= -eps) ? 0.0 : x;
+}
+
+}  // namespace eadvfs::util

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation.
+///
+/// We deliberately avoid `std::normal_distribution` / `std::uniform_*`:
+/// their output sequences are implementation-defined, which would make the
+/// paper-reproduction experiments produce different numbers on different
+/// standard libraries.  Everything here is bit-exact across platforms.
+
+#include <array>
+#include <cstdint>
+
+namespace eadvfs::util {
+
+/// SplitMix64 — tiny, fast generator.  Used to expand a single 64-bit seed
+/// into the larger state vectors of better generators, and directly where a
+/// cheap stream of independent seeds is needed (one per task set).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 raw bits.
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the workhorse generator.
+/// Passes BigCrush; period 2^256 - 1.
+class Xoshiro256ss {
+ public:
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64,
+  /// as recommended by the xoshiro authors.
+  explicit Xoshiro256ss(std::uint64_t seed);
+
+  /// Next 64 raw bits.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive), unbiased via rejection.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Standard normal via Box–Muller (polar/basic form, cached spare).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Equivalent to the xoshiro `jump()`: advances 2^128 steps, giving a
+  /// non-overlapping substream.  Handy for parallel replications.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace eadvfs::util

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming statistics used by the experiment harness to aggregate results
+/// over thousands of simulated task sets without storing every sample.
+
+#include <cstddef>
+#include <vector>
+
+namespace eadvfs::util {
+
+/// Welford's online algorithm: numerically stable mean/variance in O(1)
+/// memory.  Also tracks min/max.
+class RunningStats {
+ public:
+  /// Add one observation.
+  void add(double x);
+
+  /// Merge another accumulator into this one (parallel-friendly, exact).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+
+  /// Mean of the observations; 0 when empty.
+  [[nodiscard]] double mean() const { return mean_; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 when n < 2.
+  [[nodiscard]] double variance() const;
+
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const;
+
+  /// Standard error of the mean (stddev / sqrt(n)); 0 when n < 2.
+  [[nodiscard]] double stderr_mean() const;
+
+  /// Half-width of the ~95% normal-approximation confidence interval on the
+  /// mean (1.96 * stderr).  Adequate for the n >= 30 used in experiments.
+  [[nodiscard]] double ci95_halfwidth() const;
+
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Per-time-sample accumulation of a family of curves: sample i of curve k is
+/// added with `add(i, y)`; `mean(i)` then gives the point-wise average curve.
+/// Used for the paper's Figures 6/7 (remaining-energy curves averaged over
+/// task sets and capacities).
+class CurveAccumulator {
+ public:
+  explicit CurveAccumulator(std::size_t n_points) : points_(n_points) {}
+
+  void add(std::size_t index, double y) { points_.at(index).add(y); }
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const RunningStats& at(std::size_t index) const { return points_.at(index); }
+  [[nodiscard]] double mean(std::size_t index) const { return points_.at(index).mean(); }
+
+ private:
+  std::vector<RunningStats> points_;
+};
+
+/// Exact sample quantile (linear interpolation between order statistics).
+/// `q` in [0, 1].  The input vector is copied; fine for experiment-sized data.
+[[nodiscard]] double quantile(std::vector<double> samples, double q);
+
+}  // namespace eadvfs::util

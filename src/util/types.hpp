@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental scalar quantities used across the simulator.
+///
+/// The simulation runs in abstract "time units" (the paper never names a
+/// physical unit; its horizon is 10,000 units).  Power is in watts and energy
+/// in watt-time-units — see DESIGN.md §4 ("Units") for how this reconciles
+/// the paper's mixed mW / unit-less numbers.
+
+namespace eadvfs {
+
+/// Simulation time, in abstract time units.  Continuous (not slotted).
+using Time = double;
+
+/// Energy, in watt-time-units.
+using Energy = double;
+
+/// Power, in watts.
+using Power = double;
+
+/// Execution demand measured in seconds-at-maximum-frequency ("work units").
+/// A job with wcet w run at relative speed S completes w work in w/S time.
+using Work = double;
+
+/// A value considered "infinite" for times/energies.  Using a large finite
+/// number (rather than IEEE inf) keeps arithmetic like `D - sr` well defined.
+inline constexpr double kHuge = 1e300;
+
+}  // namespace eadvfs

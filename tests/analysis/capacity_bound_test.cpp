@@ -1,0 +1,122 @@
+#include "analysis/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../support/scenario.hpp"
+#include "energy/solar_source.hpp"
+#include "exp/capacity_search.hpp"
+#include "task/generator.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::analysis {
+namespace {
+
+using test::job;
+
+const proc::FrequencyTable& xscale() {
+  static const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  return table;
+}
+
+TEST(MinCapacityLowerBound, EmptyWorkloadNeedsNothing) {
+  energy::ConstantSource source(1.0);
+  const auto bound =
+      min_capacity_lower_bound(std::vector<task::Job>{}, source, xscale());
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_DOUBLE_EQ(*bound, 0.0);
+}
+
+TEST(MinCapacityLowerBound, RichHarvestNeedsNoStorage) {
+  // One 1-work job in a 10-unit window with 5 W harvest: the window alone
+  // delivers 50 >> the cheapest cost.
+  const std::vector<task::Job> jobs = {job(0, 0.0, 10.0, 1.0)};
+  energy::ConstantSource source(5.0);
+  const auto bound = min_capacity_lower_bound(jobs, source, xscale());
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_DOUBLE_EQ(*bound, 0.0);
+}
+
+TEST(MinCapacityLowerBound, DarkWorldNeedsTheFullHullCost) {
+  // 4 work in a 16-unit dark window: average speed 0.25, hull power 0.208,
+  // energy 3.328 — all of it must be banked.
+  const std::vector<task::Job> jobs = {job(0, 0.0, 16.0, 4.0)};
+  energy::ConstantSource dark(0.0);
+  const auto bound = min_capacity_lower_bound(jobs, dark, xscale());
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_NEAR(*bound, 0.208 * 16.0, 1e-9);
+}
+
+TEST(MinCapacityLowerBound, TimeInfeasibleReturnsNullopt) {
+  const std::vector<task::Job> jobs = {job(0, 0.0, 1.0, 2.0)};
+  energy::ConstantSource source(100.0);
+  EXPECT_FALSE(min_capacity_lower_bound(jobs, source, xscale()).has_value());
+}
+
+TEST(MinCapacityLowerBound, ConsistentWithWitnessChecker) {
+  // For capacities strictly below the bound the witness checker must fire;
+  // at/above the bound the *lower-bound* windows are satisfied (no claim
+  // about schedulability, only about the checker's own inequality).
+  const std::vector<task::Job> jobs = {job(0, 0.0, 16.0, 4.0),
+                                       job(1, 5.0, 16.0, 1.5)};
+  energy::ConstantSource source(0.1);
+  const auto bound = min_capacity_lower_bound(jobs, source, xscale());
+  ASSERT_TRUE(bound.has_value());
+  ASSERT_GT(*bound, 0.0);
+  EXPECT_TRUE(
+      find_infeasibility(jobs, source, *bound * 0.99, xscale()).has_value());
+  EXPECT_FALSE(
+      find_infeasibility(jobs, source, *bound * 1.01, xscale()).has_value());
+}
+
+TEST(MinCapacityLowerBound, LowerBoundsSimulatedCmin) {
+  // The Table-1 machinery's measured C_min (for real schedulers, with a
+  // non-oracle predictor) must never dip below the analytic bound.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    task::GeneratorConfig gen_cfg;
+    gen_cfg.target_utilization = 0.4;
+    task::TaskSetGenerator gen(gen_cfg);
+    util::Xoshiro256ss rng(seed);
+    const task::TaskSet set = gen.generate(rng);
+    energy::SolarSourceConfig solar;
+    solar.seed = seed ^ 0xB0;
+    solar.horizon = 800.0;
+    const auto source = std::make_shared<const energy::SolarSource>(solar);
+
+    const auto bound =
+        min_capacity_lower_bound(set, 800.0, *source, xscale());
+    ASSERT_TRUE(bound.has_value()) << seed;
+
+    exp::CapacitySearchConfig cfg;
+    cfg.sim.horizon = 800.0;
+    cfg.solar.horizon = 800.0;
+    for (const char* scheduler : {"lsa", "ea-dvfs"}) {
+      const double cmin = exp::find_min_capacity(cfg, scheduler, set, source);
+      ASSERT_GT(cmin, 0.0) << scheduler;
+      // 1% binary-search tolerance on cmin; allow it on the comparison too.
+      EXPECT_GE(cmin * 1.02, *bound) << scheduler << " seed " << seed;
+    }
+  }
+}
+
+TEST(MinCapacityLowerBound, TaskSetOverloadMatchesExpandedJobs) {
+  task::Task t;
+  t.id = 0;
+  t.period = 20.0;
+  t.relative_deadline = 20.0;
+  t.wcet = 4.0;
+  const task::TaskSet set({t});
+  energy::ConstantSource source(0.05);
+  const auto from_set = min_capacity_lower_bound(set, 100.0, source, xscale());
+  std::vector<task::Job> jobs;
+  for (int k = 0; k < 5; ++k) jobs.push_back(job(static_cast<task::JobId>(k),
+                                                 20.0 * k, 20.0, 4.0));
+  const auto from_jobs = min_capacity_lower_bound(jobs, source, xscale());
+  ASSERT_TRUE(from_set.has_value());
+  ASSERT_TRUE(from_jobs.has_value());
+  EXPECT_NEAR(*from_set, *from_jobs, 1e-9);
+}
+
+}  // namespace
+}  // namespace eadvfs::analysis

@@ -1,0 +1,92 @@
+#include "energy/composite_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "energy/two_mode_source.hpp"
+
+namespace eadvfs::energy {
+namespace {
+
+std::shared_ptr<const EnergySource> constant(Power p) {
+  return std::make_shared<ConstantSource>(p);
+}
+
+std::shared_ptr<const EnergySource> two_mode() {
+  TwoModeSourceConfig cfg;
+  cfg.day_power = 4.0;
+  cfg.night_power = 1.0;
+  cfg.day_duration = 10.0;
+  cfg.night_duration = 5.0;
+  return std::make_shared<TwoModeSource>(cfg);
+}
+
+TEST(ScaledSource, ScalesPower) {
+  ScaledSource src(constant(2.0), 1.5);
+  EXPECT_DOUBLE_EQ(src.power_at(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(src.energy_between(0.0, 10.0), 30.0);
+}
+
+TEST(ScaledSource, ZeroFactorSilencesSource) {
+  ScaledSource src(two_mode(), 0.0);
+  EXPECT_DOUBLE_EQ(src.power_at(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(src.energy_between(0.0, 100.0), 0.0);
+}
+
+TEST(ScaledSource, PreservesPieceBoundaries) {
+  ScaledSource src(two_mode(), 2.0);
+  EXPECT_DOUBLE_EQ(src.piece_end(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(src.piece_end(12.0), 15.0);
+}
+
+TEST(ScaledSource, RejectsBadArguments) {
+  EXPECT_THROW(ScaledSource(nullptr, 1.0), std::invalid_argument);
+  EXPECT_THROW(ScaledSource(constant(1.0), -0.5), std::invalid_argument);
+}
+
+TEST(SumSource, AddsPower) {
+  SumSource src(constant(1.0), two_mode());
+  EXPECT_DOUBLE_EQ(src.power_at(0.0), 5.0);   // 1 + 4 (day)
+  EXPECT_DOUBLE_EQ(src.power_at(12.0), 2.0);  // 1 + 1 (night)
+}
+
+TEST(SumSource, PieceEndIsEarliestBoundary) {
+  SumSource src(constant(1.0), two_mode());
+  EXPECT_DOUBLE_EQ(src.piece_end(0.0), 10.0);  // two-mode switches first
+  SumSource both(two_mode(), two_mode());
+  EXPECT_DOUBLE_EQ(both.piece_end(11.0), 15.0);
+}
+
+TEST(SumSource, IntegralIsSumOfIntegrals) {
+  const auto a = constant(0.5);
+  const auto b = two_mode();
+  SumSource sum(a, b);
+  EXPECT_NEAR(sum.energy_between(0.0, 30.0),
+              a->energy_between(0.0, 30.0) + b->energy_between(0.0, 30.0),
+              1e-9);
+}
+
+TEST(SumSource, RejectsNullInputs) {
+  EXPECT_THROW(SumSource(nullptr, constant(1.0)), std::invalid_argument);
+  EXPECT_THROW(SumSource(constant(1.0), nullptr), std::invalid_argument);
+}
+
+TEST(CompositeSource, NamesAreDescriptive) {
+  ScaledSource scaled(constant(1.0), 2.0);
+  EXPECT_NE(scaled.name().find("constant"), std::string::npos);
+  SumSource sum(constant(1.0), constant(2.0));
+  EXPECT_NE(sum.name().find("+"), std::string::npos);
+}
+
+TEST(CompositeSource, NestedComposition) {
+  // 2 * (constant(1) + constant(0.5)) = 3 W.
+  auto sum = std::make_shared<SumSource>(constant(1.0), constant(0.5));
+  ScaledSource outer(sum, 2.0);
+  EXPECT_DOUBLE_EQ(outer.power_at(7.0), 3.0);
+  EXPECT_DOUBLE_EQ(outer.energy_between(0.0, 4.0), 12.0);
+}
+
+}  // namespace
+}  // namespace eadvfs::energy

@@ -1,0 +1,127 @@
+#include "energy/markov_weather_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace eadvfs::energy {
+namespace {
+
+MarkovWeatherConfig small_config(std::uint64_t seed = 1) {
+  MarkovWeatherConfig cfg;
+  cfg.seed = seed;
+  cfg.horizon = 3000.0;
+  return cfg;
+}
+
+TEST(MarkovWeatherSource, PowerIsNonNegativeAndBounded) {
+  MarkovWeatherSource src(small_config());
+  for (Time t = 0.0; t < 3000.0; t += 2.3) {
+    EXPECT_GE(src.power_at(t), 0.0);
+    EXPECT_LE(src.power_at(t), 70.0);  // amplitude 10 * |N| well below 7 sigma
+  }
+}
+
+TEST(MarkovWeatherSource, DeterministicForSeed) {
+  MarkovWeatherSource a(small_config(5));
+  MarkovWeatherSource b(small_config(5));
+  for (Time t = 0.0; t < 1000.0; t += 1.0)
+    EXPECT_DOUBLE_EQ(a.power_at(t), b.power_at(t));
+}
+
+TEST(MarkovWeatherSource, VisitsEveryState) {
+  MarkovWeatherConfig cfg = small_config(7);
+  cfg.horizon = 20'000.0;  // ~28 expected transitions: all states w.h.p.
+  MarkovWeatherSource src(cfg);
+  std::set<std::size_t> seen;
+  for (Time t = 0.0; t < cfg.horizon; t += 1.0) seen.insert(src.state_at(t));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(MarkovWeatherSource, StatesPersist) {
+  // With mean dwells of hundreds of units, consecutive samples should be in
+  // the same state most of the time (that's the whole point of the model).
+  MarkovWeatherSource src(small_config(9));
+  int same = 0, total = 0;
+  for (Time t = 1.0; t < 3000.0; t += 1.0, ++total)
+    if (src.state_at(t) == src.state_at(t - 1.0)) ++same;
+  EXPECT_GT(static_cast<double>(same) / total, 0.95);
+}
+
+TEST(MarkovWeatherSource, AttenuationOrdersStatePowers) {
+  // Average power conditioned on the overcast state must be far below the
+  // clear-state average.
+  MarkovWeatherSource src(small_config(11));
+  double clear_sum = 0.0, overcast_sum = 0.0;
+  int clear_n = 0, overcast_n = 0;
+  for (Time t = 0.0; t < 3000.0; t += 1.0) {
+    if (src.state_at(t) == 0) {
+      clear_sum += src.power_at(t);
+      ++clear_n;
+    } else if (src.state_at(t) == 2) {
+      overcast_sum += src.power_at(t);
+      ++overcast_n;
+    }
+  }
+  ASSERT_GT(clear_n, 100);
+  ASSERT_GT(overcast_n, 50);
+  EXPECT_LT(overcast_sum / overcast_n, 0.35 * (clear_sum / clear_n));
+}
+
+TEST(MarkovWeatherSource, MeanAttenuationIsDwellWeighted) {
+  MarkovWeatherSource src(small_config());
+  // (1.0*400 + 0.35*200 + 0.08*120) / 720.
+  EXPECT_NEAR(src.mean_attenuation(), (400.0 + 70.0 + 9.6) / 720.0, 1e-12);
+}
+
+TEST(MarkovWeatherSource, PieceEndAdvances) {
+  MarkovWeatherSource src(small_config());
+  for (Time t : {0.0, 0.5, 1.0, 689.9999999999999, 2999.0})
+    EXPECT_GT(src.piece_end(t), t);
+}
+
+TEST(MarkovWeatherSource, NoiseCanBeDisabled) {
+  MarkovWeatherConfig cfg = small_config();
+  cfg.per_step_noise = false;
+  cfg.states = {{"always", 1.0, 100.0}};
+  MarkovWeatherSource src(cfg);
+  // Without noise the source is the deterministic envelope scaled by E|N|.
+  const double expected =
+      10.0 * std::sqrt(2.0 / 3.14159265358979323846);  // at t=0, cos²=1
+  EXPECT_NEAR(src.power_at(0.0), expected, 1e-9);
+}
+
+TEST(MarkovWeatherSource, SingleStateNeverTransitions) {
+  MarkovWeatherConfig cfg = small_config();
+  cfg.states = {{"only", 0.5, 10.0}};
+  MarkovWeatherSource src(cfg);
+  for (Time t = 0.0; t < 1000.0; t += 10.0) EXPECT_EQ(src.state_at(t), 0u);
+}
+
+TEST(MarkovWeatherSource, Validation) {
+  MarkovWeatherConfig bad = small_config();
+  bad.states.clear();
+  EXPECT_THROW(MarkovWeatherSource{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.states[0].attenuation = 1.5;
+  EXPECT_THROW(MarkovWeatherSource{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.states[0].mean_dwell = 0.0;
+  EXPECT_THROW(MarkovWeatherSource{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.step = 0.0;
+  EXPECT_THROW(MarkovWeatherSource{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.amplitude = -1.0;
+  EXPECT_THROW(MarkovWeatherSource{bad}, std::invalid_argument);
+}
+
+TEST(MarkovWeatherSource, NegativeTimeThrows) {
+  MarkovWeatherSource src(small_config());
+  EXPECT_THROW((void)src.power_at(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eadvfs::energy

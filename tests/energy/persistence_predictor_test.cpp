@@ -1,0 +1,64 @@
+#include "energy/persistence_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eadvfs::energy {
+namespace {
+
+TEST(PersistencePredictor, ReturnsPriorBeforeObservations) {
+  PersistencePredictor p(2.0);
+  EXPECT_DOUBLE_EQ(p.predict(0.0, 5.0), 10.0);
+}
+
+TEST(PersistencePredictor, TracksLastObservation) {
+  PersistencePredictor p;
+  p.observe(0.0, 1.0, 3.0);   // 3 W
+  EXPECT_DOUBLE_EQ(p.predict(1.0, 3.0), 6.0);
+  p.observe(1.0, 2.0, 0.5);   // 0.5 W
+  EXPECT_DOUBLE_EQ(p.predict(2.0, 4.0), 1.0);
+}
+
+TEST(PersistencePredictor, RawModeForgetsHistoryInstantly) {
+  PersistencePredictor p(0.0, 0.0);
+  p.observe(0.0, 100.0, 800.0);  // long 8 W stretch
+  p.observe(100.0, 101.0, 0.0);  // one dark step
+  EXPECT_DOUBLE_EQ(p.last_power(), 0.0);
+}
+
+TEST(PersistencePredictor, SmoothingBlendsObservations) {
+  PersistencePredictor p(0.0, 0.5);
+  p.observe(0.0, 1.0, 4.0);  // first observation seeds directly: 4 W
+  EXPECT_DOUBLE_EQ(p.last_power(), 4.0);
+  p.observe(1.0, 2.0, 0.0);  // 0.5*4 + 0.5*0 = 2
+  EXPECT_DOUBLE_EQ(p.last_power(), 2.0);
+}
+
+TEST(PersistencePredictor, ZeroLengthObservationIgnored) {
+  PersistencePredictor p(1.5);
+  p.observe(3.0, 3.0, 0.0);
+  EXPECT_DOUBLE_EQ(p.last_power(), 1.5);
+}
+
+TEST(PersistencePredictor, EmptyWindowPredictsZero) {
+  PersistencePredictor p(5.0);
+  EXPECT_DOUBLE_EQ(p.predict(7.0, 7.0), 0.0);
+}
+
+TEST(PersistencePredictor, Validation) {
+  EXPECT_THROW(PersistencePredictor(-1.0), std::invalid_argument);
+  EXPECT_THROW(PersistencePredictor(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(PersistencePredictor(0.0, -0.1), std::invalid_argument);
+  PersistencePredictor p;
+  EXPECT_THROW(p.observe(1.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(p.observe(0.0, 1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)p.predict(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(PersistencePredictor, NameIsStable) {
+  EXPECT_EQ(PersistencePredictor().name(), "persistence");
+}
+
+}  // namespace
+}  // namespace eadvfs::energy

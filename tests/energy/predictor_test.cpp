@@ -1,0 +1,76 @@
+#include "energy/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "energy/two_mode_source.hpp"
+
+namespace eadvfs::energy {
+namespace {
+
+TEST(OraclePredictor, MatchesSourceIntegralExactly) {
+  TwoModeSourceConfig cfg;
+  cfg.day_power = 4.0;
+  cfg.night_power = 0.5;
+  cfg.day_duration = 10.0;
+  cfg.night_duration = 10.0;
+  auto source = std::make_shared<TwoModeSource>(cfg);
+  OraclePredictor oracle(source);
+  EXPECT_DOUBLE_EQ(oracle.predict(0.0, 20.0), source->energy_between(0.0, 20.0));
+  EXPECT_DOUBLE_EQ(oracle.predict(5.0, 35.0), source->energy_between(5.0, 35.0));
+}
+
+TEST(OraclePredictor, ObservationsDoNotChangePredictions) {
+  auto source = std::make_shared<ConstantSource>(2.0);
+  OraclePredictor oracle(source);
+  const Energy before = oracle.predict(0.0, 10.0);
+  oracle.observe(0.0, 5.0, 999.0);  // bogus observation must be ignored
+  EXPECT_DOUBLE_EQ(oracle.predict(0.0, 10.0), before);
+}
+
+TEST(OraclePredictor, EmptyWindowPredictsZero) {
+  auto source = std::make_shared<ConstantSource>(2.0);
+  OraclePredictor oracle(source);
+  EXPECT_DOUBLE_EQ(oracle.predict(7.0, 7.0), 0.0);
+}
+
+TEST(OraclePredictor, RejectsNullSourceAndReversedWindow) {
+  EXPECT_THROW(OraclePredictor{nullptr}, std::invalid_argument);
+  auto source = std::make_shared<ConstantSource>(1.0);
+  OraclePredictor oracle(source);
+  EXPECT_THROW((void)oracle.predict(5.0, 4.0), std::invalid_argument);
+}
+
+TEST(ConstantPredictor, LinearInWindow) {
+  ConstantPredictor p(2.5);
+  EXPECT_DOUBLE_EQ(p.predict(0.0, 4.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.predict(100.0, 104.0), 10.0);
+}
+
+TEST(ConstantPredictor, ZeroPowerIsFullyPessimistic) {
+  ConstantPredictor p(0.0);
+  EXPECT_DOUBLE_EQ(p.predict(0.0, 1e6), 0.0);
+}
+
+TEST(ConstantPredictor, IgnoresObservations) {
+  ConstantPredictor p(1.0);
+  p.observe(0.0, 10.0, 500.0);
+  EXPECT_DOUBLE_EQ(p.predict(10.0, 20.0), 10.0);
+}
+
+TEST(ConstantPredictor, Validation) {
+  EXPECT_THROW(ConstantPredictor{-1.0}, std::invalid_argument);
+  ConstantPredictor p(1.0);
+  EXPECT_THROW((void)p.predict(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Predictors, NamesAreStable) {
+  auto source = std::make_shared<ConstantSource>(1.0);
+  EXPECT_EQ(OraclePredictor(source).name(), "oracle");
+  EXPECT_NE(ConstantPredictor(1.0).name().find("constant"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eadvfs::energy

@@ -1,0 +1,70 @@
+#include "energy/running_average_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eadvfs::energy {
+namespace {
+
+TEST(RunningAveragePredictor, StartsAtPrior) {
+  RunningAveragePredictor p(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.estimate(), 3.0);
+  EXPECT_DOUBLE_EQ(p.predict(0.0, 10.0), 30.0);
+}
+
+TEST(RunningAveragePredictor, DefaultPriorIsZero) {
+  RunningAveragePredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(0.0, 100.0), 0.0);
+}
+
+TEST(RunningAveragePredictor, ConvergesToObservedMean) {
+  RunningAveragePredictor p(0.0, 1.0);
+  // 1000 time units at 4 W dwarf the prior weight of 1.
+  p.observe(0.0, 1000.0, 4000.0);
+  EXPECT_NEAR(p.estimate(), 4.0, 0.01);
+}
+
+TEST(RunningAveragePredictor, BlendsPriorAndObservation) {
+  RunningAveragePredictor p(2.0, 10.0);
+  p.observe(0.0, 10.0, 60.0);  // observed mean 6 over weight 10
+  // (2*10 + 60) / (10 + 10) = 4.
+  EXPECT_DOUBLE_EQ(p.estimate(), 4.0);
+}
+
+TEST(RunningAveragePredictor, AccumulatesMultipleSegments) {
+  RunningAveragePredictor p(0.0, 0.0);
+  p.observe(0.0, 2.0, 2.0);   // 1 W
+  p.observe(2.0, 4.0, 10.0);  // 5 W
+  EXPECT_DOUBLE_EQ(p.estimate(), 3.0);
+  EXPECT_DOUBLE_EQ(p.predict(4.0, 6.0), 6.0);
+}
+
+TEST(RunningAveragePredictor, ZeroLengthObservationIsHarmless) {
+  RunningAveragePredictor p(1.0, 1.0);
+  p.observe(5.0, 5.0, 0.0);
+  EXPECT_DOUBLE_EQ(p.estimate(), 1.0);
+}
+
+TEST(RunningAveragePredictor, ZeroPriorWeightIgnoresPriorAfterFirstData) {
+  RunningAveragePredictor p(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(p.estimate(), 100.0);  // nothing observed yet
+  p.observe(0.0, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(p.estimate(), 2.0);
+}
+
+TEST(RunningAveragePredictor, Validation) {
+  EXPECT_THROW(RunningAveragePredictor(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(RunningAveragePredictor(1.0, -1.0), std::invalid_argument);
+  RunningAveragePredictor p;
+  EXPECT_THROW(p.observe(1.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(p.observe(0.0, 1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)p.predict(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(RunningAveragePredictor, NameIsStable) {
+  EXPECT_EQ(RunningAveragePredictor().name(), "running-average");
+}
+
+}  // namespace
+}  // namespace eadvfs::energy

@@ -1,0 +1,119 @@
+#include "energy/slotted_ewma_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eadvfs::energy {
+namespace {
+
+SlottedEwmaConfig config(Time cycle = 100.0, std::size_t slots = 4,
+                         double alpha = 0.5, Power prior = 0.0) {
+  SlottedEwmaConfig cfg;
+  cfg.cycle = cycle;
+  cfg.slots = slots;
+  cfg.alpha = alpha;
+  cfg.prior = prior;
+  return cfg;
+}
+
+TEST(SlottedEwma, PredictsPriorBeforeAnyObservation) {
+  SlottedEwmaPredictor p(config(100.0, 4, 0.5, 2.0));
+  EXPECT_DOUBLE_EQ(p.predict(0.0, 50.0), 100.0);
+}
+
+TEST(SlottedEwma, LearnsPerSlotPattern) {
+  // Cycle 100, 4 slots of 25.  Feed two cycles of a square profile:
+  // slots 0,1 at 8 W; slots 2,3 at 0 W.
+  SlottedEwmaPredictor p(config());
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    const Time base = 100.0 * cycle;
+    p.observe(base, base + 50.0, 400.0);
+    p.observe(base + 50.0, base + 100.0, 0.0);
+  }
+  EXPECT_NEAR(p.slot_estimate(0), 8.0, 1e-9);
+  EXPECT_NEAR(p.slot_estimate(1), 8.0, 1e-9);
+  EXPECT_NEAR(p.slot_estimate(2), 0.0, 1e-9);
+  // Slot 3 of the second cycle is still pending (never finalized by a later
+  // observation) but its partial data gives the same estimate.
+  EXPECT_NEAR(p.slot_estimate(3), 0.0, 1e-9);
+  // Prediction over the next day's first half.
+  EXPECT_NEAR(p.predict(200.0, 250.0), 400.0, 1e-6);
+  // And over its dark half.
+  EXPECT_NEAR(p.predict(250.0, 300.0), 0.0, 1e-6);
+}
+
+TEST(SlottedEwma, EwmaBlendsCycles) {
+  // Slot 0 sees 4 W in cycle 0, then 8 W in cycle 1, alpha = 0.5.
+  SlottedEwmaPredictor p(config(100.0, 1, 0.5));
+  p.observe(0.0, 100.0, 400.0);
+  p.observe(100.0, 200.0, 800.0);
+  p.observe(200.0, 201.0, 0.0);  // push past the boundary to finalize cycle 1
+  // After cycle 0: 4.  After cycle 1: 0.5*8 + 0.5*4 = 6.
+  EXPECT_NEAR(p.slot_estimate(0), 6.0, 1e-9);
+}
+
+TEST(SlottedEwma, FirstCycleUsesPartialObservations) {
+  SlottedEwmaPredictor p(config(100.0, 4, 0.3, 1.0));
+  p.observe(0.0, 10.0, 50.0);  // 5 W in the first 10 units of slot 0
+  EXPECT_NEAR(p.slot_estimate(0), 5.0, 1e-9);
+  // Unobserved slots still use the prior.
+  EXPECT_DOUBLE_EQ(p.slot_estimate(2), 1.0);
+}
+
+TEST(SlottedEwma, PredictionCrossesCycleBoundary) {
+  SlottedEwmaPredictor p(config(100.0, 2, 1.0));
+  p.observe(0.0, 50.0, 100.0);   // slot 0: 2 W
+  p.observe(50.0, 100.0, 300.0); // slot 1: 6 W
+  p.observe(100.0, 101.0, 2.0);  // finalize slot 1
+  // Window [175, 225]: 25 units of slot 1 (6 W) + 25 units of slot 0 (2 W).
+  EXPECT_NEAR(p.predict(175.0, 225.0), 25.0 * 6.0 + 25.0 * 2.0, 1e-6);
+}
+
+TEST(SlottedEwma, ObservationSpanningManySlots) {
+  SlottedEwmaPredictor p(config(100.0, 4, 1.0));
+  // One observation across the whole cycle at uniform 3 W.
+  p.observe(0.0, 100.0, 300.0);
+  p.observe(100.0, 100.5, 1.5);
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_NEAR(p.slot_estimate(s), 3.0, 1e-9);
+}
+
+TEST(SlottedEwma, ZeroLengthObservationIgnored) {
+  SlottedEwmaPredictor p(config());
+  p.observe(10.0, 10.0, 0.0);
+  EXPECT_DOUBLE_EQ(p.predict(0.0, 100.0), 0.0);
+}
+
+TEST(SlottedEwma, BoundaryFloatingPointDoesNotHang) {
+  // Regression: t sitting an ulp below a slot boundary used to make the
+  // boundary walk compute a zero-length step and loop forever.
+  SlottedEwmaConfig cfg = config(690.8, 24, 0.3);
+  SlottedEwmaPredictor p(cfg);
+  const double width = cfg.cycle / 24.0;
+  const double boundary = width * 7.0;
+  p.observe(0.0, std::nextafter(boundary, 0.0), 10.0);
+  p.observe(std::nextafter(boundary, 0.0), boundary + 1.0, 1.0);
+  (void)p.predict(std::nextafter(boundary, 0.0), boundary + 50.0);
+  SUCCEED();
+}
+
+TEST(SlottedEwma, Validation) {
+  EXPECT_THROW(SlottedEwmaPredictor(config(0.0)), std::invalid_argument);
+  EXPECT_THROW(SlottedEwmaPredictor(config(100.0, 0)), std::invalid_argument);
+  EXPECT_THROW(SlottedEwmaPredictor(config(100.0, 4, 0.0)), std::invalid_argument);
+  EXPECT_THROW(SlottedEwmaPredictor(config(100.0, 4, 1.5)), std::invalid_argument);
+  EXPECT_THROW(SlottedEwmaPredictor(config(100.0, 4, 0.5, -1.0)),
+               std::invalid_argument);
+  SlottedEwmaPredictor p(config());
+  EXPECT_THROW(p.observe(1.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(p.observe(0.0, 1.0, -2.0), std::invalid_argument);
+  EXPECT_THROW((void)p.predict(5.0, 4.0), std::invalid_argument);
+}
+
+TEST(SlottedEwma, NameIsStable) {
+  EXPECT_EQ(SlottedEwmaPredictor(config()).name(), "slotted-ewma");
+}
+
+}  // namespace
+}  // namespace eadvfs::energy

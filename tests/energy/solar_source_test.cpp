@@ -1,0 +1,145 @@
+#include "energy/solar_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eadvfs::energy {
+namespace {
+
+SolarSourceConfig small_config(std::uint64_t seed = 1) {
+  SolarSourceConfig cfg;
+  cfg.seed = seed;
+  cfg.horizon = 2000.0;
+  return cfg;
+}
+
+TEST(SolarSource, PowerIsNonNegative) {
+  SolarSource src(small_config());
+  for (Time t = 0.0; t < 2000.0; t += 3.7) EXPECT_GE(src.power_at(t), 0.0);
+}
+
+TEST(SolarSource, PowerBoundedByAmplitudeTimesNoise) {
+  // |N| beyond 6 sigma is essentially impossible in 2000 samples.
+  SolarSource src(small_config());
+  for (Time t = 0.0; t < 2000.0; t += 1.0) EXPECT_LE(src.power_at(t), 60.0);
+}
+
+TEST(SolarSource, ConstantWithinAStep) {
+  SolarSource src(small_config());
+  EXPECT_DOUBLE_EQ(src.power_at(10.0), src.power_at(10.25));
+  EXPECT_DOUBLE_EQ(src.power_at(10.0), src.power_at(10.999));
+}
+
+TEST(SolarSource, PieceEndIsNextStepBoundary) {
+  SolarSource src(small_config());
+  EXPECT_DOUBLE_EQ(src.piece_end(10.0), 11.0);
+  EXPECT_DOUBLE_EQ(src.piece_end(10.5), 11.0);
+}
+
+TEST(SolarSource, PieceEndAlwaysAdvances) {
+  SolarSource src(small_config());
+  // Including awkward floating-point instants near boundaries.
+  for (Time t : {0.0, 0.9999999999999999, 1.0, 690.8, 345.39999999999998,
+                 1999.9999999999998}) {
+    EXPECT_GT(src.piece_end(t), t) << "at t=" << t;
+  }
+}
+
+TEST(SolarSource, DeterministicForSeed) {
+  SolarSource a(small_config(99));
+  SolarSource b(small_config(99));
+  for (Time t = 0.0; t < 500.0; t += 0.5)
+    EXPECT_DOUBLE_EQ(a.power_at(t), b.power_at(t));
+}
+
+TEST(SolarSource, DifferentSeedsDiffer) {
+  SolarSource a(small_config(1));
+  SolarSource b(small_config(2));
+  int diff = 0;
+  for (Time t = 0.5; t < 100.0; t += 1.0)
+    if (a.power_at(t) != b.power_at(t)) ++diff;
+  EXPECT_GT(diff, 90);
+}
+
+TEST(SolarSource, MeanPowerMatchesAnalyticValue) {
+  // Mean of eq. 13 with |N|: 10 * sqrt(2/pi) / 2 ≈ 3.989.  Average over many
+  // full envelope cycles to kill the cos² systematic.
+  SolarSourceConfig cfg;
+  cfg.seed = 5;
+  cfg.horizon = 20'000.0;
+  SolarSource src(cfg);
+  const Time span = 14.0 * src.cycle_period();  // whole cycles only
+  const double mean = src.energy_between(0.0, span) / span;
+  EXPECT_NEAR(mean, SolarSource::analytic_mean_power(), 0.15);
+}
+
+TEST(SolarSource, AnalyticMeanFormula) {
+  EXPECT_NEAR(SolarSource::analytic_mean_power(10.0),
+              10.0 * std::sqrt(2.0 / 3.14159265358979) * 0.5, 1e-9);
+}
+
+TEST(SolarSource, CyclePeriodIs70PiSquared) {
+  SolarSource src(small_config());
+  EXPECT_NEAR(src.cycle_period(), 70.0 * 3.14159265358979 * 3.14159265358979,
+              1e-6);
+}
+
+TEST(SolarSource, EnvelopeCreatesTroughs) {
+  // Near t = cycle/2 the cos² envelope is ~0, so power must be tiny there
+  // regardless of noise; near t = 0 it is ~1.
+  SolarSourceConfig cfg = small_config(3);
+  SolarSource src(cfg);
+  const Time half = src.cycle_period() / 2.0;
+  double trough_sum = 0.0, peak_sum = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    trough_sum += src.power_at(half - 10.0 + i);
+    peak_sum += src.power_at(static_cast<double>(i));
+  }
+  EXPECT_LT(trough_sum, peak_sum * 0.1);
+}
+
+TEST(SolarSource, WrapsBeyondPresampledHorizon) {
+  SolarSource src(small_config(7));
+  EXPECT_DOUBLE_EQ(src.power_at(0.5), src.power_at(2000.5));
+}
+
+TEST(SolarSource, RejectsBadConfig) {
+  SolarSourceConfig bad;
+  bad.amplitude = -1.0;
+  EXPECT_THROW(SolarSource{bad}, std::invalid_argument);
+  bad = SolarSourceConfig{};
+  bad.step = 0.0;
+  EXPECT_THROW(SolarSource{bad}, std::invalid_argument);
+  bad = SolarSourceConfig{};
+  bad.horizon = 0.5;  // shorter than one step
+  EXPECT_THROW(SolarSource{bad}, std::invalid_argument);
+  bad = SolarSourceConfig{};
+  bad.cos_divisor = 0.0;
+  EXPECT_THROW(SolarSource{bad}, std::invalid_argument);
+}
+
+TEST(SolarSource, NegativeTimeThrows) {
+  SolarSource src(small_config());
+  EXPECT_THROW((void)src.power_at(-1.0), std::invalid_argument);
+}
+
+TEST(SolarSource, IntegralMatchesManualStepSum) {
+  SolarSource src(small_config(11));
+  double manual = 0.0;
+  for (int k = 10; k < 20; ++k)
+    manual += src.power_at(static_cast<double>(k));
+  EXPECT_NEAR(src.energy_between(10.0, 20.0), manual, 1e-9);
+}
+
+TEST(SolarSource, IntegralHandlesPartialSteps) {
+  SolarSource src(small_config(13));
+  const double full = src.energy_between(10.0, 11.0);
+  const double halves =
+      src.energy_between(10.0, 10.5) + src.energy_between(10.5, 11.0);
+  EXPECT_NEAR(full, halves, 1e-12);
+}
+
+}  // namespace
+}  // namespace eadvfs::energy

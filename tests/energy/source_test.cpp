@@ -1,0 +1,70 @@
+#include "energy/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/types.hpp"
+
+namespace eadvfs::energy {
+namespace {
+
+TEST(ConstantSource, PowerIsConstant) {
+  ConstantSource src(0.5);
+  EXPECT_DOUBLE_EQ(src.power_at(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(src.power_at(1234.5), 0.5);
+}
+
+TEST(ConstantSource, PieceNeverEnds) {
+  ConstantSource src(1.0);
+  EXPECT_GE(src.piece_end(0.0), 1e250);
+  EXPECT_GE(src.piece_end(9999.0), 1e250);
+}
+
+TEST(ConstantSource, ExactIntegral) {
+  ConstantSource src(0.5);
+  // The paper's §2 example: harvest from 0 to 16 at 0.5 is 8.
+  EXPECT_DOUBLE_EQ(src.energy_between(0.0, 16.0), 8.0);
+  EXPECT_DOUBLE_EQ(src.energy_between(16.0, 21.0), 2.5);
+}
+
+TEST(ConstantSource, EmptyIntervalIsZero) {
+  ConstantSource src(2.0);
+  EXPECT_DOUBLE_EQ(src.energy_between(5.0, 5.0), 0.0);
+}
+
+TEST(ConstantSource, RejectsNegativePower) {
+  EXPECT_THROW(ConstantSource(-0.1), std::invalid_argument);
+}
+
+TEST(ConstantSource, ZeroPowerAllowed) {
+  ConstantSource src(0.0);
+  EXPECT_DOUBLE_EQ(src.energy_between(0.0, 100.0), 0.0);
+}
+
+TEST(EnergySource, IntegralRejectsReversedInterval) {
+  ConstantSource src(1.0);
+  EXPECT_THROW((void)src.energy_between(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(ConstantSource, NameMentionsPower) {
+  ConstantSource src(0.5);
+  EXPECT_NE(src.name().find("0.5"), std::string::npos);
+}
+
+/// A source whose piece_end fails to advance (deliberately broken) must be
+/// detected by energy_between instead of hanging the caller.
+class BrokenSource final : public EnergySource {
+ public:
+  [[nodiscard]] Power power_at(Time) const override { return 1.0; }
+  [[nodiscard]] Time piece_end(Time t) const override { return t; }  // bug
+  [[nodiscard]] std::string name() const override { return "broken"; }
+};
+
+TEST(EnergySource, NonAdvancingPieceEndThrowsInsteadOfHanging) {
+  BrokenSource src;
+  EXPECT_THROW((void)src.energy_between(0.0, 1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eadvfs::energy

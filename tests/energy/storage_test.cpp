@@ -1,0 +1,159 @@
+#include "energy/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/types.hpp"
+
+namespace eadvfs::energy {
+namespace {
+
+TEST(EnergyStorage, StartsFullByDefault) {
+  const EnergyStorage s = EnergyStorage::ideal(100.0);
+  EXPECT_DOUBLE_EQ(s.capacity(), 100.0);
+  EXPECT_DOUBLE_EQ(s.level(), 100.0);
+  EXPECT_TRUE(s.full());
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(EnergyStorage, ExplicitInitialLevel) {
+  StorageConfig cfg;
+  cfg.capacity = 100.0;
+  cfg.initial = 25.0;
+  EnergyStorage s(cfg);
+  EXPECT_DOUBLE_EQ(s.level(), 25.0);
+  EXPECT_DOUBLE_EQ(s.initial_level(), 25.0);
+}
+
+TEST(EnergyStorage, ChargeWithinHeadroomStoresEverything) {
+  StorageConfig cfg;
+  cfg.capacity = 100.0;
+  cfg.initial = 10.0;
+  EnergyStorage s(cfg);
+  EXPECT_DOUBLE_EQ(s.charge(30.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.level(), 40.0);
+}
+
+TEST(EnergyStorage, OverflowIsDiscardedAndReported) {
+  StorageConfig cfg;
+  cfg.capacity = 100.0;
+  cfg.initial = 90.0;
+  EnergyStorage s(cfg);
+  EXPECT_DOUBLE_EQ(s.charge(30.0), 20.0);  // paper ineq. (1): E_C <= C
+  EXPECT_DOUBLE_EQ(s.level(), 100.0);
+  EXPECT_DOUBLE_EQ(s.total_overflow(), 20.0);
+}
+
+TEST(EnergyStorage, DischargeReducesLevel) {
+  EnergyStorage s = EnergyStorage::ideal(100.0);
+  s.discharge(40.0);
+  EXPECT_DOUBLE_EQ(s.level(), 60.0);
+  EXPECT_DOUBLE_EQ(s.total_discharged(), 40.0);
+}
+
+TEST(EnergyStorage, DischargeToExactlyZero) {
+  EnergyStorage s = EnergyStorage::ideal(50.0);
+  s.discharge(50.0);
+  EXPECT_DOUBLE_EQ(s.level(), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(EnergyStorage, OverdrawThrows) {
+  EnergyStorage s = EnergyStorage::ideal(50.0);
+  EXPECT_THROW(s.discharge(50.1), std::logic_error);  // paper ineq. (3)
+}
+
+TEST(EnergyStorage, EpsilonOverdrawIsForgiven) {
+  // The engine computes crossing instants in floating point; dust-level
+  // overdraw must clamp to zero, not abort the simulation.
+  EnergyStorage s = EnergyStorage::ideal(50.0);
+  s.discharge(50.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(s.level(), 0.0);
+}
+
+TEST(EnergyStorage, NegativeAmountsRejected) {
+  EnergyStorage s = EnergyStorage::ideal(50.0);
+  EXPECT_THROW((void)s.charge(-1.0), std::invalid_argument);
+  EXPECT_THROW(s.discharge(-1.0), std::invalid_argument);
+  EXPECT_THROW(s.leak(-1.0), std::invalid_argument);
+}
+
+TEST(EnergyStorage, AccountingBalances) {
+  StorageConfig cfg;
+  cfg.capacity = 100.0;
+  cfg.initial = 50.0;
+  EnergyStorage s(cfg);
+  s.charge(70.0);    // 50 stored, 20 overflow
+  s.discharge(30.0); // level 70
+  s.charge(10.0);    // level 80
+  EXPECT_DOUBLE_EQ(s.level(), 80.0);
+  // initial + charged - discharged == level  (paper ineq. 4 with equality
+  // for an ideal storage)
+  EXPECT_DOUBLE_EQ(s.initial_level() + s.total_charged() - s.total_discharged(),
+                   s.level());
+  EXPECT_DOUBLE_EQ(s.total_overflow(), 20.0);
+}
+
+TEST(EnergyStorage, ChargeEfficiencyLosesEnergy) {
+  StorageConfig cfg;
+  cfg.capacity = 100.0;
+  cfg.initial = 0.0;
+  cfg.charge_efficiency = 0.8;
+  EnergyStorage s(cfg);
+  const Energy overflow = s.charge(50.0);
+  EXPECT_DOUBLE_EQ(s.level(), 40.0);
+  EXPECT_DOUBLE_EQ(overflow, 10.0);  // conversion loss counted as overflow
+}
+
+TEST(EnergyStorage, LeakageDrainsOverTime) {
+  StorageConfig cfg;
+  cfg.capacity = 100.0;
+  cfg.initial = 10.0;
+  cfg.leakage = 2.0;
+  EnergyStorage s(cfg);
+  s.leak(3.0);
+  EXPECT_DOUBLE_EQ(s.level(), 4.0);
+  EXPECT_DOUBLE_EQ(s.total_leaked(), 6.0);
+  s.leak(10.0);  // clamps at empty
+  EXPECT_DOUBLE_EQ(s.level(), 0.0);
+  EXPECT_DOUBLE_EQ(s.total_leaked(), 10.0);
+}
+
+TEST(EnergyStorage, LeakIsNoopForIdealModel) {
+  EnergyStorage s = EnergyStorage::ideal(100.0);
+  s.leak(1000.0);
+  EXPECT_DOUBLE_EQ(s.level(), 100.0);
+  EXPECT_DOUBLE_EQ(s.total_leaked(), 0.0);
+}
+
+TEST(EnergyStorage, HugeCapacityActsInfinite) {
+  StorageConfig cfg;
+  cfg.capacity = kHuge;
+  cfg.initial = 1e12;
+  EnergyStorage s(cfg);
+  EXPECT_DOUBLE_EQ(s.charge(1e9), 0.0);
+  EXPECT_FALSE(s.full());
+}
+
+TEST(EnergyStorage, ConfigValidation) {
+  StorageConfig cfg;
+  cfg.capacity = 0.0;
+  EXPECT_THROW(EnergyStorage{cfg}, std::invalid_argument);
+  cfg = StorageConfig{};
+  cfg.initial = 200.0;
+  cfg.capacity = 100.0;
+  EXPECT_THROW(EnergyStorage{cfg}, std::invalid_argument);
+  cfg = StorageConfig{};
+  cfg.charge_efficiency = 0.0;
+  EXPECT_THROW(EnergyStorage{cfg}, std::invalid_argument);
+  cfg = StorageConfig{};
+  cfg.charge_efficiency = 1.5;
+  EXPECT_THROW(EnergyStorage{cfg}, std::invalid_argument);
+  cfg = StorageConfig{};
+  cfg.leakage = -1.0;
+  EXPECT_THROW(EnergyStorage{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eadvfs::energy

@@ -1,0 +1,112 @@
+#include "energy/trace_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace eadvfs::energy {
+namespace {
+
+std::vector<TracePoint> ramp() {
+  return {{0.0, 1.0}, {10.0, 3.0}, {25.0, 0.5}};
+}
+
+TEST(TraceSource, LooksUpSegments) {
+  TraceSource src(ramp(), TraceSource::EndBehavior::kHoldLast);
+  EXPECT_DOUBLE_EQ(src.power_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(src.power_at(9.99), 1.0);
+  EXPECT_DOUBLE_EQ(src.power_at(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(src.power_at(24.0), 3.0);
+  EXPECT_DOUBLE_EQ(src.power_at(25.0), 0.5);
+}
+
+TEST(TraceSource, HoldLastExtendsForever) {
+  TraceSource src(ramp(), TraceSource::EndBehavior::kHoldLast);
+  EXPECT_DOUBLE_EQ(src.power_at(1e6), 0.5);
+  EXPECT_GE(src.piece_end(30.0), 1e250);
+}
+
+TEST(TraceSource, WrapRepeats) {
+  TraceSource src(ramp(), TraceSource::EndBehavior::kWrap, 40.0);
+  EXPECT_DOUBLE_EQ(src.power_at(40.0), 1.0);   // wrapped to 0
+  EXPECT_DOUBLE_EQ(src.power_at(50.0), 3.0);   // wrapped to 10
+  EXPECT_DOUBLE_EQ(src.power_at(105.0), 0.5);  // wrapped to 25
+}
+
+TEST(TraceSource, WrapPieceEndAtTraceEnd) {
+  TraceSource src(ramp(), TraceSource::EndBehavior::kWrap, 40.0);
+  EXPECT_DOUBLE_EQ(src.piece_end(30.0), 40.0);
+  EXPECT_DOUBLE_EQ(src.piece_end(41.0), 50.0);
+}
+
+TEST(TraceSource, PieceEndWithinTrace) {
+  TraceSource src(ramp(), TraceSource::EndBehavior::kHoldLast);
+  EXPECT_DOUBLE_EQ(src.piece_end(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(src.piece_end(12.0), 25.0);
+}
+
+TEST(TraceSource, ExactIntegral) {
+  TraceSource src(ramp(), TraceSource::EndBehavior::kHoldLast);
+  // [5, 30]: 5*1 + 15*3 + 5*0.5 = 52.5
+  EXPECT_NEAR(src.energy_between(5.0, 30.0), 52.5, 1e-9);
+}
+
+TEST(TraceSource, ValidationRejectsBadTraces) {
+  EXPECT_THROW(TraceSource({}, TraceSource::EndBehavior::kHoldLast),
+               std::invalid_argument);
+  EXPECT_THROW(
+      TraceSource({{1.0, 2.0}}, TraceSource::EndBehavior::kHoldLast),
+      std::invalid_argument);  // must start at 0
+  EXPECT_THROW(TraceSource({{0.0, 1.0}, {0.0, 2.0}},
+                           TraceSource::EndBehavior::kHoldLast),
+               std::invalid_argument);  // non-increasing
+  EXPECT_THROW(
+      TraceSource({{0.0, -1.0}}, TraceSource::EndBehavior::kHoldLast),
+      std::invalid_argument);  // negative power
+  EXPECT_THROW(TraceSource(ramp(), TraceSource::EndBehavior::kWrap, 20.0),
+               std::invalid_argument);  // duration inside trace
+}
+
+TEST(TraceSource, NegativeTimeThrows) {
+  TraceSource src(ramp(), TraceSource::EndBehavior::kHoldLast);
+  EXPECT_THROW((void)src.power_at(-0.1), std::invalid_argument);
+}
+
+TEST(TraceSource, LoadsCsvWithHeader) {
+  const std::string path = ::testing::TempDir() + "/eadvfs_trace.csv";
+  {
+    std::ofstream f(path);
+    f << "time,power\n0,1.5\n5,2.5\n12,0\n";
+  }
+  const TraceSource src = TraceSource::from_csv(path);
+  EXPECT_EQ(src.size(), 3u);
+  EXPECT_DOUBLE_EQ(src.power_at(2.0), 1.5);
+  EXPECT_DOUBLE_EQ(src.power_at(6.0), 2.5);
+  EXPECT_DOUBLE_EQ(src.power_at(20.0), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSource, CsvWithMalformedBodyThrows) {
+  const std::string path = ::testing::TempDir() + "/eadvfs_trace_bad.csv";
+  {
+    std::ofstream f(path);
+    f << "0,1.5\n5,oops\n";
+  }
+  EXPECT_THROW((void)TraceSource::from_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSource, CsvMissingColumnsThrows) {
+  const std::string path = ::testing::TempDir() + "/eadvfs_trace_cols.csv";
+  {
+    std::ofstream f(path);
+    f << "0\n";
+  }
+  EXPECT_THROW((void)TraceSource::from_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eadvfs::energy

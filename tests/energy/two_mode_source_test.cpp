@@ -1,0 +1,89 @@
+#include "energy/two_mode_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eadvfs::energy {
+namespace {
+
+TwoModeSourceConfig config(Power day = 8.0, Power night = 1.0, Time d = 100.0,
+                           Time n = 50.0, Time phase = 0.0) {
+  TwoModeSourceConfig cfg;
+  cfg.day_power = day;
+  cfg.night_power = night;
+  cfg.day_duration = d;
+  cfg.night_duration = n;
+  cfg.phase = phase;
+  return cfg;
+}
+
+TEST(TwoModeSource, DayThenNight) {
+  TwoModeSource src(config());
+  EXPECT_DOUBLE_EQ(src.power_at(0.0), 8.0);
+  EXPECT_DOUBLE_EQ(src.power_at(99.9), 8.0);
+  EXPECT_DOUBLE_EQ(src.power_at(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(src.power_at(149.9), 1.0);
+}
+
+TEST(TwoModeSource, RepeatsWithCycle) {
+  TwoModeSource src(config());
+  EXPECT_DOUBLE_EQ(src.cycle(), 150.0);
+  EXPECT_DOUBLE_EQ(src.power_at(150.0), 8.0);
+  EXPECT_DOUBLE_EQ(src.power_at(250.0), 1.0);
+  EXPECT_DOUBLE_EQ(src.power_at(1500.0 + 42.0), src.power_at(42.0));
+}
+
+TEST(TwoModeSource, PieceEndAtModeBoundaries) {
+  TwoModeSource src(config());
+  EXPECT_DOUBLE_EQ(src.piece_end(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(src.piece_end(50.0), 100.0);
+  EXPECT_DOUBLE_EQ(src.piece_end(100.0), 150.0);
+  EXPECT_DOUBLE_EQ(src.piece_end(149.0), 150.0);
+  EXPECT_DOUBLE_EQ(src.piece_end(150.0), 250.0);
+}
+
+TEST(TwoModeSource, PieceEndAlwaysAdvances) {
+  TwoModeSource src(config());
+  for (Time t : {0.0, 99.99999999999999, 100.0, 149.99999999999997, 150.0,
+                 1234.5}) {
+    EXPECT_GT(src.piece_end(t), t) << "at t=" << t;
+  }
+}
+
+TEST(TwoModeSource, PhaseShiftsTheCycle) {
+  TwoModeSource src(config(8.0, 1.0, 100.0, 50.0, /*phase=*/120.0));
+  // t=0 maps to cycle offset 120, which is night.
+  EXPECT_DOUBLE_EQ(src.power_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(src.power_at(30.0), 8.0);  // offset 150 -> wraps to 0: day
+}
+
+TEST(TwoModeSource, IntegralAcrossModeBoundary) {
+  TwoModeSource src(config());
+  // [90, 110]: 10 units of day at 8 plus 10 units of night at 1.
+  EXPECT_NEAR(src.energy_between(90.0, 110.0), 90.0, 1e-9);
+}
+
+TEST(TwoModeSource, IntegralOverWholeCycles) {
+  TwoModeSource src(config());
+  const double per_cycle = 100.0 * 8.0 + 50.0 * 1.0;
+  EXPECT_NEAR(src.energy_between(0.0, 450.0), 3.0 * per_cycle, 1e-9);
+}
+
+TEST(TwoModeSource, ZeroNightPowerModelsBlackout) {
+  TwoModeSource src(config(5.0, 0.0));
+  EXPECT_DOUBLE_EQ(src.power_at(120.0), 0.0);
+  EXPECT_NEAR(src.energy_between(100.0, 150.0), 0.0, 1e-12);
+}
+
+TEST(TwoModeSource, RejectsBadConfig) {
+  EXPECT_THROW(TwoModeSource(config(-1.0)), std::invalid_argument);
+  EXPECT_THROW(TwoModeSource(config(1.0, -1.0)), std::invalid_argument);
+  EXPECT_THROW(TwoModeSource(config(1.0, 1.0, 0.0)), std::invalid_argument);
+  EXPECT_THROW(TwoModeSource(config(1.0, 1.0, 10.0, 0.0)), std::invalid_argument);
+  EXPECT_THROW(TwoModeSource(config(1.0, 1.0, 10.0, 10.0, -5.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eadvfs::energy

@@ -1,0 +1,121 @@
+#include "exp/capacity_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "exp/setup.hpp"
+#include "sched/factory.hpp"
+#include "task/generator.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::exp {
+namespace {
+
+CapacitySearchConfig small_config(double u = 0.4) {
+  CapacitySearchConfig cfg;
+  cfg.n_task_sets = 3;
+  cfg.capacity_hi = 5000.0;
+  cfg.sim.horizon = 800.0;
+  cfg.solar.horizon = 800.0;
+  cfg.generator.target_utilization = u;
+  return cfg;
+}
+
+task::TaskSet one_set(double u, std::uint64_t seed) {
+  task::GeneratorConfig gen_cfg;
+  gen_cfg.target_utilization = u;
+  task::TaskSetGenerator gen(gen_cfg);
+  util::Xoshiro256ss rng(seed);
+  return gen.generate(rng);
+}
+
+std::shared_ptr<const energy::EnergySource> solar(std::uint64_t seed) {
+  energy::SolarSourceConfig cfg;
+  cfg.seed = seed;
+  cfg.horizon = 800.0;
+  return std::make_shared<const energy::SolarSource>(cfg);
+}
+
+TEST(FindMinCapacity, FoundCapacityAchievesZeroMiss) {
+  const auto cfg = small_config();
+  const auto set = one_set(0.4, 11);
+  const auto source = solar(11);
+  const double cmin = find_min_capacity(cfg, "ea-dvfs", set, source);
+  ASSERT_GT(cmin, 0.0);
+  // Verify: running at cmin is zero-miss...
+  const auto scheduler = sched::make_scheduler("ea-dvfs");
+  const auto at_cmin = run_once(cfg.sim, source, cmin,
+                                proc::FrequencyTable::xscale(), *scheduler,
+                                cfg.predictor, set);
+  EXPECT_EQ(at_cmin.jobs_missed, 0u);
+}
+
+TEST(FindMinCapacity, SlightlySmallerCapacityMisses) {
+  const auto cfg = small_config();
+  const auto set = one_set(0.4, 11);
+  const auto source = solar(11);
+  const double cmin = find_min_capacity(cfg, "lsa", set, source);
+  ASSERT_GT(cmin, cfg.capacity_lo * 1.5);  // non-trivial search
+  const auto scheduler = sched::make_scheduler("lsa");
+  const auto below = run_once(cfg.sim, source, cmin * 0.9,
+                              proc::FrequencyTable::xscale(), *scheduler,
+                              cfg.predictor, set);
+  EXPECT_GT(below.jobs_missed, 0u);
+}
+
+TEST(FindMinCapacity, InfeasibleWorkloadReturnsNegative) {
+  auto cfg = small_config();
+  cfg.capacity_hi = 2.0;  // absurdly small bracket
+  const auto set = one_set(0.8, 13);
+  const double cmin = find_min_capacity(cfg, "lsa", set, solar(13));
+  EXPECT_LT(cmin, 0.0);
+}
+
+TEST(RunCapacitySearch, ProducesStatsForBothSchedulers) {
+  const auto result = run_capacity_search(small_config());
+  ASSERT_EQ(result.cmin.size(), 2u);
+  EXPECT_EQ(result.sets_evaluated + result.sets_skipped, 3u);
+  if (result.sets_evaluated > 0) {
+    EXPECT_GT(result.cmin[0].mean(), 0.0);
+    EXPECT_GT(result.cmin[1].mean(), 0.0);
+  }
+}
+
+TEST(RunCapacitySearch, LsaNeedsAtLeastAsMuchStorage) {
+  // Paper Table 1: the ratio is >= 1 at every utilization.
+  const auto result = run_capacity_search(small_config(0.4));
+  if (result.sets_evaluated > 0) {
+    EXPECT_GE(result.ratio_of_means(), 0.95);
+    EXPECT_GE(result.ratio_first_over_second.mean(), 0.95);
+  }
+}
+
+TEST(RunCapacitySearch, Deterministic) {
+  const auto a = run_capacity_search(small_config());
+  const auto b = run_capacity_search(small_config());
+  EXPECT_EQ(a.sets_evaluated, b.sets_evaluated);
+  if (a.sets_evaluated > 0)
+    EXPECT_DOUBLE_EQ(a.cmin[0].mean(), b.cmin[0].mean());
+}
+
+TEST(RunCapacitySearch, Validation) {
+  auto cfg = small_config();
+  cfg.schedulers.clear();
+  EXPECT_THROW((void)run_capacity_search(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.capacity_lo = 0.0;
+  EXPECT_THROW((void)run_capacity_search(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.capacity_hi = cfg.capacity_lo;
+  EXPECT_THROW((void)run_capacity_search(cfg), std::invalid_argument);
+}
+
+TEST(RatioOfMeans, EmptyIsZero) {
+  CapacitySearchResult empty;
+  EXPECT_DOUBLE_EQ(empty.ratio_of_means(), 0.0);
+}
+
+}  // namespace
+}  // namespace eadvfs::exp

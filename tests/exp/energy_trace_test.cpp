@@ -1,0 +1,76 @@
+#include "exp/energy_trace_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eadvfs::exp {
+namespace {
+
+EnergyTraceConfig small_config() {
+  EnergyTraceConfig cfg;
+  cfg.capacities = {50.0, 150.0};
+  cfg.schedulers = {"lsa", "ea-dvfs"};
+  cfg.n_task_sets = 3;
+  cfg.sample_interval = 100.0;
+  cfg.sim.horizon = 600.0;
+  cfg.solar.horizon = 600.0;
+  cfg.generator.target_utilization = 0.4;
+  return cfg;
+}
+
+TEST(EnergyTrace, OneCurvePerScheduler) {
+  const auto result = run_energy_trace(small_config());
+  ASSERT_EQ(result.curves.size(), 2u);
+  EXPECT_EQ(result.curves[0].scheduler, "lsa");
+  EXPECT_EQ(result.curves[1].scheduler, "ea-dvfs");
+}
+
+TEST(EnergyTrace, GridMatchesHorizonAndInterval) {
+  const auto result = run_energy_trace(small_config());
+  const auto& curve = result.curves[0];
+  ASSERT_EQ(curve.times.size(), 7u);  // 0, 100, ..., 600
+  EXPECT_DOUBLE_EQ(curve.times.front(), 0.0);
+  EXPECT_DOUBLE_EQ(curve.times.back(), 600.0);
+  EXPECT_EQ(curve.mean_normalized_level.size(), curve.times.size());
+  EXPECT_EQ(curve.ci95.size(), curve.times.size());
+}
+
+TEST(EnergyTrace, StartsAtFullStorage) {
+  const auto result = run_energy_trace(small_config());
+  for (const auto& curve : result.curves)
+    EXPECT_NEAR(curve.mean_normalized_level[0], 1.0, 1e-9);
+}
+
+TEST(EnergyTrace, LevelsAreNormalized) {
+  const auto result = run_energy_trace(small_config());
+  for (const auto& curve : result.curves) {
+    for (double level : curve.mean_normalized_level) {
+      EXPECT_GE(level, -1e-9);
+      EXPECT_LE(level, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(EnergyTrace, CurveLookup) {
+  const auto result = run_energy_trace(small_config());
+  EXPECT_EQ(result.curve("lsa").scheduler, "lsa");
+  EXPECT_THROW((void)result.curve("edf"), std::out_of_range);
+}
+
+TEST(EnergyTrace, Deterministic) {
+  const auto a = run_energy_trace(small_config());
+  const auto b = run_energy_trace(small_config());
+  for (std::size_t i = 0; i < a.curves[0].mean_normalized_level.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.curves[0].mean_normalized_level[i],
+                     b.curves[0].mean_normalized_level[i]);
+}
+
+TEST(EnergyTrace, RejectsEmptyAxes) {
+  auto cfg = small_config();
+  cfg.schedulers.clear();
+  EXPECT_THROW((void)run_energy_trace(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eadvfs::exp

@@ -1,0 +1,113 @@
+#include "exp/harvester_sizing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "energy/composite_source.hpp"
+#include "exp/setup.hpp"
+#include "sched/factory.hpp"
+#include "task/generator.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::exp {
+namespace {
+
+HarvesterSizingConfig small_config(double u = 0.4) {
+  HarvesterSizingConfig cfg;
+  cfg.n_task_sets = 3;
+  cfg.capacity = 200.0;
+  cfg.sim.horizon = 800.0;
+  cfg.solar.horizon = 800.0;
+  cfg.generator.target_utilization = u;
+  return cfg;
+}
+
+task::TaskSet one_set(double u, std::uint64_t seed) {
+  task::GeneratorConfig gen_cfg;
+  gen_cfg.target_utilization = u;
+  task::TaskSetGenerator gen(gen_cfg);
+  util::Xoshiro256ss rng(seed);
+  return gen.generate(rng);
+}
+
+std::shared_ptr<const energy::EnergySource> solar(std::uint64_t seed) {
+  energy::SolarSourceConfig cfg;
+  cfg.seed = seed;
+  cfg.horizon = 800.0;
+  return std::make_shared<const energy::SolarSource>(cfg);
+}
+
+TEST(FindMinHarvesterScale, FoundScaleAchievesZeroMiss) {
+  const auto cfg = small_config();
+  const auto set = one_set(0.4, 3);
+  const auto base = solar(3);
+  const double scale = find_min_harvester_scale(cfg, "ea-dvfs", set, base);
+  ASSERT_GT(scale, 0.0);
+  const auto scaled =
+      std::make_shared<const energy::ScaledSource>(base, scale);
+  const auto scheduler = sched::make_scheduler("ea-dvfs");
+  const auto at_scale =
+      run_once(cfg.sim, scaled, cfg.capacity, proc::FrequencyTable::xscale(),
+               *scheduler, cfg.predictor, set);
+  EXPECT_EQ(at_scale.jobs_missed, 0u);
+}
+
+TEST(FindMinHarvesterScale, BelowTheScaleMisses) {
+  const auto cfg = small_config();
+  const auto set = one_set(0.4, 3);
+  const auto base = solar(3);
+  const double scale = find_min_harvester_scale(cfg, "lsa", set, base);
+  ASSERT_GT(scale, cfg.scale_lo * 2.0);  // non-trivial
+  const auto scaled =
+      std::make_shared<const energy::ScaledSource>(base, 0.9 * scale);
+  const auto scheduler = sched::make_scheduler("lsa");
+  const auto below =
+      run_once(cfg.sim, scaled, cfg.capacity, proc::FrequencyTable::xscale(),
+               *scheduler, cfg.predictor, set);
+  EXPECT_GT(below.jobs_missed, 0u);
+}
+
+TEST(FindMinHarvesterScale, ImpossibleWorkloadReturnsNegative) {
+  auto cfg = small_config(0.8);
+  cfg.capacity = 3.0;       // no panel survives the night on this
+  cfg.scale_hi = 5.0;
+  const auto set = one_set(0.8, 5);
+  EXPECT_LT(find_min_harvester_scale(cfg, "lsa", set, solar(5)), 0.0);
+}
+
+TEST(RunHarvesterSizing, LsaNeedsAtLeastAsBigAPanel) {
+  const auto result = run_harvester_sizing(small_config());
+  EXPECT_EQ(result.sets_evaluated + result.sets_skipped, 3u);
+  if (result.sets_evaluated > 0) {
+    EXPECT_GE(result.ratio_of_means(), 0.95);
+    EXPECT_GE(result.ratio_first_over_second.mean(), 0.95);
+  }
+}
+
+TEST(RunHarvesterSizing, Deterministic) {
+  const auto a = run_harvester_sizing(small_config());
+  const auto b = run_harvester_sizing(small_config());
+  EXPECT_EQ(a.sets_evaluated, b.sets_evaluated);
+  if (a.sets_evaluated > 0)
+    EXPECT_DOUBLE_EQ(a.min_scale[0].mean(), b.min_scale[0].mean());
+}
+
+TEST(RunHarvesterSizing, Validation) {
+  auto cfg = small_config();
+  cfg.schedulers.clear();
+  EXPECT_THROW((void)run_harvester_sizing(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.scale_lo = 0.0;
+  EXPECT_THROW((void)run_harvester_sizing(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.scale_hi = cfg.scale_lo;
+  EXPECT_THROW((void)run_harvester_sizing(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.capacity = 0.0;
+  EXPECT_THROW((void)run_harvester_sizing(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eadvfs::exp

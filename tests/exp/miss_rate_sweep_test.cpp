@@ -1,0 +1,92 @@
+#include "exp/miss_rate_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eadvfs::exp {
+namespace {
+
+MissRateSweepConfig small_config() {
+  MissRateSweepConfig cfg;
+  cfg.capacities = {40.0, 150.0};
+  cfg.schedulers = {"lsa", "ea-dvfs"};
+  cfg.n_task_sets = 4;
+  cfg.sim.horizon = 800.0;
+  cfg.solar.horizon = 800.0;
+  cfg.generator.target_utilization = 0.4;
+  return cfg;
+}
+
+TEST(MissRateSweep, ProducesOneCellPerSchedulerCapacityPair) {
+  const auto result = run_miss_rate_sweep(small_config());
+  EXPECT_EQ(result.cells.size(), 4u);
+  for (const auto& cell : result.cells)
+    EXPECT_EQ(cell.miss_rate.count(), 4u);
+}
+
+TEST(MissRateSweep, CellLookupWorks) {
+  const auto result = run_miss_rate_sweep(small_config());
+  const auto& cell = result.cell("ea-dvfs", 150.0);
+  EXPECT_EQ(cell.scheduler, "ea-dvfs");
+  EXPECT_DOUBLE_EQ(cell.capacity, 150.0);
+  EXPECT_THROW((void)result.cell("nope", 150.0), std::out_of_range);
+  EXPECT_THROW((void)result.cell("lsa", 999.0), std::out_of_range);
+}
+
+TEST(MissRateSweep, MissRatesAreValidProbabilities) {
+  const auto result = run_miss_rate_sweep(small_config());
+  for (const auto& cell : result.cells) {
+    EXPECT_GE(cell.miss_rate.min(), 0.0);
+    EXPECT_LE(cell.miss_rate.max(), 1.0);
+  }
+}
+
+TEST(MissRateSweep, LargerCapacityNeverHurtsOnAverage) {
+  const auto result = run_miss_rate_sweep(small_config());
+  for (const auto& name : {"lsa", "ea-dvfs"}) {
+    EXPECT_LE(result.cell(name, 150.0).miss_rate.mean(),
+              result.cell(name, 40.0).miss_rate.mean() + 0.02)
+        << name;
+  }
+}
+
+TEST(MissRateSweep, DeterministicForFixedSeed) {
+  const auto a = run_miss_rate_sweep(small_config());
+  const auto b = run_miss_rate_sweep(small_config());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells[i].miss_rate.mean(), b.cells[i].miss_rate.mean());
+  }
+}
+
+TEST(MissRateSweep, SeedChangesResults) {
+  auto cfg = small_config();
+  const auto a = run_miss_rate_sweep(cfg);
+  cfg.seed = 777;
+  const auto b = run_miss_rate_sweep(cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.cells.size(); ++i)
+    if (a.cells[i].miss_rate.mean() != b.cells[i].miss_rate.mean())
+      any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MissRateSweep, RejectsEmptyAxes) {
+  auto cfg = small_config();
+  cfg.capacities.clear();
+  EXPECT_THROW((void)run_miss_rate_sweep(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.schedulers.clear();
+  EXPECT_THROW((void)run_miss_rate_sweep(cfg), std::invalid_argument);
+}
+
+TEST(MissRateSweep, DiagnosticsArePopulated) {
+  const auto result = run_miss_rate_sweep(small_config());
+  // Someone must have been busy at some point.
+  double total_busy = 0.0;
+  for (const auto& cell : result.cells) total_busy += cell.busy_time.mean();
+  EXPECT_GT(total_busy, 0.0);
+}
+
+}  // namespace
+}  // namespace eadvfs::exp

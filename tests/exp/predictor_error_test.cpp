@@ -1,0 +1,76 @@
+#include "exp/predictor_error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eadvfs::exp {
+namespace {
+
+PredictorErrorConfig small_config() {
+  PredictorErrorConfig cfg;
+  cfg.predictors = {"oracle", "slotted-ewma", "running-average", "pessimistic"};
+  cfg.windows = {10.0, 100.0};
+  cfg.n_sources = 3;
+  cfg.horizon = 2500.0;
+  cfg.query_interval = 25.0;
+  return cfg;
+}
+
+TEST(PredictorError, OracleIsExact) {
+  const auto result = run_predictor_error(small_config());
+  for (Time w : {10.0, 100.0}) {
+    EXPECT_NEAR(result.cell("oracle", w).absolute_error.mean(), 0.0, 1e-9);
+    EXPECT_NEAR(result.cell("oracle", w).bias.mean(), 0.0, 1e-9);
+  }
+}
+
+TEST(PredictorError, PessimisticBiasIsMinusOne) {
+  // Predicting zero means (pred - actual)/scale averages to -actual/scale,
+  // whose mean is -1 by the normalization choice (up to sampling noise).
+  const auto result = run_predictor_error(small_config());
+  EXPECT_NEAR(result.cell("pessimistic", 100.0).bias.mean(), -1.0, 0.15);
+  EXPECT_GT(result.cell("pessimistic", 100.0).absolute_error.mean(), 0.5);
+}
+
+TEST(PredictorError, SlottedProfileBeatsRunningAverageAtTaskHorizons) {
+  const auto result = run_predictor_error(small_config());
+  EXPECT_LT(result.cell("slotted-ewma", 100.0).absolute_error.mean(),
+            result.cell("running-average", 100.0).absolute_error.mean());
+}
+
+TEST(PredictorError, ErrorsShrinkWithHorizonForTheProfile) {
+  // Longer windows average out the per-step noise for an unbiased profile.
+  const auto result = run_predictor_error(small_config());
+  EXPECT_LT(result.cell("slotted-ewma", 100.0).absolute_error.mean(),
+            result.cell("slotted-ewma", 10.0).absolute_error.mean());
+}
+
+TEST(PredictorError, CellsCoverFullGrid) {
+  const auto result = run_predictor_error(small_config());
+  EXPECT_EQ(result.cells.size(), 4u * 2u);
+  EXPECT_THROW((void)result.cell("psychic", 10.0), std::out_of_range);
+  EXPECT_THROW((void)result.cell("oracle", 11.0), std::out_of_range);
+}
+
+TEST(PredictorError, Deterministic) {
+  const auto a = run_predictor_error(small_config());
+  const auto b = run_predictor_error(small_config());
+  EXPECT_DOUBLE_EQ(a.cell("running-average", 10.0).absolute_error.mean(),
+                   b.cell("running-average", 10.0).absolute_error.mean());
+}
+
+TEST(PredictorError, Validation) {
+  auto cfg = small_config();
+  cfg.predictors.clear();
+  EXPECT_THROW((void)run_predictor_error(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.windows.clear();
+  EXPECT_THROW((void)run_predictor_error(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.query_interval = 0.0;
+  EXPECT_THROW((void)run_predictor_error(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eadvfs::exp

@@ -1,0 +1,93 @@
+#include "exp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace eadvfs::exp {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"capacity", "lsa", "ea-dvfs"});
+  table.add_row({"200", "0.50", "0.20"});
+  table.add_row({"5000", "0.01", "0.00"});
+  const std::string text = table.render();
+  EXPECT_NE(text.find("capacity"), std::string::npos);
+  EXPECT_NE(text.find("0.50"), std::string::npos);
+  EXPECT_NE(text.find("5000"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TextTable, NumericRowFormatting) {
+  TextTable table({"label", "a", "b"});
+  table.add_row("row", {1.23456, 2.0}, 2);
+  const std::string text = table.render();
+  EXPECT_NE(text.find("1.23"), std::string::npos);
+  EXPECT_NE(text.find("2.00"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  EXPECT_NO_THROW((void)table.render());
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable table({"x", "yyyyyy"});
+  table.add_row({"aaaaaaaa", "1"});
+  const std::string text = table.render();
+  std::istringstream lines(text);
+  std::string header, sep, row;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row);
+  EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(TextTable, WritesCsv) {
+  const std::string path = ::testing::TempDir() + "/eadvfs_report.csv";
+  TextTable table({"h1", "h2"});
+  table.add_row({"v1", "v,2"});
+  table.write_csv(path);
+  const auto rows = util::csv_read_file(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "v,2");
+  std::remove(path.c_str());
+}
+
+TEST(TextTable, CsvToUnwritablePathDoesNotThrow) {
+  TextTable table({"a"});
+  table.add_row({"1"});
+  EXPECT_NO_THROW(table.write_csv("/nonexistent/dir/file.csv"));
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.5, 2), "1.50");
+  EXPECT_EQ(fmt(-0.125, 3), "-0.125");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+}
+
+TEST(PrintBanner, ContainsAllParts) {
+  std::ostringstream out;
+  print_banner(out, "Figure 8", "EA-DVFS halves the miss rate",
+               "U=0.4, 7 capacities");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Figure 8"), std::string::npos);
+  EXPECT_NE(text.find("halves"), std::string::npos);
+  EXPECT_NE(text.find("U=0.4"), std::string::npos);
+}
+
+TEST(OutputDir, HonoursEnvironmentVariable) {
+  ::setenv("EADVFS_OUT_DIR", "/tmp/eadvfs_out", 1);
+  EXPECT_EQ(output_dir(), "/tmp/eadvfs_out");
+  ::unsetenv("EADVFS_OUT_DIR");
+  EXPECT_EQ(output_dir(), ".");
+}
+
+}  // namespace
+}  // namespace eadvfs::exp

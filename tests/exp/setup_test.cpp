@@ -1,0 +1,112 @@
+#include "exp/setup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "sched/factory.hpp"
+#include "task/generator.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::exp {
+namespace {
+
+std::shared_ptr<const energy::EnergySource> solar(std::uint64_t seed = 1) {
+  energy::SolarSourceConfig cfg;
+  cfg.seed = seed;
+  cfg.horizon = 1000.0;
+  return std::make_shared<const energy::SolarSource>(cfg);
+}
+
+TEST(MakePredictor, BuildsEveryNamedKind) {
+  const auto source = solar();
+  EXPECT_EQ(make_predictor("oracle", source)->name(), "oracle");
+  EXPECT_EQ(make_predictor("slotted-ewma", source)->name(), "slotted-ewma");
+  EXPECT_EQ(make_predictor("running-average", source)->name(),
+            "running-average");
+  EXPECT_NE(make_predictor("pessimistic", source)->name().find("constant"),
+            std::string::npos);
+  EXPECT_NE(make_predictor("constant:2.5", source)->name().find("2.5"),
+            std::string::npos);
+}
+
+TEST(MakePredictor, ConstantParsesItsParameter) {
+  const auto p = make_predictor("constant:1.5", solar());
+  EXPECT_DOUBLE_EQ(p->predict(0.0, 4.0), 6.0);
+}
+
+TEST(MakePredictor, PessimisticPredictsZero) {
+  const auto p = make_predictor("pessimistic", solar());
+  EXPECT_DOUBLE_EQ(p->predict(0.0, 100.0), 0.0);
+}
+
+TEST(MakePredictor, SlottedEwmaAdoptsSolarCycle) {
+  const auto source = solar();
+  const auto p = make_predictor("slotted-ewma", source);
+  // Can't peek at the cycle directly through the interface; at minimum the
+  // construction path must succeed and predict sensibly.
+  EXPECT_DOUBLE_EQ(p->predict(0.0, 0.0), 0.0);
+}
+
+TEST(MakePredictor, UnknownNameThrows) {
+  EXPECT_THROW((void)make_predictor("psychic", solar()), std::invalid_argument);
+}
+
+TEST(DeriveSeeds, CountAndUniqueness) {
+  const auto seeds = derive_seeds(42, 100);
+  EXPECT_EQ(seeds.size(), 100u);
+  const std::set<std::uint64_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 100u);
+}
+
+TEST(DeriveSeeds, DeterministicForMaster) {
+  EXPECT_EQ(derive_seeds(7, 10), derive_seeds(7, 10));
+  EXPECT_NE(derive_seeds(7, 10), derive_seeds(8, 10));
+}
+
+TEST(RunOnce, ProducesConsistentResult) {
+  task::GeneratorConfig gen_cfg;
+  gen_cfg.target_utilization = 0.4;
+  task::TaskSetGenerator gen(gen_cfg);
+  util::Xoshiro256ss rng(3);
+  const task::TaskSet set = gen.generate(rng);
+
+  sim::SimulationConfig cfg;
+  cfg.horizon = 1000.0;
+  const auto scheduler = sched::make_scheduler("ea-dvfs");
+  const auto result =
+      run_once(cfg, solar(), 200.0, proc::FrequencyTable::xscale(), *scheduler,
+               "slotted-ewma", set);
+  EXPECT_GT(result.jobs_released, 0u);
+  EXPECT_LT(result.conservation_error(), 1e-5);
+  EXPECT_NEAR(result.end_time, 1000.0, 1e-9);
+}
+
+TEST(RunOnce, IsDeterministic) {
+  task::GeneratorConfig gen_cfg;
+  gen_cfg.target_utilization = 0.5;
+  task::TaskSetGenerator gen(gen_cfg);
+  util::Xoshiro256ss rng(9);
+  const task::TaskSet set = gen.generate(rng);
+
+  sim::SimulationConfig cfg;
+  cfg.horizon = 500.0;
+  const auto source = solar(5);
+  auto run = [&] {
+    const auto scheduler = sched::make_scheduler("lsa");
+    return run_once(cfg, source, 100.0, proc::FrequencyTable::xscale(),
+                    *scheduler, "running-average", set);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.jobs_missed, b.jobs_missed);
+  EXPECT_DOUBLE_EQ(a.storage_final, b.storage_final);
+}
+
+TEST(PredictorNames, ListedNamesAreNonEmpty) {
+  EXPECT_FALSE(predictor_names().empty());
+}
+
+}  // namespace
+}  // namespace eadvfs::exp

@@ -1,0 +1,123 @@
+/// Tests for the experiment-harness extensions beyond the paper's setup:
+/// custom frequency tables, switch overheads, execution-time models in the
+/// miss-rate sweep, and the explicit-storage run variant.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "energy/solar_source.hpp"
+#include "exp/miss_rate_sweep.hpp"
+#include "exp/setup.hpp"
+#include "sched/factory.hpp"
+#include "task/generator.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::exp {
+namespace {
+
+MissRateSweepConfig small_config() {
+  MissRateSweepConfig cfg;
+  cfg.capacities = {60.0};
+  cfg.schedulers = {"lsa", "ea-dvfs"};
+  cfg.n_task_sets = 4;
+  cfg.sim.horizon = 600.0;
+  cfg.solar.horizon = 600.0;
+  cfg.generator.target_utilization = 0.5;
+  return cfg;
+}
+
+TEST(SweepExtensions, CustomFrequencyTableIsUsed) {
+  // With a 2-point table EA-DVFS has far fewer stretch options; switch
+  // counts and outcomes must differ from the 5-point default.
+  auto base = small_config();
+  const auto with_xscale = run_miss_rate_sweep(base);
+  auto cfg = small_config();
+  cfg.table = proc::FrequencyTable::two_speed(3.2);
+  const auto with_two_speed = run_miss_rate_sweep(cfg);
+  // LSA runs only at f_max: same miss rates (same max point, same power).
+  EXPECT_DOUBLE_EQ(with_xscale.cell("lsa", 60.0).miss_rate.mean(),
+                   with_two_speed.cell("lsa", 60.0).miss_rate.mean());
+  // EA-DVFS must behave differently on a different menu.
+  EXPECT_NE(with_xscale.cell("ea-dvfs", 60.0).busy_time.mean(),
+            with_two_speed.cell("ea-dvfs", 60.0).busy_time.mean());
+}
+
+TEST(SweepExtensions, SwitchOverheadRaisesMissRates) {
+  auto cheap = small_config();
+  const auto free_switching = run_miss_rate_sweep(cheap);
+  auto costly = small_config();
+  costly.overhead = {0.5, 1.0};
+  const auto paid_switching = run_miss_rate_sweep(costly);
+  EXPECT_GE(paid_switching.cell("ea-dvfs", 60.0).miss_rate.mean(),
+            free_switching.cell("ea-dvfs", 60.0).miss_rate.mean());
+}
+
+TEST(SweepExtensions, ExecutionModelReducesDemand) {
+  auto full = small_config();
+  const auto wcet_runs = run_miss_rate_sweep(full);
+  auto early = small_config();
+  early.execution.bcet_fraction = 0.25;
+  const auto early_runs = run_miss_rate_sweep(early);
+  // Less actual work -> less busy time and no more misses on average.
+  EXPECT_LT(early_runs.cell("ea-dvfs", 60.0).busy_time.mean(),
+            wcet_runs.cell("ea-dvfs", 60.0).busy_time.mean());
+  EXPECT_LE(early_runs.cell("ea-dvfs", 60.0).miss_rate.mean(),
+            wcet_runs.cell("ea-dvfs", 60.0).miss_rate.mean() + 1e-9);
+}
+
+TEST(RunOnceWithStorage, AppliesNonIdealities) {
+  task::GeneratorConfig gen_cfg;
+  gen_cfg.target_utilization = 0.4;
+  task::TaskSetGenerator gen(gen_cfg);
+  util::Xoshiro256ss rng(5);
+  const task::TaskSet set = gen.generate(rng);
+  energy::SolarSourceConfig solar;
+  solar.seed = 5;
+  solar.horizon = 600.0;
+  const auto source = std::make_shared<const energy::SolarSource>(solar);
+  sim::SimulationConfig cfg;
+  cfg.horizon = 600.0;
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+
+  auto run_with = [&](double efficiency, Power leakage) {
+    energy::StorageConfig storage;
+    storage.capacity = 80.0;
+    storage.charge_efficiency = efficiency;
+    storage.leakage = leakage;
+    const auto scheduler = sched::make_scheduler("ea-dvfs");
+    return run_once_with_storage(cfg, source, storage, table, *scheduler,
+                                 "slotted-ewma", set);
+  };
+  const auto ideal = run_with(1.0, 0.0);
+  const auto lossy = run_with(0.7, 0.1);
+  EXPECT_GT(lossy.leaked, 0.0);
+  EXPECT_DOUBLE_EQ(ideal.leaked, 0.0);
+  EXPECT_LT(ideal.conservation_error(), 1e-5);
+  EXPECT_LT(lossy.conservation_error(), 1e-5);
+  // A lossy storage can only make things (weakly) worse.
+  EXPECT_GE(lossy.jobs_missed, ideal.jobs_missed);
+}
+
+TEST(RunOnceWithStorage, PartialInitialCharge) {
+  task::GeneratorConfig gen_cfg;
+  gen_cfg.target_utilization = 0.3;
+  task::TaskSetGenerator gen(gen_cfg);
+  util::Xoshiro256ss rng(9);
+  const task::TaskSet set = gen.generate(rng);
+  const auto source = std::make_shared<const energy::ConstantSource>(0.0);
+  sim::SimulationConfig cfg;
+  cfg.horizon = 50.0;
+  energy::StorageConfig storage;
+  storage.capacity = 100.0;
+  storage.initial = 5.0;
+  const auto scheduler = sched::make_scheduler("edf");
+  const auto result =
+      run_once_with_storage(cfg, source, storage, proc::FrequencyTable::xscale(),
+                            *scheduler, "pessimistic", set);
+  EXPECT_DOUBLE_EQ(result.storage_initial, 5.0);
+  EXPECT_LE(result.consumed, 5.0 + 1e-9);  // dark source: only the bank
+}
+
+}  // namespace
+}  // namespace eadvfs::exp

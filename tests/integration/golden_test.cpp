@@ -1,0 +1,93 @@
+/// Golden regression pins: exact end-to-end results for fixed seeds.
+///
+/// These values were captured from a verified build; they intentionally
+/// over-constrain the simulator so that ANY behavioural change — RNG
+/// stream, engine segmentation, scheduler arithmetic, predictor updates —
+/// shows up as a diff here rather than as a silent shift in the paper
+/// reproduction numbers.  If a change is *intended* (documented in the
+/// commit), re-capture the constants.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../support/scenario.hpp"
+#include "energy/solar_source.hpp"
+#include "sched/factory.hpp"
+#include "task/generator.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs {
+namespace {
+
+struct Golden {
+  const char* scheduler;
+  std::size_t released;
+  std::size_t completed;
+  std::size_t missed;
+};
+
+sim::SimulationResult run_reference(const std::string& scheduler_name) {
+  task::GeneratorConfig gen_cfg;
+  gen_cfg.target_utilization = 0.5;
+  task::TaskSetGenerator gen(gen_cfg);
+  util::Xoshiro256ss rng(20080310);
+  test::Scenario s;
+  s.task_set = gen.generate(rng);
+  energy::SolarSourceConfig solar;
+  solar.seed = 424242;
+  solar.horizon = 2000.0;
+  s.source = std::make_shared<energy::SolarSource>(solar);
+  s.capacity = 60.0;
+  s.config.horizon = 2000.0;
+  const auto scheduler = sched::make_scheduler(scheduler_name);
+  return test::run_scenario(std::move(s), *scheduler).result;
+}
+
+TEST(GoldenPins, ReferenceWorkloadIsStable) {
+  // Workload derived from seed 20080310 must itself be pinned first: if
+  // these fail, the RNG or generator changed and everything below follows.
+  task::GeneratorConfig gen_cfg;
+  gen_cfg.target_utilization = 0.5;
+  task::TaskSetGenerator gen(gen_cfg);
+  util::Xoshiro256ss rng(20080310);
+  const task::TaskSet set = gen.generate(rng);
+  ASSERT_EQ(set.size(), 5u);
+  EXPECT_NEAR(set.utilization(), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(set.at(0).period, 60.0);
+  EXPECT_DOUBLE_EQ(set.at(1).period, 90.0);
+  EXPECT_DOUBLE_EQ(set.at(2).period, 80.0);
+  EXPECT_DOUBLE_EQ(set.at(3).period, 80.0);
+  EXPECT_DOUBLE_EQ(set.at(4).period, 20.0);
+  EXPECT_NEAR(set.at(0).wcet, 8.6545745878455893, 1e-12);
+}
+
+TEST(GoldenPins, SolarSourceIsStable) {
+  energy::SolarSourceConfig solar;
+  solar.seed = 424242;
+  solar.horizon = 2000.0;
+  const energy::SolarSource source(solar);
+  EXPECT_NEAR(source.power_at(0.0), 21.77687372875322, 1e-12);
+  EXPECT_NEAR(source.power_at(100.0), 5.6975241276209907, 1e-12);
+  EXPECT_NEAR(source.energy_between(0.0, 1000.0), 4250.257675412995, 1e-6);
+}
+
+TEST(GoldenPins, EndToEndOutcomesAreStable) {
+  const Golden goldens[] = {
+      {"edf", 207, 176, 30},
+      {"lsa", 207, 169, 37},
+      {"ea-dvfs", 207, 191, 15},
+      {"ea-dvfs-static", 207, 193, 13},
+      {"greedy-dvfs", 207, 114, 91},
+  };
+  for (const Golden& g : goldens) {
+    const sim::SimulationResult r = run_reference(g.scheduler);
+    EXPECT_EQ(r.jobs_released, g.released) << g.scheduler;
+    EXPECT_EQ(r.jobs_completed, g.completed) << g.scheduler;
+    EXPECT_EQ(r.jobs_missed, g.missed) << g.scheduler;
+    EXPECT_LT(r.conservation_error(), 1e-5) << g.scheduler;
+  }
+}
+
+}  // namespace
+}  // namespace eadvfs

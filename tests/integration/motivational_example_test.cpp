@@ -1,0 +1,138 @@
+/// End-to-end reproduction of the paper's two worked examples:
+///   §2 / Figure 1 — LSA runs τ1 at full power, drains the storage, and τ2
+///   misses; a two-speed DVFS schedule meets both deadlines.
+///   §4.3 / Figure 3 — greedily stretching τ1 starves τ2 even with ample
+///   energy; EA-DVFS's switch-to-full-speed-at-s2 rule saves it.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../support/scenario.hpp"
+#include "sched/ea_dvfs_scheduler.hpp"
+#include "sched/greedy_dvfs_scheduler.hpp"
+#include "sched/lsa_scheduler.hpp"
+
+namespace eadvfs {
+namespace {
+
+using test::job;
+using test::run_scenario;
+using test::Scenario;
+
+/// Paper §2 setup: τ1 = (0, 16, 4), τ2 = (5, 16, 1.5) (absolute deadline
+/// 21), E_C(0) = 24, P_S = 0.5, P_max = 8, two speeds (half speed at one
+/// third the power).
+test::Scenario section2_scenario() {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 16.0, 4.0), job(1, 5.0, 16.0, 1.5)};
+  s.source = std::make_shared<energy::ConstantSource>(0.5);
+  s.capacity = 1000.0;
+  s.initial = 24.0;
+  s.table = proc::FrequencyTable::two_speed(8.0);
+  s.config.horizon = 30.0;
+  return s;
+}
+
+TEST(PaperSection2, LsaMissesTauTwo) {
+  sched::LsaScheduler lsa;
+  const auto out = run_scenario(section2_scenario(), lsa);
+  // τ1 completes exactly at its deadline...
+  ASSERT_GE(out.schedule.outcomes().size(), 1u);
+  EXPECT_FALSE(out.schedule.outcomes()[0].missed);
+  EXPECT_NEAR(out.schedule.outcomes()[0].time, 16.0, 1e-6);
+  // ...but the storage is empty and τ2 cannot gather 12 units by t=21.
+  EXPECT_EQ(out.result.jobs_missed, 1u);
+  EXPECT_EQ(out.result.jobs_completed, 1u);
+}
+
+TEST(PaperSection2, LsaStartsTauOneAtTwelveAndDrainsStorage) {
+  sched::LsaScheduler lsa;
+  const auto out = run_scenario(section2_scenario(), lsa);
+  const auto slices = out.schedule.slices_of(0);
+  ASSERT_FALSE(slices.empty());
+  EXPECT_NEAR(slices.front().start, 12.0, 1e-6);  // paper: "starts at 12"
+  // Storage exactly zero at 16 (paper: "depletes all energy exactly at 16").
+  EXPECT_NEAR(out.energy_trace.levels()[16], 0.0, 1e-6);
+}
+
+TEST(PaperSection2, EaDvfsMeetsBothDeadlines) {
+  sched::EaDvfsScheduler ea;
+  const auto out = run_scenario(section2_scenario(), ea);
+  EXPECT_EQ(out.result.jobs_missed, 0u);
+  EXPECT_EQ(out.result.jobs_completed, 2u);
+  // τ1 must have spent time at the reduced speed (that is the whole point).
+  bool used_low_speed = false;
+  for (const auto& slice : out.schedule.slices_of(0))
+    if (slice.op_index == 0) used_low_speed = true;
+  EXPECT_TRUE(used_low_speed);
+}
+
+TEST(PaperSection2, EaDvfsLeavesEnoughEnergyForTauTwo) {
+  // The paper's arithmetic: running τ1 slow leaves ≈13.16 available by 21.
+  // Our EA-DVFS idles [0, s1) first, so the exact trajectory differs, but
+  // the invariant that matters is: when τ2 starts it can finish by 21.
+  sched::EaDvfsScheduler ea;
+  const auto out = run_scenario(section2_scenario(), ea);
+  for (const auto& outcome : out.schedule.outcomes()) {
+    if (outcome.job.id == 1) {
+      EXPECT_FALSE(outcome.missed);
+      EXPECT_LE(outcome.time, 21.0 + 1e-6);
+    }
+  }
+}
+
+/// Paper §4.3 setup: τ1 = (0, 16, 4), τ2 = (5, 12, 1.5) (absolute deadline
+/// 17), available energy 32 with no harvest, speeds {0.25, 1.0} at powers
+/// {1, 8}.
+test::Scenario section43_scenario() {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 16.0, 4.0), job(1, 5.0, 12.0, 1.5)};
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.capacity = 1000.0;
+  s.initial = 32.0;
+  s.table = proc::FrequencyTable({{250, 0.25, 1.0}, {1000, 1.0, 8.0}});
+  s.config.horizon = 30.0;
+  return s;
+}
+
+TEST(PaperSection43, GreedyStretchingMissesTauTwo) {
+  sched::GreedyDvfsScheduler greedy;
+  const auto out = run_scenario(section43_scenario(), greedy);
+  EXPECT_EQ(out.result.jobs_missed, 1u);
+  // The miss is specifically τ2.
+  for (const auto& outcome : out.schedule.outcomes())
+    if (outcome.missed) EXPECT_EQ(outcome.job.id, 1u);
+}
+
+TEST(PaperSection43, EaDvfsMeetsBothDeadlines) {
+  sched::EaDvfsScheduler ea;
+  const auto out = run_scenario(section43_scenario(), ea);
+  EXPECT_EQ(out.result.jobs_missed, 0u);
+  EXPECT_EQ(out.result.jobs_completed, 2u);
+}
+
+TEST(PaperSection43, EaDvfsSwitchesToFullSpeedAtS2) {
+  // The "prevent stealing excessive time" rule: τ1 starts stretched (s1=0,
+  // s2=12 per the paper's numbers) and must be running at full speed after
+  // s2 until it completes.
+  sched::EaDvfsScheduler ea;
+  const auto out = run_scenario(section43_scenario(), ea);
+  const auto slices = out.schedule.slices_of(0);
+  ASSERT_GE(slices.size(), 2u);
+  EXPECT_EQ(slices.front().op_index, 0u);  // stretched phase
+  EXPECT_EQ(slices.back().op_index, 1u);   // full-speed phase
+  // τ1 finishes well before its 16-unit deadline (paper finds 13).
+  EXPECT_LT(slices.back().end, 16.0);
+}
+
+TEST(PaperSection43, EaDvfsEnergySufficesForTauTwoAtFullPower) {
+  // Paper: available energy before τ2's deadline is >= 12 = 1.5 * 8.
+  sched::EaDvfsScheduler ea;
+  const auto out = run_scenario(section43_scenario(), ea);
+  EXPECT_LT(out.result.conservation_error(), 1e-6);
+  EXPECT_LE(out.result.consumed, 32.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace eadvfs

@@ -1,0 +1,142 @@
+/// Structural properties the paper states about EA-DVFS (§4.3) and the
+/// relationships between the schedulers, checked end to end.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../support/scenario.hpp"
+#include "sched/ea_dvfs_scheduler.hpp"
+#include "sched/edf_scheduler.hpp"
+#include "sched/factory.hpp"
+#include "sched/lsa_scheduler.hpp"
+#include "task/generator.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs {
+namespace {
+
+using test::run_scenario;
+using test::Scenario;
+
+task::TaskSet random_set(std::uint64_t seed, double utilization) {
+  task::GeneratorConfig cfg;
+  cfg.target_utilization = utilization;
+  task::TaskSetGenerator gen(cfg);
+  util::Xoshiro256ss rng(seed);
+  return gen.generate(rng);
+}
+
+Scenario infinite_energy_scenario(std::uint64_t seed, double utilization) {
+  Scenario s;
+  s.task_set = random_set(seed, utilization);
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.capacity = kHuge;
+  s.initial = 1e15;  // effectively infinite stored energy
+  s.config.horizon = 2000.0;
+  return s;
+}
+
+/// Paper §4.3, special case: "when the energy storage capacity is infinite,
+/// the proposed energy aware DVFS algorithm is reduced to EDF."
+TEST(PaperProperties, EaDvfsEqualsEdfWithInfiniteStorage) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    sched::EaDvfsScheduler ea;
+    const auto ea_out = run_scenario(infinite_energy_scenario(seed, 0.6), ea);
+    sched::EdfScheduler edf;
+    const auto edf_out = run_scenario(infinite_energy_scenario(seed, 0.6), edf);
+
+    // Identical job outcomes...
+    EXPECT_EQ(ea_out.result.jobs_completed, edf_out.result.jobs_completed);
+    EXPECT_EQ(ea_out.result.jobs_missed, edf_out.result.jobs_missed);
+    // ...and the identical schedule, slice by slice, all at f_max.
+    ASSERT_EQ(ea_out.schedule.slices().size(), edf_out.schedule.slices().size())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < ea_out.schedule.slices().size(); ++i) {
+      const auto& a = ea_out.schedule.slices()[i];
+      const auto& b = edf_out.schedule.slices()[i];
+      EXPECT_EQ(a.job, b.job);
+      EXPECT_EQ(a.op_index, b.op_index);
+      EXPECT_EQ(a.op_index, 4u);
+      EXPECT_NEAR(a.start, b.start, 1e-9);
+      EXPECT_NEAR(a.end, b.end, 1e-9);
+    }
+  }
+}
+
+/// LSA with infinite energy also reduces to EDF (its wait condition is
+/// immediately satisfied).
+TEST(PaperProperties, LsaEqualsEdfWithInfiniteStorage) {
+  for (std::uint64_t seed : {7ull, 8ull}) {
+    sched::LsaScheduler lsa;
+    const auto lsa_out = run_scenario(infinite_energy_scenario(seed, 0.5), lsa);
+    sched::EdfScheduler edf;
+    const auto edf_out = run_scenario(infinite_energy_scenario(seed, 0.5), edf);
+    EXPECT_EQ(lsa_out.result.jobs_missed, edf_out.result.jobs_missed);
+    EXPECT_NEAR(lsa_out.result.busy_time, edf_out.result.busy_time, 1e-6);
+  }
+}
+
+/// With infinite energy and U <= 1, EDF meets every deadline (classic EDF
+/// optimality, which the energy layer must not break).
+TEST(PaperProperties, EdfOptimalityHoldsWithInfiniteEnergy) {
+  for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    for (double u : {0.3, 0.7, 0.95}) {
+      sched::EdfScheduler edf;
+      const auto out = run_scenario(infinite_energy_scenario(seed, u), edf);
+      EXPECT_EQ(out.result.jobs_missed, 0u) << "seed " << seed << " U " << u;
+    }
+  }
+}
+
+/// EA-DVFS is work-conserving in terms of delivered work when energy is
+/// infinite: it completes exactly what EDF completes.
+TEST(PaperProperties, NoWorkLostUnderInfiniteEnergy) {
+  sched::EaDvfsScheduler ea;
+  const auto out = run_scenario(infinite_energy_scenario(21, 0.8), ea);
+  EXPECT_DOUBLE_EQ(out.result.work_dropped, 0.0);
+  EXPECT_EQ(out.result.jobs_missed, 0u);
+}
+
+/// The paper's central energy argument: at reduced speed the *energy per
+/// unit work* is lower, so for the same workload EA-DVFS consumes no more
+/// energy than LSA whenever both complete everything.
+TEST(PaperProperties, EaDvfsNeverConsumesMoreWhenBothMeetAllDeadlines) {
+  for (std::uint64_t seed : {31ull, 32ull, 33ull}) {
+    auto make = [&](double capacity) {
+      Scenario s;
+      s.task_set = random_set(seed, 0.3);
+      s.source = std::make_shared<energy::ConstantSource>(2.0);
+      s.capacity = capacity;
+      s.config.horizon = 1000.0;
+      return s;
+    };
+    sched::EaDvfsScheduler ea;
+    sched::LsaScheduler lsa;
+    const auto ea_out = run_scenario(make(300.0), ea);
+    const auto lsa_out = run_scenario(make(300.0), lsa);
+    if (ea_out.result.jobs_missed == 0 && lsa_out.result.jobs_missed == 0) {
+      EXPECT_LE(ea_out.result.consumed, lsa_out.result.consumed + 1e-6)
+          << "seed " << seed;
+    }
+  }
+}
+
+/// Deadline misses in this simulator come only from energy scarcity: the
+/// task sets are EDF-schedulable (U <= 1), so a huge storage bank must
+/// eliminate all misses for every scheduler.
+TEST(PaperProperties, LargeStorageEliminatesMisses) {
+  for (const char* name : {"edf", "lsa", "ea-dvfs"}) {
+    Scenario s;
+    s.task_set = random_set(41, 0.6);
+    s.source = std::make_shared<energy::ConstantSource>(0.0);
+    s.capacity = 1e9;
+    s.config.horizon = 2000.0;
+    auto scheduler = sched::make_scheduler(name);
+    const auto out = run_scenario(std::move(s), *scheduler);
+    EXPECT_EQ(out.result.jobs_missed, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace eadvfs

@@ -1,0 +1,164 @@
+/// Parameterized property sweeps: invariants that must hold for every
+/// scheduler on randomized workloads under the stochastic solar source.
+///
+/// Each (scheduler, utilization, seed) combination runs a full simulation
+/// and asserts the physical and bookkeeping invariants from DESIGN.md §6.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "../support/scenario.hpp"
+#include "energy/slotted_ewma_predictor.hpp"
+#include "energy/solar_source.hpp"
+#include "sched/factory.hpp"
+#include "task/generator.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs {
+namespace {
+
+using Param = std::tuple<std::string /*scheduler*/, double /*utilization*/,
+                         std::uint64_t /*seed*/>;
+
+class SchedulerInvariantTest : public ::testing::TestWithParam<Param> {};
+
+struct RunArtifacts {
+  sim::SimulationResult result;
+  sim::ScheduleRecorder schedule;
+  sim::EnergyTraceRecorder trace{1.0, 0.0};
+  Energy capacity = 0.0;
+  std::map<task::JobId, task::Job> released;
+  proc::FrequencyTable table = proc::FrequencyTable::xscale();
+};
+
+RunArtifacts run_param(const Param& param) {
+  const auto& [sched_name, utilization, seed] = param;
+
+  task::GeneratorConfig gen_cfg;
+  gen_cfg.target_utilization = utilization;
+  task::TaskSetGenerator gen(gen_cfg);
+  util::Xoshiro256ss rng(seed);
+
+  test::Scenario s;
+  s.task_set = gen.generate(rng);
+  energy::SolarSourceConfig solar;
+  solar.seed = seed ^ 0xabcdef;
+  solar.horizon = 1000.0;
+  s.source = std::make_shared<energy::SolarSource>(solar);
+  s.capacity = 60.0 + static_cast<double>(seed % 5) * 40.0;
+  s.config.horizon = 1000.0;
+  energy::SlottedEwmaConfig pred_cfg;
+  s.predictor = std::make_unique<energy::SlottedEwmaPredictor>(pred_cfg);
+
+  RunArtifacts artifacts;
+  artifacts.capacity = s.capacity;
+  const auto scheduler = sched::make_scheduler(sched_name);
+  auto out = test::run_scenario(std::move(s), *scheduler);
+  artifacts.result = out.result;
+  artifacts.schedule = out.schedule;
+  artifacts.trace = out.energy_trace;
+  for (const auto& job : artifacts.schedule.releases())
+    artifacts.released[job.id] = job;
+  return artifacts;
+}
+
+TEST_P(SchedulerInvariantTest, EnergyIsConserved) {
+  const auto a = run_param(GetParam());
+  EXPECT_LT(a.result.conservation_error(), 1e-5);
+}
+
+TEST_P(SchedulerInvariantTest, StorageStaysWithinBounds) {
+  const auto a = run_param(GetParam());
+  for (Energy level : a.trace.levels()) {
+    EXPECT_GE(level, -1e-6);
+    EXPECT_LE(level, a.capacity + 1e-6);
+  }
+}
+
+TEST_P(SchedulerInvariantTest, TimeAccountingSumsToHorizon) {
+  const auto a = run_param(GetParam());
+  EXPECT_NEAR(a.result.busy_time + a.result.idle_time + a.result.stall_time,
+              1000.0, 1e-6);
+}
+
+TEST_P(SchedulerInvariantTest, JobsExecuteOnlyInsideTheirWindows) {
+  const auto a = run_param(GetParam());
+  for (const auto& slice : a.schedule.slices()) {
+    const auto it = a.released.find(slice.job);
+    ASSERT_NE(it, a.released.end());
+    EXPECT_GE(slice.start, it->second.arrival - 1e-6);
+    // Under the drop policy no work may happen past the deadline.
+    EXPECT_LE(slice.end, it->second.absolute_deadline + 1e-6);
+  }
+}
+
+TEST_P(SchedulerInvariantTest, SlicesDoNotOverlap) {
+  const auto a = run_param(GetParam());
+  for (std::size_t i = 1; i < a.schedule.slices().size(); ++i) {
+    EXPECT_GE(a.schedule.slices()[i].start,
+              a.schedule.slices()[i - 1].end - 1e-9);
+  }
+}
+
+TEST_P(SchedulerInvariantTest, CompletedJobsReceivedExactlyTheirWork) {
+  const auto a = run_param(GetParam());
+  for (const auto& outcome : a.schedule.outcomes()) {
+    if (outcome.missed) continue;
+    Work done = 0.0;
+    for (const auto& slice : a.schedule.slices_of(outcome.job.id))
+      done += (slice.end - slice.start) * a.table.at(slice.op_index).speed;
+    EXPECT_NEAR(done, outcome.job.wcet, 1e-6) << "job " << outcome.job.id;
+  }
+}
+
+TEST_P(SchedulerInvariantTest, EveryJobIsAccountedForExactlyOnce) {
+  const auto a = run_param(GetParam());
+  EXPECT_EQ(a.result.jobs_released,
+            a.result.jobs_completed + a.result.jobs_missed +
+                a.result.jobs_unresolved);
+}
+
+TEST_P(SchedulerInvariantTest, ConsumedEnergyMatchesOpResidency) {
+  const auto a = run_param(GetParam());
+  Energy expected = 0.0;
+  for (std::size_t op = 0; op < a.result.time_at_op.size(); ++op)
+    expected += a.result.time_at_op[op] * a.table.at(op).power;
+  EXPECT_NEAR(a.result.consumed, expected, 1e-5);
+}
+
+TEST_P(SchedulerInvariantTest, MissRateWithinUnitInterval) {
+  const auto a = run_param(GetParam());
+  EXPECT_GE(a.result.miss_rate(), 0.0);
+  EXPECT_LE(a.result.miss_rate(), 1.0);
+}
+
+TEST_P(SchedulerInvariantTest, DeterministicReplay) {
+  const auto a = run_param(GetParam());
+  const auto b = run_param(GetParam());
+  EXPECT_EQ(a.result.jobs_completed, b.result.jobs_completed);
+  EXPECT_EQ(a.result.jobs_missed, b.result.jobs_missed);
+  EXPECT_DOUBLE_EQ(a.result.consumed, b.result.consumed);
+  EXPECT_DOUBLE_EQ(a.result.storage_final, b.result.storage_final);
+  EXPECT_EQ(a.result.segments, b.result.segments);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, SchedulerInvariantTest,
+    ::testing::Combine(::testing::Values("edf", "lsa", "ea-dvfs", "greedy-dvfs"),
+                       ::testing::Values(0.2, 0.5, 0.8),
+                       ::testing::Values(1ull, 2ull, 3ull)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name + "_u" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10)) +
+             "_s" + std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace eadvfs

@@ -1,0 +1,125 @@
+#include "proc/frequency_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eadvfs::proc {
+namespace {
+
+TEST(FrequencyTable, XscaleMatchesPaperTable) {
+  const FrequencyTable t = FrequencyTable::xscale();
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_DOUBLE_EQ(t.at(0).speed, 0.15);
+  EXPECT_DOUBLE_EQ(t.at(0).power, 0.08);
+  EXPECT_DOUBLE_EQ(t.at(4).speed, 1.0);
+  EXPECT_DOUBLE_EQ(t.at(4).power, 3.2);
+  EXPECT_DOUBLE_EQ(t.max_power(), 3.2);
+  EXPECT_EQ(t.max_index(), 4u);
+}
+
+TEST(FrequencyTable, XscaleEnergyPerWorkIsIncreasing) {
+  // The premise of DVFS-for-energy: slower points spend less energy per
+  // unit of work.
+  const FrequencyTable t = FrequencyTable::xscale();
+  for (std::size_t i = 1; i < t.size(); ++i)
+    EXPECT_GT(t.at(i).energy_per_work(), t.at(i - 1).energy_per_work());
+}
+
+TEST(FrequencyTable, SortsUnorderedInput) {
+  const FrequencyTable t({{1000, 1.0, 8.0}, {500, 0.5, 2.0}});
+  EXPECT_DOUBLE_EQ(t.at(0).speed, 0.5);
+  EXPECT_DOUBLE_EQ(t.at(1).speed, 1.0);
+}
+
+TEST(FrequencyTable, TwoSpeedMatchesPaperExample) {
+  // Paper §2: high speed twice the low, high power 3x the low.
+  const FrequencyTable t = FrequencyTable::two_speed(8.0);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(0).speed, 0.5);
+  EXPECT_NEAR(t.at(0).power, 8.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.at(1).power, 8.0);
+}
+
+TEST(FrequencyTable, CubicTableShape) {
+  const FrequencyTable t = FrequencyTable::cubic(4, 3.2);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_DOUBLE_EQ(t.at(3).speed, 1.0);
+  EXPECT_DOUBLE_EQ(t.at(3).power, 3.2);
+  EXPECT_NEAR(t.at(0).power, 3.2 * 0.25 * 0.25 * 0.25, 1e-12);
+}
+
+TEST(FrequencyTable, MinFeasiblePicksSlowestFit) {
+  const FrequencyTable t = FrequencyTable::xscale();
+  // work 1 into window 10: 1/0.15 = 6.67 <= 10 -> slowest point.
+  EXPECT_EQ(t.min_feasible(1.0, 10.0), std::size_t{0});
+  // work 5 into window 10: needs speed >= 0.5 -> index 2 (0.6).
+  EXPECT_EQ(t.min_feasible(5.0, 10.0), std::size_t{2});
+  // work 9.9 into window 10: needs ~0.99 -> f_max.
+  EXPECT_EQ(t.min_feasible(9.9, 10.0), std::size_t{4});
+}
+
+TEST(FrequencyTable, MinFeasibleExactFitCounts) {
+  const FrequencyTable t = FrequencyTable::two_speed(8.0);
+  // The paper's Fig. 3 walkthrough relies on an exact fit (4 / 0.25 = 16).
+  EXPECT_EQ(t.min_feasible(5.0, 10.0), std::size_t{0});  // 5/0.5 == 10
+}
+
+TEST(FrequencyTable, MinFeasibleInfeasibleReturnsNullopt) {
+  const FrequencyTable t = FrequencyTable::xscale();
+  EXPECT_FALSE(t.min_feasible(11.0, 10.0).has_value());
+  EXPECT_FALSE(t.min_feasible(1.0, 0.0).has_value());
+  EXPECT_FALSE(t.min_feasible(1.0, -5.0).has_value());
+}
+
+TEST(FrequencyTable, MinFeasibleZeroWork) {
+  const FrequencyTable t = FrequencyTable::xscale();
+  EXPECT_EQ(t.min_feasible(0.0, 10.0), std::size_t{0});
+}
+
+TEST(FrequencyTable, MinFeasibleNegativeWorkThrows) {
+  const FrequencyTable t = FrequencyTable::xscale();
+  EXPECT_THROW((void)t.min_feasible(-1.0, 10.0), std::invalid_argument);
+}
+
+TEST(FrequencyTable, ValidationRejectsBadTables) {
+  EXPECT_THROW(FrequencyTable({}), std::invalid_argument);
+  // Fastest speed must be 1.
+  EXPECT_THROW(FrequencyTable({{500, 0.5, 1.0}}), std::invalid_argument);
+  // Speed outside (0, 1].
+  EXPECT_THROW(FrequencyTable({{0, 0.0, 1.0}, {1000, 1.0, 2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(FrequencyTable({{1200, 1.2, 1.0}}), std::invalid_argument);
+  // Non-positive power.
+  EXPECT_THROW(FrequencyTable({{1000, 1.0, 0.0}}), std::invalid_argument);
+  // Duplicate speed.
+  EXPECT_THROW(FrequencyTable({{900, 1.0, 2.0}, {1000, 1.0, 3.0}}),
+               std::invalid_argument);
+  // Power must increase with speed.
+  EXPECT_THROW(FrequencyTable({{500, 0.5, 3.0}, {1000, 1.0, 2.0}}),
+               std::invalid_argument);
+  // Energy-per-work must not decrease with speed (0.5 -> 4/unit, 1.0 ->
+  // 3.9/unit would make slowing down *waste* energy).
+  EXPECT_THROW(FrequencyTable({{500, 0.5, 2.0}, {1000, 1.0, 3.9}}),
+               std::invalid_argument);
+}
+
+TEST(FrequencyTable, FactoryValidation) {
+  EXPECT_THROW((void)FrequencyTable::two_speed(0.0), std::invalid_argument);
+  EXPECT_THROW((void)FrequencyTable::cubic(0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)FrequencyTable::cubic(3, -1.0), std::invalid_argument);
+}
+
+TEST(FrequencyTable, DescribeListsPoints) {
+  const std::string text = FrequencyTable::xscale().describe();
+  EXPECT_NE(text.find("5 operating points"), std::string::npos);
+  EXPECT_NE(text.find("3.2"), std::string::npos);
+}
+
+TEST(FrequencyTable, AtOutOfRangeThrows) {
+  const FrequencyTable t = FrequencyTable::two_speed(8.0);
+  EXPECT_THROW((void)t.at(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace eadvfs::proc

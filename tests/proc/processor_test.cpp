@@ -1,0 +1,95 @@
+#include "proc/processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eadvfs::proc {
+namespace {
+
+Processor make_processor(SwitchOverhead overhead = {}) {
+  return Processor(FrequencyTable::xscale(), overhead);
+}
+
+TEST(Processor, StartsAtSlowestPoint) {
+  Processor p = make_processor();
+  EXPECT_EQ(p.current(), 0u);
+  EXPECT_DOUBLE_EQ(p.current_point().speed, 0.15);
+}
+
+TEST(Processor, SwitchChangesPointAndCounts) {
+  Processor p = make_processor();
+  p.switch_to(4);
+  EXPECT_EQ(p.current(), 4u);
+  EXPECT_EQ(p.switch_count(), 1u);
+  p.switch_to(2);
+  EXPECT_EQ(p.switch_count(), 2u);
+}
+
+TEST(Processor, SwitchToSamePointIsFree) {
+  Processor p = make_processor({1.0, 2.0});
+  p.switch_to(3);
+  const SwitchOverhead again = p.switch_to(3);
+  EXPECT_DOUBLE_EQ(again.time, 0.0);
+  EXPECT_DOUBLE_EQ(again.energy, 0.0);
+  EXPECT_EQ(p.switch_count(), 1u);
+}
+
+TEST(Processor, SwitchReturnsConfiguredOverhead) {
+  Processor p = make_processor({0.5, 1.25});
+  const SwitchOverhead cost = p.switch_to(1);
+  EXPECT_DOUBLE_EQ(cost.time, 0.5);
+  EXPECT_DOUBLE_EQ(cost.energy, 1.25);
+}
+
+TEST(Processor, ZeroOverheadByDefault) {
+  Processor p = make_processor();
+  const SwitchOverhead cost = p.switch_to(4);
+  EXPECT_DOUBLE_EQ(cost.time, 0.0);
+  EXPECT_DOUBLE_EQ(cost.energy, 0.0);
+}
+
+TEST(Processor, TimeAccounting) {
+  Processor p = make_processor();
+  p.note_busy(3.0);
+  p.note_busy(2.0);
+  p.note_idle(7.5);
+  p.note_stall(0.5);
+  EXPECT_DOUBLE_EQ(p.busy_time(), 5.0);
+  EXPECT_DOUBLE_EQ(p.idle_time(), 7.5);
+  EXPECT_DOUBLE_EQ(p.stall_time(), 0.5);
+}
+
+TEST(Processor, ResetClearsDynamicState) {
+  Processor p = make_processor();
+  p.switch_to(4);
+  p.note_busy(10.0);
+  p.reset();
+  EXPECT_EQ(p.current(), 0u);
+  EXPECT_EQ(p.switch_count(), 0u);
+  EXPECT_DOUBLE_EQ(p.busy_time(), 0.0);
+  EXPECT_DOUBLE_EQ(p.idle_time(), 0.0);
+  EXPECT_DOUBLE_EQ(p.stall_time(), 0.0);
+}
+
+TEST(Processor, BadSwitchIndexThrows) {
+  Processor p = make_processor();
+  EXPECT_THROW(p.switch_to(5), std::out_of_range);
+}
+
+TEST(Processor, NegativeDurationsThrow) {
+  Processor p = make_processor();
+  EXPECT_THROW(p.note_busy(-1.0), std::invalid_argument);
+  EXPECT_THROW(p.note_idle(-1.0), std::invalid_argument);
+  EXPECT_THROW(p.note_stall(-1.0), std::invalid_argument);
+}
+
+TEST(Processor, NegativeOverheadRejected) {
+  EXPECT_THROW(Processor(FrequencyTable::xscale(), {-1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Processor(FrequencyTable::xscale(), {0.0, -1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eadvfs::proc

@@ -1,0 +1,156 @@
+#include "sched/ea_dvfs_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../support/scenario.hpp"
+#include "sched/lsa_scheduler.hpp"
+
+namespace eadvfs::sched {
+namespace {
+
+using test::job;
+using test::run_scenario;
+using test::Scenario;
+
+sim::SchedulingContext context(const std::vector<task::Job>& ready, Time now,
+                               Energy stored,
+                               const energy::EnergyPredictor& predictor,
+                               const proc::FrequencyTable& table) {
+  sim::SchedulingContext ctx;
+  ctx.now = now;
+  ctx.ready = &ready;
+  ctx.stored = stored;
+  ctx.predictor = &predictor;
+  ctx.table = &table;
+  return ctx;
+}
+
+TEST(EaDvfs, AmpleEnergyRunsAtFullSpeed) {
+  // s1 == s2 == now (paper rule 4a): plenty of energy -> f_max.
+  EaDvfsScheduler ea;
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  energy::ConstantPredictor predictor(0.0);
+  const std::vector<task::Job> ready = {job(1, 0.0, 10.0, 2.0)};
+  const sim::Decision d = ea.decide(context(ready, 0.0, 100.0, predictor, table));
+  EXPECT_EQ(d.kind, sim::Decision::Kind::kRun);
+  EXPECT_EQ(d.op_index, 4u);
+}
+
+TEST(EaDvfs, ScarceEnergySlowsDownToMinFeasible) {
+  EaDvfsScheduler ea;
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  energy::ConstantPredictor predictor(0.0);
+  // Work 2 into window 10: min feasible speed 0.4 (2/0.15=13.3 > 10,
+  // 2/0.4 = 5 <= 10) -> op 1 at 0.4 W.
+  // Energy A = 4: sr_n = 4/0.4 = 10 -> s1 = max(0, 10-10) = 0.
+  // sr_max = 4/3.2 = 1.25 -> s2 = 8.75.  now=0 in [s1, s2) -> run at op 1.
+  const std::vector<task::Job> ready = {job(1, 0.0, 10.0, 2.0)};
+  const sim::Decision d = ea.decide(context(ready, 0.0, 4.0, predictor, table));
+  EXPECT_EQ(d.kind, sim::Decision::Kind::kRun);
+  EXPECT_EQ(d.op_index, 1u);
+  EXPECT_NEAR(d.recheck_at, 8.75, 1e-9);  // planned switch to f_max at s2
+}
+
+TEST(EaDvfs, VeryScarceEnergyWaitsUntilS1) {
+  EaDvfsScheduler ea;
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  energy::ConstantPredictor predictor(0.0);
+  // A = 2: sr_n = 2/0.4 = 5 -> s1 = max(0, 10-5) = 5 -> idle until 5.
+  const std::vector<task::Job> ready = {job(1, 0.0, 10.0, 2.0)};
+  const sim::Decision d = ea.decide(context(ready, 0.0, 2.0, predictor, table));
+  EXPECT_EQ(d.kind, sim::Decision::Kind::kIdle);
+  EXPECT_NEAR(d.recheck_at, 5.0, 1e-9);
+}
+
+TEST(EaDvfs, AfterS2SwitchesToFullSpeed) {
+  EaDvfsScheduler ea;
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  energy::ConstantPredictor predictor(0.0);
+  // Same setup as ScarceEnergySlowsDown, but asked at t = 9 (> s2 = 8.75
+  // recomputed with the same A): window 1, rem 2 -> infeasible even at
+  // f_max -> best effort at f_max.
+  const std::vector<task::Job> ready = {job(1, 0.0, 10.0, 2.0)};
+  const sim::Decision d = ea.decide(context(ready, 9.0, 4.0, predictor, table));
+  EXPECT_EQ(d.kind, sim::Decision::Kind::kRun);
+  EXPECT_EQ(d.op_index, 4u);
+}
+
+TEST(EaDvfs, InfeasibleWindowRunsBestEffort) {
+  EaDvfsScheduler ea;
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  energy::ConstantPredictor predictor(0.0);
+  const std::vector<task::Job> ready = {job(1, 0.0, 1.0, 2.0)};  // 2 work, 1 window
+  const sim::Decision d = ea.decide(context(ready, 0.0, 100.0, predictor, table));
+  EXPECT_EQ(d.kind, sim::Decision::Kind::kRun);
+  EXPECT_EQ(d.op_index, 4u);
+}
+
+TEST(EaDvfs, PastDeadlineRunsFlatOut) {
+  EaDvfsScheduler ea;
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  energy::ConstantPredictor predictor(0.0);
+  const std::vector<task::Job> ready = {job(1, 0.0, 10.0, 2.0)};
+  const sim::Decision d = ea.decide(context(ready, 12.0, 5.0, predictor, table));
+  EXPECT_EQ(d.kind, sim::Decision::Kind::kRun);
+  EXPECT_EQ(d.op_index, 4u);
+}
+
+TEST(EaDvfs, MinFeasibleEqualsMaxDegeneratesToLsa) {
+  EaDvfsScheduler ea;
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  energy::ConstantPredictor predictor(0.0);
+  // Work 9 into window 10 needs speed >= 0.9 -> f_max is the only choice;
+  // with little energy the policy must procrastinate like LSA (idle until
+  // s1 == s2), not claim "ample energy".
+  const std::vector<task::Job> ready = {job(1, 0.0, 10.0, 9.0)};
+  // A = 16 -> sr_max = 5 -> s1 = s2 = 5.
+  const sim::Decision d = ea.decide(context(ready, 0.0, 16.0, predictor, table));
+  EXPECT_EQ(d.kind, sim::Decision::Kind::kIdle);
+  EXPECT_NEAR(d.recheck_at, 5.0, 1e-9);
+}
+
+TEST(EaDvfs, StretchedJobStillMeetsDeadlineEndToEnd) {
+  // Low stored energy, no harvest: EA-DVFS must stretch and complete where
+  // full-speed-only LSA runs out of energy.
+  Scenario s;
+  s.jobs = {job(0, 0.0, 20.0, 2.0)};
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.capacity = 1000.0;
+  s.initial = 2.2;  // 2 work at f_max needs 6.4; at 0.15 speed needs 1.07
+  s.config.horizon = 25.0;
+  EaDvfsScheduler ea;
+  const auto out = run_scenario(std::move(s), ea);
+  EXPECT_EQ(out.result.jobs_completed, 1u);
+  EXPECT_EQ(out.result.jobs_missed, 0u);
+  // It must have spent time at a reduced operating point.
+  EXPECT_GT(out.result.time_at_op[0] + out.result.time_at_op[1] +
+                out.result.time_at_op[2] + out.result.time_at_op[3],
+            0.0);
+}
+
+TEST(EaDvfs, SameScenarioDefeatsLsa) {
+  auto make = [] {
+    Scenario s;
+    s.jobs = {job(0, 0.0, 20.0, 2.0)};
+    s.source = std::make_shared<energy::ConstantSource>(0.0);
+    s.capacity = 1000.0;
+    s.initial = 2.2;
+    s.config.horizon = 25.0;
+    return s;
+  };
+  EaDvfsScheduler ea;
+  const auto ea_out = run_scenario(make(), ea);
+  LsaScheduler lsa;
+  const auto lsa_out = run_scenario(make(), lsa);
+  EXPECT_EQ(ea_out.result.jobs_missed, 0u);
+  EXPECT_EQ(lsa_out.result.jobs_missed, 1u);  // 2.2 < 6.4 needed at f_max
+}
+
+TEST(EaDvfs, NameIsStable) {
+  EXPECT_EQ(EaDvfsScheduler().name(), "EA-DVFS");
+}
+
+}  // namespace
+}  // namespace eadvfs::sched

@@ -1,0 +1,50 @@
+#include "sched/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eadvfs::sched {
+namespace {
+
+TEST(SchedulerFactory, BuildsEveryCanonicalName) {
+  for (const std::string& name : scheduler_names()) {
+    const auto scheduler = make_scheduler(name);
+    ASSERT_NE(scheduler, nullptr) << name;
+    EXPECT_FALSE(scheduler->name().empty());
+  }
+}
+
+TEST(SchedulerFactory, CanonicalNamesMapToExpectedAlgorithms) {
+  EXPECT_EQ(make_scheduler("edf")->name(), "EDF");
+  EXPECT_EQ(make_scheduler("lsa")->name(), "LSA");
+  EXPECT_EQ(make_scheduler("ea-dvfs")->name(), "EA-DVFS");
+  EXPECT_EQ(make_scheduler("greedy-dvfs")->name(), "Greedy-DVFS");
+}
+
+TEST(SchedulerFactory, AcceptsAliases) {
+  EXPECT_EQ(make_scheduler("eadvfs")->name(), "EA-DVFS");
+  EXPECT_EQ(make_scheduler("ea_dvfs")->name(), "EA-DVFS");
+  EXPECT_EQ(make_scheduler("greedy")->name(), "Greedy-DVFS");
+  EXPECT_EQ(make_scheduler("greedy_dvfs")->name(), "Greedy-DVFS");
+}
+
+TEST(SchedulerFactory, IsCaseInsensitive) {
+  EXPECT_EQ(make_scheduler("LSA")->name(), "LSA");
+  EXPECT_EQ(make_scheduler("EA-DVFS")->name(), "EA-DVFS");
+  EXPECT_EQ(make_scheduler("Edf")->name(), "EDF");
+}
+
+TEST(SchedulerFactory, UnknownNameThrows) {
+  EXPECT_THROW((void)make_scheduler("rate-monotonic"), std::invalid_argument);
+  EXPECT_THROW((void)make_scheduler(""), std::invalid_argument);
+}
+
+TEST(SchedulerFactory, EachCallReturnsFreshInstance) {
+  const auto a = make_scheduler("lsa");
+  const auto b = make_scheduler("lsa");
+  EXPECT_NE(a.get(), b.get());
+}
+
+}  // namespace
+}  // namespace eadvfs::sched

@@ -1,0 +1,130 @@
+#include "sched/fixed_priority_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../support/scenario.hpp"
+#include "sched/edf_scheduler.hpp"
+
+namespace eadvfs::sched {
+namespace {
+
+using test::job;
+using test::run_scenario;
+using test::Scenario;
+
+sim::SchedulingContext context(const std::vector<task::Job>& ready, Time now,
+                               const energy::EnergyPredictor& predictor,
+                               const proc::FrequencyTable& table) {
+  sim::SchedulingContext ctx;
+  ctx.now = now;
+  ctx.ready = &ready;
+  ctx.stored = 100.0;
+  ctx.predictor = &predictor;
+  ctx.table = &table;
+  return ctx;
+}
+
+TEST(FixedPriority, PicksShortestRelativeDeadline) {
+  FixedPriorityScheduler rm;
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  energy::ConstantPredictor predictor(0.0);
+  // Job 0: relative deadline 50 (arrived earlier, EDF would pick it).
+  // Job 1: relative deadline 10 (higher RM priority).
+  std::vector<task::Job> ready = {job(0, 0.0, 50.0, 2.0),
+                                  job(1, 30.0, 10.0, 1.0)};
+  // EDF order: job1 (abs 40) before job0 (abs 50) here too; craft a real
+  // inversion: job0 abs deadline 35 < job1 abs deadline 40, but relative
+  // deadlines 35 vs 10.
+  ready = {job(0, 0.0, 35.0, 2.0), job(1, 30.0, 10.0, 1.0)};
+  const sim::Decision d = rm.decide(context(ready, 30.0, predictor, table));
+  EXPECT_EQ(d.job, 1u);  // EDF would choose job 0 (deadline 35 < 40)
+  EXPECT_EQ(d.op_index, table.max_index());
+}
+
+TEST(FixedPriority, TieBreaksByArrivalThenId) {
+  FixedPriorityScheduler rm;
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  energy::ConstantPredictor predictor(0.0);
+  const std::vector<task::Job> ready = {job(7, 5.0, 20.0, 1.0),
+                                        job(3, 0.0, 20.0, 1.0)};
+  const sim::Decision d = rm.decide(context(ready, 6.0, predictor, table));
+  EXPECT_EQ(d.job, 3u);  // same relative deadline, earlier arrival
+}
+
+TEST(FixedPriority, SchedulesClassicRmWorkload) {
+  // U = 0.75 < ln 2 bound does not hold, but this specific set (harmonic
+  // periods) is RM-schedulable; with ample energy there are no misses.
+  Scenario s;
+  task::Task t1;
+  t1.id = 0;
+  t1.period = 10.0;
+  t1.relative_deadline = 10.0;
+  t1.wcet = 2.5;
+  task::Task t2;
+  t2.id = 1;
+  t2.period = 20.0;
+  t2.relative_deadline = 20.0;
+  t2.wcet = 10.0;  // U = 0.25 + 0.5 = 0.75, harmonic -> schedulable
+  s.task_set = task::TaskSet({t1, t2});
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.capacity = 1e9;
+  s.config.horizon = 400.0;
+  FixedPriorityScheduler rm;
+  const auto out = run_scenario(std::move(s), rm);
+  EXPECT_EQ(out.result.jobs_missed, 0u);
+}
+
+TEST(FixedPriority, MissesWhereEdfSucceeds) {
+  // The classic RM-infeasible / EDF-feasible pattern: U just above the RM
+  // bound with non-harmonic periods.
+  auto make = [] {
+    Scenario s;
+    task::Task t1;
+    t1.id = 0;
+    t1.period = 10.0;
+    t1.relative_deadline = 10.0;
+    t1.wcet = 5.1;
+    task::Task t2;
+    t2.id = 1;
+    t2.period = 14.5;
+    t2.relative_deadline = 14.5;
+    t2.wcet = 6.0;  // U = 0.51 + 0.414 = 0.924
+    s.task_set = task::TaskSet({t1, t2});
+    s.source = std::make_shared<energy::ConstantSource>(0.0);
+    s.capacity = 1e9;
+    s.config.horizon = 600.0;
+    return s;
+  };
+  FixedPriorityScheduler rm;
+  const auto rm_out = run_scenario(make(), rm);
+  EdfScheduler edf;
+  const auto edf_out = run_scenario(make(), edf);
+  EXPECT_GT(rm_out.result.jobs_missed, 0u);
+  EXPECT_EQ(edf_out.result.jobs_missed, 0u);
+}
+
+TEST(FixedPriority, PreemptsLowerPriorityJob) {
+  Scenario s;
+  // Long low-priority job (relative deadline 100), short high-priority one
+  // arriving at t=2.
+  s.jobs = {job(0, 0.0, 100.0, 10.0), job(1, 2.0, 5.0, 1.0)};
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.capacity = 1e6;
+  s.config.horizon = 50.0;
+  FixedPriorityScheduler rm;
+  const auto out = run_scenario(std::move(s), rm);
+  const auto high = out.schedule.slices_of(1);
+  ASSERT_EQ(high.size(), 1u);
+  EXPECT_NEAR(high[0].start, 2.0, 1e-9);
+  EXPECT_NEAR(high[0].end, 3.0, 1e-9);
+  EXPECT_EQ(out.result.jobs_completed, 2u);
+}
+
+TEST(FixedPriority, NameIsStable) {
+  EXPECT_EQ(FixedPriorityScheduler().name(), "RM/DM");
+}
+
+}  // namespace
+}  // namespace eadvfs::sched

@@ -1,0 +1,89 @@
+#include "sched/greedy_dvfs_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../support/scenario.hpp"
+
+namespace eadvfs::sched {
+namespace {
+
+using test::job;
+using test::run_scenario;
+using test::Scenario;
+
+sim::SchedulingContext context(const std::vector<task::Job>& ready, Time now,
+                               Energy stored,
+                               const energy::EnergyPredictor& predictor,
+                               const proc::FrequencyTable& table) {
+  sim::SchedulingContext ctx;
+  ctx.now = now;
+  ctx.ready = &ready;
+  ctx.stored = stored;
+  ctx.predictor = &predictor;
+  ctx.table = &table;
+  return ctx;
+}
+
+TEST(GreedyDvfs, AlwaysRunsImmediatelyAtMinFeasibleSpeed) {
+  GreedyDvfsScheduler greedy;
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  energy::ConstantPredictor predictor(0.0);
+  const std::vector<task::Job> ready = {job(1, 0.0, 10.0, 2.0)};
+  // Regardless of stored energy the answer is the same: run at 0.4.
+  for (Energy stored : {0.0, 5.0, 1e6}) {
+    const sim::Decision d =
+        greedy.decide(context(ready, 0.0, stored, predictor, table));
+    EXPECT_EQ(d.kind, sim::Decision::Kind::kRun);
+    EXPECT_EQ(d.op_index, 1u);
+  }
+}
+
+TEST(GreedyDvfs, InfeasibleWindowFallsBackToMax) {
+  GreedyDvfsScheduler greedy;
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  energy::ConstantPredictor predictor(0.0);
+  const std::vector<task::Job> ready = {job(1, 0.0, 1.0, 5.0)};
+  const sim::Decision d =
+      greedy.decide(context(ready, 0.0, 100.0, predictor, table));
+  EXPECT_EQ(d.op_index, 4u);
+}
+
+TEST(GreedyDvfs, StealsSlackFromFutureJob) {
+  // The paper's Figure 3 situation in miniature: greedy stretches the first
+  // job across the whole window and the second job cannot make it.
+  Scenario s;
+  s.table = proc::FrequencyTable(
+      {{250, 0.25, 1.0}, {1000, 1.0, 8.0}});
+  s.jobs = {job(0, 0.0, 16.0, 4.0), job(1, 5.0, 12.0, 1.5)};
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.capacity = 1000.0;
+  s.initial = 32.0;
+  s.config.horizon = 25.0;
+  GreedyDvfsScheduler greedy;
+  const auto out = run_scenario(std::move(s), greedy);
+  // τ1 (deadline 16) hogs the processor at 0.25 speed until 16; τ2's
+  // deadline is 17 and needs 1.5 at full speed -> finishes at 17.5: miss.
+  EXPECT_EQ(out.result.jobs_missed, 1u);
+  EXPECT_EQ(out.result.jobs_completed, 1u);
+}
+
+TEST(GreedyDvfs, FineWhenSlackAbounds) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 50.0, 2.0), job(1, 10.0, 50.0, 2.0)};
+  s.source = std::make_shared<energy::ConstantSource>(1.0);
+  s.capacity = 100.0;
+  s.config.horizon = 80.0;
+  GreedyDvfsScheduler greedy;
+  const auto out = run_scenario(std::move(s), greedy);
+  EXPECT_EQ(out.result.jobs_missed, 0u);
+  EXPECT_EQ(out.result.jobs_completed, 2u);
+}
+
+TEST(GreedyDvfs, NameIsStable) {
+  EXPECT_EQ(GreedyDvfsScheduler().name(), "Greedy-DVFS");
+}
+
+}  // namespace
+}  // namespace eadvfs::sched

@@ -1,0 +1,150 @@
+#include "sched/static_ea_dvfs_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../support/scenario.hpp"
+#include "energy/solar_source.hpp"
+#include "sched/ea_dvfs_scheduler.hpp"
+#include "task/generator.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::sched {
+namespace {
+
+using test::job;
+using test::run_scenario;
+using test::Scenario;
+
+sim::SchedulingContext context(const std::vector<task::Job>& ready, Time now,
+                               Energy stored,
+                               const energy::EnergyPredictor& predictor,
+                               const proc::FrequencyTable& table) {
+  sim::SchedulingContext ctx;
+  ctx.now = now;
+  ctx.ready = &ready;
+  ctx.stored = stored;
+  ctx.predictor = &predictor;
+  ctx.table = &table;
+  return ctx;
+}
+
+TEST(StaticEaDvfs, FirstDecisionMatchesDynamicAlgorithm) {
+  // At the first decision for a fresh job the static plan and the dynamic
+  // computation are the same formula over the same numbers.
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  energy::ConstantPredictor predictor(0.0);
+  const std::vector<task::Job> ready = {job(1, 0.0, 10.0, 2.0)};
+  StaticEaDvfsScheduler static_ea;
+  EaDvfsScheduler dynamic_ea;
+  for (Energy stored : {2.0, 4.0, 100.0}) {
+    StaticEaDvfsScheduler fresh;  // no cached plan
+    const sim::Decision a = fresh.decide(context(ready, 0.0, stored, predictor, table));
+    const sim::Decision b =
+        dynamic_ea.decide(context(ready, 0.0, stored, predictor, table));
+    EXPECT_EQ(a.kind, b.kind) << stored;
+    if (a.kind == sim::Decision::Kind::kRun) EXPECT_EQ(a.op_index, b.op_index);
+  }
+}
+
+TEST(StaticEaDvfs, PlanIsFrozenAfterFirstDecision) {
+  // The static variant must NOT react to an energy windfall after planning.
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  energy::ConstantPredictor predictor(0.0);
+  const std::vector<task::Job> ready = {job(1, 0.0, 10.0, 2.0)};
+  StaticEaDvfsScheduler sched;
+  // A = 2 -> plan: idle until s1 = 5 (see the dynamic scheduler's test).
+  const sim::Decision first = sched.decide(context(ready, 0.0, 2.0, predictor, table));
+  ASSERT_EQ(first.kind, sim::Decision::Kind::kIdle);
+  // Energy jumps to 100; a dynamic policy would now run at f_max, but the
+  // frozen plan still says idle-until-5.
+  const sim::Decision second =
+      sched.decide(context(ready, 1.0, 100.0, predictor, table));
+  EXPECT_EQ(second.kind, sim::Decision::Kind::kIdle);
+  EXPECT_NEAR(second.recheck_at, 5.0, 1e-9);
+}
+
+TEST(StaticEaDvfs, ResetClearsPlans) {
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  energy::ConstantPredictor predictor(0.0);
+  const std::vector<task::Job> ready = {job(1, 0.0, 10.0, 2.0)};
+  StaticEaDvfsScheduler sched;
+  (void)sched.decide(context(ready, 0.0, 2.0, predictor, table));
+  sched.reset();
+  // Re-planned with rich energy: now runs immediately.
+  const sim::Decision d = sched.decide(context(ready, 0.0, 100.0, predictor, table));
+  EXPECT_EQ(d.kind, sim::Decision::Kind::kRun);
+}
+
+TEST(StaticEaDvfs, FollowsStretchedThenFullSpeedPlanEndToEnd) {
+  // Single job, no harvest, A = 20: sr_n = 20 at the 0.25-speed point, so
+  // s1 = max(0, 16 - 20) = 0 and s2 = 16 - 20/8 = 13.5.  The plan runs
+  // stretched on [0, 13.5) (3.375 work), then full speed: the remaining
+  // 0.625 work finishes at 14.125, using 13.5 + 5 = 18.5 <= 20 energy.
+  Scenario s;
+  s.jobs = {job(0, 0.0, 16.0, 4.0)};
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.capacity = 1000.0;
+  s.initial = 20.0;
+  s.table = proc::FrequencyTable({{250, 0.25, 1.0}, {1000, 1.0, 8.0}});
+  s.config.horizon = 20.0;
+  StaticEaDvfsScheduler sched;
+  const auto out = run_scenario(std::move(s), sched);
+  EXPECT_EQ(out.result.jobs_completed, 1u);
+  const auto slices = out.schedule.slices_of(0);
+  ASSERT_GE(slices.size(), 2u);
+  EXPECT_NEAR(slices.front().start, 0.0, 1e-6);
+  EXPECT_EQ(slices.front().op_index, 0u);
+  EXPECT_NEAR(slices.front().end, 13.5, 1e-6);
+  EXPECT_EQ(slices.back().op_index, 1u);
+  EXPECT_NEAR(slices.back().end, 14.125, 1e-6);
+  EXPECT_NEAR(out.result.consumed, 18.5, 1e-6);
+}
+
+TEST(StaticEaDvfs, StaticAndDynamicVariantsLandInTheSameBallpark) {
+  // Empirically the one-shot plan and the re-planning variant trade wins:
+  // re-planning reacts to prediction error and preemption, but a frozen
+  // plan can be luckier when the prediction was right the first time.
+  // Neither dominates; this test pins the *similarity* (same algorithm
+  // family) rather than a false dominance property, and the scheduler-zoo
+  // bench reports the actual measured gap.
+  std::size_t dynamic_missed = 0, static_missed = 0;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull, 6ull}) {
+    task::GeneratorConfig gen_cfg;
+    gen_cfg.target_utilization = 0.5;
+    task::TaskSetGenerator gen(gen_cfg);
+    util::Xoshiro256ss rng(seed);
+    const task::TaskSet set = gen.generate(rng);
+    energy::SolarSourceConfig solar;
+    solar.seed = seed ^ 0x57A7;
+    solar.horizon = 2000.0;
+    const auto source = std::make_shared<const energy::SolarSource>(solar);
+    for (const bool dynamic : {true, false}) {
+      test::Scenario s;
+      s.task_set = set;
+      s.source = source;
+      s.capacity = 70.0;
+      s.config.horizon = 2000.0;
+      std::unique_ptr<sim::Scheduler> sched_ptr;
+      if (dynamic) {
+        sched_ptr = std::make_unique<EaDvfsScheduler>();
+      } else {
+        sched_ptr = std::make_unique<StaticEaDvfsScheduler>();
+      }
+      const auto out = test::run_scenario(std::move(s), *sched_ptr);
+      (dynamic ? dynamic_missed : static_missed) += out.result.jobs_missed;
+    }
+  }
+  const auto lo = static_cast<double>(std::min(dynamic_missed, static_missed));
+  const auto hi = static_cast<double>(std::max(dynamic_missed, static_missed));
+  EXPECT_LE(hi, 1.5 * lo + 10.0)
+      << "dynamic=" << dynamic_missed << " static=" << static_missed;
+}
+
+TEST(StaticEaDvfs, NameIsStable) {
+  EXPECT_EQ(StaticEaDvfsScheduler().name(), "EA-DVFS-static");
+}
+
+}  // namespace
+}  // namespace eadvfs::sched

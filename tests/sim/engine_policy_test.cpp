@@ -1,0 +1,202 @@
+/// Engine/scheduler-contract tests: recheck instants, idle decisions with
+/// wake-up bounds, EDF ordering of the ready view, and miss-policy corner
+/// cases.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "../support/scenario.hpp"
+#include "sched/edf_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "util/math.hpp"
+
+namespace eadvfs::sim {
+namespace {
+
+using test::job;
+using test::run_scenario;
+using test::Scenario;
+
+/// Records the context of every decide() call, then delegates to EDF.
+class SpyScheduler final : public Scheduler {
+ public:
+  struct Snapshot {
+    Time now;
+    std::vector<task::JobId> ready_order;
+    Energy stored;
+  };
+
+  Decision decide(const SchedulingContext& ctx) override {
+    Snapshot snap;
+    snap.now = ctx.now;
+    snap.stored = ctx.stored;
+    for (const auto& j : *ctx.ready) snap.ready_order.push_back(j.id);
+    calls.push_back(std::move(snap));
+    return inner.decide(ctx);
+  }
+  std::string name() const override { return "spy"; }
+
+  std::vector<Snapshot> calls;
+  sched::EdfScheduler inner;
+};
+
+TEST(EnginePolicy, ReadyViewIsEdfSorted) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 50.0, 1.0), job(1, 0.0, 10.0, 1.0),
+            job(2, 0.0, 30.0, 1.0)};
+  s.source = std::make_shared<energy::ConstantSource>(5.0);
+  s.config.horizon = 60.0;
+  SpyScheduler spy;
+  (void)run_scenario(std::move(s), spy);
+  ASSERT_FALSE(spy.calls.empty());
+  const auto& order = spy.calls.front().ready_order;
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);  // deadline 10
+  EXPECT_EQ(order[1], 2u);  // deadline 30
+  EXPECT_EQ(order[2], 0u);  // deadline 50
+}
+
+TEST(EnginePolicy, SchedulerNotCalledWithEmptyReadySet) {
+  Scenario s;
+  s.jobs = {job(0, 10.0, 5.0, 1.0)};  // nothing ready before t=10
+  s.source = std::make_shared<energy::ConstantSource>(5.0);
+  s.config.horizon = 20.0;
+  SpyScheduler spy;
+  (void)run_scenario(std::move(s), spy);
+  for (const auto& call : spy.calls) EXPECT_FALSE(call.ready_order.empty());
+}
+
+TEST(EnginePolicy, DecisionRecheckTriggersReDecision) {
+  // A scheduler that asks to idle until t=3 even though a job is ready;
+  // the engine must come back at ~3 and let it run then.
+  class Procrastinator final : public Scheduler {
+   public:
+    Decision decide(const SchedulingContext& ctx) override {
+      if (ctx.now < 3.0 - util::kEps) return Decision::idle_until(3.0);
+      return Decision::run(ctx.edf_front().id, ctx.table->max_index());
+    }
+    std::string name() const override { return "procrastinator"; }
+  } sched;
+
+  Scenario s;
+  s.jobs = {job(0, 0.0, 10.0, 1.0)};
+  s.source = std::make_shared<energy::ConstantSource>(5.0);
+  s.config.horizon = 20.0;
+  const auto out = run_scenario(std::move(s), sched);
+  EXPECT_EQ(out.result.jobs_completed, 1u);
+  ASSERT_FALSE(out.schedule.slices().empty());
+  EXPECT_NEAR(out.schedule.slices().front().start, 3.0, 1e-9);
+}
+
+TEST(EnginePolicy, StaleRecheckInstantIsIgnored) {
+  // recheck_at == now must not wedge the engine in zero-length segments.
+  class StaleRecheck final : public Scheduler {
+   public:
+    Decision decide(const SchedulingContext& ctx) override {
+      return Decision::run(ctx.edf_front().id, ctx.table->max_index(),
+                           ctx.now);  // stale
+    }
+    std::string name() const override { return "stale"; }
+  } sched;
+
+  Scenario s;
+  s.jobs = {job(0, 0.0, 10.0, 2.0)};
+  s.source = std::make_shared<energy::ConstantSource>(5.0);
+  s.config.horizon = 20.0;
+  const auto out = run_scenario(std::move(s), sched);
+  EXPECT_EQ(out.result.jobs_completed, 1u);
+}
+
+TEST(EnginePolicy, MissedJobStillCountedOncePerJob) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 2.0, 1.0)};
+  s.source = std::make_shared<energy::ConstantSource>(0.2);
+  s.initial = 0.0;
+  s.config.horizon = 30.0;
+  s.config.miss_policy = MissPolicy::kContinueLate;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_missed, 1u);  // exactly once
+}
+
+TEST(EnginePolicy, DeadlineOrderOfMissesIsChronological) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 2.0, 1.0), job(1, 0.0, 4.0, 1.0)};
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.initial = 0.0;
+  s.config.horizon = 10.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  ASSERT_EQ(out.schedule.outcomes().size(), 2u);
+  EXPECT_DOUBLE_EQ(out.schedule.outcomes()[0].time, 2.0);
+  EXPECT_DOUBLE_EQ(out.schedule.outcomes()[1].time, 4.0);
+  EXPECT_TRUE(out.schedule.outcomes()[0].missed);
+  EXPECT_TRUE(out.schedule.outcomes()[1].missed);
+}
+
+TEST(EnginePolicy, SegmentsCoverTimelineWithoutGapsOrOverlap) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 10.0, 3.0), job(1, 2.0, 6.0, 1.0)};
+  s.source = std::make_shared<energy::ConstantSource>(2.0);
+  s.capacity = 20.0;
+  s.config.horizon = 15.0;
+
+  class SegmentAuditor final : public SimObserver {
+   public:
+    Time cursor = 0.0;
+    void on_segment(const SegmentRecord& rec) override {
+      EXPECT_NEAR(rec.start, cursor, 1e-9);
+      EXPECT_GT(rec.end, rec.start);
+      cursor = rec.end;
+    }
+  } auditor;
+
+  auto source = s.source;
+  energy::EnergyStorage storage = energy::EnergyStorage::ideal(s.capacity);
+  proc::Processor processor(s.table);
+  energy::OraclePredictor predictor(source);
+  sched::EdfScheduler edf;
+  task::JobReleaser releaser(s.jobs);
+  Engine engine(s.config, *source, storage, processor, predictor, edf, releaser);
+  engine.add_observer(auditor);
+  (void)engine.run();
+  EXPECT_NEAR(auditor.cursor, 15.0, 1e-9);
+}
+
+TEST(EnginePolicy, LevelsAreContinuousAcrossSegments) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 20.0, 5.0)};
+  s.source = std::make_shared<energy::ConstantSource>(1.0);
+  s.capacity = 12.0;
+  s.initial = 6.0;
+  s.config.horizon = 25.0;
+
+  class ContinuityAuditor final : public SimObserver {
+   public:
+    bool first = true;
+    Energy last_level = 0.0;
+    void on_segment(const SegmentRecord& rec) override {
+      if (!first) EXPECT_NEAR(rec.level_start, last_level, 1e-9);
+      last_level = rec.level_end;
+      first = false;
+    }
+  } auditor;
+
+  auto source = s.source;
+  energy::StorageConfig storage_cfg;
+  storage_cfg.capacity = s.capacity;
+  storage_cfg.initial = s.initial;
+  energy::EnergyStorage storage(storage_cfg);
+  proc::Processor processor(s.table);
+  energy::OraclePredictor predictor(source);
+  sched::EdfScheduler edf;
+  task::JobReleaser releaser(s.jobs);
+  Engine engine(s.config, *source, storage, processor, predictor, edf, releaser);
+  engine.add_observer(auditor);
+  (void)engine.run();
+}
+
+}  // namespace
+}  // namespace eadvfs::sim

@@ -1,0 +1,126 @@
+/// Preemption-chain and determinism edge cases for the engine.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../support/scenario.hpp"
+#include "sched/edf_scheduler.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+
+namespace eadvfs::sim {
+namespace {
+
+using test::job;
+using test::run_scenario;
+using test::Scenario;
+
+TEST(EnginePreemption, NestedPreemptionChainUnwindsInOrder) {
+  // Three jobs arriving with successively tighter deadlines: each preempts
+  // the previous; completions unwind inner-first.
+  Scenario s;
+  s.jobs = {job(0, 0.0, 100.0, 10.0),  // outer
+            job(1, 2.0, 20.0, 4.0),    // middle
+            job(2, 3.0, 5.0, 1.0)};    // inner
+  s.source = std::make_shared<energy::ConstantSource>(10.0);
+  s.capacity = 1e6;
+  s.config.horizon = 60.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_completed, 3u);
+  // inner runs [3,4]; middle [2,3] and [4,7]; outer [0,2] and [7,15].
+  const auto inner = out.schedule.slices_of(2);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_NEAR(inner[0].start, 3.0, 1e-9);
+  EXPECT_NEAR(inner[0].end, 4.0, 1e-9);
+  const auto middle = out.schedule.slices_of(1);
+  ASSERT_EQ(middle.size(), 2u);
+  EXPECT_NEAR(middle[1].end, 7.0, 1e-9);
+  const auto outer = out.schedule.slices_of(0);
+  ASSERT_EQ(outer.size(), 2u);
+  EXPECT_NEAR(outer[1].end, 15.0, 1e-9);
+}
+
+TEST(EnginePreemption, PreemptedWorkIsNotLost) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 50.0, 5.0), job(1, 1.0, 3.0, 1.0)};
+  s.source = std::make_shared<energy::ConstantSource>(10.0);
+  s.capacity = 1e6;
+  s.config.horizon = 30.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  // Job 0 executes 1 + 4 units (preempted for exactly 1 unit).
+  EXPECT_NEAR(out.schedule.executed_time(0), 5.0, 1e-9);
+  EXPECT_NEAR(out.schedule.slices_of(0).back().end, 6.0, 1e-9);
+}
+
+TEST(EnginePreemption, EqualDeadlinesDoNotThrash) {
+  // Two jobs with identical absolute deadlines: the EDF tie-break (arrival,
+  // then id) must hold one winner; the loser runs after it completes, not
+  // interleaved.
+  Scenario s;
+  s.jobs = {job(0, 0.0, 10.0, 2.0), job(1, 0.0, 10.0, 2.0)};
+  s.source = std::make_shared<energy::ConstantSource>(10.0);
+  s.capacity = 1e6;
+  s.config.horizon = 20.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_completed, 2u);
+  ASSERT_EQ(out.schedule.slices().size(), 2u);
+  EXPECT_EQ(out.schedule.slices()[0].job, 0u);  // earlier id wins the tie
+  EXPECT_NEAR(out.schedule.slices()[0].end, 2.0, 1e-9);
+  EXPECT_EQ(out.schedule.slices()[1].job, 1u);
+}
+
+TEST(EnginePreemption, ArrivalAtExactCompletionInstant) {
+  // Job 1 arrives exactly when job 0 completes: no zero-length segment, no
+  // double-execution.
+  Scenario s;
+  s.jobs = {job(0, 0.0, 10.0, 2.0), job(1, 2.0, 10.0, 1.0)};
+  s.source = std::make_shared<energy::ConstantSource>(10.0);
+  s.capacity = 1e6;
+  s.config.horizon = 20.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_completed, 2u);
+  EXPECT_NEAR(out.schedule.slices_of(1).front().start, 2.0, 1e-9);
+}
+
+TEST(EnginePreemption, EaDvfsPreemptionReplansAtArrival) {
+  // EA-DVFS running job 0 stretched must re-decide when a tighter job
+  // arrives, run it (possibly at another point), then return.
+  Scenario s;
+  s.jobs = {job(0, 0.0, 40.0, 4.0), job(1, 5.0, 6.0, 2.0)};
+  s.source = std::make_shared<energy::ConstantSource>(0.3);
+  s.capacity = 1000.0;
+  s.initial = 12.0;
+  s.config.horizon = 50.0;
+  const auto scheduler = sched::make_scheduler("ea-dvfs");
+  const auto out = run_scenario(std::move(s), *scheduler);
+  EXPECT_EQ(out.result.jobs_missed, 0u);
+  EXPECT_EQ(out.result.jobs_completed, 2u);
+  // Job 1 executed entirely inside its [5, 11] window.
+  for (const auto& slice : out.schedule.slices_of(1)) {
+    EXPECT_GE(slice.start, 5.0 - 1e-9);
+    EXPECT_LE(slice.end, 11.0 + 1e-9);
+  }
+}
+
+TEST(EnginePreemption, ManyJobsSameInstantDeterministicOrder) {
+  Scenario s;
+  for (task::JobId i = 0; i < 8; ++i)
+    s.jobs.push_back(job(i, 0.0, 100.0 - static_cast<double>(i), 1.0));
+  s.source = std::make_shared<energy::ConstantSource>(10.0);
+  s.capacity = 1e6;
+  s.config.horizon = 30.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  ASSERT_EQ(out.schedule.slices().size(), 8u);
+  // Tightest deadline (highest id here) first.
+  for (std::size_t k = 0; k < 8; ++k)
+    EXPECT_EQ(out.schedule.slices()[k].job, 7u - k);
+}
+
+}  // namespace
+}  // namespace eadvfs::sim

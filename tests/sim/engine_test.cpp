@@ -1,0 +1,251 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "../support/scenario.hpp"
+#include "sched/edf_scheduler.hpp"
+#include "util/math.hpp"
+
+namespace eadvfs::sim {
+namespace {
+
+using test::job;
+using test::run_scenario;
+using test::Scenario;
+
+TEST(Engine, SingleJobCompletesAtFullSpeed) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 10.0, 4.0)};
+  s.source = std::make_shared<energy::ConstantSource>(5.0);
+  s.config.horizon = 20.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_released, 1u);
+  EXPECT_EQ(out.result.jobs_completed, 1u);
+  EXPECT_EQ(out.result.jobs_missed, 0u);
+  EXPECT_NEAR(out.result.busy_time, 4.0, 1e-9);
+  EXPECT_NEAR(out.result.work_completed, 4.0, 1e-9);
+  // EDF runs at f_max: the completion slice ends at t = 4.
+  ASSERT_FALSE(out.schedule.slices().empty());
+  EXPECT_NEAR(out.schedule.slices().back().end, 4.0, 1e-9);
+}
+
+TEST(Engine, EdfPreemptsForEarlierDeadline) {
+  Scenario s;
+  // Long job with late deadline; short job arrives at t=2 with a tight one.
+  s.jobs = {job(0, 0.0, 100.0, 10.0), job(1, 2.0, 3.0, 1.0)};
+  s.source = std::make_shared<energy::ConstantSource>(5.0);
+  s.config.horizon = 30.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_completed, 2u);
+  // Job 1 must have executed in [2, 3] (preempting job 0).
+  const auto slices = out.schedule.slices_of(1);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_NEAR(slices[0].start, 2.0, 1e-9);
+  EXPECT_NEAR(slices[0].end, 3.0, 1e-9);
+  // Job 0 resumes and finishes at 11 (10 work + 1 preempted).
+  EXPECT_NEAR(out.schedule.slices_of(0).back().end, 11.0, 1e-9);
+}
+
+TEST(Engine, NoEnergyNoHarvestMeansMiss) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 5.0, 1.0)};
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.initial = 0.0;
+  s.config.horizon = 10.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_missed, 1u);
+  EXPECT_EQ(out.result.jobs_completed, 0u);
+  EXPECT_NEAR(out.result.work_dropped, 1.0, 1e-9);
+  EXPECT_GT(out.result.stall_time, 0.0);
+  EXPECT_DOUBLE_EQ(out.result.busy_time, 0.0);
+}
+
+TEST(Engine, StallRecoversWhenHarvestAccumulates) {
+  // 1 W harvest, empty storage, job needs f_max (3.2 W): the engine must
+  // duty-cycle (stall, bank energy, burst) and still finish the job.
+  Scenario s;
+  s.jobs = {job(0, 0.0, 50.0, 4.0)};
+  s.source = std::make_shared<energy::ConstantSource>(1.0);
+  s.initial = 0.0;
+  s.capacity = 100.0;
+  s.config.horizon = 60.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_completed, 1u);
+  EXPECT_GT(out.result.stall_time, 0.0);
+  // Energy argument: 4 work at 3.2 W needs 12.8; at 1 W that takes >= 12.8
+  // time units of harvesting, so completion cannot be before t = 12.8.
+  const auto slices = out.schedule.slices_of(0);
+  ASSERT_FALSE(slices.empty());
+  EXPECT_GE(slices.back().end, 12.8 - 1e-6);
+}
+
+TEST(Engine, DropPolicyRemovesLateJob) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 2.0, 1.0)};
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.initial = 0.0;
+  s.config.horizon = 10.0;
+  s.config.miss_policy = MissPolicy::kDropAtDeadline;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_missed, 1u);
+  // After the drop nothing remains to execute even after energy arrives.
+  EXPECT_DOUBLE_EQ(out.result.work_completed, 0.0);
+}
+
+TEST(Engine, ContinuePolicyFinishesLate) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 2.0, 1.0)};
+  // No energy until the storage bank fills from 1 W harvest.
+  s.source = std::make_shared<energy::ConstantSource>(1.0);
+  s.initial = 0.0;
+  s.config.horizon = 30.0;
+  s.config.miss_policy = MissPolicy::kContinueLate;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_missed, 1u);
+  EXPECT_EQ(out.result.jobs_completed_late, 1u);
+  EXPECT_EQ(out.result.jobs_completed, 0u);
+  EXPECT_NEAR(out.result.work_completed, 1.0, 1e-9);
+}
+
+TEST(Engine, UnresolvedJobsAtHorizon) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 100.0, 50.0)};  // deadline beyond horizon
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.initial = 10.0;
+  s.config.horizon = 10.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_unresolved, 1u);
+  EXPECT_EQ(out.result.jobs_missed, 0u);
+  EXPECT_DOUBLE_EQ(out.result.miss_rate(), 0.0);
+}
+
+TEST(Engine, CompletionExactlyAtDeadlineCountsOnTime) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 4.0, 4.0)};  // needs the whole window at f_max
+  s.source = std::make_shared<energy::ConstantSource>(5.0);
+  s.config.horizon = 10.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_completed, 1u);
+  EXPECT_EQ(out.result.jobs_missed, 0u);
+}
+
+TEST(Engine, TimeAtOpTracksResidency) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 10.0, 2.0)};
+  s.source = std::make_shared<energy::ConstantSource>(5.0);
+  s.config.horizon = 10.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  ASSERT_EQ(out.result.time_at_op.size(), 5u);
+  EXPECT_NEAR(out.result.time_at_op[4], 2.0, 1e-9);  // all time at f_max
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(out.result.time_at_op[i], 0.0);
+}
+
+TEST(Engine, ZeroWcetJobCompletesImmediately) {
+  Scenario s;
+  s.jobs = {job(0, 1.0, 5.0, 0.0)};
+  s.source = std::make_shared<energy::ConstantSource>(1.0);
+  s.config.horizon = 10.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_completed, 1u);
+}
+
+TEST(Engine, SwitchOverheadConsumesTimeAndEnergy) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 10.0, 2.0)};
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.capacity = 100.0;
+  s.overhead = {0.5, 1.0};
+  s.config.horizon = 10.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_completed, 1u);
+  // One switch (slowest -> f_max) delays the start by 0.5.
+  EXPECT_NEAR(out.schedule.slices_of(0).front().start, 0.5, 1e-9);
+  // Consumption = 2 * 3.2 (execution) + 1.0 (transition).
+  EXPECT_NEAR(out.result.consumed, 2.0 * 3.2 + 1.0, 1e-9);
+  EXPECT_EQ(out.result.frequency_switches, 1u);
+  EXPECT_NEAR(out.result.stall_time, 0.5, 1e-9);
+}
+
+/// Scheduler that returns a job id that is not ready — engine must reject.
+class BogusScheduler final : public Scheduler {
+ public:
+  Decision decide(const SchedulingContext&) override {
+    return Decision::run(9999, 0);
+  }
+  std::string name() const override { return "bogus"; }
+};
+
+TEST(Engine, RejectsDecisionForUnknownJob) {
+  Scenario s;
+  s.jobs = {job(0, 0.0, 10.0, 1.0)};
+  s.source = std::make_shared<energy::ConstantSource>(1.0);
+  s.config.horizon = 5.0;
+  BogusScheduler bogus;
+  EXPECT_THROW((void)run_scenario(std::move(s), bogus), std::logic_error);
+}
+
+TEST(Engine, RunIsSingleShot) {
+  auto source = std::make_shared<energy::ConstantSource>(1.0);
+  energy::EnergyStorage storage = energy::EnergyStorage::ideal(10.0);
+  proc::Processor processor(proc::FrequencyTable::xscale());
+  energy::OraclePredictor predictor(source);
+  sched::EdfScheduler edf;
+  task::JobReleaser releaser(std::vector<task::Job>{});
+  SimulationConfig cfg;
+  cfg.horizon = 1.0;
+  Engine engine(cfg, *source, storage, processor, predictor, edf, releaser);
+  (void)engine.run();
+  EXPECT_THROW((void)engine.run(), std::logic_error);
+}
+
+TEST(Engine, ConfigValidation) {
+  auto source = std::make_shared<energy::ConstantSource>(1.0);
+  energy::EnergyStorage storage = energy::EnergyStorage::ideal(10.0);
+  proc::Processor processor(proc::FrequencyTable::xscale());
+  energy::OraclePredictor predictor(source);
+  sched::EdfScheduler edf;
+  task::JobReleaser releaser(std::vector<task::Job>{});
+  SimulationConfig bad;
+  bad.horizon = 0.0;
+  EXPECT_THROW(Engine(bad, *source, storage, processor, predictor, edf, releaser),
+               std::invalid_argument);
+  bad = SimulationConfig{};
+  bad.stall_wakeup = 0.0;
+  EXPECT_THROW(Engine(bad, *source, storage, processor, predictor, edf, releaser),
+               std::invalid_argument);
+}
+
+TEST(Engine, SegmentBudgetGuardFires) {
+  Scenario s;
+  s.task_set = task::TaskSet({[] {
+    task::Task t;
+    t.id = 0;
+    t.period = 1.0;
+    t.relative_deadline = 1.0;
+    t.wcet = 0.5;
+    return t;
+  }()});
+  s.source = std::make_shared<energy::ConstantSource>(5.0);
+  s.config.horizon = 1000.0;
+  s.config.max_segments = 10;  // absurdly small
+  sched::EdfScheduler edf;
+  EXPECT_THROW((void)run_scenario(std::move(s), edf), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace eadvfs::sim

@@ -1,0 +1,105 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eadvfs::sim {
+namespace {
+
+Event deadline(Time t, task::JobId job) {
+  return {t, EventType::kDeadline, job, 0};
+}
+
+Event probe(Time t, std::uint64_t tag = 0) {
+  return {t, EventType::kProbe, 0, tag};
+}
+
+TEST(EventQueue, EmptyQueueBehaviour) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_GE(q.next_time(), 1e250);
+  EXPECT_THROW((void)q.peek(), std::logic_error);
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(deadline(30.0, 1));
+  q.push(deadline(10.0, 2));
+  q.push(deadline(20.0, 3));
+  EXPECT_DOUBLE_EQ(q.pop().time, 10.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 20.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 30.0);
+}
+
+TEST(EventQueue, NextTimePeeksWithoutRemoving) {
+  EventQueue q;
+  q.push(deadline(5.0, 1));
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.peek().job, 1u);
+}
+
+TEST(EventQueue, TieBreakDeadlinesBeforeProbes) {
+  EventQueue q;
+  q.push(probe(7.0, 9));
+  q.push(deadline(7.0, 4));
+  EXPECT_EQ(q.pop().type, EventType::kDeadline);
+  EXPECT_EQ(q.pop().type, EventType::kProbe);
+}
+
+TEST(EventQueue, TieBreakByJobIdIsDeterministic) {
+  EventQueue q;
+  q.push(deadline(7.0, 9));
+  q.push(deadline(7.0, 2));
+  EXPECT_EQ(q.pop().job, 2u);
+  EXPECT_EQ(q.pop().job, 9u);
+}
+
+TEST(EventQueue, PopDueReturnsAllAtOrBeforeNow) {
+  EventQueue q;
+  q.push(deadline(1.0, 1));
+  q.push(deadline(2.0, 2));
+  q.push(deadline(3.0, 3));
+  const auto due = q.pop_due(2.0);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].job, 1u);
+  EXPECT_EQ(due[1].job, 2u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PopDueIsEpsilonTolerant) {
+  EventQueue q;
+  q.push(deadline(2.0 + 0.5e-9, 1));
+  EXPECT_EQ(q.pop_due(2.0).size(), 1u);
+}
+
+TEST(EventQueue, PopDueOnEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.pop_due(100.0).empty());
+}
+
+TEST(EventQueue, ClearEmptiesQueue) {
+  EventQueue q;
+  q.push(deadline(1.0, 1));
+  q.push(probe(2.0));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StressOrderingWithManyEvents) {
+  EventQueue q;
+  for (int i = 999; i >= 0; --i)
+    q.push(deadline(static_cast<double>(i % 100), static_cast<task::JobId>(i)));
+  Time last = -1.0;
+  while (!q.empty()) {
+    const Event e = q.pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+  }
+}
+
+}  // namespace
+}  // namespace eadvfs::sim

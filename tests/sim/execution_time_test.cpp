@@ -1,0 +1,178 @@
+/// Tests for the actual-vs-worst-case execution model (the slack that
+/// dynamic policies can reclaim).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../support/scenario.hpp"
+#include "sched/edf_scheduler.hpp"
+#include "sched/factory.hpp"
+#include "task/releaser.hpp"
+
+namespace eadvfs::sim {
+namespace {
+
+using test::job;
+using test::run_scenario;
+using test::Scenario;
+
+task::Task periodic(task::TaskId id, Time period, Work wcet) {
+  task::Task t;
+  t.id = id;
+  t.period = period;
+  t.relative_deadline = period;
+  t.wcet = wcet;
+  return t;
+}
+
+TEST(ExecutionTimeModel, DefaultActualEqualsWcet) {
+  task::JobReleaser releaser(task::TaskSet({periodic(0, 10, 2)}), 30.0);
+  const auto jobs = releaser.release_due(0.0);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].actual_work, 2.0);
+  EXPECT_DOUBLE_EQ(jobs[0].actual_remaining, 2.0);
+}
+
+TEST(ExecutionTimeModel, FractionBoundsActualWork) {
+  task::ExecutionTimeModel model;
+  model.bcet_fraction = 0.5;
+  model.seed = 3;
+  task::JobReleaser releaser(task::TaskSet({periodic(0, 10, 2)}), 500.0, model);
+  while (!releaser.exhausted()) {
+    for (const auto& j : releaser.release_due(releaser.next_arrival())) {
+      EXPECT_GE(j.actual_work, 1.0 - 1e-12);
+      EXPECT_LE(j.actual_work, 2.0 + 1e-12);
+      EXPECT_DOUBLE_EQ(j.remaining, 2.0);  // budget still the WCET
+    }
+  }
+}
+
+TEST(ExecutionTimeModel, DrawsAreDeterministicPerSeed) {
+  task::ExecutionTimeModel model;
+  model.bcet_fraction = 0.25;
+  model.seed = 9;
+  auto collect = [&] {
+    task::JobReleaser releaser(task::TaskSet({periodic(0, 10, 2)}), 200.0, model);
+    std::vector<double> actuals;
+    while (!releaser.exhausted())
+      for (const auto& j : releaser.release_due(releaser.next_arrival()))
+        actuals.push_back(j.actual_work);
+    return actuals;
+  };
+  EXPECT_EQ(collect(), collect());
+}
+
+TEST(ExecutionTimeModel, InvalidFractionThrows) {
+  task::ExecutionTimeModel model;
+  model.bcet_fraction = 0.0;
+  EXPECT_THROW(
+      task::JobReleaser(task::TaskSet({periodic(0, 10, 2)}), 100.0, model),
+      std::invalid_argument);
+  model.bcet_fraction = 1.5;
+  EXPECT_THROW(
+      task::JobReleaser(task::TaskSet({periodic(0, 10, 2)}), 100.0, model),
+      std::invalid_argument);
+}
+
+TEST(ExecutionTimeModel, ExplicitJobActualWorkRespected) {
+  task::Job j = job(0, 0.0, 10.0, 4.0);
+  j.actual_work = 1.0;
+  task::JobReleaser releaser(std::vector<task::Job>{j});
+  const auto released = releaser.release_due(0.0);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_DOUBLE_EQ(released[0].actual_work, 1.0);
+  EXPECT_DOUBLE_EQ(released[0].remaining, 4.0);
+}
+
+TEST(ExecutionTimeModel, ExplicitJobActualAboveWcetRejected) {
+  task::Job j = job(0, 0.0, 10.0, 4.0);
+  j.actual_work = 5.0;
+  EXPECT_THROW(task::JobReleaser{std::vector<task::Job>{j}},
+               std::invalid_argument);
+}
+
+TEST(EngineWithActualTimes, JobCompletesWhenActualWorkDone) {
+  Scenario s;
+  task::Job j = job(0, 0.0, 10.0, 4.0);
+  j.actual_work = 1.0;  // finishes at t=1 at full speed, not t=4
+  s.jobs = {j};
+  s.source = std::make_shared<energy::ConstantSource>(5.0);
+  s.config.horizon = 15.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_completed, 1u);
+  ASSERT_FALSE(out.schedule.slices().empty());
+  EXPECT_NEAR(out.schedule.slices().back().end, 1.0, 1e-9);
+  EXPECT_NEAR(out.result.work_completed, 1.0, 1e-9);
+  EXPECT_NEAR(out.result.consumed, 3.2, 1e-9);  // 1 work at f_max
+}
+
+TEST(EngineWithActualTimes, EarlyCompletionFreesEnergyForSuccessor) {
+  // Storage 9 with no harvest.  Two jobs with WCET 2 each would need
+  // 2 * 2 * 3.2 = 12.8 > 9 at full speed; job 0 actually needs only 0.5,
+  // so the pair needs 2.5 * 3.2 = 8 <= 9 and job 1 completes.
+  Scenario s;
+  task::Job j0 = job(0, 0.0, 5.0, 2.0);
+  j0.actual_work = 0.5;
+  task::Job j1 = job(1, 0.0, 10.0, 2.0);
+  s.jobs = {j0, j1};
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.capacity = 1000.0;
+  s.initial = 9.0;
+  s.config.horizon = 15.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  EXPECT_EQ(out.result.jobs_completed, 2u);
+  EXPECT_NEAR(out.result.consumed, 2.5 * 3.2, 1e-9);
+}
+
+TEST(EngineWithActualTimes, EaDvfsReclaimsSlackIntoDeeperSlowdown) {
+  // Same paired workload, run under EA-DVFS with bcet 0.5 vs 1.0: with
+  // early completions the scheduler spends less energy overall.
+  auto run_with = [](double bcet) {
+    task::ExecutionTimeModel model;
+    model.bcet_fraction = bcet;
+    model.seed = 5;
+    task::JobReleaser releaser(
+        task::TaskSet({periodic(0, 20, 6), periodic(1, 30, 6)}), 600.0, model);
+    auto source = std::make_shared<energy::ConstantSource>(2.0);
+    energy::EnergyStorage storage = energy::EnergyStorage::ideal(40.0);
+    proc::Processor processor(proc::FrequencyTable::xscale());
+    energy::OraclePredictor predictor(source);
+    const auto scheduler = sched::make_scheduler("ea-dvfs");
+    SimulationConfig cfg;
+    cfg.horizon = 600.0;
+    Engine engine(cfg, *source, storage, processor, predictor, *scheduler,
+                  releaser);
+    return engine.run();
+  };
+  const auto full = run_with(1.0);
+  const auto early = run_with(0.5);
+  EXPECT_LT(early.consumed, full.consumed);
+  EXPECT_LE(early.jobs_missed, full.jobs_missed);
+}
+
+TEST(EngineWithActualTimes, ConservationHoldsWithEarlyCompletions) {
+  task::ExecutionTimeModel model;
+  model.bcet_fraction = 0.3;
+  model.seed = 21;
+  task::JobReleaser releaser(
+      task::TaskSet({periodic(0, 10, 3), periodic(1, 25, 5)}), 500.0, model);
+  auto source = std::make_shared<energy::ConstantSource>(1.5);
+  energy::EnergyStorage storage = energy::EnergyStorage::ideal(30.0);
+  proc::Processor processor(proc::FrequencyTable::xscale());
+  energy::OraclePredictor predictor(source);
+  const auto scheduler = sched::make_scheduler("ea-dvfs");
+  SimulationConfig cfg;
+  cfg.horizon = 500.0;
+  Engine engine(cfg, *source, storage, processor, predictor, *scheduler,
+                releaser);
+  const auto result = engine.run();
+  EXPECT_LT(result.conservation_error(), 1e-6);
+  EXPECT_EQ(result.jobs_released,
+            result.jobs_completed + result.jobs_missed + result.jobs_unresolved);
+}
+
+}  // namespace
+}  // namespace eadvfs::sim

@@ -1,0 +1,105 @@
+#include "sim/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../support/scenario.hpp"
+#include "sched/factory.hpp"
+
+namespace eadvfs::sim {
+namespace {
+
+using test::job;
+
+SegmentRecord exec_segment(Time start, Time end, task::JobId id, std::size_t op) {
+  SegmentRecord rec;
+  rec.start = start;
+  rec.end = end;
+  rec.job = id;
+  rec.op_index = op;
+  return rec;
+}
+
+TEST(Gantt, RendersJobRowsWithOpGlyphs) {
+  ScheduleRecorder rec;
+  rec.on_segment(exec_segment(0.0, 5.0, 7, 0));
+  rec.on_segment(exec_segment(5.0, 10.0, 8, 4));
+  GanttOptions opts;
+  opts.start = 0.0;
+  opts.end = 10.0;
+  opts.width = 10;
+  const std::string art = render_gantt(rec, opts);
+  EXPECT_NE(art.find("job   7 |00000     |"), std::string::npos) << art;
+  EXPECT_NE(art.find("job   8 |     44444|"), std::string::npos) << art;
+}
+
+TEST(Gantt, AutoRangeCoversAllSlices) {
+  ScheduleRecorder rec;
+  rec.on_segment(exec_segment(2.0, 4.0, 1, 1));
+  rec.on_segment(exec_segment(8.0, 12.0, 2, 2));
+  const std::string art = render_gantt(rec);
+  EXPECT_NE(art.find("t=[2, 12)"), std::string::npos) << art;
+}
+
+TEST(Gantt, ShowsOutcomesAndReleases) {
+  ScheduleRecorder rec;
+  task::Job j = job(3, 1.0, 9.0, 2.0);
+  rec.on_release(j);
+  rec.on_segment(exec_segment(1.0, 3.0, 3, 4));
+  rec.on_complete(j, 3.0);
+  task::Job dead = job(4, 0.0, 5.0, 2.0);
+  rec.on_release(dead);
+  rec.on_segment(exec_segment(3.0, 4.0, 4, 4));
+  rec.on_miss(dead, 5.0);
+  const std::string art = render_gantt(rec);
+  EXPECT_NE(art.find("done@3"), std::string::npos) << art;
+  EXPECT_NE(art.find("MISS@5"), std::string::npos) << art;
+  EXPECT_NE(art.find("arr=1 dl=10"), std::string::npos) << art;
+}
+
+TEST(Gantt, DominantOpWinsTheBucket) {
+  ScheduleRecorder rec;
+  // Bucket [0,10): 3 units at op 1, 7 units at op 3 -> glyph '3'.
+  rec.on_segment(exec_segment(0.0, 3.0, 1, 1));
+  rec.on_segment(exec_segment(3.0, 10.0, 1, 3));
+  GanttOptions opts;
+  opts.start = 0.0;
+  opts.end = 10.0;
+  opts.width = 1;
+  const std::string art = render_gantt(rec, opts);
+  EXPECT_NE(art.find("|3|"), std::string::npos) << art;
+}
+
+TEST(Gantt, EmptyRecordingStillRenders) {
+  ScheduleRecorder rec;
+  const std::string art = render_gantt(rec);
+  EXPECT_NE(art.find("t=["), std::string::npos);
+}
+
+TEST(Gantt, EndToEndFromEngineRun) {
+  test::Scenario s;
+  s.jobs = {job(0, 0.0, 16.0, 4.0), job(1, 5.0, 12.0, 1.5)};
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.capacity = 1000.0;
+  s.initial = 32.0;
+  s.table = proc::FrequencyTable({{250, 0.25, 1.0}, {1000, 1.0, 8.0}});
+  s.config.horizon = 20.0;
+  const auto scheduler = sched::make_scheduler("ea-dvfs");
+  const auto out = test::run_scenario(std::move(s), *scheduler);
+  GanttOptions opts;
+  opts.start = 0.0;
+  opts.end = 20.0;
+  opts.width = 40;
+  const std::string art = render_gantt(out.schedule, opts);
+  // Both jobs appear, both complete (the §4.3 example).
+  EXPECT_NE(art.find("job   0"), std::string::npos) << art;
+  EXPECT_NE(art.find("job   1"), std::string::npos) << art;
+  EXPECT_EQ(art.find("MISS"), std::string::npos) << art;
+  // The stretched phase (op 0) and the full-speed phase (op 1) both show.
+  EXPECT_NE(art.find('0'), std::string::npos);
+  EXPECT_NE(art.find('1'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eadvfs::sim

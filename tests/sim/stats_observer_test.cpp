@@ -1,0 +1,107 @@
+#include "sim/stats_observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../support/scenario.hpp"
+#include "sched/edf_scheduler.hpp"
+
+namespace eadvfs::sim {
+namespace {
+
+using test::job;
+
+task::Job tagged(task::JobId id, task::TaskId task, Time arrival,
+                 Time relative_deadline, Work wcet) {
+  task::Job j = job(id, arrival, relative_deadline, wcet);
+  j.task_id = task;
+  return j;
+}
+
+TEST(StatsObserver, CountsPerTaskOutcomes) {
+  StatsObserver stats;
+  stats.on_release(tagged(0, 0, 0.0, 10.0, 1.0));
+  stats.on_release(tagged(1, 0, 10.0, 10.0, 1.0));
+  stats.on_release(tagged(2, 1, 0.0, 5.0, 1.0));
+  stats.on_complete(tagged(0, 0, 0.0, 10.0, 1.0), 4.0);
+  stats.on_miss(tagged(1, 0, 10.0, 10.0, 1.0), 20.0);
+  stats.on_complete(tagged(2, 1, 0.0, 5.0, 1.0), 2.0);
+
+  EXPECT_EQ(stats.task(0).released, 2u);
+  EXPECT_EQ(stats.task(0).completed, 1u);
+  EXPECT_EQ(stats.task(0).missed, 1u);
+  EXPECT_DOUBLE_EQ(stats.task(0).miss_rate(), 0.5);
+  EXPECT_EQ(stats.task(1).completed, 1u);
+  EXPECT_DOUBLE_EQ(stats.task(1).miss_rate(), 0.0);
+}
+
+TEST(StatsObserver, ResponseTimeAndMargin) {
+  StatsObserver stats;
+  const task::Job j = tagged(0, 0, 2.0, 10.0, 1.0);  // window [2, 12]
+  stats.on_release(j);
+  stats.on_complete(j, 7.0);  // response 5, margin (12-7)/10 = 0.5
+  EXPECT_DOUBLE_EQ(stats.task(0).response_time.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.task(0).window_margin.mean(), 0.5);
+  ASSERT_EQ(stats.response_times().size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.response_times()[0], 5.0);
+}
+
+TEST(StatsObserver, LateCompletionCountedSeparately) {
+  StatsObserver stats;
+  const task::Job j = tagged(0, 0, 0.0, 10.0, 1.0);
+  stats.on_release(j);
+  stats.on_miss(j, 10.0);
+  stats.on_complete(j, 13.0);  // finished late (kContinueLate semantics)
+  EXPECT_EQ(stats.task(0).missed, 1u);
+  EXPECT_EQ(stats.task(0).completed, 0u);
+  EXPECT_EQ(stats.task(0).completed_late, 1u);
+  // Margin is negative for late completions: (10-13)/10.
+  EXPECT_DOUBLE_EQ(stats.task(0).window_margin.mean(), -0.3);
+}
+
+TEST(StatsObserver, TotalAggregatesAcrossTasks) {
+  StatsObserver stats;
+  for (task::TaskId t = 0; t < 3; ++t) {
+    const task::Job j = tagged(t, t, 0.0, 10.0, 1.0);
+    stats.on_release(j);
+    stats.on_complete(j, 1.0 + t);
+  }
+  const TaskStats total = stats.total();
+  EXPECT_EQ(total.released, 3u);
+  EXPECT_EQ(total.completed, 3u);
+  EXPECT_DOUBLE_EQ(total.response_time.mean(), 2.0);  // (1+2+3)/3
+}
+
+TEST(StatsObserver, EndToEndWithEngine) {
+  test::Scenario s;
+  task::Task t;
+  t.id = 4;
+  t.period = 10.0;
+  t.relative_deadline = 10.0;
+  t.wcet = 2.0;
+  s.task_set = task::TaskSet({t});
+  s.source = std::make_shared<energy::ConstantSource>(5.0);
+  s.capacity = 100.0;
+  s.config.horizon = 50.0;
+
+  StatsObserver stats;
+  auto source = s.source;
+  energy::EnergyStorage storage = energy::EnergyStorage::ideal(s.capacity);
+  proc::Processor processor(s.table);
+  energy::OraclePredictor predictor(source);
+  sched::EdfScheduler edf;
+  task::JobReleaser releaser(s.task_set, s.config.horizon);
+  Engine engine(s.config, *source, storage, processor, predictor, edf, releaser);
+  engine.add_observer(stats);
+  (void)engine.run();
+
+  // 5 releases at 0,10,...,40, each completed after exactly 2 time units.
+  EXPECT_EQ(stats.task(4).released, 5u);
+  EXPECT_EQ(stats.task(4).completed, 5u);
+  EXPECT_NEAR(stats.task(4).response_time.mean(), 2.0, 1e-9);
+  EXPECT_NEAR(stats.task(4).window_margin.mean(), 0.8, 1e-9);
+}
+
+}  // namespace
+}  // namespace eadvfs::sim

@@ -1,0 +1,130 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eadvfs::sim {
+namespace {
+
+SegmentRecord segment(Time start, Time end, Energy level_start, Energy level_end,
+                      std::optional<task::JobId> job = std::nullopt,
+                      std::size_t op = 0) {
+  SegmentRecord rec;
+  rec.start = start;
+  rec.end = end;
+  rec.level_start = level_start;
+  rec.level_end = level_end;
+  rec.job = job;
+  rec.op_index = op;
+  return rec;
+}
+
+TEST(EnergyTraceRecorder, GridCoversHorizonInclusive) {
+  EnergyTraceRecorder rec(25.0, 100.0);
+  ASSERT_EQ(rec.times().size(), 5u);
+  EXPECT_DOUBLE_EQ(rec.times().front(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.times().back(), 100.0);
+}
+
+TEST(EnergyTraceRecorder, InterpolatesLinearlyWithinSegment) {
+  EnergyTraceRecorder rec(10.0, 40.0);
+  rec.on_segment(segment(0.0, 40.0, 100.0, 20.0));
+  EXPECT_DOUBLE_EQ(rec.levels()[0], 100.0);
+  EXPECT_DOUBLE_EQ(rec.levels()[1], 80.0);
+  EXPECT_DOUBLE_EQ(rec.levels()[2], 60.0);
+  EXPECT_DOUBLE_EQ(rec.levels()[4], 20.0);
+}
+
+TEST(EnergyTraceRecorder, HandlesManySmallSegments) {
+  EnergyTraceRecorder rec(10.0, 30.0);
+  rec.on_segment(segment(0.0, 5.0, 0.0, 5.0));
+  rec.on_segment(segment(5.0, 15.0, 5.0, 15.0));
+  rec.on_segment(segment(15.0, 30.0, 15.0, 30.0));
+  EXPECT_DOUBLE_EQ(rec.levels()[0], 0.0);
+  EXPECT_DOUBLE_EQ(rec.levels()[1], 10.0);
+  EXPECT_DOUBLE_EQ(rec.levels()[2], 20.0);
+  EXPECT_DOUBLE_EQ(rec.levels()[3], 30.0);
+}
+
+TEST(EnergyTraceRecorder, SamplesExactlyAtSegmentEnd) {
+  EnergyTraceRecorder rec(10.0, 20.0);
+  rec.on_segment(segment(0.0, 10.0, 7.0, 3.0));
+  EXPECT_DOUBLE_EQ(rec.levels()[1], 3.0);
+}
+
+TEST(EnergyTraceRecorder, RejectsBadConstruction) {
+  EXPECT_THROW(EnergyTraceRecorder(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(EnergyTraceRecorder(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ScheduleRecorder, RecordsExecutionSlices) {
+  ScheduleRecorder rec;
+  rec.on_segment(segment(0.0, 2.0, 0, 0, task::JobId{7}, 1));
+  rec.on_segment(segment(5.0, 6.0, 0, 0, task::JobId{8}, 4));
+  ASSERT_EQ(rec.slices().size(), 2u);
+  EXPECT_EQ(rec.slices()[0].job, 7u);
+  EXPECT_EQ(rec.slices()[0].op_index, 1u);
+  EXPECT_DOUBLE_EQ(rec.slices()[1].start, 5.0);
+}
+
+TEST(ScheduleRecorder, IgnoresIdleSegments) {
+  ScheduleRecorder rec;
+  rec.on_segment(segment(0.0, 2.0, 0, 0));  // no job
+  EXPECT_TRUE(rec.slices().empty());
+}
+
+TEST(ScheduleRecorder, MergesSeamlessContinuations) {
+  ScheduleRecorder rec;
+  rec.on_segment(segment(0.0, 2.0, 0, 0, task::JobId{7}, 1));
+  rec.on_segment(segment(2.0, 3.5, 0, 0, task::JobId{7}, 1));
+  ASSERT_EQ(rec.slices().size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.slices()[0].end, 3.5);
+}
+
+TEST(ScheduleRecorder, SpeedChangeBreaksSlices) {
+  ScheduleRecorder rec;
+  rec.on_segment(segment(0.0, 2.0, 0, 0, task::JobId{7}, 1));
+  rec.on_segment(segment(2.0, 3.0, 0, 0, task::JobId{7}, 4));  // new op
+  EXPECT_EQ(rec.slices().size(), 2u);
+}
+
+TEST(ScheduleRecorder, ExecutedTimeSumsSlices) {
+  ScheduleRecorder rec;
+  rec.on_segment(segment(0.0, 2.0, 0, 0, task::JobId{7}, 1));
+  rec.on_segment(segment(4.0, 7.0, 0, 0, task::JobId{7}, 1));
+  rec.on_segment(segment(7.0, 8.0, 0, 0, task::JobId{9}, 1));
+  EXPECT_DOUBLE_EQ(rec.executed_time(7), 5.0);
+  EXPECT_DOUBLE_EQ(rec.executed_time(9), 1.0);
+  EXPECT_DOUBLE_EQ(rec.executed_time(42), 0.0);
+}
+
+TEST(ScheduleRecorder, SlicesOfFiltersByJob) {
+  ScheduleRecorder rec;
+  rec.on_segment(segment(0.0, 1.0, 0, 0, task::JobId{1}, 0));
+  rec.on_segment(segment(1.0, 2.0, 0, 0, task::JobId{2}, 0));
+  rec.on_segment(segment(3.0, 4.0, 0, 0, task::JobId{1}, 0));
+  EXPECT_EQ(rec.slices_of(1).size(), 2u);
+  EXPECT_EQ(rec.slices_of(2).size(), 1u);
+}
+
+TEST(ScheduleRecorder, TracksOutcomes) {
+  ScheduleRecorder rec;
+  task::Job done;
+  done.id = 1;
+  task::Job dead;
+  dead.id = 2;
+  rec.on_release(done);
+  rec.on_release(dead);
+  rec.on_complete(done, 5.0);
+  rec.on_miss(dead, 9.0);
+  ASSERT_EQ(rec.releases().size(), 2u);
+  ASSERT_EQ(rec.outcomes().size(), 2u);
+  EXPECT_FALSE(rec.outcomes()[0].missed);
+  EXPECT_DOUBLE_EQ(rec.outcomes()[0].time, 5.0);
+  EXPECT_TRUE(rec.outcomes()[1].missed);
+  EXPECT_DOUBLE_EQ(rec.outcomes()[1].time, 9.0);
+}
+
+}  // namespace
+}  // namespace eadvfs::sim

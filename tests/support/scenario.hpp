@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file scenario.hpp
+/// Shared test fixture plumbing: build a complete simulation around an
+/// explicit job list or task set with a few knobs, run it, and return both
+/// the result and a full schedule recording for assertions.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/predictor.hpp"
+#include "energy/source.hpp"
+#include "energy/storage.hpp"
+#include "proc/processor.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "task/releaser.hpp"
+
+namespace eadvfs::test {
+
+struct Scenario {
+  /// Jobs to release (explicit mode).  Ignored if `task_set` is non-empty.
+  std::vector<task::Job> jobs;
+  task::TaskSet task_set;
+
+  std::shared_ptr<const energy::EnergySource> source =
+      std::make_shared<energy::ConstantSource>(0.0);
+  Energy capacity = 1000.0;
+  Energy initial = -1.0;  ///< <0 = full.
+  proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  proc::SwitchOverhead overhead = {};
+  /// Default: oracle (exact prediction) so scheduler tests are analytic.
+  std::unique_ptr<energy::EnergyPredictor> predictor;
+  sim::SimulationConfig config;
+};
+
+struct ScenarioOutcome {
+  sim::SimulationResult result;
+  sim::ScheduleRecorder schedule;
+  sim::EnergyTraceRecorder energy_trace{1.0, 0.0};  // re-assigned in run
+};
+
+inline task::Job job(task::JobId id, Time arrival, Time relative_deadline,
+                     Work wcet) {
+  task::Job j;
+  j.id = id;
+  j.arrival = arrival;
+  j.absolute_deadline = arrival + relative_deadline;
+  j.wcet = wcet;
+  j.remaining = wcet;
+  return j;
+}
+
+inline ScenarioOutcome run_scenario(Scenario&& scenario, sim::Scheduler& scheduler) {
+  energy::StorageConfig storage_cfg;
+  storage_cfg.capacity = scenario.capacity;
+  storage_cfg.initial = scenario.initial;
+  energy::EnergyStorage storage(storage_cfg);
+  proc::Processor processor(scenario.table, scenario.overhead);
+  std::unique_ptr<energy::EnergyPredictor> predictor =
+      scenario.predictor
+          ? std::move(scenario.predictor)
+          : std::make_unique<energy::OraclePredictor>(scenario.source);
+  task::JobReleaser releaser =
+      scenario.task_set.empty()
+          ? task::JobReleaser(scenario.jobs)
+          : task::JobReleaser(scenario.task_set, scenario.config.horizon);
+
+  ScenarioOutcome outcome;
+  outcome.energy_trace =
+      sim::EnergyTraceRecorder(1.0, scenario.config.horizon);
+  sim::Engine engine(scenario.config, *scenario.source, storage, processor,
+                     *predictor, scheduler, releaser);
+  engine.add_observer(outcome.schedule);
+  engine.add_observer(outcome.energy_trace);
+  outcome.result = engine.run();
+  return outcome;
+}
+
+}  // namespace eadvfs::test

@@ -1,0 +1,142 @@
+#include "task/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace eadvfs::task {
+namespace {
+
+GeneratorConfig config(double u = 0.4, std::size_t n = 5) {
+  GeneratorConfig cfg;
+  cfg.target_utilization = u;
+  cfg.n_tasks = n;
+  return cfg;
+}
+
+TEST(TaskSetGenerator, HitsTargetUtilizationExactly) {
+  TaskSetGenerator gen(config(0.4));
+  util::Xoshiro256ss rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const TaskSet set = gen.generate(rng);
+    EXPECT_NEAR(set.utilization(), 0.4, 1e-9);
+  }
+}
+
+TEST(TaskSetGenerator, ProducesRequestedTaskCount) {
+  TaskSetGenerator gen(config(0.3, 8));
+  util::Xoshiro256ss rng(2);
+  EXPECT_EQ(gen.generate(rng).size(), 8u);
+}
+
+TEST(TaskSetGenerator, PeriodsComeFromPaperChoices) {
+  TaskSetGenerator gen(config());
+  util::Xoshiro256ss rng(3);
+  for (int i = 0; i < 20; ++i) {
+    for (const Task& t : gen.generate(rng)) {
+      const double r = t.period / 10.0;
+      EXPECT_NEAR(r, std::round(r), 1e-12);
+      EXPECT_GE(t.period, 10.0);
+      EXPECT_LE(t.period, 100.0);
+    }
+  }
+}
+
+TEST(TaskSetGenerator, AllPeriodsGetSelectedEventually) {
+  TaskSetGenerator gen(config(0.2, 10));
+  util::Xoshiro256ss rng(4);
+  std::set<double> seen;
+  for (int i = 0; i < 100; ++i)
+    for (const Task& t : gen.generate(rng)) seen.insert(t.period);
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(TaskSetGenerator, DeadlineEqualsPeriod) {
+  TaskSetGenerator gen(config());
+  util::Xoshiro256ss rng(5);
+  for (const Task& t : gen.generate(rng))
+    EXPECT_DOUBLE_EQ(t.relative_deadline, t.period);
+}
+
+TEST(TaskSetGenerator, WcetNeverExceedsPeriod) {
+  TaskSetGenerator gen(config(0.9, 3));
+  util::Xoshiro256ss rng(6);
+  for (int i = 0; i < 100; ++i)
+    for (const Task& t : gen.generate(rng)) EXPECT_LE(t.wcet, t.period);
+}
+
+TEST(TaskSetGenerator, DeterministicGivenRngState) {
+  TaskSetGenerator gen(config());
+  util::Xoshiro256ss a(42), b(42);
+  const TaskSet sa = gen.generate(a);
+  const TaskSet sb = gen.generate(b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa.at(i).period, sb.at(i).period);
+    EXPECT_DOUBLE_EQ(sa.at(i).wcet, sb.at(i).wcet);
+  }
+}
+
+TEST(TaskSetGenerator, SuccessiveDrawsDiffer) {
+  TaskSetGenerator gen(config());
+  util::Xoshiro256ss rng(7);
+  const TaskSet a = gen.generate(rng);
+  const TaskSet b = gen.generate(rng);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a.at(i).wcet != b.at(i).wcet || a.at(i).period != b.at(i).period)
+      any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TaskSetGenerator, SynchronousReleaseByDefault) {
+  TaskSetGenerator gen(config());
+  util::Xoshiro256ss rng(8);
+  for (const Task& t : gen.generate(rng)) EXPECT_DOUBLE_EQ(t.phase, 0.0);
+}
+
+TEST(TaskSetGenerator, HighUtilizationStillGenerates) {
+  // U = 1.0 with few tasks requires redraws but must succeed.
+  TaskSetGenerator gen(config(1.0, 5));
+  util::Xoshiro256ss rng(9);
+  const TaskSet set = gen.generate(rng);
+  EXPECT_NEAR(set.utilization(), 1.0, 1e-9);
+}
+
+TEST(TaskSetGenerator, ConfigValidation) {
+  GeneratorConfig bad = config();
+  bad.n_tasks = 0;
+  EXPECT_THROW(TaskSetGenerator{bad}, std::invalid_argument);
+  bad = config();
+  bad.target_utilization = 0.0;
+  EXPECT_THROW(TaskSetGenerator{bad}, std::invalid_argument);
+  bad = config();
+  bad.target_utilization = 1.2;
+  EXPECT_THROW(TaskSetGenerator{bad}, std::invalid_argument);
+  bad = config();
+  bad.mean_harvest_power = 0.0;
+  EXPECT_THROW(TaskSetGenerator{bad}, std::invalid_argument);
+  bad = config();
+  bad.p_max = 0.0;
+  EXPECT_THROW(TaskSetGenerator{bad}, std::invalid_argument);
+  bad = config();
+  bad.period_choices.clear();
+  EXPECT_THROW(TaskSetGenerator{bad}, std::invalid_argument);
+  bad = config();
+  bad.period_choices = {10.0, -5.0};
+  EXPECT_THROW(TaskSetGenerator{bad}, std::invalid_argument);
+}
+
+TEST(TaskSetGenerator, TaskIdsAreSequential) {
+  TaskSetGenerator gen(config(0.5, 4));
+  util::Xoshiro256ss rng(10);
+  const TaskSet set = gen.generate(rng);
+  for (std::size_t i = 0; i < set.size(); ++i)
+    EXPECT_EQ(set.at(i).id, static_cast<TaskId>(i));
+}
+
+}  // namespace
+}  // namespace eadvfs::task

@@ -1,0 +1,152 @@
+#include "task/releaser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace eadvfs::task {
+namespace {
+
+Task make_task(TaskId id, Time period, Work wcet, Time phase = 0.0) {
+  Task t;
+  t.id = id;
+  t.period = period;
+  t.relative_deadline = period;
+  t.wcet = wcet;
+  t.phase = phase;
+  return t;
+}
+
+TEST(JobReleaser, PeriodicReleaseCountWithinHorizon) {
+  JobReleaser r(TaskSet({make_task(0, 10, 1)}), 100.0);
+  // Releases at 0, 10, ..., 90.
+  EXPECT_EQ(r.total_jobs(), 10u);
+}
+
+TEST(JobReleaser, MultipleTasksInterleave) {
+  JobReleaser r(TaskSet({make_task(0, 10, 1), make_task(1, 25, 2)}), 50.0);
+  EXPECT_EQ(r.total_jobs(), 5u + 2u);
+}
+
+TEST(JobReleaser, NextArrivalIsEarliestPending) {
+  JobReleaser r(TaskSet({make_task(0, 10, 1, 3.0)}), 50.0);
+  EXPECT_DOUBLE_EQ(r.next_arrival(), 3.0);
+}
+
+TEST(JobReleaser, ReleaseDuePopsInOrder) {
+  JobReleaser r(TaskSet({make_task(0, 10, 1), make_task(1, 15, 2)}), 40.0);
+  auto due0 = r.release_due(0.0);
+  ASSERT_EQ(due0.size(), 2u);  // both tasks release at t=0
+  auto due10 = r.release_due(10.0);
+  ASSERT_EQ(due10.size(), 1u);
+  EXPECT_EQ(due10[0].task_id, 0u);
+  EXPECT_DOUBLE_EQ(due10[0].arrival, 10.0);
+}
+
+TEST(JobReleaser, ReleaseDueWithNothingDueReturnsEmpty) {
+  JobReleaser r(TaskSet({make_task(0, 10, 1, 5.0)}), 50.0);
+  EXPECT_TRUE(r.release_due(4.9).empty());
+}
+
+TEST(JobReleaser, JobFieldsPopulatedFromTask) {
+  JobReleaser r(TaskSet({make_task(3, 20, 2.5)}), 50.0);
+  const auto jobs = r.release_due(0.0);
+  ASSERT_EQ(jobs.size(), 1u);
+  const Job& j = jobs[0];
+  EXPECT_EQ(j.task_id, 3u);
+  EXPECT_EQ(j.sequence, 0u);
+  EXPECT_DOUBLE_EQ(j.arrival, 0.0);
+  EXPECT_DOUBLE_EQ(j.absolute_deadline, 20.0);
+  EXPECT_DOUBLE_EQ(j.wcet, 2.5);
+  EXPECT_DOUBLE_EQ(j.remaining, 2.5);
+  EXPECT_FALSE(j.finished());
+}
+
+TEST(JobReleaser, SequenceNumbersIncrease) {
+  JobReleaser r(TaskSet({make_task(0, 10, 1)}), 35.0);
+  (void)r.release_due(0.0);
+  const auto second = r.release_due(10.0);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].sequence, 1u);
+  const auto third = r.release_due(20.0);
+  EXPECT_EQ(third[0].sequence, 2u);
+}
+
+TEST(JobReleaser, JobIdsAreUnique) {
+  JobReleaser r(TaskSet({make_task(0, 10, 1), make_task(1, 10, 1)}), 50.0);
+  std::set<JobId> ids;
+  while (!r.exhausted()) {
+    for (const Job& j : r.release_due(r.next_arrival())) ids.insert(j.id);
+  }
+  EXPECT_EQ(ids.size(), 10u);
+}
+
+TEST(JobReleaser, ExhaustionAndSentinel) {
+  JobReleaser r(TaskSet({make_task(0, 60, 1)}), 100.0);
+  EXPECT_FALSE(r.exhausted());
+  (void)r.release_due(0.0);
+  (void)r.release_due(60.0);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_GE(r.next_arrival(), 1e250);
+}
+
+TEST(JobReleaser, PhaseDelaysFirstRelease) {
+  JobReleaser r(TaskSet({make_task(0, 10, 1, 7.0)}), 30.0);
+  // Releases at 7, 17, 27.
+  EXPECT_EQ(r.total_jobs(), 3u);
+  EXPECT_TRUE(r.release_due(6.9).empty());
+  EXPECT_EQ(r.release_due(7.0).size(), 1u);
+}
+
+TEST(JobReleaser, ExplicitJobList) {
+  Job j1;
+  j1.arrival = 5.0;
+  j1.absolute_deadline = 21.0;
+  j1.wcet = 1.5;
+  Job j2;
+  j2.arrival = 0.0;
+  j2.absolute_deadline = 16.0;
+  j2.wcet = 4.0;
+  JobReleaser r(std::vector<Job>{j1, j2});
+  EXPECT_EQ(r.total_jobs(), 2u);
+  EXPECT_DOUBLE_EQ(r.next_arrival(), 0.0);  // sorted by arrival
+  const auto first = r.release_due(0.0);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_DOUBLE_EQ(first[0].wcet, 4.0);
+  EXPECT_DOUBLE_EQ(first[0].remaining, 4.0);
+}
+
+TEST(JobReleaser, ExplicitJobValidation) {
+  Job bad;
+  bad.arrival = 5.0;
+  bad.absolute_deadline = 4.0;  // deadline before arrival
+  EXPECT_THROW(JobReleaser{std::vector<Job>{bad}}, std::invalid_argument);
+  Job negative;
+  negative.wcet = -1.0;
+  negative.absolute_deadline = 1.0;
+  EXPECT_THROW(JobReleaser{std::vector<Job>{negative}}, std::invalid_argument);
+}
+
+TEST(JobReleaser, HorizonValidation) {
+  EXPECT_THROW(JobReleaser(TaskSet({make_task(0, 10, 1)}), 0.0),
+               std::invalid_argument);
+}
+
+TEST(EdfBefore, OrdersByDeadlineThenArrivalThenId) {
+  Job early, late, tie;
+  early.id = 2;
+  early.absolute_deadline = 10.0;
+  late.id = 1;
+  late.absolute_deadline = 20.0;
+  tie.id = 3;
+  tie.absolute_deadline = 10.0;
+  tie.arrival = 1.0;
+  EdfBefore less;
+  EXPECT_TRUE(less(early, late));
+  EXPECT_FALSE(less(late, early));
+  EXPECT_TRUE(less(early, tie));  // same deadline, earlier arrival wins
+}
+
+}  // namespace
+}  // namespace eadvfs::task

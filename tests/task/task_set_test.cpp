@@ -1,0 +1,114 @@
+#include "task/task_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eadvfs::task {
+namespace {
+
+Task make_task(TaskId id, Time period, Work wcet) {
+  Task t;
+  t.id = id;
+  t.period = period;
+  t.relative_deadline = period;
+  t.wcet = wcet;
+  return t;
+}
+
+TEST(Task, UtilizationIsWcetOverPeriod) {
+  EXPECT_DOUBLE_EQ(make_task(0, 10.0, 2.5).utilization(), 0.25);
+}
+
+TEST(TaskSet, UtilizationSumsOverTasks) {
+  TaskSet set({make_task(0, 10, 2), make_task(1, 20, 4)});
+  EXPECT_DOUBLE_EQ(set.utilization(), 0.4);
+}
+
+TEST(TaskSet, EmptySetHasZeroUtilization) {
+  TaskSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_DOUBLE_EQ(set.utilization(), 0.0);
+}
+
+TEST(TaskSet, ScaleToUtilizationIsExact) {
+  TaskSet set({make_task(0, 10, 2), make_task(1, 20, 4)});
+  set.scale_to_utilization(0.8);
+  EXPECT_NEAR(set.utilization(), 0.8, 1e-12);
+  // Each WCET scaled by the same ratio (0.8/0.4 = 2).
+  EXPECT_DOUBLE_EQ(set.at(0).wcet, 4.0);
+  EXPECT_DOUBLE_EQ(set.at(1).wcet, 8.0);
+}
+
+TEST(TaskSet, ScaleDownWorksToo) {
+  TaskSet set({make_task(0, 10, 5)});
+  set.scale_to_utilization(0.1);
+  EXPECT_DOUBLE_EQ(set.at(0).wcet, 1.0);
+}
+
+TEST(TaskSet, ScaleRejectsInfeasibleTarget) {
+  // Task with wcet 5, period 10: scale beyond 2x pushes wcet > period.
+  TaskSet set({make_task(0, 10, 5)});
+  EXPECT_THROW(set.scale_to_utilization(1.0 + 1e-6), std::invalid_argument);
+  // And the failed call must not have mutated the set.
+  EXPECT_DOUBLE_EQ(set.at(0).wcet, 5.0);
+}
+
+TEST(TaskSet, MaxFeasibleUtilization) {
+  TaskSet set({make_task(0, 10, 2), make_task(1, 20, 4)});
+  // Scale limited by task 0: window/wcet = 5 and task 1: 5 -> max scale 5.
+  EXPECT_NEAR(set.max_feasible_utilization(), 0.4 * 5.0, 1e-12);
+}
+
+TEST(TaskSet, ScaleValidation) {
+  TaskSet set({make_task(0, 10, 2)});
+  EXPECT_THROW(set.scale_to_utilization(0.0), std::invalid_argument);
+  EXPECT_THROW(set.scale_to_utilization(-0.3), std::invalid_argument);
+  TaskSet zero({make_task(0, 10, 0)});
+  EXPECT_THROW(zero.scale_to_utilization(0.5), std::logic_error);
+}
+
+TEST(TaskSet, ConstructionValidation) {
+  Task bad = make_task(0, 10, 2);
+  bad.period = 0.0;
+  EXPECT_THROW(TaskSet{std::vector<Task>{bad}}, std::invalid_argument);
+  bad = make_task(0, 10, 2);
+  bad.relative_deadline = -1.0;
+  EXPECT_THROW(TaskSet{std::vector<Task>{bad}}, std::invalid_argument);
+  bad = make_task(0, 10, -2);
+  EXPECT_THROW(TaskSet{std::vector<Task>{bad}}, std::invalid_argument);
+  bad = make_task(0, 10, 11);  // wcet > period: never schedulable
+  EXPECT_THROW(TaskSet{std::vector<Task>{bad}}, std::invalid_argument);
+  bad = make_task(0, 10, 2);
+  bad.phase = -1.0;
+  EXPECT_THROW(TaskSet{std::vector<Task>{bad}}, std::invalid_argument);
+}
+
+TEST(TaskSet, DeadlineShorterThanPeriodConstrainsWcet) {
+  Task constrained = make_task(0, 10, 4);
+  constrained.relative_deadline = 3.0;  // wcet 4 > deadline 3
+  EXPECT_THROW(TaskSet{std::vector<Task>{constrained}}, std::invalid_argument);
+  constrained.wcet = 3.0;
+  EXPECT_NO_THROW(TaskSet{std::vector<Task>{constrained}});
+}
+
+TEST(TaskSet, DescribeMentionsEveryTask) {
+  TaskSet set({make_task(3, 10, 2), make_task(7, 20, 4)});
+  const std::string text = set.describe();
+  EXPECT_NE(text.find("id=3"), std::string::npos);
+  EXPECT_NE(text.find("id=7"), std::string::npos);
+  EXPECT_NE(text.find("U=0.4"), std::string::npos);
+}
+
+TEST(TaskSet, IterationVisitsAllTasks) {
+  TaskSet set({make_task(0, 10, 1), make_task(1, 20, 1), make_task(2, 30, 1)});
+  std::size_t count = 0;
+  for (const Task& t : set) {
+    EXPECT_EQ(t.id, count);
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+}  // namespace
+}  // namespace eadvfs::task

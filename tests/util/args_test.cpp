@@ -1,0 +1,164 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace eadvfs::util {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> items) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), items);
+  return v;
+}
+
+TEST(ArgParser, DefaultsApplyWithoutArguments) {
+  ArgParser p("test");
+  p.add_option("count", "5", "a count");
+  const auto argv = argv_of({});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(p.integer("count"), 5);
+}
+
+TEST(ArgParser, SpaceSeparatedValue) {
+  ArgParser p("test");
+  p.add_option("count", "5", "a count");
+  const auto argv = argv_of({"--count", "12"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(p.integer("count"), 12);
+}
+
+TEST(ArgParser, EqualsSeparatedValue) {
+  ArgParser p("test");
+  p.add_option("ratio", "0.5", "a ratio");
+  const auto argv = argv_of({"--ratio=0.75"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(p.real("ratio"), 0.75);
+}
+
+TEST(ArgParser, FlagsDefaultFalseAndSet) {
+  ArgParser p("test");
+  p.add_flag("verbose", "talk more");
+  {
+    const auto argv = argv_of({});
+    ArgParser q = p;
+    ASSERT_TRUE(q.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_FALSE(q.flag("verbose"));
+  }
+  {
+    const auto argv = argv_of({"--verbose"});
+    ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_TRUE(p.flag("verbose"));
+  }
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  ArgParser p("test");
+  p.add_option("x", "1", "x");
+  const auto argv = argv_of({"--help"});
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(ArgParser, UnknownOptionThrows) {
+  ArgParser p("test");
+  const auto argv = argv_of({"--nope", "1"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  ArgParser p("test");
+  p.add_option("x", "1", "x");
+  const auto argv = argv_of({"--x"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(ArgParser, PositionalArgumentThrows) {
+  ArgParser p("test");
+  const auto argv = argv_of({"stray"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(ArgParser, FlagWithValueThrows) {
+  ArgParser p("test");
+  p.add_flag("fast", "go fast");
+  const auto argv = argv_of({"--fast=yes"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(ArgParser, MalformedNumberThrows) {
+  ArgParser p("test");
+  p.add_option("n", "1", "n");
+  const auto argv = argv_of({"--n", "12abc"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW((void)p.integer("n"), std::invalid_argument);
+  EXPECT_THROW((void)p.real("n"), std::invalid_argument);
+}
+
+TEST(ArgParser, RealListParsesCommaSeparated) {
+  ArgParser p("test");
+  p.add_option("caps", "200,300,500", "capacities");
+  const auto argv = argv_of({});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  const auto caps = p.real_list("caps");
+  ASSERT_EQ(caps.size(), 3u);
+  EXPECT_DOUBLE_EQ(caps[1], 300.0);
+}
+
+TEST(ArgParser, StrListSkipsEmptyItems) {
+  ArgParser p("test");
+  p.add_option("names", "a,,b", "names");
+  const auto argv = argv_of({});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  const auto names = p.str_list("names");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(ArgParser, QueryingFlagAsOptionThrows) {
+  ArgParser p("test");
+  p.add_flag("fast", "go fast");
+  p.add_option("x", "1", "x");
+  EXPECT_THROW((void)p.str("fast"), std::logic_error);
+  EXPECT_THROW((void)p.flag("x"), std::logic_error);
+  EXPECT_THROW((void)p.str("undeclared"), std::logic_error);
+}
+
+TEST(ArgParser, DuplicateDeclarationThrows) {
+  ArgParser p("test");
+  p.add_option("x", "1", "x");
+  EXPECT_THROW(p.add_flag("x", "again"), std::logic_error);
+}
+
+TEST(ArgParser, ProvidedDistinguishesExplicitFromDefault) {
+  ArgParser p("test");
+  p.add_option("x", "1", "x");
+  p.add_option("y", "2", "y");
+  p.add_flag("fast", "go fast");
+  const auto argv = argv_of({"--x", "5", "--fast"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(p.provided("x"));
+  EXPECT_FALSE(p.provided("y"));
+  EXPECT_TRUE(p.provided("fast"));
+  EXPECT_THROW((void)p.provided("undeclared"), std::logic_error);
+}
+
+TEST(ArgParser, HelpTextListsOptions) {
+  ArgParser p("my tool");
+  p.add_option("alpha", "0.3", "ewma weight");
+  p.add_flag("quiet", "hush");
+  const std::string h = p.help();
+  EXPECT_NE(h.find("my tool"), std::string::npos);
+  EXPECT_NE(h.find("--alpha"), std::string::npos);
+  EXPECT_NE(h.find("ewma weight"), std::string::npos);
+  EXPECT_NE(h.find("--quiet"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eadvfs::util

@@ -1,0 +1,104 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace eadvfs::util {
+namespace {
+
+TEST(CsvQuote, PlainCellUnchanged) {
+  EXPECT_EQ(csv_quote("hello"), "hello");
+}
+
+TEST(CsvQuote, CommaTriggersQuoting) {
+  EXPECT_EQ(csv_quote("a,b"), "\"a,b\"");
+}
+
+TEST(CsvQuote, EmbeddedQuotesAreDoubled) {
+  EXPECT_EQ(csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvQuote, NewlineTriggersQuoting) {
+  EXPECT_EQ(csv_quote("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesRowsWithCommas) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({std::string("a"), std::string("b,c"), std::string("d")});
+  EXPECT_EQ(out.str(), "a,\"b,c\",d\n");
+}
+
+TEST(CsvWriter, NumericRowPrecision) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row(std::vector<double>{1.5, 2.25}, 4);
+  EXPECT_EQ(out.str(), "1.5,2.25\n");
+}
+
+TEST(CsvWriter, CellByCellComposition) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.cell("x").cell(3.0, 3).cell(static_cast<long long>(-7));
+  w.end_row();
+  EXPECT_EQ(out.str(), "x,3,-7\n");
+}
+
+TEST(CsvSplit, BasicSplit) {
+  const auto cells = csv_split("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(CsvSplit, QuotedCommaStaysInCell) {
+  const auto cells = csv_split("a,\"b,c\",d");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[1], "b,c");
+}
+
+TEST(CsvSplit, EscapedQuotes) {
+  const auto cells = csv_split("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], "say \"hi\"");
+}
+
+TEST(CsvSplit, EmptyCells) {
+  const auto cells = csv_split("a,,c,");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[1], "");
+  EXPECT_EQ(cells[3], "");
+}
+
+TEST(CsvSplit, ToleratesCarriageReturn) {
+  const auto cells = csv_split("a,b\r");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[1], "b");
+}
+
+TEST(CsvRoundTrip, WriteThenReadFile) {
+  const std::string path = ::testing::TempDir() + "/eadvfs_csv_test.csv";
+  {
+    std::ofstream file(path);
+    CsvWriter w(file);
+    w.write_row({std::string("time"), std::string("power")});
+    w.write_row(std::vector<double>{0.0, 1.5});
+    w.write_row(std::vector<double>{1.0, 2.5});
+  }
+  const auto rows = csv_read_file(path);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][1], "power");
+  EXPECT_EQ(rows[2][0], "1");
+  std::remove(path.c_str());
+}
+
+TEST(CsvReadFile, MissingFileThrows) {
+  EXPECT_THROW((void)csv_read_file("/nonexistent/definitely/not/here.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace eadvfs::util

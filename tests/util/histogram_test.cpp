@@ -1,0 +1,76 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eadvfs::util {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);  // bins of width 2
+  h.add(0.0);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflowAreCounted) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.5);
+  h.add(1.0);  // hi edge is exclusive -> overflow
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 17.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 20.0);
+}
+
+TEST(Histogram, FractionsIncludeOutliers) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(5.0);  // overflow
+  EXPECT_NEAR(h.fraction(0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, FractionOfEmptyHistogramIsZero) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, AsciiRenderingContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('2'), std::string::npos);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, OutOfRangeBinQueryThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace eadvfs::util

@@ -1,0 +1,131 @@
+#include "util/ini.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace eadvfs::util {
+namespace {
+
+const char* kSample = R"(
+# scenario for the bench node
+[simulation]
+horizon = 5000
+seed = 7          ; inline comment
+
+[energy]
+source = solar
+capacity = 120.5
+leak = 0.05
+
+[scheduler]
+scheduler = ea-dvfs
+verbose = true
+)";
+
+TEST(IniFile, ParsesSectionsAndKeys) {
+  const IniFile ini = IniFile::parse(kSample);
+  EXPECT_TRUE(ini.has("simulation", "horizon"));
+  EXPECT_TRUE(ini.has("energy", "capacity"));
+  EXPECT_FALSE(ini.has("energy", "horizon"));
+  EXPECT_FALSE(ini.has("nope", "x"));
+}
+
+TEST(IniFile, TypedGetters) {
+  const IniFile ini = IniFile::parse(kSample);
+  EXPECT_EQ(ini.get_integer("simulation", "seed", 0), 7);
+  EXPECT_DOUBLE_EQ(ini.get_real("energy", "capacity", 0.0), 120.5);
+  EXPECT_EQ(ini.get_string("scheduler", "scheduler", ""), "ea-dvfs");
+  EXPECT_TRUE(ini.get_bool("scheduler", "verbose", false));
+}
+
+TEST(IniFile, FallbacksWhenAbsent) {
+  const IniFile ini = IniFile::parse(kSample);
+  EXPECT_EQ(ini.get_integer("simulation", "missing", 42), 42);
+  EXPECT_DOUBLE_EQ(ini.get_real("missing", "missing", 1.5), 1.5);
+  EXPECT_EQ(ini.get_string("x", "y", "dflt"), "dflt");
+  EXPECT_FALSE(ini.get_bool("x", "y", false));
+}
+
+TEST(IniFile, CommentsAndWhitespaceIgnored) {
+  const IniFile ini = IniFile::parse("  [s]  \n  a =  1 2 3  # c\n; whole line\n");
+  EXPECT_EQ(ini.get_string("s", "a", ""), "1 2 3");
+}
+
+TEST(IniFile, KeysBeforeAnySectionLandInBlank) {
+  const IniFile ini = IniFile::parse("top = 1\n[s]\nx = 2\n");
+  EXPECT_EQ(ini.get_integer("", "top", 0), 1);
+}
+
+TEST(IniFile, LaterKeysOverrideEarlier) {
+  const IniFile ini = IniFile::parse("[s]\na = 1\na = 2\n");
+  EXPECT_EQ(ini.get_integer("s", "a", 0), 2);
+  EXPECT_EQ(ini.keys("s").size(), 1u);
+}
+
+TEST(IniFile, SectionAndKeyOrderPreserved) {
+  const IniFile ini = IniFile::parse("[b]\nz=1\ny=2\n[a]\nx=3\n");
+  const auto sections = ini.sections();
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0], "b");
+  EXPECT_EQ(sections[1], "a");
+  const auto keys = ini.keys("b");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "z");
+  EXPECT_EQ(keys[1], "y");
+}
+
+TEST(IniFile, MalformedInputThrowsWithLineNumber) {
+  try {
+    (void)IniFile::parse("[s]\nno equals sign here\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW((void)IniFile::parse("[unterminated\n"), std::runtime_error);
+  EXPECT_THROW((void)IniFile::parse("[s]\n= value\n"), std::runtime_error);
+}
+
+TEST(IniFile, BadTypedValuesThrow) {
+  const IniFile ini = IniFile::parse("[s]\nnum = 12abc\nflag = maybe\n");
+  EXPECT_THROW((void)ini.get_integer("s", "num", 0), std::invalid_argument);
+  EXPECT_THROW((void)ini.get_real("s", "num", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)ini.get_bool("s", "flag", false), std::invalid_argument);
+}
+
+TEST(IniFile, BoolSpellings) {
+  const IniFile ini =
+      IniFile::parse("[s]\na=TRUE\nb=no\nc=1\nd=off\ne=Yes\nf=0\n");
+  EXPECT_TRUE(ini.get_bool("s", "a", false));
+  EXPECT_FALSE(ini.get_bool("s", "b", true));
+  EXPECT_TRUE(ini.get_bool("s", "c", false));
+  EXPECT_FALSE(ini.get_bool("s", "d", true));
+  EXPECT_TRUE(ini.get_bool("s", "e", false));
+  EXPECT_FALSE(ini.get_bool("s", "f", true));
+}
+
+TEST(IniFile, LoadFromDisk) {
+  const std::string path = ::testing::TempDir() + "/eadvfs_scn.ini";
+  {
+    std::ofstream f(path);
+    f << "[energy]\ncapacity = 75\n";
+  }
+  const IniFile ini = IniFile::load(path);
+  EXPECT_DOUBLE_EQ(ini.get_real("energy", "capacity", 0.0), 75.0);
+  std::remove(path.c_str());
+}
+
+TEST(IniFile, LoadMissingFileThrows) {
+  EXPECT_THROW((void)IniFile::load("/definitely/not/here.ini"),
+               std::runtime_error);
+}
+
+TEST(IniFile, EmptyInputIsEmptyFile) {
+  const IniFile ini = IniFile::parse("");
+  EXPECT_TRUE(ini.sections().empty());
+}
+
+}  // namespace
+}  // namespace eadvfs::util

@@ -1,0 +1,61 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eadvfs::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogLevel, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(ParseLogLevel, AcceptsAllNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST(ParseLogLevel, RejectsUnknown) {
+  EXPECT_THROW((void)parse_log_level("loud"), std::invalid_argument);
+}
+
+TEST(LogLine, SuppressedBelowThresholdDoesNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Just exercise the stream path with the sink disabled.
+  EADVFS_LOG_DEBUG << "value=" << 42 << " text";
+  EADVFS_LOG_ERROR << "also suppressed at kOff";
+  SUCCEED();
+}
+
+TEST(LogLine, EmittedAboveThresholdDoesNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  EADVFS_LOG_INFO << "hello " << 1.5;
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("hello 1.5"), std::string::npos);
+  EXPECT_NE(err.find("INFO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eadvfs::util

@@ -1,0 +1,50 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eadvfs::util {
+namespace {
+
+TEST(ApproxEqual, WithinEpsilon) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 0.5e-9));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 - 0.5e-9));
+  EXPECT_FALSE(approx_equal(1.0, 1.0 + 1e-6));
+}
+
+TEST(ApproxEqual, CustomEpsilon) {
+  EXPECT_TRUE(approx_equal(1.0, 1.4, 0.5));
+  EXPECT_FALSE(approx_equal(1.0, 1.6, 0.5));
+}
+
+TEST(DefinitelyLess, RespectsTolerance) {
+  EXPECT_TRUE(definitely_less(1.0, 2.0));
+  EXPECT_FALSE(definitely_less(1.0, 1.0 + 0.5e-9));
+  EXPECT_FALSE(definitely_less(2.0, 1.0));
+}
+
+TEST(DefinitelyGreater, RespectsTolerance) {
+  EXPECT_TRUE(definitely_greater(2.0, 1.0));
+  EXPECT_FALSE(definitely_greater(1.0 + 0.5e-9, 1.0));
+  EXPECT_FALSE(definitely_greater(1.0, 2.0));
+}
+
+TEST(Clamp, InsideAndOutside) {
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(clamp(-0.5, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(1.5, 0.0, 1.0), 1.0);
+}
+
+TEST(SnapNonnegative, SnapsDustOnly) {
+  EXPECT_DOUBLE_EQ(snap_nonnegative(-0.5e-9), 0.0);
+  EXPECT_DOUBLE_EQ(snap_nonnegative(0.25), 0.25);
+  // More negative than epsilon is preserved so invariant checks still fire.
+  EXPECT_DOUBLE_EQ(snap_nonnegative(-1.0), -1.0);
+}
+
+TEST(SnapNonnegative, CustomEpsilon) {
+  EXPECT_DOUBLE_EQ(snap_nonnegative(-0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap_nonnegative(-1.5, 1.0), -1.5);
+}
+
+}  // namespace
+}  // namespace eadvfs::util

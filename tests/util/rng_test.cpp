@@ -1,0 +1,141 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace eadvfs::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministicForSameSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() != b.next()) ++differing;
+  EXPECT_GE(differing, 60);
+}
+
+TEST(SplitMix64, KnownReferenceValues) {
+  // Reference values for seed 0 from the public-domain splitmix64.c.
+  SplitMix64 g(0);
+  EXPECT_EQ(g.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(g.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(g.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro256ss, DeterministicForSameSeed) {
+  Xoshiro256ss a(42);
+  Xoshiro256ss b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256ss, Uniform01StaysInRange) {
+  Xoshiro256ss g(7);
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = g.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256ss, Uniform01MeanIsHalf) {
+  Xoshiro256ss g(11);
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += g.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Xoshiro256ss, UniformRespectsBounds) {
+  Xoshiro256ss g(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = g.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Xoshiro256ss, UniformIntCoversFullRangeInclusive) {
+  Xoshiro256ss g(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) seen.insert(g.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(Xoshiro256ss, UniformIntIsRoughlyUnbiased) {
+  Xoshiro256ss g(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[g.uniform_int(0, 9)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(Xoshiro256ss, UniformIntSingletonRange) {
+  Xoshiro256ss g(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(g.uniform_int(7, 7), 7u);
+}
+
+TEST(Xoshiro256ss, NormalMomentsMatchStandardNormal) {
+  Xoshiro256ss g(17);
+  const int n = 200'000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = g.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Xoshiro256ss, NormalAbsMeanMatchesHalfNormal) {
+  // E|N| = sqrt(2/pi) — this is the constant behind the eq. 13 mean power.
+  Xoshiro256ss g(19);
+  const int n = 200'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += std::abs(g.normal());
+  EXPECT_NEAR(sum / n, std::sqrt(2.0 / 3.14159265358979), 0.01);
+}
+
+TEST(Xoshiro256ss, ScaledNormalHasRequestedMoments) {
+  Xoshiro256ss g(23);
+  const int n = 100'000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = g.normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Xoshiro256ss, JumpProducesNonOverlappingStream) {
+  Xoshiro256ss a(31);
+  Xoshiro256ss b(31);
+  b.jump();
+  // The jumped stream must not coincide with the original's first outputs.
+  std::set<std::uint64_t> head;
+  for (int i = 0; i < 1000; ++i) head.insert(a.next());
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (head.count(b.next()) != 0) ++collisions;
+  EXPECT_LE(collisions, 1);
+}
+
+}  // namespace
+}  // namespace eadvfs::util

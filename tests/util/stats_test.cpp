@@ -1,0 +1,147 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace eadvfs::util {
+namespace {
+
+TEST(RunningStats, EmptyAccumulator) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, MinMaxTracking) {
+  RunningStats s;
+  for (double x : {3.0, -1.0, 7.0, 0.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStats, SumMatchesMeanTimesCount) {
+  RunningStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.sum(), 5050.0, 1e-9);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  RunningStats separate_a, separate_b, combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    separate_a.add(x);
+    combined.add(x);
+  }
+  for (int i = 0; i < 77; ++i) {
+    const double x = -0.11 * i + 8.0;
+    separate_b.add(x);
+    combined.add(x);
+  }
+  separate_a.merge(separate_b);
+  EXPECT_EQ(separate_a.count(), combined.count());
+  EXPECT_NEAR(separate_a.mean(), combined.mean(), 1e-10);
+  EXPECT_NEAR(separate_a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(separate_a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(separate_a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty rhs: no change
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty lhs: adopt rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 5);
+  for (int i = 0; i < 1000; ++i) large.add(i % 5);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  // Naive sum-of-squares would lose catastrophically here.
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(CurveAccumulator, PointwiseMeans) {
+  CurveAccumulator acc(3);
+  acc.add(0, 1.0);
+  acc.add(0, 3.0);
+  acc.add(1, 10.0);
+  acc.add(2, -1.0);
+  acc.add(2, 1.0);
+  EXPECT_DOUBLE_EQ(acc.mean(0), 2.0);
+  EXPECT_DOUBLE_EQ(acc.mean(1), 10.0);
+  EXPECT_DOUBLE_EQ(acc.mean(2), 0.0);
+  EXPECT_EQ(acc.size(), 3u);
+}
+
+TEST(CurveAccumulator, OutOfRangeThrows) {
+  CurveAccumulator acc(2);
+  EXPECT_THROW(acc.add(2, 1.0), std::out_of_range);
+  EXPECT_THROW((void)acc.mean(5), std::out_of_range);
+}
+
+TEST(Quantile, MedianOfOddSet) {
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  // Sorted {1,2,3,4}: q=0.5 -> 2.5.
+  EXPECT_DOUBLE_EQ(quantile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+}
+
+TEST(Quantile, ExtremesReturnMinMax) {
+  std::vector<double> v{5.0, -2.0, 9.0, 0.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), -2.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.25), 7.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eadvfs::util
