@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_energy_breakdown.cpp" "bench/CMakeFiles/ablation_energy_breakdown.dir/ablation_energy_breakdown.cpp.o" "gcc" "bench/CMakeFiles/ablation_energy_breakdown.dir/ablation_energy_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/eadvfs_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eadvfs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eadvfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eadvfs_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/eadvfs_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/eadvfs_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eadvfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_freq_levels.dir/ablation_freq_levels.cpp.o"
+  "CMakeFiles/ablation_freq_levels.dir/ablation_freq_levels.cpp.o.d"
+  "ablation_freq_levels"
+  "ablation_freq_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_freq_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

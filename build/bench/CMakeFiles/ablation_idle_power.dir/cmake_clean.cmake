@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_idle_power.dir/ablation_idle_power.cpp.o"
+  "CMakeFiles/ablation_idle_power.dir/ablation_idle_power.cpp.o.d"
+  "ablation_idle_power"
+  "ablation_idle_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_idle_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_panel_sizing.dir/ablation_panel_sizing.cpp.o"
+  "CMakeFiles/ablation_panel_sizing.dir/ablation_panel_sizing.cpp.o.d"
+  "ablation_panel_sizing"
+  "ablation_panel_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_panel_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

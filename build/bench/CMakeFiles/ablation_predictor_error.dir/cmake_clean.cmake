@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_predictor_error.dir/ablation_predictor_error.cpp.o"
+  "CMakeFiles/ablation_predictor_error.dir/ablation_predictor_error.cpp.o.d"
+  "ablation_predictor_error"
+  "ablation_predictor_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_predictor_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_response_time.dir/ablation_response_time.cpp.o"
+  "CMakeFiles/ablation_response_time.dir/ablation_response_time.cpp.o.d"
+  "ablation_response_time"
+  "ablation_response_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_response_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scheduler_zoo.dir/ablation_scheduler_zoo.cpp.o"
+  "CMakeFiles/ablation_scheduler_zoo.dir/ablation_scheduler_zoo.cpp.o.d"
+  "ablation_scheduler_zoo"
+  "ablation_scheduler_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scheduler_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slack_reclamation.dir/ablation_slack_reclamation.cpp.o"
+  "CMakeFiles/ablation_slack_reclamation.dir/ablation_slack_reclamation.cpp.o.d"
+  "ablation_slack_reclamation"
+  "ablation_slack_reclamation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slack_reclamation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_storage_nonideal.dir/ablation_storage_nonideal.cpp.o"
+  "CMakeFiles/ablation_storage_nonideal.dir/ablation_storage_nonideal.cpp.o.d"
+  "ablation_storage_nonideal"
+  "ablation_storage_nonideal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_storage_nonideal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

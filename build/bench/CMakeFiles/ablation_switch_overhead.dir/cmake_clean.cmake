@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_switch_overhead.dir/ablation_switch_overhead.cpp.o"
+  "CMakeFiles/ablation_switch_overhead.dir/ablation_switch_overhead.cpp.o.d"
+  "ablation_switch_overhead"
+  "ablation_switch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_switch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_utilization_sweep.dir/ablation_utilization_sweep.cpp.o"
+  "CMakeFiles/ablation_utilization_sweep.dir/ablation_utilization_sweep.cpp.o.d"
+  "ablation_utilization_sweep"
+  "ablation_utilization_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_utilization_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

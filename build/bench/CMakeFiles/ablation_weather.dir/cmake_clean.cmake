@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weather.dir/ablation_weather.cpp.o"
+  "CMakeFiles/ablation_weather.dir/ablation_weather.cpp.o.d"
+  "ablation_weather"
+  "ablation_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

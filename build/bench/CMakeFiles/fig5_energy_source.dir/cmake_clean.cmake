@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_energy_source.dir/fig5_energy_source.cpp.o"
+  "CMakeFiles/fig5_energy_source.dir/fig5_energy_source.cpp.o.d"
+  "fig5_energy_source"
+  "fig5_energy_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_energy_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

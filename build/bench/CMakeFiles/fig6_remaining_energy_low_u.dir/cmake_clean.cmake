@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_remaining_energy_low_u.dir/fig6_remaining_energy_low_u.cpp.o"
+  "CMakeFiles/fig6_remaining_energy_low_u.dir/fig6_remaining_energy_low_u.cpp.o.d"
+  "fig6_remaining_energy_low_u"
+  "fig6_remaining_energy_low_u.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_remaining_energy_low_u.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

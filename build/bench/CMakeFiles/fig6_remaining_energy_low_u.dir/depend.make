@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_remaining_energy_low_u.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_remaining_energy_high_u.dir/fig7_remaining_energy_high_u.cpp.o"
+  "CMakeFiles/fig7_remaining_energy_high_u.dir/fig7_remaining_energy_high_u.cpp.o.d"
+  "fig7_remaining_energy_high_u"
+  "fig7_remaining_energy_high_u.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_remaining_energy_high_u.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

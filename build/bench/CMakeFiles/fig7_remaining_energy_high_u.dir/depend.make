@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_remaining_energy_high_u.
+# This may be replaced when dependencies are built.

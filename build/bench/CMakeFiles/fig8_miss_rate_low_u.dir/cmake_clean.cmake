@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_miss_rate_low_u.dir/fig8_miss_rate_low_u.cpp.o"
+  "CMakeFiles/fig8_miss_rate_low_u.dir/fig8_miss_rate_low_u.cpp.o.d"
+  "fig8_miss_rate_low_u"
+  "fig8_miss_rate_low_u.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_miss_rate_low_u.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_miss_rate_low_u.
+# This may be replaced when dependencies are built.

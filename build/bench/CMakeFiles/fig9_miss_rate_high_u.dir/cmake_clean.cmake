@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_miss_rate_high_u.dir/fig9_miss_rate_high_u.cpp.o"
+  "CMakeFiles/fig9_miss_rate_high_u.dir/fig9_miss_rate_high_u.cpp.o.d"
+  "fig9_miss_rate_high_u"
+  "fig9_miss_rate_high_u.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_miss_rate_high_u.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

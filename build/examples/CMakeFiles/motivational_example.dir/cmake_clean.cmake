@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivational_example.dir/motivational_example.cpp.o"
+  "CMakeFiles/motivational_example.dir/motivational_example.cpp.o.d"
+  "motivational_example"
+  "motivational_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivational_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_sensor_node.dir/solar_sensor_node.cpp.o"
+  "CMakeFiles/solar_sensor_node.dir/solar_sensor_node.cpp.o.d"
+  "solar_sensor_node"
+  "solar_sensor_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_sensor_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/feasibility.cpp" "src/analysis/CMakeFiles/eadvfs_analysis.dir/feasibility.cpp.o" "gcc" "src/analysis/CMakeFiles/eadvfs_analysis.dir/feasibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/energy/CMakeFiles/eadvfs_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/eadvfs_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/eadvfs_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eadvfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

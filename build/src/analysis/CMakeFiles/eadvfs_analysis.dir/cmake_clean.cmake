@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadvfs_analysis.dir/feasibility.cpp.o"
+  "CMakeFiles/eadvfs_analysis.dir/feasibility.cpp.o.d"
+  "libeadvfs_analysis.a"
+  "libeadvfs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadvfs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

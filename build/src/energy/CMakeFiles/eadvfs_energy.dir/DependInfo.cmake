@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/composite_source.cpp" "src/energy/CMakeFiles/eadvfs_energy.dir/composite_source.cpp.o" "gcc" "src/energy/CMakeFiles/eadvfs_energy.dir/composite_source.cpp.o.d"
+  "/root/repo/src/energy/markov_weather_source.cpp" "src/energy/CMakeFiles/eadvfs_energy.dir/markov_weather_source.cpp.o" "gcc" "src/energy/CMakeFiles/eadvfs_energy.dir/markov_weather_source.cpp.o.d"
+  "/root/repo/src/energy/persistence_predictor.cpp" "src/energy/CMakeFiles/eadvfs_energy.dir/persistence_predictor.cpp.o" "gcc" "src/energy/CMakeFiles/eadvfs_energy.dir/persistence_predictor.cpp.o.d"
+  "/root/repo/src/energy/predictor.cpp" "src/energy/CMakeFiles/eadvfs_energy.dir/predictor.cpp.o" "gcc" "src/energy/CMakeFiles/eadvfs_energy.dir/predictor.cpp.o.d"
+  "/root/repo/src/energy/running_average_predictor.cpp" "src/energy/CMakeFiles/eadvfs_energy.dir/running_average_predictor.cpp.o" "gcc" "src/energy/CMakeFiles/eadvfs_energy.dir/running_average_predictor.cpp.o.d"
+  "/root/repo/src/energy/slotted_ewma_predictor.cpp" "src/energy/CMakeFiles/eadvfs_energy.dir/slotted_ewma_predictor.cpp.o" "gcc" "src/energy/CMakeFiles/eadvfs_energy.dir/slotted_ewma_predictor.cpp.o.d"
+  "/root/repo/src/energy/solar_source.cpp" "src/energy/CMakeFiles/eadvfs_energy.dir/solar_source.cpp.o" "gcc" "src/energy/CMakeFiles/eadvfs_energy.dir/solar_source.cpp.o.d"
+  "/root/repo/src/energy/source.cpp" "src/energy/CMakeFiles/eadvfs_energy.dir/source.cpp.o" "gcc" "src/energy/CMakeFiles/eadvfs_energy.dir/source.cpp.o.d"
+  "/root/repo/src/energy/storage.cpp" "src/energy/CMakeFiles/eadvfs_energy.dir/storage.cpp.o" "gcc" "src/energy/CMakeFiles/eadvfs_energy.dir/storage.cpp.o.d"
+  "/root/repo/src/energy/trace_source.cpp" "src/energy/CMakeFiles/eadvfs_energy.dir/trace_source.cpp.o" "gcc" "src/energy/CMakeFiles/eadvfs_energy.dir/trace_source.cpp.o.d"
+  "/root/repo/src/energy/two_mode_source.cpp" "src/energy/CMakeFiles/eadvfs_energy.dir/two_mode_source.cpp.o" "gcc" "src/energy/CMakeFiles/eadvfs_energy.dir/two_mode_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eadvfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadvfs_energy.dir/composite_source.cpp.o"
+  "CMakeFiles/eadvfs_energy.dir/composite_source.cpp.o.d"
+  "CMakeFiles/eadvfs_energy.dir/markov_weather_source.cpp.o"
+  "CMakeFiles/eadvfs_energy.dir/markov_weather_source.cpp.o.d"
+  "CMakeFiles/eadvfs_energy.dir/persistence_predictor.cpp.o"
+  "CMakeFiles/eadvfs_energy.dir/persistence_predictor.cpp.o.d"
+  "CMakeFiles/eadvfs_energy.dir/predictor.cpp.o"
+  "CMakeFiles/eadvfs_energy.dir/predictor.cpp.o.d"
+  "CMakeFiles/eadvfs_energy.dir/running_average_predictor.cpp.o"
+  "CMakeFiles/eadvfs_energy.dir/running_average_predictor.cpp.o.d"
+  "CMakeFiles/eadvfs_energy.dir/slotted_ewma_predictor.cpp.o"
+  "CMakeFiles/eadvfs_energy.dir/slotted_ewma_predictor.cpp.o.d"
+  "CMakeFiles/eadvfs_energy.dir/solar_source.cpp.o"
+  "CMakeFiles/eadvfs_energy.dir/solar_source.cpp.o.d"
+  "CMakeFiles/eadvfs_energy.dir/source.cpp.o"
+  "CMakeFiles/eadvfs_energy.dir/source.cpp.o.d"
+  "CMakeFiles/eadvfs_energy.dir/storage.cpp.o"
+  "CMakeFiles/eadvfs_energy.dir/storage.cpp.o.d"
+  "CMakeFiles/eadvfs_energy.dir/trace_source.cpp.o"
+  "CMakeFiles/eadvfs_energy.dir/trace_source.cpp.o.d"
+  "CMakeFiles/eadvfs_energy.dir/two_mode_source.cpp.o"
+  "CMakeFiles/eadvfs_energy.dir/two_mode_source.cpp.o.d"
+  "libeadvfs_energy.a"
+  "libeadvfs_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadvfs_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

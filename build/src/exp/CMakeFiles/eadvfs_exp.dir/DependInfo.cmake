@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/capacity_search.cpp" "src/exp/CMakeFiles/eadvfs_exp.dir/capacity_search.cpp.o" "gcc" "src/exp/CMakeFiles/eadvfs_exp.dir/capacity_search.cpp.o.d"
+  "/root/repo/src/exp/energy_trace_experiment.cpp" "src/exp/CMakeFiles/eadvfs_exp.dir/energy_trace_experiment.cpp.o" "gcc" "src/exp/CMakeFiles/eadvfs_exp.dir/energy_trace_experiment.cpp.o.d"
+  "/root/repo/src/exp/harvester_sizing.cpp" "src/exp/CMakeFiles/eadvfs_exp.dir/harvester_sizing.cpp.o" "gcc" "src/exp/CMakeFiles/eadvfs_exp.dir/harvester_sizing.cpp.o.d"
+  "/root/repo/src/exp/miss_rate_sweep.cpp" "src/exp/CMakeFiles/eadvfs_exp.dir/miss_rate_sweep.cpp.o" "gcc" "src/exp/CMakeFiles/eadvfs_exp.dir/miss_rate_sweep.cpp.o.d"
+  "/root/repo/src/exp/predictor_error.cpp" "src/exp/CMakeFiles/eadvfs_exp.dir/predictor_error.cpp.o" "gcc" "src/exp/CMakeFiles/eadvfs_exp.dir/predictor_error.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/exp/CMakeFiles/eadvfs_exp.dir/report.cpp.o" "gcc" "src/exp/CMakeFiles/eadvfs_exp.dir/report.cpp.o.d"
+  "/root/repo/src/exp/setup.cpp" "src/exp/CMakeFiles/eadvfs_exp.dir/setup.cpp.o" "gcc" "src/exp/CMakeFiles/eadvfs_exp.dir/setup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eadvfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eadvfs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eadvfs_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/eadvfs_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/eadvfs_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eadvfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadvfs_exp.dir/capacity_search.cpp.o"
+  "CMakeFiles/eadvfs_exp.dir/capacity_search.cpp.o.d"
+  "CMakeFiles/eadvfs_exp.dir/energy_trace_experiment.cpp.o"
+  "CMakeFiles/eadvfs_exp.dir/energy_trace_experiment.cpp.o.d"
+  "CMakeFiles/eadvfs_exp.dir/harvester_sizing.cpp.o"
+  "CMakeFiles/eadvfs_exp.dir/harvester_sizing.cpp.o.d"
+  "CMakeFiles/eadvfs_exp.dir/miss_rate_sweep.cpp.o"
+  "CMakeFiles/eadvfs_exp.dir/miss_rate_sweep.cpp.o.d"
+  "CMakeFiles/eadvfs_exp.dir/predictor_error.cpp.o"
+  "CMakeFiles/eadvfs_exp.dir/predictor_error.cpp.o.d"
+  "CMakeFiles/eadvfs_exp.dir/report.cpp.o"
+  "CMakeFiles/eadvfs_exp.dir/report.cpp.o.d"
+  "CMakeFiles/eadvfs_exp.dir/setup.cpp.o"
+  "CMakeFiles/eadvfs_exp.dir/setup.cpp.o.d"
+  "libeadvfs_exp.a"
+  "libeadvfs_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadvfs_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

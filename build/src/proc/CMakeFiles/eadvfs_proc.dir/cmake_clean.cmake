@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadvfs_proc.dir/frequency_table.cpp.o"
+  "CMakeFiles/eadvfs_proc.dir/frequency_table.cpp.o.d"
+  "CMakeFiles/eadvfs_proc.dir/processor.cpp.o"
+  "CMakeFiles/eadvfs_proc.dir/processor.cpp.o.d"
+  "libeadvfs_proc.a"
+  "libeadvfs_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadvfs_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/ea_dvfs_scheduler.cpp" "src/sched/CMakeFiles/eadvfs_sched.dir/ea_dvfs_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/eadvfs_sched.dir/ea_dvfs_scheduler.cpp.o.d"
+  "/root/repo/src/sched/edf_scheduler.cpp" "src/sched/CMakeFiles/eadvfs_sched.dir/edf_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/eadvfs_sched.dir/edf_scheduler.cpp.o.d"
+  "/root/repo/src/sched/factory.cpp" "src/sched/CMakeFiles/eadvfs_sched.dir/factory.cpp.o" "gcc" "src/sched/CMakeFiles/eadvfs_sched.dir/factory.cpp.o.d"
+  "/root/repo/src/sched/fixed_priority_scheduler.cpp" "src/sched/CMakeFiles/eadvfs_sched.dir/fixed_priority_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/eadvfs_sched.dir/fixed_priority_scheduler.cpp.o.d"
+  "/root/repo/src/sched/greedy_dvfs_scheduler.cpp" "src/sched/CMakeFiles/eadvfs_sched.dir/greedy_dvfs_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/eadvfs_sched.dir/greedy_dvfs_scheduler.cpp.o.d"
+  "/root/repo/src/sched/lsa_scheduler.cpp" "src/sched/CMakeFiles/eadvfs_sched.dir/lsa_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/eadvfs_sched.dir/lsa_scheduler.cpp.o.d"
+  "/root/repo/src/sched/static_ea_dvfs_scheduler.cpp" "src/sched/CMakeFiles/eadvfs_sched.dir/static_ea_dvfs_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/eadvfs_sched.dir/static_ea_dvfs_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eadvfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eadvfs_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/eadvfs_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/eadvfs_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eadvfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

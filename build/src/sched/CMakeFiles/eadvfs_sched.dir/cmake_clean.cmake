@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadvfs_sched.dir/ea_dvfs_scheduler.cpp.o"
+  "CMakeFiles/eadvfs_sched.dir/ea_dvfs_scheduler.cpp.o.d"
+  "CMakeFiles/eadvfs_sched.dir/edf_scheduler.cpp.o"
+  "CMakeFiles/eadvfs_sched.dir/edf_scheduler.cpp.o.d"
+  "CMakeFiles/eadvfs_sched.dir/factory.cpp.o"
+  "CMakeFiles/eadvfs_sched.dir/factory.cpp.o.d"
+  "CMakeFiles/eadvfs_sched.dir/fixed_priority_scheduler.cpp.o"
+  "CMakeFiles/eadvfs_sched.dir/fixed_priority_scheduler.cpp.o.d"
+  "CMakeFiles/eadvfs_sched.dir/greedy_dvfs_scheduler.cpp.o"
+  "CMakeFiles/eadvfs_sched.dir/greedy_dvfs_scheduler.cpp.o.d"
+  "CMakeFiles/eadvfs_sched.dir/lsa_scheduler.cpp.o"
+  "CMakeFiles/eadvfs_sched.dir/lsa_scheduler.cpp.o.d"
+  "CMakeFiles/eadvfs_sched.dir/static_ea_dvfs_scheduler.cpp.o"
+  "CMakeFiles/eadvfs_sched.dir/static_ea_dvfs_scheduler.cpp.o.d"
+  "libeadvfs_sched.a"
+  "libeadvfs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadvfs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/eadvfs_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/eadvfs_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/eadvfs_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/eadvfs_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "src/sim/CMakeFiles/eadvfs_sim.dir/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/eadvfs_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/sim/result.cpp" "src/sim/CMakeFiles/eadvfs_sim.dir/result.cpp.o" "gcc" "src/sim/CMakeFiles/eadvfs_sim.dir/result.cpp.o.d"
+  "/root/repo/src/sim/stats_observer.cpp" "src/sim/CMakeFiles/eadvfs_sim.dir/stats_observer.cpp.o" "gcc" "src/sim/CMakeFiles/eadvfs_sim.dir/stats_observer.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/eadvfs_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/eadvfs_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eadvfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eadvfs_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/eadvfs_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/eadvfs_task.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

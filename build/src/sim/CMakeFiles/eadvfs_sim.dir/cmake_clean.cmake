@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadvfs_sim.dir/engine.cpp.o"
+  "CMakeFiles/eadvfs_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/eadvfs_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/eadvfs_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/eadvfs_sim.dir/gantt.cpp.o"
+  "CMakeFiles/eadvfs_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/eadvfs_sim.dir/result.cpp.o"
+  "CMakeFiles/eadvfs_sim.dir/result.cpp.o.d"
+  "CMakeFiles/eadvfs_sim.dir/stats_observer.cpp.o"
+  "CMakeFiles/eadvfs_sim.dir/stats_observer.cpp.o.d"
+  "CMakeFiles/eadvfs_sim.dir/trace.cpp.o"
+  "CMakeFiles/eadvfs_sim.dir/trace.cpp.o.d"
+  "libeadvfs_sim.a"
+  "libeadvfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadvfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/task/generator.cpp" "src/task/CMakeFiles/eadvfs_task.dir/generator.cpp.o" "gcc" "src/task/CMakeFiles/eadvfs_task.dir/generator.cpp.o.d"
+  "/root/repo/src/task/releaser.cpp" "src/task/CMakeFiles/eadvfs_task.dir/releaser.cpp.o" "gcc" "src/task/CMakeFiles/eadvfs_task.dir/releaser.cpp.o.d"
+  "/root/repo/src/task/task_set.cpp" "src/task/CMakeFiles/eadvfs_task.dir/task_set.cpp.o" "gcc" "src/task/CMakeFiles/eadvfs_task.dir/task_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eadvfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadvfs_task.dir/generator.cpp.o"
+  "CMakeFiles/eadvfs_task.dir/generator.cpp.o.d"
+  "CMakeFiles/eadvfs_task.dir/releaser.cpp.o"
+  "CMakeFiles/eadvfs_task.dir/releaser.cpp.o.d"
+  "CMakeFiles/eadvfs_task.dir/task_set.cpp.o"
+  "CMakeFiles/eadvfs_task.dir/task_set.cpp.o.d"
+  "libeadvfs_task.a"
+  "libeadvfs_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadvfs_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadvfs_util.dir/args.cpp.o"
+  "CMakeFiles/eadvfs_util.dir/args.cpp.o.d"
+  "CMakeFiles/eadvfs_util.dir/csv.cpp.o"
+  "CMakeFiles/eadvfs_util.dir/csv.cpp.o.d"
+  "CMakeFiles/eadvfs_util.dir/histogram.cpp.o"
+  "CMakeFiles/eadvfs_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/eadvfs_util.dir/ini.cpp.o"
+  "CMakeFiles/eadvfs_util.dir/ini.cpp.o.d"
+  "CMakeFiles/eadvfs_util.dir/log.cpp.o"
+  "CMakeFiles/eadvfs_util.dir/log.cpp.o.d"
+  "CMakeFiles/eadvfs_util.dir/rng.cpp.o"
+  "CMakeFiles/eadvfs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/eadvfs_util.dir/stats.cpp.o"
+  "CMakeFiles/eadvfs_util.dir/stats.cpp.o.d"
+  "libeadvfs_util.a"
+  "libeadvfs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadvfs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/energy/composite_source_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/composite_source_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/composite_source_test.cpp.o.d"
+  "/root/repo/tests/energy/markov_weather_source_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/markov_weather_source_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/markov_weather_source_test.cpp.o.d"
+  "/root/repo/tests/energy/persistence_predictor_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/persistence_predictor_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/persistence_predictor_test.cpp.o.d"
+  "/root/repo/tests/energy/predictor_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/predictor_test.cpp.o.d"
+  "/root/repo/tests/energy/running_average_predictor_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/running_average_predictor_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/running_average_predictor_test.cpp.o.d"
+  "/root/repo/tests/energy/slotted_ewma_predictor_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/slotted_ewma_predictor_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/slotted_ewma_predictor_test.cpp.o.d"
+  "/root/repo/tests/energy/solar_source_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/solar_source_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/solar_source_test.cpp.o.d"
+  "/root/repo/tests/energy/source_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/source_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/source_test.cpp.o.d"
+  "/root/repo/tests/energy/storage_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/storage_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/storage_test.cpp.o.d"
+  "/root/repo/tests/energy/trace_source_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/trace_source_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/trace_source_test.cpp.o.d"
+  "/root/repo/tests/energy/two_mode_source_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/two_mode_source_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/two_mode_source_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/eadvfs_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eadvfs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eadvfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/eadvfs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/eadvfs_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/eadvfs_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eadvfs_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eadvfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

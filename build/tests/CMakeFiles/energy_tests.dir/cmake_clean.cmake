@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_tests.dir/energy/composite_source_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/composite_source_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/markov_weather_source_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/markov_weather_source_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/persistence_predictor_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/persistence_predictor_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/predictor_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/predictor_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/running_average_predictor_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/running_average_predictor_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/slotted_ewma_predictor_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/slotted_ewma_predictor_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/solar_source_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/solar_source_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/source_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/source_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/storage_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/storage_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/trace_source_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/trace_source_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/two_mode_source_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/two_mode_source_test.cpp.o.d"
+  "energy_tests"
+  "energy_tests.pdb"
+  "energy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

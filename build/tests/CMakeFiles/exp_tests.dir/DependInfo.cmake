@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exp/capacity_search_test.cpp" "tests/CMakeFiles/exp_tests.dir/exp/capacity_search_test.cpp.o" "gcc" "tests/CMakeFiles/exp_tests.dir/exp/capacity_search_test.cpp.o.d"
+  "/root/repo/tests/exp/energy_trace_test.cpp" "tests/CMakeFiles/exp_tests.dir/exp/energy_trace_test.cpp.o" "gcc" "tests/CMakeFiles/exp_tests.dir/exp/energy_trace_test.cpp.o.d"
+  "/root/repo/tests/exp/harvester_sizing_test.cpp" "tests/CMakeFiles/exp_tests.dir/exp/harvester_sizing_test.cpp.o" "gcc" "tests/CMakeFiles/exp_tests.dir/exp/harvester_sizing_test.cpp.o.d"
+  "/root/repo/tests/exp/miss_rate_sweep_test.cpp" "tests/CMakeFiles/exp_tests.dir/exp/miss_rate_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/exp_tests.dir/exp/miss_rate_sweep_test.cpp.o.d"
+  "/root/repo/tests/exp/predictor_error_test.cpp" "tests/CMakeFiles/exp_tests.dir/exp/predictor_error_test.cpp.o" "gcc" "tests/CMakeFiles/exp_tests.dir/exp/predictor_error_test.cpp.o.d"
+  "/root/repo/tests/exp/report_test.cpp" "tests/CMakeFiles/exp_tests.dir/exp/report_test.cpp.o" "gcc" "tests/CMakeFiles/exp_tests.dir/exp/report_test.cpp.o.d"
+  "/root/repo/tests/exp/setup_test.cpp" "tests/CMakeFiles/exp_tests.dir/exp/setup_test.cpp.o" "gcc" "tests/CMakeFiles/exp_tests.dir/exp/setup_test.cpp.o.d"
+  "/root/repo/tests/exp/sweep_extensions_test.cpp" "tests/CMakeFiles/exp_tests.dir/exp/sweep_extensions_test.cpp.o" "gcc" "tests/CMakeFiles/exp_tests.dir/exp/sweep_extensions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/eadvfs_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eadvfs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eadvfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/eadvfs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/eadvfs_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/eadvfs_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eadvfs_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eadvfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_tests.dir/exp/capacity_search_test.cpp.o"
+  "CMakeFiles/exp_tests.dir/exp/capacity_search_test.cpp.o.d"
+  "CMakeFiles/exp_tests.dir/exp/energy_trace_test.cpp.o"
+  "CMakeFiles/exp_tests.dir/exp/energy_trace_test.cpp.o.d"
+  "CMakeFiles/exp_tests.dir/exp/harvester_sizing_test.cpp.o"
+  "CMakeFiles/exp_tests.dir/exp/harvester_sizing_test.cpp.o.d"
+  "CMakeFiles/exp_tests.dir/exp/miss_rate_sweep_test.cpp.o"
+  "CMakeFiles/exp_tests.dir/exp/miss_rate_sweep_test.cpp.o.d"
+  "CMakeFiles/exp_tests.dir/exp/predictor_error_test.cpp.o"
+  "CMakeFiles/exp_tests.dir/exp/predictor_error_test.cpp.o.d"
+  "CMakeFiles/exp_tests.dir/exp/report_test.cpp.o"
+  "CMakeFiles/exp_tests.dir/exp/report_test.cpp.o.d"
+  "CMakeFiles/exp_tests.dir/exp/setup_test.cpp.o"
+  "CMakeFiles/exp_tests.dir/exp/setup_test.cpp.o.d"
+  "CMakeFiles/exp_tests.dir/exp/sweep_extensions_test.cpp.o"
+  "CMakeFiles/exp_tests.dir/exp/sweep_extensions_test.cpp.o.d"
+  "exp_tests"
+  "exp_tests.pdb"
+  "exp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proc_task_tests.dir/proc/frequency_table_test.cpp.o"
+  "CMakeFiles/proc_task_tests.dir/proc/frequency_table_test.cpp.o.d"
+  "CMakeFiles/proc_task_tests.dir/proc/processor_test.cpp.o"
+  "CMakeFiles/proc_task_tests.dir/proc/processor_test.cpp.o.d"
+  "CMakeFiles/proc_task_tests.dir/task/generator_test.cpp.o"
+  "CMakeFiles/proc_task_tests.dir/task/generator_test.cpp.o.d"
+  "CMakeFiles/proc_task_tests.dir/task/releaser_test.cpp.o"
+  "CMakeFiles/proc_task_tests.dir/task/releaser_test.cpp.o.d"
+  "CMakeFiles/proc_task_tests.dir/task/task_set_test.cpp.o"
+  "CMakeFiles/proc_task_tests.dir/task/task_set_test.cpp.o.d"
+  "proc_task_tests"
+  "proc_task_tests.pdb"
+  "proc_task_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proc_task_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for proc_task_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tests.dir/sched/ea_dvfs_scheduler_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/ea_dvfs_scheduler_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/edf_scheduler_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/edf_scheduler_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/factory_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/factory_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/fixed_priority_scheduler_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/fixed_priority_scheduler_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/greedy_dvfs_scheduler_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/greedy_dvfs_scheduler_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/lsa_scheduler_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/lsa_scheduler_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/static_ea_dvfs_scheduler_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/static_ea_dvfs_scheduler_test.cpp.o.d"
+  "sched_tests"
+  "sched_tests.pdb"
+  "sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

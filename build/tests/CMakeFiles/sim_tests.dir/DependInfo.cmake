@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/engine_energy_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/engine_energy_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/engine_energy_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_policy_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/engine_policy_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/engine_policy_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_preemption_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/engine_preemption_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/engine_preemption_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/execution_time_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/execution_time_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/execution_time_test.cpp.o.d"
+  "/root/repo/tests/sim/gantt_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/gantt_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/gantt_test.cpp.o.d"
+  "/root/repo/tests/sim/idle_power_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/idle_power_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/idle_power_test.cpp.o.d"
+  "/root/repo/tests/sim/stats_observer_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/stats_observer_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/stats_observer_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/eadvfs_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eadvfs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eadvfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/eadvfs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/eadvfs_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/eadvfs_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/eadvfs_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eadvfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

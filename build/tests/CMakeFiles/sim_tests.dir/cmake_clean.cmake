@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/engine_energy_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/engine_energy_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/engine_policy_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/engine_policy_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/engine_preemption_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/engine_preemption_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/event_queue_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/event_queue_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/execution_time_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/execution_time_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/gantt_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/gantt_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/idle_power_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/idle_power_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/stats_observer_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/stats_observer_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/trace_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/trace_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadvfs_sim_tool.dir/eadvfs_sim.cpp.o"
+  "CMakeFiles/eadvfs_sim_tool.dir/eadvfs_sim.cpp.o.d"
+  "eadvfs-sim"
+  "eadvfs-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadvfs_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_smoke_random_workload "/root/repo/build/tools/eadvfs-sim" "--horizon" "800" "--capacity" "80" "--scheduler" "ea-dvfs" "--analyze")
+set_tests_properties(tool_smoke_random_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_smoke_constant_source "/root/repo/build/tools/eadvfs-sim" "--horizon" "300" "--source" "constant:2.0" "--scheduler" "lsa" "--utilization" "0.3")
+set_tests_properties(tool_smoke_constant_source PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_smoke_scenario_file "/root/repo/build/tools/eadvfs-sim" "--scenario" "scenarios/sensor_node.ini" "--horizon" "1400")
+set_tests_properties(tool_smoke_scenario_file PROPERTIES  WORKING_DIRECTORY "/root/repo" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_smoke_markov_and_overrides "/root/repo/build/tools/eadvfs-sim" "--horizon" "600" "--source" "markov:5" "--scheduler" "rm" "--idle-power" "0.02" "--bcet" "0.5" "--miss-policy" "continue")
+set_tests_properties(tool_smoke_markov_and_overrides PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rejects_unknown_scheduler "/root/repo/build/tools/eadvfs-sim" "--scheduler" "warp-speed")
+set_tests_properties(tool_rejects_unknown_scheduler PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
