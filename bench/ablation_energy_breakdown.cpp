@@ -45,36 +45,70 @@ int main(int argc, char** argv) {
   task::GeneratorConfig gen_cfg;
   gen_cfg.target_utilization = args.real("utilization");
   gen_cfg.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
-  task::TaskSetGenerator generator(gen_cfg);
   sim::SimulationConfig sim_cfg;
   sim_cfg.horizon = args.real("horizon");
 
   exp::TextTable out({"scheduler", "consumed", "overflow%", "J per work",
                       "slow-op time%", "work done", "miss rate"});
   for (const auto& name : schedulers) {
+    struct RepRecord {
+      double consumed = 0.0;
+      bool has_harvest = false;
+      double overflow_share = 0.0;
+      bool has_work = false;
+      double energy_per_work = 0.0;
+      bool has_busy = false;
+      double slow_share = 0.0;
+      double work_done = 0.0;
+      double miss = 0.0;
+    };
+    const auto records = exp::parallel_map<RepRecord>(
+        n_sets,
+        exp::with_default_progress(bench::parallel_from_args(args),
+                                   "energy breakdown", 20),
+        [&](std::size_t rep) {
+          util::Xoshiro256ss rng(seeds[rep]);
+          const task::TaskSetGenerator generator(gen_cfg);
+          const task::TaskSet set = generator.generate(rng);
+          energy::SolarSourceConfig solar;
+          solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
+          solar.horizon = sim_cfg.horizon;
+          const auto source = std::make_shared<const energy::SolarSource>(solar);
+          const auto scheduler = sched::make_scheduler(name);
+          const auto r = exp::run_once(sim_cfg, source, args.real("capacity"),
+                                       table, *scheduler, args.str("predictor"),
+                                       set);
+          RepRecord record;
+          record.consumed = r.consumed;
+          if (r.harvested > 0.0) {
+            record.has_harvest = true;
+            record.overflow_share = r.overflow / r.harvested;
+          }
+          if (r.work_completed > 0.0) {
+            record.has_work = true;
+            record.energy_per_work = r.consumed / r.work_completed;
+          }
+          Time slow = 0.0;
+          for (std::size_t op = 0; op + 1 < r.time_at_op.size(); ++op)
+            slow += r.time_at_op[op];
+          if (r.busy_time > 0.0) {
+            record.has_busy = true;
+            record.slow_share = slow / r.busy_time;
+          }
+          record.work_done = r.work_completed;
+          record.miss = r.miss_rate();
+          return record;
+        });
+
     util::RunningStats consumed, overflow_share, energy_per_work, slow_share,
         work_done, miss;
-    for (std::size_t rep = 0; rep < n_sets; ++rep) {
-      util::Xoshiro256ss rng(seeds[rep]);
-      const task::TaskSet set = generator.generate(rng);
-      energy::SolarSourceConfig solar;
-      solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
-      solar.horizon = sim_cfg.horizon;
-      const auto source = std::make_shared<const energy::SolarSource>(solar);
-      const auto scheduler = sched::make_scheduler(name);
-      const auto r = exp::run_once(sim_cfg, source, args.real("capacity"),
-                                   table, *scheduler, args.str("predictor"),
-                                   set);
-      consumed.add(r.consumed);
-      if (r.harvested > 0.0) overflow_share.add(r.overflow / r.harvested);
-      if (r.work_completed > 0.0)
-        energy_per_work.add(r.consumed / r.work_completed);
-      Time slow = 0.0;
-      for (std::size_t op = 0; op + 1 < r.time_at_op.size(); ++op)
-        slow += r.time_at_op[op];
-      if (r.busy_time > 0.0) slow_share.add(slow / r.busy_time);
-      work_done.add(r.work_completed);
-      miss.add(r.miss_rate());
+    for (const RepRecord& record : records) {
+      consumed.add(record.consumed);
+      if (record.has_harvest) overflow_share.add(record.overflow_share);
+      if (record.has_work) energy_per_work.add(record.energy_per_work);
+      if (record.has_busy) slow_share.add(record.slow_share);
+      work_done.add(record.work_done);
+      miss.add(record.miss);
     }
     out.add_row({sched::make_scheduler(name)->name(),
                  exp::fmt(consumed.mean(), 0),

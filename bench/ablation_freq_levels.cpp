@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
     cfg.sim.horizon = args.real("horizon");
     cfg.solar.horizon = cfg.sim.horizon;
     cfg.table = arm.table;
+    cfg.parallel = bench::parallel_from_args(args);
 
     const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
     for (double capacity : cfg.capacities) {

@@ -43,40 +43,57 @@ int main(int argc, char** argv) {
   task::GeneratorConfig gen_cfg;
   gen_cfg.target_utilization = args.real("utilization");
   gen_cfg.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
-  task::TaskSetGenerator generator(gen_cfg);
   sim::SimulationConfig sim_cfg;
   sim_cfg.horizon = args.real("horizon");
 
   exp::TextTable out({"idle power", "LSA miss", "EA-DVFS miss", "reduction",
                       "EA-DVFS brownout"});
   for (Power idle : idle_powers) {
+    struct RepRecord {
+      double lsa_miss = 0.0;
+      double ea_miss = 0.0;
+      double ea_brownout = 0.0;
+    };
+    const auto records = exp::parallel_map<RepRecord>(
+        n_sets,
+        exp::with_default_progress(bench::parallel_from_args(args),
+                                   "idle-power ablation", 20),
+        [&](std::size_t rep) {
+          util::Xoshiro256ss rng(seeds[rep]);
+          const task::TaskSetGenerator generator(gen_cfg);
+          const task::TaskSet set = generator.generate(rng);
+          energy::SolarSourceConfig solar;
+          solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
+          solar.horizon = sim_cfg.horizon;
+          const auto source = std::make_shared<const energy::SolarSource>(solar);
+          RepRecord record;
+          for (const char* name : {"lsa", "ea-dvfs"}) {
+            // run_once builds the processor internally without idle power, so
+            // assemble the pieces directly here.
+            energy::EnergyStorage storage =
+                energy::EnergyStorage::ideal(args.real("capacity"));
+            proc::Processor processor(table, {}, idle);
+            auto predictor = exp::make_predictor(args.str("predictor"), source);
+            const auto scheduler = sched::make_scheduler(name);
+            task::JobReleaser releaser(set, sim_cfg.horizon);
+            sim::Engine engine(sim_cfg, *source, storage, processor, *predictor,
+                               *scheduler, releaser);
+            const auto result = engine.run();
+            if (std::string(name) == "lsa") {
+              record.lsa_miss = result.miss_rate();
+            } else {
+              record.ea_miss = result.miss_rate();
+              record.ea_brownout = result.brownout_time;
+            }
+          }
+          return record;
+        });
+
     util::RunningStats lsa_miss, ea_miss, ea_brownout;
-    for (std::size_t rep = 0; rep < n_sets; ++rep) {
-      util::Xoshiro256ss rng(seeds[rep]);
-      const task::TaskSet set = generator.generate(rng);
-      energy::SolarSourceConfig solar;
-      solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
-      solar.horizon = sim_cfg.horizon;
-      const auto source = std::make_shared<const energy::SolarSource>(solar);
-      for (const char* name : {"lsa", "ea-dvfs"}) {
-        // run_once builds the processor internally without idle power, so
-        // assemble the pieces directly here.
-        energy::EnergyStorage storage =
-            energy::EnergyStorage::ideal(args.real("capacity"));
-        proc::Processor processor(table, {}, idle);
-        auto predictor = exp::make_predictor(args.str("predictor"), source);
-        const auto scheduler = sched::make_scheduler(name);
-        task::JobReleaser releaser(set, sim_cfg.horizon);
-        sim::Engine engine(sim_cfg, *source, storage, processor, *predictor,
-                           *scheduler, releaser);
-        const auto result = engine.run();
-        if (std::string(name) == "lsa") {
-          lsa_miss.add(result.miss_rate());
-        } else {
-          ea_miss.add(result.miss_rate());
-          ea_brownout.add(result.brownout_time);
-        }
-      }
+    for (const RepRecord& record : records) {
+      lsa_miss.add(record.lsa_miss);
+      ea_miss.add(record.ea_miss);
+      ea_brownout.add(record.ea_brownout);
     }
     out.add_row({exp::fmt(idle, 3), exp::fmt(lsa_miss.mean(), 4),
                  exp::fmt(ea_miss.mean(), 4),

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
     cfg.sim.horizon = args.real("horizon");
     cfg.solar.horizon = cfg.sim.horizon;
+    cfg.parallel = bench::parallel_from_args(args);
 
     const exp::HarvesterSizingResult result = exp::run_harvester_sizing(cfg);
     table.add_row({exp::fmt(u, 1), exp::fmt(result.min_scale[0].mean(), 3),

@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   args.add_option("seed", "42", "master seed");
   args.add_option("horizon", "5000", "observation span per realization");
   args.add_option("windows", "10,50,200,690", "prediction horizons");
+  args.add_option("jobs", std::to_string(exp::hardware_jobs()),
+                  "worker threads over source realizations");
   if (!args.parse(argc, argv)) return 0;
 
   exp::PredictorErrorConfig cfg;
@@ -26,6 +28,7 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(args.integer("seed"));
   cfg.horizon = args.real("horizon");
   cfg.windows = args.real_list("windows");
+  cfg.parallel.jobs = exp::parse_jobs(args.integer("jobs"));
 
   exp::print_banner(std::cout, "Ablation — predictor accuracy",
                     "which predictor is wrong, by how much, at which horizon",

@@ -43,37 +43,60 @@ int main(int argc, char** argv) {
   task::GeneratorConfig gen_cfg;
   gen_cfg.target_utilization = args.real("utilization");
   gen_cfg.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
-  task::TaskSetGenerator generator(gen_cfg);
   sim::SimulationConfig sim_cfg;
   sim_cfg.horizon = args.real("horizon");
 
   exp::TextTable out({"scheduler", "miss rate", "mean response", "p95 response",
                       "mean margin", "normalized response"});
   for (const auto& name : schedulers) {
+    struct RepRecord {
+      double miss = 0.0;
+      bool has_completions = false;
+      double response_mean = 0.0;
+      double margin_mean = 0.0;
+      std::vector<double> responses;
+    };
+    const auto records = exp::parallel_map<RepRecord>(
+        n_sets,
+        exp::with_default_progress(bench::parallel_from_args(args),
+                                   "response-time ablation", 20),
+        [&](std::size_t rep) {
+          util::Xoshiro256ss rng(seeds[rep]);
+          const task::TaskSetGenerator generator(gen_cfg);
+          const task::TaskSet set = generator.generate(rng);
+          energy::SolarSourceConfig solar;
+          solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
+          solar.horizon = sim_cfg.horizon;
+          const auto source = std::make_shared<const energy::SolarSource>(solar);
+          const auto scheduler = sched::make_scheduler(name);
+          sim::StatsObserver stats;
+          const auto result =
+              exp::run_once(sim_cfg, source, args.real("capacity"), table,
+                            *scheduler, args.str("predictor"), set, {&stats});
+          RepRecord record;
+          record.miss = result.miss_rate();
+          const sim::TaskStats total = stats.total();
+          if (!total.response_time.empty()) {
+            record.has_completions = true;
+            record.response_mean = total.response_time.mean();
+            record.margin_mean = total.window_margin.mean();
+          }
+          record.responses = stats.response_times();
+          return record;
+        });
+
     util::RunningStats miss, response, margin;
     std::vector<double> all_responses;
     util::RunningStats normalized_response;  // response / relative deadline
-    for (std::size_t rep = 0; rep < n_sets; ++rep) {
-      util::Xoshiro256ss rng(seeds[rep]);
-      const task::TaskSet set = generator.generate(rng);
-      energy::SolarSourceConfig solar;
-      solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
-      solar.horizon = sim_cfg.horizon;
-      const auto source = std::make_shared<const energy::SolarSource>(solar);
-      const auto scheduler = sched::make_scheduler(name);
-      sim::StatsObserver stats;
-      const auto result =
-          exp::run_once(sim_cfg, source, args.real("capacity"), table,
-                        *scheduler, args.str("predictor"), set, {&stats});
-      miss.add(result.miss_rate());
-      const sim::TaskStats total = stats.total();
-      if (!total.response_time.empty()) {
-        response.add(total.response_time.mean());
-        margin.add(total.window_margin.mean());
+    for (const RepRecord& record : records) {
+      miss.add(record.miss);
+      if (record.has_completions) {
+        response.add(record.response_mean);
+        margin.add(record.margin_mean);
         // Normalized response = 1 - margin (both per-window fractions).
-        normalized_response.add(1.0 - total.window_margin.mean());
+        normalized_response.add(1.0 - record.margin_mean);
       }
-      for (double r : stats.response_times()) all_responses.push_back(r);
+      for (double r : record.responses) all_responses.push_back(r);
     }
     out.add_row({sched::make_scheduler(name)->name(), exp::fmt(miss.mean(), 4),
                  exp::fmt(response.mean(), 2),

@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
     cfg.sim.horizon = args.real("horizon");
     cfg.solar.horizon = cfg.sim.horizon;
     cfg.execution.bcet_fraction = fraction;
+    cfg.parallel = bench::parallel_from_args(args);
 
     const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
     const double lsa = result.cell("lsa", cfg.capacities[0]).miss_rate.mean();

@@ -55,32 +55,47 @@ int main(int argc, char** argv) {
   task::GeneratorConfig gen_cfg;
   gen_cfg.target_utilization = args.real("utilization");
   gen_cfg.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
-  task::TaskSetGenerator generator(gen_cfg);
   sim::SimulationConfig sim_cfg;
   sim_cfg.horizon = args.real("horizon");
 
   exp::TextTable out({"storage model", "LSA miss", "EA-DVFS miss", "reduction"});
   for (const Arm& arm : arms) {
+    struct RepRecord {
+      double lsa_miss = 0.0;
+      double ea_miss = 0.0;
+    };
+    const auto records = exp::parallel_map<RepRecord>(
+        n_sets,
+        exp::with_default_progress(bench::parallel_from_args(args),
+                                   "storage ablation", 20),
+        [&](std::size_t rep) {
+          util::Xoshiro256ss rng(seeds[rep]);
+          const task::TaskSetGenerator generator(gen_cfg);
+          const task::TaskSet set = generator.generate(rng);
+          energy::SolarSourceConfig solar;
+          solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
+          solar.horizon = sim_cfg.horizon;
+          const auto source = std::make_shared<const energy::SolarSource>(solar);
+          energy::StorageConfig storage;
+          storage.capacity = args.real("capacity");
+          storage.charge_efficiency = arm.efficiency;
+          storage.leakage = arm.leakage;
+          RepRecord record;
+          for (const char* name : {"lsa", "ea-dvfs"}) {
+            const auto scheduler = sched::make_scheduler(name);
+            const auto result = exp::run_once_with_storage(
+                sim_cfg, source, storage, table, *scheduler,
+                args.str("predictor"), set);
+            (std::string(name) == "lsa" ? record.lsa_miss : record.ea_miss) =
+                result.miss_rate();
+          }
+          return record;
+        });
+
     util::RunningStats lsa_miss, ea_miss;
-    for (std::size_t rep = 0; rep < n_sets; ++rep) {
-      util::Xoshiro256ss rng(seeds[rep]);
-      const task::TaskSet set = generator.generate(rng);
-      energy::SolarSourceConfig solar;
-      solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
-      solar.horizon = sim_cfg.horizon;
-      const auto source = std::make_shared<const energy::SolarSource>(solar);
-      energy::StorageConfig storage;
-      storage.capacity = args.real("capacity");
-      storage.charge_efficiency = arm.efficiency;
-      storage.leakage = arm.leakage;
-      for (const char* name : {"lsa", "ea-dvfs"}) {
-        const auto scheduler = sched::make_scheduler(name);
-        const auto result = exp::run_once_with_storage(
-            sim_cfg, source, storage, table, *scheduler,
-            args.str("predictor"), set);
-        (std::string(name) == "lsa" ? lsa_miss : ea_miss)
-            .add(result.miss_rate());
-      }
+    for (const RepRecord& record : records) {
+      lsa_miss.add(record.lsa_miss);
+      ea_miss.add(record.ea_miss);
     }
     out.add_row({arm.label, exp::fmt(lsa_miss.mean(), 4),
                  exp::fmt(ea_miss.mean(), 4),

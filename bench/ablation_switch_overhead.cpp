@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
     cfg.sim.horizon = args.real("horizon");
     cfg.solar.horizon = cfg.sim.horizon;
     cfg.overhead = arm.overhead;
+    cfg.parallel = bench::parallel_from_args(args);
 
     const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
     const auto& lsa = result.cell("lsa", cfg.capacities[0]);

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
     cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
     cfg.sim.horizon = args.real("horizon");
     cfg.solar.horizon = cfg.sim.horizon;
+    cfg.parallel = bench::parallel_from_args(args);
 
     const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
     const double capacity = cfg.capacities[0];

@@ -59,40 +59,56 @@ int main(int argc, char** argv) {
     task::GeneratorConfig gen_cfg;
     gen_cfg.target_utilization = args.real("utilization");
     gen_cfg.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
-    task::TaskSetGenerator generator(gen_cfg);
 
     const std::vector<double> capacities =
         correlated ? args.real_list("weather-capacities")
                    : args.real_list("capacities");
 
+    struct RepRecord {
+      std::vector<double> lsa, ea;  // one entry per capacity
+    };
+    const auto records = exp::parallel_map<RepRecord>(
+        n_sets,
+        exp::with_default_progress(bench::parallel_from_args(args),
+                                   "weather ablation", 20),
+        [&](std::size_t rep) {
+          util::Xoshiro256ss rng(seeds[rep]);
+          const task::TaskSetGenerator generator(gen_cfg);
+          const task::TaskSet set = generator.generate(rng);
+          std::shared_ptr<const energy::EnergySource> source;
+          if (correlated) {
+            energy::MarkovWeatherConfig cfg = weather_defaults;
+            cfg.seed = seeds[rep] ^ 0x7ea7;
+            cfg.horizon = sim_cfg.horizon;
+            // Boost amplitude so the *mean* power matches the iid arm's.
+            cfg.amplitude = 10.0 / mean_attenuation;
+            source = std::make_shared<const energy::MarkovWeatherSource>(cfg);
+          } else {
+            energy::SolarSourceConfig cfg;
+            cfg.seed = seeds[rep] ^ 0x7ea7;
+            cfg.horizon = sim_cfg.horizon;
+            source = std::make_shared<const energy::SolarSource>(cfg);
+          }
+          RepRecord record;
+          for (std::size_t c = 0; c < capacities.size(); ++c) {
+            for (const char* name : {"lsa", "ea-dvfs"}) {
+              const auto scheduler = sched::make_scheduler(name);
+              const auto result =
+                  exp::run_once(sim_cfg, source, capacities[c], table,
+                                *scheduler, args.str("predictor"), set);
+              (std::string(name) == "lsa" ? record.lsa : record.ea)
+                  .push_back(result.miss_rate());
+            }
+          }
+          return record;
+        });
+
     std::vector<util::RunningStats> lsa_miss(capacities.size());
     std::vector<util::RunningStats> ea_miss(capacities.size());
-    for (std::size_t rep = 0; rep < n_sets; ++rep) {
-      util::Xoshiro256ss rng(seeds[rep]);
-      const task::TaskSet set = generator.generate(rng);
-      std::shared_ptr<const energy::EnergySource> source;
-      if (correlated) {
-        energy::MarkovWeatherConfig cfg = weather_defaults;
-        cfg.seed = seeds[rep] ^ 0x7ea7;
-        cfg.horizon = sim_cfg.horizon;
-        // Boost amplitude so the *mean* power matches the iid arm's.
-        cfg.amplitude = 10.0 / mean_attenuation;
-        source = std::make_shared<const energy::MarkovWeatherSource>(cfg);
-      } else {
-        energy::SolarSourceConfig cfg;
-        cfg.seed = seeds[rep] ^ 0x7ea7;
-        cfg.horizon = sim_cfg.horizon;
-        source = std::make_shared<const energy::SolarSource>(cfg);
-      }
+    for (const RepRecord& record : records) {
       for (std::size_t c = 0; c < capacities.size(); ++c) {
-        for (const char* name : {"lsa", "ea-dvfs"}) {
-          const auto scheduler = sched::make_scheduler(name);
-          const auto result =
-              exp::run_once(sim_cfg, source, capacities[c], table, *scheduler,
-                            args.str("predictor"), set);
-          (std::string(name) == "lsa" ? lsa_miss : ea_miss)[c].add(
-              result.miss_rate());
-        }
+        lsa_miss[c].add(record.lsa[c]);
+        ea_miss[c].add(record.ea[c]);
       }
     }
     for (std::size_t c = 0; c < capacities.size(); ++c) {

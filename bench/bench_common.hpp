@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "util/args.hpp"
 #include "util/log.hpp"
@@ -47,8 +48,18 @@ inline void add_common_options(util::ArgParser& args, long long default_sets) {
                   "comma-separated storage capacities");
   args.add_option("predictor", "slotted-ewma",
                   "oracle | slotted-ewma | running-average | pessimistic | constant:<P>");
+  args.add_option("jobs", std::to_string(exp::hardware_jobs()),
+                  "worker threads for replications (>= 1; results are "
+                  "identical for any value)");
   args.add_option("log", "warn", "log level: debug|info|warn|error|off");
   args.add_flag("quiet", "suppress progress logging (same as --log error)");
+}
+
+/// Worker-pool config from the shared `--jobs` option.  Rejects 0/negative.
+inline exp::ParallelConfig parallel_from_args(const util::ArgParser& args) {
+  exp::ParallelConfig parallel;
+  parallel.jobs = exp::parse_jobs(args.integer("jobs"));
+  return parallel;
 }
 
 inline void apply_logging(const util::ArgParser& args) {

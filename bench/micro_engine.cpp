@@ -1,14 +1,29 @@
 /// Micro-benchmarks (google-benchmark): raw performance of the simulator's
 /// hot paths.  These are not paper reproductions — they document the cost
 /// profile that makes the 5000-task-set sweeps tractable.
+///
+/// `--scaling` switches to the parallel-runner scaling benchmark instead:
+/// a fixed miss-rate sweep is timed at --jobs 1, 2, 4 and the machine's
+/// hardware concurrency, and the replications/sec + speedup table is
+/// printed and written to BENCH_parallel_runner.json.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "energy/slotted_ewma_predictor.hpp"
 #include "energy/solar_source.hpp"
 #include "energy/storage.hpp"
+#include "exp/miss_rate_sweep.hpp"
+#include "exp/parallel_runner.hpp"
+#include "exp/report.hpp"
 #include "exp/setup.hpp"
 #include "proc/frequency_table.hpp"
 #include "sched/factory.hpp"
@@ -132,6 +147,95 @@ void BM_TaskSetGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TaskSetGeneration)->Arg(4)->Arg(8);
 
+/// How much wall-clock the worker pool buys on this machine: time one fixed
+/// sweep (all schedulers, two capacities) at increasing --jobs, report
+/// replications/sec and the speedup over the sequential run, and emit a
+/// machine-readable summary next to the other benchmark artifacts.
+int run_scaling_benchmark() {
+  using Clock = std::chrono::steady_clock;
+
+  exp::MissRateSweepConfig cfg;
+  cfg.capacities = {50.0, 100.0};
+  cfg.schedulers = {"lsa", "ea-dvfs"};
+  cfg.n_task_sets = 32;
+  cfg.sim.horizon = 2'000.0;
+  cfg.solar.horizon = 2'000.0;
+  cfg.generator.target_utilization = 0.4;
+
+  std::vector<std::size_t> jobs_axis = {1, 2, 4};
+  const std::size_t hw = exp::hardware_jobs();
+  if (std::find(jobs_axis.begin(), jobs_axis.end(), hw) == jobs_axis.end())
+    jobs_axis.push_back(hw);
+
+  struct Point {
+    std::size_t jobs = 0;
+    double seconds = 0.0;
+    double reps_per_sec = 0.0;
+    double speedup = 1.0;
+  };
+  std::vector<Point> points;
+
+  std::cout << "parallel_runner scaling: " << cfg.n_task_sets
+            << " replications x " << cfg.schedulers.size() << " schedulers x "
+            << cfg.capacities.size() << " capacities, hardware_jobs=" << hw
+            << "\n\n";
+
+  double baseline = 0.0;
+  for (const std::size_t jobs : jobs_axis) {
+    cfg.parallel.jobs = jobs;
+    const auto start = Clock::now();
+    const auto result = exp::run_miss_rate_sweep(cfg);
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (result.cells.empty() || seconds <= 0.0) {
+      std::cerr << "scaling benchmark produced no cells\n";
+      return 1;
+    }
+    Point p;
+    p.jobs = jobs;
+    p.seconds = seconds;
+    p.reps_per_sec = static_cast<double>(cfg.n_task_sets) / seconds;
+    if (jobs == 1) baseline = seconds;
+    p.speedup = baseline > 0.0 ? baseline / seconds : 1.0;
+    points.push_back(p);
+  }
+
+  exp::TextTable table({"jobs", "seconds", "replications/s", "speedup"});
+  for (const Point& p : points) {
+    table.add_row({std::to_string(p.jobs), exp::fmt(p.seconds, 3),
+                   exp::fmt(p.reps_per_sec, 1), exp::fmt(p.speedup, 2) + "x"});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "results are identical at every row; only wall-clock moves.\n";
+
+  const std::string path = exp::output_dir() + "/BENCH_parallel_runner.json";
+  std::ofstream file(path);
+  if (file) {
+    file << "{\n  \"benchmark\": \"parallel_runner_scaling\",\n"
+         << "  \"replications\": " << cfg.n_task_sets << ",\n"
+         << "  \"hardware_jobs\": " << hw << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      file << "    {\"jobs\": " << p.jobs << ", \"seconds\": " << p.seconds
+           << ", \"replications_per_sec\": " << p.reps_per_sec
+           << ", \"speedup\": " << p.speedup << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    file << "  ]\n}\n";
+    std::cout << "summary written to " << path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scaling") == 0) return run_scaling_benchmark();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

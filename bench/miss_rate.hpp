@@ -67,6 +67,7 @@ inline int run_miss_rate_figure(int argc, char** argv,
   cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
   cfg.sim.horizon = args.real("horizon");
   cfg.solar.horizon = cfg.sim.horizon;
+  cfg.parallel = parallel_from_args(args);
 
   exp::print_banner(std::cout, figure_id, paper_claim,
                     "U=" + exp::fmt(utilization, 1) + ", " +

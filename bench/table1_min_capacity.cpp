@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
     cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
     cfg.sim.horizon = args.real("horizon");
     cfg.solar.horizon = cfg.sim.horizon;
+    cfg.parallel = bench::parallel_from_args(args);
 
     const exp::CapacitySearchResult result = exp::run_capacity_search(cfg);
     table.add_row({exp::fmt(utilizations[i], 1),

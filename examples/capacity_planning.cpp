@@ -12,6 +12,7 @@
 
 #include "energy/solar_source.hpp"
 #include "exp/capacity_search.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "task/generator.hpp"
 #include "util/args.hpp"
@@ -26,6 +27,8 @@ int main(int argc, char** argv) {
   args.add_option("sets", "20", "number of random workloads to size");
   args.add_option("seed", "9", "master seed");
   args.add_option("horizon", "5000", "simulated time units per trial");
+  args.add_option("jobs", std::to_string(exp::hardware_jobs()),
+                  "worker threads (>= 1; results identical for any value)");
   if (!args.parse(argc, argv)) return 0;
 
   exp::CapacitySearchConfig cfg;
@@ -36,6 +39,7 @@ int main(int argc, char** argv) {
   cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
   cfg.sim.horizon = args.real("horizon");
   cfg.solar.horizon = cfg.sim.horizon;
+  cfg.parallel.jobs = exp::parse_jobs(args.integer("jobs"));
 
   std::cout << "sizing " << cfg.n_task_sets << " random workloads at U="
             << exp::fmt(cfg.generator.target_utilization, 2)

@@ -2,9 +2,9 @@
 
 #include <stdexcept>
 
+#include "exp/parallel_runner.hpp"
 #include "exp/setup.hpp"
 #include "sched/factory.hpp"
-#include "util/log.hpp"
 #include "util/rng.hpp"
 
 namespace eadvfs::exp {
@@ -63,41 +63,53 @@ CapacitySearchResult run_capacity_search(const CapacitySearchConfig& config) {
   result.config = config;
   result.cmin.resize(config.schedulers.size());
 
-  task::TaskSetGenerator generator(config.generator);
   const auto seeds = derive_seeds(config.seed, config.n_task_sets);
 
-  for (std::size_t rep = 0; rep < config.n_task_sets; ++rep) {
-    util::Xoshiro256ss rng(seeds[rep]);
-    const task::TaskSet task_set = generator.generate(rng);
-
-    energy::SolarSourceConfig solar = config.solar;
-    solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
-    solar.horizon = std::max(solar.horizon, config.sim.horizon);
-    const auto source = std::make_shared<const energy::SolarSource>(solar);
-
+  // One replication = one task set binary-searched for every scheduler.
+  // Records are folded in replication order so the statistics (and the
+  // evaluated/skipped counts) match the sequential run exactly.
+  struct RepRecord {
+    bool all_feasible = false;
     std::vector<double> cmins;
-    cmins.reserve(config.schedulers.size());
-    bool all_feasible = true;
-    for (const auto& name : config.schedulers) {
-      const double cmin = find_min_capacity(config, name, task_set, source);
-      if (cmin < 0.0) {
-        all_feasible = false;
-        break;
-      }
-      cmins.push_back(cmin);
-    }
-    if (!all_feasible) {
+  };
+
+  const auto records = parallel_map<RepRecord>(
+      config.n_task_sets,
+      with_default_progress(config.parallel, "capacity search", 20),
+      [&](std::size_t rep) {
+        util::Xoshiro256ss rng(seeds[rep]);
+        const task::TaskSetGenerator generator(config.generator);
+        const task::TaskSet task_set = generator.generate(rng);
+
+        energy::SolarSourceConfig solar = config.solar;
+        solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
+        solar.horizon = std::max(solar.horizon, config.sim.horizon);
+        const auto source = std::make_shared<const energy::SolarSource>(solar);
+
+        RepRecord record;
+        record.all_feasible = true;
+        record.cmins.reserve(config.schedulers.size());
+        for (const auto& name : config.schedulers) {
+          const double cmin = find_min_capacity(config, name, task_set, source);
+          if (cmin < 0.0) {
+            record.all_feasible = false;
+            break;
+          }
+          record.cmins.push_back(cmin);
+        }
+        return record;
+      });
+
+  for (const RepRecord& record : records) {
+    if (!record.all_feasible) {
       ++result.sets_skipped;
       continue;
     }
     ++result.sets_evaluated;
-    for (std::size_t s = 0; s < cmins.size(); ++s) result.cmin[s].add(cmins[s]);
-    if (cmins.size() >= 2 && cmins[1] > 0.0)
-      result.ratio_first_over_second.add(cmins[0] / cmins[1]);
-
-    if ((rep + 1) % 20 == 0)
-      EADVFS_LOG_INFO << "capacity search: " << (rep + 1) << "/"
-                      << config.n_task_sets << " task sets";
+    for (std::size_t s = 0; s < record.cmins.size(); ++s)
+      result.cmin[s].add(record.cmins[s]);
+    if (record.cmins.size() >= 2 && record.cmins[1] > 0.0)
+      result.ratio_first_over_second.add(record.cmins[0] / record.cmins[1]);
   }
   return result;
 }

@@ -4,6 +4,8 @@
 /// The experiment behind paper Table 1: the minimum storage capacity C_min
 /// that achieves a zero deadline-miss rate over the simulated horizon, per
 /// scheduler, and the ratio C_min,LSA / C_min,EA-DVFS as utilization varies.
+/// Task-set replications (each a full binary search per scheduler) run on
+/// the worker pool configured by `CapacitySearchConfig::parallel`.
 
 #include <cstdint>
 #include <memory>
@@ -11,6 +13,7 @@
 #include <vector>
 
 #include "energy/solar_source.hpp"
+#include "exp/parallel_runner.hpp"
 #include "sim/config.hpp"
 #include "task/generator.hpp"
 #include "util/stats.hpp"
@@ -28,6 +31,7 @@ struct CapacitySearchConfig {
   task::GeneratorConfig generator;
   sim::SimulationConfig sim;
   energy::SolarSourceConfig solar;
+  ParallelConfig parallel;        ///< replication worker pool.
 };
 
 struct CapacitySearchResult {

@@ -3,10 +3,10 @@
 #include <memory>
 #include <stdexcept>
 
+#include "exp/parallel_runner.hpp"
 #include "exp/setup.hpp"
 #include "sched/factory.hpp"
 #include "sim/trace.hpp"
-#include "util/log.hpp"
 #include "util/rng.hpp"
 
 namespace eadvfs::exp {
@@ -22,7 +22,6 @@ EnergyTraceResult run_energy_trace(const EnergyTraceConfig& config) {
     throw std::invalid_argument("run_energy_trace: empty axes");
 
   const proc::FrequencyTable table = proc::FrequencyTable::xscale();
-  task::TaskSetGenerator generator(config.generator);
   const auto seeds = derive_seeds(config.seed, config.n_task_sets);
 
   const auto n_points = static_cast<std::size_t>(
@@ -32,30 +31,57 @@ EnergyTraceResult run_energy_trace(const EnergyTraceConfig& config) {
       config.schedulers.size(), util::CurveAccumulator(n_points));
   std::vector<Time> grid;
 
-  for (std::size_t rep = 0; rep < config.n_task_sets; ++rep) {
-    util::Xoshiro256ss rng(seeds[rep]);
-    const task::TaskSet task_set = generator.generate(rng);
+  // Per replication: the normalized level series of every (scheduler,
+  // capacity) run, plus the shared sample grid.  Folding the records in
+  // replication order afterwards reproduces the sequential accumulation
+  // bit-for-bit at any job count.
+  struct RepRecord {
+    std::vector<Time> times;
+    std::vector<std::vector<double>> normalized;  // schedulers × capacities
+  };
 
-    energy::SolarSourceConfig solar = config.solar;
-    solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
-    solar.horizon = std::max(solar.horizon, config.sim.horizon);
-    const auto source = std::make_shared<const energy::SolarSource>(solar);
+  const auto records = parallel_map<RepRecord>(
+      config.n_task_sets,
+      with_default_progress(config.parallel, "energy trace", 10),
+      [&](std::size_t rep) {
+        util::Xoshiro256ss rng(seeds[rep]);
+        const task::TaskSetGenerator generator(config.generator);
+        const task::TaskSet task_set = generator.generate(rng);
 
+        energy::SolarSourceConfig solar = config.solar;
+        solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
+        solar.horizon = std::max(solar.horizon, config.sim.horizon);
+        const auto source = std::make_shared<const energy::SolarSource>(solar);
+
+        RepRecord record;
+        for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
+          const auto scheduler = sched::make_scheduler(config.schedulers[s]);
+          for (double capacity : config.capacities) {
+            sim::EnergyTraceRecorder recorder(config.sample_interval,
+                                              config.sim.horizon);
+            (void)run_once(config.sim, source, capacity, table, *scheduler,
+                           config.predictor, task_set, {&recorder});
+            if (record.times.empty()) record.times = recorder.times();
+            std::vector<double> series;
+            series.reserve(std::min(n_points, recorder.levels().size()));
+            for (std::size_t i = 0;
+                 i < n_points && i < recorder.levels().size(); ++i)
+              series.push_back(recorder.levels()[i] / capacity);
+            record.normalized.push_back(std::move(series));
+          }
+        }
+        return record;
+      });
+
+  for (const RepRecord& record : records) {
+    if (grid.empty()) grid = record.times;
     for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
-      const auto scheduler = sched::make_scheduler(config.schedulers[s]);
-      for (double capacity : config.capacities) {
-        sim::EnergyTraceRecorder recorder(config.sample_interval,
-                                          config.sim.horizon);
-        (void)run_once(config.sim, source, capacity, table, *scheduler,
-                       config.predictor, task_set, {&recorder});
-        if (grid.empty()) grid = recorder.times();
-        for (std::size_t i = 0; i < n_points && i < recorder.levels().size(); ++i)
-          accumulators[s].add(i, recorder.levels()[i] / capacity);
+      for (std::size_t c = 0; c < config.capacities.size(); ++c) {
+        const auto& series = record.normalized[s * config.capacities.size() + c];
+        for (std::size_t i = 0; i < series.size(); ++i)
+          accumulators[s].add(i, series[i]);
       }
     }
-    if ((rep + 1) % 10 == 0)
-      EADVFS_LOG_INFO << "energy trace: " << (rep + 1) << "/" << config.n_task_sets
-                      << " task sets";
   }
 
   EnergyTraceResult result;

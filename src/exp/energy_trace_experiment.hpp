@@ -4,12 +4,16 @@
 /// The experiment behind paper Figures 6/7: the normalized remaining energy
 /// E_C(t)/C over time, averaged with equal weight over the capacity set
 /// {200, ..., 5000} and over many random task sets (paper §5.2).
+/// Replications run on the worker pool configured by
+/// `EnergyTraceConfig::parallel`; the averaged curves are identical for any
+/// job count.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "energy/solar_source.hpp"
+#include "exp/parallel_runner.hpp"
 #include "sim/config.hpp"
 #include "task/generator.hpp"
 #include "util/stats.hpp"
@@ -26,6 +30,7 @@ struct EnergyTraceConfig {
   task::GeneratorConfig generator;
   sim::SimulationConfig sim;
   energy::SolarSourceConfig solar;
+  ParallelConfig parallel;  ///< replication worker pool.
 };
 
 struct EnergyTraceCurve {

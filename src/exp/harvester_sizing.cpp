@@ -3,9 +3,9 @@
 #include <stdexcept>
 
 #include "energy/composite_source.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/setup.hpp"
 #include "sched/factory.hpp"
-#include "util/log.hpp"
 #include "util/rng.hpp"
 
 namespace eadvfs::exp {
@@ -71,42 +71,53 @@ HarvesterSizingResult run_harvester_sizing(const HarvesterSizingConfig& config) 
   result.config = config;
   result.min_scale.resize(config.schedulers.size());
 
-  task::TaskSetGenerator generator(config.generator);
   const auto seeds = derive_seeds(config.seed, config.n_task_sets);
 
-  for (std::size_t rep = 0; rep < config.n_task_sets; ++rep) {
-    util::Xoshiro256ss rng(seeds[rep]);
-    const task::TaskSet task_set = generator.generate(rng);
-
-    energy::SolarSourceConfig solar = config.solar;
-    solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
-    solar.horizon = std::max(solar.horizon, config.sim.horizon);
-    const auto base = std::make_shared<const energy::SolarSource>(solar);
-
+  // Mirror of run_capacity_search: per-replication binary searches on the
+  // pool, aggregation replayed in replication order.
+  struct RepRecord {
+    bool all_feasible = false;
     std::vector<double> scales;
-    scales.reserve(config.schedulers.size());
-    bool all_feasible = true;
-    for (const auto& name : config.schedulers) {
-      const double scale = find_min_harvester_scale(config, name, task_set, base);
-      if (scale < 0.0) {
-        all_feasible = false;
-        break;
-      }
-      scales.push_back(scale);
-    }
-    if (!all_feasible) {
+  };
+
+  const auto records = parallel_map<RepRecord>(
+      config.n_task_sets,
+      with_default_progress(config.parallel, "harvester sizing", 20),
+      [&](std::size_t rep) {
+        util::Xoshiro256ss rng(seeds[rep]);
+        const task::TaskSetGenerator generator(config.generator);
+        const task::TaskSet task_set = generator.generate(rng);
+
+        energy::SolarSourceConfig solar = config.solar;
+        solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
+        solar.horizon = std::max(solar.horizon, config.sim.horizon);
+        const auto base = std::make_shared<const energy::SolarSource>(solar);
+
+        RepRecord record;
+        record.all_feasible = true;
+        record.scales.reserve(config.schedulers.size());
+        for (const auto& name : config.schedulers) {
+          const double scale =
+              find_min_harvester_scale(config, name, task_set, base);
+          if (scale < 0.0) {
+            record.all_feasible = false;
+            break;
+          }
+          record.scales.push_back(scale);
+        }
+        return record;
+      });
+
+  for (const RepRecord& record : records) {
+    if (!record.all_feasible) {
       ++result.sets_skipped;
       continue;
     }
     ++result.sets_evaluated;
-    for (std::size_t s = 0; s < scales.size(); ++s)
-      result.min_scale[s].add(scales[s]);
-    if (scales.size() >= 2 && scales[1] > 0.0)
-      result.ratio_first_over_second.add(scales[0] / scales[1]);
-
-    if ((rep + 1) % 20 == 0)
-      EADVFS_LOG_INFO << "harvester sizing: " << (rep + 1) << "/"
-                      << config.n_task_sets << " task sets";
+    for (std::size_t s = 0; s < record.scales.size(); ++s)
+      result.min_scale[s].add(record.scales[s]);
+    if (record.scales.size() >= 2 && record.scales[1] > 0.0)
+      result.ratio_first_over_second.add(record.scales[0] / record.scales[1]);
   }
   return result;
 }

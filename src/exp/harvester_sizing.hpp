@@ -5,7 +5,8 @@
 /// achieves zero misses at a fixed harvester, find the smallest *harvester*
 /// (solar-panel scale factor) that achieves zero misses at a fixed storage.
 /// A deployment usually fixes one and shops for the other; EA-DVFS's energy
-/// efficiency shrinks both bills.
+/// efficiency shrinks both bills.  Replications run on the worker pool
+/// configured by `HarvesterSizingConfig::parallel`.
 
 #include <cstdint>
 #include <memory>
@@ -14,6 +15,7 @@
 
 #include "energy/solar_source.hpp"
 #include "energy/source.hpp"
+#include "exp/parallel_runner.hpp"
 #include "sim/config.hpp"
 #include "task/generator.hpp"
 #include "util/stats.hpp"
@@ -32,6 +34,7 @@ struct HarvesterSizingConfig {
   task::GeneratorConfig generator;
   sim::SimulationConfig sim;
   energy::SolarSourceConfig solar;  ///< base (unit-scale) source.
+  ParallelConfig parallel;          ///< replication worker pool.
 };
 
 struct HarvesterSizingResult {

@@ -3,9 +3,9 @@
 #include <memory>
 #include <stdexcept>
 
+#include "exp/parallel_runner.hpp"
 #include "exp/setup.hpp"
 #include "sched/factory.hpp"
-#include "util/log.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
 
@@ -39,36 +39,64 @@ MissRateSweepResult run_miss_rate_sweep(const MissRateSweepConfig& config) {
   };
 
   const proc::FrequencyTable& table = config.table;
-  task::TaskSetGenerator generator(config.generator);
   const auto seeds = derive_seeds(config.seed, config.n_task_sets);
 
-  for (std::size_t rep = 0; rep < config.n_task_sets; ++rep) {
-    util::Xoshiro256ss rng(seeds[rep]);
-    const task::TaskSet task_set = generator.generate(rng);
+  // One replication = one (task set, source realization) pair simulated for
+  // every (scheduler, capacity) cell.  Workers fill plain-data records which
+  // are folded into the Welford accumulators afterwards in replication order,
+  // so the aggregate is byte-identical for any job count.
+  struct CellSample {
+    double miss_rate = 0.0;
+    double stall_time = 0.0;
+    double busy_time = 0.0;
+    double frequency_switches = 0.0;
+  };
+  using RepRecord = std::vector<CellSample>;  // schedulers × capacities
 
-    energy::SolarSourceConfig solar = config.solar;
-    solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
-    solar.horizon = std::max(solar.horizon, config.sim.horizon);
-    const auto source = std::make_shared<const energy::SolarSource>(solar);
+  const auto records = parallel_map<RepRecord>(
+      config.n_task_sets,
+      with_default_progress(config.parallel, "miss-rate sweep", 50),
+      [&](std::size_t rep) {
+        util::Xoshiro256ss rng(seeds[rep]);
+        const task::TaskSetGenerator generator(config.generator);
+        const task::TaskSet task_set = generator.generate(rng);
 
+        energy::SolarSourceConfig solar = config.solar;
+        solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
+        solar.horizon = std::max(solar.horizon, config.sim.horizon);
+        const auto source = std::make_shared<const energy::SolarSource>(solar);
+
+        RepRecord record(config.schedulers.size() * config.capacities.size());
+        for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
+          const auto scheduler = sched::make_scheduler(config.schedulers[s]);
+          for (std::size_t c = 0; c < config.capacities.size(); ++c) {
+            task::ExecutionTimeModel execution = config.execution;
+            execution.seed = seeds[rep] ^ 0xac7ac7ac7ULL;  // same jobs per cell
+            const sim::SimulationResult run = run_once(
+                config.sim, source, config.capacities[c], table, *scheduler,
+                config.predictor, task_set, {}, config.overhead, execution);
+            CellSample& sample = record[s * config.capacities.size() + c];
+            sample.miss_rate = run.miss_rate();
+            sample.stall_time = run.stall_time;
+            sample.busy_time = run.busy_time;
+            sample.frequency_switches =
+                static_cast<double>(run.frequency_switches);
+          }
+        }
+        return record;
+      });
+
+  for (const RepRecord& record : records) {
     for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
-      const auto scheduler = sched::make_scheduler(config.schedulers[s]);
       for (std::size_t c = 0; c < config.capacities.size(); ++c) {
-        task::ExecutionTimeModel execution = config.execution;
-        execution.seed = seeds[rep] ^ 0xac7ac7ac7ULL;  // same jobs per cell
-        const sim::SimulationResult run =
-            run_once(config.sim, source, config.capacities[c], table, *scheduler,
-                     config.predictor, task_set, {}, config.overhead, execution);
+        const CellSample& sample = record[s * config.capacities.size() + c];
         MissRateCell& cell = cell_at(s, c);
-        cell.miss_rate.add(run.miss_rate());
-        cell.stall_time.add(run.stall_time);
-        cell.busy_time.add(run.busy_time);
-        cell.frequency_switches.add(static_cast<double>(run.frequency_switches));
+        cell.miss_rate.add(sample.miss_rate);
+        cell.stall_time.add(sample.stall_time);
+        cell.busy_time.add(sample.busy_time);
+        cell.frequency_switches.add(sample.frequency_switches);
       }
     }
-    if ((rep + 1) % 50 == 0)
-      EADVFS_LOG_INFO << "miss-rate sweep: " << (rep + 1) << "/"
-                      << config.n_task_sets << " task sets";
   }
   return result;
 }

@@ -3,13 +3,16 @@
 /// \file miss_rate_sweep.hpp
 /// The experiment behind paper Figures 8/9: deadline miss rate as a function
 /// of storage capacity, for several schedulers, averaged over many random
-/// task sets (paired across schedulers and capacities).
+/// task sets (paired across schedulers and capacities).  Replications run on
+/// the worker pool configured by `MissRateSweepConfig::parallel`; results are
+/// identical for any job count.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "energy/solar_source.hpp"
+#include "exp/parallel_runner.hpp"
 #include "proc/frequency_table.hpp"
 #include "proc/processor.hpp"
 #include "sim/config.hpp"
@@ -33,6 +36,7 @@ struct MissRateSweepConfig {
   proc::SwitchOverhead overhead;        ///< per-transition cost (ablation).
   /// Actual-vs-worst-case execution model (ablation; 1.0 = paper's model).
   task::ExecutionTimeModel execution;
+  ParallelConfig parallel;              ///< replication worker pool.
 };
 
 /// Result cell: one (scheduler, capacity) pair aggregated over task sets.

@@ -1,0 +1,160 @@
+#include "exp/parallel_runner.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace eadvfs::exp {
+
+std::size_t hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t parse_jobs(long long requested) {
+  if (requested <= 0)
+    throw std::invalid_argument("--jobs must be a positive integer, got " +
+                                std::to_string(requested));
+  return static_cast<std::size_t>(requested);
+}
+
+ParallelRunner::ParallelRunner(ParallelConfig config)
+    : config_(std::move(config)) {
+  if (config_.jobs == 0)
+    throw std::invalid_argument("ParallelRunner: jobs must be >= 1");
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+ParallelProgress make_progress(std::size_t completed, std::size_t total,
+                               Clock::time_point start) {
+  ParallelProgress p;
+  p.completed = completed;
+  p.total = total;
+  p.elapsed_sec = seconds_since(start);
+  p.rate_per_sec =
+      p.elapsed_sec > 0.0 ? static_cast<double>(completed) / p.elapsed_sec : 0.0;
+  return p;
+}
+
+}  // namespace
+
+void ParallelRunner::run_inline(std::size_t count,
+                                const std::function<void(std::size_t)>& task) {
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    task(i);
+    const std::size_t done = i + 1;
+    if (config_.progress && config_.progress_every != 0 &&
+        (done % config_.progress_every == 0 || done == count)) {
+      config_.progress(make_progress(done, count, start));
+    }
+  }
+}
+
+void ParallelRunner::run(std::size_t count,
+                         const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  const std::size_t workers = std::min(config_.jobs, count);
+  if (workers == 1) {
+    run_inline(count, task);
+    return;
+  }
+
+  std::mutex mutex;
+  std::condition_variable work_available;
+  std::deque<std::size_t> queue;
+  bool closed = false;  // no further indices will be pushed
+  bool cancelled = false;
+  std::size_t completed = 0;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+  const auto start = Clock::now();
+
+  auto worker = [&] {
+    for (;;) {
+      std::size_t index;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_available.wait(lock,
+                            [&] { return closed || cancelled || !queue.empty(); });
+        if (cancelled || queue.empty()) return;
+        index = queue.front();
+        queue.pop_front();
+      }
+      try {
+        task(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        // Keep the failure closest to the front of the replication range so
+        // the caller sees a deterministic error regardless of scheduling.
+        if (index < error_index) {
+          error_index = index;
+          error = std::current_exception();
+        }
+        cancelled = true;
+        work_available.notify_all();
+        continue;  // let in-flight peers finish; take no new work
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++completed;
+        if (config_.progress && config_.progress_every != 0 && !cancelled &&
+            (completed % config_.progress_every == 0 || completed == count)) {
+          // Serialized by the pool lock per the ProgressFn contract.
+          config_.progress(make_progress(completed, count, start));
+        }
+      }
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::size_t i = 0; i < count; ++i) queue.push_back(i);
+    closed = true;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  work_available.notify_all();
+  for (std::thread& t : pool) t.join();
+
+  if (error) std::rethrow_exception(error);
+}
+
+ProgressFn log_progress(std::string label) {
+  return [label = std::move(label)](const ParallelProgress& p) {
+    std::ostringstream rate;
+    rate.setf(std::ios::fixed);
+    rate.precision(p.rate_per_sec < 10.0 ? 2 : 1);
+    rate << p.rate_per_sec;
+    EADVFS_LOG_INFO << label << ": " << p.completed << "/" << p.total
+                    << " replications (" << rate.str() << "/s)";
+  };
+}
+
+ParallelConfig with_default_progress(ParallelConfig config, std::string label,
+                                     std::size_t every) {
+  if (!config.progress) {
+    config.progress = log_progress(std::move(label));
+    if (config.progress_every == 0) config.progress_every = every;
+  }
+  return config;
+}
+
+}  // namespace eadvfs::exp

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file parallel_runner.hpp
+/// Deterministic parallel execution of independent experiment replications.
+///
+/// Every sweep in this harness maps a replication index range [0, count)
+/// through a pure-ish task (each replication owns its RNG, task set, energy
+/// source realization and engine — see setup.hpp) and aggregates the results.
+/// The runner executes that map on a fixed-size worker pool and hands results
+/// back *by replication index*, so callers aggregate in index order and the
+/// output is byte-identical for any thread count or OS scheduling.  With
+/// `jobs == 1` the map runs inline on the calling thread — exactly the
+/// pre-parallelism sequential behavior.
+///
+/// Contract for tasks submitted here:
+///   * a task for index i may read shared *immutable* state (configs,
+///     frequency tables) but must create everything mutable — RNG, task set,
+///     source, predictor, engine, observers — from the replication's sub-seed;
+///   * tasks must not touch each other's results;
+///   * the first failing replication's exception (lowest index among observed
+///     failures) is rethrown on the calling thread after the pool drains.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace eadvfs::exp {
+
+/// Snapshot passed to the progress callback (serialized: never concurrent).
+struct ParallelProgress {
+  std::size_t completed = 0;  ///< replications finished so far.
+  std::size_t total = 0;      ///< replications in this run.
+  double elapsed_sec = 0.0;   ///< wall-clock since run() started.
+  double rate_per_sec = 0.0;  ///< completed / elapsed (0 until measurable).
+};
+
+using ProgressFn = std::function<void(const ParallelProgress&)>;
+
+/// Worker-pool configuration carried by every experiment config.
+struct ParallelConfig {
+  /// Worker threads; must be >= 1.  1 (the default) runs inline on the
+  /// calling thread.  Use hardware_jobs() for the machine's parallelism.
+  std::size_t jobs = 1;
+  /// Invoke `progress` every this many completed replications (and once at
+  /// the end).  0 disables progress reporting.
+  std::size_t progress_every = 0;
+  /// Progress callback; invoked under the pool lock, so it needs no
+  /// synchronization of its own but should be quick.
+  ProgressFn progress;
+};
+
+/// The machine's available parallelism: hardware_concurrency(), never 0.
+[[nodiscard]] std::size_t hardware_jobs();
+
+/// Validate a user-supplied `--jobs` value: throws std::invalid_argument for
+/// zero or negative values, returns the value as std::size_t otherwise.
+[[nodiscard]] std::size_t parse_jobs(long long requested);
+
+/// Fixed-size worker pool (std::thread workers draining a mutex/condvar work
+/// queue of replication indices).  The pool lives for one run() call; the
+/// experiment harness creates one per sweep.
+class ParallelRunner {
+ public:
+  /// Throws std::invalid_argument when config.jobs == 0.
+  explicit ParallelRunner(ParallelConfig config);
+
+  /// Execute task(i) for every i in [0, count).  Blocks until all indices
+  /// completed or a task threw; in the latter case remaining queued indices
+  /// are abandoned and the lowest-index observed exception is rethrown.
+  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+
+ private:
+  void run_inline(std::size_t count,
+                  const std::function<void(std::size_t)>& task);
+
+  ParallelConfig config_;
+};
+
+/// Map [0, count) through `fn` on a pool configured by `config`, collecting
+/// the results by replication index.  `Result` must be default-constructible
+/// and movable.  This is the entry point every experiment sweep uses.
+template <typename Result, typename Fn>
+[[nodiscard]] std::vector<Result> parallel_map(std::size_t count,
+                                               const ParallelConfig& config,
+                                               Fn&& fn) {
+  std::vector<Result> results(count);
+  ParallelRunner runner(config);
+  runner.run(count, [&](std::size_t index) { results[index] = fn(index); });
+  return results;
+}
+
+/// A ProgressFn that logs "<label>: <done>/<total> replications (<rate>/s)"
+/// at INFO level — the default observer for long sweeps.
+[[nodiscard]] ProgressFn log_progress(std::string label);
+
+/// `config` with progress defaulted to log_progress(label) every `every`
+/// completions when the caller installed no callback of their own.
+[[nodiscard]] ParallelConfig with_default_progress(ParallelConfig config,
+                                                   std::string label,
+                                                   std::size_t every);
+
+}  // namespace eadvfs::exp

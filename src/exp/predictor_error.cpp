@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "energy/solar_source.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/setup.hpp"
 #include "util/math.hpp"
 
@@ -45,38 +46,64 @@ PredictorErrorResult run_predictor_error(const PredictorErrorConfig& config) {
   Time max_window = 0.0;
   for (Time w : config.windows) max_window = std::max(max_window, w);
 
-  for (std::size_t rep = 0; rep < config.n_sources; ++rep) {
-    energy::SolarSourceConfig solar = config.solar;
-    solar.seed = seeds[rep];
-    solar.horizon = config.horizon + max_window + 1.0;
-    const auto source = std::make_shared<const energy::SolarSource>(solar);
+  // One replication = one source realization with its own freshly trained
+  // predictor instances (predictors are stateful, so each worker clones its
+  // own set — nothing mutable is shared across threads).  The per-cell error
+  // sample sequences are recorded in query order and folded into the Welford
+  // accumulators in replication order afterwards; each cell therefore sees
+  // exactly the sequential add() stream at any job count.
+  struct ErrorSample {
+    double absolute = 0.0;
+    double bias = 0.0;
+  };
+  using RepRecord = std::vector<std::vector<ErrorSample>>;  // per cell
 
-    std::vector<std::unique_ptr<energy::EnergyPredictor>> predictors;
-    predictors.reserve(config.predictors.size());
-    for (const auto& name : config.predictors)
-      predictors.push_back(make_predictor(name, source));
+  const auto records = parallel_map<RepRecord>(
+      config.n_sources, config.parallel, [&](std::size_t rep) {
+        energy::SolarSourceConfig solar = config.solar;
+        solar.seed = seeds[rep];
+        solar.horizon = config.horizon + max_window + 1.0;
+        const auto source = std::make_shared<const energy::SolarSource>(solar);
 
-    Time next_query = config.warmup;
-    for (Time t = 0.0; t < config.horizon; t += config.solar.step) {
-      // Score *before* observing [t, t+step): predictions may only use the
-      // past, exactly like a scheduler at time t.
-      if (t >= next_query) {
-        next_query += config.query_interval;
-        for (std::size_t p = 0; p < predictors.size(); ++p) {
-          for (std::size_t w = 0; w < config.windows.size(); ++w) {
-            const Time window = config.windows[w];
-            const Energy predicted = predictors[p]->predict(t, t + window);
-            const Energy actual = source->energy_between(t, t + window);
-            const double scale = mean_power * window;
-            cell_at(p, w).absolute_error.add(std::abs(predicted - actual) /
-                                             scale);
-            cell_at(p, w).bias.add((predicted - actual) / scale);
+        std::vector<std::unique_ptr<energy::EnergyPredictor>> predictors;
+        predictors.reserve(config.predictors.size());
+        for (const auto& name : config.predictors)
+          predictors.push_back(make_predictor(name, source));
+
+        RepRecord record(config.predictors.size() * config.windows.size());
+        Time next_query = config.warmup;
+        for (Time t = 0.0; t < config.horizon; t += config.solar.step) {
+          // Score *before* observing [t, t+step): predictions may only use
+          // the past, exactly like a scheduler at time t.
+          if (t >= next_query) {
+            next_query += config.query_interval;
+            for (std::size_t p = 0; p < predictors.size(); ++p) {
+              for (std::size_t w = 0; w < config.windows.size(); ++w) {
+                const Time window = config.windows[w];
+                const Energy predicted = predictors[p]->predict(t, t + window);
+                const Energy actual = source->energy_between(t, t + window);
+                const double scale = mean_power * window;
+                record[p * config.windows.size() + w].push_back(
+                    {std::abs(predicted - actual) / scale,
+                     (predicted - actual) / scale});
+              }
+            }
           }
+          const Time t1 = t + config.solar.step;
+          const Energy harvested = source->energy_between(t, t1);
+          for (auto& predictor : predictors) predictor->observe(t, t1, harvested);
+        }
+        return record;
+      });
+
+  for (const RepRecord& record : records) {
+    for (std::size_t p = 0; p < config.predictors.size(); ++p) {
+      for (std::size_t w = 0; w < config.windows.size(); ++w) {
+        for (const ErrorSample& sample : record[p * config.windows.size() + w]) {
+          cell_at(p, w).absolute_error.add(sample.absolute);
+          cell_at(p, w).bias.add(sample.bias);
         }
       }
-      const Time t1 = t + config.solar.step;
-      const Energy harvested = source->energy_between(t, t1);
-      for (auto& predictor : predictors) predictor->observe(t, t1, harvested);
     }
   }
   return result;

@@ -10,12 +10,17 @@
 /// the underlying cause: which predictor is wrong, by how much, at which
 /// horizon, and in which direction (over-prediction is what kills LSA and
 /// EA-DVFS — they procrastinate on energy that never arrives).
+///
+/// Source realizations are scored independently on the worker pool
+/// configured by `PredictorErrorConfig::parallel`; every worker trains its
+/// own predictor instances, so no predictor state is shared across threads.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "energy/solar_source.hpp"
+#include "exp/parallel_runner.hpp"
 #include "util/stats.hpp"
 
 namespace eadvfs::exp {
@@ -32,6 +37,7 @@ struct PredictorErrorConfig {
   Time warmup = 700.0;          ///< skip scoring during the first cycle.
   std::uint64_t seed = 42;
   energy::SolarSourceConfig solar;
+  ParallelConfig parallel;      ///< worker pool over source realizations.
 };
 
 struct PredictorErrorCell {

@@ -10,6 +10,12 @@
 /// capacity — the paper's "for the fair comparison of LSA and EA-DVFS, all
 /// simulations are performed under the same condition" (§5.2), i.e. paired
 /// comparisons.
+///
+/// Because every replication's randomness descends from its own sub-seed and
+/// run_once() builds storage/processor/predictor/engine fresh per call,
+/// replications are independent and order-free: the sweeps execute them on
+/// the parallel_runner.hpp worker pool and aggregate by replication index
+/// (see docs/EXPERIMENTS.md for the full determinism contract).
 
 #include <memory>
 #include <string>

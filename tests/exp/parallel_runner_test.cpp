@@ -1,0 +1,176 @@
+#include "exp/parallel_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/miss_rate_sweep.hpp"
+
+namespace eadvfs::exp {
+namespace {
+
+ParallelConfig with_jobs(std::size_t jobs) {
+  ParallelConfig cfg;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+TEST(ParseJobs, AcceptsPositiveValues) {
+  EXPECT_EQ(parse_jobs(1), 1u);
+  EXPECT_EQ(parse_jobs(8), 8u);
+  EXPECT_EQ(parse_jobs(1000), 1000u);
+}
+
+TEST(ParseJobs, RejectsZeroAndNegative) {
+  EXPECT_THROW((void)parse_jobs(0), std::invalid_argument);
+  EXPECT_THROW((void)parse_jobs(-1), std::invalid_argument);
+  EXPECT_THROW((void)parse_jobs(-42), std::invalid_argument);
+}
+
+TEST(HardwareJobs, NeverZero) { EXPECT_GE(hardware_jobs(), 1u); }
+
+TEST(ParallelRunner, RejectsZeroJobs) {
+  EXPECT_THROW(ParallelRunner(with_jobs(0)), std::invalid_argument);
+}
+
+TEST(ParallelRunner, MapsEveryIndexExactlyOnce) {
+  const std::size_t count = 100;
+  const auto results = parallel_map<std::size_t>(
+      count, with_jobs(4), [](std::size_t i) { return i * 2; });
+  ASSERT_EQ(results.size(), count);
+  for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(results[i], i * 2);
+}
+
+TEST(ParallelRunner, HandlesMoreJobsThanWork) {
+  const auto results = parallel_map<std::size_t>(
+      3, with_jobs(8), [](std::size_t i) { return i + 10; });
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0], 10u);
+  EXPECT_EQ(results[1], 11u);
+  EXPECT_EQ(results[2], 12u);
+}
+
+TEST(ParallelRunner, ZeroCountReturnsEmpty) {
+  std::atomic<int> calls{0};
+  ParallelRunner runner(with_jobs(4));
+  runner.run(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  const auto results =
+      parallel_map<int>(0, with_jobs(4), [](std::size_t) { return 1; });
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(ParallelRunner, PropagatesTaskException) {
+  ParallelRunner runner(with_jobs(4));
+  try {
+    runner.run(64, [](std::size_t i) {
+      if (i == 17) throw std::runtime_error("boom at 17");
+    });
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 17");
+  }
+}
+
+TEST(ParallelRunner, PropagatesInlineException) {
+  ParallelRunner runner(with_jobs(1));
+  EXPECT_THROW(
+      runner.run(10, [](std::size_t i) {
+        if (i == 3) throw std::runtime_error("inline boom");
+      }),
+      std::runtime_error);
+}
+
+TEST(ParallelRunner, LowestIndexExceptionWins) {
+  // Every index >= 5 fails; whichever worker observes index 5 is the
+  // first failure by index, and that message must be the one rethrown.
+  ParallelRunner runner(with_jobs(8));
+  try {
+    runner.run(40, [](std::size_t i) {
+      if (i >= 5) throw std::runtime_error("fail " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "fail 5");
+  }
+}
+
+TEST(ParallelRunner, ProgressReportsMonotonicallyToCompletion) {
+  ParallelConfig cfg = with_jobs(3);
+  cfg.progress_every = 2;
+  std::vector<ParallelProgress> snapshots;
+  cfg.progress = [&](const ParallelProgress& p) { snapshots.push_back(p); };
+  ParallelRunner runner(cfg);
+  runner.run(11, [](std::size_t) {});
+  ASSERT_FALSE(snapshots.empty());
+  std::size_t last = 0;
+  for (const auto& p : snapshots) {
+    EXPECT_EQ(p.total, 11u);
+    EXPECT_GE(p.completed, last);
+    EXPECT_LE(p.completed, p.total);
+    last = p.completed;
+  }
+  EXPECT_EQ(snapshots.back().completed, 11u);
+}
+
+TEST(ParallelRunner, ProgressDisabledByDefault) {
+  // progress_every == 0 with a callback installed: never invoked.
+  ParallelConfig cfg = with_jobs(2);
+  std::atomic<int> calls{0};
+  cfg.progress = [&](const ParallelProgress&) { ++calls; };
+  ParallelRunner runner(cfg);
+  runner.run(10, [](std::size_t) {});
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(WithDefaultProgress, KeepsUserCallback) {
+  ParallelConfig cfg = with_jobs(1);
+  std::atomic<int> calls{0};
+  cfg.progress = [&](const ParallelProgress&) { ++calls; };
+  cfg.progress_every = 1;
+  const ParallelConfig out = with_default_progress(cfg, "label", 50);
+  ParallelRunner runner(out);
+  runner.run(3, [](std::size_t) {});
+  EXPECT_EQ(calls.load(), 3);  // user callback and cadence survive
+}
+
+// The tentpole regression: a full experiment sweep must produce bit-identical
+// statistics no matter how many workers execute the replications.
+TEST(ParallelRunner, SweepResultsAreThreadCountInvariant) {
+  MissRateSweepConfig cfg;
+  cfg.capacities = {50.0, 100.0};
+  cfg.schedulers = {"lsa", "ea-dvfs"};
+  cfg.n_task_sets = 6;
+  cfg.sim.horizon = 600.0;
+  cfg.solar.horizon = 600.0;
+  cfg.generator.target_utilization = 0.4;
+
+  cfg.parallel.jobs = 1;
+  const auto sequential = run_miss_rate_sweep(cfg);
+  cfg.parallel.jobs = 8;
+  const auto parallel = run_miss_rate_sweep(cfg);
+
+  ASSERT_EQ(sequential.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < sequential.cells.size(); ++i) {
+    const auto& a = sequential.cells[i];
+    const auto& b = parallel.cells[i];
+    EXPECT_EQ(a.scheduler, b.scheduler);
+    EXPECT_DOUBLE_EQ(a.capacity, b.capacity);
+    EXPECT_EQ(a.miss_rate.count(), b.miss_rate.count());
+    // Bit-identical, not just close: aggregation replays records in
+    // replication order, so the Welford streams match exactly.
+    EXPECT_DOUBLE_EQ(a.miss_rate.mean(), b.miss_rate.mean());
+    EXPECT_DOUBLE_EQ(a.miss_rate.stddev(), b.miss_rate.stddev());
+    EXPECT_DOUBLE_EQ(a.stall_time.mean(), b.stall_time.mean());
+    EXPECT_DOUBLE_EQ(a.busy_time.mean(), b.busy_time.mean());
+    EXPECT_DOUBLE_EQ(a.frequency_switches.mean(),
+                     b.frequency_switches.mean());
+  }
+}
+
+}  // namespace
+}  // namespace eadvfs::exp

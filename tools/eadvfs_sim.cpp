@@ -20,12 +20,18 @@
 /// Scenario INI keys mirror the CLI option names, grouped for readability —
 /// every key of every section is simply the option name:
 ///
-///   [simulation]  horizon, seed, miss-policy
+///   [simulation]  horizon, seed, miss-policy, replications, jobs
 ///   [workload]    tasks-csv, utilization, tasks, bcet
 ///   [energy]      source, capacity, initial, efficiency, leakage
 ///   [processor]   switch-time, switch-energy, idle-power
 ///   [scheduler]   scheduler, predictor
 ///   [output]      trace-out, trace-interval, schedule-out
+///
+/// With --replications N (N > 1) the tool switches to Monte-Carlo mode:
+/// it re-derives a sub-seed per replication (same scheme as the bench
+/// harness), regenerates the workload and the stochastic source for each,
+/// runs them on the --jobs worker pool, and reports aggregate statistics.
+/// Results are identical for every --jobs value.
 
 #include <fstream>
 #include <iostream>
@@ -38,6 +44,7 @@
 #include "energy/solar_source.hpp"
 #include "energy/trace_source.hpp"
 #include "energy/two_mode_source.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "exp/setup.hpp"
 #include "sched/factory.hpp"
@@ -47,6 +54,7 @@
 #include "util/csv.hpp"
 #include "util/ini.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace {
 
@@ -191,6 +199,11 @@ int main(int argc, char** argv) {
   args.add_option("switch-energy", "0", "DVFS transition energy");
   args.add_option("idle-power", "0", "processor draw while not executing");
   args.add_option("miss-policy", "drop", "drop | continue");
+  args.add_option("replications", "1",
+                  "Monte-Carlo replications (> 1 enables aggregate mode)");
+  args.add_option("jobs", std::to_string(eadvfs::exp::hardware_jobs()),
+                  "worker threads for replications (>= 1; results are "
+                  "identical for any value)");
   args.add_option("trace-out", "", "write storage-level CSV here");
   args.add_option("trace-interval", "10", "storage trace sample interval");
   args.add_option("schedule-out", "", "write execution-slice CSV here");
@@ -210,6 +223,106 @@ int main(int argc, char** argv) {
                           : sim::MissPolicy::kDropAtDeadline;
 
     const auto seed = static_cast<std::uint64_t>(opt.integer("seed"));
+
+    const auto n_reps = static_cast<std::size_t>(opt.integer("replications"));
+    if (n_reps > 1) {
+      // Monte-Carlo mode: aggregate over independently seeded replications.
+      if (!opt.str("trace-out").empty() || !opt.str("schedule-out").empty()) {
+        std::cout << "note: trace/schedule outputs describe a single run and "
+                     "are ignored when --replications > 1\n";
+      }
+      if (args.flag("analyze")) {
+        std::cout << "note: --analyze targets a single scenario and is "
+                     "ignored when --replications > 1\n";
+      }
+
+      const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+      const auto seeds = exp::derive_seeds(seed, n_reps);
+
+      task::TaskSet fixed_workload;
+      const bool fixed = !opt.str("tasks-csv").empty();
+      if (fixed) fixed_workload = load_tasks(opt.str("tasks-csv"));
+
+      energy::StorageConfig storage_cfg;
+      storage_cfg.capacity = opt.real("capacity");
+      storage_cfg.initial = opt.real("initial");
+      storage_cfg.charge_efficiency = opt.real("efficiency");
+      storage_cfg.leakage = opt.real("leakage");
+
+      proc::SwitchOverhead overhead;
+      overhead.time = opt.real("switch-time");
+      overhead.energy = opt.real("switch-energy");
+
+      struct RepRecord {
+        double miss_rate = 0.0;
+        double consumed = 0.0;
+        double work_completed = 0.0;
+        double brownout_time = 0.0;
+      };
+      exp::ParallelConfig parallel;
+      parallel.jobs = exp::parse_jobs(opt.integer("jobs"));
+      const auto records = exp::parallel_map<RepRecord>(
+          n_reps,
+          exp::with_default_progress(parallel, "monte-carlo", 20),
+          [&](std::size_t rep) {
+            task::TaskSet workload;
+            if (fixed) {
+              workload = fixed_workload;
+            } else {
+              task::GeneratorConfig gen_cfg;
+              gen_cfg.target_utilization = opt.real("utilization");
+              gen_cfg.n_tasks = static_cast<std::size_t>(opt.integer("tasks"));
+              const task::TaskSetGenerator generator(gen_cfg);
+              util::Xoshiro256ss rng(seeds[rep]);
+              workload = generator.generate(rng);
+            }
+            const auto rep_source =
+                make_source(opt.str("source"), cfg.horizon,
+                            seeds[rep] ^ 0x5eed5eed5eed5eedULL);
+            energy::EnergyStorage storage(storage_cfg);
+            proc::Processor processor(table, overhead,
+                                      opt.real("idle-power"));
+            auto predictor =
+                exp::make_predictor(opt.str("predictor"), rep_source);
+            task::ExecutionTimeModel execution;
+            execution.bcet_fraction = opt.real("bcet");
+            execution.seed = seeds[rep] ^ 0xE5ECULL;
+            const auto scheduler = sched::make_scheduler(opt.str("scheduler"));
+            task::JobReleaser releaser(workload, cfg.horizon, execution);
+            sim::Engine engine(cfg, *rep_source, storage, processor,
+                               *predictor, *scheduler, releaser);
+            const sim::SimulationResult r = engine.run();
+            RepRecord record;
+            record.miss_rate = r.miss_rate();
+            record.consumed = r.consumed;
+            record.work_completed = r.work_completed;
+            record.brownout_time = r.brownout_time;
+            return record;
+          });
+
+      util::RunningStats miss, consumed, work, brownout;
+      for (const RepRecord& record : records) {
+        miss.add(record.miss_rate);
+        consumed.add(record.consumed);
+        work.add(record.work_completed);
+        brownout.add(record.brownout_time);
+      }
+      std::cout << "monte-carlo: " << n_reps << " replications, scheduler "
+                << opt.str("scheduler") << ", source " << opt.str("source")
+                << "\n\n";
+      exp::TextTable out({"metric", "mean", "min", "max"});
+      out.add_row({"miss rate", exp::fmt(miss.mean(), 4),
+                   exp::fmt(miss.min(), 4), exp::fmt(miss.max(), 4)});
+      out.add_row({"energy consumed", exp::fmt(consumed.mean(), 1),
+                   exp::fmt(consumed.min(), 1), exp::fmt(consumed.max(), 1)});
+      out.add_row({"work completed", exp::fmt(work.mean(), 1),
+                   exp::fmt(work.min(), 1), exp::fmt(work.max(), 1)});
+      out.add_row({"brownout time", exp::fmt(brownout.mean(), 1),
+                   exp::fmt(brownout.min(), 1), exp::fmt(brownout.max(), 1)});
+      std::cout << out.render();
+      return 0;
+    }
+
     const auto source = make_source(opt.str("source"), cfg.horizon, seed);
 
     task::TaskSet workload;
