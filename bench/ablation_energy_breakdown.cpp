@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   gen_cfg.target_utilization = args.real("utilization");
   gen_cfg.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
   sim::SimulationConfig sim_cfg;
-  sim_cfg.horizon = args.real("horizon");
+  bench::apply_sim_options(args, sim_cfg);
 
   exp::TextTable out({"scheduler", "consumed", "overflow%", "J per work",
                       "slow-op time%", "work done", "miss rate"});

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
                                                   : args.real("capacity");
     cfg.generator.target_utilization = u;
     cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
-    cfg.sim.horizon = args.real("horizon");
+    bench::apply_sim_options(args, cfg.sim);
     cfg.solar.horizon = cfg.sim.horizon;
     cfg.parallel = bench::parallel_from_args(args);
 

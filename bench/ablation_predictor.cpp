@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     cfg.seed = static_cast<std::uint64_t>(args.integer("seed"));
     cfg.generator.target_utilization = args.real("utilization");
     cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
-    cfg.sim.horizon = args.real("horizon");
+    bench::apply_sim_options(args, cfg.sim);
     cfg.solar.horizon = cfg.sim.horizon;
     cfg.parallel = bench::parallel_from_args(args);
 

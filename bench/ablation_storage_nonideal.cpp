@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   gen_cfg.target_utilization = args.real("utilization");
   gen_cfg.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
   sim::SimulationConfig sim_cfg;
-  sim_cfg.horizon = args.real("horizon");
+  bench::apply_sim_options(args, sim_cfg);
 
   exp::TextTable out({"storage model", "LSA miss", "EA-DVFS miss", "reduction"});
   for (const Arm& arm : arms) {

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.integer("seed")), n_sets);
   const proc::FrequencyTable table = proc::FrequencyTable::xscale();
   sim::SimulationConfig sim_cfg;
-  sim_cfg.horizon = args.real("horizon");
+  bench::apply_sim_options(args, sim_cfg);
 
   exp::print_banner(std::cout, "Ablation — weather correlation",
                     "correlated clouds create multi-day droughts: the "

@@ -18,6 +18,7 @@
 
 #include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
+#include "sim/config.hpp"
 #include "util/args.hpp"
 #include "util/log.hpp"
 
@@ -53,6 +54,17 @@ inline void add_common_options(util::ArgParser& args, long long default_sets) {
                   "identical for any value)");
   args.add_option("log", "warn", "log level: debug|info|warn|error|off");
   args.add_flag("quiet", "suppress progress logging (same as --log error)");
+  args.add_flag("audit",
+                "self-audit every simulation (energy conservation, segment "
+                "coverage, scheduling invariants); aborts on any violation");
+}
+
+/// Fill the engine-level options shared by every reproduction binary:
+/// horizon from `--horizon`, invariant self-auditing from `--audit`.
+inline void apply_sim_options(const util::ArgParser& args,
+                              sim::SimulationConfig& sim) {
+  sim.horizon = args.real("horizon");
+  sim.audit = args.flag("audit");
 }
 
 /// Worker-pool config from the shared `--jobs` option.  Rejects 0/negative.

@@ -65,7 +65,7 @@ inline int run_miss_rate_figure(int argc, char** argv,
   cfg.seed = static_cast<std::uint64_t>(args.integer("seed"));
   cfg.generator.target_utilization = utilization;
   cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
-  cfg.sim.horizon = args.real("horizon");
+  apply_sim_options(args, cfg.sim);
   cfg.solar.horizon = cfg.sim.horizon;
   cfg.parallel = parallel_from_args(args);
 

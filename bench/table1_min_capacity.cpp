@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     cfg.capacity_hi = args.real("capacity-hi");
     cfg.generator.target_utilization = utilizations[i];
     cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
-    cfg.sim.horizon = args.real("horizon");
+    bench::apply_sim_options(args, cfg.sim);
     cfg.solar.horizon = cfg.sim.horizon;
     cfg.parallel = bench::parallel_from_args(args);
 

@@ -43,6 +43,10 @@ class EaDvfsScheduler final : public sim::Scheduler {
  public:
   [[nodiscard]] sim::Decision decide(const sim::SchedulingContext& ctx) override;
   [[nodiscard]] std::string name() const override;
+  /// Step 1 recomputes ineq. (6) from the live remaining work every decision.
+  [[nodiscard]] bool guarantees_min_feasible_frequency() const override {
+    return true;
+  }
 };
 
 }  // namespace eadvfs::sched

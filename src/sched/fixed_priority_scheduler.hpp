@@ -24,6 +24,8 @@ class FixedPriorityScheduler final : public sim::Scheduler {
  public:
   [[nodiscard]] sim::Decision decide(const sim::SchedulingContext& ctx) override;
   [[nodiscard]] std::string name() const override;
+  /// Fixed priorities deliberately deviate from EDF order.
+  [[nodiscard]] bool guarantees_edf_order() const override { return false; }
 };
 
 }  // namespace eadvfs::sched

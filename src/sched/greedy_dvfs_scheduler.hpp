@@ -17,6 +17,10 @@ class GreedyDvfsScheduler final : public sim::Scheduler {
  public:
   [[nodiscard]] sim::Decision decide(const sim::SchedulingContext& ctx) override;
   [[nodiscard]] std::string name() const override;
+  /// Recomputes ineq. (6) from the live remaining work every decision.
+  [[nodiscard]] bool guarantees_min_feasible_frequency() const override {
+    return true;
+  }
 };
 
 }  // namespace eadvfs::sched

@@ -1,0 +1,327 @@
+#include "sim/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "energy/storage.hpp"
+#include "proc/processor.hpp"
+#include "sim/scheduler.hpp"
+#include "util/math.hpp"
+
+namespace eadvfs::sim {
+
+using util::kEps;
+
+AuditConfig AuditConfig::for_run(const SimulationConfig& sim,
+                                 const energy::EnergyStorage& storage,
+                                 const proc::Processor& processor,
+                                 const Scheduler& scheduler) {
+  AuditConfig cfg;
+  cfg.horizon = sim.horizon;
+  cfg.miss_policy = sim.miss_policy;
+  cfg.capacity = storage.capacity();
+  cfg.table = &processor.table();
+  cfg.check_edf_order = scheduler.guarantees_edf_order();
+  cfg.check_min_frequency = scheduler.guarantees_min_feasible_frequency();
+  return cfg;
+}
+
+AuditObserver::AuditObserver(AuditConfig config) : cfg_(config) {
+  if (cfg_.check_min_frequency && cfg_.table == nullptr)
+    throw std::invalid_argument(
+        "AuditObserver: check_min_frequency requires a frequency table");
+}
+
+bool AuditObserver::near(double a, double b, double tol) const {
+  return std::abs(a - b) <= tol + 1e-9 * std::max(std::abs(a), std::abs(b));
+}
+
+void AuditObserver::violate(Time time, const char* invariant,
+                            const std::string& message) {
+  ++violation_count_;
+  if (violations_.size() < cfg_.max_recorded)
+    violations_.push_back({time, invariant, message});
+}
+
+void AuditObserver::on_release(const task::Job& job) {
+  ++releases_;
+  if (job.arrival > last_end_ + cfg_.tolerance)
+    violate(last_end_, "events",
+            "job " + std::to_string(job.id) + " released before its arrival (a=" +
+                std::to_string(job.arrival) + ", now=" + std::to_string(last_end_) +
+                ")");
+  if (!ready_.emplace(job.id, PendingJob{job.arrival, job.absolute_deadline,
+                                         job.wcet})
+           .second)
+    violate(last_end_, "events",
+            "job " + std::to_string(job.id) + " released twice");
+}
+
+void AuditObserver::on_complete(const task::Job& job, Time finish) {
+  // The engine mirrors its own comparison (kEps, not the audit tolerance) so
+  // the on-time/late classification below matches result counters exactly.
+  if (finish <= job.absolute_deadline + kEps)
+    ++completions_ontime_;
+  else
+    ++completions_late_;
+  if (!near(finish, last_end_, cfg_.tolerance))
+    violate(finish, "events",
+            "job " + std::to_string(job.id) +
+                " completed between segments (finish=" + std::to_string(finish) +
+                ", stream at " + std::to_string(last_end_) + ")");
+  if (ready_.erase(job.id) == 0)
+    violate(finish, "events",
+            "completion of job " + std::to_string(job.id) +
+                " that is not pending");
+  missed_.erase(job.id);
+}
+
+void AuditObserver::on_miss(const task::Job& job, Time deadline) {
+  ++misses_;
+  const auto it = ready_.find(job.id);
+  if (it == ready_.end()) {
+    violate(deadline, "events",
+            "miss of job " + std::to_string(job.id) + " that is not pending");
+    return;
+  }
+  if (!near(deadline, it->second.deadline, cfg_.tolerance))
+    violate(deadline, "events",
+            "job " + std::to_string(job.id) + " missed at " +
+                std::to_string(deadline) + " but its deadline is " +
+                std::to_string(it->second.deadline));
+  if (cfg_.miss_policy == MissPolicy::kDropAtDeadline) {
+    ready_.erase(it);
+  } else if (!missed_.insert(job.id).second) {
+    violate(deadline, "events",
+            "job " + std::to_string(job.id) + " missed twice");
+  }
+}
+
+void AuditObserver::check_running(const SegmentRecord& s) {
+  const Time dt = s.end - s.start;
+  const auto it = ready_.find(*s.job);
+  if (it == ready_.end()) {
+    violate(s.start, "ready",
+            "segment executes job " + std::to_string(*s.job) +
+                " which is not in the ready set");
+    return;
+  }
+
+  if (cfg_.check_edf_order) {
+    Time min_deadline = it->second.deadline;
+    for (const auto& [id, pending] : ready_)
+      min_deadline = std::min(min_deadline, pending.deadline);
+    if (it->second.deadline > min_deadline + kEps)
+      violate(s.start, "edf-order",
+              "job " + std::to_string(*s.job) + " (d=" +
+                  std::to_string(it->second.deadline) +
+                  ") ran while an earlier deadline (" +
+                  std::to_string(min_deadline) + ") was ready");
+  }
+
+  // Paper ineq. 3 made operational: the engine must stall, never run, when
+  // the storage is empty and the harvest cannot cover the requested power.
+  // Mirrors the engine's own comparison (kEps) so legitimate draining of a
+  // sub-tolerance residue is not flagged.
+  if (s.level_start <= kEps && s.consume_power > s.harvest_power + kEps)
+    violate(s.start, "physics",
+            "execution from an empty storage with harvest " +
+                std::to_string(s.harvest_power) + " below demand " +
+                std::to_string(s.consume_power));
+
+  if (cfg_.table != nullptr) {
+    if (s.op_index >= cfg_.table->size()) {
+      violate(s.start, "ready",
+              "segment uses operating point " + std::to_string(s.op_index) +
+                  " outside the table");
+      return;
+    }
+    if (cfg_.check_min_frequency) {
+      const Time window = it->second.deadline - s.start;
+      if (window > cfg_.tolerance) {
+        // Slack both operands so reconstruction round-off can only relax
+        // the bound, never fabricate a violation.
+        const Work work =
+            std::max(it->second.remaining - cfg_.tolerance, 0.0);
+        const auto min_op =
+            cfg_.table->min_feasible(work, window + cfg_.tolerance);
+        if (!min_op) {
+          if (s.op_index != cfg_.table->max_index())
+            violate(s.start, "min-frequency",
+                    "deadline-infeasible job " + std::to_string(*s.job) +
+                        " not run at f_max (op " + std::to_string(s.op_index) +
+                        ")");
+        } else if (s.op_index < *min_op) {
+          violate(s.start, "min-frequency",
+                  "job " + std::to_string(*s.job) + " ran at op " +
+                      std::to_string(s.op_index) +
+                      " below the ineq. (6) minimum op " +
+                      std::to_string(*min_op));
+        }
+      }
+    }
+    it->second.remaining = util::snap_nonnegative(
+        it->second.remaining - cfg_.table->at(s.op_index).speed * dt,
+        cfg_.tolerance);
+  }
+}
+
+void AuditObserver::on_segment(const SegmentRecord& s) {
+  const Time dt = s.end - s.start;
+
+  // (a) gapless monotone coverage and storage-level continuity.
+  if (dt < -cfg_.tolerance)
+    violate(s.start, "coverage", "segment with negative duration");
+  const Time expected_start = any_segment_ ? last_end_ : 0.0;
+  if (!near(s.start, expected_start, cfg_.tolerance))
+    violate(s.start, "coverage",
+            "segment starts at " + std::to_string(s.start) +
+                " but the stream is at " + std::to_string(expected_start));
+  if (last_level_ >= 0.0 && !near(s.level_start, last_level_, cfg_.tolerance))
+    violate(s.start, "continuity",
+            "storage level jumped between segments: " +
+                std::to_string(last_level_) + " -> " +
+                std::to_string(s.level_start) +
+                " (energy moved without a record)");
+
+  // (b) per-segment energy conservation and bounds.
+  const Energy expected_end =
+      s.level_start + s.harvested - s.consumed - s.overflow - s.leaked;
+  if (!near(s.level_end, expected_end, cfg_.tolerance))
+    violate(s.start, "energy",
+            "segment [" + std::to_string(s.start) + ", " +
+                std::to_string(s.end) + ") violates conservation: level " +
+                std::to_string(s.level_start) + " + harvest " +
+                std::to_string(s.harvested) + " - consume " +
+                std::to_string(s.consumed) + " - overflow " +
+                std::to_string(s.overflow) + " - leak " +
+                std::to_string(s.leaked) + " != " + std::to_string(s.level_end));
+  for (const Energy level : {s.level_start, s.level_end}) {
+    if (level < -cfg_.tolerance || level > cfg_.capacity + cfg_.tolerance)
+      violate(s.start, "bounds",
+              "storage level " + std::to_string(level) + " outside [0, " +
+                  std::to_string(cfg_.capacity) + "]");
+  }
+  if (s.harvested < -cfg_.tolerance || s.consumed < -cfg_.tolerance ||
+      s.overflow < -cfg_.tolerance || s.leaked < -cfg_.tolerance)
+    violate(s.start, "bounds", "negative energy quantity on segment");
+
+  // (c) scheduling invariants for running segments.
+  if (s.job.has_value()) {
+    if (s.instantaneous())
+      violate(s.start, "coverage", "zero-duration execution segment");
+    check_running(s);
+  }
+
+  // (d) accumulate the stream aggregates for finalize().
+  harvested_ += s.harvested;
+  consumed_ += s.consumed;
+  overflow_ += s.overflow;
+  leaked_ += s.leaked;
+  if (s.job.has_value()) {
+    busy_ += dt;
+    if (time_at_op_.size() <= s.op_index) time_at_op_.resize(s.op_index + 1, 0.0);
+    time_at_op_[s.op_index] += dt;
+  } else if (!s.instantaneous()) {
+    if (s.stalled)
+      stall_ += dt;
+    else
+      idle_ += dt;
+    if (s.brownout) brownout_ += dt;
+  }
+  ++segments_;
+  any_segment_ = true;
+  last_end_ = s.end;
+  last_level_ = s.level_end;
+}
+
+void AuditObserver::finalize(const SimulationResult& result) {
+  if (finalized_) throw std::logic_error("AuditObserver::finalize: called twice");
+  finalized_ = true;
+  const double tol = cfg_.aggregate_tolerance;
+
+  // (a) the stream covers [0, horizon) completely.
+  if (!any_segment_ && cfg_.horizon > cfg_.tolerance) {
+    violate(0.0, "coverage", "run produced no segments");
+  } else if (!near(last_end_, cfg_.horizon, cfg_.tolerance)) {
+    violate(last_end_, "coverage",
+            "stream ends at " + std::to_string(last_end_) +
+                ", horizon is " + std::to_string(cfg_.horizon));
+  }
+  if (!near(result.end_time, last_end_, cfg_.tolerance))
+    violate(last_end_, "coverage",
+            "result.end_time " + std::to_string(result.end_time) +
+                " != last segment end " + std::to_string(last_end_));
+
+  // (d) segment-stream sums must reproduce the result aggregates.
+  const auto check = [&](const char* what, double stream, double aggregate) {
+    if (!near(stream, aggregate, tol))
+      violate(last_end_, "aggregate",
+              std::string(what) + ": stream sum " + std::to_string(stream) +
+                  " != result " + std::to_string(aggregate));
+  };
+  check("harvested", harvested_, result.harvested);
+  check("consumed", consumed_, result.consumed);
+  check("overflow", overflow_, result.overflow);
+  check("leaked", leaked_, result.leaked);
+  check("busy_time", busy_, result.busy_time);
+  check("idle_time", idle_, result.idle_time);
+  check("stall_time", stall_, result.stall_time);
+  check("brownout_time", brownout_, result.brownout_time);
+  const std::size_t n_ops =
+      std::max(time_at_op_.size(), result.time_at_op.size());
+  for (std::size_t op = 0; op < n_ops; ++op) {
+    const Time stream = op < time_at_op_.size() ? time_at_op_[op] : 0.0;
+    const Time agg = op < result.time_at_op.size() ? result.time_at_op[op] : 0.0;
+    check(("time_at_op[" + std::to_string(op) + "]").c_str(), stream, agg);
+  }
+  if (segments_ != result.segments)
+    violate(last_end_, "aggregate",
+            "observed " + std::to_string(segments_) +
+                " segment records but result counts " +
+                std::to_string(result.segments));
+  // Compare inflows against outflows (not the subtracted error against 0) so
+  // the relative term of near() absorbs the unavoidable cancellation when
+  // the storage level dwarfs the flows (e.g. the 1e15 "infinite energy"
+  // scenarios, where one ULP of the level is ~0.1).
+  const Energy inflow = result.storage_initial + result.harvested;
+  const Energy outflow = result.storage_final + result.consumed +
+                         result.overflow + result.leaked;
+  if (!near(inflow, outflow, tol))
+    violate(last_end_, "energy",
+            "whole-run conservation error " +
+                std::to_string(result.conservation_error()));
+
+  // Job bookkeeping balances against the observed event stream.
+  const auto check_count = [&](const char* what, std::size_t stream,
+                               std::size_t aggregate) {
+    if (stream != aggregate)
+      violate(last_end_, "aggregate",
+              std::string(what) + ": observed " + std::to_string(stream) +
+                  " events but result counts " + std::to_string(aggregate));
+  };
+  check_count("jobs_released", releases_, result.jobs_released);
+  check_count("jobs_completed", completions_ontime_, result.jobs_completed);
+  check_count("jobs_completed_late", completions_late_,
+              result.jobs_completed_late);
+  check_count("jobs_missed", misses_, result.jobs_missed);
+  std::size_t unresolved = 0;
+  for (const auto& [id, pending] : ready_)
+    if (missed_.count(id) == 0) ++unresolved;
+  check_count("jobs_unresolved", unresolved, result.jobs_unresolved);
+}
+
+std::string AuditObserver::report() const {
+  if (ok()) return "audit: clean";
+  std::ostringstream out;
+  out << "audit: " << violation_count_ << " violation(s)";
+  for (const auto& v : violations_)
+    out << "\n  [t=" << v.time << "] " << v.invariant << ": " << v.message;
+  if (violation_count_ > violations_.size())
+    out << "\n  ... " << (violation_count_ - violations_.size())
+        << " further violation(s) not recorded";
+  return out.str();
+}
+
+}  // namespace eadvfs::sim

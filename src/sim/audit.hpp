@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file audit.hpp
+/// Runtime invariant auditing for simulation runs.
+///
+/// Every reproduced figure and table is an integral over the SegmentRecord
+/// stream, so a silent accounting bug in the engine corrupts the whole
+/// evaluation.  AuditObserver re-derives, from nothing but the observer
+/// stream and the run's static configuration, every property the engine is
+/// supposed to guarantee, and cross-checks the stream against the final
+/// SimulationResult:
+///
+///   (a) coverage  — segments tile [0, horizon) gaplessly in time order, and
+///       the storage level is continuous across segment boundaries (energy
+///       cannot change between segments);
+///   (b) energy    — per segment, `level_end = level_start + harvested −
+///       consumed − overflow − leaked` within tolerance, and the level stays
+///       inside [0, C];
+///   (c) scheduling — the running job was released, not yet finished and not
+///       dropped; it is the EDF front of the ready set (when the scheduler
+///       declares `guarantees_edf_order`); execution never happens from an
+///       empty storage with harvest below demand (paper ineq. 3); and the
+///       operating point never falls below the minimum feasible frequency of
+///       paper ineq. (6) (when the scheduler declares
+///       `guarantees_min_feasible_frequency`);
+///   (d) aggregates — the segment-stream sums reproduce the
+///       SimulationResult fields (harvested / consumed / overflow / busy /
+///       idle / stall / brownout / time_at_op / segments) and the job
+///       counters balance.
+///
+/// Violations are collected, not thrown, so one run reports every broken
+/// invariant at once; `Engine` (with `SimulationConfig::audit = true`)
+/// converts a non-empty report into an AuditError after the run.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "proc/frequency_table.hpp"
+#include "sim/config.hpp"
+#include "sim/observer.hpp"
+#include "sim/result.hpp"
+#include "util/types.hpp"
+
+namespace eadvfs::energy {
+class EnergyStorage;
+}
+namespace eadvfs::proc {
+class Processor;
+}
+
+namespace eadvfs::sim {
+
+class Scheduler;
+
+struct AuditConfig {
+  Time horizon = 0.0;
+  MissPolicy miss_policy = MissPolicy::kDropAtDeadline;
+  Energy capacity = 0.0;
+  /// Check that every running segment executes the EDF front (disable for
+  /// fixed-priority policies).
+  bool check_edf_order = true;
+  /// Check ineq. (6): execution never below the minimum feasible frequency.
+  /// Requires `table`; only meaningful for schedulers that re-derive the
+  /// operating point at every decision (EA-DVFS, Greedy-DVFS).
+  bool check_min_frequency = false;
+  /// Frequency table (not owned; required when check_min_frequency).
+  const proc::FrequencyTable* table = nullptr;
+  /// Per-segment absolute tolerance.  Default absorbs the engine's numeric
+  /// snapping (snap_nonnegative at 1e-6).
+  double tolerance = 2e-6;
+  /// Tolerance for whole-run sums (conservation over many segments).
+  double aggregate_tolerance = 1e-5;
+  /// Violations stored verbatim; further ones are counted only.
+  std::size_t max_recorded = 64;
+
+  /// Derive the config for a concrete run: capacity from the storage, table
+  /// from the processor, check flags from the scheduler's declared
+  /// contracts.
+  [[nodiscard]] static AuditConfig for_run(const SimulationConfig& sim,
+                                           const energy::EnergyStorage& storage,
+                                           const proc::Processor& processor,
+                                           const Scheduler& scheduler);
+};
+
+struct AuditViolation {
+  Time time = 0.0;          ///< segment/event time the violation surfaced at.
+  std::string invariant;    ///< short category: "coverage", "energy", ...
+  std::string message;
+};
+
+/// Thrown by Engine::run() when self-auditing finds violations.
+class AuditError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class AuditObserver final : public SimObserver {
+ public:
+  explicit AuditObserver(AuditConfig config);
+
+  void on_release(const task::Job& job) override;
+  void on_complete(const task::Job& job, Time finish) override;
+  void on_miss(const task::Job& job, Time deadline) override;
+  void on_segment(const SegmentRecord& segment) override;
+
+  /// End-of-run checks: horizon coverage and the stream-vs-result
+  /// cross-check.  Call exactly once, after Engine::run() returned.
+  void finalize(const SimulationResult& result);
+
+  [[nodiscard]] bool ok() const { return violation_count_ == 0; }
+  [[nodiscard]] std::size_t violation_count() const { return violation_count_; }
+  [[nodiscard]] const std::vector<AuditViolation>& violations() const {
+    return violations_;
+  }
+  /// Human-readable multi-line report ("audit: clean" when ok()).
+  [[nodiscard]] std::string report() const;
+
+ private:
+  /// What the auditor knows about a released, still-pending job.
+  struct PendingJob {
+    Time arrival = 0.0;
+    Time deadline = 0.0;
+    Work remaining = 0.0;  ///< WCET-budgeted remaining (what schedulers see).
+  };
+
+  void violate(Time time, const char* invariant, const std::string& message);
+  void check_running(const SegmentRecord& s);
+  [[nodiscard]] bool near(double a, double b, double tol) const;
+
+  AuditConfig cfg_;
+
+  // --- stream state -----------------------------------------------------
+  bool any_segment_ = false;
+  bool finalized_ = false;
+  Time last_end_ = 0.0;
+  Energy last_level_ = -1.0;  ///< < 0 until the first segment.
+  std::map<task::JobId, PendingJob> ready_;
+  std::set<task::JobId> missed_;  ///< kContinueLate: missed but still live.
+
+  // --- accumulated aggregates -------------------------------------------
+  Energy harvested_ = 0.0;
+  Energy consumed_ = 0.0;
+  Energy overflow_ = 0.0;
+  Energy leaked_ = 0.0;
+  Time busy_ = 0.0;
+  Time idle_ = 0.0;
+  Time stall_ = 0.0;
+  Time brownout_ = 0.0;
+  std::vector<Time> time_at_op_;
+  std::size_t segments_ = 0;
+  std::size_t releases_ = 0;
+  std::size_t completions_ontime_ = 0;
+  std::size_t completions_late_ = 0;
+  std::size_t misses_ = 0;
+
+  std::vector<AuditViolation> violations_;
+  std::size_t violation_count_ = 0;
+};
+
+}  // namespace eadvfs::sim

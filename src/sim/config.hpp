@@ -30,6 +30,11 @@ struct SimulationConfig {
   /// Safety valve: abort with an error after this many engine segments
   /// (guards against a zero-progress loop bug rather than hanging a sweep).
   std::size_t max_segments = 50'000'000;
+  /// Self-audit: the engine attaches a sim::AuditObserver to its own run and
+  /// throws sim::AuditError with the full violation report if any invariant
+  /// (energy conservation, segment coverage, scheduling contracts, stream/
+  /// result consistency) is broken.  Costs one extra observer per segment.
+  bool audit = false;
 };
 
 }  // namespace eadvfs::sim

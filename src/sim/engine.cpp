@@ -26,6 +26,11 @@ Engine::Engine(const SimulationConfig& config, const energy::EnergySource& sourc
     throw std::invalid_argument("Engine: horizon must be positive");
   if (config_.stall_wakeup <= 0.0)
     throw std::invalid_argument("Engine: stall_wakeup must be positive");
+  if (config_.audit) {
+    audit_ = std::make_unique<AuditObserver>(
+        AuditConfig::for_run(config_, storage_, processor_, scheduler_));
+    observers_.push_back(audit_.get());
+  }
 }
 
 void Engine::add_observer(SimObserver& observer) {
@@ -98,35 +103,47 @@ void Engine::apply_switch_overhead(const proc::SwitchOverhead& overhead) {
   // drawing `overhead.energy` from the storage (clamped at empty), with
   // harvesting continuing.  Deadlines/arrivals crossed during the stall are
   // processed at the next loop iteration (the stall is not interruptible,
-  // which is the physically conservative choice).
+  // which is the physically conservative choice).  A stall truncated by the
+  // horizon only draws the elapsed fraction of the transition energy, and a
+  // zero-duration transition (time == 0, energy > 0) is emitted as an
+  // instantaneous segment record so the observer stream still balances.
   const Time t_end = std::min(now_ + overhead.time, config_.horizon);
   const Time dt = t_end - now_;
   const Energy level_start = storage_.level();
+  const double fraction = overhead.time > 0.0 ? dt / overhead.time : 1.0;
   Energy harvested = 0.0;
+  Energy overflow = 0.0;
   if (dt > 0.0) {
     harvested = source_.energy_between(now_, t_end);
     result_.harvested += harvested;
-    result_.overflow += storage_.charge(harvested);
+    overflow = storage_.charge(harvested);
+    result_.overflow += overflow;
     processor_.note_stall(dt);
     result_.stall_time += dt;
   }
-  const Energy drawn = std::min(storage_.level(), overhead.energy);
+  const Energy drawn = std::min(storage_.level(), overhead.energy * fraction);
   storage_.discharge(drawn);
   result_.consumed += drawn;
+  const Energy leaked_before = storage_.total_leaked();
+  storage_.leak(dt);
+  const Energy leaked = storage_.total_leaked() - leaked_before;
 
-  if (dt > 0.0) {
-    predictor_.observe(now_, t_end, harvested);
-    SegmentRecord rec;
-    rec.start = now_;
-    rec.end = t_end;
-    rec.harvest_power = dt > 0.0 ? harvested / dt : 0.0;
-    rec.consume_power = dt > 0.0 ? drawn / dt : 0.0;
-    rec.level_start = level_start;
-    rec.level_end = storage_.level();
-    rec.stalled = true;
-    notify_segment(rec);
-    now_ = t_end;
-  }
+  if (dt > 0.0) predictor_.observe(now_, t_end, harvested);
+
+  SegmentRecord rec;
+  rec.start = now_;
+  rec.end = t_end;
+  rec.harvest_power = dt > 0.0 ? harvested / dt : 0.0;
+  rec.consume_power = dt > 0.0 ? drawn / dt : 0.0;
+  rec.harvested = harvested;
+  rec.consumed = drawn;
+  rec.overflow = overflow;
+  rec.leaked = leaked;
+  rec.level_start = level_start;
+  rec.level_end = storage_.level();
+  rec.stalled = true;
+  notify_segment(rec);
+  now_ = t_end;
 }
 
 void Engine::complete_job(std::vector<task::Job>::iterator it) {
@@ -204,8 +221,16 @@ void Engine::execute_segment(const Decision& decision) {
     t_next = std::min(t_next, t_empty);
   }
   if (net > kEps && !storage_.full()) {
-    const Time t_full = now_ + storage_.headroom() / net;
-    if (t_full > now_ + kEps) t_next = std::min(t_next, t_full);
+    // The storage banks only charge_efficiency of the surplus, so the level
+    // rises at net * efficiency.  Predicting the crossing with the raw net
+    // would end the segment before the storage is actually full, and the
+    // shrinking headroom would spawn a Zeno-like cascade of segments — each
+    // a spurious decision point perturbing DVFS choices.
+    const Power fill = net * storage_.config().charge_efficiency;
+    if (fill > kEps) {
+      const Time t_full = now_ + storage_.headroom() / fill;
+      if (t_full > now_ + kEps) t_next = std::min(t_next, t_full);
+    }
   }
 
   if (!(t_next > now_))
@@ -217,8 +242,10 @@ void Engine::execute_segment(const Decision& decision) {
   const Energy harvested = ps * dt;
   result_.harvested += harvested;
   Energy overflow = 0.0;
+  Energy consumed_energy = 0.0;
   if (running) {
     const Energy consumed = consume * dt;
+    consumed_energy = consumed;
     result_.consumed += consumed;
     const Energy net_energy = harvested - consumed;
     if (net_energy >= 0.0) {
@@ -237,10 +264,12 @@ void Engine::execute_segment(const Decision& decision) {
     if (brownout) {
       // Harvest feeds the idle draw directly; nothing reaches the storage
       // and the shortfall (draw - ps) goes unmet.
+      consumed_energy = harvested;
       result_.consumed += harvested;
       result_.brownout_time += dt;
     } else {
       const Energy idle_draw = draw * dt;
+      consumed_energy = idle_draw;
       result_.consumed += idle_draw;
       const Energy net_energy = harvested - idle_draw;
       if (net_energy >= 0.0) {
@@ -257,7 +286,9 @@ void Engine::execute_segment(const Decision& decision) {
       result_.idle_time += dt;
     }
   }
+  const Energy leaked_before = storage_.total_leaked();
   storage_.leak(dt);
+  const Energy leaked = storage_.total_leaked() - leaked_before;
   result_.overflow += overflow;
   predictor_.observe(now_, t_next, harvested);
 
@@ -272,8 +303,12 @@ void Engine::execute_segment(const Decision& decision) {
   rec.consume_power = running ? consume : (brownout ? ps : draw);
   rec.level_start = level_start;
   rec.level_end = storage_.level();
+  rec.harvested = harvested;
+  rec.consumed = consumed_energy;
   rec.overflow = overflow;
+  rec.leaked = leaked;
   rec.stalled = stalled;
+  rec.brownout = brownout;
   notify_segment(rec);
 
   now_ = t_next;
@@ -310,6 +345,10 @@ SimulationResult Engine::run() {
   result_.storage_final = storage_.level();
   result_.leaked = storage_.total_leaked();
   result_.frequency_switches = processor_.switch_count();
+  if (audit_) {
+    audit_->finalize(result_);
+    if (!audit_->ok()) throw AuditError(audit_->report());
+  }
   return result_;
 }
 

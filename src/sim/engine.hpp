@@ -22,6 +22,7 @@
 /// components (storage, processor, predictor, scheduler, releaser), so
 /// experiment harnesses control construction cost and seeding precisely.
 
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "energy/source.hpp"
 #include "energy/storage.hpp"
 #include "proc/processor.hpp"
+#include "sim/audit.hpp"
 #include "sim/config.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/observer.hpp"
@@ -61,6 +63,9 @@ class Engine {
   Scheduler& scheduler_;
   task::JobReleaser& releaser_;
   std::vector<SimObserver*> observers_;
+  /// Present when config.audit: registered first, finalized after the run,
+  /// and a non-clean report becomes an AuditError.
+  std::unique_ptr<AuditObserver> audit_;
 
   // --- per-run state ----------------------------------------------------
   Time now_ = 0.0;

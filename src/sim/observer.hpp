@@ -6,6 +6,26 @@
 /// consumption, and therefore a linear storage level — observers get the
 /// exact segment record and can reconstruct any quantity without sampling
 /// error.
+///
+/// Record semantics (the contract audited by sim::AuditObserver):
+///
+///   * Segments are emitted in time order and tile `[0, horizon)` without
+///     gaps: each record's `start` equals the previous record's `end`.
+///   * The energy fields are exact integrals over the segment, not sampled
+///     powers: `harvested` is the gross harvester output, `consumed` the
+///     processor/transition draw, `overflow` the harvested energy that did
+///     not fit the storage (including charge-efficiency conversion loss),
+///     `leaked` the storage self-discharge.  Conservation holds per record:
+///     `level_end = level_start + harvested − consumed − overflow − leaked`
+///     (up to the engine's numerical snapping, ≤ 1e-6).
+///   * A record may be *instantaneous* (`start == end`): a zero-duration
+///     DVFS transition that draws `SwitchOverhead::energy` produces one, so
+///     the observer stream still balances energy even though no time passes.
+///     Instantaneous records carry their energy in `consumed`; the power
+///     fields are 0 (a power over zero time is meaningless) and no time
+///     accounting (busy/idle/stall) is attributed to them.
+///   * `harvest_power`/`consume_power` are the segment-constant powers for
+///     plotting convenience; on instantaneous records they are 0.
 
 #include <cstddef>
 #include <optional>
@@ -27,9 +47,18 @@ struct SegmentRecord {
   Power consume_power = 0.0;   ///< P_n when running, else 0.
   Energy level_start = 0.0;    ///< E_C at `start`.
   Energy level_end = 0.0;      ///< E_C at `end` (linear in between).
+  Energy harvested = 0.0;      ///< exact gross harvester output on the segment.
+  Energy consumed = 0.0;       ///< exact processor/transition draw.
   Energy overflow = 0.0;       ///< harvested energy discarded (storage full).
+  Energy leaked = 0.0;         ///< storage self-discharge on the segment.
   bool stalled = false;        ///< true when the scheduler wanted to run but
-                               ///< the storage was empty (forced idle).
+                               ///< the storage was empty (forced idle), or
+                               ///< during a DVFS transition stall.
+  bool brownout = false;       ///< true when the storage was empty and the
+                               ///< harvest could not cover the idle draw.
+
+  /// True for zero-duration records (see file comment).
+  [[nodiscard]] bool instantaneous() const { return end <= start; }
 };
 
 class SimObserver {

@@ -78,6 +78,21 @@ class Scheduler {
 
   /// Clear any per-run internal state (default: stateless).
   virtual void reset() {}
+
+  // --- declared contracts (consumed by sim::AuditObserver) ---------------
+
+  /// True when every kRun decision targets the EDF front of the ready set.
+  /// All EDF-based policies (EDF, LSA, EA-DVFS, ...) satisfy this; a
+  /// fixed-priority policy must override it to false.
+  [[nodiscard]] virtual bool guarantees_edf_order() const { return true; }
+
+  /// True when every kRun decision re-derives the operating point from the
+  /// *current* remaining work and window, so execution never happens below
+  /// the minimum feasible frequency of paper ineq. (6).  Policies that cache
+  /// a plan (EA-DVFS-static) or ignore ineq. (6) entirely keep the default.
+  [[nodiscard]] virtual bool guarantees_min_feasible_frequency() const {
+    return false;
+  }
 };
 
 }  // namespace eadvfs::sim

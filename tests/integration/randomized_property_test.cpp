@@ -1,8 +1,18 @@
 /// Parameterized property sweeps: invariants that must hold for every
-/// scheduler on randomized workloads under the stochastic solar source.
+/// scheduler, under both deadline-miss policies, on randomized workloads
+/// driven by the stochastic solar source.
 ///
-/// Each (scheduler, utilization, seed) combination runs a full simulation
-/// and asserts the physical and bookkeeping invariants from DESIGN.md §6.
+/// Each (scheduler, miss policy, utilization, seed) combination — all six
+/// schedulers x both policies x 3 utilizations x 3 seeds = 108 scenarios —
+/// runs a full simulation with the sim::AuditObserver attached (run_scenario
+/// attaches it by default), so every run is additionally checked for segment
+/// coverage, energy conservation, scheduling legality and stream/result
+/// consistency on top of the explicit assertions below.
+///
+/// Runs are memoized per parameter: the artifacts are immutable once
+/// produced, and re-simulating for each of the ~10 property tests would
+/// dominate suite runtime.  DeterministicReplay deliberately bypasses the
+/// cache — its whole point is to simulate twice.
 
 #include <gtest/gtest.h>
 
@@ -21,8 +31,8 @@
 namespace eadvfs {
 namespace {
 
-using Param = std::tuple<std::string /*scheduler*/, double /*utilization*/,
-                         std::uint64_t /*seed*/>;
+using Param = std::tuple<std::string /*scheduler*/, sim::MissPolicy,
+                         double /*utilization*/, std::uint64_t /*seed*/>;
 
 class SchedulerInvariantTest : public ::testing::TestWithParam<Param> {};
 
@@ -32,11 +42,13 @@ struct RunArtifacts {
   sim::EnergyTraceRecorder trace{1.0, 0.0};
   Energy capacity = 0.0;
   std::map<task::JobId, task::Job> released;
+  std::size_t audit_violations = 0;
+  std::string audit_report;
   proc::FrequencyTable table = proc::FrequencyTable::xscale();
 };
 
 RunArtifacts run_param(const Param& param) {
-  const auto& [sched_name, utilization, seed] = param;
+  const auto& [sched_name, miss_policy, utilization, seed] = param;
 
   task::GeneratorConfig gen_cfg;
   gen_cfg.target_utilization = utilization;
@@ -51,6 +63,7 @@ RunArtifacts run_param(const Param& param) {
   s.source = std::make_shared<energy::SolarSource>(solar);
   s.capacity = 60.0 + static_cast<double>(seed % 5) * 40.0;
   s.config.horizon = 1000.0;
+  s.config.miss_policy = miss_policy;
   energy::SlottedEwmaConfig pred_cfg;
   s.predictor = std::make_unique<energy::SlottedEwmaPredictor>(pred_cfg);
 
@@ -61,18 +74,32 @@ RunArtifacts run_param(const Param& param) {
   artifacts.result = out.result;
   artifacts.schedule = out.schedule;
   artifacts.trace = out.energy_trace;
+  artifacts.audit_violations = out.audit_violations;
+  artifacts.audit_report = out.audit_report;
   for (const auto& job : artifacts.schedule.releases())
     artifacts.released[job.id] = job;
   return artifacts;
 }
 
+const RunArtifacts& cached_run(const Param& param) {
+  static std::map<Param, RunArtifacts> cache;
+  const auto it = cache.find(param);
+  if (it != cache.end()) return it->second;
+  return cache.emplace(param, run_param(param)).first->second;
+}
+
+TEST_P(SchedulerInvariantTest, AuditorReportsNoViolations) {
+  const auto& a = cached_run(GetParam());
+  EXPECT_EQ(a.audit_violations, 0u) << a.audit_report;
+}
+
 TEST_P(SchedulerInvariantTest, EnergyIsConserved) {
-  const auto a = run_param(GetParam());
+  const auto& a = cached_run(GetParam());
   EXPECT_LT(a.result.conservation_error(), 1e-5);
 }
 
 TEST_P(SchedulerInvariantTest, StorageStaysWithinBounds) {
-  const auto a = run_param(GetParam());
+  const auto& a = cached_run(GetParam());
   for (Energy level : a.trace.levels()) {
     EXPECT_GE(level, -1e-6);
     EXPECT_LE(level, a.capacity + 1e-6);
@@ -80,24 +107,27 @@ TEST_P(SchedulerInvariantTest, StorageStaysWithinBounds) {
 }
 
 TEST_P(SchedulerInvariantTest, TimeAccountingSumsToHorizon) {
-  const auto a = run_param(GetParam());
+  const auto& a = cached_run(GetParam());
   EXPECT_NEAR(a.result.busy_time + a.result.idle_time + a.result.stall_time,
               1000.0, 1e-6);
 }
 
 TEST_P(SchedulerInvariantTest, JobsExecuteOnlyInsideTheirWindows) {
-  const auto a = run_param(GetParam());
+  const auto& a = cached_run(GetParam());
+  const bool drop =
+      std::get<1>(GetParam()) == sim::MissPolicy::kDropAtDeadline;
   for (const auto& slice : a.schedule.slices()) {
     const auto it = a.released.find(slice.job);
     ASSERT_NE(it, a.released.end());
     EXPECT_GE(slice.start, it->second.arrival - 1e-6);
-    // Under the drop policy no work may happen past the deadline.
-    EXPECT_LE(slice.end, it->second.absolute_deadline + 1e-6);
+    // Only the drop policy forbids work past the deadline; kContinueLate
+    // exists precisely to let late jobs keep running.
+    if (drop) EXPECT_LE(slice.end, it->second.absolute_deadline + 1e-6);
   }
 }
 
 TEST_P(SchedulerInvariantTest, SlicesDoNotOverlap) {
-  const auto a = run_param(GetParam());
+  const auto& a = cached_run(GetParam());
   for (std::size_t i = 1; i < a.schedule.slices().size(); ++i) {
     EXPECT_GE(a.schedule.slices()[i].start,
               a.schedule.slices()[i - 1].end - 1e-9);
@@ -105,7 +135,7 @@ TEST_P(SchedulerInvariantTest, SlicesDoNotOverlap) {
 }
 
 TEST_P(SchedulerInvariantTest, CompletedJobsReceivedExactlyTheirWork) {
-  const auto a = run_param(GetParam());
+  const auto& a = cached_run(GetParam());
   for (const auto& outcome : a.schedule.outcomes()) {
     if (outcome.missed) continue;
     Work done = 0.0;
@@ -116,14 +146,14 @@ TEST_P(SchedulerInvariantTest, CompletedJobsReceivedExactlyTheirWork) {
 }
 
 TEST_P(SchedulerInvariantTest, EveryJobIsAccountedForExactlyOnce) {
-  const auto a = run_param(GetParam());
+  const auto& a = cached_run(GetParam());
   EXPECT_EQ(a.result.jobs_released,
             a.result.jobs_completed + a.result.jobs_missed +
                 a.result.jobs_unresolved);
 }
 
 TEST_P(SchedulerInvariantTest, ConsumedEnergyMatchesOpResidency) {
-  const auto a = run_param(GetParam());
+  const auto& a = cached_run(GetParam());
   Energy expected = 0.0;
   for (std::size_t op = 0; op < a.result.time_at_op.size(); ++op)
     expected += a.result.time_at_op[op] * a.table.at(op).power;
@@ -131,7 +161,7 @@ TEST_P(SchedulerInvariantTest, ConsumedEnergyMatchesOpResidency) {
 }
 
 TEST_P(SchedulerInvariantTest, MissRateWithinUnitInterval) {
-  const auto a = run_param(GetParam());
+  const auto& a = cached_run(GetParam());
   EXPECT_GE(a.result.miss_rate(), 0.0);
   EXPECT_LE(a.result.miss_rate(), 1.0);
 }
@@ -148,16 +178,21 @@ TEST_P(SchedulerInvariantTest, DeterministicReplay) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllSchedulers, SchedulerInvariantTest,
-    ::testing::Combine(::testing::Values("edf", "lsa", "ea-dvfs", "greedy-dvfs"),
+    ::testing::Combine(::testing::Values("edf", "rm", "lsa", "ea-dvfs",
+                                         "ea-dvfs-static", "greedy-dvfs"),
+                       ::testing::Values(sim::MissPolicy::kDropAtDeadline,
+                                         sim::MissPolicy::kContinueLate),
                        ::testing::Values(0.2, 0.5, 0.8),
                        ::testing::Values(1ull, 2ull, 3ull)),
     [](const ::testing::TestParamInfo<Param>& info) {
       std::string name = std::get<0>(info.param);
       for (char& c : name)
         if (c == '-') c = '_';
-      return name + "_u" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 10)) +
-             "_s" + std::to_string(std::get<2>(info.param));
+      const bool drop =
+          std::get<1>(info.param) == sim::MissPolicy::kDropAtDeadline;
+      return name + (drop ? "_drop" : "_late") + "_u" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 10)) +
+             "_s" + std::to_string(std::get<3>(info.param));
     });
 
 }  // namespace

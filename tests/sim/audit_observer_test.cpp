@@ -1,0 +1,288 @@
+/// Unit tests for sim::AuditObserver: hand-fed observer streams, one
+/// deliberately broken per invariant class, each of which must be rejected —
+/// and the consistent baseline stream, which must be accepted.  These tests
+/// bypass the engine entirely so the auditor is exercised as an independent
+/// checker, not as a mirror of engine behaviour.
+
+#include "sim/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "proc/frequency_table.hpp"
+#include "../support/scenario.hpp"
+
+namespace eadvfs {
+namespace {
+
+class AuditObserverTest : public ::testing::Test {
+ protected:
+  sim::AuditConfig config() const {
+    sim::AuditConfig cfg;
+    cfg.horizon = 10.0;
+    cfg.capacity = 100.0;
+    cfg.table = &table_;
+    cfg.check_edf_order = true;
+    cfg.check_min_frequency = false;
+    return cfg;
+  }
+
+  /// Segment with self-consistent energies (exact integrals of the two
+  /// powers, no overflow/leak) so tests corrupt exactly one thing at a time.
+  static sim::SegmentRecord seg(Time start, Time end,
+                                std::optional<task::JobId> job, std::size_t op,
+                                Power harvest, Power consume,
+                                Energy level_start) {
+    sim::SegmentRecord s;
+    s.start = start;
+    s.end = end;
+    s.job = job;
+    s.op_index = op;
+    s.harvest_power = harvest;
+    s.consume_power = consume;
+    s.harvested = harvest * (end - start);
+    s.consumed = consume * (end - start);
+    s.level_start = level_start;
+    s.level_end = level_start + s.harvested - s.consumed;
+    return s;
+  }
+
+  /// The baseline stream: job 1 (deadline 8, wcet 2) runs [0, 2) at f_max
+  /// (xscale op 4: speed 1.0, 3.2 W) against a 1 W harvest, then idle to the
+  /// horizon.  Level: 50 -> 45.6 -> 53.6.
+  void feed_clean(sim::AuditObserver& audit) const {
+    audit.on_release(test::job(1, 0.0, 8.0, 2.0));
+    audit.on_segment(seg(0.0, 2.0, 1, 4, 1.0, 3.2, 50.0));
+    audit.on_complete(test::job(1, 0.0, 8.0, 2.0), 2.0);
+    audit.on_segment(seg(2.0, 10.0, std::nullopt, 0, 1.0, 0.0, 45.6));
+  }
+
+  /// SimulationResult matching feed_clean exactly.
+  sim::SimulationResult clean_result() const {
+    sim::SimulationResult r;
+    r.jobs_released = 1;
+    r.jobs_completed = 1;
+    r.harvested = 10.0;
+    r.consumed = 6.4;
+    r.storage_initial = 50.0;
+    r.storage_final = 53.6;
+    r.busy_time = 2.0;
+    r.idle_time = 8.0;
+    r.time_at_op.assign(5, 0.0);
+    r.time_at_op[4] = 2.0;
+    r.end_time = 10.0;
+    r.segments = 2;
+    return r;
+  }
+
+  static bool flags(const sim::AuditObserver& audit, const std::string& inv) {
+    for (const auto& v : audit.violations())
+      if (v.invariant == inv) return true;
+    return false;
+  }
+
+  const proc::FrequencyTable table_ = proc::FrequencyTable::xscale();
+};
+
+TEST_F(AuditObserverTest, CleanStreamIsAccepted) {
+  sim::AuditObserver audit(config());
+  feed_clean(audit);
+  audit.finalize(clean_result());
+  EXPECT_TRUE(audit.ok()) << audit.report();
+  EXPECT_EQ(audit.report(), "audit: clean");
+}
+
+TEST_F(AuditObserverTest, CoverageGapIsRejected) {
+  sim::AuditObserver audit(config());
+  audit.on_segment(seg(0.0, 2.0, std::nullopt, 0, 0.0, 0.0, 50.0));
+  audit.on_segment(seg(3.0, 10.0, std::nullopt, 0, 0.0, 0.0, 50.0));  // gap.
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "coverage")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, StorageLevelJumpBetweenSegmentsIsRejected) {
+  sim::AuditObserver audit(config());
+  audit.on_segment(seg(0.0, 2.0, std::nullopt, 0, 0.0, 0.0, 50.0));
+  // Starts where the previous ended in time, but 5 J appeared from nowhere.
+  audit.on_segment(seg(2.0, 10.0, std::nullopt, 0, 0.0, 0.0, 55.0));
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "continuity")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, PerSegmentConservationBreakIsRejected) {
+  sim::AuditObserver audit(config());
+  sim::SegmentRecord s = seg(0.0, 2.0, std::nullopt, 0, 1.0, 0.0, 50.0);
+  s.level_end = s.level_start;  // harvested 2 J but the level did not move.
+  audit.on_segment(s);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "energy")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, LevelOutsideCapacityIsRejected) {
+  sim::AuditObserver audit(config());
+  audit.on_segment(seg(0.0, 2.0, std::nullopt, 0, 0.0, 0.0, 150.0));  // > C.
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "bounds")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, NegativeEnergyQuantityIsRejected) {
+  sim::AuditObserver audit(config());
+  sim::SegmentRecord s = seg(0.0, 2.0, std::nullopt, 0, 0.0, 0.0, 50.0);
+  s.consumed = -1.0;
+  s.level_end = 51.0;  // conservation still "holds" — bounds must catch it.
+  audit.on_segment(s);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "bounds")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, ExecutionOfUnreleasedJobIsRejected) {
+  sim::AuditObserver audit(config());
+  audit.on_segment(seg(0.0, 2.0, 7, 4, 1.0, 3.2, 50.0));  // job 7 never released.
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "ready")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, EdfOrderViolationIsRejected) {
+  sim::AuditObserver audit(config());
+  audit.on_release(test::job(1, 0.0, 8.0, 2.0));
+  audit.on_release(test::job(2, 0.0, 4.0, 1.0));  // earlier deadline.
+  audit.on_segment(seg(0.0, 2.0, 1, 4, 1.0, 3.2, 50.0));  // runs the later one.
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "edf-order")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, ExecutionFromEmptyStorageIsRejected) {
+  sim::AuditObserver audit(config());
+  audit.on_release(test::job(1, 0.0, 8.0, 2.0));
+  // Powers claim execution at 3.2 W from an empty store under a 0.5 W
+  // harvest (paper ineq. 3 forbids this); energies kept at zero so only the
+  // physics check can fire.
+  sim::SegmentRecord s = seg(0.0, 2.0, 1, 4, 0.0, 0.0, 0.0);
+  s.harvest_power = 0.5;
+  s.consume_power = 3.2;
+  audit.on_segment(s);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "physics")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, RunBelowMinimumFeasibleFrequencyIsRejected) {
+  sim::AuditConfig cfg = config();
+  cfg.check_min_frequency = true;
+  sim::AuditObserver audit(cfg);
+  // 0.9 units of work, deadline at t=1: ineq. (6) demands speed >= 0.9,
+  // i.e. xscale op 4.  Running at op 1 (speed 0.4) is a violation.
+  audit.on_release(test::job(1, 0.0, 1.0, 0.9));
+  audit.on_segment(seg(0.0, 0.5, 1, 1, 1.0, 0.4, 50.0));
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "min-frequency")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, RunAtMinimumFeasibleFrequencyIsAccepted) {
+  sim::AuditConfig cfg = config();
+  cfg.check_min_frequency = true;
+  sim::AuditObserver audit(cfg);
+  audit.on_release(test::job(1, 0.0, 1.0, 0.9));
+  audit.on_segment(seg(0.0, 0.5, 1, 4, 1.0, 3.2, 50.0));
+  EXPECT_TRUE(audit.ok()) << audit.report();
+}
+
+TEST_F(AuditObserverTest, ZeroDurationExecutionSegmentIsRejected) {
+  sim::AuditObserver audit(config());
+  audit.on_release(test::job(1, 0.0, 8.0, 2.0));
+  audit.on_segment(seg(0.0, 0.0, 1, 4, 0.0, 0.0, 50.0));
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "coverage")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, CompletionOfUnknownJobIsRejected) {
+  sim::AuditObserver audit(config());
+  audit.on_complete(test::job(9, 0.0, 8.0, 2.0), 0.0);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "events")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, DoubleReleaseIsRejected) {
+  sim::AuditObserver audit(config());
+  audit.on_release(test::job(1, 0.0, 8.0, 2.0));
+  audit.on_release(test::job(1, 0.0, 8.0, 2.0));
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "events")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, AggregateMismatchIsRejected) {
+  sim::AuditObserver audit(config());
+  feed_clean(audit);
+  sim::SimulationResult r = clean_result();
+  r.consumed += 1.0;  // result claims more than the stream accounts for.
+  audit.finalize(r);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "aggregate")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, SegmentCountMismatchIsRejected) {
+  sim::AuditObserver audit(config());
+  feed_clean(audit);
+  sim::SimulationResult r = clean_result();
+  r.segments = 5;
+  audit.finalize(r);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "aggregate")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, WholeRunConservationBreakIsRejected) {
+  sim::AuditObserver audit(config());
+  feed_clean(audit);
+  sim::SimulationResult r = clean_result();
+  r.storage_final += 1.0;
+  audit.finalize(r);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "energy")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, JobCounterMismatchIsRejected) {
+  sim::AuditObserver audit(config());
+  feed_clean(audit);
+  sim::SimulationResult r = clean_result();
+  r.jobs_completed = 0;
+  audit.finalize(r);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "aggregate")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, StreamEndingShortOfHorizonIsRejected) {
+  sim::AuditObserver audit(config());
+  audit.on_segment(seg(0.0, 2.0, std::nullopt, 0, 0.0, 0.0, 50.0));
+  sim::SimulationResult r;
+  r.storage_initial = 50.0;
+  r.storage_final = 50.0;
+  r.idle_time = 2.0;
+  r.end_time = 2.0;
+  r.segments = 1;
+  audit.finalize(r);  // horizon is 10; the stream stops at 2.
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(flags(audit, "coverage")) << audit.report();
+}
+
+TEST_F(AuditObserverTest, ViolationsBeyondCapAreCountedNotStored) {
+  sim::AuditConfig cfg = config();
+  cfg.max_recorded = 1;
+  sim::AuditObserver audit(cfg);
+  audit.on_segment(seg(0.0, 2.0, std::nullopt, 0, 0.0, 0.0, 50.0));
+  audit.on_segment(seg(5.0, 6.0, std::nullopt, 0, 0.0, 0.0, 50.0));  // gap 1.
+  audit.on_segment(seg(8.0, 9.0, std::nullopt, 0, 0.0, 0.0, 50.0));  // gap 2.
+  EXPECT_EQ(audit.violations().size(), 1u);
+  EXPECT_EQ(audit.violation_count(), 2u);
+  EXPECT_NE(audit.report().find("further violation"), std::string::npos);
+}
+
+TEST_F(AuditObserverTest, FinalizeTwiceThrows) {
+  sim::AuditObserver audit(config());
+  feed_clean(audit);
+  audit.finalize(clean_result());
+  EXPECT_THROW(audit.finalize(clean_result()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eadvfs

@@ -75,6 +75,30 @@ TEST(EngineEnergy, TraceShowsExactFillInstant) {
   EXPECT_NEAR(out.energy_trace.levels()[15], 10.0, 1e-9);
 }
 
+TEST(EngineEnergy, FullCrossingAccountsForChargeEfficiency) {
+  // 2 W of harvest at 50% charge efficiency fills 10 J from empty at exactly
+  // t = 10.  Regression caught by the differential oracle: the engine used
+  // to predict the full crossing with the raw net power, ending the segment
+  // at t = 5 with the storage only half full and then cascading into a
+  // Zeno-like tail of shrinking segments — each one a spurious decision
+  // point perturbing DVFS choices.
+  Scenario s;
+  s.source = std::make_shared<energy::ConstantSource>(2.0);
+  s.capacity = 10.0;
+  s.initial = 0.0;
+  s.efficiency = 0.5;
+  s.config.horizon = 20.0;
+  sched::EdfScheduler edf;
+  const auto out = run_scenario(std::move(s), edf);
+  // Exactly one charging segment [0, 10) and one saturated segment [10, 20).
+  EXPECT_EQ(out.result.segments, 2u);
+  EXPECT_NEAR(out.energy_trace.levels()[5], 5.0, 1e-9);
+  EXPECT_NEAR(out.energy_trace.levels()[10], 10.0, 1e-9);
+  // Conversion loss while charging (10 J) plus everything after saturation.
+  EXPECT_NEAR(out.result.overflow, 30.0, 1e-9);
+  EXPECT_LT(out.result.conservation_error(), 1e-6);
+}
+
 TEST(EngineEnergy, ConsumptionDrawsDownStorage) {
   Scenario s;
   s.jobs = {job(0, 0.0, 10.0, 2.0)};

@@ -1,0 +1,135 @@
+/// Regression tests for the three switch-overhead accounting bugs the audit
+/// work flushed out of Engine::apply_switch_overhead:
+///   1. storage leakage was not applied during a transition stall;
+///   2. a zero-duration transition (time == 0, energy > 0) drew energy
+///      without emitting any SegmentRecord, so the observer stream did not
+///      balance;
+///   3. a transition truncated by the horizon drew the *full* switch energy
+///      instead of prorating it by the stalled fraction.
+///
+/// Bugs 1 and 3 are self-consistent (conservation holds either way), so the
+/// auditor alone cannot see them — these tests pin the intended model
+/// semantics directly.  Bug 2 is also covered by the auditor's continuity
+/// and aggregate checks; the test here additionally pins the shape of the
+/// instantaneous record.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "energy/predictor.hpp"
+#include "energy/source.hpp"
+#include "energy/storage.hpp"
+#include "proc/processor.hpp"
+#include "sched/edf_scheduler.hpp"
+#include "sim/audit.hpp"
+#include "sim/engine.hpp"
+#include "../support/scenario.hpp"
+#include "task/releaser.hpp"
+
+namespace eadvfs {
+namespace {
+
+using test::job;
+
+/// Leakage must accrue on *every* segment, including the transition stall.
+/// One job on EDF forces exactly one switch (the processor boots at the
+/// slowest point); with the storage nowhere near empty, the total leak over
+/// the run must therefore be exactly leakage * horizon — a missing
+/// `storage_.leak(dt)` on the stall path shows up as one stall's worth less.
+TEST(SwitchOverhead, LeakageAccruesDuringTransitionStall) {
+  test::Scenario s;
+  s.jobs = {job(1, 0.0, 50.0, 5.0)};
+  s.source = std::make_shared<energy::ConstantSource>(1.0);
+  s.capacity = 1000.0;
+  s.initial = 500.0;
+  s.leakage = 0.01;
+  s.overhead = {1.0, 0.5};
+  s.config.horizon = 100.0;
+  sched::EdfScheduler scheduler;
+  const auto outcome = test::run_scenario(std::move(s), scheduler);
+
+  EXPECT_GE(outcome.result.frequency_switches, 1u);
+  EXPECT_NEAR(outcome.result.stall_time, 1.0, 1e-9);
+  EXPECT_NEAR(outcome.result.leaked, 0.01 * 100.0, 1e-6);
+}
+
+/// A zero-duration transition still moves energy, so it must leave a record:
+/// an instantaneous segment (start == end) carrying the draw in `consumed`
+/// with zero power fields — otherwise the storage level jumps between
+/// records and the stream no longer reproduces `result.consumed`.
+TEST(SwitchOverhead, ZeroDurationTransitionEmitsInstantaneousRecord) {
+  struct SegmentLog final : sim::SimObserver {
+    std::vector<sim::SegmentRecord> segments;
+    void on_segment(const sim::SegmentRecord& s) override {
+      segments.push_back(s);
+    }
+  };
+
+  sim::SimulationConfig config;
+  config.horizon = 10.0;
+  const auto source = std::make_shared<energy::ConstantSource>(0.0);
+  energy::StorageConfig storage_cfg;
+  storage_cfg.capacity = 100.0;
+  storage_cfg.initial = 50.0;
+  energy::EnergyStorage storage(storage_cfg);
+  proc::Processor processor(proc::FrequencyTable::xscale(), {0.0, 0.5});
+  energy::OraclePredictor predictor(source);
+  sched::EdfScheduler scheduler;
+  task::JobReleaser releaser(std::vector<task::Job>{job(1, 0.0, 8.0, 2.0)});
+
+  sim::Engine engine(config, *source, storage, processor, predictor, scheduler,
+                     releaser);
+  sim::AuditObserver audit(
+      sim::AuditConfig::for_run(config, storage, processor, scheduler));
+  SegmentLog log;
+  engine.add_observer(audit);
+  engine.add_observer(log);
+  const sim::SimulationResult result = engine.run();
+  audit.finalize(result);
+  EXPECT_TRUE(audit.ok()) << audit.report();
+
+  const sim::SegmentRecord* transition = nullptr;
+  for (const auto& seg : log.segments)
+    if (seg.instantaneous()) transition = &seg;
+  ASSERT_NE(transition, nullptr) << "no instantaneous record emitted";
+  EXPECT_EQ(transition->start, 0.0);
+  EXPECT_EQ(transition->end, 0.0);
+  EXPECT_FALSE(transition->job.has_value());
+  EXPECT_TRUE(transition->stalled);
+  EXPECT_EQ(transition->harvest_power, 0.0);
+  EXPECT_EQ(transition->consume_power, 0.0);
+  EXPECT_NEAR(transition->consumed, 0.5, 1e-12);
+  EXPECT_NEAR(transition->level_start - transition->level_end, 0.5, 1e-12);
+
+  // Run at f_max: 2 work at 3.2 W = 6.4 J, plus the 0.5 J transition; no
+  // time passes in the transition so stall_time stays zero.
+  EXPECT_NEAR(result.consumed, 6.9, 1e-9);
+  EXPECT_NEAR(result.stall_time, 0.0, 1e-12);
+}
+
+/// A transition cut short by the horizon only stalls for `dt` of its
+/// nominal `overhead.time`, so it must only draw `dt / time` of the switch
+/// energy.  Job arrives at t = 8 with a 5-unit transition and the horizon
+/// at 10: 2/5 of the stall happens, so 2/5 of the 1 J must be drawn.
+TEST(SwitchOverhead, HorizonTruncatedTransitionProratesEnergy) {
+  test::Scenario s;
+  s.jobs = {job(1, 8.0, 10.0, 1.0)};
+  s.source = std::make_shared<energy::ConstantSource>(0.0);
+  s.capacity = 100.0;
+  s.initial = 50.0;
+  s.overhead = {5.0, 1.0};
+  s.config.horizon = 10.0;
+  sched::EdfScheduler scheduler;
+  const auto outcome = test::run_scenario(std::move(s), scheduler);
+
+  EXPECT_NEAR(outcome.result.stall_time, 2.0, 1e-9);
+  EXPECT_NEAR(outcome.result.busy_time, 0.0, 1e-12);
+  EXPECT_NEAR(outcome.result.consumed, 0.4, 1e-9);
+  EXPECT_NEAR(outcome.result.storage_final, 49.6, 1e-9);
+  EXPECT_EQ(outcome.result.jobs_unresolved, 1u);
+}
+
+}  // namespace
+}  // namespace eadvfs

@@ -1,0 +1,239 @@
+#pragma once
+
+/// \file reference_sim.hpp
+/// Differential-testing oracle: a deliberately naive fixed-step re-implementation
+/// of the simulation loop.  Where the engine computes exact event instants and
+/// integrates each constant-dynamics segment in closed form, this reference
+/// advances time in small constant steps, samples the harvest power on the
+/// left edge, quantizes releases/deadlines/completions to step boundaries and
+/// clamps the storage numerically.  The two implementations share no
+/// integration code, so agreement of their end states (within an O(step)
+/// tolerance) is strong evidence that the engine's event algebra is right —
+/// and a disagreement localizes a bug in one of them.
+///
+/// Decision points follow the engine's published contract (scheduler.hpp):
+/// the scheduler is re-invoked on releases, completions, deadline instants
+/// (of every released job — the engine's event queue fires them whether or
+/// not the job already finished), source piece boundaries, storage
+/// full/empty crossings and at the decision's own `recheck_at` — each
+/// detected on the step grid, so every decision lands at most one step
+/// after the engine's exact instant.  This
+/// matters: re-deciding *every* step would implement a strictly more
+/// aggressive policy for schedulers whose choice depends on the decision
+/// instant (Greedy-DVFS down-switches the moment ineq. (6) allows, driving
+/// completions onto their exact deadlines), and job outcomes would then
+/// legitimately differ from the engine's.
+///
+/// Scope (kept naive on purpose):
+///   * explicit job lists only (no task-set expansion) — actual work defaults
+///     to the WCET like task::JobReleaser does;
+///   * zero DVFS switch overhead (throws otherwise — transition stalls are an
+///     engine-exact construct the naive loop does not model).
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "energy/predictor.hpp"
+#include "energy/source.hpp"
+#include "proc/frequency_table.hpp"
+#include "sim/config.hpp"
+#include "sim/scheduler.hpp"
+#include "task/job.hpp"
+#include "util/math.hpp"
+
+#include "scenario.hpp"
+
+namespace eadvfs::test {
+
+struct ReferenceResult {
+  std::size_t jobs_released = 0;
+  std::size_t jobs_completed = 0;  ///< on time.
+  std::size_t jobs_missed = 0;
+  Energy storage_final = 0.0;
+  Energy harvested = 0.0;
+  Energy consumed = 0.0;
+  Energy overflow = 0.0;
+  Work work_completed = 0.0;
+};
+
+/// Re-integrate `scenario` with time step `step`.  The scenario is taken by
+/// const reference (run_scenario consumes its own copy), and `scheduler`
+/// must be a fresh instance of the same policy the engine run used.
+///
+/// `deadline_grace` widens the on-time/miss classification by that much
+/// simulated time: quantization delays every decision by up to one step, so
+/// a job the engine completes exactly at its deadline can land a fraction of
+/// a step late here.  A grace of a few steps absorbs that artifact without
+/// affecting jobs that have real slack.
+inline ReferenceResult run_reference(const Scenario& scenario,
+                                     sim::Scheduler& scheduler, Time step,
+                                     Time deadline_grace = 0.0) {
+  if (scenario.overhead.time > 0.0 || scenario.overhead.energy > 0.0)
+    throw std::invalid_argument(
+        "run_reference: switch overhead is not modelled by the naive loop");
+  if (!scenario.task_set.empty())
+    throw std::invalid_argument("run_reference: explicit job lists only");
+  if (step <= 0.0) throw std::invalid_argument("run_reference: step must be > 0");
+
+  const Time horizon = scenario.config.horizon;
+  const bool drop =
+      scenario.config.miss_policy == sim::MissPolicy::kDropAtDeadline;
+  const Energy capacity = scenario.capacity;
+  Energy level = scenario.initial < 0.0 ? capacity : scenario.initial;
+
+  std::vector<task::Job> pending = scenario.jobs;
+  for (task::Job& job : pending) {
+    job.remaining = job.wcet;
+    if (job.actual_work <= 0.0) job.actual_work = job.wcet;
+    job.actual_remaining = job.actual_work;
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const task::Job& a, const task::Job& b) {
+              return a.arrival < b.arrival;
+            });
+  std::size_t next_pending = 0;
+
+  // Every released job's deadline instant is an engine decision point, even
+  // when the job completed earlier (the event queue still fires).  Releases
+  // always precede deadlines, so the upfront sorted list is equivalent to
+  // enqueuing at release time.
+  std::vector<Time> deadline_events;
+  deadline_events.reserve(pending.size());
+  for (const task::Job& job : pending)
+    deadline_events.push_back(job.absolute_deadline);
+  std::sort(deadline_events.begin(), deadline_events.end());
+  std::size_t next_deadline = 0;
+
+  std::vector<task::Job> ready;  // kept EDF-sorted for SchedulingContext.
+  std::vector<task::JobId> missed_live;  // kContinueLate: already counted.
+  energy::OraclePredictor predictor(scenario.source);
+  scheduler.reset();
+
+  // The decision in force, carried between decision points.
+  bool event = true;  // force an initial decision.
+  sim::Decision decision;
+  Power prev_ps = -1.0;
+
+  ReferenceResult r;
+  for (Time t = 0.0; t < horizon - 1e-12; t += step) {
+    const Time h = std::min(step, horizon - t);
+
+    // Releases and deadline misses, quantized to the step grid.
+    while (next_pending < pending.size() &&
+           pending[next_pending].arrival <= t + util::kEps) {
+      ready.push_back(pending[next_pending]);
+      ++next_pending;
+      ++r.jobs_released;
+      event = true;
+    }
+    std::sort(ready.begin(), ready.end(), task::EdfBefore{});
+    for (std::size_t i = 0; i < ready.size();) {
+      task::Job& job = ready[i];
+      const bool counted =
+          std::find(missed_live.begin(), missed_live.end(), job.id) !=
+          missed_live.end();
+      if (job.absolute_deadline + deadline_grace <= t + util::kEps &&
+          job.actual_remaining > util::kEps && !counted) {
+        ++r.jobs_missed;
+        event = true;
+        if (drop) {
+          ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+        missed_live.push_back(job.id);
+      }
+      ++i;
+    }
+
+    while (next_deadline < deadline_events.size() &&
+           deadline_events[next_deadline] <= t + util::kEps) {
+      ++next_deadline;
+      event = true;
+    }
+
+    // Re-decide only at the engine's published decision points.
+    const Power ps = scenario.source->power_at(t);
+    if (ps != prev_ps) event = true;  // source piece boundary.
+    prev_ps = ps;
+    if (t + 1e-12 >= decision.recheck_at) event = true;
+    if (event) {
+      decision = ready.empty() ? sim::Decision::idle_until(kHuge)
+                               : [&] {
+                                   sim::SchedulingContext ctx;
+                                   ctx.now = t;
+                                   ctx.ready = &ready;
+                                   ctx.stored = level;
+                                   ctx.predictor = &predictor;
+                                   ctx.table = &scenario.table;
+                                   return scheduler.decide(ctx);
+                                 }();
+      event = false;
+    }
+
+    bool running = false;
+    std::size_t run_index = 0;
+    Power draw = scenario.idle_power;
+    double speed = 0.0;
+    if (decision.kind == sim::Decision::Kind::kRun) {
+      bool found = false;
+      for (std::size_t i = 0; i < ready.size(); ++i)
+        if (ready[i].id == decision.job) {
+          run_index = i;
+          found = true;
+        }
+      // A removed job always sets `event`, so a stale decision cannot
+      // survive to this point — but stay safe and idle one step if it does.
+      if (!found) event = true;
+      const proc::OperatingPoint& op = scenario.table.at(decision.op_index);
+      // Same physical-feasibility override as the engine.
+      if (found && !(level <= util::kEps && op.power > ps + util::kEps)) {
+        running = true;
+        draw = op.power;
+        speed = op.speed;
+      }
+    }
+
+    // Integrate one step: harvest-first, storage clamped numerically.
+    const Energy level_before = level;
+    const Energy harvested = ps * h;
+    const Energy needed = draw * h;
+    r.harvested += harvested;
+    if (level <= util::kEps && !running && needed > harvested + util::kEps) {
+      r.consumed += harvested;  // brownout: only the harvest is consumable.
+    } else {
+      r.consumed += needed;
+      const Energy net = harvested - needed;
+      if (net >= 0.0) {
+        const Energy accepted =
+            std::min(net * scenario.efficiency, capacity - level);
+        level += accepted;
+        r.overflow += net - accepted;
+      } else {
+        level = std::max(0.0, level + net);
+      }
+    }
+    level = std::max(0.0, level - scenario.leakage * h);
+    // Storage full/empty crossings are engine decision points.
+    if ((level >= capacity - 1e-12) != (level_before >= capacity - 1e-12))
+      event = true;
+    if ((level <= util::kEps) != (level_before <= util::kEps)) event = true;
+
+    if (running) {
+      task::Job& job = ready[run_index];
+      job.remaining = util::snap_nonnegative(job.remaining - speed * h);
+      job.actual_remaining -= speed * h;
+      if (job.actual_remaining <= util::kEps) {
+        r.work_completed += job.actual_work;
+        if (t + h <= job.absolute_deadline + deadline_grace + util::kEps)
+          ++r.jobs_completed;
+        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(run_index));
+        event = true;
+      }
+    }
+  }
+  r.storage_final = level;
+  return r;
+}
+
+}  // namespace eadvfs::test

@@ -4,6 +4,14 @@
 /// Shared test fixture plumbing: build a complete simulation around an
 /// explicit job list or task set with a few knobs, run it, and return both
 /// the result and a full schedule recording for assertions.
+///
+/// Every run is audited by default: a sim::AuditObserver (configured from
+/// the scheduler's declared contracts) validates segment coverage, energy
+/// conservation, scheduling invariants and stream/result consistency, and
+/// any violation becomes a test failure at the call site.  Set
+/// `Scenario::audit = false` only for tests that deliberately corrupt state.
+
+#include <gtest/gtest.h>
 
 #include <memory>
 #include <string>
@@ -13,6 +21,7 @@
 #include "energy/source.hpp"
 #include "energy/storage.hpp"
 #include "proc/processor.hpp"
+#include "sim/audit.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
@@ -29,17 +38,24 @@ struct Scenario {
       std::make_shared<energy::ConstantSource>(0.0);
   Energy capacity = 1000.0;
   Energy initial = -1.0;  ///< <0 = full.
+  double efficiency = 1.0;  ///< storage charge efficiency (0, 1].
+  Power leakage = 0.0;      ///< storage self-discharge power.
+  Power idle_power = 0.0;   ///< processor draw while not executing.
   proc::FrequencyTable table = proc::FrequencyTable::xscale();
   proc::SwitchOverhead overhead = {};
   /// Default: oracle (exact prediction) so scheduler tests are analytic.
   std::unique_ptr<energy::EnergyPredictor> predictor;
   sim::SimulationConfig config;
+  /// Attach the invariant auditor and fail the test on violations.
+  bool audit = true;
 };
 
 struct ScenarioOutcome {
   sim::SimulationResult result;
   sim::ScheduleRecorder schedule;
   sim::EnergyTraceRecorder energy_trace{1.0, 0.0};  // re-assigned in run
+  std::size_t audit_violations = 0;
+  std::string audit_report;
 };
 
 inline task::Job job(task::JobId id, Time arrival, Time relative_deadline,
@@ -57,8 +73,11 @@ inline ScenarioOutcome run_scenario(Scenario&& scenario, sim::Scheduler& schedul
   energy::StorageConfig storage_cfg;
   storage_cfg.capacity = scenario.capacity;
   storage_cfg.initial = scenario.initial;
+  storage_cfg.charge_efficiency = scenario.efficiency;
+  storage_cfg.leakage = scenario.leakage;
   energy::EnergyStorage storage(storage_cfg);
-  proc::Processor processor(scenario.table, scenario.overhead);
+  proc::Processor processor(scenario.table, scenario.overhead,
+                            scenario.idle_power);
   std::unique_ptr<energy::EnergyPredictor> predictor =
       scenario.predictor
           ? std::move(scenario.predictor)
@@ -73,9 +92,18 @@ inline ScenarioOutcome run_scenario(Scenario&& scenario, sim::Scheduler& schedul
       sim::EnergyTraceRecorder(1.0, scenario.config.horizon);
   sim::Engine engine(scenario.config, *scenario.source, storage, processor,
                      *predictor, scheduler, releaser);
+  sim::AuditObserver audit(
+      sim::AuditConfig::for_run(scenario.config, storage, processor, scheduler));
+  if (scenario.audit) engine.add_observer(audit);
   engine.add_observer(outcome.schedule);
   engine.add_observer(outcome.energy_trace);
   outcome.result = engine.run();
+  if (scenario.audit) {
+    audit.finalize(outcome.result);
+    outcome.audit_violations = audit.violation_count();
+    outcome.audit_report = audit.report();
+    EXPECT_TRUE(audit.ok()) << audit.report();
+  }
   return outcome;
 }
 

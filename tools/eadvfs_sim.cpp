@@ -48,6 +48,7 @@
 #include "exp/report.hpp"
 #include "exp/setup.hpp"
 #include "sched/factory.hpp"
+#include "sim/audit.hpp"
 #include "sim/trace.hpp"
 #include "task/generator.hpp"
 #include "util/args.hpp"
@@ -208,6 +209,9 @@ int main(int argc, char** argv) {
   args.add_option("trace-interval", "10", "storage trace sample interval");
   args.add_option("schedule-out", "", "write execution-slice CSV here");
   args.add_flag("analyze", "run the offline infeasibility analysis first");
+  args.add_flag("audit",
+                "self-audit the run (energy conservation, segment coverage, "
+                "scheduling invariants); non-zero exit on any violation");
   if (!args.parse(argc, argv)) return 0;
 
   try {
@@ -221,6 +225,7 @@ int main(int argc, char** argv) {
     cfg.miss_policy = opt.str("miss-policy") == "continue"
                           ? sim::MissPolicy::kContinueLate
                           : sim::MissPolicy::kDropAtDeadline;
+    cfg.audit = args.flag("audit");
 
     const auto seed = static_cast<std::uint64_t>(opt.integer("seed"));
 
@@ -383,6 +388,7 @@ int main(int argc, char** argv) {
     const sim::SimulationResult result = engine.run();
 
     std::cout << "\n" << result.summary() << "\n";
+    if (args.flag("audit")) std::cout << "audit: clean\n";
 
     if (!opt.str("trace-out").empty()) {
       std::ofstream file(opt.str("trace-out"));
@@ -407,6 +413,9 @@ int main(int argc, char** argv) {
       std::cout << "schedule -> " << opt.str("schedule-out") << "\n";
     }
     return 0;
+  } catch (const sim::AuditError& e) {
+    std::cerr << "AUDIT FAILED\n" << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
