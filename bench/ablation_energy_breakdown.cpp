@@ -25,8 +25,9 @@ int main(int argc, char** argv) {
   bench::add_common_options(args, /*default_sets=*/60);
   args.add_option("utilization", "0.4", "target utilization");
   args.add_option("capacity", "75", "storage capacity");
-  if (!args.parse(argc, argv)) return 0;
+  if (!bench::parse_cli(args, argc, argv)) return 0;
   bench::apply_logging(args);
+  bench::require_no_fault(args);
 
   const std::vector<std::string> schedulers = {"edf", "lsa", "greedy-dvfs",
                                                "ea-dvfs"};

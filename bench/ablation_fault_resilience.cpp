@@ -1,0 +1,86 @@
+/// Ablation: graceful degradation under harvester faults.  Sweeps the
+/// blackout duty cycle (fraction of the horizon with the harvester dark)
+/// and reports the deadline miss rate of every scheduler in the zoo — the
+/// robustness counterpart to Figures 8/9.  The energy-aware schedulers'
+/// advantage should persist (and widen) as blackouts lengthen, because
+/// slowing down stretches the stored energy across the dark windows.
+///
+/// The base fault profile is `blackout` unless --fault-profile overrides it
+/// (e.g. `brownout` to sweep dimmed rather than dark windows); the swept
+/// axis always overwrites the profile's harvest duty cycle.  Output is
+/// byte-identical for any --jobs count; the determinism smoke test in
+/// tools/CMakeLists.txt diffs --jobs 1 against --jobs 8 via --out.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/miss_rate_sweep.hpp"
+#include "exp/report.hpp"
+#include "sched/factory.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eadvfs;
+
+  util::ArgParser args(
+      "ablation: deadline miss rate vs harvester blackout duty cycle");
+  bench::add_common_options(args, /*default_sets=*/60);
+  args.add_option("capacity", "75", "storage capacity");
+  args.add_option("utilization", "0.6", "target task-set utilization");
+  args.add_option("duties", "0,0.05,0.1,0.2,0.3,0.4",
+                  "blackout duty-cycle grid (fraction of horizon dark)");
+  args.add_option("out", "", "CSV output path (default: output dir)");
+  if (!bench::parse_cli(args, argc, argv)) return 0;
+  bench::apply_logging(args);
+
+  const std::vector<std::string> schedulers = sched::scheduler_names();
+  const std::vector<double> duties = args.real_list("duties");
+
+  sim::fault::FaultProfile base = bench::fault_from_args(args);
+  if (!base.any()) base = sim::fault::FaultProfile::parse("blackout");
+
+  exp::print_banner(std::cout, "Ablation — fault resilience",
+                    "miss rate vs blackout duty cycle, all schedulers",
+                    "capacity " + args.str("capacity") + ", U=" +
+                        args.str("utilization") + ", " +
+                        std::to_string(args.integer("sets")) + " task sets, " +
+                        "depletion policy " + args.str("depletion"));
+
+  std::vector<std::string> header = {"duty"};
+  for (const auto& s : schedulers) header.push_back(s);
+  exp::TextTable table(header);
+
+  for (double duty : duties) {
+    exp::MissRateSweepConfig cfg;
+    cfg.capacities = {args.real("capacity")};
+    cfg.schedulers = schedulers;
+    cfg.predictor = args.str("predictor");
+    cfg.n_task_sets = static_cast<std::size_t>(args.integer("sets"));
+    cfg.seed = static_cast<std::uint64_t>(args.integer("seed"));
+    cfg.generator.target_utilization = args.real("utilization");
+    cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
+    bench::apply_sim_options(args, cfg.sim);
+    cfg.solar.horizon = cfg.sim.horizon;
+    cfg.fault = base;
+    cfg.fault.harvest_duty = duty;
+    cfg.fault.validate();
+    cfg.parallel = bench::parallel_from_args(args);
+
+    const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
+    std::vector<std::string> row = {exp::fmt(duty, 2)};
+    for (const auto& s : schedulers)
+      row.push_back(exp::fmt(result.cell(s, cfg.capacities[0]).miss_rate.mean(), 4));
+    table.add_row(std::move(row));
+  }
+
+  std::cout << table.render() << "\n";
+  const std::string path =
+      args.str("out").empty()
+          ? exp::output_dir() + "/ablation_fault_resilience.csv"
+          : args.str("out");
+  table.write_csv(path);
+  std::cout << "table written to " << path << "\n";
+  return 0;
+}

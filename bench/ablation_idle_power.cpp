@@ -24,8 +24,9 @@ int main(int argc, char** argv) {
   bench::add_common_options(args, /*default_sets=*/60);
   args.add_option("utilization", "0.4", "target utilization");
   args.add_option("capacity", "100", "storage capacity for this sweep");
-  if (!args.parse(argc, argv)) return 0;
+  if (!bench::parse_cli(args, argc, argv)) return 0;
   bench::apply_logging(args);
+  bench::require_no_fault(args);
 
   // XScale's idle draw is ~0.04 W against a 0.08 W slowest active point.
   const std::vector<Power> idle_powers = {0.0, 0.01, 0.02, 0.04, 0.07};

@@ -21,8 +21,9 @@ int main(int argc, char** argv) {
   // delivers ~zero power whatever the panel size, so a fixed small storage
   // would make high-U rows unconditionally infeasible.
   args.add_option("capacity", "auto", "storage capacity, or auto = 600*U");
-  if (!args.parse(argc, argv)) return 0;
+  if (!bench::parse_cli(args, argc, argv)) return 0;
   bench::apply_logging(args);
+  bench::require_no_fault(args);
 
   exp::print_banner(std::cout, "Ablation — minimum harvester size",
                     "Table 1's dual: smallest panel-scale factor for zero "

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   args.add_option("windows", "10,50,200,690", "prediction horizons");
   args.add_option("jobs", std::to_string(exp::hardware_jobs()),
                   "worker threads over source realizations");
-  if (!args.parse(argc, argv)) return 0;
+  if (!bench::parse_cli(args, argc, argv)) return 0;
 
   exp::PredictorErrorConfig cfg;
   cfg.n_sources = static_cast<std::size_t>(args.integer("sources"));

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   bench::add_common_options(args, /*default_sets=*/80);
   args.add_option("utilization", "0.6", "target (WCET-based) utilization");
   args.add_option("capacity", "60", "storage capacity for this sweep");
-  if (!args.parse(argc, argv)) return 0;
+  if (!bench::parse_cli(args, argc, argv)) return 0;
   bench::apply_logging(args);
 
   const std::vector<double> bcet_fractions = {1.0, 0.75, 0.5, 0.25};
@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
     cfg.generator.target_utilization = args.real("utilization");
     cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
     bench::apply_sim_options(args, cfg.sim);
+    cfg.fault = bench::fault_from_args(args);
     cfg.solar.horizon = cfg.sim.horizon;
     cfg.execution.bcet_fraction = fraction;
     cfg.parallel = bench::parallel_from_args(args);

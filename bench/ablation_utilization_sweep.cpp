@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   args.add_option("capacity", "75", "storage capacity");
   args.add_option("utilizations", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9",
                   "utilization grid");
-  if (!args.parse(argc, argv)) return 0;
+  if (!bench::parse_cli(args, argc, argv)) return 0;
   bench::apply_logging(args);
 
   const std::vector<std::string> schedulers = {"edf", "lsa", "ea-dvfs"};
@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     cfg.generator.target_utilization = u;
     cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
     bench::apply_sim_options(args, cfg.sim);
+    cfg.fault = bench::fault_from_args(args);
     cfg.solar.horizon = cfg.sim.horizon;
     cfg.parallel = bench::parallel_from_args(args);
 

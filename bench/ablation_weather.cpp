@@ -28,8 +28,9 @@ int main(int argc, char** argv) {
   args.add_option("utilization", "0.4", "target utilization");
   args.add_option("weather-capacities", "100,200,500,1000,2000,5000",
                   "capacity grid for the correlated-weather arm");
-  if (!args.parse(argc, argv)) return 0;
+  if (!bench::parse_cli(args, argc, argv)) return 0;
   bench::apply_logging(args);
+  bench::require_no_fault(args);
 
   const auto n_sets = static_cast<std::size_t>(args.integer("sets"));
   const auto seeds = exp::derive_seeds(

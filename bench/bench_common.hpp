@@ -13,12 +13,14 @@
 /// same physics actually bites.  Pass --capacities to use any other grid,
 /// including the paper's literal one.
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "sim/config.hpp"
+#include "sim/fault/profile.hpp"
 #include "util/args.hpp"
 #include "util/log.hpp"
 
@@ -57,14 +59,56 @@ inline void add_common_options(util::ArgParser& args, long long default_sets) {
   args.add_flag("audit",
                 "self-audit every simulation (energy conservation, segment "
                 "coverage, scheduling invariants); aborts on any violation");
+  args.add_option("fault-profile", "none",
+                  "fault injection: none | blackout | brownout | storage | "
+                  "predictor | switch | mixed, optionally :key=value,... "
+                  "(docs/FAULTS.md)");
+  args.add_option("depletion", "suspend",
+                  "mid-execution storage-depletion policy: suspend | abort");
+}
+
+/// Parse argv with clean error reporting: prints a one-line `error: ...`
+/// and exits with status 2 on bad input instead of tripping std::terminate.
+/// Returns false when --help was printed (caller should return 0).
+inline bool parse_cli(util::ArgParser& args, int argc, const char* const* argv) {
+  try {
+    return args.parse(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    std::exit(2);
+  }
 }
 
 /// Fill the engine-level options shared by every reproduction binary:
-/// horizon from `--horizon`, invariant self-auditing from `--audit`.
+/// horizon from `--horizon`, invariant self-auditing from `--audit`,
+/// depletion policy from `--depletion`.
 inline void apply_sim_options(const util::ArgParser& args,
                               sim::SimulationConfig& sim) {
   sim.horizon = args.real("horizon");
   sim.audit = args.flag("audit");
+  const std::string depletion = args.str("depletion");
+  if (depletion == "suspend") {
+    sim.depletion_policy = sim::DepletionPolicy::kSuspendAndResume;
+  } else if (depletion == "abort") {
+    sim.depletion_policy = sim::DepletionPolicy::kAbortAndCharge;
+  } else {
+    throw std::invalid_argument("--depletion must be 'suspend' or 'abort', got '" +
+                                depletion + "'");
+  }
+}
+
+/// Parse the shared `--fault-profile` option (validated; "none" = inactive).
+inline sim::fault::FaultProfile fault_from_args(const util::ArgParser& args) {
+  return sim::fault::FaultProfile::parse(args.str("fault-profile"));
+}
+
+/// For binaries whose experiment does not inject faults: reject an active
+/// profile loudly instead of silently ignoring the flag.
+inline void require_no_fault(const util::ArgParser& args) {
+  if (fault_from_args(args).any())
+    throw std::invalid_argument(
+        "--fault-profile is not supported by this binary (use eadvfs-sim, the "
+        "fig8/fig9/scheduler-zoo benches, or ablation_fault_resilience)");
 }
 
 /// Worker-pool config from the shared `--jobs` option.  Rejects 0/negative.

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   args.add_option("seed", "1", "noise seed");
   args.add_option("horizon", "10000", "series length in time units");
   args.add_option("step", "1", "noise resampling step");
-  if (!args.parse(argc, argv)) return 0;
+  if (!bench::parse_cli(args, argc, argv)) return 0;
 
   energy::SolarSourceConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(args.integer("seed"));

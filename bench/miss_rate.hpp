@@ -54,7 +54,7 @@ inline int run_miss_rate_figure(int argc, char** argv,
   util::ArgParser args(figure_id + ": deadline miss rate vs capacity, U=" +
                        exp::fmt(utilization, 1));
   add_common_options(args, /*default_sets=*/150);
-  if (!args.parse(argc, argv)) return 0;
+  if (!parse_cli(args, argc, argv)) return 0;
   apply_logging(args);
 
   exp::MissRateSweepConfig cfg;
@@ -67,6 +67,7 @@ inline int run_miss_rate_figure(int argc, char** argv,
   cfg.generator.n_tasks = static_cast<std::size_t>(args.integer("tasks"));
   apply_sim_options(args, cfg.sim);
   cfg.solar.horizon = cfg.sim.horizon;
+  cfg.fault = fault_from_args(args);
   cfg.parallel = parallel_from_args(args);
 
   exp::print_banner(std::cout, figure_id, paper_claim,

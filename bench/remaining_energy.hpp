@@ -26,8 +26,9 @@ inline int run_remaining_energy_figure(int argc, char** argv,
                        exp::fmt(utilization, 1));
   add_common_options(args, /*default_sets=*/60);
   args.add_option("interval", "250", "trace sample interval");
-  if (!args.parse(argc, argv)) return 0;
+  if (!parse_cli(args, argc, argv)) return 0;
   apply_logging(args);
+  require_no_fault(args);
 
   exp::EnergyTraceConfig cfg;
   cfg.capacities = args.real_list("capacities");

@@ -20,8 +20,9 @@ int main(int argc, char** argv) {
   bench::add_common_options(args, /*default_sets=*/60);
   args.add_option("utilizations", "0.2,0.4,0.6,0.8", "utilization sweep");
   args.add_option("capacity-hi", "50000", "upper search bracket");
-  if (!args.parse(argc, argv)) return 0;
+  if (!bench::parse_cli(args, argc, argv)) return 0;
   bench::apply_logging(args);
+  bench::require_no_fault(args);
 
   const std::vector<double> utilizations = args.real_list("utilizations");
   const std::vector<double> paper_ratio = {2.5, 1.33, 1.05, 1.01};

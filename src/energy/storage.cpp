@@ -1,6 +1,7 @@
 #include "energy/storage.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/math.hpp"
@@ -9,12 +10,18 @@ namespace eadvfs::energy {
 
 EnergyStorage::EnergyStorage(const StorageConfig& config)
     : config_(config), capacity_(config.capacity) {
-  if (capacity_ <= 0.0)
-    throw std::invalid_argument("EnergyStorage: capacity must be positive");
-  if (config_.charge_efficiency <= 0.0 || config_.charge_efficiency > 1.0)
+  // NaN fails every ordered comparison, so each check is written to *accept*
+  // a range (`!(x > 0)` rejects NaN) rather than reject the complement.
+  if (!(capacity_ > 0.0) || std::isnan(capacity_))
+    throw std::invalid_argument(
+        "EnergyStorage: capacity must be a positive number");
+  if (!(config_.charge_efficiency > 0.0) || !(config_.charge_efficiency <= 1.0))
     throw std::invalid_argument("EnergyStorage: efficiency must be in (0, 1]");
-  if (config_.leakage < 0.0)
-    throw std::invalid_argument("EnergyStorage: negative leakage");
+  if (!(config_.leakage >= 0.0) || !std::isfinite(config_.leakage))
+    throw std::invalid_argument(
+        "EnergyStorage: leakage must be a finite non-negative power");
+  if (std::isnan(config_.initial))
+    throw std::invalid_argument("EnergyStorage: initial level is NaN");
   initial_ = (config_.initial < 0.0) ? capacity_ : config_.initial;
   if (initial_ > capacity_)
     throw std::invalid_argument("EnergyStorage: initial level exceeds capacity");
@@ -28,7 +35,8 @@ EnergyStorage EnergyStorage::ideal(Energy capacity) {
 }
 
 bool EnergyStorage::full() const {
-  return util::approx_equal(level_, capacity_) || level_ >= capacity_;
+  const Energy cap = effective_capacity();
+  return util::approx_equal(level_, cap) || level_ >= cap;
 }
 
 bool EnergyStorage::empty() const {
@@ -54,6 +62,28 @@ void EnergyStorage::discharge(Energy amount) {
     throw std::logic_error("EnergyStorage::discharge: overdraw (engine bug)");
   level_ = util::snap_nonnegative(level_ - amount, 1e-6);
   total_discharged_ += amount;
+}
+
+Energy EnergyStorage::fault_drain(Energy amount) {
+  if (!(amount >= 0.0))
+    throw std::invalid_argument("EnergyStorage::fault_drain: negative amount");
+  const Energy drained = std::min(amount, level_);
+  level_ = util::snap_nonnegative(level_ - drained, 1e-6);
+  total_fault_drained_ += drained;
+  return drained;
+}
+
+Energy EnergyStorage::set_capacity_derate(double factor) {
+  if (!(factor > 0.0) || !(factor <= 1.0))
+    throw std::invalid_argument(
+        "EnergyStorage::set_capacity_derate: factor must be in (0, 1]");
+  derate_ = factor;
+  const Energy spilled = std::max(0.0, level_ - effective_capacity());
+  if (spilled > 0.0) {
+    level_ = effective_capacity();
+    total_fault_drained_ += spilled;
+  }
+  return spilled;
 }
 
 void EnergyStorage::leak(Time duration) {

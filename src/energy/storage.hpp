@@ -31,9 +31,14 @@ class EnergyStorage {
   /// Convenience: ideal storage at the given capacity, initially full.
   static EnergyStorage ideal(Energy capacity);
 
+  /// Nominal (design) capacity; unaffected by a transient derate.
   [[nodiscard]] Energy capacity() const { return capacity_; }
+  /// Capacity currently usable: nominal × the active derate factor.
+  [[nodiscard]] Energy effective_capacity() const {
+    return capacity_ * derate_;
+  }
   [[nodiscard]] Energy level() const { return level_; }
-  [[nodiscard]] Energy headroom() const { return capacity_ - level_; }
+  [[nodiscard]] Energy headroom() const { return effective_capacity() - level_; }
   [[nodiscard]] bool full() const;
   [[nodiscard]] bool empty() const;
 
@@ -49,11 +54,29 @@ class EnergyStorage {
   /// Apply leakage over a duration (no-op for the paper's ideal model).
   void leak(Time duration);
 
+  // --- fault injection --------------------------------------------------
+  /// Remove up to `amount` instantly (injected transient fault: a cell
+  /// glitch, a parasitic short).  Clamped at empty — a fault cannot drive
+  /// the level negative.  Returns the energy actually removed; the caller
+  /// (the engine) must account for it so conservation still audits.
+  Energy fault_drain(Energy amount);
+
+  /// Temporarily scale the usable capacity by `factor` in (0, 1]; 1 restores
+  /// nominal.  If the current level exceeds the derated capacity the excess
+  /// is spilled (returned, and added to the fault-drain total) — the cells
+  /// holding it just became unusable.
+  Energy set_capacity_derate(double factor);
+
+  [[nodiscard]] double capacity_derate() const { return derate_; }
+
   // --- lifetime accounting --------------------------------------------
   [[nodiscard]] Energy total_charged() const { return total_charged_; }
   [[nodiscard]] Energy total_overflow() const { return total_overflow_; }
   [[nodiscard]] Energy total_discharged() const { return total_discharged_; }
   [[nodiscard]] Energy total_leaked() const { return total_leaked_; }
+  [[nodiscard]] Energy total_fault_drained() const {
+    return total_fault_drained_;
+  }
   [[nodiscard]] Energy initial_level() const { return initial_; }
 
   [[nodiscard]] const StorageConfig& config() const { return config_; }
@@ -67,6 +90,8 @@ class EnergyStorage {
   Energy total_overflow_ = 0.0;
   Energy total_discharged_ = 0.0;
   Energy total_leaked_ = 0.0;
+  Energy total_fault_drained_ = 0.0;
+  double derate_ = 1.0;  ///< active capacity-derate factor.
 };
 
 }  // namespace eadvfs::energy

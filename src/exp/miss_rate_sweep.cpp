@@ -66,6 +66,10 @@ MissRateSweepResult run_miss_rate_sweep(const MissRateSweepConfig& config) {
         solar.horizon = std::max(solar.horizon, config.sim.horizon);
         const auto source = std::make_shared<const energy::SolarSource>(solar);
 
+        sim::fault::FaultProfile fault = config.fault;
+        if (!fault.seed_provided)
+          fault.seed = seeds[rep] ^ 0xfa017fa017fa017fULL;  // same faults per cell
+
         RepRecord record(config.schedulers.size() * config.capacities.size());
         for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
           const auto scheduler = sched::make_scheduler(config.schedulers[s]);
@@ -74,7 +78,8 @@ MissRateSweepResult run_miss_rate_sweep(const MissRateSweepConfig& config) {
             execution.seed = seeds[rep] ^ 0xac7ac7ac7ULL;  // same jobs per cell
             const sim::SimulationResult run = run_once(
                 config.sim, source, config.capacities[c], table, *scheduler,
-                config.predictor, task_set, {}, config.overhead, execution);
+                config.predictor, task_set, {}, config.overhead, execution,
+                fault.any() ? &fault : nullptr);
             CellSample& sample = record[s * config.capacities.size() + c];
             sample.miss_rate = run.miss_rate();
             sample.stall_time = run.stall_time;

@@ -16,6 +16,7 @@
 #include "proc/frequency_table.hpp"
 #include "proc/processor.hpp"
 #include "sim/config.hpp"
+#include "sim/fault/profile.hpp"
 #include "task/generator.hpp"
 #include "task/releaser.hpp"
 #include "util/stats.hpp"
@@ -36,6 +37,11 @@ struct MissRateSweepConfig {
   proc::SwitchOverhead overhead;        ///< per-transition cost (ablation).
   /// Actual-vs-worst-case execution model (ablation; 1.0 = paper's model).
   task::ExecutionTimeModel execution;
+  /// Fault injection (robustness ablation; inactive by default).  Unless the
+  /// profile pins a seed explicitly, each replication re-seeds it from its
+  /// sub-seed so fault realizations vary across task sets while staying
+  /// byte-reproducible for any --jobs count.
+  sim::fault::FaultProfile fault;
   ParallelConfig parallel;              ///< replication worker pool.
 };
 

@@ -1,11 +1,15 @@
 #include "exp/setup.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "energy/persistence_predictor.hpp"
 #include "energy/running_average_predictor.hpp"
 #include "energy/slotted_ewma_predictor.hpp"
 #include "energy/storage.hpp"
+#include "sim/fault/faulted_predictor.hpp"
+#include "sim/fault/faulted_source.hpp"
+#include "sim/fault/schedule.hpp"
 #include "util/rng.hpp"
 
 namespace eadvfs::exp {
@@ -17,8 +21,14 @@ std::unique_ptr<energy::EnergyPredictor> make_predictor(
   if (name == "slotted-ewma") {
     energy::SlottedEwmaConfig cfg;
     // Default cycle: eq. 13's 70π²; if the source actually is a SolarSource
-    // with a non-default divisor, follow it.
-    if (auto solar = std::dynamic_pointer_cast<const energy::SolarSource>(source))
+    // with a non-default divisor, follow it.  A fault-wrapped source keeps
+    // its inner source's cycle (the blackouts perturb the profile, not the
+    // diurnal period), so unwrap before probing.
+    std::shared_ptr<const energy::EnergySource> base = source;
+    if (auto faulted =
+            std::dynamic_pointer_cast<const sim::fault::FaultedSource>(base))
+      base = faulted->inner();
+    if (auto solar = std::dynamic_pointer_cast<const energy::SolarSource>(base))
       cfg.cycle = solar->cycle_period();
     return std::make_unique<energy::SlottedEwmaPredictor>(cfg);
   }
@@ -54,12 +64,13 @@ sim::SimulationResult run_once(
     const std::string& predictor_name, const task::TaskSet& task_set,
     const std::vector<sim::SimObserver*>& observers,
     const proc::SwitchOverhead& overhead,
-    const task::ExecutionTimeModel& execution) {
+    const task::ExecutionTimeModel& execution,
+    const sim::fault::FaultProfile* fault) {
   energy::StorageConfig storage_config;
   storage_config.capacity = capacity;
   return run_once_with_storage(config, source, storage_config, table, scheduler,
                                predictor_name, task_set, observers, overhead,
-                               execution);
+                               execution, fault);
 }
 
 sim::SimulationResult run_once_with_storage(
@@ -69,13 +80,31 @@ sim::SimulationResult run_once_with_storage(
     sim::Scheduler& scheduler, const std::string& predictor_name,
     const task::TaskSet& task_set, const std::vector<sim::SimObserver*>& observers,
     const proc::SwitchOverhead& overhead,
-    const task::ExecutionTimeModel& execution) {
+    const task::ExecutionTimeModel& execution,
+    const sim::fault::FaultProfile* fault) {
+  // Expand the fault profile (if any) into a concrete schedule and wrap the
+  // source/predictor in their fault decorators.  Everything stays a pure
+  // function of (profile, horizon), preserving the sweep determinism
+  // contract.
+  std::optional<sim::fault::FaultSchedule> schedule;
+  if (fault != nullptr && fault->any())
+    schedule.emplace(*fault, config.horizon);
+
+  std::shared_ptr<const energy::EnergySource> effective_source = source;
+  if (schedule.has_value() && !schedule->harvest_windows().empty())
+    effective_source = std::make_shared<sim::fault::FaultedSource>(
+        source, schedule->harvest_windows());
+
   energy::EnergyStorage storage(storage_config);
   proc::Processor processor(table, overhead);
-  auto predictor = make_predictor(predictor_name, source);
+  auto predictor = make_predictor(predictor_name, effective_source);
+  if (schedule.has_value() && schedule->profile().affects_predictor())
+    predictor = std::make_unique<sim::fault::FaultedPredictor>(
+        std::move(predictor), schedule->predictor_model());
   task::JobReleaser releaser(task_set, config.horizon, execution);
-  sim::Engine engine(config, *source, storage, processor, *predictor, scheduler,
-                     releaser);
+  sim::Engine engine(config, *effective_source, storage, processor, *predictor,
+                     scheduler, releaser);
+  if (schedule.has_value()) engine.set_fault_schedule(&*schedule);
   for (sim::SimObserver* obs : observers) engine.add_observer(*obs);
   return engine.run();
 }

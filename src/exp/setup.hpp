@@ -27,6 +27,7 @@
 #include "proc/frequency_table.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault/profile.hpp"
 #include "sim/result.hpp"
 #include "sim/scheduler.hpp"
 #include "task/releaser.hpp"
@@ -57,7 +58,13 @@ namespace eadvfs::exp {
 /// capacity), processor, predictor and engine around the supplied immutable
 /// pieces, runs, and returns the result.  `observers` are registered before
 /// the run.  `overhead` is the per-DVFS-transition cost (zero = the paper's
-/// assumption).
+/// assumption).  `fault`, when non-null and active, is expanded into a
+/// FaultSchedule over the config horizon: the source is wrapped in
+/// fault::FaultedSource (blackout/brownout windows), the predictor in
+/// fault::FaultedPredictor (error injection), and the engine applies
+/// storage/switch faults at their scheduled instants.  The oracle predictor
+/// sees the *faulted* harvest — perfect knowledge includes the blackouts;
+/// only predict_bias/jitter make it lie.
 [[nodiscard]] sim::SimulationResult run_once(
     const sim::SimulationConfig& config,
     const std::shared_ptr<const energy::EnergySource>& source,
@@ -65,7 +72,8 @@ namespace eadvfs::exp {
     const std::string& predictor_name, const task::TaskSet& task_set,
     const std::vector<sim::SimObserver*>& observers = {},
     const proc::SwitchOverhead& overhead = {},
-    const task::ExecutionTimeModel& execution = {});
+    const task::ExecutionTimeModel& execution = {},
+    const sim::fault::FaultProfile* fault = nullptr);
 
 /// Variant with an explicit storage model (charge efficiency, leakage,
 /// partial initial charge) for the non-ideality ablations.
@@ -77,6 +85,7 @@ namespace eadvfs::exp {
     const task::TaskSet& task_set,
     const std::vector<sim::SimObserver*>& observers = {},
     const proc::SwitchOverhead& overhead = {},
-    const task::ExecutionTimeModel& execution = {});
+    const task::ExecutionTimeModel& execution = {},
+    const sim::fault::FaultProfile* fault = nullptr);
 
 }  // namespace eadvfs::exp

@@ -19,15 +19,30 @@ FrequencyTable::FrequencyTable(std::vector<OperatingPoint> points)
             });
   for (std::size_t i = 0; i < points_.size(); ++i) {
     const OperatingPoint& p = points_[i];
-    if (p.speed <= 0.0 || p.speed > 1.0)
-      throw std::invalid_argument("FrequencyTable: speed outside (0, 1]");
-    if (p.power <= 0.0)
-      throw std::invalid_argument("FrequencyTable: power must be positive");
+    // Written as accept-a-range so that NaN (which fails every comparison)
+    // is rejected rather than slipping through.
+    if (!(p.speed > 0.0 && p.speed <= 1.0))
+      throw std::invalid_argument(
+          "FrequencyTable: speed must be in (0, 1], got " +
+          std::to_string(p.speed));
+    if (!(p.power > 0.0) || !std::isfinite(p.power))
+      throw std::invalid_argument(
+          "FrequencyTable: power must be a positive number, got " +
+          std::to_string(p.power));
+    if (!(p.frequency_mhz > 0.0) || !std::isfinite(p.frequency_mhz))
+      throw std::invalid_argument(
+          "FrequencyTable: frequency must be a positive number, got " +
+          std::to_string(p.frequency_mhz));
     if (i > 0) {
       if (p.speed <= points_[i - 1].speed)
-        throw std::invalid_argument("FrequencyTable: duplicate speed");
+        throw std::invalid_argument("FrequencyTable: duplicate speed " +
+                                    std::to_string(p.speed));
       if (p.power <= points_[i - 1].power)
-        throw std::invalid_argument("FrequencyTable: power not increasing with speed");
+        throw std::invalid_argument(
+            "FrequencyTable: power must increase with speed (P=" +
+            std::to_string(p.power) + " at S=" + std::to_string(p.speed) +
+            " does not exceed P=" + std::to_string(points_[i - 1].power) +
+            " at S=" + std::to_string(points_[i - 1].speed) + ")");
       if (p.energy_per_work() + util::kEps < points_[i - 1].energy_per_work())
         throw std::invalid_argument(
             "FrequencyTable: energy-per-work must not decrease with speed");

@@ -1,5 +1,6 @@
 #include "proc/processor.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -8,10 +9,14 @@ namespace eadvfs::proc {
 Processor::Processor(FrequencyTable table, SwitchOverhead overhead,
                      Power idle_power)
     : table_(std::move(table)), overhead_(overhead), idle_power_(idle_power) {
-  if (overhead_.time < 0.0 || overhead_.energy < 0.0)
-    throw std::invalid_argument("Processor: negative switch overhead");
-  if (idle_power_ < 0.0)
-    throw std::invalid_argument("Processor: negative idle power");
+  // Accept-a-range comparisons so NaN inputs are rejected too.
+  if (!(overhead_.time >= 0.0) || !std::isfinite(overhead_.time) ||
+      !(overhead_.energy >= 0.0) || !std::isfinite(overhead_.energy))
+    throw std::invalid_argument(
+        "Processor: switch overhead must be finite and non-negative");
+  if (!(idle_power_ >= 0.0) || !std::isfinite(idle_power_))
+    throw std::invalid_argument(
+        "Processor: idle power must be finite and non-negative");
   if (idle_power_ > table_.at(0).power)
     throw std::invalid_argument(
         "Processor: idle power above the slowest active point is nonsensical");

@@ -25,6 +25,11 @@ class StaticEaDvfsScheduler final : public sim::Scheduler {
   [[nodiscard]] std::string name() const override;
   void reset() override;
 
+  /// A fault invalidates every cached open-loop plan: the energy state the
+  /// s1/s2/f_n computation was anchored to no longer holds, so each job is
+  /// re-planned from its current remaining work at the next decision.
+  void on_fault(const sim::FaultNotice& /*notice*/) override { plans_.clear(); }
+
  private:
   struct Plan {
     std::size_t op_index = 0;  ///< stretched operating point (f_n).

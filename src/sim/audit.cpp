@@ -77,6 +77,19 @@ void AuditObserver::on_complete(const task::Job& job, Time finish) {
   missed_.erase(job.id);
 }
 
+void AuditObserver::on_abort(const task::Job& job, Time when) {
+  ++aborts_;
+  if (!near(when, last_end_, cfg_.tolerance))
+    violate(when, "events",
+            "job " + std::to_string(job.id) +
+                " aborted between segments (when=" + std::to_string(when) +
+                ", stream at " + std::to_string(last_end_) + ")");
+  if (ready_.erase(job.id) == 0)
+    violate(when, "events",
+            "abort of job " + std::to_string(job.id) + " that is not pending");
+  missed_.erase(job.id);
+}
+
 void AuditObserver::on_miss(const task::Job& job, Time deadline) {
   ++misses_;
   const auto it = ready_.find(job.id);
@@ -186,8 +199,8 @@ void AuditObserver::on_segment(const SegmentRecord& s) {
                 " (energy moved without a record)");
 
   // (b) per-segment energy conservation and bounds.
-  const Energy expected_end =
-      s.level_start + s.harvested - s.consumed - s.overflow - s.leaked;
+  const Energy expected_end = s.level_start + s.harvested - s.consumed -
+                              s.overflow - s.leaked - s.fault_drained;
   if (!near(s.level_end, expected_end, cfg_.tolerance))
     violate(s.start, "energy",
             "segment [" + std::to_string(s.start) + ", " +
@@ -196,7 +209,9 @@ void AuditObserver::on_segment(const SegmentRecord& s) {
                 std::to_string(s.harvested) + " - consume " +
                 std::to_string(s.consumed) + " - overflow " +
                 std::to_string(s.overflow) + " - leak " +
-                std::to_string(s.leaked) + " != " + std::to_string(s.level_end));
+                std::to_string(s.leaked) + " - fault " +
+                std::to_string(s.fault_drained) + " != " +
+                std::to_string(s.level_end));
   for (const Energy level : {s.level_start, s.level_end}) {
     if (level < -cfg_.tolerance || level > cfg_.capacity + cfg_.tolerance)
       violate(s.start, "bounds",
@@ -204,7 +219,8 @@ void AuditObserver::on_segment(const SegmentRecord& s) {
                   std::to_string(cfg_.capacity) + "]");
   }
   if (s.harvested < -cfg_.tolerance || s.consumed < -cfg_.tolerance ||
-      s.overflow < -cfg_.tolerance || s.leaked < -cfg_.tolerance)
+      s.overflow < -cfg_.tolerance || s.leaked < -cfg_.tolerance ||
+      s.fault_drained < -cfg_.tolerance)
     violate(s.start, "bounds", "negative energy quantity on segment");
 
   // (c) scheduling invariants for running segments.
@@ -219,6 +235,7 @@ void AuditObserver::on_segment(const SegmentRecord& s) {
   consumed_ += s.consumed;
   overflow_ += s.overflow;
   leaked_ += s.leaked;
+  fault_drained_ += s.fault_drained;
   if (s.job.has_value()) {
     busy_ += dt;
     if (time_at_op_.size() <= s.op_index) time_at_op_.resize(s.op_index + 1, 0.0);
@@ -265,6 +282,7 @@ void AuditObserver::finalize(const SimulationResult& result) {
   check("consumed", consumed_, result.consumed);
   check("overflow", overflow_, result.overflow);
   check("leaked", leaked_, result.leaked);
+  check("fault_drained", fault_drained_, result.fault_drained);
   check("busy_time", busy_, result.busy_time);
   check("idle_time", idle_, result.idle_time);
   check("stall_time", stall_, result.stall_time);
@@ -287,7 +305,8 @@ void AuditObserver::finalize(const SimulationResult& result) {
   // scenarios, where one ULP of the level is ~0.1).
   const Energy inflow = result.storage_initial + result.harvested;
   const Energy outflow = result.storage_final + result.consumed +
-                         result.overflow + result.leaked;
+                         result.overflow + result.leaked +
+                         result.fault_drained;
   if (!near(inflow, outflow, tol))
     violate(last_end_, "energy",
             "whole-run conservation error " +
@@ -306,6 +325,7 @@ void AuditObserver::finalize(const SimulationResult& result) {
   check_count("jobs_completed_late", completions_late_,
               result.jobs_completed_late);
   check_count("jobs_missed", misses_, result.jobs_missed);
+  check_count("jobs_aborted", aborts_, result.jobs_aborted);
   std::size_t unresolved = 0;
   for (const auto& [id, pending] : ready_)
     if (missed_.count(id) == 0) ++unresolved;

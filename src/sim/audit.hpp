@@ -14,8 +14,9 @@
 ///       the storage level is continuous across segment boundaries (energy
 ///       cannot change between segments);
 ///   (b) energy    — per segment, `level_end = level_start + harvested −
-///       consumed − overflow − leaked` within tolerance, and the level stays
-///       inside [0, C];
+///       consumed − overflow − leaked − fault_drained` within tolerance, and
+///       the level stays inside [0, C]; injected faults must therefore be
+///       *accounted*, never silently destroy energy;
 ///   (c) scheduling — the running job was released, not yet finished and not
 ///       dropped; it is the EDF front of the ready set (when the scheduler
 ///       declares `guarantees_edf_order`); execution never happens from an
@@ -105,6 +106,7 @@ class AuditObserver final : public SimObserver {
   void on_release(const task::Job& job) override;
   void on_complete(const task::Job& job, Time finish) override;
   void on_miss(const task::Job& job, Time deadline) override;
+  void on_abort(const task::Job& job, Time when) override;
   void on_segment(const SegmentRecord& segment) override;
 
   /// End-of-run checks: horizon coverage and the stream-vs-result
@@ -146,6 +148,7 @@ class AuditObserver final : public SimObserver {
   Energy consumed_ = 0.0;
   Energy overflow_ = 0.0;
   Energy leaked_ = 0.0;
+  Energy fault_drained_ = 0.0;
   Time busy_ = 0.0;
   Time idle_ = 0.0;
   Time stall_ = 0.0;
@@ -156,6 +159,7 @@ class AuditObserver final : public SimObserver {
   std::size_t completions_ontime_ = 0;
   std::size_t completions_late_ = 0;
   std::size_t misses_ = 0;
+  std::size_t aborts_ = 0;
 
   std::vector<AuditViolation> violations_;
   std::size_t violation_count_ = 0;

@@ -3,6 +3,9 @@
 /// \file config.hpp
 /// Engine-level simulation parameters (policy-independent).
 
+#include <cmath>
+#include <stdexcept>
+
 #include "util/types.hpp"
 
 namespace eadvfs::sim {
@@ -18,9 +21,24 @@ enum class MissPolicy {
   kContinueLate,
 };
 
+/// What happens when the storage empties while a job is executing and the
+/// instantaneous harvest cannot sustain the chosen operating point.
+enum class DepletionPolicy {
+  /// The job stays in the ready set and the engine stalls until harvest
+  /// accumulates; execution resumes from the remaining work, re-entering the
+  /// EDF order, and EA-DVFS recomputes the minimum feasible frequency from
+  /// what is left.  This is the paper's implicit model and the default.
+  kSuspendAndResume,
+  /// The job is aborted (removed from the ready set, its remaining work
+  /// discarded) and the device charges; models firmware that cannot
+  /// checkpoint a computation through a power loss.
+  kAbortAndCharge,
+};
+
 struct SimulationConfig {
   Time horizon = 10'000.0;  ///< paper §5.1: simulate 10,000 time units.
   MissPolicy miss_policy = MissPolicy::kDropAtDeadline;
+  DepletionPolicy depletion_policy = DepletionPolicy::kSuspendAndResume;
   /// While stalled (scheduler wants to run but the storage is empty and the
   /// instantaneous harvest is below the requested power), the engine
   /// re-evaluates at least this often so accumulating harvest can restart
@@ -35,6 +53,21 @@ struct SimulationConfig {
   /// (energy conservation, segment coverage, scheduling contracts, stream/
   /// result consistency) is broken.  Costs one extra observer per segment.
   bool audit = false;
+
+  /// Construction-time sanity check.  NaN deliberately fails every
+  /// comparison below (`!(x > 0)` is true for NaN), so a config assembled
+  /// from unparsed user input cannot smuggle a NaN horizon into the engine.
+  void validate() const {
+    if (!(horizon > 0.0) || !std::isfinite(horizon))
+      throw std::invalid_argument(
+          "SimulationConfig: horizon must be positive and finite");
+    if (!(stall_wakeup > 0.0) || !std::isfinite(stall_wakeup))
+      throw std::invalid_argument(
+          "SimulationConfig: stall_wakeup must be positive and finite");
+    if (max_segments == 0)
+      throw std::invalid_argument(
+          "SimulationConfig: max_segments must be positive");
+  }
 };
 
 }  // namespace eadvfs::sim

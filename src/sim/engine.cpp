@@ -22,10 +22,7 @@ Engine::Engine(const SimulationConfig& config, const energy::EnergySource& sourc
       predictor_(predictor),
       scheduler_(scheduler),
       releaser_(releaser) {
-  if (config_.horizon <= 0.0)
-    throw std::invalid_argument("Engine: horizon must be positive");
-  if (config_.stall_wakeup <= 0.0)
-    throw std::invalid_argument("Engine: stall_wakeup must be positive");
+  config_.validate();
   if (config_.audit) {
     audit_ = std::make_unique<AuditObserver>(
         AuditConfig::for_run(config_, storage_, processor_, scheduler_));
@@ -35,6 +32,75 @@ Engine::Engine(const SimulationConfig& config, const energy::EnergySource& sourc
 
 void Engine::add_observer(SimObserver& observer) {
   observers_.push_back(&observer);
+}
+
+void Engine::set_fault_schedule(const fault::FaultSchedule* schedule) {
+  if (ran_)
+    throw std::logic_error("Engine::set_fault_schedule: run already started");
+  fault_ = schedule;
+}
+
+Time Engine::next_fault_time() const {
+  if (fault_ == nullptr) return kHuge;
+  const auto& events = fault_->events();
+  return fault_index_ < events.size() ? events[fault_index_].time : kHuge;
+}
+
+void Engine::emit_fault_record(Energy level_before, Energy drained) {
+  SegmentRecord rec;
+  rec.start = now_;
+  rec.end = now_;
+  rec.level_start = level_before;
+  rec.level_end = storage_.level();
+  rec.fault_drained = drained;
+  ++result_.segments;
+  notify_segment(rec);
+}
+
+void Engine::apply_due_faults() {
+  if (fault_ == nullptr) return;
+  const auto& events = fault_->events();
+  while (fault_index_ < events.size() &&
+         events[fault_index_].time <= now_ + kEps) {
+    const fault::FaultEvent& e = events[fault_index_++];
+    switch (e.kind) {
+      case FaultNotice::Kind::kStorageDrop: {
+        const Energy before = storage_.level();
+        const Energy drained = storage_.fault_drain(before * e.magnitude);
+        result_.fault_drained += drained;
+        ++result_.storage_faults_injected;
+        if (drained > 0.0) emit_fault_record(before, drained);
+        break;
+      }
+      case FaultNotice::Kind::kCapacityDerate: {
+        const Energy before = storage_.level();
+        const Energy spilled = storage_.set_capacity_derate(e.magnitude);
+        result_.fault_drained += spilled;
+        ++result_.storage_faults_injected;
+        if (spilled > 0.0) emit_fault_record(before, spilled);
+        break;
+      }
+      case FaultNotice::Kind::kCapacityRestore:
+        storage_.set_capacity_derate(1.0);
+        break;
+      default:
+        // Harvest-window edges: the power change already lives inside the
+        // (wrapped) source; only the scheduler notification below matters.
+        break;
+    }
+    scheduler_.on_fault({now_, e.kind});
+  }
+}
+
+void Engine::abort_job(std::vector<task::Job>::iterator it) {
+  const task::Job job = *it;
+  ++result_.jobs_aborted;
+  result_.work_dropped += job.remaining;
+  missed_ids_.erase(job.id);
+  ready_.erase(it);
+  // The job's deadline event may still be queued; process_deadlines skips
+  // ids absent from the ready set, so no miss is counted for aborted jobs.
+  for (SimObserver* obs : observers_) obs->on_abort(job, now_);
 }
 
 void Engine::notify_segment(const SegmentRecord& record) {
@@ -182,6 +248,33 @@ void Engine::execute_segment(const Decision& decision) {
       // Physically impossible: no stored energy and harvest below demand.
       stalled = true;
     } else {
+      if (fault_ != nullptr && fault_->profile().affects_switches() &&
+          op_index != processor_.current()) {
+        const fault::SwitchFault sf = fault_->switch_fault(switch_attempts_++);
+        const fault::FaultProfile& fp = fault_->profile();
+        if (sf.kind == fault::SwitchFault::Kind::kReject) {
+          // The transition is refused: the processor stays at its old point
+          // and the attempt costs a stall (floored at switch_min_stall so a
+          // zero-overhead model cannot retry at the same instant forever).
+          ++result_.switch_faults_injected;
+          scheduler_.on_fault({now_, FaultNotice::Kind::kSwitchReject});
+          proc::SwitchOverhead cost = processor_.overhead_model();
+          cost.time = std::max(cost.time, fp.switch_min_stall);
+          apply_switch_overhead(cost);
+          return;  // re-decide from the unchanged operating point
+        }
+        if (sf.kind == fault::SwitchFault::Kind::kStall) {
+          // The transition succeeds but takes k× the nominal overhead.
+          ++result_.switch_faults_injected;
+          scheduler_.on_fault({now_, FaultNotice::Kind::kSwitchStall});
+          proc::SwitchOverhead cost = processor_.switch_to(op_index);
+          cost.time = std::max(cost.time * fp.switch_stall_factor,
+                               fp.switch_min_stall);
+          cost.energy *= fp.switch_stall_factor;
+          apply_switch_overhead(cost);
+          return;  // re-decide after the slow transition
+        }
+      }
       const proc::SwitchOverhead overhead = processor_.switch_to(op_index);
       if (overhead.time > 0.0 || overhead.energy > 0.0) {
         apply_switch_overhead(overhead);
@@ -198,6 +291,13 @@ void Engine::execute_segment(const Decision& decision) {
   t_next = std::min(t_next, releaser_.next_arrival());
   t_next = std::min(t_next, events_.next_time());
   t_next = std::min(t_next, source_.piece_end(now_));
+  {
+    // Fault instants are decision points: the segment must end there so the
+    // drop/derate applies at its exact time (apply_due_faults consumed
+    // everything <= now_, so this bound is always in the future).
+    const Time t_fault = next_fault_time();
+    if (t_fault > now_) t_next = std::min(t_next, t_fault);
+  }
   if (decision.recheck_at > now_ + kEps)
     t_next = std::min(t_next, decision.recheck_at);
   if (stalled) t_next = std::min(t_next, now_ + config_.stall_wakeup);
@@ -312,7 +412,21 @@ void Engine::execute_segment(const Decision& decision) {
   notify_segment(rec);
 
   now_ = t_next;
-  if (running && job_it->finished()) complete_job(job_it);
+  if (running && job_it->finished()) {
+    complete_job(job_it);
+  } else if (running && net < -kEps && storage_.level() <= kEps) {
+    // The segment drained the storage dry with the job unfinished — the
+    // depletion decision point.  Under suspend-and-resume the job simply
+    // stays ready: the next decide() re-enters EDF order and the physics
+    // guard above forces a stall until harvest accumulates (EA-DVFS then
+    // re-derives the minimum feasible frequency from the remaining work).
+    // Under abort-and-charge the computation is lost with the power.
+    if (config_.depletion_policy == DepletionPolicy::kAbortAndCharge) {
+      abort_job(job_it);
+    } else {
+      ++result_.suspensions;
+    }
+  }
 }
 
 SimulationResult Engine::run() {
@@ -328,6 +442,7 @@ SimulationResult Engine::run() {
   while (true) {
     release_arrivals();
     process_deadlines();
+    apply_due_faults();
     if (now_ >= config_.horizon - kEps) break;
     if (++result_.segments > config_.max_segments)
       throw std::runtime_error("Engine: segment budget exceeded (runaway loop?)");

@@ -33,6 +33,7 @@
 #include "sim/audit.hpp"
 #include "sim/config.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault/schedule.hpp"
 #include "sim/observer.hpp"
 #include "sim/result.hpp"
 #include "sim/scheduler.hpp"
@@ -50,6 +51,16 @@ class Engine {
   /// Register an observer (not owned; must outlive run()).
   void add_observer(SimObserver& observer);
 
+  /// Attach a fault-injection schedule (not owned; must outlive run(); may
+  /// be nullptr).  The engine applies storage/capacity events at their exact
+  /// instants, bounds segments at upcoming fault times, consults the
+  /// schedule for DVFS switch outcomes, and forwards every applied fault to
+  /// the scheduler's on_fault hook.  Harvest windows and predictor error are
+  /// NOT applied here — wrap the source/predictor in fault::FaultedSource /
+  /// fault::FaultedPredictor (exp::run_once does both); the engine only
+  /// forwards their window-edge notifications.
+  void set_fault_schedule(const fault::FaultSchedule* schedule);
+
   /// Execute the simulation from t = 0 to the horizon.  Single-shot: create
   /// a fresh Engine (and fresh mutable components) for each run.
   SimulationResult run();
@@ -66,6 +77,7 @@ class Engine {
   /// Present when config.audit: registered first, finalized after the run,
   /// and a non-clean report becomes an AuditError.
   std::unique_ptr<AuditObserver> audit_;
+  const fault::FaultSchedule* fault_ = nullptr;
 
   // --- per-run state ----------------------------------------------------
   Time now_ = 0.0;
@@ -74,9 +86,21 @@ class Engine {
   EventQueue events_;
   SimulationResult result_;
   bool ran_ = false;
+  std::size_t fault_index_ = 0;     ///< next unapplied fault event.
+  std::size_t switch_attempts_ = 0; ///< DVFS transitions attempted so far.
 
   void release_arrivals();
   void process_deadlines();
+
+  /// Apply every fault event due at now_ (storage drops, capacity derates)
+  /// and forward the notices to the scheduler.
+  void apply_due_faults();
+  [[nodiscard]] Time next_fault_time() const;
+  /// Emit the instantaneous record documenting `drained` energy destroyed
+  /// by a storage fault (level_before -> current level).
+  void emit_fault_record(Energy level_before, Energy drained);
+  /// Abort the running job under DepletionPolicy::kAbortAndCharge.
+  void abort_job(std::vector<task::Job>::iterator it);
 
   /// Perform one segment according to `decision`; advances now_.
   void execute_segment(const Decision& decision);

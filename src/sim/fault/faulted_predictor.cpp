@@ -1,0 +1,26 @@
+#include "sim/fault/faulted_predictor.hpp"
+
+#include <stdexcept>
+
+namespace eadvfs::sim::fault {
+
+FaultedPredictor::FaultedPredictor(
+    std::unique_ptr<energy::EnergyPredictor> inner, PredictorFaultModel model)
+    : inner_(std::move(inner)), model_(model) {
+  if (!inner_)
+    throw std::invalid_argument("FaultedPredictor: null inner predictor");
+}
+
+void FaultedPredictor::observe(Time t0, Time t1, Energy harvested) {
+  inner_->observe(t0, t1, harvested);
+}
+
+Energy FaultedPredictor::predict(Time now, Time until) const {
+  return inner_->predict(now, until) * model_.factor_at(now);
+}
+
+std::string FaultedPredictor::name() const {
+  return inner_->name() + "+error";
+}
+
+}  // namespace eadvfs::sim::fault

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file faulted_predictor.hpp
+/// EnergyPredictor decorator injecting multiplicative prediction error: the
+/// inner predictor's estimate is scaled by a per-slot factor drawn
+/// deterministically from the fault seed (PredictorFaultModel::factor_at).
+/// Observations pass through unchanged — the *predictor* still learns from
+/// the truth; only what the schedulers are told about the future is wrong,
+/// which is exactly the mispredicted-energy regime of Xia et al.'s feedback
+/// scheduling work.
+
+#include <memory>
+#include <string>
+
+#include "energy/predictor.hpp"
+#include "sim/fault/schedule.hpp"
+
+namespace eadvfs::sim::fault {
+
+class FaultedPredictor final : public energy::EnergyPredictor {
+ public:
+  FaultedPredictor(std::unique_ptr<energy::EnergyPredictor> inner,
+                   PredictorFaultModel model);
+
+  void observe(Time t0, Time t1, Energy harvested) override;
+  [[nodiscard]] Energy predict(Time now, Time until) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::unique_ptr<energy::EnergyPredictor> inner_;
+  PredictorFaultModel model_;
+};
+
+}  // namespace eadvfs::sim::fault

@@ -1,0 +1,56 @@
+#include "sim/fault/faulted_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eadvfs::sim::fault {
+
+FaultedSource::FaultedSource(std::shared_ptr<const energy::EnergySource> inner,
+                             std::vector<HarvestWindow> windows)
+    : inner_(std::move(inner)), windows_(std::move(windows)) {
+  if (!inner_) throw std::invalid_argument("FaultedSource: null inner source");
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const HarvestWindow& w = windows_[i];
+    if (!(w.begin < w.end))
+      throw std::invalid_argument("FaultedSource: empty window");
+    if (w.scale < 0.0 || w.scale >= 1.0)
+      throw std::invalid_argument("FaultedSource: scale outside [0, 1)");
+    if (i > 0 && w.begin < windows_[i - 1].end)
+      throw std::invalid_argument("FaultedSource: overlapping windows");
+  }
+}
+
+std::size_t FaultedSource::window_after(Time t) const {
+  const auto it = std::upper_bound(
+      windows_.begin(), windows_.end(), t,
+      [](Time value, const HarvestWindow& w) { return value < w.end; });
+  return static_cast<std::size_t>(it - windows_.begin());
+}
+
+Power FaultedSource::power_at(Time t) const {
+  const Power inner_power = inner_->power_at(t);
+  const std::size_t i = window_after(t);
+  if (i < windows_.size() && windows_[i].begin <= t)
+    return inner_power * windows_[i].scale;
+  return inner_power;
+}
+
+Time FaultedSource::piece_end(Time t) const {
+  Time end = inner_->piece_end(t);
+  const std::size_t i = window_after(t);
+  if (i < windows_.size()) {
+    const HarvestWindow& w = windows_[i];
+    // Next fault boundary strictly after t: the window's end when inside it,
+    // its begin when still ahead.
+    const Time boundary = (w.begin <= t) ? w.end : w.begin;
+    if (boundary > t) end = std::min(end, boundary);
+  }
+  return end;
+}
+
+std::string FaultedSource::name() const {
+  return inner_->name() + "+fault-windows(" + std::to_string(windows_.size()) +
+         ")";
+}
+
+}  // namespace eadvfs::sim::fault

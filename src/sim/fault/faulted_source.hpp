@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file faulted_source.hpp
+/// EnergySource decorator that applies a FaultSchedule's harvest windows:
+/// inside a window the inner source's output is multiplied by the window's
+/// scale (0 = blackout, (0, 1) = brownout).  Window edges become piece
+/// boundaries, so the engine's exact-integration contract (piecewise-constant
+/// power, `piece_end(t) > t`) is preserved and blackout onsets are engine
+/// decision points automatically.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/source.hpp"
+#include "sim/fault/schedule.hpp"
+
+namespace eadvfs::sim::fault {
+
+class FaultedSource final : public energy::EnergySource {
+ public:
+  /// `windows` must be sorted by begin and non-overlapping (what
+  /// FaultSchedule::harvest_windows provides); copied, so the schedule need
+  /// not outlive the source.
+  FaultedSource(std::shared_ptr<const energy::EnergySource> inner,
+                std::vector<HarvestWindow> windows);
+
+  [[nodiscard]] Power power_at(Time t) const override;
+  [[nodiscard]] Time piece_end(Time t) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The undecorated source (predictor construction unwraps through this to
+  /// keep source-aware defaults, e.g. the slotted-EWMA cycle).
+  [[nodiscard]] const std::shared_ptr<const energy::EnergySource>& inner() const {
+    return inner_;
+  }
+
+ private:
+  std::shared_ptr<const energy::EnergySource> inner_;
+  std::vector<HarvestWindow> windows_;
+
+  /// Index of the first window with end > t, or windows_.size().
+  [[nodiscard]] std::size_t window_after(Time t) const;
+};
+
+}  // namespace eadvfs::sim::fault

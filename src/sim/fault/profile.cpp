@@ -1,0 +1,225 @@
+#include "sim/fault/profile.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace eadvfs::sim::fault {
+
+namespace {
+
+void require(bool ok, const std::string& message) {
+  if (!ok) throw std::invalid_argument("fault profile: " + message);
+}
+
+[[nodiscard]] bool finite(double v) { return std::isfinite(v); }
+
+double parse_real(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != value.size())
+    throw std::invalid_argument("fault profile: key '" + key +
+                                "': not a number: '" + value + "'");
+  return parsed;
+}
+
+std::uint64_t parse_uint(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  unsigned long long parsed = 0;
+  try {
+    parsed = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != value.size() || value.find('-') != std::string::npos)
+    throw std::invalid_argument("fault profile: key '" + key +
+                                "': not a non-negative integer: '" + value + "'");
+  return parsed;
+}
+
+FaultProfile preset(const std::string& name) {
+  FaultProfile p;
+  if (name == "none" || name.empty()) return p;
+  if (name == "blackout") {
+    p.harvest_duty = 0.2;
+    p.harvest_mean = 100.0;
+    p.harvest_scale = 0.0;
+    return p;
+  }
+  if (name == "brownout") {
+    p.harvest_duty = 0.3;
+    p.harvest_mean = 100.0;
+    p.harvest_scale = 0.3;
+    return p;
+  }
+  if (name == "storage") {
+    p.storage_drops = 8;
+    p.drop_fraction = 0.5;
+    p.derate_factor = 0.4;
+    p.derate_duty = 0.2;
+    return p;
+  }
+  if (name == "predictor") {
+    p.predict_bias = 1.5;
+    p.predict_jitter = 0.5;
+    return p;
+  }
+  if (name == "switch") {
+    p.switch_reject_prob = 0.3;
+    p.switch_stall_prob = 0.3;
+    return p;
+  }
+  if (name == "mixed") {
+    p.harvest_duty = 0.15;
+    p.harvest_scale = 0.0;
+    p.storage_drops = 4;
+    p.drop_fraction = 0.4;
+    p.predict_bias = 1.3;
+    p.predict_jitter = 0.3;
+    p.switch_reject_prob = 0.15;
+    p.switch_stall_prob = 0.15;
+    return p;
+  }
+  throw std::invalid_argument(
+      "fault profile: unknown preset '" + name +
+      "' (expected none|blackout|brownout|storage|predictor|switch|mixed)");
+}
+
+}  // namespace
+
+bool FaultProfile::any() const {
+  return affects_harvest() || affects_storage() || affects_predictor() ||
+         affects_switches();
+}
+
+void FaultProfile::validate() const {
+  require(finite(harvest_duty) && harvest_duty >= 0.0 && harvest_duty <= 1.0,
+          "duty must be in [0, 1]");
+  require(finite(harvest_mean) && harvest_mean > 0.0, "mean must be positive");
+  require(finite(harvest_scale) && harvest_scale >= 0.0 && harvest_scale < 1.0,
+          "scale must be in [0, 1)");
+  require(finite(drop_fraction) && drop_fraction > 0.0 && drop_fraction <= 1.0,
+          "drop-fraction must be in (0, 1]");
+  require(finite(derate_factor) && derate_factor > 0.0 && derate_factor <= 1.0,
+          "derate must be in (0, 1]");
+  require(finite(derate_duty) && derate_duty >= 0.0 && derate_duty <= 1.0,
+          "derate-duty must be in [0, 1]");
+  require(finite(derate_mean) && derate_mean > 0.0,
+          "derate-mean must be positive");
+  require(derate_duty == 0.0 || derate_factor < 1.0,
+          "derate-duty > 0 needs derate < 1 to have any effect");
+  require(finite(predict_bias) && predict_bias >= 0.0,
+          "bias must be >= 0");
+  require(finite(predict_jitter) && predict_jitter >= 0.0,
+          "jitter must be >= 0");
+  require(finite(predict_slot) && predict_slot > 0.0,
+          "slot must be positive");
+  require(finite(switch_reject_prob) && switch_reject_prob >= 0.0 &&
+              switch_reject_prob <= 1.0,
+          "reject must be in [0, 1]");
+  require(finite(switch_stall_prob) && switch_stall_prob >= 0.0 &&
+              switch_stall_prob <= 1.0,
+          "stall must be in [0, 1]");
+  require(switch_reject_prob + switch_stall_prob <= 1.0 + 1e-12,
+          "reject + stall must not exceed 1");
+  require(finite(switch_stall_factor) && switch_stall_factor >= 1.0,
+          "stall-factor must be >= 1");
+  // A rejected transition with a zero-duration stall would let the scheduler
+  // retry at the same instant forever; the floor guarantees progress.
+  require(finite(switch_min_stall) && switch_min_stall > 0.0,
+          "min-stall must be positive");
+}
+
+std::string FaultProfile::describe() const {
+  if (!any()) return "no faults";
+  std::ostringstream out;
+  const char* sep = "";
+  if (affects_harvest()) {
+    out << sep << "harvest windows duty=" << harvest_duty
+        << " mean=" << harvest_mean << " scale=" << harvest_scale;
+    sep = "; ";
+  }
+  if (affects_storage()) {
+    out << sep << "storage drops=" << storage_drops << "x" << drop_fraction;
+    if (derate_duty > 0.0)
+      out << " derate=" << derate_factor << " duty=" << derate_duty;
+    sep = "; ";
+  }
+  if (affects_predictor()) {
+    out << sep << "predictor bias=" << predict_bias
+        << " jitter=" << predict_jitter << " slot=" << predict_slot;
+    sep = "; ";
+  }
+  if (affects_switches()) {
+    out << sep << "switch reject=" << switch_reject_prob
+        << " stall=" << switch_stall_prob << "x" << switch_stall_factor;
+    sep = "; ";
+  }
+  out << " (seed " << seed << ")";
+  return out.str();
+}
+
+FaultProfile FaultProfile::parse(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  FaultProfile p = preset(name);
+
+  if (colon != std::string::npos) {
+    std::stringstream stream(spec.substr(colon + 1));
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+      if (item.empty()) continue;
+      const auto eq = item.find('=');
+      if (eq == std::string::npos)
+        throw std::invalid_argument("fault profile: expected key=value, got '" +
+                                    item + "'");
+      const std::string key = item.substr(0, eq);
+      const std::string value = item.substr(eq + 1);
+      if (key == "seed") {
+        p.seed = parse_uint(key, value);
+        p.seed_provided = true;
+      } else if (key == "duty") {
+        p.harvest_duty = parse_real(key, value);
+      } else if (key == "mean") {
+        p.harvest_mean = parse_real(key, value);
+      } else if (key == "scale") {
+        p.harvest_scale = parse_real(key, value);
+      } else if (key == "drops") {
+        p.storage_drops = static_cast<std::size_t>(parse_uint(key, value));
+      } else if (key == "drop-fraction") {
+        p.drop_fraction = parse_real(key, value);
+      } else if (key == "derate") {
+        p.derate_factor = parse_real(key, value);
+      } else if (key == "derate-duty") {
+        p.derate_duty = parse_real(key, value);
+      } else if (key == "derate-mean") {
+        p.derate_mean = parse_real(key, value);
+      } else if (key == "bias") {
+        p.predict_bias = parse_real(key, value);
+      } else if (key == "jitter") {
+        p.predict_jitter = parse_real(key, value);
+      } else if (key == "slot") {
+        p.predict_slot = parse_real(key, value);
+      } else if (key == "reject") {
+        p.switch_reject_prob = parse_real(key, value);
+      } else if (key == "stall") {
+        p.switch_stall_prob = parse_real(key, value);
+      } else if (key == "stall-factor") {
+        p.switch_stall_factor = parse_real(key, value);
+      } else if (key == "min-stall") {
+        p.switch_min_stall = parse_real(key, value);
+      } else {
+        throw std::invalid_argument("fault profile: unknown key '" + key + "'");
+      }
+    }
+  }
+  p.validate();
+  return p;
+}
+
+}  // namespace eadvfs::sim::fault

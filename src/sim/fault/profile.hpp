@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file profile.hpp
+/// Declarative description of the faults to inject into one simulation run.
+///
+/// A FaultProfile is pure configuration: which fault models are active and
+/// how hard they bite.  It is expanded into a concrete, seeded realization
+/// (windows, event instants, per-attempt switch outcomes) by
+/// fault::FaultSchedule, so the profile itself stays cheap to copy into
+/// sweep configs and to re-seed per replication.
+///
+/// Four composable models (docs/FAULTS.md has the full semantics):
+///
+///   * harvester windows  — intervals where the source output is scaled by
+///     `harvest_scale` (0 = blackout, (0,1) = brownout);
+///   * storage transients — instantaneous level drops (a fraction of the
+///     current charge vanishes) and capacity-derate windows (the usable
+///     capacity is temporarily capped at a fraction of nominal);
+///   * predictor error    — per-slot multiplicative over/under-prediction
+///     applied on top of whatever predictor the run uses;
+///   * DVFS switch faults — a requested frequency transition stalls for
+///     `switch_stall_factor` × the nominal overhead, or is rejected outright
+///     (the processor stays at the old point and the scheduler re-decides).
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace eadvfs::sim::fault {
+
+struct FaultProfile {
+  /// Seed for the fault realization.  Sweeps re-derive it per replication
+  /// (XOR-ing the replication sub-seed) so fault instants differ across
+  /// replications while staying byte-reproducible for any --jobs count.
+  std::uint64_t seed = 1;
+  /// True when the spec pinned the seed explicitly (`seed=` key); front ends
+  /// then keep it instead of deriving one from the master seed.
+  bool seed_provided = false;
+
+  // --- harvester blackout / brownout windows ----------------------------
+  double harvest_duty = 0.0;   ///< fraction of the horizon under windows.
+  Time harvest_mean = 100.0;   ///< mean window length (lengths ~ U[0.5, 1.5]×).
+  double harvest_scale = 0.0;  ///< source power multiplier inside windows.
+
+  // --- storage transients ------------------------------------------------
+  std::size_t storage_drops = 0;  ///< instantaneous level-drop events.
+  double drop_fraction = 0.5;     ///< fraction of the current level lost.
+  double derate_factor = 1.0;     ///< usable-capacity factor inside windows.
+  double derate_duty = 0.0;       ///< fraction of the horizon derated.
+  Time derate_mean = 200.0;       ///< mean derate-window length.
+
+  // --- predictor error injection ----------------------------------------
+  double predict_bias = 1.0;    ///< multiplicative mean error (1 = unbiased).
+  double predict_jitter = 0.0;  ///< per-slot factor ~ bias·(1 + U[-j, +j]).
+  Time predict_slot = 50.0;     ///< slot length for the error stream.
+
+  // --- DVFS switch failures ---------------------------------------------
+  double switch_reject_prob = 0.0;  ///< per-attempt rejection probability.
+  double switch_stall_prob = 0.0;   ///< per-attempt slow-transition probability.
+  double switch_stall_factor = 4.0; ///< k: stall k× the nominal overhead.
+  Time switch_min_stall = 0.5;      ///< stall floor when the nominal is zero.
+
+  /// True when any model is active (an all-default profile injects nothing).
+  [[nodiscard]] bool any() const;
+  [[nodiscard]] bool affects_harvest() const { return harvest_duty > 0.0; }
+  [[nodiscard]] bool affects_storage() const {
+    return storage_drops > 0 || derate_duty > 0.0;
+  }
+  [[nodiscard]] bool affects_predictor() const {
+    return predict_bias != 1.0 || predict_jitter > 0.0;
+  }
+  [[nodiscard]] bool affects_switches() const {
+    return switch_reject_prob > 0.0 || switch_stall_prob > 0.0;
+  }
+
+  /// Throws std::invalid_argument (naming the offending knob) on NaN or
+  /// out-of-range values.
+  void validate() const;
+
+  /// One-line human-readable summary of the active models.
+  [[nodiscard]] std::string describe() const;
+
+  /// Parse a `--fault-profile` spec: `preset[:key=value,...]`.
+  ///
+  /// Presets seed the knobs, keys override them:
+  ///   none       — nothing active (the default profile);
+  ///   blackout   — harvest windows at scale 0 (duty 0.2, mean 100);
+  ///   brownout   — harvest windows at scale 0.3 (duty 0.3, mean 100);
+  ///   storage    — 8 level drops of 50% + derate to 40% (duty 0.2);
+  ///   predictor  — bias 1.5, jitter 0.5 (over-prediction with noise);
+  ///   switch     — 30% rejected + 30% stalled transitions (factor 4);
+  ///   mixed      — moderate settings of all four models.
+  ///
+  /// Keys: seed, duty, mean, scale, drops, drop-fraction, derate,
+  /// derate-duty, derate-mean, bias, jitter, slot, reject, stall,
+  /// stall-factor, min-stall.  Unknown keys and malformed values are
+  /// rejected with a one-line error naming the key.
+  [[nodiscard]] static FaultProfile parse(const std::string& spec);
+};
+
+}  // namespace eadvfs::sim::fault

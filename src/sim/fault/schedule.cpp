@@ -1,0 +1,133 @@
+#include "sim/fault/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace eadvfs::sim::fault {
+
+namespace {
+
+// Independent sub-streams per fault model so adding one model never
+// perturbs another's realization (profiles stay comparable across sweeps).
+constexpr std::uint64_t kHarvestSalt = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kDropSalt = 0xbf58476d1ce4e5b9ULL;
+constexpr std::uint64_t kDerateSalt = 0x94d049bb133111ebULL;
+constexpr std::uint64_t kSwitchSalt = 0xd6e8feb86659fd93ULL;
+constexpr std::uint64_t kPredictSalt = 0xa5a5a5a55a5a5a5aULL;
+
+/// Draw `duty · horizon / mean` windows of length ~ U[0.5, 1.5]·mean with
+/// uniform starts, then sort and merge overlaps.  The realized duty is
+/// approximate (merging can only lower it), which is fine: the knob sets the
+/// *regime*, tests assert determinism, not the exact duty.
+std::vector<HarvestWindow> draw_windows(std::uint64_t seed, Time horizon,
+                                        double duty, Time mean, double scale) {
+  std::vector<HarvestWindow> windows;
+  if (duty <= 0.0 || horizon <= 0.0) return windows;
+  const auto n = static_cast<std::size_t>(
+      std::max(1.0, std::round(duty * horizon / mean)));
+  util::Xoshiro256ss rng(seed);
+  windows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time length = std::min(horizon, mean * rng.uniform(0.5, 1.5));
+    const Time begin = rng.uniform(0.0, std::max(horizon - length, 1e-9));
+    windows.push_back({begin, std::min(begin + length, horizon), scale});
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const HarvestWindow& a, const HarvestWindow& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<HarvestWindow> merged;
+  for (const HarvestWindow& w : windows) {
+    if (!merged.empty() && w.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, w.end);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+double PredictorFaultModel::factor_at(Time now) const {
+  if (bias == 1.0 && jitter <= 0.0) return 1.0;
+  const auto index =
+      static_cast<std::uint64_t>(std::max(0.0, std::floor(now / slot)));
+  // One SplitMix64 step keyed by (seed, slot) gives an i.i.d.-quality
+  // uniform per slot without storing a realization of unknown length.
+  util::SplitMix64 sm(seed ^ (index * 0x2545F4914F6CDD1DULL) ^ kPredictSalt);
+  const double u =
+      static_cast<double>(sm.next() >> 11) * 0x1.0p-53;  // [0, 1)
+  return std::max(0.0, bias * (1.0 + jitter * (2.0 * u - 1.0)));
+}
+
+FaultSchedule::FaultSchedule(const FaultProfile& profile, Time horizon)
+    : profile_(profile), horizon_(horizon) {
+  profile_.validate();
+  if (!(horizon > 0.0) || !std::isfinite(horizon))
+    throw std::invalid_argument("FaultSchedule: horizon must be positive");
+
+  windows_ = draw_windows(profile_.seed ^ kHarvestSalt, horizon,
+                          profile_.harvest_duty, profile_.harvest_mean,
+                          profile_.harvest_scale);
+  for (const HarvestWindow& w : windows_) {
+    events_.push_back({w.begin, FaultNotice::Kind::kHarvestWindowStart, w.scale});
+    if (w.end < horizon)
+      events_.push_back({w.end, FaultNotice::Kind::kHarvestWindowEnd, 1.0});
+  }
+
+  if (profile_.storage_drops > 0) {
+    util::Xoshiro256ss rng(profile_.seed ^ kDropSalt);
+    for (std::size_t i = 0; i < profile_.storage_drops; ++i) {
+      events_.push_back({rng.uniform(0.0, horizon),
+                         FaultNotice::Kind::kStorageDrop,
+                         profile_.drop_fraction});
+    }
+  }
+
+  for (const HarvestWindow& w :
+       draw_windows(profile_.seed ^ kDerateSalt, horizon, profile_.derate_duty,
+                    profile_.derate_mean, profile_.derate_factor)) {
+    events_.push_back({w.begin, FaultNotice::Kind::kCapacityDerate, w.scale});
+    if (w.end < horizon)
+      events_.push_back({w.end, FaultNotice::Kind::kCapacityRestore, 1.0});
+  }
+
+  // Time order with a deterministic tie-break (kind, then magnitude) so the
+  // event sequence is a pure function of (profile, horizon).
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.magnitude < b.magnitude;
+                   });
+}
+
+SwitchFault FaultSchedule::switch_fault(std::size_t attempt) const {
+  SwitchFault fault;
+  if (!profile_.affects_switches()) return fault;
+  util::SplitMix64 sm(profile_.seed ^ kSwitchSalt ^
+                      (static_cast<std::uint64_t>(attempt) *
+                       0x9E3779B97F4A7C15ULL));
+  const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  if (u < profile_.switch_reject_prob) {
+    fault.kind = SwitchFault::Kind::kReject;
+  } else if (u < profile_.switch_reject_prob + profile_.switch_stall_prob) {
+    fault.kind = SwitchFault::Kind::kStall;
+  }
+  return fault;
+}
+
+PredictorFaultModel FaultSchedule::predictor_model() const {
+  PredictorFaultModel model;
+  model.bias = profile_.predict_bias;
+  model.jitter = profile_.predict_jitter;
+  model.slot = profile_.predict_slot;
+  model.seed = profile_.seed;
+  return model;
+}
+
+}  // namespace eadvfs::sim::fault

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file schedule.hpp
+/// The concrete, seeded realization of a FaultProfile over one run's
+/// horizon: harvest windows with explicit [begin, end) bounds, a time-sorted
+/// event list (window edges, storage drops, derate windows) the engine
+/// consumes at decision points, and a deterministic per-attempt outcome
+/// stream for DVFS switch faults.
+///
+/// Determinism contract (docs/FAULTS.md): every quantity here is a pure
+/// function of (profile, horizon).  Nothing depends on wall clock, thread
+/// count, or the order in which replications execute, so fault runs satisfy
+/// the same byte-reproducibility guarantee as the fault-free sweeps
+/// (docs/EXPERIMENTS.md).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/fault/profile.hpp"
+#include "sim/scheduler.hpp"
+#include "util/types.hpp"
+
+namespace eadvfs::sim::fault {
+
+/// One harvester fault interval: source output × `scale` on [begin, end).
+struct HarvestWindow {
+  Time begin = 0.0;
+  Time end = 0.0;
+  double scale = 0.0;
+};
+
+/// One engine-visible fault instant.  `magnitude` is the drop fraction for
+/// kStorageDrop and the capacity factor for kCapacityDerate/kCapacityRestore;
+/// harvest-window edges carry the window scale (informational only — the
+/// power change itself lives in FaultedSource).
+struct FaultEvent {
+  Time time = 0.0;
+  FaultNotice::Kind kind = FaultNotice::Kind::kHarvestWindowStart;
+  double magnitude = 0.0;
+};
+
+/// Outcome of one DVFS transition attempt.
+struct SwitchFault {
+  enum class Kind { kNone, kStall, kReject };
+  Kind kind = Kind::kNone;
+};
+
+/// Per-slot multiplicative prediction-error model (consumed by
+/// FaultedPredictor).
+struct PredictorFaultModel {
+  double bias = 1.0;
+  double jitter = 0.0;
+  Time slot = 50.0;
+  std::uint64_t seed = 0;
+
+  /// Error factor for the slot containing `now` (>= 0, deterministic).
+  [[nodiscard]] double factor_at(Time now) const;
+};
+
+class FaultSchedule {
+ public:
+  /// Expand `profile` (validated here) over [0, horizon).
+  FaultSchedule(const FaultProfile& profile, Time horizon);
+
+  [[nodiscard]] const FaultProfile& profile() const { return profile_; }
+  [[nodiscard]] Time horizon() const { return horizon_; }
+
+  /// Harvest fault windows, sorted and non-overlapping (for FaultedSource).
+  [[nodiscard]] const std::vector<HarvestWindow>& harvest_windows() const {
+    return windows_;
+  }
+
+  /// All engine-visible fault instants in time order (ties broken
+  /// deterministically).  The engine bounds every segment at the next event
+  /// and applies/forwards due events before each decision.
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Deterministic outcome of the `attempt`-th DVFS transition of the run
+  /// (attempts are counted by the engine in decision order).
+  [[nodiscard]] SwitchFault switch_fault(std::size_t attempt) const;
+
+  [[nodiscard]] PredictorFaultModel predictor_model() const;
+
+ private:
+  FaultProfile profile_;
+  Time horizon_ = 0.0;
+  std::vector<HarvestWindow> windows_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace eadvfs::sim::fault

@@ -15,15 +15,20 @@
 ///     powers: `harvested` is the gross harvester output, `consumed` the
 ///     processor/transition draw, `overflow` the harvested energy that did
 ///     not fit the storage (including charge-efficiency conversion loss),
-///     `leaked` the storage self-discharge.  Conservation holds per record:
-///     `level_end = level_start + harvested − consumed − overflow − leaked`
-///     (up to the engine's numerical snapping, ≤ 1e-6).
+///     `leaked` the storage self-discharge, `fault_drained` energy removed
+///     by an injected storage fault.  Conservation holds per record:
+///     `level_end = level_start + harvested − consumed − overflow − leaked −
+///     fault_drained` (up to the engine's numerical snapping, ≤ 1e-6).
 ///   * A record may be *instantaneous* (`start == end`): a zero-duration
 ///     DVFS transition that draws `SwitchOverhead::energy` produces one, so
 ///     the observer stream still balances energy even though no time passes.
 ///     Instantaneous records carry their energy in `consumed`; the power
 ///     fields are 0 (a power over zero time is meaningless) and no time
-///     accounting (busy/idle/stall) is attributed to them.
+///     accounting (busy/idle/stall) is attributed to them.  Injected storage
+///     faults (sudden level drops, capacity-derate spills) likewise emit
+///     instantaneous records carrying the lost energy in `fault_drained`,
+///     so the level stays continuous across the observer stream even while
+///     faults fire.
 ///   * `harvest_power`/`consume_power` are the segment-constant powers for
 ///     plotting convenience; on instantaneous records they are 0.
 
@@ -51,6 +56,7 @@ struct SegmentRecord {
   Energy consumed = 0.0;       ///< exact processor/transition draw.
   Energy overflow = 0.0;       ///< harvested energy discarded (storage full).
   Energy leaked = 0.0;         ///< storage self-discharge on the segment.
+  Energy fault_drained = 0.0;  ///< energy removed by an injected storage fault.
   bool stalled = false;        ///< true when the scheduler wanted to run but
                                ///< the storage was empty (forced idle), or
                                ///< during a DVFS transition stall.
@@ -68,6 +74,9 @@ class SimObserver {
   virtual void on_release(const task::Job& /*job*/) {}
   virtual void on_complete(const task::Job& /*job*/, Time /*finish*/) {}
   virtual void on_miss(const task::Job& /*job*/, Time /*deadline*/) {}
+  /// The job was abandoned mid-execution because the storage emptied under
+  /// DepletionPolicy::kAbortAndCharge; it will not complete or re-run.
+  virtual void on_abort(const task::Job& /*job*/, Time /*when*/) {}
   virtual void on_segment(const SegmentRecord& /*segment*/) {}
 };
 

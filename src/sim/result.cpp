@@ -13,19 +13,25 @@ double SimulationResult::miss_rate() const {
 
 Energy SimulationResult::conservation_error() const {
   return std::abs(storage_initial + harvested - consumed - overflow - leaked -
-                  storage_final);
+                  fault_drained - storage_final);
 }
 
 std::string SimulationResult::summary() const {
   std::ostringstream out;
   out << "jobs: released=" << jobs_released << " completed=" << jobs_completed
-      << " missed=" << jobs_missed << " unresolved=" << jobs_unresolved
-      << " (miss rate " << miss_rate() << ")\n";
+      << " missed=" << jobs_missed << " unresolved=" << jobs_unresolved;
+  if (jobs_aborted > 0) out << " aborted=" << jobs_aborted;
+  out << " (miss rate " << miss_rate() << ")\n";
   out << "energy: harvested=" << harvested << " consumed=" << consumed
-      << " overflow=" << overflow << " storage " << storage_initial << " -> "
-      << storage_final << "\n";
+      << " overflow=" << overflow;
+  if (fault_drained > 0.0) out << " fault_drained=" << fault_drained;
+  out << " storage " << storage_initial << " -> " << storage_final << "\n";
   out << "processor: busy=" << busy_time << " idle=" << idle_time
       << " stall=" << stall_time << " switches=" << frequency_switches;
+  if (storage_faults_injected + switch_faults_injected > 0 || suspensions > 0)
+    out << "\nfaults: storage=" << storage_faults_injected
+        << " switch=" << switch_faults_injected
+        << " suspensions=" << suspensions;
   return out.str();
 }
 

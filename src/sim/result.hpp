@@ -25,6 +25,15 @@ struct SimulationResult {
   /// Completed after their deadline (kContinueLate only; these jobs were
   /// already counted in jobs_missed at the deadline instant).
   std::size_t jobs_completed_late = 0;
+  /// Abandoned mid-execution by DepletionPolicy::kAbortAndCharge when the
+  /// storage emptied.  Aborted jobs never complete and are excluded from
+  /// miss_rate() (they were killed by the energy system, not the scheduler).
+  std::size_t jobs_aborted = 0;
+  /// Times the storage ran dry mid-execution under
+  /// DepletionPolicy::kSuspendAndResume: the job stays ready and either
+  /// resumes when harvest accumulates or continues at a harvest-sustainable
+  /// operating point.
+  std::size_t suspensions = 0;
 
   /// Fraction of deadline-resolved jobs that missed (paper's y-axis in
   /// Figures 8/9).  0 when nothing resolved.
@@ -36,11 +45,14 @@ struct SimulationResult {
   Energy overflow = 0.0;         ///< harvested energy discarded (storage full).
   Energy leaked = 0.0;           ///< storage self-discharge (0 for the paper's
                                  ///< ideal model).
+  Energy fault_drained = 0.0;    ///< energy destroyed by injected storage
+                                 ///< faults (level drops, derate spills).
   Energy storage_initial = 0.0;
   Energy storage_final = 0.0;
 
-  /// |initial + harvested − consumed − overflow − leaked − final| — should
-  /// be ~0; exposed so tests can assert conservation on arbitrary workloads.
+  /// |initial + harvested − consumed − overflow − leaked − fault_drained −
+  /// final| — should be ~0; exposed so tests can assert conservation on
+  /// arbitrary workloads, faulted or not.
   [[nodiscard]] Energy conservation_error() const;
 
   // --- processor --------------------------------------------------------
@@ -59,6 +71,10 @@ struct SimulationResult {
 
   Time end_time = 0.0;
   std::size_t segments = 0;  ///< engine segments processed (diagnostics).
+
+  // --- fault injection ---------------------------------------------------
+  std::size_t storage_faults_injected = 0;  ///< drops + derates applied.
+  std::size_t switch_faults_injected = 0;   ///< rejected + stalled switches.
 
   [[nodiscard]] std::string summary() const;
 };

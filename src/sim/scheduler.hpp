@@ -39,6 +39,24 @@ struct SchedulingContext {
   [[nodiscard]] const task::Job& edf_front() const { return ready->front(); }
 };
 
+/// A fault boundary the engine crossed (see src/sim/fault/).  Forwarded to
+/// the scheduler via Scheduler::on_fault so stateful policies can invalidate
+/// plans computed from the now-stale energy state; the engine itself always
+/// re-decides at the boundary, so stateless policies need no handling.
+struct FaultNotice {
+  enum class Kind {
+    kHarvestWindowStart,  ///< source output scaled down from here.
+    kHarvestWindowEnd,    ///< source output restored.
+    kStorageDrop,         ///< stored energy vanished instantaneously.
+    kCapacityDerate,      ///< usable capacity temporarily reduced.
+    kCapacityRestore,     ///< usable capacity back to nominal.
+    kSwitchStall,         ///< a DVFS transition took k× the nominal overhead.
+    kSwitchReject,        ///< a DVFS transition failed; old point kept.
+  };
+  Time time = 0.0;
+  Kind kind = Kind::kHarvestWindowStart;
+};
+
 struct Decision {
   enum class Kind { kIdle, kRun };
 
@@ -78,6 +96,15 @@ class Scheduler {
 
   /// Clear any per-run internal state (default: stateless).
   virtual void reset() {}
+
+  /// Recovery hook: the engine reports every injected-fault boundary it
+  /// crosses (harvest window edges, storage drops/derates, switch failures)
+  /// *before* asking for the next decision.  Policies that cache plans
+  /// derived from the energy state (EA-DVFS-static) must invalidate them
+  /// here; policies that re-derive everything per decision (EDF, LSA,
+  /// EA-DVFS, Greedy-DVFS) inherit this no-op and re-plan naturally at the
+  /// decision the engine forces at the boundary.
+  virtual void on_fault(const FaultNotice& /*notice*/) {}
 
   // --- declared contracts (consumed by sim::AuditObserver) ---------------
 

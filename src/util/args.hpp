@@ -4,8 +4,10 @@
 /// Tiny declarative CLI parser for the bench/example binaries.
 ///
 /// Supported syntax: `--name value`, `--name=value`, and boolean flags
-/// (`--verbose`).  Unknown options are an error (typo protection for
-/// long-running experiment sweeps).
+/// (`--verbose`).  Unknown options are an error with a "did you mean"
+/// suggestion, and repeating an option is an error too — both are typo
+/// protection for long-running experiment sweeps, where a silently dropped
+/// or shadowed flag wastes hours before anyone notices.
 
 #include <cstdint>
 #include <map>
@@ -26,7 +28,8 @@ class ArgParser {
                   const std::string& help_text);
 
   /// Parse argv.  Returns false (after printing help) when `--help` was
-  /// requested; throws std::invalid_argument on unknown/malformed options.
+  /// requested; throws std::invalid_argument on unknown, duplicated, or
+  /// malformed options.
   bool parse(int argc, const char* const* argv);
 
   /// True when the option/flag was explicitly present on the command line
@@ -63,6 +66,10 @@ class ArgParser {
   std::map<std::string, bool> provided_;
 
   const Spec& spec_or_throw(const std::string& name) const;
+
+  /// Closest declared option by edit distance, or "" when nothing is near
+  /// enough to plausibly be a typo.  Powers "did you mean" suggestions.
+  [[nodiscard]] std::string closest_option(const std::string& name) const;
 };
 
 }  // namespace eadvfs::util

@@ -1,0 +1,217 @@
+/// Fault-resilience property suite: every scheduler in the zoo, under both
+/// miss policies, both depletion policies and each fault-profile preset,
+/// must run to the horizon with the invariant auditor attached (the engine
+/// throws AuditError on any violation when config.audit is set), conserve
+/// energy, and be exactly reproducible.  A hand-computed blackout scenario
+/// pins the suspend-and-resume and abort-and-charge accounting against both
+/// the exact engine and the naive fixed-step reference integrator.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "energy/solar_source.hpp"
+#include "energy/source.hpp"
+#include "exp/setup.hpp"
+#include "sched/factory.hpp"
+#include "sim/fault/faulted_source.hpp"
+#include "sim/fault/profile.hpp"
+#include "task/generator.hpp"
+#include "util/rng.hpp"
+#include "../support/reference_sim.hpp"
+#include "../support/scenario.hpp"
+
+namespace eadvfs {
+namespace {
+
+using sim::fault::FaultProfile;
+using sim::fault::FaultedSource;
+using test::job;
+using test::ReferenceResult;
+using test::run_reference;
+using test::run_scenario;
+using test::Scenario;
+
+// ------------------------------------------------------- property sweep
+
+struct SweepCase {
+  std::string scheduler;
+  std::string profile;
+  sim::MissPolicy miss_policy;
+  sim::DepletionPolicy depletion;
+};
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const std::string& scheduler : sched::scheduler_names()) {
+    for (const char* profile :
+         {"blackout:seed=11", "storage:seed=12", "switch:seed=13",
+          "mixed:seed=14"}) {
+      for (const sim::MissPolicy miss :
+           {sim::MissPolicy::kDropAtDeadline, sim::MissPolicy::kContinueLate}) {
+        // Pair each miss policy with a different depletion policy to halve
+        // the grid without losing coverage of either axis.
+        const sim::DepletionPolicy depletion =
+            miss == sim::MissPolicy::kDropAtDeadline
+                ? sim::DepletionPolicy::kSuspendAndResume
+                : sim::DepletionPolicy::kAbortAndCharge;
+        cases.push_back({scheduler, profile, miss, depletion});
+      }
+    }
+  }
+  return cases;
+}
+
+sim::SimulationResult run_sweep_case(const SweepCase& c) {
+  sim::SimulationConfig cfg;
+  cfg.horizon = 2000.0;
+  cfg.miss_policy = c.miss_policy;
+  cfg.depletion_policy = c.depletion;
+  cfg.audit = true;  // engine throws AuditError on any invariant violation
+
+  util::Xoshiro256ss rng(1234);
+  task::GeneratorConfig gen_cfg;
+  gen_cfg.target_utilization = 0.6;
+  gen_cfg.n_tasks = 4;
+  const task::TaskSet task_set = task::TaskSetGenerator(gen_cfg).generate(rng);
+
+  energy::SolarSourceConfig solar;
+  solar.seed = 77;
+  solar.horizon = cfg.horizon;
+  const auto source = std::make_shared<const energy::SolarSource>(solar);
+
+  const FaultProfile fault = FaultProfile::parse(c.profile);
+  const auto scheduler = sched::make_scheduler(c.scheduler);
+  return exp::run_once(cfg, source, /*capacity=*/75.0,
+                       proc::FrequencyTable::xscale(), *scheduler,
+                       "slotted-ewma", task_set, {}, {}, {}, &fault);
+}
+
+class FaultResilienceSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FaultResilienceSweep, AuditedRunConservesEnergyAndIsReproducible) {
+  const SweepCase c = sweep_cases()[GetParam()];
+  SCOPED_TRACE(c.scheduler + " / " + c.profile);
+
+  // run_once throws sim::AuditError if any invariant breaks mid-run.
+  const sim::SimulationResult a = run_sweep_case(c);
+  EXPECT_GT(a.jobs_released, 0u);
+  EXPECT_NEAR(a.conservation_error(), 0.0, 1e-6);
+  // On-time completions and misses are disjoint.  Aborts are NOT disjoint
+  // from misses under kContinueLate: a job can miss its deadline, keep
+  // running late, and then be abandoned when the storage empties.
+  EXPECT_LE(a.jobs_completed + a.jobs_missed, a.jobs_released);
+  EXPECT_LE(a.jobs_aborted, a.jobs_released);
+
+  // Exact reproducibility: an identical configuration replays bit-for-bit.
+  const sim::SimulationResult b = run_sweep_case(c);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.jobs_missed, b.jobs_missed);
+  EXPECT_EQ(a.jobs_aborted, b.jobs_aborted);
+  EXPECT_EQ(a.suspensions, b.suspensions);
+  EXPECT_EQ(a.storage_faults_injected, b.storage_faults_injected);
+  EXPECT_EQ(a.switch_faults_injected, b.switch_faults_injected);
+  EXPECT_EQ(a.harvested, b.harvested);  // exact, not NEAR: determinism
+  EXPECT_EQ(a.consumed, b.consumed);
+  EXPECT_EQ(a.fault_drained, b.fault_drained);
+  EXPECT_EQ(a.storage_final, b.storage_final);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulersTimesProfiles, FaultResilienceSweep,
+                         ::testing::Range<std::size_t>(0,
+                                                       sweep_cases().size()));
+
+// ------------------------------------------- hand-computed blackout pin
+
+/// One job (30 work units, deadline 100) on the XScale table under EDF
+/// (always full speed: S=1, P=3.2 W), constant 4 W harvest with a blackout
+/// on [10, 20), storage 50 J starting at 20 J, horizon 50, zero overheads.
+///
+/// Timeline (suspend-and-resume):
+///   [0, 10):      net +0.8 W -> level 20 + 8 = 28 J, work 10
+///   [10, 18.75):  blackout, net -3.2 W -> level hits 0, work 8.75
+///   t = 18.75:    storage dry mid-segment -> ONE suspension
+///   [18.75, 20):  stalled (no harvest, no storage) -> stall 1.25
+///   [20, 31.25):  4 W covers 3.2 W draw directly; remaining 11.25 work
+///                 completes at t = 31.25, level 0.8 * 11.25 = 9 J
+///   [31.25, 41.5): idle, charge at 4 W to full (50 J)
+///   [41.5, 50):   overflow 4 W * 8.5 = 34 J
+/// Totals: harvested 4 * 40 = 160, consumed 3.2 * 30 = 96, busy 30,
+/// stall 1.25, final 50, conservation 20 + 160 - 96 - 34 - 50 = 0.
+Scenario blackout_pin_scenario() {
+  Scenario s;
+  s.jobs = {job(1, 0.0, 100.0, 30.0)};
+  s.source = std::make_shared<FaultedSource>(
+      std::make_shared<energy::ConstantSource>(4.0),
+      std::vector<sim::fault::HarvestWindow>{{10.0, 20.0, 0.0}});
+  s.capacity = 50.0;
+  s.initial = 20.0;
+  s.config.horizon = 50.0;
+  return s;
+}
+
+TEST(BlackoutPin, SuspendAndResumeAccountingMatchesHandComputation) {
+  Scenario s = blackout_pin_scenario();
+  s.config.depletion_policy = sim::DepletionPolicy::kSuspendAndResume;
+  const auto scheduler = sched::make_scheduler("edf");
+  const auto outcome = run_scenario(std::move(s), *scheduler);
+
+  EXPECT_EQ(outcome.result.jobs_completed, 1u);
+  EXPECT_EQ(outcome.result.jobs_missed, 0u);
+  EXPECT_EQ(outcome.result.jobs_aborted, 0u);
+  EXPECT_EQ(outcome.result.suspensions, 1u);
+  EXPECT_NEAR(outcome.result.harvested, 160.0, 1e-9);
+  EXPECT_NEAR(outcome.result.consumed, 96.0, 1e-9);
+  EXPECT_NEAR(outcome.result.overflow, 34.0, 1e-9);
+  EXPECT_NEAR(outcome.result.storage_final, 50.0, 1e-9);
+  EXPECT_NEAR(outcome.result.busy_time, 30.0, 1e-9);
+  EXPECT_NEAR(outcome.result.stall_time, 1.25, 1e-9);
+  EXPECT_NEAR(outcome.result.conservation_error(), 0.0, 1e-9);
+  EXPECT_EQ(outcome.audit_violations, 0u);
+}
+
+TEST(BlackoutPin, AbortAndChargeAccountingMatchesHandComputation) {
+  // Same physics until the storage dries at t = 18.75; then the job is
+  // abandoned: busy 18.75, consumed 3.2 * 18.75 = 60, work dropped 11.25.
+  // Idle charging refills 50 J by t = 32.5; overflow 4 * 17.5 = 70.
+  Scenario s = blackout_pin_scenario();
+  s.config.depletion_policy = sim::DepletionPolicy::kAbortAndCharge;
+  const auto scheduler = sched::make_scheduler("edf");
+  const auto outcome = run_scenario(std::move(s), *scheduler);
+
+  EXPECT_EQ(outcome.result.jobs_aborted, 1u);
+  EXPECT_EQ(outcome.result.jobs_completed, 0u);
+  EXPECT_EQ(outcome.result.jobs_missed, 0u);  // energy killed it, not EDF
+  EXPECT_EQ(outcome.result.suspensions, 0u);
+  EXPECT_NEAR(outcome.result.busy_time, 18.75, 1e-9);
+  EXPECT_NEAR(outcome.result.consumed, 60.0, 1e-9);
+  EXPECT_NEAR(outcome.result.harvested, 160.0, 1e-9);
+  EXPECT_NEAR(outcome.result.overflow, 70.0, 1e-9);
+  EXPECT_NEAR(outcome.result.storage_final, 50.0, 1e-9);
+  EXPECT_NEAR(outcome.result.work_dropped, 11.25, 1e-9);
+  EXPECT_NEAR(outcome.result.conservation_error(), 0.0, 1e-9);
+  EXPECT_EQ(outcome.audit_violations, 0u);
+}
+
+TEST(BlackoutPin, FixedStepReferenceAgreesThroughTheBlackout) {
+  // The reference integrator consumes the same FaultedSource, so the
+  // blackout physics (though not the depletion bookkeeping, which it does
+  // not model) must agree with the engine within O(step).
+  const Scenario s = blackout_pin_scenario();
+  const auto scheduler = sched::make_scheduler("edf");
+  const ReferenceResult ref = run_reference(s, *scheduler, 0.005);
+
+  EXPECT_EQ(ref.jobs_released, 1u);
+  EXPECT_EQ(ref.jobs_completed, 1u);
+  EXPECT_EQ(ref.jobs_missed, 0u);
+  EXPECT_NEAR(ref.harvested, 160.0, 0.05);
+  EXPECT_NEAR(ref.consumed, 96.0, 0.1);
+  EXPECT_NEAR(ref.storage_final, 50.0, 0.1);
+  EXPECT_NEAR(ref.work_completed, 30.0, 0.02);
+}
+
+}  // namespace
+}  // namespace eadvfs

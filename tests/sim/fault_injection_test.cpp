@@ -1,0 +1,404 @@
+/// Unit tests for the fault-injection subsystem (src/sim/fault): profile
+/// parsing and validation, seeded schedule realization and its determinism
+/// contract, the source/predictor decorators, the storage fault primitives,
+/// and engine-level fault application with the auditor attached.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "energy/predictor.hpp"
+#include "energy/source.hpp"
+#include "energy/storage.hpp"
+#include "proc/frequency_table.hpp"
+#include "proc/processor.hpp"
+#include "sched/factory.hpp"
+#include "sim/config.hpp"
+#include "sim/fault/faulted_predictor.hpp"
+#include "sim/fault/faulted_source.hpp"
+#include "sim/fault/profile.hpp"
+#include "sim/fault/schedule.hpp"
+#include "../support/scenario.hpp"
+
+namespace eadvfs {
+namespace {
+
+using sim::fault::FaultEvent;
+using sim::fault::FaultProfile;
+using sim::fault::FaultSchedule;
+using sim::fault::FaultedPredictor;
+using sim::fault::FaultedSource;
+using sim::fault::HarvestWindow;
+using sim::fault::PredictorFaultModel;
+using sim::fault::SwitchFault;
+using test::job;
+using test::run_scenario;
+using test::Scenario;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// ---------------------------------------------------------------- profile
+
+TEST(FaultProfile, DefaultIsInactive) {
+  FaultProfile p;
+  EXPECT_FALSE(p.any());
+  EXPECT_EQ(p.describe(), "no faults");
+}
+
+TEST(FaultProfile, ParsePresets) {
+  EXPECT_FALSE(FaultProfile::parse("none").any());
+  const FaultProfile blackout = FaultProfile::parse("blackout");
+  EXPECT_TRUE(blackout.affects_harvest());
+  EXPECT_DOUBLE_EQ(blackout.harvest_scale, 0.0);
+  const FaultProfile brownout = FaultProfile::parse("brownout");
+  EXPECT_GT(brownout.harvest_scale, 0.0);
+  EXPECT_TRUE(FaultProfile::parse("storage").affects_storage());
+  EXPECT_TRUE(FaultProfile::parse("predictor").affects_predictor());
+  EXPECT_TRUE(FaultProfile::parse("switch").affects_switches());
+  const FaultProfile mixed = FaultProfile::parse("mixed");
+  EXPECT_TRUE(mixed.affects_harvest());
+  EXPECT_TRUE(mixed.affects_storage());
+  EXPECT_TRUE(mixed.affects_predictor());
+  EXPECT_TRUE(mixed.affects_switches());
+}
+
+TEST(FaultProfile, ParseKeyOverridesAndSeedPinning) {
+  const FaultProfile p =
+      FaultProfile::parse("blackout:duty=0.4,mean=250,seed=7");
+  EXPECT_DOUBLE_EQ(p.harvest_duty, 0.4);
+  EXPECT_DOUBLE_EQ(p.harvest_mean, 250.0);
+  EXPECT_EQ(p.seed, 7u);
+  EXPECT_TRUE(p.seed_provided);
+  EXPECT_FALSE(FaultProfile::parse("blackout").seed_provided);
+}
+
+TEST(FaultProfile, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW((void)FaultProfile::parse("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)FaultProfile::parse("blackout:dutty=0.4"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultProfile::parse("blackout:duty"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultProfile::parse("blackout:duty=abc"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultProfile::parse("blackout:seed=-3"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultProfile::parse("blackout:duty=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultProfile::parse("switch:reject=0.7,stall=0.7"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultProfile::parse("switch:min-stall=0"),
+               std::invalid_argument);
+}
+
+TEST(FaultProfile, ValidateRejectsNaN) {
+  FaultProfile p = FaultProfile::parse("blackout");
+  p.harvest_duty = kNaN;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = FaultProfile::parse("predictor");
+  p.predict_bias = kNaN;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- schedule
+
+TEST(FaultSchedule, IsAPureFunctionOfProfileAndHorizon) {
+  const FaultProfile p = FaultProfile::parse("mixed:seed=99");
+  const FaultSchedule a(p, 10000.0);
+  const FaultSchedule b(p, 10000.0);
+  ASSERT_EQ(a.harvest_windows().size(), b.harvest_windows().size());
+  for (std::size_t i = 0; i < a.harvest_windows().size(); ++i) {
+    EXPECT_EQ(a.harvest_windows()[i].begin, b.harvest_windows()[i].begin);
+    EXPECT_EQ(a.harvest_windows()[i].end, b.harvest_windows()[i].end);
+  }
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].magnitude, b.events()[i].magnitude);
+  }
+  for (std::size_t attempt = 0; attempt < 100; ++attempt)
+    EXPECT_EQ(static_cast<int>(a.switch_fault(attempt).kind),
+              static_cast<int>(b.switch_fault(attempt).kind));
+}
+
+TEST(FaultSchedule, SeedChangesTheRealization) {
+  const FaultSchedule a(FaultProfile::parse("blackout:seed=1"), 10000.0);
+  const FaultSchedule b(FaultProfile::parse("blackout:seed=2"), 10000.0);
+  ASSERT_FALSE(a.harvest_windows().empty());
+  ASSERT_FALSE(b.harvest_windows().empty());
+  bool differs = a.harvest_windows().size() != b.harvest_windows().size();
+  for (std::size_t i = 0;
+       !differs && i < a.harvest_windows().size(); ++i)
+    differs = a.harvest_windows()[i].begin != b.harvest_windows()[i].begin;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultSchedule, WindowsAreSortedDisjointAndInsideHorizon) {
+  const Time horizon = 5000.0;
+  const FaultSchedule s(FaultProfile::parse("brownout:seed=3"), horizon);
+  const auto& windows = s.harvest_windows();
+  ASSERT_FALSE(windows.empty());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_LT(windows[i].begin, windows[i].end);
+    EXPECT_GE(windows[i].begin, 0.0);
+    EXPECT_LE(windows[i].end, horizon);
+    if (i > 0) {
+      EXPECT_GT(windows[i].begin, windows[i - 1].end);
+    }
+  }
+  const auto& events = s.events();
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].time, events[i].time);
+}
+
+TEST(FaultSchedule, SwitchFaultExtremes) {
+  const FaultSchedule reject(
+      FaultProfile::parse("switch:reject=1,stall=0"), 1000.0);
+  const FaultSchedule stall(
+      FaultProfile::parse("switch:reject=0,stall=1"), 1000.0);
+  const FaultSchedule clean(FaultProfile::parse("blackout"), 1000.0);
+  for (std::size_t attempt = 0; attempt < 50; ++attempt) {
+    EXPECT_EQ(static_cast<int>(reject.switch_fault(attempt).kind),
+              static_cast<int>(SwitchFault::Kind::kReject));
+    EXPECT_EQ(static_cast<int>(stall.switch_fault(attempt).kind),
+              static_cast<int>(SwitchFault::Kind::kStall));
+    EXPECT_EQ(static_cast<int>(clean.switch_fault(attempt).kind),
+              static_cast<int>(SwitchFault::Kind::kNone));
+  }
+}
+
+TEST(PredictorFaultModel, BiasOnlyIsExact) {
+  PredictorFaultModel m;
+  m.bias = 1.5;
+  m.jitter = 0.0;
+  m.slot = 50.0;
+  m.seed = 11;
+  for (Time t = 0.0; t < 1000.0; t += 37.0)
+    EXPECT_DOUBLE_EQ(m.factor_at(t), 1.5);
+}
+
+TEST(PredictorFaultModel, JitterIsSlotConstantAndNonNegative) {
+  PredictorFaultModel m;
+  m.bias = 1.0;
+  m.jitter = 0.8;
+  m.slot = 50.0;
+  m.seed = 11;
+  bool saw_variation = false;
+  for (Time slot_start = 0.0; slot_start < 2000.0; slot_start += 50.0) {
+    const double f = m.factor_at(slot_start);
+    EXPECT_GE(f, 0.0);
+    EXPECT_DOUBLE_EQ(m.factor_at(slot_start + 49.0), f);
+    if (std::abs(f - 1.0) > 0.01) saw_variation = true;
+  }
+  EXPECT_TRUE(saw_variation);
+}
+
+// -------------------------------------------------------------- decorators
+
+TEST(FaultedSource, ScalesPowerInsideWindowsOnly) {
+  auto inner = std::make_shared<energy::ConstantSource>(10.0);
+  const FaultedSource src(inner, {{5.0, 10.0, 0.0}, {20.0, 25.0, 0.3}});
+  EXPECT_DOUBLE_EQ(src.power_at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(src.power_at(5.0), 0.0);   // blackout
+  EXPECT_DOUBLE_EQ(src.power_at(9.999), 0.0);
+  EXPECT_DOUBLE_EQ(src.power_at(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(src.power_at(22.0), 3.0);  // brownout
+  EXPECT_DOUBLE_EQ(src.power_at(30.0), 10.0);
+}
+
+TEST(FaultedSource, WindowEdgesArePieceBoundaries) {
+  auto inner = std::make_shared<energy::ConstantSource>(10.0);
+  const FaultedSource src(inner, {{5.0, 10.0, 0.0}});
+  EXPECT_DOUBLE_EQ(src.piece_end(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(src.piece_end(5.0), 10.0);
+  EXPECT_DOUBLE_EQ(src.piece_end(7.0), 10.0);
+  // ConstantSource is one infinite piece, so after the last window the
+  // piece never ends.
+  EXPECT_GT(src.piece_end(10.0), 1e12);
+  EXPECT_EQ(src.inner().get(), inner.get());
+  EXPECT_NE(src.name().find("fault-windows"), std::string::npos);
+}
+
+TEST(FaultedSource, RejectsMalformedWindows) {
+  auto inner = std::make_shared<energy::ConstantSource>(10.0);
+  EXPECT_THROW(FaultedSource(inner, {{10.0, 5.0, 0.0}}),
+               std::invalid_argument);  // begin after end
+  EXPECT_THROW(FaultedSource(inner, {{0.0, 6.0, 0.0}, {5.0, 9.0, 0.0}}),
+               std::invalid_argument);  // overlapping
+  EXPECT_THROW(FaultedSource(inner, {{0.0, 5.0, 1.5}}),
+               std::invalid_argument);  // scale >= 1
+}
+
+TEST(FaultedPredictor, ScalesPredictionsNotObservations) {
+  PredictorFaultModel m;
+  m.bias = 2.0;
+  m.jitter = 0.0;
+  m.slot = 50.0;
+  FaultedPredictor p(std::make_unique<energy::ConstantPredictor>(3.0), m);
+  EXPECT_DOUBLE_EQ(p.predict(0.0, 10.0), 60.0);  // 3 W * 10 s * bias 2
+  p.observe(0.0, 10.0, 30.0);                    // passthrough, no effect
+  EXPECT_DOUBLE_EQ(p.predict(0.0, 10.0), 60.0);
+  EXPECT_NE(p.name().find("+error"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- storage
+
+TEST(StorageFaults, FaultDrainClampsToLevel) {
+  energy::StorageConfig cfg;
+  cfg.capacity = 100.0;
+  cfg.initial = 40.0;
+  energy::EnergyStorage storage(cfg);
+  EXPECT_DOUBLE_EQ(storage.fault_drain(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(storage.level(), 30.0);
+  EXPECT_DOUBLE_EQ(storage.fault_drain(1000.0), 30.0);  // clamped
+  EXPECT_DOUBLE_EQ(storage.level(), 0.0);
+  EXPECT_DOUBLE_EQ(storage.total_fault_drained(), 40.0);
+}
+
+TEST(StorageFaults, CapacityDerateSpillsExcessAndRestores) {
+  energy::StorageConfig cfg;
+  cfg.capacity = 100.0;
+  cfg.initial = 90.0;
+  energy::EnergyStorage storage(cfg);
+  const Energy spilled = storage.set_capacity_derate(0.5);
+  EXPECT_DOUBLE_EQ(storage.effective_capacity(), 50.0);
+  EXPECT_DOUBLE_EQ(spilled, 40.0);  // 90 J squeezed into 50 J
+  EXPECT_DOUBLE_EQ(storage.level(), 50.0);
+  EXPECT_DOUBLE_EQ(storage.total_fault_drained(), 40.0);
+  EXPECT_DOUBLE_EQ(storage.set_capacity_derate(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(storage.effective_capacity(), 100.0);
+  EXPECT_DOUBLE_EQ(storage.level(), 50.0);  // spilled energy stays gone
+  EXPECT_THROW((void)storage.set_capacity_derate(0.0), std::invalid_argument);
+  EXPECT_THROW((void)storage.set_capacity_derate(1.5), std::invalid_argument);
+}
+
+// --------------------------------------------------- engine + audit + fault
+
+TEST(EngineFaults, StorageDropsAreAppliedAuditedAndConserved) {
+  const FaultProfile profile =
+      FaultProfile::parse("storage:drops=6,drop-fraction=0.5,seed=5,derate=1,"
+                          "derate-duty=0");
+  const FaultSchedule schedule(profile, 100.0);
+
+  Scenario s;
+  s.jobs = {job(1, 0.0, 50.0, 10.0), job(2, 10.0, 80.0, 8.0)};
+  s.source = std::make_shared<energy::ConstantSource>(2.0);
+  s.capacity = 60.0;
+  s.initial = 60.0;
+  s.config.horizon = 100.0;
+  s.faults = &schedule;
+  const auto scheduler = sched::make_scheduler("edf");
+  const auto outcome = run_scenario(std::move(s), *scheduler);
+
+  EXPECT_GT(outcome.result.storage_faults_injected, 0u);
+  EXPECT_GT(outcome.result.fault_drained, 0.0);
+  EXPECT_NEAR(outcome.result.conservation_error(), 0.0, 1e-6);
+  EXPECT_EQ(outcome.audit_violations, 0u);
+}
+
+TEST(EngineFaults, SwitchRejectionForcesReDecisionUnderAudit) {
+  const FaultProfile profile =
+      FaultProfile::parse("switch:reject=1,stall=0,min-stall=0.25");
+  const FaultSchedule schedule(profile, 200.0);
+
+  Scenario s;
+  // EA-DVFS slows jobs with slack, so transitions away from the boot point
+  // are requested — and every one of them is rejected here.
+  s.jobs = {job(1, 0.0, 60.0, 5.0), job(2, 70.0, 60.0, 5.0)};
+  s.source = std::make_shared<energy::ConstantSource>(1.0);
+  s.capacity = 200.0;
+  s.initial = 200.0;
+  s.config.horizon = 200.0;
+  s.faults = &schedule;
+  const auto scheduler = sched::make_scheduler("ea-dvfs");
+  const auto outcome = run_scenario(std::move(s), *scheduler);
+
+  EXPECT_GT(outcome.result.switch_faults_injected, 0u);
+  EXPECT_EQ(outcome.result.frequency_switches, 0u);  // every attempt rejected
+  EXPECT_GT(outcome.result.stall_time, 0.0);         // min-stall per attempt
+  EXPECT_EQ(outcome.audit_violations, 0u);
+}
+
+TEST(EngineFaults, DepletionPolicyAbortVsSuspend) {
+  const auto build = [](sim::DepletionPolicy policy) {
+    Scenario s;
+    s.jobs = {job(1, 0.0, 50.0, 30.0)};  // needs 96 J at full speed, has 20 J
+    s.source = std::make_shared<energy::ConstantSource>(0.0);
+    s.capacity = 20.0;
+    s.initial = 20.0;
+    s.config.horizon = 100.0;
+    s.config.depletion_policy = policy;
+    return s;
+  };
+
+  const auto edf1 = sched::make_scheduler("edf");
+  const auto aborted =
+      run_scenario(build(sim::DepletionPolicy::kAbortAndCharge), *edf1);
+  EXPECT_EQ(aborted.result.jobs_aborted, 1u);
+  EXPECT_EQ(aborted.result.jobs_missed, 0u);  // killed by energy, not EDF
+  EXPECT_EQ(aborted.result.suspensions, 0u);
+  EXPECT_GT(aborted.result.work_dropped, 0.0);
+  EXPECT_EQ(aborted.audit_violations, 0u);
+
+  const auto edf2 = sched::make_scheduler("edf");
+  const auto suspended =
+      run_scenario(build(sim::DepletionPolicy::kSuspendAndResume), *edf2);
+  EXPECT_EQ(suspended.result.jobs_aborted, 0u);
+  EXPECT_GE(suspended.result.suspensions, 1u);
+  EXPECT_EQ(suspended.result.jobs_missed, 1u);  // source is dead; job starves
+  EXPECT_EQ(suspended.audit_violations, 0u);
+}
+
+// -------------------------------------------------- construction validation
+
+TEST(ConstructionValidation, SimulationConfigRejectsBadValues) {
+  sim::SimulationConfig cfg;
+  cfg.horizon = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.horizon = kNaN;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.horizon = 100.0;
+  cfg.stall_wakeup = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.stall_wakeup = 5.0;
+  cfg.max_segments = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ConstructionValidation, FrequencyTableRejectsNaNAndNonMonotone) {
+  EXPECT_THROW(proc::FrequencyTable({{1000.0, kNaN, 3.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(proc::FrequencyTable({{1000.0, 1.0, kNaN}}),
+               std::invalid_argument);
+  EXPECT_THROW(proc::FrequencyTable({{kNaN, 1.0, 3.0}}),
+               std::invalid_argument);
+  // Power must increase with speed.
+  EXPECT_THROW(proc::FrequencyTable({{500.0, 0.5, 2.0}, {1000.0, 1.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(ConstructionValidation, ProcessorRejectsNaN) {
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  EXPECT_THROW(proc::Processor(table, {kNaN, 0.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(proc::Processor(table, {0.0, kNaN}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(proc::Processor(table, {}, kNaN), std::invalid_argument);
+}
+
+TEST(ConstructionValidation, StorageRejectsNaN) {
+  energy::StorageConfig cfg;
+  cfg.capacity = kNaN;
+  EXPECT_THROW(energy::EnergyStorage{cfg}, std::invalid_argument);
+  cfg.capacity = 100.0;
+  cfg.leakage = kNaN;
+  EXPECT_THROW(energy::EnergyStorage{cfg}, std::invalid_argument);
+  cfg.leakage = 0.0;
+  cfg.initial = kNaN;
+  EXPECT_THROW(energy::EnergyStorage{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eadvfs

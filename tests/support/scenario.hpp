@@ -24,6 +24,7 @@
 #include "sim/audit.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault/schedule.hpp"
 #include "sim/trace.hpp"
 #include "task/releaser.hpp"
 
@@ -46,6 +47,10 @@ struct Scenario {
   /// Default: oracle (exact prediction) so scheduler tests are analytic.
   std::unique_ptr<energy::EnergyPredictor> predictor;
   sim::SimulationConfig config;
+  /// Optional fault schedule applied by the engine (storage/switch faults;
+  /// harvest faults are modelled by wrapping `source` in FaultedSource).
+  /// Must outlive the run.
+  const sim::fault::FaultSchedule* faults = nullptr;
   /// Attach the invariant auditor and fail the test on violations.
   bool audit = true;
 };
@@ -92,6 +97,7 @@ inline ScenarioOutcome run_scenario(Scenario&& scenario, sim::Scheduler& schedul
       sim::EnergyTraceRecorder(1.0, scenario.config.horizon);
   sim::Engine engine(scenario.config, *scenario.source, storage, processor,
                      *predictor, scheduler, releaser);
+  if (scenario.faults != nullptr) engine.set_fault_schedule(scenario.faults);
   sim::AuditObserver audit(
       sim::AuditConfig::for_run(scenario.config, storage, processor, scheduler));
   if (scenario.audit) engine.add_observer(audit);

@@ -149,6 +149,51 @@ TEST(ArgParser, ProvidedDistinguishesExplicitFromDefault) {
   EXPECT_THROW((void)p.provided("undeclared"), std::logic_error);
 }
 
+TEST(ArgParser, RejectsDuplicatedOptions) {
+  ArgParser p("test");
+  p.add_option("seed", "1", "seed");
+  p.add_flag("fast", "go fast");
+  {
+    const auto argv = argv_of({"--seed", "2", "--seed", "3"});
+    EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+                 std::invalid_argument);
+  }
+  ArgParser q("test");
+  q.add_flag("fast", "go fast");
+  const auto argv = argv_of({"--fast", "--fast"});
+  EXPECT_THROW(q.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(ArgParser, UnknownOptionSuggestsNearestName) {
+  ArgParser p("test");
+  p.add_option("capacities", "100", "grid");
+  p.add_option("seed", "1", "seed");
+  const auto argv = argv_of({"--capacitees", "5"});
+  try {
+    (void)p.parse(static_cast<int>(argv.size()), argv.data());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("did you mean --capacities"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ArgParser, UnknownOptionFarFromEverythingGetsNoSuggestion) {
+  ArgParser p("test");
+  p.add_option("seed", "1", "seed");
+  const auto argv = argv_of({"--zzzzzzzzzz", "5"});
+  try {
+    (void)p.parse(static_cast<int>(argv.size()), argv.data());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_EQ(std::string(error.what()).find("did you mean"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
 TEST(ArgParser, HelpTextListsOptions) {
   ArgParser p("my tool");
   p.add_option("alpha", "0.3", "ewma weight");

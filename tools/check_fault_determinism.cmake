@@ -1,0 +1,25 @@
+# ctest helper: a seeded fault sweep must produce byte-identical CSV output
+# for any worker count (the subsystem's determinism contract, docs/FAULTS.md).
+# Run as
+#   cmake -DBENCH=<ablation_fault_resilience> -DWORK_DIR=<dir> -P <this file>
+
+set(csv1 "${WORK_DIR}/fault_det_jobs1.csv")
+set(csv8 "${WORK_DIR}/fault_det_jobs8.csv")
+set(common --sets 6 --duties 0,0.2 --horizon 2000 --quiet)
+
+execute_process(COMMAND "${BENCH}" ${common} --jobs 1 --out "${csv1}"
+  RESULT_VARIABLE rc1 OUTPUT_QUIET)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "--jobs 1 run failed (${rc1})")
+endif()
+execute_process(COMMAND "${BENCH}" ${common} --jobs 8 --out "${csv8}"
+  RESULT_VARIABLE rc8 OUTPUT_QUIET)
+if(NOT rc8 EQUAL 0)
+  message(FATAL_ERROR "--jobs 8 run failed (${rc8})")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${csv1}" "${csv8}"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "fault sweep CSV differs between --jobs 1 and --jobs 8")
+endif()

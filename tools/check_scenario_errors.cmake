@@ -1,0 +1,25 @@
+# ctest helper: malformed scenario files must be rejected with a one-line
+# error naming the file, section and key.  Run as
+#   cmake -DTOOL=<eadvfs-sim> -P check_scenario_errors.cmake
+
+set(bad_section "${CMAKE_CURRENT_BINARY_DIR}/bad_section.ini")
+file(WRITE "${bad_section}" "[energi]\ncapacity = 100\n")
+execute_process(COMMAND "${TOOL}" --scenario "${bad_section}"
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown section was accepted")
+endif()
+if(NOT "${err}${out}" MATCHES "unknown section \\[energi\\]")
+  message(FATAL_ERROR "error does not name the bad section: ${err}${out}")
+endif()
+
+set(bad_key "${CMAKE_CURRENT_BINARY_DIR}/bad_key.ini")
+file(WRITE "${bad_key}" "[simulation]\nhorizn = 500\n")
+execute_process(COMMAND "${TOOL}" --scenario "${bad_key}"
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown key was accepted")
+endif()
+if(NOT "${err}${out}" MATCHES "\\[simulation\\] unknown key 'horizn'")
+  message(FATAL_ERROR "error does not name the bad key: ${err}${out}")
+endif()

@@ -20,12 +20,20 @@
 /// Scenario INI keys mirror the CLI option names, grouped for readability —
 /// every key of every section is simply the option name:
 ///
-///   [simulation]  horizon, seed, miss-policy, replications, jobs
+///   [simulation]  horizon, seed, miss-policy, depletion, replications, jobs
 ///   [workload]    tasks-csv, utilization, tasks, bcet
 ///   [energy]      source, capacity, initial, efficiency, leakage
 ///   [processor]   switch-time, switch-energy, idle-power
 ///   [scheduler]   scheduler, predictor
+///   [fault]       fault-profile
 ///   [output]      trace-out, trace-interval, schedule-out
+///
+/// Scenario files are validated against this schema: an unknown section or
+/// key is a one-line error naming the file, section and key, so a typo'd
+/// scenario fails loudly instead of silently simulating the defaults.
+/// `--validate` parses and validates everything (scenario, workload, energy
+/// model, fault profile), then exits without simulating — a dry run for CI
+/// and for editing scenario files.
 ///
 /// With --replications N (N > 1) the tool switches to Monte-Carlo mode:
 /// it re-derives a sub-seed per replication (same scheme as the bench
@@ -33,11 +41,15 @@
 /// runs them on the --jobs worker pool, and reports aggregate statistics.
 /// Results are identical for every --jobs value.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "analysis/feasibility.hpp"
 #include "energy/markov_weather_source.hpp"
@@ -49,6 +61,9 @@
 #include "exp/setup.hpp"
 #include "sched/factory.hpp"
 #include "sim/audit.hpp"
+#include "sim/fault/faulted_predictor.hpp"
+#include "sim/fault/faulted_source.hpp"
+#include "sim/fault/schedule.hpp"
 #include "sim/trace.hpp"
 #include "task/generator.hpp"
 #include "util/args.hpp"
@@ -132,6 +147,54 @@ task::TaskSet load_tasks(const std::string& path) {
   return task::TaskSet(std::move(tasks));
 }
 
+/// The scenario schema: every section the tool understands and the option
+/// keys each may contain.  Anything else in a scenario file is a typo and is
+/// rejected with a one-line error naming the file, section and key.
+const std::map<std::string, std::vector<std::string>>& scenario_schema() {
+  static const std::map<std::string, std::vector<std::string>> schema = {
+      {"simulation",
+       {"horizon", "seed", "miss-policy", "depletion", "replications", "jobs"}},
+      {"workload", {"tasks-csv", "utilization", "tasks", "bcet"}},
+      {"energy", {"source", "capacity", "initial", "efficiency", "leakage"}},
+      {"processor", {"switch-time", "switch-energy", "idle-power"}},
+      {"scheduler", {"scheduler", "predictor"}},
+      {"fault", {"fault-profile"}},
+      {"output", {"trace-out", "trace-interval", "schedule-out"}},
+  };
+  return schema;
+}
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += "|";
+    out += n;
+  }
+  return out;
+}
+
+/// Reject unknown sections/keys so malformed scenarios fail loudly instead
+/// of silently simulating the defaults.
+void validate_scenario(const util::IniFile& ini, const std::string& path) {
+  const auto& schema = scenario_schema();
+  for (const auto& section : ini.sections()) {
+    const auto it = schema.find(section);
+    if (it == schema.end()) {
+      std::vector<std::string> sections;
+      for (const auto& [name, keys] : schema) sections.push_back(name);
+      throw std::invalid_argument(path + ": unknown section [" + section +
+                                  "] (expected " + join_names(sections) + ")");
+    }
+    for (const auto& key : ini.keys(section)) {
+      const auto& allowed = it->second;
+      if (std::find(allowed.begin(), allowed.end(), key) == allowed.end())
+        throw std::invalid_argument(path + ": [" + section + "] unknown key '" +
+                                    key + "' (expected " + join_names(allowed) +
+                                    ")");
+    }
+  }
+}
+
 }  // namespace
 
 namespace {
@@ -153,17 +216,27 @@ class OptionSource {
   [[nodiscard]] double real(const std::string& name) const {
     const std::string v = str(name);
     std::size_t pos = 0;
-    const double parsed = std::stod(v, &pos);
+    double parsed = 0.0;
+    try {
+      parsed = std::stod(v, &pos);
+    } catch (const std::exception&) {
+      pos = std::string::npos;  // stod throws its own unhelpfully-terse error
+    }
     if (pos != v.size())
-      throw std::invalid_argument(name + ": not a number: " + v);
+      throw std::invalid_argument(name + ": not a number: '" + v + "'");
     return parsed;
   }
   [[nodiscard]] long long integer(const std::string& name) const {
     const std::string v = str(name);
     std::size_t pos = 0;
-    const long long parsed = std::stoll(v, &pos);
+    long long parsed = 0;
+    try {
+      parsed = std::stoll(v, &pos);
+    } catch (const std::exception&) {
+      pos = std::string::npos;
+    }
     if (pos != v.size())
-      throw std::invalid_argument(name + ": not an integer: " + v);
+      throw std::invalid_argument(name + ": not an integer: '" + v + "'");
     return parsed;
   }
 
@@ -200,6 +273,12 @@ int main(int argc, char** argv) {
   args.add_option("switch-energy", "0", "DVFS transition energy");
   args.add_option("idle-power", "0", "processor draw while not executing");
   args.add_option("miss-policy", "drop", "drop | continue");
+  args.add_option("depletion", "suspend",
+                  "mid-execution storage-depletion policy: suspend | abort");
+  args.add_option("fault-profile", "none",
+                  "fault injection: none | blackout | brownout | storage | "
+                  "predictor | switch | mixed, optionally :key=value,... "
+                  "(docs/FAULTS.md)");
   args.add_option("replications", "1",
                   "Monte-Carlo replications (> 1 enables aggregate mode)");
   args.add_option("jobs", std::to_string(eadvfs::exp::hardware_jobs()),
@@ -212,25 +291,49 @@ int main(int argc, char** argv) {
   args.add_flag("audit",
                 "self-audit the run (energy conservation, segment coverage, "
                 "scheduling invariants); non-zero exit on any violation");
+  args.add_flag("validate",
+                "parse and validate the scenario/options, then exit without "
+                "simulating (dry run)");
   if (!args.parse(argc, argv)) return 0;
 
   try {
     util::IniFile scenario;
-    if (!args.str("scenario").empty())
+    if (!args.str("scenario").empty()) {
       scenario = util::IniFile::load(args.str("scenario"));
+      validate_scenario(scenario, args.str("scenario"));
+    }
     const OptionSource opt(args, scenario);
+    const bool validate_only = args.flag("validate");
 
     sim::SimulationConfig cfg;
     cfg.horizon = opt.real("horizon");
-    cfg.miss_policy = opt.str("miss-policy") == "continue"
-                          ? sim::MissPolicy::kContinueLate
-                          : sim::MissPolicy::kDropAtDeadline;
+    const std::string miss_policy = opt.str("miss-policy");
+    if (miss_policy == "continue") {
+      cfg.miss_policy = sim::MissPolicy::kContinueLate;
+    } else if (miss_policy == "drop") {
+      cfg.miss_policy = sim::MissPolicy::kDropAtDeadline;
+    } else {
+      throw std::invalid_argument("miss-policy must be 'drop' or 'continue', got '" +
+                                  miss_policy + "'");
+    }
+    const std::string depletion = opt.str("depletion");
+    if (depletion == "abort") {
+      cfg.depletion_policy = sim::DepletionPolicy::kAbortAndCharge;
+    } else if (depletion == "suspend") {
+      cfg.depletion_policy = sim::DepletionPolicy::kSuspendAndResume;
+    } else {
+      throw std::invalid_argument("depletion must be 'suspend' or 'abort', got '" +
+                                  depletion + "'");
+    }
     cfg.audit = args.flag("audit");
+    cfg.validate();
 
     const auto seed = static_cast<std::uint64_t>(opt.integer("seed"));
+    const sim::fault::FaultProfile fault_profile =
+        sim::fault::FaultProfile::parse(opt.str("fault-profile"));
 
     const auto n_reps = static_cast<std::size_t>(opt.integer("replications"));
-    if (n_reps > 1) {
+    if (n_reps > 1 && !validate_only) {
       // Monte-Carlo mode: aggregate over independently seeded replications.
       if (!opt.str("trace-out").empty() || !opt.str("schedule-out").empty()) {
         std::cout << "note: trace/schedule outputs describe a single run and "
@@ -284,18 +387,36 @@ int main(int argc, char** argv) {
             const auto rep_source =
                 make_source(opt.str("source"), cfg.horizon,
                             seeds[rep] ^ 0x5eed5eed5eed5eedULL);
+            // Per-replication fault realization (same scheme as the bench
+            // sweeps: the spec's seed wins when pinned, else the sub-seed).
+            sim::fault::FaultProfile rep_fault = fault_profile;
+            if (!rep_fault.seed_provided)
+              rep_fault.seed = seeds[rep] ^ 0xfa017fa017fa017fULL;
+            std::optional<sim::fault::FaultSchedule> fault_schedule;
+            if (rep_fault.any()) fault_schedule.emplace(rep_fault, cfg.horizon);
+            std::shared_ptr<const energy::EnergySource> sim_source = rep_source;
+            if (fault_schedule.has_value() &&
+                !fault_schedule->harvest_windows().empty())
+              sim_source = std::make_shared<sim::fault::FaultedSource>(
+                  rep_source, fault_schedule->harvest_windows());
             energy::EnergyStorage storage(storage_cfg);
             proc::Processor processor(table, overhead,
                                       opt.real("idle-power"));
             auto predictor =
-                exp::make_predictor(opt.str("predictor"), rep_source);
+                exp::make_predictor(opt.str("predictor"), sim_source);
+            if (fault_schedule.has_value() &&
+                fault_schedule->profile().affects_predictor())
+              predictor = std::make_unique<sim::fault::FaultedPredictor>(
+                  std::move(predictor), fault_schedule->predictor_model());
             task::ExecutionTimeModel execution;
             execution.bcet_fraction = opt.real("bcet");
             execution.seed = seeds[rep] ^ 0xE5ECULL;
             const auto scheduler = sched::make_scheduler(opt.str("scheduler"));
             task::JobReleaser releaser(workload, cfg.horizon, execution);
-            sim::Engine engine(cfg, *rep_source, storage, processor,
+            sim::Engine engine(cfg, *sim_source, storage, processor,
                                *predictor, *scheduler, releaser);
+            if (fault_schedule.has_value())
+              engine.set_fault_schedule(&*fault_schedule);
             const sim::SimulationResult r = engine.run();
             RepRecord record;
             record.miss_rate = r.miss_rate();
@@ -328,7 +449,20 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const auto source = make_source(opt.str("source"), cfg.horizon, seed);
+    auto source = make_source(opt.str("source"), cfg.horizon, seed);
+
+    // Single-run fault realization: the spec's pinned seed wins, else the
+    // master seed (salted so fault and source streams stay independent).
+    sim::fault::FaultProfile run_fault = fault_profile;
+    if (!run_fault.seed_provided)
+      run_fault.seed = seed ^ 0xfa017fa017fa017fULL;
+    std::optional<sim::fault::FaultSchedule> fault_schedule;
+    if (run_fault.any()) {
+      fault_schedule.emplace(run_fault, cfg.horizon);
+      if (!fault_schedule->harvest_windows().empty())
+        source = std::make_shared<sim::fault::FaultedSource>(
+            source, fault_schedule->harvest_windows());
+    }
 
     task::TaskSet workload;
     if (opt.str("tasks-csv").empty()) {
@@ -380,9 +514,26 @@ int main(int argc, char** argv) {
     energy::EnergyStorage storage(storage_cfg);
     proc::Processor processor(table, overhead, opt.real("idle-power"));
     auto predictor = exp::make_predictor(opt.str("predictor"), source);
+    if (fault_schedule.has_value() &&
+        fault_schedule->profile().affects_predictor())
+      predictor = std::make_unique<sim::fault::FaultedPredictor>(
+          std::move(predictor), fault_schedule->predictor_model());
     task::JobReleaser releaser(workload, cfg.horizon, execution);
     sim::Engine engine(cfg, *source, storage, processor, *predictor, *scheduler,
                        releaser);
+    if (fault_schedule.has_value()) engine.set_fault_schedule(&*fault_schedule);
+    if (validate_only) {
+      // Everything parsed, validated and constructed; report and stop short
+      // of simulating.
+      std::cout << "validate: OK";
+      if (!args.str("scenario").empty())
+        std::cout << " (" << args.str("scenario") << ")";
+      std::cout << "\n  scheduler " << scheduler->name() << ", predictor "
+                << predictor->name() << ", horizon " << cfg.horizon << "\n";
+      if (run_fault.any())
+        std::cout << "  faults: " << run_fault.describe() << "\n";
+      return 0;
+    }
     if (!opt.str("trace-out").empty()) engine.add_observer(energy_trace);
     if (!opt.str("schedule-out").empty()) engine.add_observer(schedule);
     const sim::SimulationResult result = engine.run();
