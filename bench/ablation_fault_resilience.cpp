@@ -11,6 +11,8 @@
 /// byte-identical for any --jobs count; the determinism smoke test in
 /// tools/CMakeLists.txt diffs --jobs 1 against --jobs 8 via --out.
 
+#include <algorithm>
+#include <cstddef>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -27,6 +29,7 @@ int main(int argc, char** argv) {
   util::ArgParser args(
       "ablation: deadline miss rate vs harvester blackout duty cycle");
   bench::add_common_options(args, /*default_sets=*/60);
+  bench::add_crash_safety_options(args);
   args.add_option("capacity", "75", "storage capacity");
   args.add_option("utilization", "0.6", "target task-set utilization");
   args.add_option("duties", "0,0.05,0.1,0.2,0.3,0.4",
@@ -52,7 +55,14 @@ int main(int argc, char** argv) {
   for (const auto& s : schedulers) header.push_back(s);
   exp::TextTable table(header);
 
-  for (double duty : duties) {
+  // Each duty point is its own checkpointed sweep under a per-point
+  // subdirectory, so a crash anywhere in the grid resumes mid-grid: points
+  // already journaled replay instantly, the interrupted point re-runs only
+  // its missing replications.
+  int worst_outcome = util::exit_code::kSuccess;
+  std::size_t total_failed = 0;
+  for (std::size_t d = 0; d < duties.size(); ++d) {
+    const double duty = duties[d];
     exp::MissRateSweepConfig cfg;
     cfg.capacities = {args.real("capacity")};
     cfg.schedulers = schedulers;
@@ -67,13 +77,30 @@ int main(int argc, char** argv) {
     cfg.fault.harvest_duty = duty;
     cfg.fault.validate();
     cfg.parallel = bench::parallel_from_args(args);
+    cfg.experiment_id = "ablation_fault_resilience/duty_" + std::to_string(d);
+    bench::apply_crash_safety(args, cfg.parallel, cfg.checkpoint);
+    if (cfg.checkpoint.enabled()) cfg.checkpoint.dir += "/duty_" + std::to_string(d);
 
-    const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
+    exp::MissRateSweepResult result;
+    try {
+      result = exp::run_miss_rate_sweep(cfg);
+    } catch (const util::ManifestMismatchError& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      return util::exit_code::kManifestMismatch;
+    }
+    const int outcome = bench::report_run_outcome(
+        result.report, result.resumed, bench::resume_hint(cfg.checkpoint));
+    if (outcome == util::exit_code::kInterrupted) return outcome;
+    worst_outcome = std::max(worst_outcome, outcome);
+    total_failed += result.report.failures.size();
+
     std::vector<std::string> row = {exp::fmt(duty, 2)};
     for (const auto& s : schedulers)
       row.push_back(exp::fmt(result.cell(s, cfg.capacities[0]).miss_rate.mean(), 4));
     table.add_row(std::move(row));
   }
+  if (total_failed > 0)
+    table.add_row({"failed_replications", std::to_string(total_failed)});
 
   std::cout << table.render() << "\n";
   const std::string path =
@@ -82,5 +109,5 @@ int main(int argc, char** argv) {
           : args.str("out");
   table.write_csv(path);
   std::cout << "table written to " << path << "\n";
-  return 0;
+  return worst_outcome;
 }

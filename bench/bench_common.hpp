@@ -13,15 +13,19 @@
 /// same physics actually bites.  Pass --capacities to use any other grid,
 /// including the paper's literal one.
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "exp/checkpoint.hpp"
 #include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "sim/config.hpp"
 #include "sim/fault/profile.hpp"
 #include "util/args.hpp"
+#include "util/error.hpp"
+#include "util/interrupt.hpp"
 #include "util/log.hpp"
 
 namespace eadvfs::bench {
@@ -65,6 +69,87 @@ inline void add_common_options(util::ArgParser& args, long long default_sets) {
                   "(docs/FAULTS.md)");
   args.add_option("depletion", "suspend",
                   "mid-execution storage-depletion policy: suspend | abort");
+}
+
+/// Registers the crash-safety and supervision options.  Only binaries whose
+/// replication loop runs through `exp::checkpointed_map` should call this —
+/// everything else keeps rejecting the flags loudly via the ArgParser.
+/// Documented in docs/EXPERIMENTS.md ("Crash safety, resume, and supervision").
+inline void add_crash_safety_options(util::ArgParser& args) {
+  args.add_option("retries", "0",
+                  "deterministic re-runs of a failed replication (same "
+                  "sub-seed; attempt counts are journaled)");
+  args.add_option("timeout", "0",
+                  "per-replication watchdog deadline in seconds (0 = off); a "
+                  "hung replication terminates the process with exit code 7 "
+                  "so the run can be resumed from its checkpoint");
+  args.add_flag("keep-going",
+                "record permanently failed replications in the manifest and "
+                "aggregate the rest (partial results; exit code 4)");
+  args.add_option("checkpoint", "",
+                  "directory for the run manifest + append-only replication "
+                  "journal (crash-safe, resumable)");
+  args.add_option("resume", "",
+                  "resume an interrupted run from its checkpoint directory "
+                  "(re-runs only missing replications; the manifest must "
+                  "match the configuration, else exit code 5)");
+  args.add_option("crash-after", "0",
+                  "TESTING ONLY: raise SIGKILL after N journal appends");
+}
+
+/// Fill the supervision fields of a worker-pool config and build the
+/// checkpoint config from the shared crash-safety options.  Also installs the
+/// SIGINT/SIGTERM drain-and-flush handlers and wires them as the pool's
+/// cooperative cancel token.
+inline void apply_crash_safety(const util::ArgParser& args,
+                               exp::ParallelConfig& parallel,
+                               exp::CheckpointConfig& checkpoint) {
+  parallel.max_attempts = exp::parse_retries(args.integer("retries"));
+  parallel.watchdog_sec = exp::parse_watchdog_sec(args.real("timeout"));
+  parallel.keep_going = args.flag("keep-going");
+  util::install_interrupt_handlers();
+  parallel.cancel = util::interrupt_flag();
+
+  const std::string resume = args.str("resume");
+  checkpoint.dir = resume.empty() ? args.str("checkpoint") : resume;
+  checkpoint.require_existing = !resume.empty();
+  const long long crash_after = args.integer("crash-after");
+  if (crash_after < 0)
+    throw std::invalid_argument("--crash-after must be >= 0");
+  checkpoint.crash_after_appends = static_cast<std::size_t>(crash_after);
+}
+
+/// Human-facing "how to pick this run back up" fragment for interrupt
+/// messages; honest when no checkpoint directory was given (nothing was
+/// journaled, so there is nothing to resume).
+inline std::string resume_hint(const exp::CheckpointConfig& checkpoint) {
+  if (checkpoint.enabled()) return "'--resume " + checkpoint.dir + "'";
+  return "'--checkpoint <dir>' next time to make the run resumable";
+}
+
+/// Translate a finished run's supervision outcome into the documented exit
+/// status, narrating retries / failures / interruption on the way out:
+/// 0 = clean, 4 = partial results under --keep-going, 6 = interrupted.
+inline int report_run_outcome(const exp::RunReport& report, std::size_t resumed,
+                              const std::string& resume_hint) {
+  if (resumed > 0)
+    std::cout << "resumed from checkpoint: " << resumed
+              << " replication(s) replayed from the journal\n";
+  for (const auto& [index, attempts] : report.retried)
+    EADVFS_LOG_WARN << "replication " << index << " succeeded after "
+                    << attempts << " attempts";
+  if (report.interrupted) {
+    std::cerr << "interrupted: " << report.completed
+              << " replication(s) completed; use " << resume_hint << "\n";
+    return util::exit_code::kInterrupted;
+  }
+  if (!report.failures.empty()) {
+    std::cerr << util::describe_failures(report.failures)
+              << "\npartial results: the failed replications above are "
+                 "excluded from every aggregate\n";
+    return util::exit_code::kPartialResults;
+  }
+  return util::exit_code::kSuccess;
 }
 
 /// Parse argv with clean error reporting: prints a one-line `error: ...`

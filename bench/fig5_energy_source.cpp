@@ -7,7 +7,6 @@
 /// the series, and writes the full series to fig5_energy_source.csv for
 /// re-plotting.
 
-#include <fstream>
 #include <iostream>
 #include <memory>
 
@@ -15,6 +14,7 @@
 #include "energy/solar_source.hpp"
 #include "exp/report.hpp"
 #include "util/args.hpp"
+#include "util/atomic_file.hpp"
 #include "util/csv.hpp"
 #include "util/histogram.hpp"
 #include "util/stats.hpp"
@@ -79,13 +79,17 @@ int main(int argc, char** argv) {
             << exp::fmt(cfg.horizon, 0) << "\n\n";
 
   const std::string path = exp::output_dir() + "/fig5_energy_source.csv";
-  std::ofstream file(path);
-  if (file) {
-    util::CsvWriter csv(file);
-    csv.write_row({std::string("time"), std::string("power")});
-    for (Time t = 0.0; t < cfg.horizon; t += cfg.step)
-      csv.write_row(std::vector<double>{t, source.power_at(t)});
+  try {
+    util::write_file_atomic(path, [&](std::ostream& stream) {
+      util::CsvWriter csv(stream);
+      csv.write_row({std::string("time"), std::string("power")});
+      for (Time t = 0.0; t < cfg.horizon; t += cfg.step)
+        csv.write_row(std::vector<double>{t, source.power_at(t)});
+    });
     std::cout << "full series written to " << path << "\n";
+  } catch (const std::exception& error) {
+    std::cerr << "warning: could not write " << path << ": " << error.what()
+              << "\n";
   }
   return 0;
 }

@@ -12,7 +12,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -29,6 +28,7 @@
 #include "sched/factory.hpp"
 #include "sim/engine.hpp"
 #include "task/generator.hpp"
+#include "util/atomic_file.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -209,20 +209,24 @@ int run_scaling_benchmark() {
   std::cout << "results are identical at every row; only wall-clock moves.\n";
 
   const std::string path = exp::output_dir() + "/BENCH_parallel_runner.json";
-  std::ofstream file(path);
-  if (file) {
-    file << "{\n  \"benchmark\": \"parallel_runner_scaling\",\n"
-         << "  \"replications\": " << cfg.n_task_sets << ",\n"
-         << "  \"hardware_jobs\": " << hw << ",\n  \"results\": [\n";
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const Point& p = points[i];
-      file << "    {\"jobs\": " << p.jobs << ", \"seconds\": " << p.seconds
-           << ", \"replications_per_sec\": " << p.reps_per_sec
-           << ", \"speedup\": " << p.speedup << "}"
-           << (i + 1 < points.size() ? "," : "") << "\n";
-    }
-    file << "  ]\n}\n";
+  try {
+    util::write_file_atomic(path, [&](std::ostream& file) {
+      file << "{\n  \"benchmark\": \"parallel_runner_scaling\",\n"
+           << "  \"replications\": " << cfg.n_task_sets << ",\n"
+           << "  \"hardware_jobs\": " << hw << ",\n  \"results\": [\n";
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point& p = points[i];
+        file << "    {\"jobs\": " << p.jobs << ", \"seconds\": " << p.seconds
+             << ", \"replications_per_sec\": " << p.reps_per_sec
+             << ", \"speedup\": " << p.speedup << "}"
+             << (i + 1 < points.size() ? "," : "") << "\n";
+      }
+      file << "  ]\n}\n";
+    });
     std::cout << "summary written to " << path << "\n";
+  } catch (const std::exception& error) {
+    std::cerr << "warning: could not write " << path << ": " << error.what()
+              << "\n";
   }
   return 0;
 }

@@ -28,6 +28,22 @@ inline void print_miss_rate_table(const exp::MissRateSweepResult& result,
   header.push_back("reduction vs " + cfg.schedulers.front());
   exp::TextTable table(header);
 
+  // Partial results (--keep-going) are flagged inside the artifact itself,
+  // not only on the console: a footer row lists how many replications are
+  // missing from every aggregate above.
+  std::vector<std::string> footer;
+  if (!result.report.failures.empty()) {
+    footer = {"failed_replications",
+              std::to_string(result.report.failures.size()) + " of " +
+                  std::to_string(cfg.n_task_sets)};
+    std::string indices;
+    for (const auto& failure : result.report.failures) {
+      if (!indices.empty()) indices += ' ';
+      indices += std::to_string(failure.index);
+    }
+    footer.push_back(indices);
+  }
+
   for (double capacity : cfg.capacities) {
     std::vector<std::string> row = {exp::fmt(capacity, 0),
                                     exp::fmt(capacity / max_capacity, 3)};
@@ -41,6 +57,7 @@ inline void print_miss_rate_table(const exp::MissRateSweepResult& result,
                              : "n/a");
     table.add_row(std::move(row));
   }
+  if (!footer.empty()) table.add_row(footer);
   std::cout << table.render() << "\n";
   table.write_csv(csv_path);
   std::cout << "table written to " << csv_path << "\n";
@@ -54,6 +71,7 @@ inline int run_miss_rate_figure(int argc, char** argv,
   util::ArgParser args(figure_id + ": deadline miss rate vs capacity, U=" +
                        exp::fmt(utilization, 1));
   add_common_options(args, /*default_sets=*/150);
+  add_crash_safety_options(args);
   if (!parse_cli(args, argc, argv)) return 0;
   apply_logging(args);
 
@@ -69,6 +87,8 @@ inline int run_miss_rate_figure(int argc, char** argv,
   cfg.solar.horizon = cfg.sim.horizon;
   cfg.fault = fault_from_args(args);
   cfg.parallel = parallel_from_args(args);
+  cfg.experiment_id = figure_id;
+  apply_crash_safety(args, cfg.parallel, cfg.checkpoint);
 
   exp::print_banner(std::cout, figure_id, paper_claim,
                     "U=" + exp::fmt(utilization, 1) + ", " +
@@ -76,7 +96,16 @@ inline int run_miss_rate_figure(int argc, char** argv,
                         " task sets, predictor " + cfg.predictor +
                         ", capacity axis normalized by its max");
 
-  const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
+  exp::MissRateSweepResult result;
+  try {
+    result = exp::run_miss_rate_sweep(cfg);
+  } catch (const util::ManifestMismatchError& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return util::exit_code::kManifestMismatch;
+  }
+  const int outcome = report_run_outcome(result.report, result.resumed,
+                                         resume_hint(cfg.checkpoint));
+  if (outcome == util::exit_code::kInterrupted) return outcome;
   print_miss_rate_table(result,
                         exp::output_dir() + "/" + figure_id + "_miss_rate.csv");
 
@@ -98,7 +127,7 @@ inline int run_miss_rate_figure(int argc, char** argv,
               << " stressed capacities: "
               << exp::fmt(100.0 * (base_sum - ea_sum) / base_sum, 1) << "%\n";
   }
-  return 0;
+  return outcome;
 }
 
 }  // namespace eadvfs::bench

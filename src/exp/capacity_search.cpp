@@ -98,7 +98,8 @@ CapacitySearchResult run_capacity_search(const CapacitySearchConfig& config) {
           record.cmins.push_back(cmin);
         }
         return record;
-      });
+      },
+      &result.report);
 
   for (const RepRecord& record : records) {
     if (!record.all_feasible) {

@@ -45,6 +45,7 @@ struct CapacitySearchResult {
   util::RunningStats ratio_first_over_second;
   std::size_t sets_evaluated = 0;
   std::size_t sets_skipped = 0;  ///< zero-miss unreachable within bracket.
+  RunReport report;  ///< supervision outcome (retries; see parallel_runner.hpp).
 
   /// Ratio of mean C_mins (headline number, more robust than mean ratio).
   [[nodiscard]] double ratio_of_means() const;

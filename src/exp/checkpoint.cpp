@@ -1,0 +1,352 @@
+#include "exp/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#if !defined(_WIN32)
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+#include "util/error.hpp"
+#include "util/ini.hpp"
+#include "util/log.hpp"
+
+// Configure-time `git describe` (see the root CMakeLists.txt); recorded in
+// the manifest so a resumed run can be traced back to the code that started
+// it.  Informational only — never part of manifest verification, because a
+// rebuilt binary with identical configuration must still be allowed to
+// resume.
+#ifndef EADVFS_BUILD_REF
+#define EADVFS_BUILD_REF "unknown"
+#endif
+
+namespace eadvfs::exp {
+
+namespace {
+
+constexpr const char* kManifestFormat = "eadvfs-checkpoint";
+constexpr int kManifestVersion = 1;
+constexpr const char* kJournalHeader = "eadvfs-journal v1";
+
+std::string hex64(std::uint64_t value) {
+  std::ostringstream out;
+  out << std::hex << std::setfill('0') << std::setw(16) << value;
+  return out.str();
+}
+
+/// Exact (bit-pattern) double serialization: a journaled value reloads to
+/// the identical IEEE-754 double, which is what makes a resumed aggregation
+/// byte-identical to an uninterrupted one.
+std::string encode_double(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return hex64(bits);
+}
+
+double decode_double(const std::string& hex) {
+  std::size_t pos = 0;
+  const std::uint64_t bits = std::stoull(hex, &pos, 16);
+  if (pos != hex.size())
+    throw std::runtime_error("journal: malformed value '" + hex + "'");
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string join_indices(const std::vector<std::size_t>& indices) {
+  std::string out;
+  for (std::size_t i : indices) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(i);
+  }
+  return out;
+}
+
+[[noreturn]] void kill_self_for_test() {
+  // The crash-injection hook simulates an operator SIGKILL / OOM kill: no
+  // destructors, no atexit, no flushing beyond what already hit the disk.
+#if defined(_WIN32)
+  std::_Exit(137);
+#else
+  ::kill(::getpid(), SIGKILL);
+  ::_exit(137);  // unreachable; SIGKILL cannot be handled
+#endif
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const std::string& canonical) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+  for (const char c : canonical) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;  // FNV prime
+  }
+  return hash;
+}
+
+std::string CheckpointSession::manifest_path(const std::string& dir) {
+  return dir + "/manifest.txt";
+}
+
+std::string CheckpointSession::journal_path(const std::string& dir) {
+  return dir + "/journal.txt";
+}
+
+CheckpointSession::CheckpointSession(CheckpointConfig config, ManifestInfo info)
+    : config_(std::move(config)), info_(std::move(info)) {
+  if (!config_.enabled())
+    throw std::invalid_argument("CheckpointSession: empty checkpoint dir");
+  util::ensure_directory(config_.dir);
+
+  const std::string manifest = manifest_path(config_.dir);
+  const bool exists = std::filesystem::exists(manifest);
+  if (!exists && config_.require_existing)
+    throw std::runtime_error(
+        "--resume: no checkpoint manifest in '" + config_.dir +
+        "' (start the sweep with --checkpoint first, or drop --resume)");
+
+  if (exists) {
+    const util::IniFile stored = util::IniFile::load(manifest);
+    auto field = [&](const std::string& key) {
+      const auto value = stored.get("", key);
+      if (!value)
+        throw util::ManifestMismatchError(
+            manifest + ": missing manifest field '" + key + "'");
+      return *value;
+    };
+    auto verify = [&](const std::string& key, const std::string& expected) {
+      const std::string actual = field(key);
+      if (actual != expected)
+        throw util::ManifestMismatchError(
+            manifest + ": manifest " + key + " is '" + actual +
+            "' but this run has '" + expected +
+            "' — refusing to resume a different configuration (use a fresh "
+            "checkpoint directory)");
+    };
+    verify("format", kManifestFormat);
+    verify("version", std::to_string(kManifestVersion));
+    verify("experiment", info_.experiment);
+    verify("fingerprint", hex64(fingerprint(info_.config)));
+    verify("seed", std::to_string(info_.seed));
+    verify("replications", std::to_string(info_.replications));
+    load_and_rotate_journal();
+    EADVFS_LOG_INFO << "checkpoint: resuming '" << info_.experiment << "' from "
+                    << config_.dir << " with " << completed_.size() << "/"
+                    << info_.replications << " replications journaled";
+  } else {
+    write_manifest("running", {});
+    // An empty journal with just the header, so a crash before the first
+    // replication still leaves a loadable checkpoint.
+    util::write_file_atomic(journal_path(config_.dir),
+                            std::string(kJournalHeader) + "\n");
+  }
+  journal_ = util::AppendFile(journal_path(config_.dir));
+}
+
+void CheckpointSession::write_manifest(const std::string& status,
+                                       const std::vector<std::size_t>& failed) {
+  std::ostringstream out;
+  out << "format = " << kManifestFormat << "\n";
+  out << "version = " << kManifestVersion << "\n";
+  out << "experiment = " << info_.experiment << "\n";
+  out << "fingerprint = " << hex64(fingerprint(info_.config)) << "\n";
+  out << "config = " << info_.config << "\n";
+  out << "seed = " << info_.seed << "\n";
+  out << "replications = " << info_.replications << "\n";
+  out << "jobs = " << info_.jobs << "\n";
+  out << "build = " << EADVFS_BUILD_REF << "\n";
+  out << "status = " << status << "\n";
+  if (!failed.empty())
+    out << "failed_replications = " << join_indices(failed) << "\n";
+  util::write_file_atomic(manifest_path(config_.dir), out.str());
+}
+
+void CheckpointSession::load_and_rotate_journal() {
+  const std::string path = journal_path(config_.dir);
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+  }
+  completed_.clear();
+  if (!text.empty()) {
+    // A crash can tear at most the final record (each append is one
+    // write(2)); a line is complete only when its '\n' made it to disk.
+    const bool torn_tail = text.back() != '\n';
+    std::vector<std::string> lines;
+    std::istringstream stream(text);
+    for (std::string line; std::getline(stream, line);) lines.push_back(line);
+    if (torn_tail && !lines.empty()) {
+      EADVFS_LOG_WARN << "checkpoint: dropping torn journal tail in " << path;
+      lines.pop_back();
+    }
+    if (!lines.empty() && lines.front() != kJournalHeader)
+      throw std::runtime_error(path +
+                               ": not a checkpoint journal (bad header); "
+                               "delete the checkpoint directory to start over");
+    for (std::size_t n = 1; n < lines.size(); ++n) {
+      const std::string& line = lines[n];
+      if (line.empty()) continue;
+      std::istringstream fields(line);
+      std::string tag;
+      std::size_t index = 0, attempts = 0;
+      if (!(fields >> tag >> index >> attempts))
+        throw std::runtime_error(path + ": corrupt journal record '" + line +
+                                 "'; delete the checkpoint directory to start "
+                                 "over");
+      if (tag == "R") {
+        std::size_t n_values = 0;
+        if (!(fields >> n_values))
+          throw std::runtime_error(path + ": corrupt journal record '" + line +
+                                   "'");
+        JournalEntry entry;
+        entry.attempts = attempts;
+        entry.values.reserve(n_values);
+        for (std::size_t v = 0; v < n_values; ++v) {
+          std::string hex;
+          if (!(fields >> hex))
+            throw std::runtime_error(path + ": journal record for index " +
+                                     std::to_string(index) +
+                                     " is missing values");
+          entry.values.push_back(decode_double(hex));
+        }
+        completed_[index] = std::move(entry);  // later records win
+      } else if (tag == "F") {
+        // Permanent failure from a previous attempt: diagnostic only, the
+        // index is re-run on this resume.
+        completed_.erase(index);
+      } else {
+        throw std::runtime_error(path + ": unknown journal record tag '" + tag +
+                                 "'");
+      }
+    }
+  }
+  // Atomic rotation: rewrite the journal down to exactly the valid completed
+  // records (dropping torn tails, superseded duplicates and failure lines),
+  // so journal size stays bounded across many crash/resume cycles.
+  util::write_file_atomic(path, [&](std::ostream& out) {
+    out << kJournalHeader << "\n";
+    for (const auto& [index, entry] : completed_) {
+      out << "R " << index << " " << entry.attempts << " "
+          << entry.values.size();
+      for (const double value : entry.values) out << " " << encode_double(value);
+      out << "\n";
+    }
+  });
+}
+
+void CheckpointSession::maybe_crash_after_append() {
+  if (config_.crash_after_appends != 0 &&
+      appends_ >= config_.crash_after_appends) {
+    EADVFS_LOG_WARN << "checkpoint: crash-injection hook firing after "
+                    << appends_ << " appends (SIGKILL)";
+    kill_self_for_test();
+  }
+}
+
+void CheckpointSession::append(std::size_t index, std::size_t attempts,
+                               const std::vector<double>& values) {
+  std::ostringstream line;
+  line << "R " << index << " " << attempts << " " << values.size();
+  for (const double value : values) line << " " << encode_double(value);
+  line << "\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  journal_.append(line.str());
+  ++appends_;
+  maybe_crash_after_append();
+}
+
+void CheckpointSession::append_failure(std::size_t index, std::size_t attempts,
+                                       const std::string& message) {
+  // Newlines would tear the record format; flatten them.
+  std::string flat = message;
+  std::replace(flat.begin(), flat.end(), '\n', ' ');
+  std::ostringstream line;
+  line << "F " << index << " " << attempts << " " << flat << "\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  journal_.append(line.str());
+  ++appends_;
+  maybe_crash_after_append();
+}
+
+void CheckpointSession::finalize(const RunReport& report) {
+  std::vector<std::size_t> failed;
+  failed.reserve(report.failures.size());
+  for (const auto& failure : report.failures) failed.push_back(failure.index);
+  const std::string status = report.interrupted ? "interrupted"
+                             : failed.empty()   ? "complete"
+                                                : "partial";
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_manifest(status, failed);
+}
+
+CheckpointedMapOutcome checkpointed_map(
+    std::size_t count, const ParallelConfig& parallel,
+    const CheckpointConfig& checkpoint, const ManifestInfo& info,
+    const std::function<std::vector<double>(std::size_t)>& fn) {
+  CheckpointedMapOutcome outcome;
+  outcome.rows.resize(count);
+
+  std::optional<CheckpointSession> session;
+  std::vector<bool> have(count, false);
+  if (checkpoint.enabled()) {
+    session.emplace(checkpoint, info);
+    for (const auto& [index, entry] : session->completed()) {
+      if (index >= count) continue;  // manifest verification makes this moot
+      outcome.rows[index] = entry.values;
+      have[index] = true;
+      ++outcome.resumed;
+    }
+  }
+
+  std::vector<std::size_t> missing;
+  missing.reserve(count - outcome.resumed);
+  for (std::size_t i = 0; i < count; ++i)
+    if (!have[i]) missing.push_back(i);
+
+  RunReport report;
+  if (!missing.empty()) {
+    ParallelConfig cfg = parallel;
+    // Journal every replication the moment it completes (serialized under
+    // the pool lock), so a later crash loses at most in-flight work.
+    cfg.on_complete = [&](std::size_t position, std::size_t attempts) {
+      const std::size_t index = missing[position];
+      if (session) session->append(index, attempts, outcome.rows[index]);
+      if (parallel.on_complete) parallel.on_complete(index, attempts);
+    };
+    ParallelRunner runner(cfg);
+    // On a permanent failure without keep-going the error propagates from
+    // here; the manifest stays at status "running" and the journal already
+    // holds every completed row, so the run is resumable as-is.
+    report = runner.run(missing.size(), [&](std::size_t position) {
+      outcome.rows[missing[position]] = fn(missing[position]);
+    });
+    // The runner reports in positions of `missing`; translate back to
+    // replication indices before anyone reads them.
+    for (auto& failure : report.failures) {
+      if (session)
+        session->append_failure(missing[failure.index], failure.attempts,
+                                failure.message);
+      failure.index = missing[failure.index];
+    }
+    for (auto& [position, attempts] : report.retried) position = missing[position];
+  }
+  report.completed += outcome.resumed;
+  outcome.report = std::move(report);
+  if (session) session->finalize(outcome.report);
+  return outcome;
+}
+
+}  // namespace eadvfs::exp

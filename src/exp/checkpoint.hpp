@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Crash-safe execution layer for experiment sweeps: a versioned run
+/// manifest plus an append-only, fsync'd per-replication result journal, and
+/// `checkpointed_map()` — the resumable counterpart of `parallel_map()`.
+///
+/// A checkpointed sweep writes two files into its checkpoint directory:
+///
+///   manifest.txt — who this run is (experiment id, canonical config string
+///     and its fingerprint, master seed, replication count, build ref) and
+///     how it ended (`status`, plus `failed` indices under --keep-going).
+///     Rewritten atomically (util::write_file_atomic).
+///
+///   journal.txt — one line per finished replication: the index, the attempt
+///     count, and the result values serialized as IEEE-754 bit patterns (so
+///     they reload *exactly*, not to 17 digits).  Appended with a single
+///     write(2) + fsync per record, so every journaled replication survives
+///     SIGKILL; a torn tail line is detected and ignored on load.
+///
+/// Resume contract: relaunching the same configuration against the same
+/// directory verifies the manifest (any mismatch throws
+/// util::ManifestMismatchError — resuming a different experiment would
+/// silently mix data), atomically rotates the journal down to its valid
+/// records, re-runs only the missing indices, and hands back all rows in
+/// replication-index order.  Because every replication is a pure function of
+/// its sub-seed and aggregation replays rows in index order, the final CSV
+/// is byte-identical to an uninterrupted run, at any `--jobs`, across any
+/// number of crash/resume cycles.  See docs/EXPERIMENTS.md §"Crash safety".
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exp/parallel_runner.hpp"
+#include "util/atomic_file.hpp"
+
+namespace eadvfs::exp {
+
+/// Where (and whether) a sweep checkpoints.
+struct CheckpointConfig {
+  /// Checkpoint directory; empty disables checkpointing entirely.
+  std::string dir;
+  /// --resume semantics: require an existing manifest (throws
+  /// std::runtime_error when the directory holds none) instead of starting a
+  /// fresh run.
+  bool require_existing = false;
+  /// Crash-injection test hook: raise SIGKILL immediately after this many
+  /// journal appends (0 disables).  Exercises the mid-run-kill path in the
+  /// crash/resume determinism tests without racing a timer.
+  std::size_t crash_after_appends = 0;
+
+  [[nodiscard]] bool enabled() const { return !dir.empty(); }
+};
+
+/// Identity of a run, recorded in (and verified against) the manifest.
+struct ManifestInfo {
+  std::string experiment;      ///< e.g. "fig8" — one id per sweep kind.
+  /// Canonical single-line description of every determinism-relevant config
+  /// field (seed, axes, predictor, fault profile, ...).  Its FNV-1a hash is
+  /// the manifest fingerprint; `jobs` must NOT be part of it (the contract
+  /// is that --jobs never changes results).
+  std::string config;
+  std::uint64_t seed = 0;      ///< master seed (also in `config`; split out
+                               ///< for the human reading the manifest).
+  std::size_t replications = 0;
+  std::size_t jobs = 1;        ///< informational only — never verified.
+};
+
+/// FNV-1a 64-bit hash of the canonical config string.
+[[nodiscard]] std::uint64_t fingerprint(const std::string& canonical);
+
+/// One journaled replication result.
+struct JournalEntry {
+  std::size_t attempts = 1;
+  std::vector<double> values;
+};
+
+/// Open (or create) a checkpoint directory: manifest verification, journal
+/// loading/rotation, and durable per-replication appends.  Thread-safe for
+/// concurrent append() calls from pool workers.
+class CheckpointSession {
+ public:
+  /// Creates the directory and a fresh manifest when none exists (unless
+  /// config.require_existing); verifies an existing manifest against `info`
+  /// (throwing util::ManifestMismatchError on any difference) and loads +
+  /// rotates the journal otherwise.
+  CheckpointSession(CheckpointConfig config, ManifestInfo info);
+
+  /// Replications already journaled by previous processes, keyed by index.
+  [[nodiscard]] const std::map<std::size_t, JournalEntry>& completed() const {
+    return completed_;
+  }
+
+  /// Durably journal one finished replication (single write + fsync).
+  void append(std::size_t index, std::size_t attempts,
+              const std::vector<double>& values);
+
+  /// Journal a permanent failure (diagnostic; failed indices are re-run on
+  /// the next resume).
+  void append_failure(std::size_t index, std::size_t attempts,
+                      const std::string& message);
+
+  /// Rewrite the manifest with the run's final status: "complete" for a
+  /// clean report, "partial" (plus the failed index list) under keep-going
+  /// failures, "interrupted" after a drained cancellation.
+  void finalize(const RunReport& report);
+
+  [[nodiscard]] const std::string& dir() const { return config_.dir; }
+
+  [[nodiscard]] static std::string manifest_path(const std::string& dir);
+  [[nodiscard]] static std::string journal_path(const std::string& dir);
+
+ private:
+  void write_manifest(const std::string& status,
+                      const std::vector<std::size_t>& failed);
+  void load_and_rotate_journal();
+  void maybe_crash_after_append();
+
+  CheckpointConfig config_;
+  ManifestInfo info_;
+  std::map<std::size_t, JournalEntry> completed_;
+  util::AppendFile journal_;
+  std::mutex mutex_;
+  std::size_t appends_ = 0;
+};
+
+/// Result of a checkpointed (or plain, when checkpointing is disabled) map:
+/// one row of doubles per replication index.  `rows[i].empty()` means index
+/// i did not complete (permanent failure under keep-going, or skipped by an
+/// interrupt) — `report.failures` / `report.interrupted` say which.
+struct CheckpointedMapOutcome {
+  std::vector<std::vector<double>> rows;
+  RunReport report;        ///< failures/retries/interruption, in *replication*
+                           ///< index terms; completed counts resumed rows too.
+  std::size_t resumed = 0; ///< rows loaded from the journal instead of re-run.
+};
+
+/// The resumable parallel map every checkpoint-aware sweep uses: loads
+/// already-journaled rows, runs only the missing indices through
+/// ParallelRunner (journaling each as it completes), finalizes the manifest,
+/// and returns all rows in index order.  With `checkpoint.enabled()` false
+/// this degrades to exactly parallel_map semantics (plus the RunReport).
+[[nodiscard]] CheckpointedMapOutcome checkpointed_map(
+    std::size_t count, const ParallelConfig& parallel,
+    const CheckpointConfig& checkpoint, const ManifestInfo& info,
+    const std::function<std::vector<double>(std::size_t)>& fn);
+
+}  // namespace eadvfs::exp

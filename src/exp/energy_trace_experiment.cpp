@@ -40,6 +40,7 @@ EnergyTraceResult run_energy_trace(const EnergyTraceConfig& config) {
     std::vector<std::vector<double>> normalized;  // schedulers × capacities
   };
 
+  RunReport report;
   const auto records = parallel_map<RepRecord>(
       config.n_task_sets,
       with_default_progress(config.parallel, "energy trace", 10),
@@ -71,7 +72,8 @@ EnergyTraceResult run_energy_trace(const EnergyTraceConfig& config) {
           }
         }
         return record;
-      });
+      },
+      &report);
 
   for (const RepRecord& record : records) {
     if (grid.empty()) grid = record.times;
@@ -86,6 +88,7 @@ EnergyTraceResult run_energy_trace(const EnergyTraceConfig& config) {
 
   EnergyTraceResult result;
   result.config = config;
+  result.report = std::move(report);
   for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
     EnergyTraceCurve curve;
     curve.scheduler = config.schedulers[s];

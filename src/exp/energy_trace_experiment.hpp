@@ -45,6 +45,7 @@ struct EnergyTraceCurve {
 struct EnergyTraceResult {
   EnergyTraceConfig config;
   std::vector<EnergyTraceCurve> curves;  ///< one per scheduler.
+  RunReport report;  ///< supervision outcome (retries; see parallel_runner.hpp).
 
   [[nodiscard]] const EnergyTraceCurve& curve(const std::string& scheduler) const;
 };

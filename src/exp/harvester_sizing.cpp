@@ -106,7 +106,8 @@ HarvesterSizingResult run_harvester_sizing(const HarvesterSizingConfig& config) 
           record.scales.push_back(scale);
         }
         return record;
-      });
+      },
+      &result.report);
 
   for (const RepRecord& record : records) {
     if (!record.all_feasible) {

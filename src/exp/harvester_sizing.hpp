@@ -44,6 +44,7 @@ struct HarvesterSizingResult {
   util::RunningStats ratio_first_over_second;
   std::size_t sets_evaluated = 0;
   std::size_t sets_skipped = 0;
+  RunReport report;  ///< supervision outcome (retries; see parallel_runner.hpp).
 
   [[nodiscard]] double ratio_of_means() const;
 };

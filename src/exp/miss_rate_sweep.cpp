@@ -1,8 +1,10 @@
 #include "exp/miss_rate_sweep.hpp"
 
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
+#include "exp/checkpoint.hpp"
 #include "exp/parallel_runner.hpp"
 #include "exp/setup.hpp"
 #include "sched/factory.hpp"
@@ -18,6 +20,35 @@ const MissRateCell& MissRateSweepResult::cell(const std::string& scheduler,
       return c;
   }
   throw std::out_of_range("MissRateSweepResult: no such cell");
+}
+
+std::string MissRateSweepConfig::canonical_description() const {
+  // Every field a CLI flag or caller can vary that feeds the simulation;
+  // deliberately NOT parallel/checkpoint (jobs and supervision must never
+  // change results — that is the determinism contract being protected).
+  std::ostringstream out;
+  out.precision(17);
+  out << "miss-rate;seed=" << seed << ";sets=" << n_task_sets << ";caps=";
+  for (std::size_t i = 0; i < capacities.size(); ++i)
+    out << (i ? "," : "") << capacities[i];
+  out << ";scheds=";
+  for (std::size_t i = 0; i < schedulers.size(); ++i)
+    out << (i ? "," : "") << schedulers[i];
+  out << ";predictor=" << predictor;
+  out << ";tasks=" << generator.n_tasks << ";u=" << generator.target_utilization;
+  out << ";horizon=" << sim.horizon;
+  out << ";miss-policy="
+      << (sim.miss_policy == sim::MissPolicy::kDropAtDeadline ? "drop"
+                                                              : "continue");
+  out << ";depletion="
+      << (sim.depletion_policy == sim::DepletionPolicy::kSuspendAndResume
+              ? "suspend"
+              : "abort");
+  out << ";solar-amp=" << solar.amplitude << ";solar-step=" << solar.step;
+  out << ";overhead=" << overhead.time << "," << overhead.energy;
+  out << ";bcet=" << execution.bcet_fraction;
+  out << ";fault=" << (fault.any() ? fault.describe() : "none");
+  return out.str();
 }
 
 MissRateSweepResult run_miss_rate_sweep(const MissRateSweepConfig& config) {
@@ -42,21 +73,26 @@ MissRateSweepResult run_miss_rate_sweep(const MissRateSweepConfig& config) {
   const auto seeds = derive_seeds(config.seed, config.n_task_sets);
 
   // One replication = one (task set, source realization) pair simulated for
-  // every (scheduler, capacity) cell.  Workers fill plain-data records which
-  // are folded into the Welford accumulators afterwards in replication order,
-  // so the aggregate is byte-identical for any job count.
-  struct CellSample {
-    double miss_rate = 0.0;
-    double stall_time = 0.0;
-    double busy_time = 0.0;
-    double frequency_switches = 0.0;
-  };
-  using RepRecord = std::vector<CellSample>;  // schedulers × capacities
+  // every (scheduler, capacity) cell.  Workers fill a flat row of plain
+  // doubles — 4 per cell: miss rate, stall time, busy time, switches — which
+  // is also the journal payload; rows are folded into the Welford
+  // accumulators afterwards in replication order, so the aggregate is
+  // byte-identical for any job count and across any crash/resume split.
+  constexpr std::size_t kValuesPerCell = 4;
+  const std::size_t row_width =
+      config.schedulers.size() * config.capacities.size() * kValuesPerCell;
 
-  const auto records = parallel_map<RepRecord>(
+  ManifestInfo manifest;
+  manifest.experiment = config.experiment_id;
+  manifest.config = config.canonical_description();
+  manifest.seed = config.seed;
+  manifest.replications = config.n_task_sets;
+  manifest.jobs = config.parallel.jobs;
+
+  const CheckpointedMapOutcome outcome = checkpointed_map(
       config.n_task_sets,
       with_default_progress(config.parallel, "miss-rate sweep", 50),
-      [&](std::size_t rep) {
+      config.checkpoint, manifest, [&](std::size_t rep) {
         util::Xoshiro256ss rng(seeds[rep]);
         const task::TaskSetGenerator generator(config.generator);
         const task::TaskSet task_set = generator.generate(rng);
@@ -70,7 +106,7 @@ MissRateSweepResult run_miss_rate_sweep(const MissRateSweepConfig& config) {
         if (!fault.seed_provided)
           fault.seed = seeds[rep] ^ 0xfa017fa017fa017fULL;  // same faults per cell
 
-        RepRecord record(config.schedulers.size() * config.capacities.size());
+        std::vector<double> row(row_width);
         for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
           const auto scheduler = sched::make_scheduler(config.schedulers[s]);
           for (std::size_t c = 0; c < config.capacities.size(); ++c) {
@@ -80,29 +116,38 @@ MissRateSweepResult run_miss_rate_sweep(const MissRateSweepConfig& config) {
                 config.sim, source, config.capacities[c], table, *scheduler,
                 config.predictor, task_set, {}, config.overhead, execution,
                 fault.any() ? &fault : nullptr);
-            CellSample& sample = record[s * config.capacities.size() + c];
-            sample.miss_rate = run.miss_rate();
-            sample.stall_time = run.stall_time;
-            sample.busy_time = run.busy_time;
-            sample.frequency_switches =
-                static_cast<double>(run.frequency_switches);
+            double* cell =
+                row.data() +
+                (s * config.capacities.size() + c) * kValuesPerCell;
+            cell[0] = run.miss_rate();
+            cell[1] = run.stall_time;
+            cell[2] = run.busy_time;
+            cell[3] = static_cast<double>(run.frequency_switches);
           }
         }
-        return record;
+        return row;
       });
 
-  for (const RepRecord& record : records) {
+  for (const std::vector<double>& row : outcome.rows) {
+    if (row.empty()) continue;  // failed or interrupt-skipped replication
+    if (row.size() != row_width)
+      throw std::runtime_error(
+          "miss-rate sweep: journaled row width mismatch (checkpoint from a "
+          "different configuration?)");
     for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
       for (std::size_t c = 0; c < config.capacities.size(); ++c) {
-        const CellSample& sample = record[s * config.capacities.size() + c];
+        const double* sample =
+            row.data() + (s * config.capacities.size() + c) * kValuesPerCell;
         MissRateCell& cell = cell_at(s, c);
-        cell.miss_rate.add(sample.miss_rate);
-        cell.stall_time.add(sample.stall_time);
-        cell.busy_time.add(sample.busy_time);
-        cell.frequency_switches.add(sample.frequency_switches);
+        cell.miss_rate.add(sample[0]);
+        cell.stall_time.add(sample[1]);
+        cell.busy_time.add(sample[2]);
+        cell.frequency_switches.add(sample[3]);
       }
     }
   }
+  result.report = outcome.report;
+  result.resumed = outcome.resumed;
   return result;
 }
 

@@ -6,12 +6,18 @@
 /// task sets (paired across schedulers and capacities).  Replications run on
 /// the worker pool configured by `MissRateSweepConfig::parallel`; results are
 /// identical for any job count.
+///
+/// This sweep is checkpoint-aware: set `MissRateSweepConfig::checkpoint.dir`
+/// and every completed replication is journaled durably, so a killed sweep
+/// resumes from where it stopped with a byte-identical final aggregate (see
+/// exp/checkpoint.hpp and docs/EXPERIMENTS.md §"Crash safety").
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "energy/solar_source.hpp"
+#include "exp/checkpoint.hpp"
 #include "exp/parallel_runner.hpp"
 #include "proc/frequency_table.hpp"
 #include "proc/processor.hpp"
@@ -42,7 +48,21 @@ struct MissRateSweepConfig {
   /// sub-seed so fault realizations vary across task sets while staying
   /// byte-reproducible for any --jobs count.
   sim::fault::FaultProfile fault;
-  ParallelConfig parallel;              ///< replication worker pool.
+  ParallelConfig parallel;              ///< replication worker pool +
+                                        ///< supervision (retries, watchdog,
+                                        ///< keep-going, cancellation).
+  CheckpointConfig checkpoint;          ///< crash-safe journaling; disabled
+                                        ///< while `dir` is empty.
+  /// Manifest experiment id — distinct per sweep kind (e.g. "fig8",
+  /// "fault-resilience:duty=0.2") so a checkpoint directory can never be
+  /// resumed by a different experiment.
+  std::string experiment_id = "miss-rate";
+
+  /// Canonical single-line description of every determinism-relevant field
+  /// (everything above except `parallel`/`checkpoint` — --jobs and the
+  /// supervision knobs must not change results).  Fingerprinted into the
+  /// checkpoint manifest.
+  [[nodiscard]] std::string canonical_description() const;
 };
 
 /// Result cell: one (scheduler, capacity) pair aggregated over task sets.
@@ -59,6 +79,13 @@ struct MissRateSweepResult {
   MissRateSweepConfig config;
   std::vector<MissRateCell> cells;  ///< schedulers × capacities, row-major by
                                     ///< scheduler then capacity.
+  /// Execution outcome: resumed/retried/failed/interrupted replications.
+  /// Failed indices (keep-going) and interrupt-skipped indices are excluded
+  /// from every cell's statistics; callers must surface `report.failures`
+  /// and exit nonzero (util::exit_code::kPartialResults / kInterrupted).
+  RunReport report;
+  std::size_t resumed = 0;  ///< replications loaded from the checkpoint
+                            ///< journal instead of re-simulated.
 
   [[nodiscard]] const MissRateCell& cell(const std::string& scheduler,
                                          double capacity) const;

@@ -1,7 +1,10 @@
 #include "exp/parallel_runner.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <limits>
@@ -27,10 +30,25 @@ std::size_t parse_jobs(long long requested) {
   return static_cast<std::size_t>(requested);
 }
 
+std::size_t parse_retries(long long requested) {
+  if (requested < 0)
+    throw std::invalid_argument("--retries must be >= 0, got " +
+                                std::to_string(requested));
+  return static_cast<std::size_t>(requested) + 1;
+}
+
+double parse_watchdog_sec(double requested) {
+  if (!(requested >= 0.0) || !std::isfinite(requested))
+    throw std::invalid_argument("--timeout must be a finite value >= 0");
+  return requested;
+}
+
 ParallelRunner::ParallelRunner(ParallelConfig config)
     : config_(std::move(config)) {
   if (config_.jobs == 0)
     throw std::invalid_argument("ParallelRunner: jobs must be >= 1");
+  if (config_.max_attempts == 0)
+    throw std::invalid_argument("ParallelRunner: max_attempts must be >= 1");
 }
 
 namespace {
@@ -52,41 +70,186 @@ ParallelProgress make_progress(std::size_t completed, std::size_t total,
   return p;
 }
 
-}  // namespace
-
-void ParallelRunner::run_inline(std::size_t count,
-                                const std::function<void(std::size_t)>& task) {
-  const auto start = Clock::now();
-  for (std::size_t i = 0; i < count; ++i) {
-    task(i);
-    const std::size_t done = i + 1;
-    if (config_.progress && config_.progress_every != 0 &&
-        (done % config_.progress_every == 0 || done == count)) {
-      config_.progress(make_progress(done, count, start));
-    }
+/// Message of the exception currently being handled (call inside a catch
+/// block only).
+std::string current_exception_message() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
   }
 }
 
-void ParallelRunner::run(std::size_t count,
-                         const std::function<void(std::size_t)>& task) {
-  if (count == 0) return;
-  const std::size_t workers = std::min(config_.jobs, count);
-  if (workers == 1) {
-    run_inline(count, task);
-    return;
+/// The default watchdog action: a hung replication cannot be cancelled
+/// safely in-process (std::thread has no kill), so the only sound move is to
+/// convert the hang into a crash that a checkpointed sweep can resume past.
+[[noreturn]] void default_watchdog_abort(std::size_t index, double elapsed) {
+  EADVFS_LOG_ERROR << "watchdog: replication " << index << " exceeded its "
+                   << "deadline (" << elapsed << "s elapsed); aborting the "
+                   << "process (exit " << util::exit_code::kWatchdogTimeout
+                   << ") — resume the sweep from its checkpoint";
+  std::_Exit(util::exit_code::kWatchdogTimeout);
+}
+
+/// Shared in-flight table the watchdog thread scans.  Entries are slots, one
+/// per worker (slot 0 for the inline path).
+class Watchdog {
+ public:
+  Watchdog(double deadline_sec,
+           std::function<void(std::size_t, double)> abort_fn,
+           std::size_t slots)
+      : deadline_(deadline_sec),
+        abort_(abort_fn ? std::move(abort_fn) : default_watchdog_abort),
+        inflight_(slots) {
+    if (deadline_ > 0.0) monitor_ = std::thread([this] { monitor_loop(); });
   }
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    if (monitor_.joinable()) monitor_.join();
+  }
+
+  void begin(std::size_t slot, std::size_t index) {
+    if (deadline_ <= 0.0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_[slot] = {true, false, index, Clock::now()};
+  }
+
+  void end(std::size_t slot) {
+    if (deadline_ <= 0.0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_[slot].active = false;
+  }
+
+ private:
+  struct InFlight {
+    bool active = false;
+    bool reported = false;  // abort hook already invoked for this dispatch
+    std::size_t index = 0;
+    Clock::time_point start;
+  };
+
+  void monitor_loop() {
+    // Poll at a fraction of the deadline so detection latency stays small
+    // relative to the configured timeout.
+    const auto poll = std::chrono::duration<double>(
+        std::clamp(deadline_ / 8.0, 0.005, 0.25));
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!done_) {
+      cv_.wait_for(lock, poll, [this] { return done_; });
+      if (done_) return;
+      for (InFlight& f : inflight_) {
+        if (!f.active || f.reported) continue;
+        const double elapsed = seconds_since(f.start);
+        if (elapsed > deadline_) {
+          f.reported = true;
+          const std::size_t index = f.index;
+          lock.unlock();
+          abort_(index, elapsed);  // default never returns
+          lock.lock();
+        }
+      }
+    }
+  }
+
+  double deadline_;
+  std::function<void(std::size_t, double)> abort_;
+  std::vector<InFlight> inflight_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread monitor_;
+};
+
+void sort_report(RunReport& report) {
+  std::sort(report.failures.begin(), report.failures.end(),
+            [](const util::ReplicationFailure& a,
+               const util::ReplicationFailure& b) { return a.index < b.index; });
+  std::sort(report.retried.begin(), report.retried.end());
+}
+
+}  // namespace
+
+RunReport ParallelRunner::run_inline(
+    std::size_t count, const std::function<void(std::size_t)>& task) {
+  RunReport report;
+  const auto start = Clock::now();
+  Watchdog watchdog(config_.watchdog_sec, config_.watchdog_abort, 1);
+  std::exception_ptr first_error;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if (config_.cancel != nullptr &&
+        config_.cancel->load(std::memory_order_relaxed)) {
+      report.interrupted = true;
+      break;
+    }
+    std::size_t attempt = 1;
+    bool succeeded = false;
+    for (;; ++attempt) {
+      try {
+        watchdog.begin(0, i);
+        task(i);
+        watchdog.end(0);
+        succeeded = true;
+        break;
+      } catch (...) {
+        watchdog.end(0);
+        const std::string message = current_exception_message();
+        if (attempt < config_.max_attempts) {
+          EADVFS_LOG_WARN << "replication " << i << " failed (attempt "
+                          << attempt << "/" << config_.max_attempts
+                          << "): " << message << "; retrying with the same "
+                          << "sub-seed";
+          continue;
+        }
+        report.failures.push_back({i, attempt, message});
+        if (!config_.keep_going) first_error = std::current_exception();
+        break;
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    if (succeeded) {
+      ++report.completed;
+      if (attempt > 1) report.retried.emplace_back(i, attempt);
+      if (config_.on_complete) config_.on_complete(i, attempt);
+      if (config_.progress && config_.progress_every != 0 &&
+          (report.completed % config_.progress_every == 0 ||
+           report.completed == count)) {
+        config_.progress(make_progress(report.completed, count, start));
+      }
+    }
+  }
+  sort_report(report);
+  return report;
+}
+
+RunReport ParallelRunner::run(std::size_t count,
+                              const std::function<void(std::size_t)>& task) {
+  if (count == 0) return {};
+  const std::size_t workers = std::min(config_.jobs, count);
+  if (workers == 1) return run_inline(count, task);
 
   std::mutex mutex;
   std::condition_variable work_available;
   std::deque<std::size_t> queue;
   bool closed = false;  // no further indices will be pushed
   bool cancelled = false;
-  std::size_t completed = 0;
+  RunReport report;
+  // Lowest-index permanent failure's original exception: rethrown verbatim
+  // when it is the *only* observed failure, so callers keep catching the
+  // exact type their task threw (e.g. sim::AuditError).
   std::size_t error_index = std::numeric_limits<std::size_t>::max();
   std::exception_ptr error;
   const auto start = Clock::now();
+  Watchdog watchdog(config_.watchdog_sec, config_.watchdog_abort, workers);
 
-  auto worker = [&] {
+  auto worker = [&](std::size_t slot) {
     for (;;) {
       std::size_t index;
       {
@@ -94,30 +257,65 @@ void ParallelRunner::run(std::size_t count,
         work_available.wait(lock,
                             [&] { return closed || cancelled || !queue.empty(); });
         if (cancelled || queue.empty()) return;
+        if (config_.cancel != nullptr &&
+            config_.cancel->load(std::memory_order_relaxed)) {
+          // Cooperative interrupt: stop dispatching, drain in-flight peers.
+          report.interrupted = true;
+          queue.clear();
+          work_available.notify_all();
+          return;
+        }
         index = queue.front();
         queue.pop_front();
       }
-      try {
-        task(index);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
-        // Keep the failure closest to the front of the replication range so
-        // the caller sees a deterministic error regardless of scheduling.
-        if (index < error_index) {
-          error_index = index;
-          error = std::current_exception();
+      std::size_t attempt = 1;
+      bool succeeded = false;
+      std::string failure_message;
+      std::exception_ptr failure;
+      for (;; ++attempt) {
+        try {
+          watchdog.begin(slot, index);
+          task(index);
+          watchdog.end(slot);
+          succeeded = true;
+          break;
+        } catch (...) {
+          watchdog.end(slot);
+          failure_message = current_exception_message();
+          failure = std::current_exception();
+          if (attempt < config_.max_attempts) {
+            EADVFS_LOG_WARN << "replication " << index << " failed (attempt "
+                            << attempt << "/" << config_.max_attempts
+                            << "): " << failure_message << "; retrying with "
+                            << "the same sub-seed";
+            continue;
+          }
+          break;
         }
-        cancelled = true;
-        work_available.notify_all();
-        continue;  // let in-flight peers finish; take no new work
       }
       {
         std::lock_guard<std::mutex> lock(mutex);
-        ++completed;
-        if (config_.progress && config_.progress_every != 0 && !cancelled &&
-            (completed % config_.progress_every == 0 || completed == count)) {
-          // Serialized by the pool lock per the ProgressFn contract.
-          config_.progress(make_progress(completed, count, start));
+        if (succeeded) {
+          ++report.completed;
+          if (attempt > 1) report.retried.emplace_back(index, attempt);
+          if (config_.on_complete) config_.on_complete(index, attempt);
+          if (config_.progress && config_.progress_every != 0 && !cancelled &&
+              (report.completed % config_.progress_every == 0 ||
+               report.completed == count)) {
+            // Serialized by the pool lock per the ProgressFn contract.
+            config_.progress(make_progress(report.completed, count, start));
+          }
+          continue;
+        }
+        report.failures.push_back({index, attempt, failure_message});
+        if (index < error_index) {
+          error_index = index;
+          error = failure;
+        }
+        if (!config_.keep_going) {
+          // Cancel the remaining queue; in-flight peers finish and report.
+          cancelled = true;
+          work_available.notify_all();
         }
       }
     }
@@ -130,11 +328,17 @@ void ParallelRunner::run(std::size_t count,
   }
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::size_t w = 0; w < workers; ++w)
+    pool.emplace_back(worker, w);
   work_available.notify_all();
   for (std::thread& t : pool) t.join();
 
-  if (error) std::rethrow_exception(error);
+  if (!config_.keep_going && !report.failures.empty()) {
+    if (report.failures.size() == 1) std::rethrow_exception(error);
+    throw util::CompositeRunError(std::move(report.failures));
+  }
+  sort_report(report);
+  return report;
 }
 
 ProgressFn log_progress(std::string label) {

@@ -1,7 +1,9 @@
 #pragma once
 
 /// \file parallel_runner.hpp
-/// Deterministic parallel execution of independent experiment replications.
+/// Deterministic parallel execution of independent experiment replications,
+/// with crash-safety supervision: bounded retries, a hang watchdog, graceful
+/// keep-going degradation, and cooperative cancellation.
 ///
 /// Every sweep in this harness maps a replication index range [0, count)
 /// through a pure-ish task (each replication owns its RNG, task set, energy
@@ -17,13 +19,20 @@
 ///     frequency tables) but must create everything mutable — RNG, task set,
 ///     source, predictor, engine, observers — from the replication's sub-seed;
 ///   * tasks must not touch each other's results;
-///   * the first failing replication's exception (lowest index among observed
-///     failures) is rethrown on the calling thread after the pool drains.
+///   * a task must be safe to re-run for the same index (retries re-invoke it
+///     with the same sub-seed and overwrite the same result slot);
+///   * failures are reported per index: a single failing replication rethrows
+///     its original exception, several throw one util::CompositeRunError
+///     aggregating every observed (index, attempts, message) triple.
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace eadvfs::exp {
 
@@ -37,7 +46,27 @@ struct ParallelProgress {
 
 using ProgressFn = std::function<void(const ParallelProgress&)>;
 
-/// Worker-pool configuration carried by every experiment config.
+/// What actually happened during a run(): how much completed, which
+/// replications were retried, which failed permanently (keep_going only —
+/// without it failures throw), and whether the run was stopped early by the
+/// cooperative cancel token before dispatching everything.
+struct RunReport {
+  std::size_t completed = 0;  ///< replications that finished successfully.
+  /// Permanent failures, ascending by index.  Non-empty only under
+  /// keep_going; otherwise run() throws instead.
+  std::vector<util::ReplicationFailure> failures;
+  /// (index, attempts) for replications that succeeded after >= 1 retry,
+  /// ascending by index — the journal records the same counts.
+  std::vector<std::pair<std::size_t, std::size_t>> retried;
+  /// True when the cancel token stopped the run before all indices were
+  /// dispatched (in-flight replications were drained, not abandoned).
+  bool interrupted = false;
+
+  [[nodiscard]] bool clean() const { return failures.empty() && !interrupted; }
+};
+
+/// Worker-pool + supervision configuration carried by every experiment
+/// config.
 struct ParallelConfig {
   /// Worker threads; must be >= 1.  1 (the default) runs inline on the
   /// calling thread.  Use hardware_jobs() for the machine's parallelism.
@@ -48,6 +77,34 @@ struct ParallelConfig {
   /// Progress callback; invoked under the pool lock, so it needs no
   /// synchronization of its own but should be quick.
   ProgressFn progress;
+
+  // --- supervision (see docs/EXPERIMENTS.md §"Crash safety") ---
+
+  /// Total attempts per replication (>= 1).  A throwing task is re-run with
+  /// the same index (hence the same sub-seed) up to this many times before
+  /// counting as a permanent failure; retries are deterministic re-executions,
+  /// not resampling.
+  std::size_t max_attempts = 1;
+  /// Per-replication wall-clock deadline in seconds; 0 disables the watchdog.
+  /// A replication exceeding it triggers `watchdog_abort` — by default the
+  /// process logs the stuck index and exits with
+  /// util::exit_code::kWatchdogTimeout, because a hung thread cannot be
+  /// cancelled safely in-process; a checkpointed sweep resumes past it.
+  double watchdog_sec = 0.0;
+  /// Keep running after permanent failures instead of cancelling the sweep;
+  /// failed indices are reported in RunReport::failures and excluded from
+  /// the results (the caller must aggregate accordingly).
+  bool keep_going = false;
+  /// Cooperative cancellation: when non-null and set, no further indices are
+  /// dispatched; in-flight replications drain normally and RunReport marks
+  /// the run interrupted.  Wire util::interrupt_flag() here for Ctrl-C.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Invoked (serialized under the pool lock) after each successful
+  /// replication with its attempt count — the checkpoint journal's hook.
+  std::function<void(std::size_t index, std::size_t attempts)> on_complete;
+  /// Override for the watchdog's abort action (tests).  Called off-lock with
+  /// the stuck index and its elapsed seconds; invoked at most once per index.
+  std::function<void(std::size_t index, double elapsed_sec)> watchdog_abort;
 };
 
 /// The machine's available parallelism: hardware_concurrency(), never 0.
@@ -57,22 +114,36 @@ struct ParallelConfig {
 /// zero or negative values, returns the value as std::size_t otherwise.
 [[nodiscard]] std::size_t parse_jobs(long long requested);
 
+/// Validate a user-supplied `--retries` value (>= 0) and convert it to the
+/// ParallelConfig::max_attempts convention (retries + 1).
+[[nodiscard]] std::size_t parse_retries(long long requested);
+
+/// Validate a user-supplied `--timeout` (watchdog) value in seconds: >= 0,
+/// finite; 0 disables.
+[[nodiscard]] double parse_watchdog_sec(double requested);
+
 /// Fixed-size worker pool (std::thread workers draining a mutex/condvar work
 /// queue of replication indices).  The pool lives for one run() call; the
 /// experiment harness creates one per sweep.
 class ParallelRunner {
  public:
-  /// Throws std::invalid_argument when config.jobs == 0.
+  /// Throws std::invalid_argument when config.jobs == 0 or
+  /// config.max_attempts == 0.
   explicit ParallelRunner(ParallelConfig config);
 
-  /// Execute task(i) for every i in [0, count).  Blocks until all indices
-  /// completed or a task threw; in the latter case remaining queued indices
-  /// are abandoned and the lowest-index observed exception is rethrown.
-  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+  /// Execute task(i) for every i in [0, count), retrying each failing index
+  /// up to config.max_attempts times.  Blocks until every index completed,
+  /// failed permanently, or was skipped by cancellation; in-flight work is
+  /// always drained.  Without keep_going a permanent failure cancels the
+  /// remaining queue and throws — the original exception if it was the only
+  /// observed failure, util::CompositeRunError listing all of them otherwise.
+  /// With keep_going every index is attempted and failures are returned in
+  /// the report instead.
+  RunReport run(std::size_t count, const std::function<void(std::size_t)>& task);
 
  private:
-  void run_inline(std::size_t count,
-                  const std::function<void(std::size_t)>& task);
+  RunReport run_inline(std::size_t count,
+                       const std::function<void(std::size_t)>& task);
 
   ParallelConfig config_;
 };
@@ -80,13 +151,25 @@ class ParallelRunner {
 /// Map [0, count) through `fn` on a pool configured by `config`, collecting
 /// the results by replication index.  `Result` must be default-constructible
 /// and movable.  This is the entry point every experiment sweep uses.
+///
+/// When `report` is non-null the run's RunReport is stored there; with
+/// keep_going the slots of failed indices keep their default-constructed
+/// value and `report->failures` says which ones — callers must exclude them
+/// from aggregation.  keep_going without a report is a logic error (the
+/// caller could not tell garbage from data) and throws.
 template <typename Result, typename Fn>
 [[nodiscard]] std::vector<Result> parallel_map(std::size_t count,
                                                const ParallelConfig& config,
-                                               Fn&& fn) {
+                                               Fn&& fn,
+                                               RunReport* report = nullptr) {
+  if (config.keep_going && report == nullptr)
+    throw std::logic_error(
+        "parallel_map: keep_going requires a RunReport out-param so failed "
+        "slots can be excluded from aggregation");
   std::vector<Result> results(count);
   ParallelRunner runner(config);
-  runner.run(count, [&](std::size_t index) { results[index] = fn(index); });
+  RunReport r = runner.run(count, [&](std::size_t index) { results[index] = fn(index); });
+  if (report != nullptr) *report = std::move(r);
   return results;
 }
 

@@ -59,7 +59,8 @@ PredictorErrorResult run_predictor_error(const PredictorErrorConfig& config) {
   using RepRecord = std::vector<std::vector<ErrorSample>>;  // per cell
 
   const auto records = parallel_map<RepRecord>(
-      config.n_sources, config.parallel, [&](std::size_t rep) {
+      config.n_sources, config.parallel,
+      [&](std::size_t rep) {
         energy::SolarSourceConfig solar = config.solar;
         solar.seed = seeds[rep];
         solar.horizon = config.horizon + max_window + 1.0;
@@ -94,7 +95,8 @@ PredictorErrorResult run_predictor_error(const PredictorErrorConfig& config) {
           for (auto& predictor : predictors) predictor->observe(t, t1, harvested);
         }
         return record;
-      });
+      },
+      &result.report);
 
   for (const RepRecord& record : records) {
     for (std::size_t p = 0; p < config.predictors.size(); ++p) {

@@ -52,6 +52,7 @@ struct PredictorErrorCell {
 struct PredictorErrorResult {
   PredictorErrorConfig config;
   std::vector<PredictorErrorCell> cells;  ///< predictors × windows.
+  RunReport report;  ///< supervision outcome (retries; see parallel_runner.hpp).
 
   [[nodiscard]] const PredictorErrorCell& cell(const std::string& predictor,
                                                Time window) const;

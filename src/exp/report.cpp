@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <fstream>
+#include <exception>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
 
@@ -53,14 +54,18 @@ std::string TextTable::render() const {
 }
 
 void TextTable::write_csv(const std::string& path) const {
-  std::ofstream file(path);
-  if (!file) {
-    EADVFS_LOG_WARN << "could not write CSV to " << path;
-    return;
+  // Atomic write-temp-then-rename: a crash mid-write never leaves a torn
+  // CSV behind, and readers only ever observe the complete table.  Still
+  // best-effort (warn, don't abort a long experiment) like before.
+  try {
+    util::write_file_atomic(path, [this](std::ostream& out) {
+      util::CsvWriter writer(out);
+      writer.write_row(header_);
+      for (const auto& row : rows_) writer.write_row(row);
+    });
+  } catch (const std::exception& error) {
+    EADVFS_LOG_WARN << "could not write CSV to " << path << ": " << error.what();
   }
-  util::CsvWriter writer(file);
-  writer.write_row(header_);
-  for (const auto& row : rows_) writer.write_row(row);
 }
 
 std::string fmt(double value, int precision) {

@@ -1,0 +1,177 @@
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <system_error>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace eadvfs::util {
+
+namespace {
+
+[[noreturn]] void throw_io(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+std::string parent_of(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  return parent.empty() ? std::string(".") : parent.string();
+}
+
+/// fsync a path opened read-only (used for files after writing via streams,
+/// and for directories after rename).  Best-effort on platforms where
+/// directories cannot be fsync'd.
+void fsync_path(const std::string& path, bool required) {
+#if defined(_WIN32)
+  (void)path;
+  (void)required;
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (required) throw_io("open for fsync", path);
+    return;
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && required) throw_io("fsync", path);
+#endif
+}
+
+}  // namespace
+
+void fsync_parent_dir(const std::string& path) {
+  fsync_path(parent_of(path), /*required=*/false);
+}
+
+void ensure_directory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    throw std::runtime_error("could not create directory '" + dir +
+                             "': " + ec.message());
+}
+
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  // Unique per-process temp name in the same directory (rename must not
+  // cross filesystems); concurrent writers of the *same* path are the
+  // caller's problem, but they at least cannot corrupt each other.
+#if defined(_WIN32)
+  const std::string tmp = path + ".tmp";
+#else
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+#endif
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw_io("open for writing", tmp);
+    try {
+      writer(out);
+    } catch (...) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw_io("write", tmp);
+    }
+  }
+#if !defined(_WIN32)
+  // Durability before visibility: the temp file's bytes must be on disk
+  // before the rename makes them the official contents.
+  {
+    const int fd = ::open(tmp.c_str(), O_RDONLY);
+    if (fd < 0) {
+      std::remove(tmp.c_str());
+      throw_io("reopen for fsync", tmp);
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+      std::remove(tmp.c_str());
+      throw_io("fsync", tmp);
+    }
+  }
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw_io("rename into place", path);
+  }
+  fsync_parent_dir(path);
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  write_file_atomic(path, [&](std::ostream& out) { out << content; });
+}
+
+AppendFile::AppendFile(const std::string& path) : path_(path) {
+#if defined(_WIN32)
+  fd_ = -1;
+  throw std::runtime_error("AppendFile: unsupported on this platform");
+#else
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd_ < 0) throw_io("open for append", path);
+#endif
+}
+
+AppendFile::~AppendFile() { close(); }
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void AppendFile::append(const std::string& record) {
+#if defined(_WIN32)
+  (void)record;
+  throw std::runtime_error("AppendFile: unsupported on this platform");
+#else
+  if (fd_ < 0) throw std::runtime_error("AppendFile: append on closed file");
+  const char* data = record.data();
+  std::size_t remaining = record.size();
+  while (remaining > 0) {
+    const ::ssize_t n = ::write(fd_, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io("append", path_);
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) throw_io("fsync", path_);
+#endif
+}
+
+void AppendFile::close() {
+#if !defined(_WIN32)
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#endif
+}
+
+}  // namespace eadvfs::util

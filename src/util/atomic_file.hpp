@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file atomic_file.hpp
+/// Crash-safe file output: write-temp-then-rename for whole files, and an
+/// append-only fsync'd writer for journals.
+///
+/// Every CSV/manifest the harness emits goes through write_file_atomic(), so
+/// an interrupt or crash can never leave a truncated file where a downstream
+/// diff (tools/check_fault_determinism.cmake and friends) would read it as
+/// data: readers see either the complete old contents or the complete new
+/// contents, never a prefix.  The journal writer is the complementary
+/// primitive for *incremental* durability — each appended record is flushed
+/// and fsync'd before the call returns, so records survive SIGKILL.
+
+#include <functional>
+#include <string>
+
+namespace eadvfs::util {
+
+/// Atomically replace `path` with the bytes `writer` streams: the content is
+/// written to a sibling temp file, flushed, fsync'd, and renamed over `path`
+/// (rename(2) is atomic within a filesystem).  The containing directory is
+/// fsync'd afterwards so the rename itself survives a power cut.  Throws
+/// std::runtime_error on any I/O failure; the temp file is removed on error.
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+/// Convenience overload for ready-made content.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Append-only writer with per-record durability, for checkpoint journals.
+/// Records are written with a single write(2) call each and fsync'd, so a
+/// reader after SIGKILL sees a sequence of complete records plus at most one
+/// truncated tail (which loaders must ignore).
+class AppendFile {
+ public:
+  AppendFile() = default;
+  /// Opens (creating if needed) `path` for appending.  Throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit AppendFile(const std::string& path);
+  ~AppendFile();
+
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Append `record` (the caller includes the trailing newline) and fsync.
+  /// Throws std::runtime_error on I/O failure.
+  void append(const std::string& record);
+
+  /// Close the underlying descriptor (idempotent).
+  void close();
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// fsync the directory containing `path` (no-op on platforms without
+/// directory fsync).  Exposed for journal rotation.
+void fsync_parent_dir(const std::string& path);
+
+/// Create `dir` (and missing parents) if absent.  Throws std::runtime_error
+/// when creation fails for any reason other than the directory existing.
+void ensure_directory(const std::string& dir);
+
+}  // namespace eadvfs::util

@@ -1,0 +1,36 @@
+#include "util/error.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace eadvfs::util {
+
+namespace {
+
+std::vector<ReplicationFailure> sorted_by_index(
+    std::vector<ReplicationFailure> failures) {
+  std::sort(failures.begin(), failures.end(),
+            [](const ReplicationFailure& a, const ReplicationFailure& b) {
+              return a.index < b.index;
+            });
+  return failures;
+}
+
+}  // namespace
+
+std::string describe_failures(const std::vector<ReplicationFailure>& failures) {
+  std::ostringstream out;
+  out << failures.size() << " replication"
+      << (failures.size() == 1 ? "" : "s") << " failed";
+  for (const ReplicationFailure& f : failures) {
+    out << "\n  replication " << f.index << " (after " << f.attempts
+        << " attempt" << (f.attempts == 1 ? "" : "s") << "): " << f.message;
+  }
+  return out.str();
+}
+
+CompositeRunError::CompositeRunError(std::vector<ReplicationFailure> failures)
+    : std::runtime_error(describe_failures(sorted_by_index(failures))),
+      failures_(sorted_by_index(std::move(failures))) {}
+
+}  // namespace eadvfs::util

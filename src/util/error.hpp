@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file error.hpp
+/// Structured error taxonomy for the experiment execution layer.
+///
+/// Long Monte-Carlo sweeps fail in ways a single `std::runtime_error` cannot
+/// describe: several workers may fail concurrently, a replication may be
+/// retried, a checkpoint may refuse to resume against a different
+/// configuration, or a run may be interrupted and drained cleanly.  This
+/// header names those outcomes — as exception types carrying per-replication
+/// detail and as documented process exit codes — so scripts and CI can react
+/// to *which* failure happened instead of pattern-matching stderr.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace eadvfs::util {
+
+/// Process exit codes for the bench/tool binaries.  0/1/2 keep their
+/// conventional meanings; the crash-safety layer adds distinct codes so a
+/// wrapper script can tell "resume me" from "your config is wrong".
+/// Documented in docs/EXPERIMENTS.md §"Crash safety".
+namespace exit_code {
+inline constexpr int kSuccess = 0;           ///< run completed cleanly.
+inline constexpr int kFailure = 1;           ///< generic runtime/simulation error.
+inline constexpr int kUsage = 2;             ///< CLI/scenario misuse.
+inline constexpr int kPartialResults = 4;    ///< --keep-going finished with
+                                             ///< permanently-failed replications.
+inline constexpr int kManifestMismatch = 5;  ///< --resume against a checkpoint
+                                             ///< written by a different config.
+inline constexpr int kInterrupted = 6;       ///< SIGINT/SIGTERM: in-flight work
+                                             ///< drained, journal flushed.
+inline constexpr int kWatchdogTimeout = 7;   ///< a replication hung past its
+                                             ///< deadline; process aborted so
+                                             ///< --resume can recover.
+}  // namespace exit_code
+
+/// One permanently-failed replication: its index, how many attempts were
+/// made (>= 1), and the final attempt's exception message.
+struct ReplicationFailure {
+  std::size_t index = 0;
+  std::size_t attempts = 1;
+  std::string message;
+};
+
+/// Thrown when more than one replication of a parallel run failed: carries
+/// *every* observed failure (sorted by index) instead of silently dropping
+/// all but one.  The first line of what() names the lowest-index failure —
+/// deterministic for a fixed scenario — and one line per further failure
+/// follows (the set of those depends on what was in flight at cancellation).
+class CompositeRunError : public std::runtime_error {
+ public:
+  explicit CompositeRunError(std::vector<ReplicationFailure> failures);
+
+  /// All observed failures, ascending by replication index; never empty.
+  [[nodiscard]] const std::vector<ReplicationFailure>& failures() const {
+    return failures_;
+  }
+
+ private:
+  std::vector<ReplicationFailure> failures_;
+};
+
+/// Thrown when a checkpoint directory's manifest does not match the current
+/// run's configuration — resuming would silently mix results from two
+/// different experiments.  what() names the mismatching field and both
+/// values.  Maps to exit_code::kManifestMismatch at the CLI surface.
+class ManifestMismatchError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Format a failure list into the multi-line message CompositeRunError uses
+/// (exposed for the keep-going reporting path, which lists the same detail
+/// without throwing).
+[[nodiscard]] std::string describe_failures(
+    const std::vector<ReplicationFailure>& failures);
+
+}  // namespace eadvfs::util

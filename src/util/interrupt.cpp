@@ -1,0 +1,41 @@
+#include "util/interrupt.hpp"
+
+#include <csignal>
+
+namespace eadvfs::util {
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void eadvfs_interrupt_handler(int signum) {
+  // Async-signal-safety: std::atomic<bool> is lock-free on every platform
+  // this builds for; nothing else happens here.  Restoring the default
+  // disposition means a second Ctrl-C kills the process immediately instead
+  // of being swallowed while the drain is in progress.
+  g_interrupted.store(true, std::memory_order_relaxed);
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void install_interrupt_handlers() {
+  std::signal(SIGINT, &eadvfs_interrupt_handler);
+  std::signal(SIGTERM, &eadvfs_interrupt_handler);
+}
+
+const std::atomic<bool>* interrupt_flag() { return &g_interrupted; }
+
+bool interrupt_requested() {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+void request_interrupt() {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+void reset_interrupt_flag() {
+  g_interrupted.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace eadvfs::util

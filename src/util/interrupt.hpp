@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file interrupt.hpp
+/// Cooperative SIGINT/SIGTERM handling for long-running sweeps.
+///
+/// The bench binaries and `eadvfs-sim` install a handler that merely sets a
+/// flag; the parallel runner polls it between replications, stops dispatching
+/// new work, drains what is in flight (so every completed replication is
+/// journaled), and the binary exits with exit_code::kInterrupted.  A *second*
+/// signal restores the default disposition, so a stuck drain can still be
+/// killed the ordinary way.
+
+#include <atomic>
+
+namespace eadvfs::util {
+
+/// Install the flag-setting handler for SIGINT and SIGTERM.  Idempotent.
+void install_interrupt_handlers();
+
+/// The flag the handler sets; pass to ParallelConfig::cancel.
+[[nodiscard]] const std::atomic<bool>* interrupt_flag();
+
+/// True once SIGINT/SIGTERM was received (or request_interrupt() called).
+[[nodiscard]] bool interrupt_requested();
+
+/// Set the flag programmatically — what the signal handler does, exposed for
+/// tests and for embedding code that wants a graceful stop without signals.
+void request_interrupt();
+
+/// Clear the flag (tests only; real runs exit instead).
+void reset_interrupt_flag();
+
+}  // namespace eadvfs::util

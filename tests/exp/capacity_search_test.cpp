@@ -96,8 +96,9 @@ TEST(RunCapacitySearch, Deterministic) {
   const auto a = run_capacity_search(small_config());
   const auto b = run_capacity_search(small_config());
   EXPECT_EQ(a.sets_evaluated, b.sets_evaluated);
-  if (a.sets_evaluated > 0)
+  if (a.sets_evaluated > 0) {
     EXPECT_DOUBLE_EQ(a.cmin[0].mean(), b.cmin[0].mean());
+  }
 }
 
 TEST(RunCapacitySearch, Validation) {

@@ -1,0 +1,287 @@
+#include "exp/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace eadvfs::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+ManifestInfo test_info(std::size_t replications = 4) {
+  ManifestInfo info;
+  info.experiment = "checkpoint-test";
+  info.config = "checkpoint-test;seed=42;axis=1,2,3";
+  info.seed = 42;
+  info.replications = replications;
+  info.jobs = 1;
+  return info;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("eadvfs_ckpt_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] CheckpointConfig config(bool require_existing = false) const {
+    CheckpointConfig cfg;
+    cfg.dir = dir_;
+    cfg.require_existing = require_existing;
+    return cfg;
+  }
+
+  [[nodiscard]] std::string slurp(const std::string& path) const {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  std::string dir_;
+};
+
+TEST(Fingerprint, DiscriminatesAndIsStable) {
+  const std::string canon = "fig8;seed=42;caps=25,50";
+  EXPECT_EQ(fingerprint(canon), fingerprint(canon));
+  EXPECT_NE(fingerprint(canon), fingerprint("fig8;seed=43;caps=25,50"));
+  EXPECT_NE(fingerprint(""), fingerprint(" "));
+}
+
+TEST_F(CheckpointTest, FreshSessionWritesManifestAndEmptyJournal) {
+  CheckpointSession session(config(), test_info());
+  const std::string manifest = slurp(CheckpointSession::manifest_path(dir_));
+  EXPECT_NE(manifest.find("experiment = checkpoint-test"), std::string::npos);
+  EXPECT_NE(manifest.find("seed = 42"), std::string::npos);
+  EXPECT_NE(manifest.find("replications = 4"), std::string::npos);
+  EXPECT_NE(manifest.find("status = running"), std::string::npos);
+  EXPECT_TRUE(session.completed().empty());
+  EXPECT_TRUE(fs::exists(CheckpointSession::journal_path(dir_)));
+}
+
+TEST_F(CheckpointTest, JournalRoundTripsDoublesExactly) {
+  // Bit-pattern serialization: values that decimal formatting mangles must
+  // reload as the *same* IEEE-754 doubles, or resumed aggregates drift.
+  const std::vector<double> values = {
+      0.1,
+      1.0 / 3.0,
+      -0.0,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      6.02214076e23,
+  };
+  {
+    CheckpointSession session(config(), test_info());
+    session.append(0, 1, values);
+    session.append(2, 3, {42.0});
+  }
+  CheckpointSession session(config(), test_info());
+  ASSERT_EQ(session.completed().size(), 2u);
+  const JournalEntry& first = session.completed().at(0);
+  EXPECT_EQ(first.attempts, 1u);
+  ASSERT_EQ(first.values.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::signbit(first.values[i]), std::signbit(values[i]));
+    EXPECT_EQ(first.values[i], values[i]) << "value " << i;
+  }
+  EXPECT_EQ(session.completed().at(2).attempts, 3u);
+}
+
+TEST_F(CheckpointTest, TornTailLineIsDropped) {
+  {
+    CheckpointSession session(config(), test_info());
+    session.append(0, 1, {1.0});
+    session.append(1, 1, {2.0});
+  }
+  {
+    // Simulate SIGKILL mid-append: a record prefix with no trailing newline.
+    std::ofstream journal(CheckpointSession::journal_path(dir_),
+                          std::ios::app);
+    journal << "R 2 1 1 deadbeefdeadbeef";
+  }
+  CheckpointSession session(config(), test_info());
+  EXPECT_EQ(session.completed().size(), 2u);
+  EXPECT_EQ(session.completed().count(2), 0u);
+  // Rotation rewrote the journal without the torn tail.
+  const std::string rotated = slurp(CheckpointSession::journal_path(dir_));
+  EXPECT_EQ(rotated.find("deadbeef"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, CorruptCompleteRecordIsAnError) {
+  {
+    CheckpointSession session(config(), test_info());
+    session.append(0, 1, {1.0});
+  }
+  {
+    std::ofstream journal(CheckpointSession::journal_path(dir_),
+                          std::ios::app);
+    journal << "R not-an-index 1 1 3ff0000000000000\n";
+  }
+  EXPECT_THROW(CheckpointSession(config(), test_info()), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, MismatchedSeedRefusesToResume) {
+  { CheckpointSession session(config(), test_info()); }
+  ManifestInfo other = test_info();
+  other.seed = 7;
+  other.config = "checkpoint-test;seed=7;axis=1,2,3";
+  EXPECT_THROW(CheckpointSession(config(), other),
+               util::ManifestMismatchError);
+}
+
+TEST_F(CheckpointTest, MismatchedReplicationsRefusesToResume) {
+  { CheckpointSession session(config(), test_info(4)); }
+  EXPECT_THROW(CheckpointSession(config(), test_info(5)),
+               util::ManifestMismatchError);
+}
+
+TEST_F(CheckpointTest, RequireExistingRejectsEmptyDirectory) {
+  EXPECT_THROW(CheckpointSession(config(/*require_existing=*/true),
+                                 test_info()),
+               std::runtime_error);
+}
+
+TEST_F(CheckpointTest, CheckpointedMapRunsAllAndFinalizes) {
+  ParallelConfig parallel;
+  parallel.jobs = 2;
+  const auto outcome = checkpointed_map(
+      4, parallel, config(), test_info(), [](std::size_t i) {
+        return std::vector<double>{static_cast<double>(i) * 1.5};
+      });
+  ASSERT_EQ(outcome.rows.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(outcome.rows[i].size(), 1u);
+    EXPECT_DOUBLE_EQ(outcome.rows[i][0], static_cast<double>(i) * 1.5);
+  }
+  EXPECT_EQ(outcome.resumed, 0u);
+  EXPECT_EQ(outcome.report.completed, 4u);
+  EXPECT_NE(slurp(CheckpointSession::manifest_path(dir_))
+                .find("status = complete"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointTest, ResumeRunsOnlyMissingIndicesAndMatchesCleanRun) {
+  ParallelConfig parallel;
+  parallel.jobs = 1;
+  // First pass journals indices 0 and 2 only (simulating a partial run).
+  {
+    CheckpointSession session(config(), test_info());
+    session.append(0, 1, {0.5});
+    session.append(2, 1, {2.5});
+  }
+  std::vector<std::size_t> executed;
+  const auto outcome = checkpointed_map(
+      4, parallel, config(), test_info(), [&](std::size_t i) {
+        executed.push_back(i);
+        return std::vector<double>{static_cast<double>(i) + 0.5};
+      });
+  EXPECT_EQ(outcome.resumed, 2u);
+  EXPECT_EQ(executed, (std::vector<std::size_t>{1, 3}));
+  ASSERT_EQ(outcome.rows.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(outcome.rows[i][0], static_cast<double>(i) + 0.5);
+  EXPECT_EQ(outcome.report.completed, 4u);  // resumed rows count too
+
+  // Resuming a complete run is idempotent: nothing executes, rows identical.
+  std::size_t calls = 0;
+  const auto again = checkpointed_map(
+      4, parallel, config(/*require_existing=*/true), test_info(),
+      [&](std::size_t) -> std::vector<double> {
+        ++calls;
+        return {-1.0};
+      });
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(again.resumed, 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(again.rows[i][0], outcome.rows[i][0]);
+}
+
+TEST_F(CheckpointTest, KeepGoingJournalsFailuresAndWritesPartialManifest) {
+  ParallelConfig parallel;
+  parallel.jobs = 2;
+  parallel.keep_going = true;
+  const auto outcome = checkpointed_map(
+      5, parallel, config(), test_info(5), [](std::size_t i) {
+        if (i == 3) throw std::runtime_error("replication 3 is cursed");
+        return std::vector<double>{static_cast<double>(i)};
+      });
+  ASSERT_EQ(outcome.report.failures.size(), 1u);
+  EXPECT_EQ(outcome.report.failures[0].index, 3u);
+  EXPECT_TRUE(outcome.rows[3].empty());
+  EXPECT_FALSE(outcome.rows[2].empty());
+  const std::string manifest = slurp(CheckpointSession::manifest_path(dir_));
+  EXPECT_NE(manifest.find("status = partial"), std::string::npos);
+  EXPECT_NE(manifest.find("failed_replications = 3"), std::string::npos);
+
+  // Failed indices are re-run on resume; success heals the manifest.
+  const auto healed = checkpointed_map(
+      5, parallel, config(/*require_existing=*/true), test_info(5),
+      [](std::size_t i) {
+        return std::vector<double>{static_cast<double>(i)};
+      });
+  EXPECT_TRUE(healed.report.failures.empty());
+  EXPECT_FALSE(healed.rows[3].empty());
+  EXPECT_EQ(healed.resumed, 4u);
+  EXPECT_NE(slurp(CheckpointSession::manifest_path(dir_))
+                .find("status = complete"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointTest, DisabledCheckpointDegradesToPlainMap) {
+  ParallelConfig parallel;
+  parallel.jobs = 2;
+  CheckpointConfig disabled;  // empty dir
+  const auto outcome = checkpointed_map(
+      3, parallel, disabled, test_info(3), [](std::size_t i) {
+        return std::vector<double>{static_cast<double>(i)};
+      });
+  ASSERT_EQ(outcome.rows.size(), 3u);
+  EXPECT_EQ(outcome.resumed, 0u);
+  EXPECT_FALSE(fs::exists(dir_));  // nothing written anywhere
+}
+
+TEST_F(CheckpointTest, InterruptedMapLeavesResumableState) {
+  ParallelConfig parallel;
+  parallel.jobs = 1;
+  std::atomic<bool> cancel{false};
+  parallel.cancel = &cancel;
+  const auto partial = checkpointed_map(
+      6, parallel, config(), test_info(6), [&](std::size_t i) {
+        if (i == 2) cancel.store(true);
+        return std::vector<double>{static_cast<double>(i)};
+      });
+  EXPECT_TRUE(partial.report.interrupted);
+  EXPECT_LT(partial.report.completed, 6u);
+  EXPECT_NE(slurp(CheckpointSession::manifest_path(dir_))
+                .find("status = interrupted"),
+            std::string::npos);
+
+  parallel.cancel = nullptr;
+  const auto resumed = checkpointed_map(
+      6, parallel, config(/*require_existing=*/true), test_info(6),
+      [](std::size_t i) { return std::vector<double>{static_cast<double>(i)}; });
+  EXPECT_FALSE(resumed.report.interrupted);
+  EXPECT_EQ(resumed.report.completed, 6u);
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_DOUBLE_EQ(resumed.rows[i][0], static_cast<double>(i));
+}
+
+}  // namespace
+}  // namespace eadvfs::exp

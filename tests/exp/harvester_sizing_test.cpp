@@ -90,8 +90,9 @@ TEST(RunHarvesterSizing, Deterministic) {
   const auto a = run_harvester_sizing(small_config());
   const auto b = run_harvester_sizing(small_config());
   EXPECT_EQ(a.sets_evaluated, b.sets_evaluated);
-  if (a.sets_evaluated > 0)
+  if (a.sets_evaluated > 0) {
     EXPECT_DOUBLE_EQ(a.min_scale[0].mean(), b.min_scale[0].mean());
+  }
 }
 
 TEST(RunHarvesterSizing, Validation) {

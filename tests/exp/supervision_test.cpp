@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/parallel_runner.hpp"
+#include "util/error.hpp"
+
+/// Supervision-layer tests for ParallelRunner: bounded deterministic retries,
+/// keep-going accounting, composite failure reporting, cooperative
+/// cancellation, and the watchdog hook.  (The basic mapping/determinism tests
+/// live in parallel_runner_test.cpp.)
+
+namespace eadvfs::exp {
+namespace {
+
+ParallelConfig with_jobs(std::size_t jobs) {
+  ParallelConfig cfg;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+TEST(ParseRetries, MapsRetriesToAttempts) {
+  EXPECT_EQ(parse_retries(0), 1u);
+  EXPECT_EQ(parse_retries(2), 3u);
+  EXPECT_THROW((void)parse_retries(-1), std::invalid_argument);
+}
+
+TEST(ParseWatchdog, RejectsNegativeAndNonFinite) {
+  EXPECT_DOUBLE_EQ(parse_watchdog_sec(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(parse_watchdog_sec(2.5), 2.5);
+  EXPECT_THROW((void)parse_watchdog_sec(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)parse_watchdog_sec(
+                   std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(Supervision, RetrySucceedsWithSameIndexAndRecordsAttempts) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    ParallelConfig cfg = with_jobs(jobs);
+    cfg.max_attempts = 3;
+    ParallelRunner runner(cfg);
+    // Index 3 fails on its first two attempts, succeeds on the third.
+    std::vector<std::atomic<int>> calls(8);
+    const RunReport report = runner.run(8, [&](std::size_t i) {
+      const int attempt = ++calls[i];
+      if (i == 3 && attempt < 3)
+        throw std::runtime_error("transient " + std::to_string(attempt));
+    });
+    EXPECT_EQ(report.completed, 8u) << "jobs=" << jobs;
+    EXPECT_TRUE(report.failures.empty());
+    EXPECT_FALSE(report.interrupted);
+    ASSERT_EQ(report.retried.size(), 1u);
+    EXPECT_EQ(report.retried[0].first, 3u);   // which replication
+    EXPECT_EQ(report.retried[0].second, 3u);  // how many attempts
+    EXPECT_EQ(calls[3].load(), 3);
+  }
+}
+
+TEST(Supervision, RetriesAreBounded) {
+  ParallelConfig cfg = with_jobs(1);
+  cfg.max_attempts = 2;
+  ParallelRunner runner(cfg);
+  std::atomic<int> calls{0};
+  EXPECT_THROW(runner.run(1,
+                          [&](std::size_t) {
+                            ++calls;
+                            throw std::runtime_error("always fails");
+                          }),
+               std::runtime_error);
+  EXPECT_EQ(calls.load(), 2);  // exactly max_attempts, not infinite
+}
+
+TEST(Supervision, KeepGoingRecordsFailuresAndFinishesTheRest) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    ParallelConfig cfg = with_jobs(jobs);
+    cfg.keep_going = true;
+    cfg.max_attempts = 2;
+    ParallelRunner runner(cfg);
+    const RunReport report = runner.run(10, [](std::size_t i) {
+      if (i == 2 || i == 7)
+        throw std::invalid_argument("bad replication " + std::to_string(i));
+    });
+    EXPECT_EQ(report.completed, 8u) << "jobs=" << jobs;
+    EXPECT_FALSE(report.clean());
+    ASSERT_EQ(report.failures.size(), 2u);
+    EXPECT_EQ(report.failures[0].index, 2u);  // sorted ascending
+    EXPECT_EQ(report.failures[0].attempts, 2u);
+    EXPECT_NE(report.failures[0].message.find("bad replication 2"),
+              std::string::npos);
+    EXPECT_EQ(report.failures[1].index, 7u);
+  }
+}
+
+TEST(Supervision, SingleFailureRethrowsTheOriginalExceptionType) {
+  // Contract: with exactly one failure the original exception is rethrown
+  // verbatim, so callers keep catching the precise type their task threw.
+  ParallelRunner runner(with_jobs(4));
+  EXPECT_THROW(runner.run(32,
+                          [](std::size_t i) {
+                            if (i == 9) throw std::out_of_range("only 9");
+                          }),
+               std::out_of_range);
+}
+
+TEST(Supervision, ConcurrentFailuresThrowCompositeListingAll) {
+  // A start barrier guarantees all four replications are in flight before
+  // any fails, so both failures are deterministically observed.
+  ParallelConfig cfg = with_jobs(4);
+  ParallelRunner runner(cfg);
+  std::atomic<std::size_t> started{0};
+  try {
+    runner.run(4, [&](std::size_t i) {
+      ++started;
+      while (started.load() < 4) std::this_thread::yield();
+      if (i >= 2) throw std::runtime_error("fail " + std::to_string(i));
+    });
+    FAIL() << "expected CompositeRunError";
+  } catch (const util::CompositeRunError& error) {
+    ASSERT_EQ(error.failures().size(), 2u);
+    EXPECT_EQ(error.failures()[0].index, 2u);
+    EXPECT_EQ(error.failures()[1].index, 3u);
+    const std::string what = error.what();
+    EXPECT_NE(what.find("fail 2"), std::string::npos);
+    EXPECT_NE(what.find("fail 3"), std::string::npos);
+  }
+}
+
+TEST(Supervision, CancelTokenStopsDispatchAndDrains) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}}) {
+    std::atomic<bool> cancel{false};
+    ParallelConfig cfg = with_jobs(jobs);
+    cfg.cancel = &cancel;
+    ParallelRunner runner(cfg);
+    std::atomic<std::size_t> executed{0};
+    const RunReport report = runner.run(100, [&](std::size_t i) {
+      ++executed;
+      if (i == 5) cancel.store(true);
+    });
+    EXPECT_TRUE(report.interrupted) << "jobs=" << jobs;
+    EXPECT_TRUE(report.failures.empty());
+    // Everything dispatched before the flag was drained to completion;
+    // nothing new was started after it.
+    EXPECT_EQ(report.completed, executed.load());
+    EXPECT_LT(report.completed, 100u);
+  }
+}
+
+TEST(Supervision, CancelBeforeStartRunsNothing) {
+  std::atomic<bool> cancel{true};
+  ParallelConfig cfg = with_jobs(4);
+  cfg.cancel = &cancel;
+  ParallelRunner runner(cfg);
+  std::atomic<std::size_t> executed{0};
+  const RunReport report = runner.run(16, [&](std::size_t) { ++executed; });
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_EQ(executed.load(), 0u);
+  EXPECT_EQ(report.completed, 0u);
+}
+
+TEST(Supervision, WatchdogHookFiresForTheHungReplication) {
+  // The overridable abort hook (the default _Exit(7) is exercised end-to-end
+  // by the crash_resume ctest script): index 1 hangs until the hook releases
+  // it, proving detection names the right replication while others pass.
+  ParallelConfig cfg = with_jobs(2);
+  cfg.watchdog_sec = 0.05;
+  std::atomic<bool> release{false};
+  std::atomic<std::size_t> reported_index{999};
+  cfg.watchdog_abort = [&](std::size_t index, double elapsed) {
+    reported_index.store(index);
+    EXPECT_GT(elapsed, 0.0);
+    release.store(true);
+  };
+  ParallelRunner runner(cfg);
+  const RunReport report = runner.run(4, [&](std::size_t i) {
+    if (i == 1) {
+      while (!release.load()) std::this_thread::sleep_for(
+          std::chrono::milliseconds(1));
+    }
+  });
+  EXPECT_EQ(report.completed, 4u);
+  EXPECT_EQ(reported_index.load(), 1u);
+}
+
+TEST(Supervision, ParallelMapRequiresReportForKeepGoing) {
+  ParallelConfig cfg = with_jobs(1);
+  cfg.keep_going = true;
+  // keep_going without a RunReport out-param would silently poison
+  // aggregates with default-constructed rows; it is a programming error.
+  EXPECT_THROW((void)parallel_map<int>(
+                   4, cfg, [](std::size_t i) { return static_cast<int>(i); }),
+               std::logic_error);
+}
+
+TEST(Supervision, ParallelMapReportsThroughOutParam) {
+  ParallelConfig cfg = with_jobs(2);
+  cfg.keep_going = true;
+  RunReport report;
+  const auto values = parallel_map<int>(
+      6, cfg,
+      [](std::size_t i) {
+        if (i == 4) throw std::runtime_error("no value for 4");
+        return static_cast<int>(i) * 10;
+      },
+      &report);
+  ASSERT_EQ(values.size(), 6u);
+  EXPECT_EQ(values[0], 0);
+  EXPECT_EQ(values[3], 30);
+  EXPECT_EQ(values[4], 0);  // default-constructed; report says why
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].index, 4u);
+}
+
+}  // namespace
+}  // namespace eadvfs::exp

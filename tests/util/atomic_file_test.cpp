@@ -1,0 +1,122 @@
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace eadvfs::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("eadvfs_atomic_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  [[nodiscard]] std::string slurp(const std::string& p) const {
+    std::ifstream in(p);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+  /// Count of directory entries — used to prove no temp files are left over.
+  [[nodiscard]] std::size_t entries() const {
+    std::size_t n = 0;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      (void)entry;
+      ++n;
+    }
+    return n;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, WritesNewFile) {
+  write_file_atomic(path("out.csv"), "a,b\n1,2\n");
+  EXPECT_EQ(slurp(path("out.csv")), "a,b\n1,2\n");
+  EXPECT_EQ(entries(), 1u);  // no stray temp file
+}
+
+TEST_F(AtomicFileTest, ReplacesExistingFile) {
+  write_file_atomic(path("out.csv"), "old\n");
+  write_file_atomic(path("out.csv"), "new contents\n");
+  EXPECT_EQ(slurp(path("out.csv")), "new contents\n");
+  EXPECT_EQ(entries(), 1u);
+}
+
+TEST_F(AtomicFileTest, StreamWriterOverload) {
+  write_file_atomic(path("out.txt"), [](std::ostream& out) {
+    out << "line " << 1 << "\n" << "line " << 2 << "\n";
+  });
+  EXPECT_EQ(slurp(path("out.txt")), "line 1\nline 2\n");
+}
+
+TEST_F(AtomicFileTest, ThrowingWriterLeavesTargetUntouched) {
+  write_file_atomic(path("out.txt"), "precious\n");
+  EXPECT_THROW(write_file_atomic(path("out.txt"),
+                                 [](std::ostream& out) {
+                                   out << "partial";
+                                   throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The old contents survive and the temp file was cleaned up.
+  EXPECT_EQ(slurp(path("out.txt")), "precious\n");
+  EXPECT_EQ(entries(), 1u);
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryThrows) {
+  EXPECT_THROW(
+      write_file_atomic((dir_ / "missing" / "out.txt").string(), "x\n"),
+      std::runtime_error);
+}
+
+TEST_F(AtomicFileTest, AppendFileAppendsRecords) {
+  {
+    AppendFile journal(path("journal.txt"));
+    ASSERT_TRUE(journal.is_open());
+    journal.append("header\n");
+    journal.append("record 1\n");
+  }
+  {
+    // Reopening appends after the existing records, never truncates.
+    AppendFile journal(path("journal.txt"));
+    journal.append("record 2\n");
+  }
+  EXPECT_EQ(slurp(path("journal.txt")), "header\nrecord 1\nrecord 2\n");
+}
+
+TEST_F(AtomicFileTest, AppendFileMoveTransfersOwnership) {
+  AppendFile a(path("journal.txt"));
+  AppendFile b(std::move(a));
+  EXPECT_FALSE(a.is_open());  // NOLINT(bugprone-use-after-move): moved-from probe
+  EXPECT_TRUE(b.is_open());
+  b.append("via b\n");
+  b.close();
+  EXPECT_FALSE(b.is_open());
+  EXPECT_EQ(slurp(path("journal.txt")), "via b\n");
+}
+
+TEST_F(AtomicFileTest, EnsureDirectoryCreatesNestedPath) {
+  const std::string nested = (dir_ / "a" / "b" / "c").string();
+  ensure_directory(nested);
+  EXPECT_TRUE(fs::is_directory(nested));
+  ensure_directory(nested);  // idempotent
+}
+
+}  // namespace
+}  // namespace eadvfs::util

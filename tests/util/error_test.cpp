@@ -1,0 +1,65 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace eadvfs::util {
+namespace {
+
+TEST(ExitCodes, AreDistinctAndDocumentedValues) {
+  EXPECT_EQ(exit_code::kSuccess, 0);
+  EXPECT_EQ(exit_code::kFailure, 1);
+  EXPECT_EQ(exit_code::kUsage, 2);
+  EXPECT_EQ(exit_code::kPartialResults, 4);
+  EXPECT_EQ(exit_code::kManifestMismatch, 5);
+  EXPECT_EQ(exit_code::kInterrupted, 6);
+  EXPECT_EQ(exit_code::kWatchdogTimeout, 7);
+}
+
+TEST(DescribeFailures, ListsEveryFailureWithAttempts) {
+  const std::string text = describe_failures({
+      {3, 1, "boom"},
+      {11, 4, "kaput"},
+  });
+  EXPECT_NE(text.find("2 replications failed"), std::string::npos);
+  EXPECT_NE(text.find("replication 3"), std::string::npos);
+  EXPECT_NE(text.find("boom"), std::string::npos);
+  EXPECT_NE(text.find("replication 11"), std::string::npos);
+  EXPECT_NE(text.find("4 attempts"), std::string::npos);
+  EXPECT_NE(text.find("kaput"), std::string::npos);
+}
+
+TEST(CompositeRunError, SortsFailuresByIndex) {
+  const CompositeRunError error({{9, 1, "late"}, {2, 2, "early"}, {5, 1, "mid"}});
+  ASSERT_EQ(error.failures().size(), 3u);
+  EXPECT_EQ(error.failures()[0].index, 2u);
+  EXPECT_EQ(error.failures()[1].index, 5u);
+  EXPECT_EQ(error.failures()[2].index, 9u);
+}
+
+TEST(CompositeRunError, MessageNamesLowestIndexFirst) {
+  const CompositeRunError error({{7, 1, "second"}, {1, 1, "first"}});
+  const std::string what = error.what();
+  const auto first_pos = what.find("replication 1");
+  const auto second_pos = what.find("replication 7");
+  ASSERT_NE(first_pos, std::string::npos);
+  ASSERT_NE(second_pos, std::string::npos);
+  EXPECT_LT(first_pos, second_pos);
+}
+
+TEST(CompositeRunError, IsACatchableRuntimeError) {
+  try {
+    throw CompositeRunError({{0, 1, "x"}});
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("failed"), std::string::npos);
+  }
+}
+
+TEST(ManifestMismatchError, CarriesItsMessage) {
+  const ManifestMismatchError error("seed differs");
+  EXPECT_STREQ(error.what(), "seed differs");
+}
+
+}  // namespace
+}  // namespace eadvfs::util

@@ -1,0 +1,45 @@
+#include "util/interrupt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+namespace eadvfs::util {
+namespace {
+
+// The flag is process-global, so every test restores it on the way out.
+class InterruptTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_interrupt_flag(); }
+  void TearDown() override { reset_interrupt_flag(); }
+};
+
+TEST_F(InterruptTest, FlagStartsClear) {
+  EXPECT_FALSE(interrupt_requested());
+  ASSERT_NE(interrupt_flag(), nullptr);
+  EXPECT_FALSE(interrupt_flag()->load());
+}
+
+TEST_F(InterruptTest, RequestInterruptSetsTheSharedFlag) {
+  request_interrupt();
+  EXPECT_TRUE(interrupt_requested());
+  EXPECT_TRUE(interrupt_flag()->load());
+  reset_interrupt_flag();
+  EXPECT_FALSE(interrupt_requested());
+}
+
+TEST_F(InterruptTest, SigintSetsFlagWithoutKillingTheProcess) {
+  install_interrupt_handlers();
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_TRUE(interrupt_requested());
+  // The handler re-arms to SIG_DFL for the *second* signal; re-install so
+  // later tests (and the next raise below) stay cooperative.
+  reset_interrupt_flag();
+  install_interrupt_handlers();
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(interrupt_requested());
+  install_interrupt_handlers();
+}
+
+}  // namespace
+}  // namespace eadvfs::util

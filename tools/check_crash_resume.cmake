@@ -1,0 +1,83 @@
+# ctest helper: the crash-safety acceptance for the checkpoint subsystem
+# (docs/EXPERIMENTS.md, "Crash safety, resume, and supervision").  A sweep that
+# is SIGKILLed mid-run and then resumed with `--resume` must emit a CSV that is
+# byte-identical to an uninterrupted run, at any worker count; resuming a
+# complete run is idempotent; resuming under a different configuration is
+# refused with exit code 5.  Run as
+#   cmake -DBENCH=<fig8_miss_rate_low_u> -DWORK_DIR=<dir> -P <this file>
+
+set(root "${WORK_DIR}/crash_resume")
+file(REMOVE_RECURSE "${root}")
+set(common --sets 10 --capacities 25,50 --horizon 1500 --quiet)
+
+# Each run gets its own EADVFS_OUT_DIR because the bench writes a fixed CSV
+# name (fig8_miss_rate.csv) into it.
+function(run_fig8 out_dir rc_var)
+  file(MAKE_DIRECTORY "${out_dir}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env "EADVFS_OUT_DIR=${out_dir}"
+            "${BENCH}" ${common} ${ARGN}
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  set(${rc_var} "${rc}" PARENT_SCOPE)
+endfunction()
+
+function(expect_identical label a b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${a}" "${b}"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "${label}: ${a} differs from ${b}")
+  endif()
+endfunction()
+
+# 1. Uninterrupted baselines at two worker counts (also re-asserts the --jobs
+#    determinism contract for this bench).
+run_fig8("${root}/baseline_j1" rc --jobs 1)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "uninterrupted --jobs 1 run failed (${rc})")
+endif()
+run_fig8("${root}/baseline_j8" rc --jobs 8)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "uninterrupted --jobs 8 run failed (${rc})")
+endif()
+set(baseline "${root}/baseline_j1/fig8_miss_rate.csv")
+expect_identical("jobs determinism" "${baseline}"
+                 "${root}/baseline_j8/fig8_miss_rate.csv")
+
+# 2. Checkpointed run killed mid-sweep: --crash-after raises a real SIGKILL
+#    after 4 journal appends, so the process must die abnormally having left a
+#    manifest and a partially filled journal behind.
+set(ckpt "${root}/ckpt")
+run_fig8("${root}/crashed" rc --jobs 1 --checkpoint "${ckpt}" --crash-after 4)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--crash-after 4 run exited 0; expected a SIGKILL death")
+endif()
+if(NOT EXISTS "${ckpt}/manifest.txt" OR NOT EXISTS "${ckpt}/journal.txt")
+  message(FATAL_ERROR "killed run left no manifest/journal in ${ckpt}")
+endif()
+
+# 3. Resume at a different worker count: must succeed and reproduce the
+#    uninterrupted CSV byte for byte.
+run_fig8("${root}/resumed_j8" rc --jobs 8 --resume "${ckpt}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--resume after SIGKILL failed (${rc})")
+endif()
+expect_identical("crash+resume (--jobs 8)" "${baseline}"
+                 "${root}/resumed_j8/fig8_miss_rate.csv")
+
+# 4. Resuming the now-complete run is idempotent: nothing re-runs, and the
+#    replayed aggregate is still byte-identical.
+run_fig8("${root}/resumed_again" rc --jobs 1 --resume "${ckpt}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "idempotent re-resume failed (${rc})")
+endif()
+expect_identical("idempotent resume (--jobs 1)" "${baseline}"
+                 "${root}/resumed_again/fig8_miss_rate.csv")
+
+# 5. Resuming under a different configuration is refused: the manifest
+#    fingerprint no longer matches, exit code 5.
+run_fig8("${root}/mismatch" rc --jobs 1 --resume "${ckpt}" --seed 43)
+if(NOT rc EQUAL 5)
+  message(FATAL_ERROR
+          "--resume with a different seed exited ${rc}; expected 5 "
+          "(manifest mismatch)")
+endif()

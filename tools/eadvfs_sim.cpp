@@ -40,9 +40,17 @@
 /// harness), regenerates the workload and the stochastic source for each,
 /// runs them on the --jobs worker pool, and reports aggregate statistics.
 /// Results are identical for every --jobs value.
+///
+/// Monte-Carlo runs are crash-safe: `--checkpoint <dir>` journals every
+/// finished replication durably, `--resume <dir>` re-runs only the missing
+/// ones (manifest-verified; byte-identical aggregates), `--retries` /
+/// `--timeout` supervise flaky or hung replications, and `--keep-going`
+/// aggregates around permanent failures.  SIGINT/SIGTERM drain in-flight
+/// replications, flush the journal, and exit with code 6.  Exit codes:
+/// 0 ok, 1 error, 2 usage, 4 partial results, 5 manifest mismatch,
+/// 6 interrupted, 7 watchdog timeout (see docs/EXPERIMENTS.md).
 
 #include <algorithm>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -56,6 +64,7 @@
 #include "energy/solar_source.hpp"
 #include "energy/trace_source.hpp"
 #include "energy/two_mode_source.hpp"
+#include "exp/checkpoint.hpp"
 #include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "exp/setup.hpp"
@@ -67,8 +76,11 @@
 #include "sim/trace.hpp"
 #include "task/generator.hpp"
 #include "util/args.hpp"
+#include "util/atomic_file.hpp"
 #include "util/csv.hpp"
+#include "util/error.hpp"
 #include "util/ini.hpp"
+#include "util/interrupt.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -284,6 +296,23 @@ int main(int argc, char** argv) {
   args.add_option("jobs", std::to_string(eadvfs::exp::hardware_jobs()),
                   "worker threads for replications (>= 1; results are "
                   "identical for any value)");
+  args.add_option("retries", "0",
+                  "Monte-Carlo mode: deterministic re-runs of a failed "
+                  "replication (same sub-seed)");
+  args.add_option("timeout", "0",
+                  "Monte-Carlo mode: per-replication watchdog deadline in "
+                  "seconds (0 = off); a hung replication exits with code 7");
+  args.add_flag("keep-going",
+                "Monte-Carlo mode: record permanently failed replications "
+                "and aggregate the rest (exit code 4)");
+  args.add_option("checkpoint", "",
+                  "Monte-Carlo mode: directory for the run manifest + "
+                  "replication journal (crash-safe, resumable)");
+  args.add_option("resume", "",
+                  "Monte-Carlo mode: resume an interrupted run from its "
+                  "checkpoint directory (manifest must match, else exit 5)");
+  args.add_option("crash-after", "0",
+                  "TESTING ONLY: raise SIGKILL after N journal appends");
   args.add_option("trace-out", "", "write storage-level CSV here");
   args.add_option("trace-interval", "10", "storage trace sample interval");
   args.add_option("schedule-out", "", "write execution-slice CSV here");
@@ -361,18 +390,57 @@ int main(int argc, char** argv) {
       overhead.time = opt.real("switch-time");
       overhead.energy = opt.real("switch-energy");
 
-      struct RepRecord {
-        double miss_rate = 0.0;
-        double consumed = 0.0;
-        double work_completed = 0.0;
-        double brownout_time = 0.0;
-      };
       exp::ParallelConfig parallel;
       parallel.jobs = exp::parse_jobs(opt.integer("jobs"));
-      const auto records = exp::parallel_map<RepRecord>(
+      parallel.max_attempts = exp::parse_retries(args.integer("retries"));
+      parallel.watchdog_sec = exp::parse_watchdog_sec(args.real("timeout"));
+      parallel.keep_going = args.flag("keep-going");
+      util::install_interrupt_handlers();
+      parallel.cancel = util::interrupt_flag();
+
+      exp::CheckpointConfig checkpoint;
+      const std::string resume_dir = args.str("resume");
+      checkpoint.dir = resume_dir.empty() ? args.str("checkpoint") : resume_dir;
+      checkpoint.require_existing = !resume_dir.empty();
+      if (args.integer("crash-after") < 0)
+        throw std::invalid_argument("--crash-after must be >= 0");
+      checkpoint.crash_after_appends =
+          static_cast<std::size_t>(args.integer("crash-after"));
+
+      // Canonical run identity for the manifest fingerprint: every option
+      // that changes results.  --jobs and the supervision knobs are excluded
+      // by contract — they only change how the run executes, never what it
+      // computes.
+      std::ostringstream canon;
+      canon.precision(17);
+      canon << "eadvfs-sim-mc;seed=" << seed << ";reps=" << n_reps
+            << ";scheduler=" << opt.str("scheduler")
+            << ";predictor=" << opt.str("predictor")
+            << ";source=" << opt.str("source")
+            << ";tasks-csv=" << opt.str("tasks-csv")
+            << ";u=" << opt.real("utilization")
+            << ";tasks=" << opt.integer("tasks")
+            << ";capacity=" << storage_cfg.capacity
+            << ";initial=" << storage_cfg.initial
+            << ";efficiency=" << storage_cfg.charge_efficiency
+            << ";leakage=" << storage_cfg.leakage
+            << ";horizon=" << cfg.horizon << ";bcet=" << opt.real("bcet")
+            << ";overhead=" << overhead.time << "," << overhead.energy
+            << ";idle=" << opt.real("idle-power")
+            << ";miss-policy=" << miss_policy << ";depletion=" << depletion
+            << ";fault=" << fault_profile.describe();
+      exp::ManifestInfo manifest;
+      manifest.experiment = "eadvfs-sim-mc";
+      manifest.config = canon.str();
+      manifest.seed = seed;
+      manifest.replications = n_reps;
+      manifest.jobs = parallel.jobs;
+
+      const auto outcome = exp::checkpointed_map(
           n_reps,
           exp::with_default_progress(parallel, "monte-carlo", 20),
-          [&](std::size_t rep) {
+          checkpoint, manifest,
+          [&](std::size_t rep) -> std::vector<double> {
             task::TaskSet workload;
             if (fixed) {
               workload = fixed_workload;
@@ -418,20 +486,37 @@ int main(int argc, char** argv) {
             if (fault_schedule.has_value())
               engine.set_fault_schedule(&*fault_schedule);
             const sim::SimulationResult r = engine.run();
-            RepRecord record;
-            record.miss_rate = r.miss_rate();
-            record.consumed = r.consumed;
-            record.work_completed = r.work_completed;
-            record.brownout_time = r.brownout_time;
-            return record;
+            return {r.miss_rate(), r.consumed, r.work_completed,
+                    r.brownout_time};
           });
 
+      if (outcome.resumed > 0)
+        std::cout << "resumed from checkpoint: " << outcome.resumed
+                  << " replication(s) replayed from the journal\n";
+      for (const auto& [index, attempts] : outcome.report.retried)
+        std::cout << "note: replication " << index << " succeeded after "
+                  << attempts << " attempts\n";
+      if (outcome.report.interrupted) {
+        std::cerr << "interrupted: " << outcome.report.completed
+                  << " replication(s) completed; "
+                  << (checkpoint.enabled()
+                          ? "resume with '--resume " + checkpoint.dir + "'"
+                          : "use '--checkpoint <dir>' next time to make the "
+                            "run resumable")
+                  << "\n";
+        return util::exit_code::kInterrupted;
+      }
+
+      // Replay in index order: identical aggregates at any --jobs, resumed
+      // or not.  Failed indices (keep-going) have empty rows and are
+      // excluded — loudly, below.
       util::RunningStats miss, consumed, work, brownout;
-      for (const RepRecord& record : records) {
-        miss.add(record.miss_rate);
-        consumed.add(record.consumed);
-        work.add(record.work_completed);
-        brownout.add(record.brownout_time);
+      for (const auto& row : outcome.rows) {
+        if (row.empty()) continue;
+        miss.add(row[0]);
+        consumed.add(row[1]);
+        work.add(row[2]);
+        brownout.add(row[3]);
       }
       std::cout << "monte-carlo: " << n_reps << " replications, scheduler "
                 << opt.str("scheduler") << ", source " << opt.str("source")
@@ -445,7 +530,18 @@ int main(int argc, char** argv) {
                    exp::fmt(work.min(), 1), exp::fmt(work.max(), 1)});
       out.add_row({"brownout time", exp::fmt(brownout.mean(), 1),
                    exp::fmt(brownout.min(), 1), exp::fmt(brownout.max(), 1)});
+      if (!outcome.report.failures.empty())
+        out.add_row({"failed_replications",
+                     std::to_string(outcome.report.failures.size()) + " of " +
+                         std::to_string(n_reps),
+                     "", ""});
       std::cout << out.render();
+      if (!outcome.report.failures.empty()) {
+        std::cerr << util::describe_failures(outcome.report.failures)
+                  << "\npartial results: the failed replications above are "
+                     "excluded from every aggregate\n";
+        return util::exit_code::kPartialResults;
+      }
       return 0;
     }
 
@@ -542,31 +638,39 @@ int main(int argc, char** argv) {
     if (args.flag("audit")) std::cout << "audit: clean\n";
 
     if (!opt.str("trace-out").empty()) {
-      std::ofstream file(opt.str("trace-out"));
-      util::CsvWriter csv(file);
-      csv.write_row({std::string("time"), std::string("level")});
-      for (std::size_t i = 0; i < energy_trace.times().size(); ++i)
-        csv.write_row(std::vector<double>{energy_trace.times()[i],
-                                          energy_trace.levels()[i]});
+      // Atomic (write-temp-then-rename): a crash or interrupt mid-write
+      // never leaves a torn CSV where a complete trace was expected.
+      util::write_file_atomic(opt.str("trace-out"), [&](std::ostream& stream) {
+        util::CsvWriter csv(stream);
+        csv.write_row({std::string("time"), std::string("level")});
+        for (std::size_t i = 0; i < energy_trace.times().size(); ++i)
+          csv.write_row(std::vector<double>{energy_trace.times()[i],
+                                            energy_trace.levels()[i]});
+      });
       std::cout << "storage trace -> " << opt.str("trace-out") << "\n";
     }
     if (!opt.str("schedule-out").empty()) {
-      std::ofstream file(opt.str("schedule-out"));
-      util::CsvWriter csv(file);
-      csv.write_row({std::string("start"), std::string("end"),
-                     std::string("job"), std::string("op_index")});
-      for (const auto& slice : schedule.slices()) {
-        csv.cell(slice.start).cell(slice.end)
-            .cell(static_cast<long long>(slice.job))
-            .cell(static_cast<long long>(slice.op_index));
-        csv.end_row();
-      }
+      util::write_file_atomic(
+          opt.str("schedule-out"), [&](std::ostream& stream) {
+            util::CsvWriter csv(stream);
+            csv.write_row({std::string("start"), std::string("end"),
+                           std::string("job"), std::string("op_index")});
+            for (const auto& slice : schedule.slices()) {
+              csv.cell(slice.start).cell(slice.end)
+                  .cell(static_cast<long long>(slice.job))
+                  .cell(static_cast<long long>(slice.op_index));
+              csv.end_row();
+            }
+          });
       std::cout << "schedule -> " << opt.str("schedule-out") << "\n";
     }
     return 0;
   } catch (const sim::AuditError& e) {
     std::cerr << "AUDIT FAILED\n" << e.what() << "\n";
     return 1;
+  } catch (const util::ManifestMismatchError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return util::exit_code::kManifestMismatch;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
