@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
       "ablation: deadline miss rate vs harvester blackout duty cycle");
   bench::add_common_options(args, /*default_sets=*/60);
   bench::add_crash_safety_options(args);
+  bench::add_observability_options(args);
   args.add_option("capacity", "75", "storage capacity");
   args.add_option("utilization", "0.6", "target task-set utilization");
   args.add_option("duties", "0,0.05,0.1,0.2,0.3,0.4",
@@ -80,6 +81,9 @@ int main(int argc, char** argv) {
     cfg.experiment_id = "ablation_fault_resilience/duty_" + std::to_string(d);
     bench::apply_crash_safety(args, cfg.parallel, cfg.checkpoint);
     if (cfg.checkpoint.enabled()) cfg.checkpoint.dir += "/duty_" + std::to_string(d);
+    const std::string slug = "duty" + exp::fmt(duty, 2);
+    cfg.metrics_out = bench::variant_path(args.str("metrics-out"), slug);
+    cfg.decisions_out = bench::variant_path(args.str("decisions-out"), slug);
 
     exp::MissRateSweepResult result;
     try {
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
       std::cerr << "error: " << error.what() << "\n";
       return util::exit_code::kManifestMismatch;
     }
+    bench::report_observability(cfg.metrics_out, cfg.decisions_out);
     const int outcome = bench::report_run_outcome(
         result.report, result.resumed, bench::resume_hint(cfg.checkpoint));
     if (outcome == util::exit_code::kInterrupted) return outcome;

@@ -16,19 +16,21 @@ int main(int argc, char** argv) {
 
   util::ArgParser args("ablation: frequency-table granularity (fig8 setup)");
   bench::add_common_options(args, /*default_sets=*/80);
+  bench::add_observability_options(args);
   args.add_option("utilization", "0.4", "target utilization");
   if (!bench::parse_cli(args, argc, argv)) return 0;
   bench::apply_logging(args);
 
   struct Arm {
     std::string label;
+    std::string slug;  // filename-safe label for per-arm artifacts
     proc::FrequencyTable table;
   };
   const std::vector<Arm> arms = {
-      {"2-point (paper s2 ex.)", proc::FrequencyTable::two_speed(3.2)},
-      {"5-point XScale (paper)", proc::FrequencyTable::xscale()},
-      {"10-point cubic", proc::FrequencyTable::cubic(10, 3.2)},
-      {"50-point cubic", proc::FrequencyTable::cubic(50, 3.2)},
+      {"2-point (paper s2 ex.)", "2pt", proc::FrequencyTable::two_speed(3.2)},
+      {"5-point XScale (paper)", "5pt-xscale", proc::FrequencyTable::xscale()},
+      {"10-point cubic", "10pt-cubic", proc::FrequencyTable::cubic(10, 3.2)},
+      {"50-point cubic", "50pt-cubic", proc::FrequencyTable::cubic(50, 3.2)},
   };
 
   exp::print_banner(std::cout, "Ablation — DVFS granularity",
@@ -51,8 +53,12 @@ int main(int argc, char** argv) {
     cfg.solar.horizon = cfg.sim.horizon;
     cfg.table = arm.table;
     cfg.parallel = bench::parallel_from_args(args);
+    cfg.metrics_out = bench::variant_path(args.str("metrics-out"), arm.slug);
+    cfg.decisions_out =
+        bench::variant_path(args.str("decisions-out"), arm.slug);
 
     const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
+    bench::report_observability(cfg.metrics_out, cfg.decisions_out);
     for (double capacity : cfg.capacities) {
       const double lsa = result.cell("lsa", capacity).miss_rate.mean();
       const double ea = result.cell("ea-dvfs", capacity).miss_rate.mean();

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
 
   util::ArgParser args("ablation: idle power draw");
   bench::add_common_options(args, /*default_sets=*/60);
+  bench::add_observability_options(args);
   args.add_option("utilization", "0.4", "target utilization");
   args.add_option("capacity", "100", "storage capacity for this sweep");
   if (!bench::parse_cli(args, argc, argv)) return 0;
@@ -50,6 +51,40 @@ int main(int argc, char** argv) {
   exp::TextTable out({"idle power", "LSA miss", "EA-DVFS miss", "reduction",
                       "EA-DVFS brownout"});
   for (Power idle : idle_powers) {
+    // One replication's runs, shared between the worker pool below and the
+    // trace replication: exp::RunOptions carries the idle-power knob that
+    // run_once() does not expose.
+    const auto run_cell = [&](std::size_t rep, const char* scheduler,
+                              const task::TaskSet& set,
+                              const std::shared_ptr<const energy::EnergySource>&
+                                  source,
+                              obs::RunObservability* sink) {
+      exp::RunOptions run;
+      run.config = sim_cfg;
+      run.source = source;
+      run.tasks = &set;
+      run.storage.capacity = args.real("capacity");
+      run.table = table;
+      run.scheduler = scheduler;
+      run.predictor = args.str("predictor");
+      run.idle_power = idle;
+      run.execution.seed = seeds[rep] ^ 0xE5ECULL;
+      run.observability = sink;
+      run.per_task_metrics = false;
+      return exp::run_with_options(run);
+    };
+    const auto rep_workload = [&](std::size_t rep) {
+      util::Xoshiro256ss rng(seeds[rep]);
+      const task::TaskSetGenerator generator(gen_cfg);
+      return generator.generate(rng);
+    };
+    const auto rep_source = [&](std::size_t rep) {
+      energy::SolarSourceConfig solar;
+      solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
+      solar.horizon = sim_cfg.horizon;
+      return std::make_shared<const energy::SolarSource>(solar);
+    };
+
     struct RepRecord {
       double lsa_miss = 0.0;
       double ea_miss = 0.0;
@@ -60,26 +95,11 @@ int main(int argc, char** argv) {
         exp::with_default_progress(bench::parallel_from_args(args),
                                    "idle-power ablation", 20),
         [&](std::size_t rep) {
-          util::Xoshiro256ss rng(seeds[rep]);
-          const task::TaskSetGenerator generator(gen_cfg);
-          const task::TaskSet set = generator.generate(rng);
-          energy::SolarSourceConfig solar;
-          solar.seed = seeds[rep] ^ 0x5eed5eed5eed5eedULL;
-          solar.horizon = sim_cfg.horizon;
-          const auto source = std::make_shared<const energy::SolarSource>(solar);
+          const task::TaskSet set = rep_workload(rep);
+          const auto source = rep_source(rep);
           RepRecord record;
           for (const char* name : {"lsa", "ea-dvfs"}) {
-            // run_once builds the processor internally without idle power, so
-            // assemble the pieces directly here.
-            energy::EnergyStorage storage =
-                energy::EnergyStorage::ideal(args.real("capacity"));
-            proc::Processor processor(table, {}, idle);
-            auto predictor = exp::make_predictor(args.str("predictor"), source);
-            const auto scheduler = sched::make_scheduler(name);
-            task::JobReleaser releaser(set, sim_cfg.horizon);
-            sim::Engine engine(sim_cfg, *source, storage, processor, *predictor,
-                               *scheduler, releaser);
-            const auto result = engine.run();
+            const auto result = run_cell(rep, name, set, source, nullptr);
             if (std::string(name) == "lsa") {
               record.lsa_miss = result.miss_rate();
             } else {
@@ -89,6 +109,22 @@ int main(int argc, char** argv) {
           }
           return record;
         });
+
+    const std::string slug = "idle" + exp::fmt(idle, 3);
+    const std::string metrics_out =
+        bench::variant_path(args.str("metrics-out"), slug);
+    const std::string decisions_out =
+        bench::variant_path(args.str("decisions-out"), slug);
+    if ((!metrics_out.empty() || !decisions_out.empty()) && n_sets > 0) {
+      obs::RunObservability sink;
+      const task::TaskSet set = rep_workload(0);
+      const auto source = rep_source(0);
+      for (const char* name : {"lsa", "ea-dvfs"})
+        (void)run_cell(0, name, set, source, &sink);
+      if (!metrics_out.empty()) sink.export_metrics(metrics_out);
+      if (!decisions_out.empty()) sink.export_decisions(decisions_out);
+      bench::report_observability(metrics_out, decisions_out);
+    }
 
     util::RunningStats lsa_miss, ea_miss, ea_brownout;
     for (const RepRecord& record : records) {

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
 
   util::ArgParser args("ablation: predictor quality (fig8 setup, U=0.4)");
   bench::add_common_options(args, /*default_sets=*/80);
+  bench::add_observability_options(args);
   args.add_option("utilization", "0.4", "target utilization");
   if (!bench::parse_cli(args, argc, argv)) return 0;
   bench::apply_logging(args);
@@ -43,8 +44,12 @@ int main(int argc, char** argv) {
     cfg.fault = bench::fault_from_args(args);
     cfg.solar.horizon = cfg.sim.horizon;
     cfg.parallel = bench::parallel_from_args(args);
+    cfg.metrics_out = bench::variant_path(args.str("metrics-out"), predictor);
+    cfg.decisions_out =
+        bench::variant_path(args.str("decisions-out"), predictor);
 
     const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
+    bench::report_observability(cfg.metrics_out, cfg.decisions_out);
     for (double capacity : cfg.capacities) {
       const double lsa = result.cell("lsa", capacity).miss_rate.mean();
       const double ea = result.cell("ea-dvfs", capacity).miss_rate.mean();

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
 
   util::ArgParser args("ablation: actual execution times (slack reclamation)");
   bench::add_common_options(args, /*default_sets=*/80);
+  bench::add_observability_options(args);
   args.add_option("utilization", "0.6", "target (WCET-based) utilization");
   args.add_option("capacity", "60", "storage capacity for this sweep");
   if (!bench::parse_cli(args, argc, argv)) return 0;
@@ -49,8 +50,12 @@ int main(int argc, char** argv) {
     cfg.solar.horizon = cfg.sim.horizon;
     cfg.execution.bcet_fraction = fraction;
     cfg.parallel = bench::parallel_from_args(args);
+    const std::string slug = "bcet" + exp::fmt(fraction, 2);
+    cfg.metrics_out = bench::variant_path(args.str("metrics-out"), slug);
+    cfg.decisions_out = bench::variant_path(args.str("decisions-out"), slug);
 
     const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
+    bench::report_observability(cfg.metrics_out, cfg.decisions_out);
     const double lsa = result.cell("lsa", cfg.capacities[0]).miss_rate.mean();
     const double ea = result.cell("ea-dvfs", cfg.capacities[0]).miss_rate.mean();
     table.add_row(

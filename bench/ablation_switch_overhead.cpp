@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
 
   util::ArgParser args("ablation: DVFS switch overhead (fig8 setup)");
   bench::add_common_options(args, /*default_sets=*/80);
+  bench::add_observability_options(args);
   args.add_option("utilization", "0.4", "target utilization");
   args.add_option("capacity", "75", "storage capacity for this sweep");
   if (!bench::parse_cli(args, argc, argv)) return 0;
@@ -23,14 +24,15 @@ int main(int argc, char** argv) {
 
   struct Arm {
     std::string label;
+    std::string slug;  // filename-safe label for per-arm artifacts
     proc::SwitchOverhead overhead;
   };
   const std::vector<Arm> arms = {
-      {"none (paper)", {0.0, 0.0}},
-      {"0.01t / 0.01e", {0.01, 0.01}},
-      {"0.05t / 0.10e", {0.05, 0.10}},
-      {"0.20t / 0.50e", {0.20, 0.50}},
-      {"0.50t / 1.00e", {0.50, 1.00}},
+      {"none (paper)", "none", {0.0, 0.0}},
+      {"0.01t / 0.01e", "t0.01-e0.01", {0.01, 0.01}},
+      {"0.05t / 0.10e", "t0.05-e0.10", {0.05, 0.10}},
+      {"0.20t / 0.50e", "t0.20-e0.50", {0.20, 0.50}},
+      {"0.50t / 1.00e", "t0.50-e1.00", {0.50, 1.00}},
   };
 
   exp::print_banner(std::cout, "Ablation — DVFS switch overhead",
@@ -55,8 +57,12 @@ int main(int argc, char** argv) {
     cfg.solar.horizon = cfg.sim.horizon;
     cfg.overhead = arm.overhead;
     cfg.parallel = bench::parallel_from_args(args);
+    cfg.metrics_out = bench::variant_path(args.str("metrics-out"), arm.slug);
+    cfg.decisions_out =
+        bench::variant_path(args.str("decisions-out"), arm.slug);
 
     const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
+    bench::report_observability(cfg.metrics_out, cfg.decisions_out);
     const auto& lsa = result.cell("lsa", cfg.capacities[0]);
     const auto& ea = result.cell("ea-dvfs", cfg.capacities[0]);
     table.add_row({arm.label, exp::fmt(lsa.miss_rate.mean(), 4),

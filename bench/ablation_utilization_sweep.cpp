@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   util::ArgParser args("ablation: utilization sweep at fixed capacity");
   bench::add_common_options(args, /*default_sets=*/80);
+  bench::add_observability_options(args);
   args.add_option("capacity", "75", "storage capacity");
   args.add_option("utilizations", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9",
                   "utilization grid");
@@ -47,8 +48,12 @@ int main(int argc, char** argv) {
     cfg.fault = bench::fault_from_args(args);
     cfg.solar.horizon = cfg.sim.horizon;
     cfg.parallel = bench::parallel_from_args(args);
+    const std::string slug = "u" + exp::fmt(u, 1);
+    cfg.metrics_out = bench::variant_path(args.str("metrics-out"), slug);
+    cfg.decisions_out = bench::variant_path(args.str("decisions-out"), slug);
 
     const exp::MissRateSweepResult result = exp::run_miss_rate_sweep(cfg);
+    bench::report_observability(cfg.metrics_out, cfg.decisions_out);
     const double capacity = cfg.capacities[0];
     const double edf = result.cell("edf", capacity).miss_rate.mean();
     const double lsa = result.cell("lsa", capacity).miss_rate.mean();

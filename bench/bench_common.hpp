@@ -182,6 +182,43 @@ inline void apply_sim_options(const util::ArgParser& args,
   }
 }
 
+/// Registers the shared observability outputs (docs/OBSERVABILITY.md):
+/// `--metrics-out` (eadvfs.metrics.v1 JSON snapshot) and `--decisions-out`
+/// (scheduler decision-trace CSV).  Sweep binaries produce them from the
+/// "trace replication" — replication 0 re-simulated with observers attached
+/// — so the files are byte-identical for any --jobs and across resume.
+inline void add_observability_options(util::ArgParser& args) {
+  args.add_option("metrics-out", "",
+                  "write the metrics snapshot (eadvfs.metrics.v1 JSON) of "
+                  "replication 0 here");
+  args.add_option("decisions-out", "",
+                  "write the scheduler decision-trace CSV of replication 0 "
+                  "here");
+}
+
+/// Narrate where the observability artifacts went (call after the sweep).
+inline void report_observability(const std::string& metrics_out,
+                                 const std::string& decisions_out) {
+  if (!metrics_out.empty())
+    std::cout << "metrics (replication 0) -> " << metrics_out << "\n";
+  if (!decisions_out.empty())
+    std::cout << "decisions (replication 0) -> " << decisions_out << "\n";
+}
+
+/// Derive a per-variant artifact path for benches that run several sweeps in
+/// one invocation (one per predictor, overhead value, ...): inserts the
+/// variant label before the extension, so `m.json` + "oracle" →
+/// `m.oracle.json`.  Returns "" when `path` is empty (flag unset).
+inline std::string variant_path(const std::string& path,
+                                const std::string& variant) {
+  if (path.empty()) return path;
+  const auto slash = path.find_last_of('/');
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return path + "." + variant;
+  return path.substr(0, dot) + "." + variant + path.substr(dot);
+}
+
 /// Parse the shared `--fault-profile` option (validated; "none" = inactive).
 inline sim::fault::FaultProfile fault_from_args(const util::ArgParser& args) {
   return sim::fault::FaultProfile::parse(args.str("fault-profile"));

@@ -6,6 +6,10 @@
 /// a fixed miss-rate sweep is timed at --jobs 1, 2, 4 and the machine's
 /// hardware concurrency, and the replications/sec + speedup table is
 /// printed and written to BENCH_parallel_runner.json.
+///
+/// `--engine-baseline` times full end-to-end simulations per scheduler and
+/// writes BENCH_engine.json (segments/sec, events/sec, decisions/sec) — the
+/// machine-readable perf baseline CI uploads as an artifact.
 
 #include <benchmark/benchmark.h>
 
@@ -231,11 +235,101 @@ int run_scaling_benchmark() {
   return 0;
 }
 
+/// End-to-end engine throughput per scheduler: repeat a fixed 10k-time-unit
+/// simulation and report segments, queue events (each released job enqueues
+/// exactly one deadline event, so events = 2 * jobs_released) and scheduler
+/// decisions per wall-clock second.  Emits BENCH_engine.json in the schema
+/// checked by tools/check_bench_engine.cmake.
+int run_engine_baseline() {
+  using Clock = std::chrono::steady_clock;
+
+  const auto source = shared_source();
+  const task::TaskSet set = shared_task_set(0.4);
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  sim::SimulationConfig cfg;
+  constexpr std::size_t kRepetitions = 20;
+
+  struct Point {
+    std::string scheduler;
+    double seconds = 0.0;
+    double segments_per_sec = 0.0;
+    double events_per_sec = 0.0;
+    double decisions_per_sec = 0.0;
+  };
+  std::vector<Point> points;
+
+  std::cout << "engine baseline: horizon " << cfg.horizon << ", "
+            << kRepetitions << " repetitions per scheduler\n\n";
+
+  for (const char* name : {"edf", "lsa", "ea-dvfs"}) {
+    std::size_t segments = 0, events = 0, decisions = 0;
+    const auto start = Clock::now();
+    for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
+      const auto scheduler = sched::make_scheduler(name);
+      const auto result = exp::run_once(cfg, source, 100.0, table, *scheduler,
+                                        "slotted-ewma", set);
+      segments += result.segments;
+      events += 2 * result.jobs_released;
+      decisions += result.decisions;
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (segments == 0 || seconds <= 0.0) {
+      std::cerr << "engine baseline produced no segments\n";
+      return 1;
+    }
+    Point p;
+    p.scheduler = name;
+    p.seconds = seconds;
+    p.segments_per_sec = static_cast<double>(segments) / seconds;
+    p.events_per_sec = static_cast<double>(events) / seconds;
+    p.decisions_per_sec = static_cast<double>(decisions) / seconds;
+    points.push_back(std::move(p));
+  }
+
+  exp::TextTable table_out(
+      {"scheduler", "seconds", "segments/s", "events/s", "decisions/s"});
+  for (const Point& p : points) {
+    table_out.add_row({p.scheduler, exp::fmt(p.seconds, 3),
+                       exp::fmt(p.segments_per_sec, 0),
+                       exp::fmt(p.events_per_sec, 0),
+                       exp::fmt(p.decisions_per_sec, 0)});
+  }
+  std::cout << table_out.render() << "\n";
+
+  const std::string path = exp::output_dir() + "/BENCH_engine.json";
+  try {
+    util::write_file_atomic(path, [&](std::ostream& file) {
+      file << "{\n  \"benchmark\": \"engine_baseline\",\n"
+           << "  \"horizon\": " << cfg.horizon << ",\n"
+           << "  \"repetitions\": " << kRepetitions << ",\n  \"results\": [\n";
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point& p = points[i];
+        file << "    {\"scheduler\": \"" << p.scheduler
+             << "\", \"seconds\": " << p.seconds
+             << ", \"segments_per_sec\": " << p.segments_per_sec
+             << ", \"events_per_sec\": " << p.events_per_sec
+             << ", \"decisions_per_sec\": " << p.decisions_per_sec << "}"
+             << (i + 1 < points.size() ? "," : "") << "\n";
+      }
+      file << "  ]\n}\n";
+    });
+    std::cout << "summary written to " << path << "\n";
+  } catch (const std::exception& error) {
+    std::cerr << "error: could not write " << path << ": " << error.what()
+              << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scaling") == 0) return run_scaling_benchmark();
+    if (std::strcmp(argv[i], "--engine-baseline") == 0)
+      return run_engine_baseline();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -72,6 +72,7 @@ inline int run_miss_rate_figure(int argc, char** argv,
                        exp::fmt(utilization, 1));
   add_common_options(args, /*default_sets=*/150);
   add_crash_safety_options(args);
+  add_observability_options(args);
   if (!parse_cli(args, argc, argv)) return 0;
   apply_logging(args);
 
@@ -89,6 +90,8 @@ inline int run_miss_rate_figure(int argc, char** argv,
   cfg.parallel = parallel_from_args(args);
   cfg.experiment_id = figure_id;
   apply_crash_safety(args, cfg.parallel, cfg.checkpoint);
+  cfg.metrics_out = args.str("metrics-out");
+  cfg.decisions_out = args.str("decisions-out");
 
   exp::print_banner(std::cout, figure_id, paper_claim,
                     "U=" + exp::fmt(utilization, 1) + ", " +
@@ -108,6 +111,9 @@ inline int run_miss_rate_figure(int argc, char** argv,
   if (outcome == util::exit_code::kInterrupted) return outcome;
   print_miss_rate_table(result,
                         exp::output_dir() + "/" + figure_id + "_miss_rate.csv");
+  report_observability(cfg.metrics_out, cfg.decisions_out);
+  if (!result.wall_clock.empty())
+    std::cout << "wall clock: " << result.wall_clock << "\n";
 
   // Headline number in the paper's terms.
   double base_sum = 0.0, ea_sum = 0.0;

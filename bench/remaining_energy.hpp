@@ -25,6 +25,7 @@ inline int run_remaining_energy_figure(int argc, char** argv,
   util::ArgParser args(figure_id + ": normalized remaining energy, U=" +
                        exp::fmt(utilization, 1));
   add_common_options(args, /*default_sets=*/60);
+  add_observability_options(args);
   args.add_option("interval", "250", "trace sample interval");
   if (!parse_cli(args, argc, argv)) return 0;
   apply_logging(args);
@@ -42,6 +43,8 @@ inline int run_remaining_energy_figure(int argc, char** argv,
   apply_sim_options(args, cfg.sim);
   cfg.solar.horizon = cfg.sim.horizon;
   cfg.parallel = parallel_from_args(args);
+  cfg.metrics_out = args.str("metrics-out");
+  cfg.decisions_out = args.str("decisions-out");
 
   exp::print_banner(std::cout, figure_id, paper_claim,
                     "U=" + exp::fmt(utilization, 1) + ", " +
@@ -77,6 +80,9 @@ inline int run_remaining_energy_figure(int argc, char** argv,
       exp::output_dir() + "/" + figure_id + "_remaining_energy.csv";
   table.write_csv(path);
   std::cout << "series written to " << path << "\n";
+  report_observability(cfg.metrics_out, cfg.decisions_out);
+  if (!result.wall_clock.empty())
+    std::cout << "wall clock: " << result.wall_clock << "\n";
   return 0;
 }
 

@@ -54,7 +54,7 @@ void replay(const std::string& title, const std::vector<task::Job>& jobs,
   sim::ScheduleRecorder recorder;
   sim::Engine engine(cfg, *source, storage, processor, predictor, *scheduler,
                      releaser);
-  engine.add_observer(recorder);
+  engine.observers().add(recorder);
   const sim::SimulationResult result = engine.run();
 
   std::cout << "--- " << title << " under " << scheduler->name() << " ---\n";

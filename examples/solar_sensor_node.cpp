@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
     sim::StatsObserver per_task;
     sim::Engine engine(cfg, *source, storage, processor, predictor, *scheduler,
                        releaser);
-    engine.add_observer(per_task);
+    engine.observers().add(per_task);
     const sim::SimulationResult result = engine.run();
 
     std::cout << "--- " << scheduler->name() << " ---\n";

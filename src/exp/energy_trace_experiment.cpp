@@ -5,6 +5,8 @@
 
 #include "exp/parallel_runner.hpp"
 #include "exp/setup.hpp"
+#include "obs/export.hpp"
+#include "obs/perf.hpp"
 #include "sched/factory.hpp"
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
@@ -40,6 +42,8 @@ EnergyTraceResult run_energy_trace(const EnergyTraceConfig& config) {
     std::vector<std::vector<double>> normalized;  // schedulers × capacities
   };
 
+  obs::PhaseTimers timers;
+  timers.start("simulate");
   RunReport report;
   const auto records = parallel_map<RepRecord>(
       config.n_task_sets,
@@ -75,6 +79,7 @@ EnergyTraceResult run_energy_trace(const EnergyTraceConfig& config) {
       },
       &report);
 
+  timers.start("aggregate");
   for (const RepRecord& record : records) {
     if (grid.empty()) grid = record.times;
     for (std::size_t s = 0; s < config.schedulers.size(); ++s) {
@@ -101,6 +106,43 @@ EnergyTraceResult run_energy_trace(const EnergyTraceConfig& config) {
     }
     result.curves.push_back(std::move(curve));
   }
+
+  if ((!config.metrics_out.empty() || !config.decisions_out.empty()) &&
+      config.n_task_sets > 0) {
+    // Trace replication (same scheme as run_miss_rate_sweep): re-simulate
+    // replication 0 per cell with observers attached; the reconstruction
+    // mirrors the worker above, so each trace is what the worker simulated.
+    timers.start("trace-replication");
+    obs::RunObservability sink;
+    util::Xoshiro256ss rng(seeds[0]);
+    const task::TaskSetGenerator generator(config.generator);
+    const task::TaskSet task_set = generator.generate(rng);
+    energy::SolarSourceConfig solar = config.solar;
+    solar.seed = seeds[0] ^ 0x5eed5eed5eed5eedULL;
+    solar.horizon = std::max(solar.horizon, config.sim.horizon);
+    const auto source = std::make_shared<const energy::SolarSource>(solar);
+    for (const auto& sched_name : config.schedulers) {
+      const auto scheduler = sched::make_scheduler(sched_name);
+      for (double capacity : config.capacities) {
+        RunOptions run;
+        run.config = config.sim;
+        run.source = source;
+        run.tasks = &task_set;
+        run.storage.capacity = capacity;
+        run.table = table;
+        run.scheduler_override = scheduler.get();
+        run.predictor = config.predictor;
+        run.observability = &sink;
+        run.per_task_metrics = false;  // random task sets: ids are noise
+        (void)run_with_options(run);
+      }
+    }
+    if (!config.metrics_out.empty()) sink.export_metrics(config.metrics_out);
+    if (!config.decisions_out.empty())
+      sink.export_decisions(config.decisions_out);
+  }
+  timers.stop();
+  result.wall_clock = timers.summary();
   return result;
 }
 

@@ -31,6 +31,12 @@ struct EnergyTraceConfig {
   sim::SimulationConfig sim;
   energy::SolarSourceConfig solar;
   ParallelConfig parallel;  ///< replication worker pool.
+  /// Observability artifacts (empty = off): after the averaged curves are
+  /// folded, replication 0 is re-simulated per (scheduler, capacity) cell
+  /// with metrics/decision-trace observers attached and the requested files
+  /// written (same trace-replication scheme as MissRateSweepConfig).
+  std::string metrics_out;
+  std::string decisions_out;
 };
 
 struct EnergyTraceCurve {
@@ -46,6 +52,9 @@ struct EnergyTraceResult {
   EnergyTraceConfig config;
   std::vector<EnergyTraceCurve> curves;  ///< one per scheduler.
   RunReport report;  ///< supervision outcome (retries; see parallel_runner.hpp).
+  /// Wall-clock phase summary for the console; never part of any
+  /// deterministic artifact.
+  std::string wall_clock;
 
   [[nodiscard]] const EnergyTraceCurve& curve(const std::string& scheduler) const;
 };

@@ -7,6 +7,8 @@
 #include "exp/checkpoint.hpp"
 #include "exp/parallel_runner.hpp"
 #include "exp/setup.hpp"
+#include "obs/export.hpp"
+#include "obs/perf.hpp"
 #include "sched/factory.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
@@ -89,6 +91,8 @@ MissRateSweepResult run_miss_rate_sweep(const MissRateSweepConfig& config) {
   manifest.replications = config.n_task_sets;
   manifest.jobs = config.parallel.jobs;
 
+  obs::PhaseTimers timers;
+  timers.start("simulate");
   const CheckpointedMapOutcome outcome = checkpointed_map(
       config.n_task_sets,
       with_default_progress(config.parallel, "miss-rate sweep", 50),
@@ -128,6 +132,7 @@ MissRateSweepResult run_miss_rate_sweep(const MissRateSweepConfig& config) {
         return row;
       });
 
+  timers.start("aggregate");
   for (const std::vector<double>& row : outcome.rows) {
     if (row.empty()) continue;  // failed or interrupt-skipped replication
     if (row.size() != row_width)
@@ -148,6 +153,53 @@ MissRateSweepResult run_miss_rate_sweep(const MissRateSweepConfig& config) {
   }
   result.report = outcome.report;
   result.resumed = outcome.resumed;
+
+  const bool want_observability =
+      !config.metrics_out.empty() || !config.decisions_out.empty();
+  if (want_observability && !outcome.report.interrupted &&
+      config.n_task_sets > 0 && !outcome.rows[0].empty()) {
+    // Trace replication: the journal carries only the four aggregate numbers
+    // per cell, so re-simulate replication 0 with observers attached for the
+    // detailed artifacts.  The reconstruction mirrors the worker above
+    // (same sub-seed derivation, same scheduler reuse across capacities), so
+    // a cell's trace is exactly what the worker simulated.
+    timers.start("trace-replication");
+    obs::RunObservability sink;
+    util::Xoshiro256ss rng(seeds[0]);
+    const task::TaskSetGenerator generator(config.generator);
+    const task::TaskSet task_set = generator.generate(rng);
+    energy::SolarSourceConfig solar = config.solar;
+    solar.seed = seeds[0] ^ 0x5eed5eed5eed5eedULL;
+    solar.horizon = std::max(solar.horizon, config.sim.horizon);
+    const auto source = std::make_shared<const energy::SolarSource>(solar);
+    sim::fault::FaultProfile fault = config.fault;
+    if (!fault.seed_provided) fault.seed = seeds[0] ^ 0xfa017fa017fa017fULL;
+    for (const auto& sched_name : config.schedulers) {
+      const auto scheduler = sched::make_scheduler(sched_name);
+      for (double capacity : config.capacities) {
+        RunOptions run;
+        run.config = config.sim;
+        run.source = source;
+        run.tasks = &task_set;
+        run.storage.capacity = capacity;
+        run.table = table;
+        run.scheduler_override = scheduler.get();
+        run.predictor = config.predictor;
+        run.overhead = config.overhead;
+        run.execution = config.execution;
+        run.execution.seed = seeds[0] ^ 0xac7ac7ac7ULL;
+        run.fault = fault.any() ? &fault : nullptr;
+        run.observability = &sink;
+        run.per_task_metrics = false;  // random task sets: ids are noise
+        (void)run_with_options(run);
+      }
+    }
+    if (!config.metrics_out.empty()) sink.export_metrics(config.metrics_out);
+    if (!config.decisions_out.empty())
+      sink.export_decisions(config.decisions_out);
+  }
+  timers.stop();
+  result.wall_clock = timers.summary();
   return result;
 }
 

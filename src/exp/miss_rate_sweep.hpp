@@ -57,6 +57,15 @@ struct MissRateSweepConfig {
   /// "fault-resilience:duty=0.2") so a checkpoint directory can never be
   /// resumed by a different experiment.
   std::string experiment_id = "miss-rate";
+  /// Observability artifacts (empty = off).  When either is set, the sweep
+  /// re-simulates replication 0 for every (scheduler, capacity) cell after
+  /// aggregation — the "trace replication" — with a metrics/decision-trace
+  /// observer attached, and writes the requested files.  Pure function of
+  /// the config, so the artifacts are byte-identical for any `parallel.jobs`
+  /// and across checkpoint resume.  Deliberately NOT fingerprinted into the
+  /// manifest: like `checkpoint`, outputs never change results.
+  std::string metrics_out;
+  std::string decisions_out;
 
   /// Canonical single-line description of every determinism-relevant field
   /// (everything above except `parallel`/`checkpoint` — --jobs and the
@@ -86,6 +95,9 @@ struct MissRateSweepResult {
   RunReport report;
   std::size_t resumed = 0;  ///< replications loaded from the checkpoint
                             ///< journal instead of re-simulated.
+  /// Wall-clock phase summary ("simulate 1.2s | aggregate 0.0s | ...") for
+  /// the console; never part of any deterministic artifact.
+  std::string wall_clock;
 
   [[nodiscard]] const MissRateCell& cell(const std::string& scheduler,
                                          double capacity) const;

@@ -7,9 +7,13 @@
 #include "energy/running_average_predictor.hpp"
 #include "energy/slotted_ewma_predictor.hpp"
 #include "energy/storage.hpp"
+#include "obs/decision_trace.hpp"
+#include "obs/metrics_observer.hpp"
+#include "sched/factory.hpp"
 #include "sim/fault/faulted_predictor.hpp"
 #include "sim/fault/faulted_source.hpp"
 #include "sim/fault/schedule.hpp"
+#include "util/format.hpp"
 #include "util/rng.hpp"
 
 namespace eadvfs::exp {
@@ -82,31 +86,79 @@ sim::SimulationResult run_once_with_storage(
     const proc::SwitchOverhead& overhead,
     const task::ExecutionTimeModel& execution,
     const sim::fault::FaultProfile* fault) {
+  RunOptions opts;
+  opts.config = config;
+  opts.source = source;
+  opts.tasks = &task_set;
+  opts.storage = storage_config;
+  opts.table = table;
+  opts.scheduler_override = &scheduler;
+  opts.predictor = predictor_name;
+  opts.overhead = overhead;
+  opts.execution = execution;
+  opts.fault = fault;
+  opts.observers = observers;
+  return run_with_options(opts);
+}
+
+sim::SimulationResult run_with_options(const RunOptions& opts) {
+  if (!opts.source)
+    throw std::invalid_argument("run_with_options: source is required");
+  if (opts.tasks == nullptr)
+    throw std::invalid_argument("run_with_options: tasks is required");
+
   // Expand the fault profile (if any) into a concrete schedule and wrap the
   // source/predictor in their fault decorators.  Everything stays a pure
   // function of (profile, horizon), preserving the sweep determinism
   // contract.
   std::optional<sim::fault::FaultSchedule> schedule;
-  if (fault != nullptr && fault->any())
-    schedule.emplace(*fault, config.horizon);
+  if (opts.fault != nullptr && opts.fault->any())
+    schedule.emplace(*opts.fault, opts.config.horizon);
 
-  std::shared_ptr<const energy::EnergySource> effective_source = source;
+  std::shared_ptr<const energy::EnergySource> effective_source = opts.source;
   if (schedule.has_value() && !schedule->harvest_windows().empty())
     effective_source = std::make_shared<sim::fault::FaultedSource>(
-        source, schedule->harvest_windows());
+        opts.source, schedule->harvest_windows());
 
-  energy::EnergyStorage storage(storage_config);
-  proc::Processor processor(table, overhead);
-  auto predictor = make_predictor(predictor_name, effective_source);
+  energy::EnergyStorage storage(opts.storage);
+  proc::Processor processor(opts.table, opts.overhead, opts.idle_power);
+  auto predictor = make_predictor(opts.predictor, effective_source);
   if (schedule.has_value() && schedule->profile().affects_predictor())
     predictor = std::make_unique<sim::fault::FaultedPredictor>(
         std::move(predictor), schedule->predictor_model());
-  task::JobReleaser releaser(task_set, config.horizon, execution);
-  sim::Engine engine(config, *effective_source, storage, processor, *predictor,
-                     scheduler, releaser);
+
+  std::unique_ptr<sim::Scheduler> owned_scheduler;
+  sim::Scheduler* scheduler = opts.scheduler_override;
+  if (scheduler == nullptr) {
+    owned_scheduler = sched::make_scheduler(opts.scheduler);
+    scheduler = owned_scheduler.get();
+  }
+
+  task::JobReleaser releaser(*opts.tasks, opts.config.horizon, opts.execution);
+  sim::Engine engine(opts.config, *effective_source, storage, processor,
+                     *predictor, *scheduler, releaser);
   if (schedule.has_value()) engine.set_fault_schedule(&*schedule);
-  for (sim::SimObserver* obs : observers) engine.add_observer(*obs);
-  return engine.run();
+  for (sim::SimObserver* obs : opts.observers) engine.observers().add(*obs);
+
+  obs::DecisionTraceObserver* trace = nullptr;
+  if (opts.observability != nullptr) {
+    obs::MetricsObserverConfig mcfg;
+    mcfg.scheduler = scheduler->name();
+    mcfg.capacity = opts.storage.capacity;
+    mcfg.per_task = opts.per_task_metrics;
+    // Distinguish runs of the same scheduler at different capacities when
+    // they share one registry (a sweep's trace replication).
+    mcfg.extra = {{"capacity", util::format_double(opts.storage.capacity)}};
+    engine.observers().emplace<obs::MetricsObserver>(
+        opts.observability->registry(), mcfg);
+    trace = &engine.observers().emplace<obs::DecisionTraceObserver>();
+  }
+
+  sim::SimulationResult result = engine.run();
+  if (opts.observability != nullptr)
+    opts.observability->record_run(scheduler->name(), opts.storage.capacity,
+                                   result, trace->records());
+  return result;
 }
 
 }  // namespace eadvfs::exp

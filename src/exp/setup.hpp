@@ -24,6 +24,7 @@
 #include "energy/predictor.hpp"
 #include "energy/solar_source.hpp"
 #include "energy/source.hpp"
+#include "obs/export.hpp"
 #include "proc/frequency_table.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
@@ -87,5 +88,48 @@ namespace eadvfs::exp {
     const proc::SwitchOverhead& overhead = {},
     const task::ExecutionTimeModel& execution = {},
     const sim::fault::FaultProfile* fault = nullptr);
+
+/// Everything one simulated run needs, gathered behind one builder so the
+/// CLI tool, the benches and the sweeps assemble engines identically instead
+/// of each repeating the storage/processor/predictor/fault/engine wiring.
+/// Fill the fields, then call run_with_options().
+///
+/// Ownership: `source` is shared; `tasks`, `fault`, `scheduler_override`,
+/// `observers` and `observability` are borrowed and must outlive the call.
+/// Every run builds its engine fresh, so a RunOptions value can be reused —
+/// including concurrently, as long as `scheduler_override` is null (a
+/// pre-built scheduler is stateful) and each thread uses its own
+/// `observability` sink.
+struct RunOptions {
+  sim::SimulationConfig config;
+  std::shared_ptr<const energy::EnergySource> source;  ///< Required.
+  const task::TaskSet* tasks = nullptr;                ///< Required.
+  energy::StorageConfig storage;
+  proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  /// Scheduler factory name (sched::make_scheduler); ignored when
+  /// `scheduler_override` is set.
+  std::string scheduler = "ea-dvfs";
+  /// Pre-built scheduler to use instead of constructing one by name.
+  sim::Scheduler* scheduler_override = nullptr;
+  std::string predictor = "slotted-ewma";  ///< See make_predictor().
+  proc::SwitchOverhead overhead;
+  Power idle_power = 0.0;
+  task::ExecutionTimeModel execution;
+  const sim::fault::FaultProfile* fault = nullptr;
+  /// Borrowed observers registered (in order) before the run.
+  std::vector<sim::SimObserver*> observers;
+  /// When set, the run also feeds a MetricsObserver + DecisionTraceObserver
+  /// and records its summary/decisions into this sink (the machinery behind
+  /// `--metrics-out` / `--decisions-out`).
+  obs::RunObservability* observability = nullptr;
+  /// Per-task metric series on/off (MetricsObserverConfig::per_task).
+  bool per_task_metrics = true;
+};
+
+/// Assemble and run one simulation from `opts`.  Mirrors run_once_with_storage
+/// (fault expansion, source/predictor wrapping, fresh engine) and is in fact
+/// the implementation underneath it.  Throws std::invalid_argument when a
+/// required field is missing.
+[[nodiscard]] sim::SimulationResult run_with_options(const RunOptions& opts);
 
 }  // namespace eadvfs::exp

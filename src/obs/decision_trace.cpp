@@ -1,0 +1,60 @@
+#include "obs/decision_trace.hpp"
+
+#include <ostream>
+
+#include "util/format.hpp"
+
+namespace eadvfs::obs {
+
+namespace {
+
+/// kHuge marks "no such instant" — exported as an empty cell, not 1e300.
+std::string time_cell(Time t) {
+  return t >= kHuge ? std::string{} : util::format_double(t);
+}
+
+}  // namespace
+
+std::string decision_csv_header() {
+  return "scheduler,capacity,index,time,job,task,deadline,remaining,stored,"
+         "predicted,min_feasible_op,s1,s2,decision,chosen_op,start,recheck_at,"
+         "rule";
+}
+
+std::string decision_csv_row(const std::string& scheduler, double capacity,
+                             const sim::DecisionRecord& r) {
+  std::string row = scheduler;
+  row += ',' + util::format_double(capacity);
+  row += ',' + std::to_string(r.index);
+  row += ',' + util::format_double(r.time);
+  row += ',' + std::to_string(r.job);
+  row += ',' + std::to_string(r.task_id);
+  row += ',' + util::format_double(r.deadline);
+  row += ',' + util::format_double(r.remaining);
+  row += ',' + util::format_double(r.stored);
+  row += ',';
+  if (r.used_prediction) row += util::format_double(r.predicted);
+  row += ',';
+  if (r.has_min_feasible) row += std::to_string(r.min_feasible_op);
+  row += ',' + time_cell(r.s1);
+  row += ',' + time_cell(r.s2);
+  row += ',';
+  row += r.run ? "run" : "idle";
+  row += ',';
+  if (r.run) row += std::to_string(r.chosen_op);
+  row += ',' + util::format_double(r.start);
+  row += ',' + time_cell(r.recheck_at);
+  row += ',';
+  row += r.rule;
+  return row;
+}
+
+void write_decision_csv(std::ostream& out, const std::string& scheduler,
+                        double capacity,
+                        const std::vector<sim::DecisionRecord>& records) {
+  out << decision_csv_header() << "\n";
+  for (const sim::DecisionRecord& r : records)
+    out << decision_csv_row(scheduler, capacity, r) << "\n";
+}
+
+}  // namespace eadvfs::obs

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file decision_trace.hpp
+/// Structured capture of the scheduler's reasoning: one sim::DecisionRecord
+/// per Scheduler::decide() call, collected in decision order and exportable
+/// as a deterministic CSV — the artifact behind `--decisions-out`.
+///
+/// The CSV answers "why did the scheduler slow down / wait here": each row
+/// carries the decision's inputs (stored energy E_C, predicted Ê_S(t, D),
+/// remaining work, deadline), the scheduler's internals (ineq. (6) minimum
+/// feasible operating point, the start instants s1/s2), the outcome (run or
+/// idle, chosen operating point, start time) and the *rule* that fired —
+/// e.g. EA-DVFS's "stretch-min-feasible" vs LSA's "procrastinate" on the
+/// paper's motivational example.  Rows lead with the run's scheduler and
+/// capacity so one file can hold several runs (a bench sweep's trace
+/// replication) under a single schema.  Column semantics:
+/// docs/OBSERVABILITY.md.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/observer.hpp"
+
+namespace eadvfs::obs {
+
+/// Collects every DecisionRecord of a run (storage grows by one record per
+/// engine decision; a 10k-horizon paper run makes a few thousand).
+class DecisionTraceObserver final : public sim::SimObserver {
+ public:
+  void on_decision(const sim::DecisionRecord& decision) override {
+    records_.push_back(decision);
+  }
+
+  [[nodiscard]] const std::vector<sim::DecisionRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+
+ private:
+  std::vector<sim::DecisionRecord> records_;
+};
+
+/// Header line of the decision CSV (without trailing newline).
+[[nodiscard]] std::string decision_csv_header();
+
+/// One record as a CSV row (without trailing newline): numbers via
+/// util::format_double, kHuge instants and not-computed fields as empty
+/// cells, decision kind as "run"/"idle".
+[[nodiscard]] std::string decision_csv_row(const std::string& scheduler,
+                                           double capacity,
+                                           const sim::DecisionRecord& record);
+
+/// Full deterministic CSV for a single run (header + one row per record).
+void write_decision_csv(std::ostream& out, const std::string& scheduler,
+                        double capacity,
+                        const std::vector<sim::DecisionRecord>& records);
+
+}  // namespace eadvfs::obs

@@ -1,0 +1,53 @@
+#include "obs/export.hpp"
+
+#include <ostream>
+
+#include "obs/decision_trace.hpp"
+#include "util/atomic_file.hpp"
+#include "util/format.hpp"
+
+namespace eadvfs::obs {
+
+void write_metrics_json(std::ostream& out, const std::vector<RunSummary>& runs,
+                        const MetricsRegistry& registry) {
+  out << "{\n  \"schema\": \"eadvfs.metrics.v1\",\n  \"runs\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out << (i > 0 ? ",\n" : "\n") << "    {\"scheduler\": \""
+        << util::json_escape(runs[i].scheduler) << "\", \"capacity\": "
+        << util::format_double(runs[i].capacity) << ",\n     \"result\": "
+        << runs[i].result.to_json(5) << "}";
+  }
+  out << (runs.empty() ? "],\n" : "\n  ],\n") << "  \"metrics\": ";
+  registry.write_json(out, 2);
+  out << "\n}\n";
+}
+
+void export_metrics_json(const std::string& path,
+                         const std::vector<RunSummary>& runs,
+                         const MetricsRegistry& registry) {
+  util::write_file_atomic(path, [&](std::ostream& out) {
+    write_metrics_json(out, runs, registry);
+  });
+}
+
+void RunObservability::record_run(
+    const std::string& scheduler, double capacity,
+    const sim::SimulationResult& result,
+    const std::vector<sim::DecisionRecord>& decisions) {
+  runs_.push_back(RunSummary{scheduler, capacity, result});
+  for (const sim::DecisionRecord& r : decisions)
+    decision_rows_.push_back(decision_csv_row(scheduler, capacity, r));
+}
+
+void RunObservability::export_metrics(const std::string& path) const {
+  export_metrics_json(path, runs_, registry_);
+}
+
+void RunObservability::export_decisions(const std::string& path) const {
+  util::write_file_atomic(path, [&](std::ostream& out) {
+    out << decision_csv_header() << "\n";
+    for (const std::string& row : decision_rows_) out << row << "\n";
+  });
+}
+
+}  // namespace eadvfs::obs

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file export.hpp
+/// The top-level metrics document written by `--metrics-out`
+/// ("eadvfs.metrics.v1"): per-run result summaries (via
+/// SimulationResult::to_json) plus the registry's series array.  Format
+/// documented in docs/OBSERVABILITY.md; written through
+/// util::write_file_atomic so a crash never leaves a torn artifact.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/observer.hpp"
+#include "sim/result.hpp"
+
+namespace eadvfs::obs {
+
+/// One simulated run contributing to the document.
+struct RunSummary {
+  std::string scheduler;
+  double capacity = 0.0;
+  sim::SimulationResult result;
+};
+
+void write_metrics_json(std::ostream& out, const std::vector<RunSummary>& runs,
+                        const MetricsRegistry& registry);
+
+/// write_metrics_json routed through util::write_file_atomic.
+void export_metrics_json(const std::string& path,
+                         const std::vector<RunSummary>& runs,
+                         const MetricsRegistry& registry);
+
+/// Accumulates observability output across one or more runs and writes the
+/// two `--metrics-out` / `--decisions-out` artifacts.  A single-run tool
+/// records one run; a bench sweep's trace replication records one run per
+/// (scheduler, capacity) cell into the same sink, so both produce files
+/// with identical schemas.  Recording order is the export order — callers
+/// must record runs in a deterministic sequence for the byte-identical
+/// artifact contract to hold.
+class RunObservability {
+ public:
+  /// Shared registry; attach a MetricsObserver per run with labels that
+  /// distinguish the runs (see MetricsObserverConfig::extra).
+  [[nodiscard]] MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] const MetricsRegistry& registry() const { return registry_; }
+
+  /// Appends one run's result summary and decision rows.
+  void record_run(const std::string& scheduler, double capacity,
+                  const sim::SimulationResult& result,
+                  const std::vector<sim::DecisionRecord>& decisions);
+
+  [[nodiscard]] const std::vector<RunSummary>& runs() const { return runs_; }
+
+  /// Writes the eadvfs.metrics.v1 JSON document (atomic).
+  void export_metrics(const std::string& path) const;
+  /// Writes the decision CSV: header + rows of every recorded run (atomic).
+  void export_decisions(const std::string& path) const;
+
+ private:
+  MetricsRegistry registry_;
+  std::vector<RunSummary> runs_;
+  std::vector<std::string> decision_rows_;
+};
+
+}  // namespace eadvfs::obs

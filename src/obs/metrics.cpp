@@ -1,0 +1,144 @@
+#include "obs/metrics.hpp"
+
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace eadvfs::obs {
+
+std::string labels_to_string(const Labels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out += ',';
+    out += key + "=" + value;
+  }
+  return out;
+}
+
+MetricsRegistry::Series& MetricsRegistry::find_or_create(
+    const std::string& name, const Labels& labels, Type type) {
+  auto [it, inserted] = series_.try_emplace({name, labels});
+  if (inserted) {
+    it->second.type = type;
+  } else if (it->second.type != type) {
+    throw std::logic_error("MetricsRegistry: series '" + name + "' (" +
+                           labels_to_string(labels) +
+                           ") already registered with a different type");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  return find_or_create(name, labels, Type::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return find_or_create(name, labels, Type::kGauge).gauge;
+}
+
+util::Histogram& MetricsRegistry::histogram(const std::string& name,
+                                            const Labels& labels, double lo,
+                                            double hi, std::size_t bins) {
+  Series& series = find_or_create(name, labels, Type::kHistogram);
+  if (series.histogram == nullptr)
+    series.histogram = std::make_unique<util::Histogram>(lo, hi, bins);
+  return *series.histogram;
+}
+
+namespace {
+
+const char* type_name(bool counter, bool gauge) {
+  return counter ? "counter" : (gauge ? "gauge" : "histogram");
+}
+
+void write_labels_json(std::ostream& out, const Labels& labels) {
+  out << "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << util::json_escape(key) << "\": \""
+        << util::json_escape(value) << "\"";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent < 0 ? 0 : indent), ' ');
+  out << "[";
+  bool first = true;
+  for (const auto& [key, series] : series_) {
+    out << (first ? "\n" : ",\n") << pad << "  {\"name\": \""
+        << util::json_escape(key.first) << "\", \"type\": \""
+        << type_name(series.type == Type::kCounter,
+                     series.type == Type::kGauge)
+        << "\", \"labels\": ";
+    write_labels_json(out, key.second);
+    first = false;
+    switch (series.type) {
+      case Type::kCounter:
+        out << ", \"value\": " << util::format_double(series.counter.value())
+            << "}";
+        break;
+      case Type::kGauge:
+        out << ", \"value\": " << util::format_double(series.gauge.value())
+            << "}";
+        break;
+      case Type::kHistogram: {
+        const util::Histogram& h = *series.histogram;
+        out << ", \"lo\": " << util::format_double(h.bin_lo(0))
+            << ", \"hi\": " << util::format_double(h.bin_hi(h.bins() - 1))
+            << ", \"underflow\": " << h.underflow()
+            << ", \"overflow\": " << h.overflow() << ", \"total\": "
+            << h.total() << ", \"buckets\": [";
+        for (std::size_t bin = 0; bin < h.bins(); ++bin)
+          out << (bin > 0 ? ", " : "") << h.count(bin);
+        out << "]}";
+        break;
+      }
+    }
+  }
+  out << (first ? "]" : "\n" + pad + "]");
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  out << "name,type,labels,field,value\n";
+  const auto row = [&out](const std::string& name, const char* type,
+                          const Labels& labels, const std::string& field,
+                          const std::string& value) {
+    out << name << ',' << type << ",\"" << labels_to_string(labels) << "\","
+        << field << ',' << value << "\n";
+  };
+  for (const auto& [key, series] : series_) {
+    switch (series.type) {
+      case Type::kCounter:
+        row(key.first, "counter", key.second, "value",
+            util::format_double(series.counter.value()));
+        break;
+      case Type::kGauge:
+        row(key.first, "gauge", key.second, "value",
+            util::format_double(series.gauge.value()));
+        break;
+      case Type::kHistogram: {
+        const util::Histogram& h = *series.histogram;
+        row(key.first, "histogram", key.second, "underflow",
+            std::to_string(h.underflow()));
+        for (std::size_t bin = 0; bin < h.bins(); ++bin)
+          row(key.first, "histogram", key.second,
+              "bucket:" + util::format_double(h.bin_lo(bin)) + ":" +
+                  util::format_double(h.bin_hi(bin)),
+              std::to_string(h.count(bin)));
+        row(key.first, "histogram", key.second, "overflow",
+            std::to_string(h.overflow()));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace eadvfs::obs

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Deterministic metrics registry: named, labeled counters / gauges /
+/// fixed-bucket histograms with snapshot export to JSON and CSV.
+///
+/// Determinism contract (docs/OBSERVABILITY.md): a snapshot is a pure
+/// function of the simulated run — series are stored in a std::map keyed on
+/// (name, labels), so export order is canonical regardless of registration
+/// order, and every number is formatted with util::format_double (shortest
+/// round-trip via std::to_chars, locale-independent).  Two runs that make
+/// the same decisions produce byte-identical exports, which is what lets
+/// ctest diff metrics files across --jobs values and checkpoint-resume.
+///
+/// This is deliberately not a live telemetry system: no locks, no
+/// background flushing — the registry is filled by observers during a run
+/// and snapshotted once at the end through util::write_file_atomic.
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/histogram.hpp"
+
+namespace eadvfs::obs {
+
+/// Label set attached to a series, e.g. {{"scheduler","EA-DVFS"},
+/// {"task","2"}}.  std::map so equal label sets compare equal and export
+/// order is canonical.
+using Labels = std::map<std::string, std::string>;
+
+/// "k1=v1,k2=v2" — the canonical single-cell rendering used by the CSV
+/// exporter and useful in test assertions.
+[[nodiscard]] std::string labels_to_string(const Labels& labels);
+
+/// Monotone accumulator (events, energy totals).
+class Counter {
+ public:
+  void inc(double amount = 1.0) { value_ += amount; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-write-wins sample (levels, rates).
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create.  The same (name, labels) always returns the same
+  /// instance; a name registered as one type cannot be re-registered as
+  /// another (std::logic_error).
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// Histogram bucket layout is fixed at first registration; later calls
+  /// with the same (name, labels) ignore lo/hi/bins and return the existing
+  /// instance.
+  util::Histogram& histogram(const std::string& name, const Labels& labels,
+                             double lo, double hi, std::size_t bins);
+
+  [[nodiscard]] std::size_t size() const { return series_.size(); }
+
+  /// The canonical JSON array of series (no surrounding document), each
+  /// line prefixed with `indent` spaces.  See docs/OBSERVABILITY.md for the
+  /// element schema.
+  void write_json(std::ostream& out, int indent = 0) const;
+
+  /// CSV snapshot: header `name,type,labels,field,value`; scalars emit one
+  /// row (field "value"), histograms one row per bucket (field
+  /// "bucket:<lo>:<hi>") plus "underflow"/"overflow".
+  void write_csv(std::ostream& out) const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    Type type = Type::kCounter;
+    Counter counter;
+    Gauge gauge;
+    /// Engaged only for histograms (std::optional needs a default ctor
+    /// workaround, so a pointer keeps Series movable and simple).
+    std::unique_ptr<util::Histogram> histogram;
+  };
+
+  using Key = std::pair<std::string, Labels>;
+
+  Series& find_or_create(const std::string& name, const Labels& labels,
+                         Type type);
+
+  std::map<Key, Series> series_;
+};
+
+}  // namespace eadvfs::obs

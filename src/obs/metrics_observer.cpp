@@ -1,0 +1,88 @@
+#include "obs/metrics_observer.hpp"
+
+#include <utility>
+
+namespace eadvfs::obs {
+
+MetricsObserver::MetricsObserver(MetricsRegistry& registry,
+                                 MetricsObserverConfig config)
+    : registry_(registry), cfg_(std::move(config)) {
+  base_ = cfg_.extra;
+  base_["scheduler"] = cfg_.scheduler;
+}
+
+void MetricsObserver::count_job_event(const char* name, const task::Job& job) {
+  registry_.counter(name, base_).inc();
+  if (cfg_.per_task) {
+    Labels labels = base_;
+    labels["task"] = std::to_string(job.task_id);
+    registry_.counter(name, labels).inc();
+  }
+}
+
+void MetricsObserver::on_release(const task::Job& job) {
+  count_job_event("jobs_released", job);
+}
+
+void MetricsObserver::on_complete(const task::Job& job, Time finish) {
+  count_job_event("jobs_completed", job);
+  const Time relative_deadline = job.absolute_deadline - job.arrival;
+  if (relative_deadline > 0.0) {
+    // Response time normalized by the relative deadline: 1.0 = finished
+    // exactly at the deadline; > 1 only under kContinueLate.
+    registry_
+        .histogram("normalized_response_time", base_, 0.0, 2.0, 20)
+        .add((finish - job.arrival) / relative_deadline);
+  }
+}
+
+void MetricsObserver::on_miss(const task::Job& job, Time /*deadline*/) {
+  count_job_event("jobs_missed", job);
+}
+
+void MetricsObserver::on_abort(const task::Job& job, Time /*when*/) {
+  count_job_event("jobs_aborted", job);
+}
+
+void MetricsObserver::on_segment(const sim::SegmentRecord& s) {
+  registry_.counter("segments", base_).inc();
+  registry_.counter("energy_harvested", base_).inc(s.harvested);
+  registry_.counter("energy_consumed", base_).inc(s.consumed);
+  registry_.counter("energy_overflow", base_).inc(s.overflow);
+  registry_.counter("energy_leaked", base_).inc(s.leaked);
+  registry_.counter("energy_fault_drained", base_).inc(s.fault_drained);
+  const Time dt = s.end - s.start;
+  if (dt <= 0.0) return;
+  if (s.job) {
+    registry_.counter("time_busy", base_).inc(dt);
+    Labels labels = base_;
+    labels["op"] = std::to_string(s.op_index);
+    registry_.counter("time_at_op", labels).inc(dt);
+  } else if (s.stalled) {
+    registry_.counter("time_stalled", base_).inc(dt);
+  } else {
+    registry_.counter("time_idle", base_).inc(dt);
+  }
+  if (s.brownout) registry_.counter("time_brownout", base_).inc(dt);
+}
+
+void MetricsObserver::on_decision(const sim::DecisionRecord& d) {
+  Labels labels = base_;
+  labels["rule"] = d.rule;
+  registry_.counter("decisions", labels).inc();
+  if (d.run) {
+    Labels op_labels = base_;
+    op_labels["op"] = std::to_string(d.chosen_op);
+    registry_.counter("decisions_run_at_op", op_labels).inc();
+  } else {
+    registry_.counter("decisions_idle", base_).inc();
+  }
+  if (cfg_.capacity > 0.0) {
+    // Normalized stored energy at the decision instant; 20 buckets over
+    // [0, 1) with a full storage landing in the overflow bucket by design.
+    registry_.histogram("decision_stored_fraction", base_, 0.0, 1.0, 20)
+        .add(d.stored / cfg_.capacity);
+  }
+}
+
+}  // namespace eadvfs::obs

@@ -1,0 +1,52 @@
+#include "obs/perf.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace eadvfs::obs {
+
+void PhaseTimers::start(const std::string& phase) {
+  stop();
+  current_ = phase;
+  started_ = Clock::now();
+  if (totals_.try_emplace(phase, 0.0).second) order_.push_back(phase);
+}
+
+void PhaseTimers::stop() {
+  if (current_.empty()) return;
+  totals_[current_] +=
+      std::chrono::duration<double>(Clock::now() - started_).count();
+  current_.clear();
+}
+
+double PhaseTimers::seconds(const std::string& phase) const {
+  double value = 0.0;
+  if (const auto it = totals_.find(phase); it != totals_.end())
+    value = it->second;
+  if (phase == current_)
+    value += std::chrono::duration<double>(Clock::now() - started_).count();
+  return value;
+}
+
+double PhaseTimers::total_seconds() const {
+  double sum = 0.0;
+  for (const auto& [phase, seconds] : totals_) sum += seconds;
+  if (!current_.empty())
+    sum += std::chrono::duration<double>(Clock::now() - started_).count();
+  return sum;
+}
+
+std::string PhaseTimers::summary() const {
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  bool first = true;
+  for (const std::string& phase : order_) {
+    if (!first) out << " | ";
+    first = false;
+    out << phase << " " << seconds(phase) << "s";
+  }
+  return out.str();
+}
+
+}  // namespace eadvfs::obs

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file perf.hpp
+/// Lightweight per-phase wall-clock timers for runners and benches
+/// (generation / simulate / aggregate).  Wall-clock is inherently
+/// non-deterministic, so these values go to stdout and BENCH_*.json only —
+/// never into the metrics/decision artifacts covered by the determinism
+/// contract (docs/OBSERVABILITY.md).
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eadvfs::obs {
+
+class PhaseTimers {
+ public:
+  /// Start (or resume) accumulating into `phase`, ending the current phase
+  /// if one is running.  Phases may be re-entered; time accumulates.
+  void start(const std::string& phase);
+
+  /// Stop the current phase (no-op when none is running).
+  void stop();
+
+  /// Accumulated seconds in `phase` (0 for unknown phases; includes the
+  /// in-flight span when `phase` is currently running).
+  [[nodiscard]] double seconds(const std::string& phase) const;
+
+  /// Sum over all phases.
+  [[nodiscard]] double total_seconds() const;
+
+  /// One-line human summary in first-start order, e.g.
+  /// "generation 0.12s | simulate 3.41s | aggregate 0.02s".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::map<std::string, double> totals_;
+  std::vector<std::string> order_;  ///< first-start order for summary().
+  std::string current_;
+  Clock::time_point started_{};
+};
+
+/// RAII phase span: starts `phase` on construction, stops on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimers& timers, const std::string& phase) : timers_(timers) {
+    timers_.start(phase);
+  }
+  ~ScopedPhase() { timers_.stop(); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimers& timers_;
+};
+
+}  // namespace eadvfs::obs

@@ -10,10 +10,12 @@ sim::Decision EaDvfsScheduler::decide(const sim::SchedulingContext& ctx) {
   const task::Job& job = ctx.edf_front();
   const Time deadline = job.absolute_deadline;
   const std::size_t max_op = ctx.table->max_index();
+  sim::DecisionRecord* trace = ctx.trace;
 
   const Time window = deadline - ctx.now;
   if (window <= util::kEps) {
     // Past/at the deadline (kContinueLate): no slack to trade, run flat out.
+    if (trace) trace->rule = "past-deadline";
     return sim::Decision::run(job.id, max_op);
   }
 
@@ -21,27 +23,40 @@ sim::Decision EaDvfsScheduler::decide(const sim::SchedulingContext& ctx) {
   const auto feasible = ctx.table->min_feasible(job.remaining, window);
   if (!feasible) {
     // Even full speed cannot meet the deadline; best effort at f_max.
+    if (trace) trace->rule = "no-feasible-slowdown";
     return sim::Decision::run(job.id, max_op);
   }
   const std::size_t n = *feasible;
 
   // Steps 2–3 — energy-feasible start times.
-  const Energy available = ctx.stored + ctx.predictor->predict(ctx.now, deadline);
+  const Energy predicted = ctx.predictor->predict(ctx.now, deadline);
+  const Energy available = ctx.stored + predicted;
   const Time sr_n = available / ctx.table->at(n).power;
   const Time sr_max = available / ctx.table->max_power();
   const Time s1 = std::max(ctx.now, deadline - sr_n);
   const Time s2 = std::max(ctx.now, deadline - sr_max);
+  if (trace) {
+    trace->predicted = predicted;
+    trace->used_prediction = true;
+    trace->has_min_feasible = true;
+    trace->min_feasible_op = n;
+    trace->s1 = s1;
+    trace->s2 = s2;
+  }
 
   // Step 4 — the three-zone policy.
   if (ctx.now >= s2 - util::kEps) {
+    if (trace) trace->rule = "full-speed";
     return sim::Decision::run(job.id, max_op);
   }
   if (ctx.now >= s1 - util::kEps) {
     // Stretched execution; the engine must re-ask us at s2 so the planned
     // switch to full speed (the "don't steal from future tasks" rule of
     // §4.3) happens even if no other event intervenes.
+    if (trace) trace->rule = "stretch-min-feasible";
     return sim::Decision::run(job.id, n, s2);
   }
+  if (trace) trace->rule = "wait-for-energy";
   return sim::Decision::idle_until(s1);
 }
 

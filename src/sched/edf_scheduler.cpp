@@ -4,6 +4,7 @@ namespace eadvfs::sched {
 
 sim::Decision EdfScheduler::decide(const sim::SchedulingContext& ctx) {
   const task::Job& job = ctx.edf_front();
+  if (ctx.trace) ctx.trace->rule = "edf-full-speed";
   return sim::Decision::run(job.id, ctx.table->max_index());
 }
 

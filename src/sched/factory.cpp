@@ -10,6 +10,7 @@
 #include "sched/greedy_dvfs_scheduler.hpp"
 #include "sched/lsa_scheduler.hpp"
 #include "sched/static_ea_dvfs_scheduler.hpp"
+#include "util/suggest.hpp"
 
 namespace eadvfs::sched {
 
@@ -34,7 +35,17 @@ std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name) {
     return std::make_unique<FixedPriorityScheduler>();
   if (key == "greedy-dvfs" || key == "greedy" || key == "greedy_dvfs")
     return std::make_unique<GreedyDvfsScheduler>();
-  throw std::invalid_argument("unknown scheduler: " + name);
+  // Same did-you-mean courtesy util::ArgParser gives unknown flags, over the
+  // canonical names and every accepted alias.
+  std::string message = "unknown scheduler: " + name;
+  static const std::vector<std::string> accepted = {
+      "edf",           "lsa",           "ea-dvfs",     "eadvfs",
+      "ea_dvfs",       "ea-dvfs-static", "ea_dvfs_static", "static",
+      "rm",            "dm",            "fixed-priority", "greedy-dvfs",
+      "greedy",        "greedy_dvfs"};
+  if (const std::string near = util::closest_match(key, accepted); !near.empty())
+    message += " (did you mean '" + near + "'?)";
+  throw std::invalid_argument(message);
 }
 
 std::vector<std::string> scheduler_names() {

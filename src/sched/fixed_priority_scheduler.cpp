@@ -14,6 +14,15 @@ sim::Decision FixedPriorityScheduler::decide(const sim::SchedulingContext& ctx) 
         if (a.arrival != b.arrival) return a.arrival < b.arrival;
         return a.id < b.id;
       });
+  if (sim::DecisionRecord* trace = ctx.trace) {
+    // The engine pre-fills the record with the EDF front; this policy may
+    // pick a different job, so re-point the record at the one it chose.
+    trace->job = highest->id;
+    trace->task_id = highest->task_id;
+    trace->deadline = highest->absolute_deadline;
+    trace->remaining = highest->remaining;
+    trace->rule = "fixed-priority-full-speed";
+  }
   return sim::Decision::run(highest->id, ctx.table->max_index());
 }
 

@@ -7,9 +7,22 @@ namespace eadvfs::sched {
 sim::Decision GreedyDvfsScheduler::decide(const sim::SchedulingContext& ctx) {
   const task::Job& job = ctx.edf_front();
   const std::size_t max_op = ctx.table->max_index();
+  sim::DecisionRecord* trace = ctx.trace;
   const Time window = job.absolute_deadline - ctx.now;
-  if (window <= util::kEps) return sim::Decision::run(job.id, max_op);
+  if (window <= util::kEps) {
+    if (trace) trace->rule = "past-deadline";
+    return sim::Decision::run(job.id, max_op);
+  }
   const auto feasible = ctx.table->min_feasible(job.remaining, window);
+  if (trace) {
+    if (feasible) {
+      trace->has_min_feasible = true;
+      trace->min_feasible_op = *feasible;
+      trace->rule = "min-feasible";
+    } else {
+      trace->rule = "no-feasible-slowdown";
+    }
+  }
   return sim::Decision::run(job.id, feasible.value_or(max_op));
 }
 

@@ -11,22 +11,32 @@ sim::Decision LsaScheduler::decide(const sim::SchedulingContext& ctx) {
   const Time deadline = job.absolute_deadline;
   const std::size_t max_op = ctx.table->max_index();
 
+  sim::DecisionRecord* trace = ctx.trace;
   if (deadline <= ctx.now + util::kEps) {
     // Past/at the deadline (only reachable under kContinueLate): nothing to
     // procrastinate for — run flat out.
+    if (trace) trace->rule = "past-deadline";
     return sim::Decision::run(job.id, max_op);
   }
 
-  const Energy available = ctx.stored + ctx.predictor->predict(ctx.now, deadline);
+  const Energy predicted = ctx.predictor->predict(ctx.now, deadline);
+  const Energy available = ctx.stored + predicted;
   const Time sr_max = available / ctx.table->max_power();
   const Time s2 = std::max(ctx.now, deadline - sr_max);
+  if (trace) {
+    trace->predicted = predicted;
+    trace->used_prediction = true;
+    trace->s2 = s2;
+  }
 
   if (ctx.now >= s2 - util::kEps) {
+    if (trace) trace->rule = "full-speed";
     return sim::Decision::run(job.id, max_op);
   }
   // Procrastinate; the engine will also re-invoke us on every arrival and
   // energy-source change, so s2 is continuously refined as the prediction
   // and stored energy evolve.
+  if (trace) trace->rule = "procrastinate";
   return sim::Decision::idle_until(s2);
 }
 

@@ -28,17 +28,36 @@ StaticEaDvfsScheduler::Plan StaticEaDvfsScheduler::make_plan(
 sim::Decision StaticEaDvfsScheduler::decide(const sim::SchedulingContext& ctx) {
   const task::Job& job = ctx.edf_front();
   const std::size_t max_op = ctx.table->max_index();
+  sim::DecisionRecord* trace = ctx.trace;
 
   auto it = plans_.find(job.id);
   if (it == plans_.end()) {
     it = plans_.emplace(job.id, make_plan(ctx, job)).first;
   }
   const Plan& plan = it->second;
+  if (trace && plan.feasible_slowdown) {
+    // Trace the *cached* plan: the predictor was consulted when the plan was
+    // made (at the job's first decision), not at this instant, so
+    // used_prediction stays false on replays.
+    trace->has_min_feasible = true;
+    trace->min_feasible_op = plan.op_index;
+    trace->s1 = plan.s1;
+    trace->s2 = plan.s2;
+  }
 
-  if (!plan.feasible_slowdown) return sim::Decision::run(job.id, max_op);
-  if (ctx.now >= plan.s2 - util::kEps) return sim::Decision::run(job.id, max_op);
-  if (ctx.now >= plan.s1 - util::kEps)
+  if (!plan.feasible_slowdown) {
+    if (trace) trace->rule = "no-feasible-slowdown";
+    return sim::Decision::run(job.id, max_op);
+  }
+  if (ctx.now >= plan.s2 - util::kEps) {
+    if (trace) trace->rule = "full-speed";
+    return sim::Decision::run(job.id, max_op);
+  }
+  if (ctx.now >= plan.s1 - util::kEps) {
+    if (trace) trace->rule = "stretch-min-feasible";
     return sim::Decision::run(job.id, plan.op_index, plan.s2);
+  }
+  if (trace) trace->rule = "wait-for-energy";
   return sim::Decision::idle_until(plan.s1);
 }
 

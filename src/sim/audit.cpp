@@ -180,6 +180,19 @@ void AuditObserver::check_running(const SegmentRecord& s) {
   }
 }
 
+void AuditObserver::on_decision(const DecisionRecord& d) {
+  // Emission-order invariant: records arrive with consecutive 0-based
+  // indices, and every record names a non-empty rule.
+  if (d.index != decisions_)
+    violate(d.time, "decision",
+            "record index " + std::to_string(d.index) + " but " +
+                std::to_string(decisions_) + " decisions observed so far");
+  if (d.rule == nullptr || d.rule[0] == '\0')
+    violate(d.time, "decision",
+            "decision " + std::to_string(d.index) + " fired no named rule");
+  ++decisions_;
+}
+
 void AuditObserver::on_segment(const SegmentRecord& s) {
   const Time dt = s.end - s.start;
 
@@ -299,6 +312,11 @@ void AuditObserver::finalize(const SimulationResult& result) {
             "observed " + std::to_string(segments_) +
                 " segment records but result counts " +
                 std::to_string(result.segments));
+  if (decisions_ != result.decisions)
+    violate(last_end_, "aggregate",
+            "observed " + std::to_string(decisions_) +
+                " decision records but result counts " +
+                std::to_string(result.decisions));
   // Compare inflows against outflows (not the subtracted error against 0) so
   // the relative term of near() absorbs the unavoidable cancellation when
   // the storage level dwarfs the flows (e.g. the 1e15 "infinite energy"

@@ -108,6 +108,7 @@ class AuditObserver final : public SimObserver {
   void on_miss(const task::Job& job, Time deadline) override;
   void on_abort(const task::Job& job, Time when) override;
   void on_segment(const SegmentRecord& segment) override;
+  void on_decision(const DecisionRecord& decision) override;
 
   /// End-of-run checks: horizon coverage and the stream-vs-result
   /// cross-check.  Call exactly once, after Engine::run() returned.
@@ -155,6 +156,7 @@ class AuditObserver final : public SimObserver {
   Time brownout_ = 0.0;
   std::vector<Time> time_at_op_;
   std::size_t segments_ = 0;
+  std::size_t decisions_ = 0;
   std::size_t releases_ = 0;
   std::size_t completions_ontime_ = 0;
   std::size_t completions_late_ = 0;

@@ -24,14 +24,9 @@ Engine::Engine(const SimulationConfig& config, const energy::EnergySource& sourc
       releaser_(releaser) {
   config_.validate();
   if (config_.audit) {
-    audit_ = std::make_unique<AuditObserver>(
+    audit_ = &observers_.emplace<AuditObserver>(
         AuditConfig::for_run(config_, storage_, processor_, scheduler_));
-    observers_.push_back(audit_.get());
   }
-}
-
-void Engine::add_observer(SimObserver& observer) {
-  observers_.push_back(&observer);
 }
 
 void Engine::set_fault_schedule(const fault::FaultSchedule* schedule) {
@@ -100,11 +95,11 @@ void Engine::abort_job(std::vector<task::Job>::iterator it) {
   ready_.erase(it);
   // The job's deadline event may still be queued; process_deadlines skips
   // ids absent from the ready set, so no miss is counted for aborted jobs.
-  for (SimObserver* obs : observers_) obs->on_abort(job, now_);
+  observers_.notify_abort(job, now_);
 }
 
 void Engine::notify_segment(const SegmentRecord& record) {
-  for (SimObserver* obs : observers_) obs->on_segment(record);
+  observers_.notify_segment(record);
 }
 
 std::vector<task::Job>::iterator Engine::find_ready(task::JobId id) {
@@ -132,14 +127,14 @@ void Engine::release_arrivals() {
   for (task::Job& job : releaser_.release_due(now_)) {
     job.arrival = std::min(job.arrival, now_);  // normalize epsilon-early pops
     ++result_.jobs_released;
-    for (SimObserver* obs : observers_) obs->on_release(job);
+    observers_.notify_release(job);
     if (job.actual_remaining <= kEps) {
       // Degenerate zero-work job: complete on the spot (a zero-length
       // execution segment would stall the engine's progress guarantee).
       job.remaining = 0.0;
       job.actual_remaining = 0.0;
       ++result_.jobs_completed;
-      for (SimObserver* obs : observers_) obs->on_complete(job, now_);
+      observers_.notify_complete(job, now_);
       continue;
     }
     events_.push({job.absolute_deadline, EventType::kDeadline, job.id, 0});
@@ -154,7 +149,7 @@ void Engine::process_deadlines() {
     if (it == ready_.end()) continue;            // completed earlier
     if (missed_ids_.count(e.job) != 0) continue; // already counted (late mode)
     ++result_.jobs_missed;
-    for (SimObserver* obs : observers_) obs->on_miss(*it, e.time);
+    observers_.notify_miss(*it, e.time);
     if (config_.miss_policy == MissPolicy::kDropAtDeadline) {
       result_.work_dropped += it->remaining;
       ready_.erase(it);
@@ -224,7 +219,33 @@ void Engine::complete_job(std::vector<task::Job>::iterator it) {
   }
   missed_ids_.erase(job.id);
   ready_.erase(it);
-  for (SimObserver* obs : observers_) obs->on_complete(job, now_);
+  observers_.notify_complete(job, now_);
+}
+
+Decision Engine::decide_traced() {
+  DecisionRecord rec;
+  rec.index = result_.decisions;
+  rec.time = now_;
+  const task::Job& front = ready_.front();
+  rec.job = front.id;
+  rec.task_id = front.task_id;
+  rec.deadline = front.absolute_deadline;
+  rec.remaining = front.remaining;
+  rec.stored = storage_.level();
+
+  SchedulingContext ctx = make_context();
+  ctx.trace = &rec;
+  const Decision decision = scheduler_.decide(ctx);
+
+  rec.run = decision.kind == Decision::Kind::kRun;
+  rec.chosen_op = rec.run ? decision.op_index : 0;
+  // When running, execution starts now; when idling, the scheduler's wake
+  // bound is the planned start instant.
+  rec.start = rec.run ? now_ : decision.recheck_at;
+  rec.recheck_at = decision.recheck_at;
+  ++result_.decisions;
+  observers_.notify_decision(rec);
+  return decision;
 }
 
 void Engine::execute_segment(const Decision& decision) {
@@ -447,9 +468,8 @@ SimulationResult Engine::run() {
     if (++result_.segments > config_.max_segments)
       throw std::runtime_error("Engine: segment budget exceeded (runaway loop?)");
 
-    const Decision decision = ready_.empty()
-                                  ? Decision::idle_until(kHuge)
-                                  : scheduler_.decide(make_context());
+    const Decision decision =
+        ready_.empty() ? Decision::idle_until(kHuge) : decide_traced();
     execute_segment(decision);
   }
 

@@ -35,6 +35,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/fault/schedule.hpp"
 #include "sim/observer.hpp"
+#include "sim/observer_set.hpp"
 #include "sim/result.hpp"
 #include "sim/scheduler.hpp"
 #include "task/releaser.hpp"
@@ -48,8 +49,18 @@ class Engine {
          energy::EnergyPredictor& predictor, Scheduler& scheduler,
          task::JobReleaser& releaser);
 
-  /// Register an observer (not owned; must outlive run()).
-  void add_observer(SimObserver& observer);
+  /// The engine's observer registry: register borrowed observers with
+  /// `observers().add(obs)` or transfer ownership with
+  /// `observers().add(std::move(ptr))` / `observers().emplace<T>(...)`.
+  /// When auditing is enabled the AuditObserver is already registered first.
+  [[nodiscard]] ObserverSet& observers() { return observers_; }
+  [[nodiscard]] const ObserverSet& observers() const { return observers_; }
+
+  /// Deprecated pre-ObserverSet spelling of `observers().add(observer)`
+  /// (borrowed registration).  Kept as a shim for one release; migrate to
+  /// the ObserverSet front door.
+  [[deprecated("use observers().add(observer)")]]
+  void add_observer(SimObserver& observer) { observers_.add(observer); }
 
   /// Attach a fault-injection schedule (not owned; must outlive run(); may
   /// be nullptr).  The engine applies storage/capacity events at their exact
@@ -73,10 +84,10 @@ class Engine {
   energy::EnergyPredictor& predictor_;
   Scheduler& scheduler_;
   task::JobReleaser& releaser_;
-  std::vector<SimObserver*> observers_;
-  /// Present when config.audit: registered first, finalized after the run,
-  /// and a non-clean report becomes an AuditError.
-  std::unique_ptr<AuditObserver> audit_;
+  ObserverSet observers_;
+  /// Present when config.audit: owned by observers_, registered first,
+  /// finalized after the run; a non-clean report becomes an AuditError.
+  AuditObserver* audit_ = nullptr;
   const fault::FaultSchedule* fault_ = nullptr;
 
   // --- per-run state ----------------------------------------------------
@@ -111,6 +122,12 @@ class Engine {
   void complete_job(std::vector<task::Job>::iterator it);
 
   [[nodiscard]] SchedulingContext make_context() const;
+
+  /// Ask the scheduler for a decision with a DecisionRecord threaded through
+  /// the context: fills the world-state fields, lets the scheduler fill its
+  /// internals, completes the outcome fields, counts it, and dispatches
+  /// on_decision before the segment executes.
+  [[nodiscard]] Decision decide_traced();
   [[nodiscard]] std::vector<task::Job>::iterator find_ready(task::JobId id);
   void insert_ready(const task::Job& job);
 

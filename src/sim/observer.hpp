@@ -67,6 +67,48 @@ struct SegmentRecord {
   [[nodiscard]] bool instantaneous() const { return end <= start; }
 };
 
+/// One scheduling decision, inputs and outputs together — the paper's
+/// argument made visible.  The engine fills the world-state fields (time,
+/// EDF-front job, stored energy) and the outcome fields (kind, operating
+/// point, start, recheck); the scheduler fills its *internals* through
+/// `SchedulingContext::trace`: the prediction Ê_S(t, D) it consulted, the
+/// minimum feasible operating point of ineq. (6), the start instants
+/// s1 = max(t, D − A/P_n) and s2 = max(t, D − A/P_max), and `rule` — the
+/// name of the policy branch that fired (e.g. EA-DVFS's
+/// "stretch-min-feasible" vs LSA's "procrastinate").
+///
+/// Semantics:
+///   * Records are emitted in decision order; `index` is the 0-based
+///     sequence number within the run.  One record per Scheduler::decide()
+///     call — the engine decides only while the ready set is non-empty, so
+///     an empty-system idle stretch produces no records.
+///   * Fields a scheduler did not compute keep their defaults: `predicted`
+///     is meaningful only when `used_prediction` is true, `min_feasible_op`
+///     only when `has_min_feasible`, and `s1`/`s2` are kHuge when the policy
+///     has no such instant (EDF, RM/DM).
+///   * `rule` points at a string literal with static storage duration
+///     (never null), so observers may keep the pointer without copying.
+struct DecisionRecord {
+  std::size_t index = 0;        ///< 0-based decision number within the run.
+  Time time = 0.0;              ///< t, the decision instant.
+  task::JobId job = 0;          ///< EDF-front job the decision is about.
+  task::TaskId task_id = 0;     ///< its generating task.
+  Time deadline = 0.0;          ///< its absolute deadline D.
+  Work remaining = 0.0;         ///< budgeted (WCET-based) work left.
+  Energy stored = 0.0;          ///< E_C(t).
+  Energy predicted = 0.0;       ///< Ê_S(t, D) consulted by the scheduler.
+  bool used_prediction = false; ///< true when `predicted` was computed.
+  bool has_min_feasible = false;
+  std::size_t min_feasible_op = 0;  ///< ineq. (6) operating point.
+  Time s1 = kHuge;              ///< stretched start max(t, D − A/P_n).
+  Time s2 = kHuge;              ///< full-speed start max(t, D − A/P_max).
+  bool run = false;             ///< decision kind: run vs idle.
+  std::size_t chosen_op = 0;    ///< operating point chosen (run only).
+  Time start = 0.0;             ///< now when running; planned wake when idle.
+  Time recheck_at = kHuge;      ///< scheduler-requested re-decision bound.
+  const char* rule = "";        ///< policy branch that fired (static string).
+};
+
 class SimObserver {
  public:
   virtual ~SimObserver() = default;
@@ -78,6 +120,9 @@ class SimObserver {
   /// DepletionPolicy::kAbortAndCharge; it will not complete or re-run.
   virtual void on_abort(const task::Job& /*job*/, Time /*when*/) {}
   virtual void on_segment(const SegmentRecord& /*segment*/) {}
+  /// One record per Scheduler::decide() call, emitted before the resulting
+  /// segment executes (see DecisionRecord for the field contract).
+  virtual void on_decision(const DecisionRecord& /*decision*/) {}
 };
 
 }  // namespace eadvfs::sim

@@ -1,0 +1,16 @@
+#include "sim/observer_set.hpp"
+
+#include <stdexcept>
+
+namespace eadvfs::sim {
+
+SimObserver& ObserverSet::add(std::unique_ptr<SimObserver> observer) {
+  if (observer == nullptr)
+    throw std::invalid_argument("ObserverSet::add: null observer");
+  SimObserver& ref = *observer;
+  owned_.push_back(std::move(observer));
+  order_.push_back(&ref);
+  return ref;
+}
+
+}  // namespace eadvfs::sim

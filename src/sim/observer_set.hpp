@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file observer_set.hpp
+/// The engine's observer registry.  Historically Engine kept raw
+/// "not owned; must outlive run()" pointers, which pushed lifetime
+/// bookkeeping onto every harness; ObserverSet supports both styles:
+///
+///   * `add(SimObserver&)`  — borrowed: the caller keeps ownership and must
+///     keep the observer alive through run() (the old contract, still the
+///     right one for observers the caller reads afterwards);
+///   * `add(std::unique_ptr<T>)` / `emplace<T>(...)` — owned: the set keeps
+///     the observer alive as long as the engine, and hands back a typed
+///     reference for reading results after the run.
+///
+/// Dispatch is in registration order, which the engine makes deterministic:
+/// the audit observer (when enabled) is registered first, then harness
+/// observers in the order the harness added them.
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/observer.hpp"
+
+namespace eadvfs::sim {
+
+class ObserverSet {
+ public:
+  /// Register a borrowed observer; the caller must keep it alive through
+  /// Engine::run().
+  void add(SimObserver& observer) { order_.push_back(&observer); }
+
+  /// Register an owned observer (rejects nullptr); returns a reference valid
+  /// for the lifetime of the set.
+  SimObserver& add(std::unique_ptr<SimObserver> observer);
+
+  /// Construct an observer in place and register it, keeping ownership.
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args) {
+    auto observer = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *observer;
+    owned_.push_back(std::move(observer));
+    order_.push_back(&ref);
+    return ref;
+  }
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] bool empty() const { return order_.empty(); }
+
+  // --- dispatch (registration order) -------------------------------------
+  void notify_release(const task::Job& job) const {
+    for (SimObserver* obs : order_) obs->on_release(job);
+  }
+  void notify_complete(const task::Job& job, Time finish) const {
+    for (SimObserver* obs : order_) obs->on_complete(job, finish);
+  }
+  void notify_miss(const task::Job& job, Time deadline) const {
+    for (SimObserver* obs : order_) obs->on_miss(job, deadline);
+  }
+  void notify_abort(const task::Job& job, Time when) const {
+    for (SimObserver* obs : order_) obs->on_abort(job, when);
+  }
+  void notify_segment(const SegmentRecord& segment) const {
+    for (SimObserver* obs : order_) obs->on_segment(segment);
+  }
+  void notify_decision(const DecisionRecord& decision) const {
+    for (SimObserver* obs : order_) obs->on_decision(decision);
+  }
+
+ private:
+  std::vector<SimObserver*> order_;                 ///< dispatch order.
+  std::vector<std::unique_ptr<SimObserver>> owned_; ///< keep-alive storage.
+};
+
+}  // namespace eadvfs::sim

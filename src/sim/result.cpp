@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/format.hpp"
+
 namespace eadvfs::sim {
 
 double SimulationResult::miss_rate() const {
@@ -32,6 +34,55 @@ std::string SimulationResult::summary() const {
     out << "\nfaults: storage=" << storage_faults_injected
         << " switch=" << switch_faults_injected
         << " suspensions=" << suspensions;
+  return out.str();
+}
+
+std::string SimulationResult::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent < 0 ? 0 : indent), ' ');
+  const std::string field = pad + "  ";
+  std::ostringstream out;
+  const auto num = [&](const char* key, double value, bool comma = true) {
+    out << field << "\"" << key << "\": " << util::format_double(value)
+        << (comma ? ",\n" : "\n");
+  };
+  const auto count = [&](const char* key, std::size_t value) {
+    out << field << "\"" << key << "\": " << value << ",\n";
+  };
+  out << "{\n";
+  count("jobs_released", jobs_released);
+  count("jobs_completed", jobs_completed);
+  count("jobs_missed", jobs_missed);
+  count("jobs_unresolved", jobs_unresolved);
+  count("jobs_completed_late", jobs_completed_late);
+  count("jobs_aborted", jobs_aborted);
+  count("suspensions", suspensions);
+  num("miss_rate", miss_rate());
+  num("harvested", harvested);
+  num("consumed", consumed);
+  num("overflow", overflow);
+  num("leaked", leaked);
+  num("fault_drained", fault_drained);
+  num("storage_initial", storage_initial);
+  num("storage_final", storage_final);
+  num("conservation_error", conservation_error());
+  num("busy_time", busy_time);
+  num("idle_time", idle_time);
+  num("stall_time", stall_time);
+  num("brownout_time", brownout_time);
+  count("frequency_switches", frequency_switches);
+  out << field << "\"time_at_op\": [";
+  for (std::size_t i = 0; i < time_at_op.size(); ++i)
+    out << (i > 0 ? ", " : "") << util::format_double(time_at_op[i]);
+  out << "],\n";
+  num("work_completed", work_completed);
+  num("work_dropped", work_dropped);
+  num("end_time", end_time);
+  count("segments", segments);
+  count("decisions", decisions);
+  count("storage_faults_injected", storage_faults_injected);
+  out << field << "\"switch_faults_injected\": " << switch_faults_injected
+      << "\n";
+  out << pad << "}";
   return out.str();
 }
 

@@ -70,13 +70,23 @@ struct SimulationResult {
   Work work_dropped = 0.0;  ///< remaining work of jobs dropped at deadline.
 
   Time end_time = 0.0;
-  std::size_t segments = 0;  ///< engine segments processed (diagnostics).
+  std::size_t segments = 0;   ///< engine segments processed (diagnostics).
+  std::size_t decisions = 0;  ///< Scheduler::decide() calls (= DecisionRecords
+                              ///< emitted; the engine never decides with an
+                              ///< empty ready set).
 
   // --- fault injection ---------------------------------------------------
   std::size_t storage_faults_injected = 0;  ///< drops + derates applied.
   std::size_t switch_faults_injected = 0;   ///< rejected + stalled switches.
 
   [[nodiscard]] std::string summary() const;
+
+  /// Deterministic JSON object (every field above, fixed key order,
+  /// util::format_double number formatting).  `indent` spaces prefix each
+  /// line so the object can be embedded in a larger document; the result
+  /// has no trailing newline.  Used by the metrics exporter (obs::) and by
+  /// eadvfs-sim instead of ad-hoc field printing.
+  [[nodiscard]] std::string to_json(int indent = 0) const;
 };
 
 }  // namespace eadvfs::sim

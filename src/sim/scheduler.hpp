@@ -18,6 +18,7 @@
 
 #include "energy/predictor.hpp"
 #include "proc/frequency_table.hpp"
+#include "sim/observer.hpp"
 #include "task/job.hpp"
 #include "util/types.hpp"
 
@@ -35,6 +36,11 @@ struct SchedulingContext {
   const energy::EnergyPredictor* predictor = nullptr;
   /// The processor's DVFS menu.
   const proc::FrequencyTable* table = nullptr;
+  /// Decision-trace slot, or nullptr when tracing is off.  The engine fills
+  /// the world-state and outcome fields; the scheduler fills its internals
+  /// (predicted, min_feasible_op, s1, s2, rule — see sim::DecisionRecord).
+  /// Schedulers must treat it as write-only and optional.
+  DecisionRecord* trace = nullptr;
 
   [[nodiscard]] const task::Job& edf_front() const { return ready->front(); }
 };

@@ -5,29 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/suggest.hpp"
+
 namespace eadvfs::util {
-
-namespace {
-
-// Classic DP edit distance; the option tables are tiny, so O(n*m) per
-// candidate is irrelevant next to the error path it serves.
-std::size_t edit_distance(const std::string& a, const std::string& b) {
-  std::vector<std::size_t> row(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    std::size_t diag = row[0];
-    row[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t next = std::min(
-          {row[j] + 1, row[j - 1] + 1, diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
-      diag = row[j];
-      row[j] = next;
-    }
-  }
-  return row[b.size()];
-}
-
-}  // namespace
 
 ArgParser::ArgParser(std::string program_description)
     : description_(std::move(program_description)) {}
@@ -102,20 +82,12 @@ bool ArgParser::parse(int argc, const char* const* argv) {
 }
 
 std::string ArgParser::closest_option(const std::string& name) const {
-  std::string best;
-  std::size_t best_distance = name.size();  // never suggest a total rewrite
   // specs_ is an ordered map, so ties resolve to the lexicographically
   // first candidate.
-  for (const auto& [candidate, spec] : specs_) {
-    const std::size_t d = edit_distance(name, candidate);
-    if (d < best_distance) {
-      best = candidate;
-      best_distance = d;
-    }
-  }
-  // Only offer near-misses: a typo is a couple of characters, not half
-  // the word.
-  return (best_distance <= 2 && !best.empty()) ? best : std::string{};
+  std::vector<std::string> candidates;
+  candidates.reserve(specs_.size());
+  for (const auto& [candidate, spec] : specs_) candidates.push_back(candidate);
+  return closest_match(name, candidates);
 }
 
 bool ArgParser::provided(const std::string& name) const {

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file format.hpp
+/// Deterministic, locale-independent number/string formatting for the
+/// machine-readable artifacts (metrics JSON, decision CSV).  The
+/// observability determinism contract (docs/OBSERVABILITY.md) promises
+/// byte-identical files for any --jobs value and across checkpoint-resume;
+/// iostream formatting depends on locale and precision state, so these
+/// artifacts route through std::to_chars instead — the shortest decimal
+/// string that round-trips to the exact same double, always with '.' as the
+/// separator.
+
+#include <string>
+
+namespace eadvfs::util {
+
+/// Shortest round-trip decimal representation of `value` via
+/// std::to_chars.  Non-finite values format as "inf"/"-inf"/"nan" (callers
+/// producing strict JSON must keep such values out — the engine's
+/// quantities are finite by construction).
+[[nodiscard]] std::string format_double(double value);
+
+/// `s` with the JSON string escapes applied (quote, backslash, control
+/// characters), without surrounding quotes.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace eadvfs::util

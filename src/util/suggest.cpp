@@ -1,0 +1,37 @@
+#include "util/suggest.hpp"
+
+#include <algorithm>
+
+namespace eadvfs::util {
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t next = std::min(
+          {row[j] + 1, row[j - 1] + 1, diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+std::string closest_match(const std::string& name,
+                          const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_distance = name.size();  // never suggest a total rewrite
+  for (const std::string& candidate : candidates) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best_distance) {
+      best = candidate;
+      best_distance = d;
+    }
+  }
+  return (best_distance <= 2 && !best.empty()) ? best : std::string{};
+}
+
+}  // namespace eadvfs::util

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file suggest.hpp
+/// Did-you-mean suggestions for small closed vocabularies (CLI options,
+/// scheduler names, predictor names).  Extracted from ArgParser so every
+/// front door that rejects an unknown name can offer the same near-miss
+/// hint.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eadvfs::util {
+
+/// Classic DP (Levenshtein) edit distance.  The vocabularies this serves
+/// are tiny, so O(n*m) per candidate is irrelevant next to the error path.
+[[nodiscard]] std::size_t edit_distance(const std::string& a,
+                                        const std::string& b);
+
+/// The candidate closest to `name`, or "" when nothing is close enough.
+/// Only near-misses are offered (distance <= 2 and strictly less than the
+/// length of `name` — a typo is a couple of characters, not a total
+/// rewrite).  Ties resolve to the earliest candidate, so pass candidates in
+/// a deterministic order.
+[[nodiscard]] std::string closest_match(const std::string& name,
+                                        const std::vector<std::string>& candidates);
+
+}  // namespace eadvfs::util

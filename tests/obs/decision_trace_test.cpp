@@ -1,0 +1,160 @@
+/// obs decision-trace formatting and the RunObservability sink: CSV cell
+/// semantics (kHuge and not-computed fields as empty cells), observer
+/// collection, and the multi-run accumulation behind a bench sweep's trace
+/// replication.  Column semantics: docs/OBSERVABILITY.md.
+
+#include "obs/decision_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/export.hpp"
+
+namespace eadvfs::obs {
+namespace {
+
+sim::DecisionRecord sample_run_record() {
+  sim::DecisionRecord r;
+  r.index = 3;
+  r.time = 5.0;
+  r.job = 1;
+  r.task_id = 1;
+  r.deadline = 21.0;
+  r.remaining = 1.5;
+  r.stored = 13.5;
+  r.predicted = 8.0;
+  r.used_prediction = true;
+  r.has_min_feasible = true;
+  r.min_feasible_op = 0;
+  r.s1 = 5.0;
+  r.s2 = 19.0;
+  r.run = true;
+  r.chosen_op = 0;
+  r.start = 5.0;
+  r.recheck_at = 19.0;
+  r.rule = "stretch-min-feasible";
+  return r;
+}
+
+TEST(DecisionCsv, HeaderMatchesDocumentedSchema) {
+  EXPECT_EQ(decision_csv_header(),
+            "scheduler,capacity,index,time,job,task,deadline,remaining,stored,"
+            "predicted,min_feasible_op,s1,s2,decision,chosen_op,start,"
+            "recheck_at,rule");
+}
+
+TEST(DecisionCsv, RunRowCarriesEveryComputedField) {
+  EXPECT_EQ(decision_csv_row("ea-dvfs", 50.0, sample_run_record()),
+            "ea-dvfs,50,3,5,1,1,21,1.5,13.5,8,0,5,19,run,0,5,19,"
+            "stretch-min-feasible");
+}
+
+TEST(DecisionCsv, NotComputedFieldsAreEmptyCells) {
+  // An EDF decision: no prediction, no ineq. (6) point, no s1/s2, no
+  // recheck bound — all empty cells, never sentinel numbers.
+  sim::DecisionRecord r;
+  r.index = 0;
+  r.time = 0.0;
+  r.job = 7;
+  r.task_id = 2;
+  r.deadline = 16.0;
+  r.remaining = 4.0;
+  r.stored = 24.0;
+  r.run = true;
+  r.chosen_op = 4;
+  r.start = 0.0;
+  r.rule = "edf-full-speed";
+  EXPECT_EQ(decision_csv_row("edf", 100.0, r),
+            "edf,100,0,0,7,2,16,4,24,,,,,run,4,0,,edf-full-speed");
+}
+
+TEST(DecisionCsv, IdleRowHasNoChosenOp) {
+  sim::DecisionRecord r;
+  r.index = 1;
+  r.time = 2.0;
+  r.job = 0;
+  r.task_id = 0;
+  r.deadline = 16.0;
+  r.remaining = 4.0;
+  r.stored = 3.0;
+  r.run = false;
+  r.start = 12.0;    // planned wake
+  r.recheck_at = 12.0;
+  r.rule = "procrastinate";
+  EXPECT_EQ(decision_csv_row("lsa", 100.0, r),
+            "lsa,100,1,2,0,0,16,4,3,,,,,idle,,12,12,procrastinate");
+}
+
+TEST(DecisionCsv, WriteEmitsHeaderPlusOneRowPerRecord) {
+  std::ostringstream out;
+  write_decision_csv(out, "ea-dvfs", 50.0,
+                     {sample_run_record(), sample_run_record()});
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3u);
+}
+
+TEST(DecisionTraceObserver, CollectsRecordsInOrder) {
+  DecisionTraceObserver observer;
+  EXPECT_TRUE(observer.empty());
+  sim::DecisionRecord a = sample_run_record();
+  a.index = 0;
+  sim::DecisionRecord b = sample_run_record();
+  b.index = 1;
+  observer.on_decision(a);
+  observer.on_decision(b);
+  ASSERT_EQ(observer.records().size(), 2u);
+  EXPECT_EQ(observer.records()[0].index, 0u);
+  EXPECT_EQ(observer.records()[1].index, 1u);
+}
+
+TEST(RunObservability, AccumulatesRunsInRecordingOrder) {
+  RunObservability sink;
+  sim::SimulationResult result;
+  result.jobs_released = 2;
+  sink.record_run("lsa", 50.0, result, {sample_run_record()});
+  sink.record_run("ea-dvfs", 100.0, result, {sample_run_record()});
+  ASSERT_EQ(sink.runs().size(), 2u);
+  EXPECT_EQ(sink.runs()[0].scheduler, "lsa");
+  EXPECT_EQ(sink.runs()[1].scheduler, "ea-dvfs");
+  EXPECT_DOUBLE_EQ(sink.runs()[1].capacity, 100.0);
+}
+
+TEST(RunObservability, ExportedArtifactsAreWellFormed) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "eadvfs_obs_test";
+  std::filesystem::create_directories(dir);
+  const std::string metrics_path = (dir / "m.json").string();
+  const std::string decisions_path = (dir / "d.csv").string();
+
+  RunObservability sink;
+  sink.registry().counter("decisions", {{"scheduler", "EA-DVFS"}}).inc(1);
+  sim::SimulationResult result;
+  sink.record_run("EA-DVFS", 50.0, result, {sample_run_record()});
+  sink.export_metrics(metrics_path);
+  sink.export_decisions(decisions_path);
+
+  std::ifstream metrics(metrics_path);
+  std::stringstream metrics_doc;
+  metrics_doc << metrics.rdbuf();
+  EXPECT_NE(metrics_doc.str().find("\"eadvfs.metrics.v1\""), std::string::npos);
+  EXPECT_NE(metrics_doc.str().find("\"EA-DVFS\""), std::string::npos);
+
+  std::ifstream decisions(decisions_path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(decisions, header));
+  EXPECT_EQ(header, decision_csv_header());
+  ASSERT_TRUE(std::getline(decisions, row));
+  EXPECT_EQ(row.substr(0, 11), "EA-DVFS,50,");
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace eadvfs::obs

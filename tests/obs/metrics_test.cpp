@@ -1,0 +1,140 @@
+/// obs::MetricsRegistry — find-or-create semantics, type-conflict rejection,
+/// canonical (registration-order-independent) export, and the JSON/CSV
+/// snapshot formats documented in docs/OBSERVABILITY.md.
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace eadvfs::obs {
+namespace {
+
+TEST(Labels, RendersCanonically) {
+  EXPECT_EQ(labels_to_string({}), "");
+  EXPECT_EQ(labels_to_string({{"scheduler", "EA-DVFS"}}), "scheduler=EA-DVFS");
+  // std::map keys: always alphabetical regardless of insertion order.
+  EXPECT_EQ(labels_to_string({{"task", "2"}, {"scheduler", "LSA"}}),
+            "scheduler=LSA,task=2");
+}
+
+TEST(MetricsRegistry, CounterFindOrCreateReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("jobs_released", {{"scheduler", "LSA"}});
+  a.inc();
+  a.inc(2.5);
+  Counter& b = registry.counter("jobs_released", {{"scheduler", "LSA"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_DOUBLE_EQ(b.value(), 3.5);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistry, DifferentLabelsAreDifferentSeries) {
+  MetricsRegistry registry;
+  registry.counter("decisions", {{"scheduler", "LSA"}}).inc();
+  registry.counter("decisions", {{"scheduler", "EA-DVFS"}}).inc(5);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      registry.counter("decisions", {{"scheduler", "EA-DVFS"}}).value(), 5.0);
+}
+
+TEST(MetricsRegistry, GaugeIsLastWriteWins) {
+  MetricsRegistry registry;
+  Gauge& level = registry.gauge("storage_level");
+  level.set(12.0);
+  level.set(7.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("storage_level").value(), 7.5);
+}
+
+TEST(MetricsRegistry, TypeConflictThrows) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::logic_error);
+  EXPECT_THROW(registry.histogram("x", {}, 0, 1, 4), std::logic_error);
+  // Same name under different labels is a fresh series: no conflict.
+  EXPECT_NO_THROW(registry.gauge("x", {{"kind", "other"}}));
+}
+
+TEST(MetricsRegistry, HistogramLayoutFixedAtFirstRegistration) {
+  MetricsRegistry registry;
+  util::Histogram& h = registry.histogram("lat", {}, 0.0, 10.0, 5);
+  h.add(3.0);
+  // Later calls ignore lo/hi/bins and return the existing instance.
+  util::Histogram& again = registry.histogram("lat", {}, -99.0, 99.0, 50);
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bins(), 5u);
+  EXPECT_EQ(again.total(), 1u);
+}
+
+TEST(MetricsRegistry, ExportOrderIndependentOfRegistrationOrder) {
+  MetricsRegistry forward, backward;
+  forward.counter("a").inc();
+  forward.counter("b").inc(2);
+  backward.counter("b").inc(2);
+  backward.counter("a").inc();
+  std::ostringstream fwd, bwd;
+  forward.write_json(fwd);
+  backward.write_json(bwd);
+  EXPECT_EQ(fwd.str(), bwd.str());
+}
+
+TEST(MetricsRegistry, EmptyRegistryExportsEmptyArray) {
+  MetricsRegistry registry;
+  std::ostringstream out;
+  registry.write_json(out);
+  EXPECT_EQ(out.str(), "[]");
+}
+
+TEST(MetricsRegistry, JsonScalarSchema) {
+  MetricsRegistry registry;
+  registry.counter("jobs", {{"scheduler", "LSA"}}).inc(3);
+  std::ostringstream out;
+  registry.write_json(out);
+  EXPECT_EQ(out.str(),
+            "[\n  {\"name\": \"jobs\", \"type\": \"counter\", "
+            "\"labels\": {\"scheduler\": \"LSA\"}, \"value\": 3}\n]");
+}
+
+TEST(MetricsRegistry, JsonHistogramSchema) {
+  MetricsRegistry registry;
+  util::Histogram& h = registry.histogram("lat", {}, 0.0, 4.0, 2);
+  h.add(1.0);   // first bucket
+  h.add(3.0);   // second bucket
+  h.add(-1.0);  // underflow
+  std::ostringstream out;
+  registry.write_json(out);
+  EXPECT_EQ(out.str(),
+            "[\n  {\"name\": \"lat\", \"type\": \"histogram\", \"labels\": {}, "
+            "\"lo\": 0, \"hi\": 4, \"underflow\": 1, \"overflow\": 0, "
+            "\"total\": 3, \"buckets\": [1, 1]}\n]");
+}
+
+TEST(MetricsRegistry, CsvSnapshotListsScalarsAndBuckets) {
+  MetricsRegistry registry;
+  registry.counter("jobs", {{"scheduler", "LSA"}}).inc(2);
+  registry.histogram("lat", {}, 0.0, 2.0, 2).add(0.5);
+  std::ostringstream out;
+  registry.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "name,type,labels,field,value\n"
+            "jobs,counter,\"scheduler=LSA\",value,2\n"
+            "lat,histogram,\"\",underflow,0\n"
+            "lat,histogram,\"\",bucket:0:1,1\n"
+            "lat,histogram,\"\",bucket:1:2,0\n"
+            "lat,histogram,\"\",overflow,0\n");
+}
+
+TEST(MetricsRegistry, IndentPrefixesEveryLine) {
+  MetricsRegistry registry;
+  registry.gauge("g").set(1.0);
+  std::ostringstream out;
+  registry.write_json(out, 4);
+  EXPECT_EQ(out.str(),
+            "[\n      {\"name\": \"g\", \"type\": \"gauge\", \"labels\": {}, "
+            "\"value\": 1}\n    ]");
+}
+
+}  // namespace
+}  // namespace eadvfs::obs

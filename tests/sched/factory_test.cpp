@@ -40,6 +40,39 @@ TEST(SchedulerFactory, UnknownNameThrows) {
   EXPECT_THROW((void)make_scheduler(""), std::invalid_argument);
 }
 
+TEST(SchedulerFactory, UnknownNameSuggestsNearMiss) {
+  // A one-character typo earns a did-you-mean hint in the error message.
+  try {
+    (void)make_scheduler("ea-dvf");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unknown scheduler"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean 'ea-dvfs'"), std::string::npos) << what;
+  }
+}
+
+TEST(SchedulerFactory, DistantNameGetsNoSuggestion) {
+  try {
+    (void)make_scheduler("warp-speed");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_EQ(what.find("did you mean"), std::string::npos) << what;
+  }
+}
+
+TEST(SchedulerFactory, SuggestionIsCaseInsensitive) {
+  // Lookup normalizes case before matching, so the hint does too.
+  try {
+    (void)make_scheduler("LSO");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("did you mean 'lsa'"), std::string::npos) << what;
+  }
+}
+
 TEST(SchedulerFactory, EachCallReturnsFreshInstance) {
   const auto a = make_scheduler("lsa");
   const auto b = make_scheduler("lsa");

@@ -143,6 +143,7 @@ TEST(EngineEnergy, HarvestPowersExecutionDirectlyWhenStorageEmpty) {
   class SlowestScheduler final : public Scheduler {
    public:
     Decision decide(const SchedulingContext& ctx) override {
+      if (ctx.trace) ctx.trace->rule = "always-slowest";
       return Decision::run(ctx.edf_front().id, 0);
     }
     std::string name() const override { return "slowest"; }

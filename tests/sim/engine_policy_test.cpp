@@ -74,6 +74,7 @@ TEST(EnginePolicy, DecisionRecheckTriggersReDecision) {
   class Procrastinator final : public Scheduler {
    public:
     Decision decide(const SchedulingContext& ctx) override {
+      if (ctx.trace) ctx.trace->rule = "procrastinate-until-3";
       if (ctx.now < 3.0 - util::kEps) return Decision::idle_until(3.0);
       return Decision::run(ctx.edf_front().id, ctx.table->max_index());
     }
@@ -95,6 +96,7 @@ TEST(EnginePolicy, StaleRecheckInstantIsIgnored) {
   class StaleRecheck final : public Scheduler {
    public:
     Decision decide(const SchedulingContext& ctx) override {
+      if (ctx.trace) ctx.trace->rule = "stale-recheck";
       return Decision::run(ctx.edf_front().id, ctx.table->max_index(),
                            ctx.now);  // stale
     }
@@ -160,7 +162,7 @@ TEST(EnginePolicy, SegmentsCoverTimelineWithoutGapsOrOverlap) {
   sched::EdfScheduler edf;
   task::JobReleaser releaser(s.jobs);
   Engine engine(s.config, *source, storage, processor, predictor, edf, releaser);
-  engine.add_observer(auditor);
+  engine.observers().add(auditor);
   (void)engine.run();
   EXPECT_NEAR(auditor.cursor, 15.0, 1e-9);
 }
@@ -194,7 +196,7 @@ TEST(EnginePolicy, LevelsAreContinuousAcrossSegments) {
   sched::EdfScheduler edf;
   task::JobReleaser releaser(s.jobs);
   Engine engine(s.config, *source, storage, processor, predictor, edf, releaser);
-  engine.add_observer(auditor);
+  engine.observers().add(auditor);
   (void)engine.run();
 }
 

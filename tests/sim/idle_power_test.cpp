@@ -33,7 +33,7 @@ SimulationResult run_idle_scenario(Power idle_power, Power harvest,
   SimulationConfig cfg;
   cfg.horizon = horizon;
   Engine engine(cfg, *source, storage, processor, predictor, edf, releaser);
-  if (trace != nullptr) engine.add_observer(*trace);
+  if (trace != nullptr) engine.observers().add(*trace);
   return engine.run();
 }
 

@@ -93,7 +93,7 @@ TEST(StatsObserver, EndToEndWithEngine) {
   sched::EdfScheduler edf;
   task::JobReleaser releaser(s.task_set, s.config.horizon);
   Engine engine(s.config, *source, storage, processor, predictor, edf, releaser);
-  engine.add_observer(stats);
+  engine.observers().add(stats);
   (void)engine.run();
 
   // 5 releases at 0,10,...,40, each completed after exactly 2 time units.

@@ -84,8 +84,8 @@ TEST(SwitchOverhead, ZeroDurationTransitionEmitsInstantaneousRecord) {
   sim::AuditObserver audit(
       sim::AuditConfig::for_run(config, storage, processor, scheduler));
   SegmentLog log;
-  engine.add_observer(audit);
-  engine.add_observer(log);
+  engine.observers().add(audit);
+  engine.observers().add(log);
   const sim::SimulationResult result = engine.run();
   audit.finalize(result);
   EXPECT_TRUE(audit.ok()) << audit.report();

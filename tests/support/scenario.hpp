@@ -51,6 +51,9 @@ struct Scenario {
   /// harvest faults are modelled by wrapping `source` in FaultedSource).
   /// Must outlive the run.
   const sim::fault::FaultSchedule* faults = nullptr;
+  /// Extra borrowed observers, registered after the fixture's own (audit,
+  /// schedule, energy trace).  Must outlive the run.
+  std::vector<sim::SimObserver*> observers;
   /// Attach the invariant auditor and fail the test on violations.
   bool audit = true;
 };
@@ -100,9 +103,11 @@ inline ScenarioOutcome run_scenario(Scenario&& scenario, sim::Scheduler& schedul
   if (scenario.faults != nullptr) engine.set_fault_schedule(scenario.faults);
   sim::AuditObserver audit(
       sim::AuditConfig::for_run(scenario.config, storage, processor, scheduler));
-  if (scenario.audit) engine.add_observer(audit);
-  engine.add_observer(outcome.schedule);
-  engine.add_observer(outcome.energy_trace);
+  if (scenario.audit) engine.observers().add(audit);
+  engine.observers().add(outcome.schedule);
+  engine.observers().add(outcome.energy_trace);
+  for (sim::SimObserver* observer : scenario.observers)
+    if (observer != nullptr) engine.observers().add(*observer);
   outcome.result = engine.run();
   if (scenario.audit) {
     audit.finalize(outcome.result);

@@ -1,0 +1,69 @@
+/// util::format_double / util::json_escape — the formatting layer behind the
+/// observability determinism contract (docs/OBSERVABILITY.md): shortest
+/// round-trip decimals, locale-independent, with strict JSON escaping.
+
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace eadvfs::util {
+namespace {
+
+TEST(FormatDouble, IntegersHaveNoFraction) {
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(-42.0), "-42");
+  EXPECT_EQ(format_double(1000.0), "1000");
+}
+
+TEST(FormatDouble, ShortestRepresentationRoundTrips) {
+  for (const double value :
+       {0.1, 0.5, 1.5, 3.141592653589793, 1e-9, 1e17, -2.75, 19.0625}) {
+    const std::string s = format_double(value);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), value) << s;
+  }
+}
+
+TEST(FormatDouble, UsesDotRegardlessOfLocale) {
+  // The artifact contract forbids locale-dependent separators.
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(1234.25), "1234.25");
+}
+
+TEST(FormatDouble, NonFiniteValuesAreNamed) {
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_double(std::nan("")), "nan");
+}
+
+TEST(FormatDouble, DistinctDoublesFormatDistinctly) {
+  // Shortest-round-trip means adjacent representable values never collide.
+  const double a = 0.1;
+  const double b = std::nextafter(a, 1.0);
+  EXPECT_NE(format_double(a), format_double(b));
+}
+
+TEST(JsonEscape, PassesPlainStringsThrough) {
+  EXPECT_EQ(json_escape("EA-DVFS"), "EA-DVFS");
+  EXPECT_EQ(json_escape(""), "");
+  EXPECT_EQ(json_escape("stretch-min-feasible"), "stretch-min-feasible");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace eadvfs::util

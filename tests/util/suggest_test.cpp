@@ -1,0 +1,57 @@
+/// util::edit_distance / util::closest_match — the did-you-mean hints every
+/// front door (CLI flags, scheduler factory, predictor names) shares.
+
+#include "util/suggest.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eadvfs::util {
+namespace {
+
+TEST(EditDistance, BaseCases) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("lsa", "lsa"), 0u);
+}
+
+TEST(EditDistance, CountsSubstitutionsInsertionsDeletions) {
+  EXPECT_EQ(edit_distance("lsa", "lso"), 1u);       // substitution
+  EXPECT_EQ(edit_distance("edf", "edfs"), 1u);      // insertion
+  EXPECT_EQ(edit_distance("ea-dvfs", "eadvfs"), 1u);  // deletion
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);  // classic
+}
+
+TEST(ClosestMatch, FindsNearMiss) {
+  const std::vector<std::string> names = {"edf", "lsa", "ea-dvfs",
+                                          "greedy-dvfs"};
+  EXPECT_EQ(closest_match("ea-dvf", names), "ea-dvfs");
+  EXPECT_EQ(closest_match("lso", names), "lsa");
+  EXPECT_EQ(closest_match("edfs", names), "edf");
+}
+
+TEST(ClosestMatch, RejectsDistantNames) {
+  const std::vector<std::string> names = {"edf", "lsa", "ea-dvfs"};
+  EXPECT_EQ(closest_match("warp-speed", names), "");
+  EXPECT_EQ(closest_match("rate-monotonic", names), "");
+}
+
+TEST(ClosestMatch, ShortTyposMustBeStrictlyCloserThanLength) {
+  // Distance must be < the query length: "x" vs "rm" (distance 2) is a total
+  // rewrite, not a typo.
+  const std::vector<std::string> names = {"rm"};
+  EXPECT_EQ(closest_match("x", names), "");
+}
+
+TEST(ClosestMatch, TiesResolveToEarliestCandidate) {
+  const std::vector<std::string> names = {"aa", "ab"};
+  EXPECT_EQ(closest_match("ac", names), "aa");
+}
+
+TEST(ClosestMatch, EmptyInputs) {
+  EXPECT_EQ(closest_match("anything", {}), "");
+  EXPECT_EQ(closest_match("", {"edf"}), "");
+}
+
+}  // namespace
+}  // namespace eadvfs::util

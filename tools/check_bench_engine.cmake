@@ -1,0 +1,56 @@
+# ctest helper: schema check for the engine perf baseline
+# (docs/OBSERVABILITY.md, "Perf baselines").  Runs
+# `micro_engine --engine-baseline`, then parses the emitted BENCH_engine.json
+# with CMake's string(JSON) and fails if any required field is missing or any
+# throughput rate is not a positive number.  CI runs the same binary and
+# uploads the artifact; this test keeps the schema honest locally.  Run as
+#   cmake -DBENCH=<micro_engine> -DWORK_DIR=<dir> -P <this file>
+
+set(root "${WORK_DIR}/bench_engine")
+file(REMOVE_RECURSE "${root}")
+file(MAKE_DIRECTORY "${root}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "EADVFS_OUT_DIR=${root}"
+          "${BENCH}" --engine-baseline
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "micro_engine --engine-baseline failed (${rc})")
+endif()
+
+set(path "${root}/BENCH_engine.json")
+if(NOT EXISTS "${path}")
+  message(FATAL_ERROR "no BENCH_engine.json written to ${root}")
+endif()
+file(READ "${path}" doc)
+
+# string(JSON) fatals on malformed JSON; ERROR_VARIABLE turns that into a
+# checkable message instead.
+string(JSON kind ERROR_VARIABLE err GET "${doc}" benchmark)
+if(NOT err STREQUAL "NOTFOUND" OR NOT kind STREQUAL "engine_baseline")
+  message(FATAL_ERROR "bad \"benchmark\" field: ${kind} (${err})")
+endif()
+string(JSON reps ERROR_VARIABLE err GET "${doc}" repetitions)
+if(NOT err STREQUAL "NOTFOUND" OR NOT reps GREATER 0)
+  message(FATAL_ERROR "bad \"repetitions\" field: ${reps} (${err})")
+endif()
+string(JSON n ERROR_VARIABLE err LENGTH "${doc}" results)
+if(NOT err STREQUAL "NOTFOUND" OR NOT n GREATER 0)
+  message(FATAL_ERROR "\"results\" missing or empty (${err})")
+endif()
+
+math(EXPR last "${n} - 1")
+foreach(i RANGE ${last})
+  string(JSON sched ERROR_VARIABLE err GET "${doc}" results ${i} scheduler)
+  if(NOT err STREQUAL "NOTFOUND" OR sched STREQUAL "")
+    message(FATAL_ERROR "results[${i}]: missing scheduler (${err})")
+  endif()
+  foreach(field segments_per_sec events_per_sec decisions_per_sec seconds)
+    string(JSON value ERROR_VARIABLE err GET "${doc}" results ${i} ${field})
+    if(NOT err STREQUAL "NOTFOUND" OR NOT value GREATER 0)
+      message(FATAL_ERROR
+              "results[${i}] (${sched}): ${field} = \"${value}\" (${err})")
+    endif()
+  endforeach()
+endforeach()
+message(STATUS "BENCH_engine.json: ${n} schedulers, schema OK")

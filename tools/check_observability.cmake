@@ -1,0 +1,74 @@
+# ctest helper: the observability determinism acceptance (docs/OBSERVABILITY.md,
+# "Determinism contract").  The metrics JSON and decision CSV written by
+# `eadvfs-sim --metrics-out --decisions-out` in Monte-Carlo mode describe
+# replication 0 and are produced by an in-process trace replication after
+# aggregation — so they must be byte-identical for any --jobs count and across
+# a SIGKILL + --resume cycle.  Run as
+#   cmake -DTOOL=<eadvfs-sim> -DWORK_DIR=<dir> -P <this file>
+
+set(root "${WORK_DIR}/observability")
+file(REMOVE_RECURSE "${root}")
+file(MAKE_DIRECTORY "${root}")
+set(common --replications 8 --horizon 1500 --capacity 60 --scheduler ea-dvfs
+           --utilization 0.5 --seed 7)
+
+function(run_tool tag rc_var)
+  execute_process(
+    COMMAND "${TOOL}" ${common}
+            --metrics-out "${root}/${tag}.json"
+            --decisions-out "${root}/${tag}.csv"
+            ${ARGN}
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  set(${rc_var} "${rc}" PARENT_SCOPE)
+endfunction()
+
+function(expect_identical label a b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${a}" "${b}"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "${label}: ${a} differs from ${b}")
+  endif()
+endfunction()
+
+# 1. Baselines at two worker counts: both artifacts byte-identical.
+run_tool(j1 rc --jobs 1)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--jobs 1 run failed (${rc})")
+endif()
+run_tool(j6 rc --jobs 6)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--jobs 6 run failed (${rc})")
+endif()
+expect_identical("metrics --jobs determinism"
+                 "${root}/j1.json" "${root}/j6.json")
+expect_identical("decisions --jobs determinism"
+                 "${root}/j1.csv" "${root}/j6.csv")
+
+# 2. SIGKILL mid-run (--crash-after raises a real SIGKILL after 3 journal
+#    appends), then resume: the resumed run's artifacts must still match.
+set(ckpt "${root}/ckpt")
+run_tool(crashed rc --jobs 1 --checkpoint "${ckpt}" --crash-after 3)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--crash-after 3 run exited 0; expected a SIGKILL death")
+endif()
+run_tool(resumed rc --jobs 6 --resume "${ckpt}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--resume after SIGKILL failed (${rc})")
+endif()
+expect_identical("metrics crash+resume"
+                 "${root}/j1.json" "${root}/resumed.json")
+expect_identical("decisions crash+resume"
+                 "${root}/j1.csv" "${root}/resumed.csv")
+
+# 3. Sanity: the decision CSV names the EA-DVFS rule that fired (the trace
+#    carries rule strings, not just numbers).
+file(READ "${root}/j1.csv" csv)
+if(NOT csv MATCHES "scheduler,capacity,index,time")
+  message(FATAL_ERROR "decision CSV is missing its header")
+endif()
+if(NOT csv MATCHES "EA-DVFS")
+  message(FATAL_ERROR "decision CSV has no EA-DVFS rows")
+endif()
+if(NOT csv MATCHES "stretch-min-feasible|wait-for-energy|full-speed|no-feasible-slowdown|past-deadline")
+  message(FATAL_ERROR "decision CSV rows do not name the EA-DVFS rule fired")
+endif()

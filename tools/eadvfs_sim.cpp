@@ -26,7 +26,8 @@
 ///   [processor]   switch-time, switch-energy, idle-power
 ///   [scheduler]   scheduler, predictor
 ///   [fault]       fault-profile
-///   [output]      trace-out, trace-interval, schedule-out
+///   [output]      trace-out, trace-interval, schedule-out, metrics-out,
+///                 decisions-out
 ///
 /// Scenario files are validated against this schema: an unknown section or
 /// key is a one-line error naming the file, section and key, so a typo'd
@@ -68,6 +69,10 @@
 #include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
 #include "exp/setup.hpp"
+#include "obs/decision_trace.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics_observer.hpp"
+#include "obs/perf.hpp"
 #include "sched/factory.hpp"
 #include "sim/audit.hpp"
 #include "sim/fault/faulted_predictor.hpp"
@@ -79,6 +84,7 @@
 #include "util/atomic_file.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/format.hpp"
 #include "util/ini.hpp"
 #include "util/interrupt.hpp"
 #include "util/rng.hpp"
@@ -171,7 +177,9 @@ const std::map<std::string, std::vector<std::string>>& scenario_schema() {
       {"processor", {"switch-time", "switch-energy", "idle-power"}},
       {"scheduler", {"scheduler", "predictor"}},
       {"fault", {"fault-profile"}},
-      {"output", {"trace-out", "trace-interval", "schedule-out"}},
+      {"output",
+       {"trace-out", "trace-interval", "schedule-out", "metrics-out",
+        "decisions-out"}},
   };
   return schema;
 }
@@ -316,6 +324,12 @@ int main(int argc, char** argv) {
   args.add_option("trace-out", "", "write storage-level CSV here");
   args.add_option("trace-interval", "10", "storage trace sample interval");
   args.add_option("schedule-out", "", "write execution-slice CSV here");
+  args.add_option("metrics-out", "",
+                  "write the metrics snapshot (eadvfs.metrics.v1 JSON) here; "
+                  "with --replications > 1 it describes replication 0");
+  args.add_option("decisions-out", "",
+                  "write the scheduler decision-trace CSV here; with "
+                  "--replications > 1 it describes replication 0");
   args.add_flag("analyze", "run the offline infeasibility analysis first");
   args.add_flag("audit",
                 "self-audit the run (energy conservation, segment coverage, "
@@ -436,59 +450,59 @@ int main(int argc, char** argv) {
       manifest.replications = n_reps;
       manifest.jobs = parallel.jobs;
 
+      // One replication, assembled through the shared exp::RunOptions
+      // builder.  Seeding is per-replication (same scheme as the bench
+      // sweeps): workload from the raw sub-seed, source/fault/execution
+      // from salted sub-seeds so the streams stay independent.
+      const auto run_replication =
+          [&](std::size_t rep,
+              obs::RunObservability* sink) -> sim::SimulationResult {
+        task::TaskSet workload;
+        if (fixed) {
+          workload = fixed_workload;
+        } else {
+          task::GeneratorConfig gen_cfg;
+          gen_cfg.target_utilization = opt.real("utilization");
+          gen_cfg.n_tasks = static_cast<std::size_t>(opt.integer("tasks"));
+          const task::TaskSetGenerator generator(gen_cfg);
+          util::Xoshiro256ss rng(seeds[rep]);
+          workload = generator.generate(rng);
+        }
+        // Per-replication fault realization (the spec's seed wins when
+        // pinned, else the sub-seed).
+        sim::fault::FaultProfile rep_fault = fault_profile;
+        if (!rep_fault.seed_provided)
+          rep_fault.seed = seeds[rep] ^ 0xfa017fa017fa017fULL;
+        exp::RunOptions run;
+        run.config = cfg;
+        run.source = make_source(opt.str("source"), cfg.horizon,
+                                 seeds[rep] ^ 0x5eed5eed5eed5eedULL);
+        run.tasks = &workload;
+        run.storage = storage_cfg;
+        run.table = table;
+        run.scheduler = opt.str("scheduler");
+        run.predictor = opt.str("predictor");
+        run.overhead = overhead;
+        run.idle_power = opt.real("idle-power");
+        run.execution.bcet_fraction = opt.real("bcet");
+        run.execution.seed = seeds[rep] ^ 0xE5ECULL;
+        run.fault = &rep_fault;
+        run.observability = sink;
+        return exp::run_with_options(run);
+      };
+
+      obs::PhaseTimers timers;
+      timers.start("simulate");
       const auto outcome = exp::checkpointed_map(
           n_reps,
           exp::with_default_progress(parallel, "monte-carlo", 20),
           checkpoint, manifest,
           [&](std::size_t rep) -> std::vector<double> {
-            task::TaskSet workload;
-            if (fixed) {
-              workload = fixed_workload;
-            } else {
-              task::GeneratorConfig gen_cfg;
-              gen_cfg.target_utilization = opt.real("utilization");
-              gen_cfg.n_tasks = static_cast<std::size_t>(opt.integer("tasks"));
-              const task::TaskSetGenerator generator(gen_cfg);
-              util::Xoshiro256ss rng(seeds[rep]);
-              workload = generator.generate(rng);
-            }
-            const auto rep_source =
-                make_source(opt.str("source"), cfg.horizon,
-                            seeds[rep] ^ 0x5eed5eed5eed5eedULL);
-            // Per-replication fault realization (same scheme as the bench
-            // sweeps: the spec's seed wins when pinned, else the sub-seed).
-            sim::fault::FaultProfile rep_fault = fault_profile;
-            if (!rep_fault.seed_provided)
-              rep_fault.seed = seeds[rep] ^ 0xfa017fa017fa017fULL;
-            std::optional<sim::fault::FaultSchedule> fault_schedule;
-            if (rep_fault.any()) fault_schedule.emplace(rep_fault, cfg.horizon);
-            std::shared_ptr<const energy::EnergySource> sim_source = rep_source;
-            if (fault_schedule.has_value() &&
-                !fault_schedule->harvest_windows().empty())
-              sim_source = std::make_shared<sim::fault::FaultedSource>(
-                  rep_source, fault_schedule->harvest_windows());
-            energy::EnergyStorage storage(storage_cfg);
-            proc::Processor processor(table, overhead,
-                                      opt.real("idle-power"));
-            auto predictor =
-                exp::make_predictor(opt.str("predictor"), sim_source);
-            if (fault_schedule.has_value() &&
-                fault_schedule->profile().affects_predictor())
-              predictor = std::make_unique<sim::fault::FaultedPredictor>(
-                  std::move(predictor), fault_schedule->predictor_model());
-            task::ExecutionTimeModel execution;
-            execution.bcet_fraction = opt.real("bcet");
-            execution.seed = seeds[rep] ^ 0xE5ECULL;
-            const auto scheduler = sched::make_scheduler(opt.str("scheduler"));
-            task::JobReleaser releaser(workload, cfg.horizon, execution);
-            sim::Engine engine(cfg, *sim_source, storage, processor,
-                               *predictor, *scheduler, releaser);
-            if (fault_schedule.has_value())
-              engine.set_fault_schedule(&*fault_schedule);
-            const sim::SimulationResult r = engine.run();
+            const sim::SimulationResult r = run_replication(rep, nullptr);
             return {r.miss_rate(), r.consumed, r.work_completed,
                     r.brownout_time};
           });
+      timers.start("aggregate");
 
       if (outcome.resumed > 0)
         std::cout << "resumed from checkpoint: " << outcome.resumed
@@ -536,6 +550,35 @@ int main(int argc, char** argv) {
                          std::to_string(n_reps),
                      "", ""});
       std::cout << out.render();
+
+      const std::string metrics_out = opt.str("metrics-out");
+      const std::string decisions_out = opt.str("decisions-out");
+      if (!metrics_out.empty() || !decisions_out.empty()) {
+        if (outcome.rows.empty() || outcome.rows[0].empty()) {
+          std::cout << "note: replication 0 failed; skipping "
+                       "--metrics-out/--decisions-out\n";
+        } else {
+          // Trace replication: the aggregate journal holds only summary
+          // numbers, so re-simulate replication 0 in-process for the
+          // detailed artifacts.  A replication is a pure function of
+          // (sub-seed, options), so these files are byte-identical for any
+          // --jobs value and across a checkpoint resume.
+          timers.start("trace-replication");
+          obs::RunObservability sink;
+          (void)run_replication(0, &sink);
+          if (!metrics_out.empty()) {
+            sink.export_metrics(metrics_out);
+            std::cout << "metrics (replication 0) -> " << metrics_out << "\n";
+          }
+          if (!decisions_out.empty()) {
+            sink.export_decisions(decisions_out);
+            std::cout << "decisions (replication 0) -> " << decisions_out
+                      << "\n";
+          }
+        }
+      }
+      timers.stop();
+      std::cout << "wall clock: " << timers.summary() << "\n";
       if (!outcome.report.failures.empty()) {
         std::cerr << util::describe_failures(outcome.report.failures)
                   << "\npartial results: the failed replications above are "
@@ -630,12 +673,41 @@ int main(int argc, char** argv) {
         std::cout << "  faults: " << run_fault.describe() << "\n";
       return 0;
     }
-    if (!opt.str("trace-out").empty()) engine.add_observer(energy_trace);
-    if (!opt.str("schedule-out").empty()) engine.add_observer(schedule);
+    if (!opt.str("trace-out").empty()) engine.observers().add(energy_trace);
+    if (!opt.str("schedule-out").empty()) engine.observers().add(schedule);
+
+    const std::string metrics_out = opt.str("metrics-out");
+    const std::string decisions_out = opt.str("decisions-out");
+    obs::RunObservability sink;
+    obs::DecisionTraceObserver decision_trace;
+    std::optional<obs::MetricsObserver> metrics_observer;
+    if (!metrics_out.empty() || !decisions_out.empty()) {
+      obs::MetricsObserverConfig mcfg;
+      mcfg.scheduler = scheduler->name();
+      mcfg.capacity = storage_cfg.capacity;
+      mcfg.extra = {{"capacity", util::format_double(storage_cfg.capacity)}};
+      metrics_observer.emplace(sink.registry(), mcfg);
+      engine.observers().add(*metrics_observer);
+      engine.observers().add(decision_trace);
+    }
+
     const sim::SimulationResult result = engine.run();
 
     std::cout << "\n" << result.summary() << "\n";
     if (args.flag("audit")) std::cout << "audit: clean\n";
+
+    if (!metrics_out.empty() || !decisions_out.empty()) {
+      sink.record_run(scheduler->name(), storage_cfg.capacity, result,
+                      decision_trace.records());
+      if (!metrics_out.empty()) {
+        sink.export_metrics(metrics_out);
+        std::cout << "metrics -> " << metrics_out << "\n";
+      }
+      if (!decisions_out.empty()) {
+        sink.export_decisions(decisions_out);
+        std::cout << "decisions -> " << decisions_out << "\n";
+      }
+    }
 
     if (!opt.str("trace-out").empty()) {
       // Atomic (write-temp-then-rename): a crash or interrupt mid-write
