@@ -238,62 +238,104 @@ int run_scaling_benchmark() {
 /// End-to-end engine throughput per scheduler: repeat a fixed 10k-time-unit
 /// simulation and report segments, queue events (each released job enqueues
 /// exactly one deadline event, so events = 2 * jobs_released) and scheduler
-/// decisions per wall-clock second.  Emits BENCH_engine.json in the schema
-/// checked by tools/check_bench_engine.cmake.
+/// decisions per wall-clock second.  Each scheduler is timed through both
+/// dispatch paths — the devirtualized kernel (`fast`, what production runs
+/// use) and the virtual-dispatch reference (`reference`, devirtualize=false)
+/// — with the repetitions interleaved so the reported `speedup` is a
+/// same-process, same-machine ratio that survives noisy neighbours.  Rates
+/// come from the *best* repetition (the run least disturbed by the OS), the
+/// standard noise-robust estimator for deterministic workloads.  Emits
+/// BENCH_engine.json in the schema checked by tools/check_bench_engine.cmake
+/// and gated by tools/check_perf_budget.py.
 int run_engine_baseline() {
   using Clock = std::chrono::steady_clock;
 
   const auto source = shared_source();
   const task::TaskSet set = shared_task_set(0.4);
-  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
   sim::SimulationConfig cfg;
   constexpr std::size_t kRepetitions = 20;
 
   struct Point {
     std::string scheduler;
-    double seconds = 0.0;
+    double seconds = 0.0;            ///< best devirtualized repetition.
     double segments_per_sec = 0.0;
     double events_per_sec = 0.0;
     double decisions_per_sec = 0.0;
+    double reference_seconds = 0.0;  ///< best virtual-dispatch repetition.
+    double reference_segments_per_sec = 0.0;
+    double reference_events_per_sec = 0.0;
+    double reference_decisions_per_sec = 0.0;
+    double speedup = 0.0;            ///< reference_seconds / seconds.
   };
   std::vector<Point> points;
 
   std::cout << "engine baseline: horizon " << cfg.horizon << ", "
-            << kRepetitions << " repetitions per scheduler\n\n";
+            << kRepetitions << " repetitions per scheduler and dispatch path\n"
+            << "rates use the best repetition; speedup = reference / fast\n\n";
 
   for (const char* name : {"edf", "lsa", "ea-dvfs"}) {
+    exp::RunOptions opts;
+    opts.config = cfg;
+    opts.source = source;
+    opts.tasks = &set;
+    opts.storage.capacity = 100.0;  // the scenario run_once historically used
+    opts.scheduler = name;
+
     std::size_t segments = 0, events = 0, decisions = 0;
-    const auto start = Clock::now();
+    double best_fast = 0.0, best_reference = 0.0;
     for (std::size_t rep = 0; rep < kRepetitions; ++rep) {
-      const auto scheduler = sched::make_scheduler(name);
-      const auto result = exp::run_once(cfg, source, 100.0, table, *scheduler,
-                                        "slotted-ewma", set);
-      segments += result.segments;
-      events += 2 * result.jobs_released;
-      decisions += result.decisions;
+      // Interleaved so both paths see the same machine conditions.
+      opts.devirtualize = true;
+      auto start = Clock::now();
+      const auto fast = exp::run_with_options(opts);
+      const double fast_s =
+          std::chrono::duration<double>(Clock::now() - start).count();
+
+      opts.devirtualize = false;
+      start = Clock::now();
+      const auto reference = exp::run_with_options(opts);
+      const double reference_s =
+          std::chrono::duration<double>(Clock::now() - start).count();
+
+      if (fast.segments != reference.segments ||
+          fast.decisions != reference.decisions) {
+        std::cerr << "dispatch paths disagree for " << name << "\n";
+        return 1;
+      }
+      segments = fast.segments;
+      events = 2 * fast.jobs_released;
+      decisions = fast.decisions;
+      if (rep == 0 || fast_s < best_fast) best_fast = fast_s;
+      if (rep == 0 || reference_s < best_reference) best_reference = reference_s;
     }
-    const double seconds =
-        std::chrono::duration<double>(Clock::now() - start).count();
-    if (segments == 0 || seconds <= 0.0) {
+    if (segments == 0 || best_fast <= 0.0 || best_reference <= 0.0) {
       std::cerr << "engine baseline produced no segments\n";
       return 1;
     }
     Point p;
     p.scheduler = name;
-    p.seconds = seconds;
-    p.segments_per_sec = static_cast<double>(segments) / seconds;
-    p.events_per_sec = static_cast<double>(events) / seconds;
-    p.decisions_per_sec = static_cast<double>(decisions) / seconds;
+    p.seconds = best_fast;
+    p.segments_per_sec = static_cast<double>(segments) / best_fast;
+    p.events_per_sec = static_cast<double>(events) / best_fast;
+    p.decisions_per_sec = static_cast<double>(decisions) / best_fast;
+    p.reference_seconds = best_reference;
+    p.reference_segments_per_sec = static_cast<double>(segments) / best_reference;
+    p.reference_events_per_sec = static_cast<double>(events) / best_reference;
+    p.reference_decisions_per_sec =
+        static_cast<double>(decisions) / best_reference;
+    p.speedup = best_reference / best_fast;
     points.push_back(std::move(p));
   }
 
-  exp::TextTable table_out(
-      {"scheduler", "seconds", "segments/s", "events/s", "decisions/s"});
+  exp::TextTable table_out({"scheduler", "seconds", "segments/s", "events/s",
+                            "decisions/s", "ref segments/s", "speedup"});
   for (const Point& p : points) {
-    table_out.add_row({p.scheduler, exp::fmt(p.seconds, 3),
+    table_out.add_row({p.scheduler, exp::fmt(p.seconds, 4),
                        exp::fmt(p.segments_per_sec, 0),
                        exp::fmt(p.events_per_sec, 0),
-                       exp::fmt(p.decisions_per_sec, 0)});
+                       exp::fmt(p.decisions_per_sec, 0),
+                       exp::fmt(p.reference_segments_per_sec, 0),
+                       exp::fmt(p.speedup, 2) + "x"});
   }
   std::cout << table_out.render() << "\n";
 
@@ -309,7 +351,14 @@ int run_engine_baseline() {
              << "\", \"seconds\": " << p.seconds
              << ", \"segments_per_sec\": " << p.segments_per_sec
              << ", \"events_per_sec\": " << p.events_per_sec
-             << ", \"decisions_per_sec\": " << p.decisions_per_sec << "}"
+             << ", \"decisions_per_sec\": " << p.decisions_per_sec
+             << ",\n     \"reference_seconds\": " << p.reference_seconds
+             << ", \"reference_segments_per_sec\": "
+             << p.reference_segments_per_sec
+             << ", \"reference_events_per_sec\": " << p.reference_events_per_sec
+             << ", \"reference_decisions_per_sec\": "
+             << p.reference_decisions_per_sec
+             << ",\n     \"speedup\": " << p.speedup << "}"
              << (i + 1 < points.size() ? "," : "") << "\n";
       }
       file << "  ]\n}\n";

@@ -30,6 +30,36 @@ long long SlottedEwmaPredictor::global_slot(Time t) const {
   return g;
 }
 
+long long SlottedEwmaPredictor::slot_of(Time t) const {
+  if (t >= cached_start_ && t < cached_guard_end_) return cached_g_;
+  if (t == cached_end_ && cached_end_ > cached_start_) {
+    // Exactly on the cached slot's upper boundary: global_slot(t) for
+    // t == (g+1)*width is provably g+1 (floor yields g or g+1 and the
+    // boundary nudge compares against this very product), so the boundary
+    // walk advances one slot without any division.
+    ++cached_g_;
+    cached_start_ = cached_end_;
+    cached_end_ = static_cast<double>(cached_g_ + 1) * slot_width_;
+    cached_guard_end_ =
+        std::nextafter(std::nextafter(cached_end_, -kHuge), -kHuge);
+    ++cached_index_;
+    if (cached_index_ == config_.slots) cached_index_ = 0;
+    return cached_g_;
+  }
+  const long long g = global_slot(t);
+  cached_g_ = g;
+  cached_start_ = static_cast<double>(g) * slot_width_;
+  cached_end_ = static_cast<double>(g + 1) * slot_width_;
+  // For t within an ulp or two below the upper boundary, global_slot's
+  // division may round the quotient up to g+1 even though t < end.  The
+  // cache must agree with global_slot bit-for-bit, so the topmost two
+  // representable values below the boundary always take the slow path.
+  cached_guard_end_ = std::nextafter(std::nextafter(cached_end_, -kHuge), -kHuge);
+  cached_index_ =
+      static_cast<std::size_t>(g % static_cast<long long>(config_.slots));
+  return g;
+}
+
 void SlottedEwmaPredictor::finalize_slot(std::size_t slot) {
   Slot& s = slots_[slot];
   if (s.pending_time <= 0.0) return;
@@ -53,10 +83,12 @@ void SlottedEwmaPredictor::observe(Time t0, Time t1, Energy harvested) {
   const Power mean_power = harvested / (t1 - t0);
 
   // Walk the segment slot by slot; power is attributed uniformly (engine
-  // segments are much shorter than a slot in practice).
+  // segments are much shorter than a slot in practice).  slot_of caches the
+  // slot's end and ring index, so the common whole-segment-inside-one-slot
+  // case runs without any division.
   Time t = t0;
   while (t < t1) {
-    const long long g = global_slot(t);
+    const long long g = slot_of(t);
     if (g != current_global_slot_) {
       // Entering a new slot: the slot we were filling is complete.
       if (current_global_slot_ >= 0) {
@@ -65,10 +97,8 @@ void SlottedEwmaPredictor::observe(Time t0, Time t1, Energy harvested) {
       }
       current_global_slot_ = g;
     }
-    const Time slot_end = static_cast<double>(g + 1) * slot_width_;
-    const Time sub_end = std::min(slot_end, t1);
-    Slot& s = slots_[static_cast<std::size_t>(
-        g % static_cast<long long>(config_.slots))];
+    const Time sub_end = std::min(cached_end_, t1);
+    Slot& s = slots_[cached_index_];
     s.pending_energy += mean_power * (sub_end - t);
     s.pending_time += (sub_end - t);
     t = sub_end;
@@ -76,26 +106,36 @@ void SlottedEwmaPredictor::observe(Time t0, Time t1, Energy harvested) {
 }
 
 Power SlottedEwmaPredictor::slot_estimate(std::size_t slot) const {
-  const Slot& s = slots_.at(slot);
-  if (s.seeded) return s.ewma;
+  if (slot >= slots_.size())
+    throw std::out_of_range("SlottedEwmaPredictor: slot index out of range");
   // First cycle: fall back to this slot's partial observation, then prior.
-  if (s.pending_time > 0.0) return s.pending_energy / s.pending_time;
-  return config_.prior;
+  return estimate_unchecked(slot);
 }
 
 Energy SlottedEwmaPredictor::predict(Time now, Time until) const {
   if (until < now)
     throw std::invalid_argument("SlottedEwmaPredictor: until < now");
+  if (until <= now) return 0.0;
+  // First slot through the shared cursor (predict is almost always asked
+  // about the slot the engine is currently observing into), then a local
+  // walk: each subsequent boundary is exactly the previous slot's end, so
+  // the next global slot is deterministically g+1 (see slot_of) and the
+  // shared cursor stays on `now`'s slot for the engine's next observe().
   Energy total = 0.0;
   Time t = now;
-  while (t < until) {
-    const long long g = global_slot(t);
-    const Time slot_end = static_cast<double>(g + 1) * slot_width_;
+  long long g = slot_of(now);
+  Time slot_end = cached_end_;
+  std::size_t index = cached_index_;
+  const std::size_t slot_count = config_.slots;
+  while (true) {
     const Time sub_end = std::min(slot_end, until);
-    const auto slot = static_cast<std::size_t>(
-        g % static_cast<long long>(config_.slots));
-    total += slot_estimate(slot) * (sub_end - t);
+    total += estimate_unchecked(index) * (sub_end - t);
     t = sub_end;
+    if (!(t < until)) break;
+    ++g;
+    slot_end = static_cast<double>(g + 1) * slot_width_;
+    ++index;
+    if (index == slot_count) index = 0;
   }
   return total;
 }

@@ -52,11 +52,37 @@ class SlottedEwmaPredictor final : public EnergyPredictor {
   std::vector<Slot> slots_;
   long long current_global_slot_ = -1;  ///< global slot index being filled.
 
+  /// Slot-cursor cache: observe() runs once per engine segment and predict()
+  /// once per scheduling decision, and consecutive queries almost always land
+  /// in the same slot (slots are ~20x longer than engine segments), so the
+  /// floor-division in global_slot() is hoisted behind a range check.  The
+  /// cache is mutable because predict() is logically const; the predictor is
+  /// single-run/single-threaded state already (observe mutates it).
+  mutable long long cached_g_ = 0;
+  mutable Time cached_start_ = 0.0;
+  mutable Time cached_end_ = -1.0;        ///< (g+1)*width; invalid initially.
+  mutable Time cached_guard_end_ = -1.0;  ///< cache valid on [start, guard_end).
+  mutable std::size_t cached_index_ = 0;  ///< g mod slots.
+
   /// Fold a slot's pending accumulation into its EWMA.
   void finalize_slot(std::size_t slot);
 
   /// Global slot index (grows monotonically over cycles) containing t.
   [[nodiscard]] long long global_slot(Time t) const;
+
+  /// global_slot(t) through the cursor cache.  Refreshes cached_end_ /
+  /// cached_index_ as a side effect; bit-for-bit equal to global_slot (the
+  /// guard band keeps boundary-adjacent queries on the exact slow path).
+  long long slot_of(Time t) const;
+
+  /// slot_estimate without the bounds check — the predict/observe inner
+  /// loops only ever produce indices already reduced mod config_.slots.
+  [[nodiscard]] Power estimate_unchecked(std::size_t slot) const {
+    const Slot& s = slots_[slot];
+    if (s.seeded) return s.ewma;
+    if (s.pending_time > 0.0) return s.pending_energy / s.pending_time;
+    return config_.prior;
+  }
 };
 
 }  // namespace eadvfs::energy

@@ -34,36 +34,6 @@ EnergyStorage EnergyStorage::ideal(Energy capacity) {
   return EnergyStorage(cfg);
 }
 
-bool EnergyStorage::full() const {
-  const Energy cap = effective_capacity();
-  return util::approx_equal(level_, cap) || level_ >= cap;
-}
-
-bool EnergyStorage::empty() const {
-  return util::approx_equal(level_, 0.0) || level_ <= 0.0;
-}
-
-Energy EnergyStorage::charge(Energy amount) {
-  if (amount < 0.0) throw std::invalid_argument("EnergyStorage::charge: negative");
-  const Energy stored_candidate = amount * config_.charge_efficiency;
-  const Energy accepted = std::min(stored_candidate, headroom());
-  level_ += accepted;
-  total_charged_ += accepted;
-  // Overflow is counted in *incoming* units: what the harvester produced
-  // that did not end up in the storage (conversion loss + spill).
-  const Energy overflow = amount - accepted;
-  total_overflow_ += overflow;
-  return overflow;
-}
-
-void EnergyStorage::discharge(Energy amount) {
-  if (amount < 0.0) throw std::invalid_argument("EnergyStorage::discharge: negative");
-  if (util::definitely_greater(amount, level_, 1e-6))
-    throw std::logic_error("EnergyStorage::discharge: overdraw (engine bug)");
-  level_ = util::snap_nonnegative(level_ - amount, 1e-6);
-  total_discharged_ += amount;
-}
-
 Energy EnergyStorage::fault_drain(Energy amount) {
   if (!(amount >= 0.0))
     throw std::invalid_argument("EnergyStorage::fault_drain: negative amount");
@@ -84,14 +54,6 @@ Energy EnergyStorage::set_capacity_derate(double factor) {
     total_fault_drained_ += spilled;
   }
   return spilled;
-}
-
-void EnergyStorage::leak(Time duration) {
-  if (duration < 0.0) throw std::invalid_argument("EnergyStorage::leak: negative duration");
-  if (config_.leakage == 0.0) return;
-  const Energy lost = std::min(level_, config_.leakage * duration);
-  level_ -= lost;
-  total_leaked_ += lost;
 }
 
 }  // namespace eadvfs::energy

@@ -11,8 +11,11 @@
 /// leakage power) is provided for ablations; the paper's model is the
 /// default (efficiency 1, leakage 0).
 
+#include <algorithm>
+#include <stdexcept>
 #include <string>
 
+#include "util/math.hpp"
 #include "util/types.hpp"
 
 namespace eadvfs::energy {
@@ -39,20 +42,54 @@ class EnergyStorage {
   }
   [[nodiscard]] Energy level() const { return level_; }
   [[nodiscard]] Energy headroom() const { return effective_capacity() - level_; }
-  [[nodiscard]] bool full() const;
-  [[nodiscard]] bool empty() const;
+  // The level-update operations below run once or twice per engine segment,
+  // so they are defined inline here: the devirtualized engine kernel folds
+  // them into the segment integration instead of paying a cross-TU call.
+  [[nodiscard]] bool full() const {
+    const Energy cap = effective_capacity();
+    return util::approx_equal(level_, cap) || level_ >= cap;
+  }
+  [[nodiscard]] bool empty() const {
+    return util::approx_equal(level_, 0.0) || level_ <= 0.0;
+  }
 
   /// Add harvested energy; returns the portion discarded as overflow.
   /// `amount` must be >= 0.
-  Energy charge(Energy amount);
+  Energy charge(Energy amount) {
+    if (amount < 0.0)
+      throw std::invalid_argument("EnergyStorage::charge: negative");
+    const Energy stored_candidate = amount * config_.charge_efficiency;
+    const Energy accepted = std::min(stored_candidate, headroom());
+    level_ += accepted;
+    total_charged_ += accepted;
+    // Overflow is counted in *incoming* units: what the harvester produced
+    // that did not end up in the storage (conversion loss + spill).
+    const Energy overflow = amount - accepted;
+    total_overflow_ += overflow;
+    return overflow;
+  }
 
   /// Remove energy consumed by the processor.  `amount` must not exceed the
   /// current level by more than a numerical epsilon (the engine computes
   /// exact crossing times, so larger overdraw is a logic error and throws).
-  void discharge(Energy amount);
+  void discharge(Energy amount) {
+    if (amount < 0.0)
+      throw std::invalid_argument("EnergyStorage::discharge: negative");
+    if (util::definitely_greater(amount, level_, 1e-6))
+      throw std::logic_error("EnergyStorage::discharge: overdraw (engine bug)");
+    level_ = util::snap_nonnegative(level_ - amount, 1e-6);
+    total_discharged_ += amount;
+  }
 
   /// Apply leakage over a duration (no-op for the paper's ideal model).
-  void leak(Time duration);
+  void leak(Time duration) {
+    if (duration < 0.0)
+      throw std::invalid_argument("EnergyStorage::leak: negative duration");
+    if (config_.leakage == 0.0) return;
+    const Energy lost = std::min(level_, config_.leakage * duration);
+    level_ -= lost;
+    total_leaked_ += lost;
+  }
 
   // --- fault injection --------------------------------------------------
   /// Remove up to `amount` instantly (injected transient fault: a cell

@@ -10,6 +10,7 @@
 #include "obs/decision_trace.hpp"
 #include "obs/metrics_observer.hpp"
 #include "sched/factory.hpp"
+#include "sched/fast_path.hpp"
 #include "sim/fault/faulted_predictor.hpp"
 #include "sim/fault/faulted_source.hpp"
 #include "sim/fault/schedule.hpp"
@@ -154,7 +155,8 @@ sim::SimulationResult run_with_options(const RunOptions& opts) {
     trace = &engine.observers().emplace<obs::DecisionTraceObserver>();
   }
 
-  sim::SimulationResult result = engine.run();
+  sim::SimulationResult result =
+      opts.devirtualize ? sched::run_fast(engine, *scheduler) : engine.run();
   if (opts.observability != nullptr)
     opts.observability->record_run(scheduler->name(), opts.storage.capacity,
                                    result, trace->records());

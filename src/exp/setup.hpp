@@ -124,6 +124,12 @@ struct RunOptions {
   obs::RunObservability* observability = nullptr;
   /// Per-task metric series on/off (MetricsObserverConfig::per_task).
   bool per_task_metrics = true;
+  /// Run through the devirtualized scheduler kernel (sched::run_fast) when
+  /// the scheduler is one of the six built-ins; false forces the
+  /// virtual-dispatch Engine::run() reference path.  Results are identical
+  /// either way (see docs/PERFORMANCE.md); the switch exists for the
+  /// equivalence tests and the benchmark's reference pass.
+  bool devirtualize = true;
 };
 
 /// Assemble and run one simulation from `opts`.  Mirrors run_once_with_storage

@@ -82,24 +82,6 @@ FrequencyTable FrequencyTable::cubic(std::size_t n, Power p_max) {
   return FrequencyTable(std::move(points));
 }
 
-const OperatingPoint& FrequencyTable::at(std::size_t index) const {
-  return points_.at(index);
-}
-
-const OperatingPoint& FrequencyTable::max_point() const { return points_.back(); }
-
-std::optional<std::size_t> FrequencyTable::min_feasible(Work work, Time window) const {
-  if (work < 0.0) throw std::invalid_argument("min_feasible: negative work");
-  if (work == 0.0) return 0;
-  if (window <= 0.0) return std::nullopt;
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    // w / S_n <= window, with a tolerance so that exact fits count (the
-    // motivational examples rely on "exactly fills the window" stretches).
-    if (work / points_[i].speed <= window + util::kEps) return i;
-  }
-  return std::nullopt;
-}
-
 std::string FrequencyTable::describe() const {
   std::ostringstream out;
   out << points_.size() << " operating points:";

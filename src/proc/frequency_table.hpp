@@ -9,10 +9,12 @@
 
 #include <cstddef>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "proc/operating_point.hpp"
+#include "util/math.hpp"
 
 namespace eadvfs::proc {
 
@@ -38,16 +40,33 @@ class FrequencyTable {
   /// frequency-granularity ablation.
   static FrequencyTable cubic(std::size_t n, Power p_max);
 
+  // The queries below run on every scheduling decision; inline definitions
+  // let the devirtualized scheduler kernels fold them into decide().
   [[nodiscard]] std::size_t size() const { return points_.size(); }
-  [[nodiscard]] const OperatingPoint& at(std::size_t index) const;
-  [[nodiscard]] const OperatingPoint& max_point() const;
+  [[nodiscard]] const OperatingPoint& at(std::size_t index) const {
+    return points_.at(index);
+  }
+  [[nodiscard]] const OperatingPoint& max_point() const {
+    return points_.back();
+  }
   [[nodiscard]] std::size_t max_index() const { return points_.size() - 1; }
   [[nodiscard]] Power max_power() const { return max_point().power; }
 
   /// Smallest index n such that `work / speed_n <= window`; nullopt when
   /// even full speed cannot fit the work (deadline unreachable).
   /// `work` >= 0; a zero-work query returns the slowest point.
-  [[nodiscard]] std::optional<std::size_t> min_feasible(Work work, Time window) const;
+  [[nodiscard]] std::optional<std::size_t> min_feasible(Work work,
+                                                       Time window) const {
+    if (work < 0.0) throw std::invalid_argument("min_feasible: negative work");
+    if (work == 0.0) return 0;
+    if (window <= 0.0) return std::nullopt;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      // w / S_n <= window, with a tolerance so that exact fits count (the
+      // motivational examples rely on "exactly fills the window" stretches).
+      if (work / points_[i].speed <= window + util::kEps) return i;
+    }
+    return std::nullopt;
+  }
 
   [[nodiscard]] std::string describe() const;
 

@@ -22,30 +22,6 @@ Processor::Processor(FrequencyTable table, SwitchOverhead overhead,
         "Processor: idle power above the slowest active point is nonsensical");
 }
 
-SwitchOverhead Processor::switch_to(std::size_t index) {
-  if (index >= table_.size())
-    throw std::out_of_range("Processor::switch_to: bad operating point index");
-  if (index == current_) return {};
-  current_ = index;
-  ++switch_count_;
-  return overhead_;
-}
-
-void Processor::note_busy(Time duration) {
-  if (duration < 0.0) throw std::invalid_argument("note_busy: negative duration");
-  busy_time_ += duration;
-}
-
-void Processor::note_idle(Time duration) {
-  if (duration < 0.0) throw std::invalid_argument("note_idle: negative duration");
-  idle_time_ += duration;
-}
-
-void Processor::note_stall(Time duration) {
-  if (duration < 0.0) throw std::invalid_argument("note_stall: negative duration");
-  stall_time_ += duration;
-}
-
 void Processor::reset() {
   current_ = 0;
   switch_count_ = 0;

@@ -9,6 +9,7 @@
 /// bench sweeps non-zero values to test how much that assumption matters.
 
 #include <cstddef>
+#include <stdexcept>
 
 #include "proc/frequency_table.hpp"
 #include "util/types.hpp"
@@ -39,14 +40,36 @@ class Processor {
     return table_.at(current_);
   }
 
+  // switch_to and the note_* hooks fire on every engine segment; they are
+  // inline so the devirtualized kernel absorbs them into the segment loop.
+
   /// Reconfigure to `index`.  Returns the overhead actually incurred
   /// (zero-cost when already at that point).
-  SwitchOverhead switch_to(std::size_t index);
+  SwitchOverhead switch_to(std::size_t index) {
+    if (index >= table_.size())
+      throw std::out_of_range("Processor::switch_to: bad operating point index");
+    if (index == current_) return {};
+    current_ = index;
+    ++switch_count_;
+    return overhead_;
+  }
 
   /// Time-accounting hooks called by the engine.
-  void note_busy(Time duration);
-  void note_idle(Time duration);
-  void note_stall(Time duration);
+  void note_busy(Time duration) {
+    if (duration < 0.0)
+      throw std::invalid_argument("note_busy: negative duration");
+    busy_time_ += duration;
+  }
+  void note_idle(Time duration) {
+    if (duration < 0.0)
+      throw std::invalid_argument("note_idle: negative duration");
+    idle_time_ += duration;
+  }
+  void note_stall(Time duration) {
+    if (duration < 0.0)
+      throw std::invalid_argument("note_stall: negative duration");
+    stall_time_ += duration;
+  }
 
   [[nodiscard]] std::size_t switch_count() const { return switch_count_; }
   [[nodiscard]] Time busy_time() const { return busy_time_; }

@@ -23,18 +23,18 @@ std::string lowered(const std::string& s) {
 }
 }  // namespace
 
-std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name) {
+SchedulerKind parse_scheduler_kind(const std::string& name) {
   const std::string key = lowered(name);
-  if (key == "edf") return std::make_unique<EdfScheduler>();
-  if (key == "lsa") return std::make_unique<LsaScheduler>();
+  if (key == "edf") return SchedulerKind::kEdf;
+  if (key == "lsa") return SchedulerKind::kLsa;
   if (key == "ea-dvfs" || key == "eadvfs" || key == "ea_dvfs")
-    return std::make_unique<EaDvfsScheduler>();
+    return SchedulerKind::kEaDvfs;
   if (key == "ea-dvfs-static" || key == "ea_dvfs_static" || key == "static")
-    return std::make_unique<StaticEaDvfsScheduler>();
+    return SchedulerKind::kStaticEaDvfs;
   if (key == "rm" || key == "dm" || key == "fixed-priority")
-    return std::make_unique<FixedPriorityScheduler>();
+    return SchedulerKind::kFixedPriority;
   if (key == "greedy-dvfs" || key == "greedy" || key == "greedy_dvfs")
-    return std::make_unique<GreedyDvfsScheduler>();
+    return SchedulerKind::kGreedyDvfs;
   // Same did-you-mean courtesy util::ArgParser gives unknown flags, over the
   // canonical names and every accepted alias.
   std::string message = "unknown scheduler: " + name;
@@ -46,6 +46,21 @@ std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name) {
   if (const std::string near = util::closest_match(key, accepted); !near.empty())
     message += " (did you mean '" + near + "'?)";
   throw std::invalid_argument(message);
+}
+
+std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name) {
+  switch (parse_scheduler_kind(name)) {
+    case SchedulerKind::kEdf: return std::make_unique<EdfScheduler>();
+    case SchedulerKind::kLsa: return std::make_unique<LsaScheduler>();
+    case SchedulerKind::kEaDvfs: return std::make_unique<EaDvfsScheduler>();
+    case SchedulerKind::kStaticEaDvfs:
+      return std::make_unique<StaticEaDvfsScheduler>();
+    case SchedulerKind::kFixedPriority:
+      return std::make_unique<FixedPriorityScheduler>();
+    case SchedulerKind::kGreedyDvfs:
+      return std::make_unique<GreedyDvfsScheduler>();
+  }
+  throw std::logic_error("make_scheduler: unhandled kind");
 }
 
 std::vector<std::string> scheduler_names() {

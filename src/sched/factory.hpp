@@ -11,11 +11,28 @@
 
 namespace eadvfs::sched {
 
-/// Construct a scheduler by name (case-insensitive):
-/// "edf", "lsa", "ea-dvfs" (aliases "eadvfs", "ea_dvfs"), "ea-dvfs-static"
-/// (alias "static"), "rm" (aliases "dm", "fixed-priority"), "greedy-dvfs"
-/// (aliases "greedy", "greedy_dvfs").
-/// Throws std::invalid_argument for unknown names.
+/// The six built-in schedulers, as a parse result shared by the two
+/// factories (heap-allocating make_scheduler and by-value
+/// make_scheduler_variant in fast_path.hpp), so name/alias handling and
+/// did-you-mean suggestions live in exactly one place.
+enum class SchedulerKind {
+  kEdf,
+  kFixedPriority,
+  kLsa,
+  kEaDvfs,
+  kStaticEaDvfs,
+  kGreedyDvfs,
+};
+
+/// Parse a scheduler name (case-insensitive): "edf", "lsa", "ea-dvfs"
+/// (aliases "eadvfs", "ea_dvfs"), "ea-dvfs-static" (alias "static"), "rm"
+/// (aliases "dm", "fixed-priority"), "greedy-dvfs" (aliases "greedy",
+/// "greedy_dvfs").  Throws std::invalid_argument (with a did-you-mean
+/// suggestion) for unknown names.
+[[nodiscard]] SchedulerKind parse_scheduler_kind(const std::string& name);
+
+/// Construct a scheduler by name (see parse_scheduler_kind for the accepted
+/// spellings).  Throws std::invalid_argument for unknown names.
 [[nodiscard]] std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name);
 
 /// Canonical names accepted by make_scheduler, for help text.

@@ -1,0 +1,50 @@
+#include "sched/fast_path.hpp"
+
+#include "sched/factory.hpp"
+
+namespace eadvfs::sched {
+
+SchedulerVariant make_scheduler_variant(const std::string& name) {
+  switch (parse_scheduler_kind(name)) {
+    case SchedulerKind::kEdf: return SchedulerVariant{EdfScheduler{}};
+    case SchedulerKind::kLsa: return SchedulerVariant{LsaScheduler{}};
+    case SchedulerKind::kEaDvfs: return SchedulerVariant{EaDvfsScheduler{}};
+    case SchedulerKind::kStaticEaDvfs:
+      return SchedulerVariant{StaticEaDvfsScheduler{}};
+    case SchedulerKind::kFixedPriority:
+      return SchedulerVariant{FixedPriorityScheduler{}};
+    case SchedulerKind::kGreedyDvfs:
+      return SchedulerVariant{GreedyDvfsScheduler{}};
+  }
+  throw std::logic_error("make_scheduler_variant: unhandled kind");
+}
+
+sim::Scheduler& base_scheduler(SchedulerVariant& scheduler) {
+  return std::visit([](auto& s) -> sim::Scheduler& { return s; }, scheduler);
+}
+
+sim::SimulationResult run_devirtualized(sim::Engine& engine,
+                                        SchedulerVariant& scheduler) {
+  return std::visit([&engine](auto& s) { return engine.run_as(s); }, scheduler);
+}
+
+sim::SimulationResult run_fast(sim::Engine& engine, sim::Scheduler& scheduler) {
+  // One dynamic_cast per run (not per decision) buys a fully static hot
+  // loop.  Probe order follows experiment frequency: the paper's headline
+  // comparison is EA-DVFS vs LSA vs EDF.
+  if (auto* s = dynamic_cast<EaDvfsScheduler*>(&scheduler))
+    return engine.run_as(*s);
+  if (auto* s = dynamic_cast<LsaScheduler*>(&scheduler))
+    return engine.run_as(*s);
+  if (auto* s = dynamic_cast<EdfScheduler*>(&scheduler))
+    return engine.run_as(*s);
+  if (auto* s = dynamic_cast<StaticEaDvfsScheduler*>(&scheduler))
+    return engine.run_as(*s);
+  if (auto* s = dynamic_cast<GreedyDvfsScheduler*>(&scheduler))
+    return engine.run_as(*s);
+  if (auto* s = dynamic_cast<FixedPriorityScheduler*>(&scheduler))
+    return engine.run_as(*s);
+  return engine.run();  // user-defined scheduler: virtual dispatch
+}
+
+}  // namespace eadvfs::sched

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file fast_path.hpp
+/// The devirtualized scheduler fast path.
+///
+/// Every built-in scheduler class is `final`, so when the engine's run loop
+/// is instantiated with the concrete type (Engine::run_as<S>) each
+/// decide()/on_fault()/reset() call resolves at compile time and inlines
+/// into the segment loop — no vtable dispatch in the hot path.  This header
+/// provides the three ways to reach those instantiations:
+///
+///   * SchedulerVariant / make_scheduler_variant — hold a built-in scheduler
+///     by value (no heap) with the active type tracked in the variant tag;
+///     the factory shares parse_scheduler_kind with make_scheduler, so the
+///     two front doors accept the same names and aliases;
+///   * run_devirtualized(engine, variant) — std::visit onto run_as;
+///   * run_fast(engine, scheduler) — for call sites that hold a base
+///     Scheduler& (e.g. exp::RunOptions::scheduler_override): probes the six
+///     built-in types and falls back to the virtual-dispatch Engine::run()
+///     for user-defined schedulers, which thereby keep working unchanged.
+///
+/// All paths produce bit-identical SimulationResults and observer streams —
+/// the kernel is the same code either way (see engine_kernel.hpp's
+/// correctness contract, and tests/sim/fast_path_equivalence_test.cpp).
+
+#include <string>
+#include <variant>
+
+#include "sched/ea_dvfs_scheduler.hpp"
+#include "sched/edf_scheduler.hpp"
+#include "sched/fixed_priority_scheduler.hpp"
+#include "sched/greedy_dvfs_scheduler.hpp"
+#include "sched/lsa_scheduler.hpp"
+#include "sched/static_ea_dvfs_scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace eadvfs::sched {
+
+/// A built-in scheduler held by value with its concrete type in the tag.
+using SchedulerVariant =
+    std::variant<EdfScheduler, FixedPriorityScheduler, LsaScheduler,
+                 EaDvfsScheduler, StaticEaDvfsScheduler, GreedyDvfsScheduler>;
+
+/// Construct a scheduler by name into a variant (same names and aliases as
+/// make_scheduler; throws std::invalid_argument for unknown names).
+[[nodiscard]] SchedulerVariant make_scheduler_variant(const std::string& name);
+
+/// Base-class view of the active alternative, e.g. for Engine construction.
+[[nodiscard]] sim::Scheduler& base_scheduler(SchedulerVariant& scheduler);
+
+/// Run `engine` through the kernel instantiated for the variant's active
+/// scheduler type.  The variant must hold the scheduler the engine was
+/// constructed with (pass base_scheduler() to the Engine constructor).
+[[nodiscard]] sim::SimulationResult run_devirtualized(
+    sim::Engine& engine, SchedulerVariant& scheduler);
+
+/// Devirtualized run for a scheduler held by base reference: when it is one
+/// of the six built-ins, dispatch once to the statically-typed kernel;
+/// otherwise fall back to the virtual-dispatch Engine::run().  `scheduler`
+/// must be the one the engine was constructed with.
+[[nodiscard]] sim::SimulationResult run_fast(sim::Engine& engine,
+                                             sim::Scheduler& scheduler);
+
+}  // namespace eadvfs::sched

@@ -1,15 +1,11 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
-#include "util/log.hpp"
 #include "util/math.hpp"
 
 namespace eadvfs::sim {
-
-using util::kEps;
 
 Engine::Engine(const SimulationConfig& config, const energy::EnergySource& source,
                energy::EnergyStorage& storage, proc::Processor& processor,
@@ -35,456 +31,10 @@ void Engine::set_fault_schedule(const fault::FaultSchedule* schedule) {
   fault_ = schedule;
 }
 
-Time Engine::next_fault_time() const {
-  if (fault_ == nullptr) return kHuge;
-  const auto& events = fault_->events();
-  return fault_index_ < events.size() ? events[fault_index_].time : kHuge;
-}
-
-void Engine::emit_fault_record(Energy level_before, Energy drained) {
-  SegmentRecord rec;
-  rec.start = now_;
-  rec.end = now_;
-  rec.level_start = level_before;
-  rec.level_end = storage_.level();
-  rec.fault_drained = drained;
-  ++result_.segments;
-  notify_segment(rec);
-}
-
-void Engine::apply_due_faults() {
-  if (fault_ == nullptr) return;
-  const auto& events = fault_->events();
-  while (fault_index_ < events.size() &&
-         events[fault_index_].time <= now_ + kEps) {
-    const fault::FaultEvent& e = events[fault_index_++];
-    switch (e.kind) {
-      case FaultNotice::Kind::kStorageDrop: {
-        const Energy before = storage_.level();
-        const Energy drained = storage_.fault_drain(before * e.magnitude);
-        result_.fault_drained += drained;
-        ++result_.storage_faults_injected;
-        if (drained > 0.0) emit_fault_record(before, drained);
-        break;
-      }
-      case FaultNotice::Kind::kCapacityDerate: {
-        const Energy before = storage_.level();
-        const Energy spilled = storage_.set_capacity_derate(e.magnitude);
-        result_.fault_drained += spilled;
-        ++result_.storage_faults_injected;
-        if (spilled > 0.0) emit_fault_record(before, spilled);
-        break;
-      }
-      case FaultNotice::Kind::kCapacityRestore:
-        storage_.set_capacity_derate(1.0);
-        break;
-      default:
-        // Harvest-window edges: the power change already lives inside the
-        // (wrapped) source; only the scheduler notification below matters.
-        break;
-    }
-    scheduler_.on_fault({now_, e.kind});
-  }
-}
-
-void Engine::abort_job(std::vector<task::Job>::iterator it) {
-  const task::Job job = *it;
-  ++result_.jobs_aborted;
-  result_.work_dropped += job.remaining;
-  missed_ids_.erase(job.id);
-  ready_.erase(it);
-  // The job's deadline event may still be queued; process_deadlines skips
-  // ids absent from the ready set, so no miss is counted for aborted jobs.
-  observers_.notify_abort(job, now_);
-}
-
-void Engine::notify_segment(const SegmentRecord& record) {
-  observers_.notify_segment(record);
-}
-
-std::vector<task::Job>::iterator Engine::find_ready(task::JobId id) {
-  return std::find_if(ready_.begin(), ready_.end(),
-                      [id](const task::Job& j) { return j.id == id; });
-}
-
-void Engine::insert_ready(const task::Job& job) {
-  const auto pos =
-      std::upper_bound(ready_.begin(), ready_.end(), job, task::EdfBefore{});
-  ready_.insert(pos, job);
-}
-
-SchedulingContext Engine::make_context() const {
-  SchedulingContext ctx;
-  ctx.now = now_;
-  ctx.ready = &ready_;
-  ctx.stored = storage_.level();
-  ctx.predictor = &predictor_;
-  ctx.table = &processor_.table();
-  return ctx;
-}
-
-void Engine::release_arrivals() {
-  for (task::Job& job : releaser_.release_due(now_)) {
-    job.arrival = std::min(job.arrival, now_);  // normalize epsilon-early pops
-    ++result_.jobs_released;
-    observers_.notify_release(job);
-    if (job.actual_remaining <= kEps) {
-      // Degenerate zero-work job: complete on the spot (a zero-length
-      // execution segment would stall the engine's progress guarantee).
-      job.remaining = 0.0;
-      job.actual_remaining = 0.0;
-      ++result_.jobs_completed;
-      observers_.notify_complete(job, now_);
-      continue;
-    }
-    events_.push({job.absolute_deadline, EventType::kDeadline, job.id, 0});
-    insert_ready(job);
-  }
-}
-
-void Engine::process_deadlines() {
-  for (const Event& e : events_.pop_due(now_)) {
-    if (e.type != EventType::kDeadline) continue;
-    auto it = find_ready(e.job);
-    if (it == ready_.end()) continue;            // completed earlier
-    if (missed_ids_.count(e.job) != 0) continue; // already counted (late mode)
-    ++result_.jobs_missed;
-    observers_.notify_miss(*it, e.time);
-    if (config_.miss_policy == MissPolicy::kDropAtDeadline) {
-      result_.work_dropped += it->remaining;
-      ready_.erase(it);
-    } else {
-      missed_ids_.insert(e.job);
-    }
-  }
-}
-
-void Engine::apply_switch_overhead(const proc::SwitchOverhead& overhead) {
-  // Model: the transition stalls the processor for `overhead.time` while
-  // drawing `overhead.energy` from the storage (clamped at empty), with
-  // harvesting continuing.  Deadlines/arrivals crossed during the stall are
-  // processed at the next loop iteration (the stall is not interruptible,
-  // which is the physically conservative choice).  A stall truncated by the
-  // horizon only draws the elapsed fraction of the transition energy, and a
-  // zero-duration transition (time == 0, energy > 0) is emitted as an
-  // instantaneous segment record so the observer stream still balances.
-  const Time t_end = std::min(now_ + overhead.time, config_.horizon);
-  const Time dt = t_end - now_;
-  const Energy level_start = storage_.level();
-  const double fraction = overhead.time > 0.0 ? dt / overhead.time : 1.0;
-  Energy harvested = 0.0;
-  Energy overflow = 0.0;
-  if (dt > 0.0) {
-    harvested = source_.energy_between(now_, t_end);
-    result_.harvested += harvested;
-    overflow = storage_.charge(harvested);
-    result_.overflow += overflow;
-    processor_.note_stall(dt);
-    result_.stall_time += dt;
-  }
-  const Energy drawn = std::min(storage_.level(), overhead.energy * fraction);
-  storage_.discharge(drawn);
-  result_.consumed += drawn;
-  const Energy leaked_before = storage_.total_leaked();
-  storage_.leak(dt);
-  const Energy leaked = storage_.total_leaked() - leaked_before;
-
-  if (dt > 0.0) predictor_.observe(now_, t_end, harvested);
-
-  SegmentRecord rec;
-  rec.start = now_;
-  rec.end = t_end;
-  rec.harvest_power = dt > 0.0 ? harvested / dt : 0.0;
-  rec.consume_power = dt > 0.0 ? drawn / dt : 0.0;
-  rec.harvested = harvested;
-  rec.consumed = drawn;
-  rec.overflow = overflow;
-  rec.leaked = leaked;
-  rec.level_start = level_start;
-  rec.level_end = storage_.level();
-  rec.stalled = true;
-  notify_segment(rec);
-  now_ = t_end;
-}
-
-void Engine::complete_job(std::vector<task::Job>::iterator it) {
-  task::Job job = *it;
-  job.remaining = util::snap_nonnegative(job.remaining);
-  job.actual_remaining = 0.0;
-  result_.work_completed += job.actual_work;
-  if (now_ <= job.absolute_deadline + kEps) {
-    ++result_.jobs_completed;
-  } else {
-    ++result_.jobs_completed_late;  // miss was already counted at deadline
-  }
-  missed_ids_.erase(job.id);
-  ready_.erase(it);
-  observers_.notify_complete(job, now_);
-}
-
-Decision Engine::decide_traced() {
-  DecisionRecord rec;
-  rec.index = result_.decisions;
-  rec.time = now_;
-  const task::Job& front = ready_.front();
-  rec.job = front.id;
-  rec.task_id = front.task_id;
-  rec.deadline = front.absolute_deadline;
-  rec.remaining = front.remaining;
-  rec.stored = storage_.level();
-
-  SchedulingContext ctx = make_context();
-  ctx.trace = &rec;
-  const Decision decision = scheduler_.decide(ctx);
-
-  rec.run = decision.kind == Decision::Kind::kRun;
-  rec.chosen_op = rec.run ? decision.op_index : 0;
-  // When running, execution starts now; when idling, the scheduler's wake
-  // bound is the planned start instant.
-  rec.start = rec.run ? now_ : decision.recheck_at;
-  rec.recheck_at = decision.recheck_at;
-  ++result_.decisions;
-  observers_.notify_decision(rec);
-  return decision;
-}
-
-void Engine::execute_segment(const Decision& decision) {
-  const Power ps = source_.power_at(now_);
-
-  // --- resolve what will actually happen this segment -------------------
-  bool running = false;
-  bool stalled = false;
-  std::vector<task::Job>::iterator job_it = ready_.end();
-  std::size_t op_index = 0;
-  Power consume = 0.0;
-  double speed = 0.0;
-
-  if (decision.kind == Decision::Kind::kRun) {
-    job_it = find_ready(decision.job);
-    if (job_it == ready_.end())
-      throw std::logic_error("Engine: scheduler chose a job not in the ready set");
-    op_index = decision.op_index;
-    const proc::OperatingPoint& op = processor_.table().at(op_index);
-    if (storage_.level() <= kEps && op.power > ps + kEps) {
-      // Physically impossible: no stored energy and harvest below demand.
-      stalled = true;
-    } else {
-      if (fault_ != nullptr && fault_->profile().affects_switches() &&
-          op_index != processor_.current()) {
-        const fault::SwitchFault sf = fault_->switch_fault(switch_attempts_++);
-        const fault::FaultProfile& fp = fault_->profile();
-        if (sf.kind == fault::SwitchFault::Kind::kReject) {
-          // The transition is refused: the processor stays at its old point
-          // and the attempt costs a stall (floored at switch_min_stall so a
-          // zero-overhead model cannot retry at the same instant forever).
-          ++result_.switch_faults_injected;
-          scheduler_.on_fault({now_, FaultNotice::Kind::kSwitchReject});
-          proc::SwitchOverhead cost = processor_.overhead_model();
-          cost.time = std::max(cost.time, fp.switch_min_stall);
-          apply_switch_overhead(cost);
-          return;  // re-decide from the unchanged operating point
-        }
-        if (sf.kind == fault::SwitchFault::Kind::kStall) {
-          // The transition succeeds but takes k× the nominal overhead.
-          ++result_.switch_faults_injected;
-          scheduler_.on_fault({now_, FaultNotice::Kind::kSwitchStall});
-          proc::SwitchOverhead cost = processor_.switch_to(op_index);
-          cost.time = std::max(cost.time * fp.switch_stall_factor,
-                               fp.switch_min_stall);
-          cost.energy *= fp.switch_stall_factor;
-          apply_switch_overhead(cost);
-          return;  // re-decide after the slow transition
-        }
-      }
-      const proc::SwitchOverhead overhead = processor_.switch_to(op_index);
-      if (overhead.time > 0.0 || overhead.energy > 0.0) {
-        apply_switch_overhead(overhead);
-        return;  // re-decide after the transition stall
-      }
-      running = true;
-      consume = op.power;
-      speed = op.speed;
-    }
-  }
-
-  // --- choose the segment end -------------------------------------------
-  Time t_next = config_.horizon;
-  t_next = std::min(t_next, releaser_.next_arrival());
-  t_next = std::min(t_next, events_.next_time());
-  t_next = std::min(t_next, source_.piece_end(now_));
-  {
-    // Fault instants are decision points: the segment must end there so the
-    // drop/derate applies at its exact time (apply_due_faults consumed
-    // everything <= now_, so this bound is always in the future).
-    const Time t_fault = next_fault_time();
-    if (t_fault > now_) t_next = std::min(t_next, t_fault);
-  }
-  if (decision.recheck_at > now_ + kEps)
-    t_next = std::min(t_next, decision.recheck_at);
-  if (stalled) t_next = std::min(t_next, now_ + config_.stall_wakeup);
-
-  const Energy level = storage_.level();
-  // Power drawn this segment: the operating point when running, the idle
-  // draw otherwise (the processor is powered even while waiting).  With an
-  // empty storage and harvest below the idle draw the device *browns out*:
-  // it consumes only what arrives and the unmet remainder is tracked.
-  const Power draw = running ? consume : processor_.idle_power();
-  const bool brownout = !running && level <= kEps && draw > ps + kEps;
-  const Power net = brownout ? 0.0 : ps - draw;
-  if (running) {
-    // The job physically completes when its *actual* demand is done, which
-    // may be earlier than the WCET budget the scheduler planned with.
-    const Time t_complete = now_ + job_it->actual_remaining / speed;
-    t_next = std::min(t_next, t_complete);
-  }
-  if (net < -kEps) {
-    const Time t_empty = now_ + level / (draw - ps);
-    t_next = std::min(t_next, t_empty);
-  }
-  if (net > kEps && !storage_.full()) {
-    // The storage banks only charge_efficiency of the surplus, so the level
-    // rises at net * efficiency.  Predicting the crossing with the raw net
-    // would end the segment before the storage is actually full, and the
-    // shrinking headroom would spawn a Zeno-like cascade of segments — each
-    // a spurious decision point perturbing DVFS choices.
-    const Power fill = net * storage_.config().charge_efficiency;
-    if (fill > kEps) {
-      const Time t_full = now_ + storage_.headroom() / fill;
-      if (t_full > now_ + kEps) t_next = std::min(t_next, t_full);
-    }
-  }
-
-  if (!(t_next > now_))
-    throw std::logic_error("Engine: zero-progress segment (engine bug)");
-
-  // --- integrate ----------------------------------------------------------
-  const Time dt = t_next - now_;
-  const Energy level_start = storage_.level();
-  const Energy harvested = ps * dt;
-  result_.harvested += harvested;
-  Energy overflow = 0.0;
-  Energy consumed_energy = 0.0;
-  if (running) {
-    const Energy consumed = consume * dt;
-    consumed_energy = consumed;
-    result_.consumed += consumed;
-    const Energy net_energy = harvested - consumed;
-    if (net_energy >= 0.0) {
-      overflow = storage_.charge(net_energy);
-    } else {
-      storage_.discharge(-net_energy);
-    }
-    job_it->remaining = util::snap_nonnegative(job_it->remaining - speed * dt);
-    job_it->actual_remaining =
-        util::snap_nonnegative(job_it->actual_remaining - speed * dt);
-    if (job_it->actual_remaining <= kEps) job_it->actual_remaining = 0.0;
-    processor_.note_busy(dt);
-    result_.busy_time += dt;
-    result_.time_at_op[op_index] += dt;
-  } else {
-    if (brownout) {
-      // Harvest feeds the idle draw directly; nothing reaches the storage
-      // and the shortfall (draw - ps) goes unmet.
-      consumed_energy = harvested;
-      result_.consumed += harvested;
-      result_.brownout_time += dt;
-    } else {
-      const Energy idle_draw = draw * dt;
-      consumed_energy = idle_draw;
-      result_.consumed += idle_draw;
-      const Energy net_energy = harvested - idle_draw;
-      if (net_energy >= 0.0) {
-        overflow = storage_.charge(net_energy);
-      } else {
-        storage_.discharge(-net_energy);
-      }
-    }
-    if (stalled) {
-      processor_.note_stall(dt);
-      result_.stall_time += dt;
-    } else {
-      processor_.note_idle(dt);
-      result_.idle_time += dt;
-    }
-  }
-  const Energy leaked_before = storage_.total_leaked();
-  storage_.leak(dt);
-  const Energy leaked = storage_.total_leaked() - leaked_before;
-  result_.overflow += overflow;
-  predictor_.observe(now_, t_next, harvested);
-
-  SegmentRecord rec;
-  rec.start = now_;
-  rec.end = t_next;
-  if (running) {
-    rec.job = job_it->id;
-    rec.op_index = op_index;
-  }
-  rec.harvest_power = ps;
-  rec.consume_power = running ? consume : (brownout ? ps : draw);
-  rec.level_start = level_start;
-  rec.level_end = storage_.level();
-  rec.harvested = harvested;
-  rec.consumed = consumed_energy;
-  rec.overflow = overflow;
-  rec.leaked = leaked;
-  rec.stalled = stalled;
-  rec.brownout = brownout;
-  notify_segment(rec);
-
-  now_ = t_next;
-  if (running && job_it->finished()) {
-    complete_job(job_it);
-  } else if (running && net < -kEps && storage_.level() <= kEps) {
-    // The segment drained the storage dry with the job unfinished — the
-    // depletion decision point.  Under suspend-and-resume the job simply
-    // stays ready: the next decide() re-enters EDF order and the physics
-    // guard above forces a stall until harvest accumulates (EA-DVFS then
-    // re-derives the minimum feasible frequency from the remaining work).
-    // Under abort-and-charge the computation is lost with the power.
-    if (config_.depletion_policy == DepletionPolicy::kAbortAndCharge) {
-      abort_job(job_it);
-    } else {
-      ++result_.suspensions;
-    }
-  }
-}
-
-SimulationResult Engine::run() {
-  if (ran_) throw std::logic_error("Engine::run: single-shot; create a new Engine");
-  ran_ = true;
-
-  result_ = SimulationResult{};
-  result_.storage_initial = storage_.level();
-  result_.time_at_op.assign(processor_.table().size(), 0.0);
-  now_ = 0.0;
-  scheduler_.reset();
-
-  while (true) {
-    release_arrivals();
-    process_deadlines();
-    apply_due_faults();
-    if (now_ >= config_.horizon - kEps) break;
-    if (++result_.segments > config_.max_segments)
-      throw std::runtime_error("Engine: segment budget exceeded (runaway loop?)");
-
-    const Decision decision =
-        ready_.empty() ? Decision::idle_until(kHuge) : decide_traced();
-    execute_segment(decision);
-  }
-
-  for (const task::Job& job : ready_) {
-    if (missed_ids_.count(job.id) == 0) ++result_.jobs_unresolved;
-  }
-  result_.end_time = now_;
-  result_.storage_final = storage_.level();
-  result_.leaked = storage_.total_leaked();
-  result_.frequency_switches = processor_.switch_count();
-  if (audit_) {
-    audit_->finalize(result_);
-    if (!audit_->ok()) throw AuditError(audit_->report());
-  }
-  return result_;
-}
+// The reference path: the kernel instantiated for the base class, so every
+// scheduler call goes through the vtable exactly as the pre-kernel engine
+// did.  sched::run_fast() and Engine::run_as<S>() provide the devirtualized
+// instantiations; all paths produce bit-identical results.
+SimulationResult Engine::run() { return run_as<Scheduler>(scheduler_); }
 
 }  // namespace eadvfs::sim

@@ -21,9 +21,19 @@
 /// One Engine instance performs one run over externally-owned mutable
 /// components (storage, processor, predictor, scheduler, releaser), so
 /// experiment harnesses control construction cost and seeding precisely.
+///
+/// Dispatch: the run loop is a template over the scheduler's static type and
+/// over whether any observer is attached (engine_kernel.hpp).  `run()` is the
+/// virtual-dispatch reference path; `run_as<S>()` instantiates the kernel for
+/// a concrete scheduler type so every decide()/on_fault() call devirtualizes
+/// (sched/fast_path.hpp maps the built-in schedulers onto it).  When the
+/// observer set is empty the `kObserved = false` instantiation elides every
+/// record construction and notification — the pure-physics kernel that
+/// `micro_engine --engine-baseline` measures.  Both instantiations share one
+/// set of arithmetic expressions, so results are bit-identical across paths.
 
+#include <algorithm>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "energy/predictor.hpp"
@@ -39,6 +49,7 @@
 #include "sim/result.hpp"
 #include "sim/scheduler.hpp"
 #include "task/releaser.hpp"
+#include "util/flat_set.hpp"
 
 namespace eadvfs::sim {
 
@@ -56,12 +67,6 @@ class Engine {
   [[nodiscard]] ObserverSet& observers() { return observers_; }
   [[nodiscard]] const ObserverSet& observers() const { return observers_; }
 
-  /// Deprecated pre-ObserverSet spelling of `observers().add(observer)`
-  /// (borrowed registration).  Kept as a shim for one release; migrate to
-  /// the ObserverSet front door.
-  [[deprecated("use observers().add(observer)")]]
-  void add_observer(SimObserver& observer) { observers_.add(observer); }
-
   /// Attach a fault-injection schedule (not owned; must outlive run(); may
   /// be nullptr).  The engine applies storage/capacity events at their exact
   /// instants, bounds segments at upcoming fault times, consults the
@@ -73,8 +78,18 @@ class Engine {
   void set_fault_schedule(const fault::FaultSchedule* schedule);
 
   /// Execute the simulation from t = 0 to the horizon.  Single-shot: create
-  /// a fresh Engine (and fresh mutable components) for each run.
+  /// a fresh Engine (and fresh mutable components) for each run.  This is
+  /// the virtual-dispatch path; `run_as<S>()` / sched::run_fast() produce
+  /// identical results through the devirtualized kernel.
   SimulationResult run();
+
+  /// Devirtualized entry point: run the loop with the scheduler statically
+  /// typed as `SchedulerT`, so decide()/on_fault()/reset() resolve at
+  /// compile time (every built-in scheduler is `final`).  `scheduler` must
+  /// be the same object the engine was constructed with; throws
+  /// std::logic_error otherwise.  Results are identical to run().
+  template <typename SchedulerT>
+  SimulationResult run_as(SchedulerT& scheduler);
 
  private:
   const SimulationConfig& config_;
@@ -92,46 +107,98 @@ class Engine {
 
   // --- per-run state ----------------------------------------------------
   Time now_ = 0.0;
-  std::vector<task::Job> ready_;      ///< EDF-sorted.
-  std::set<task::JobId> missed_ids_;  ///< kContinueLate: already-missed jobs.
+  std::vector<task::Job> ready_;           ///< EDF-sorted.
+  util::FlatSet<task::JobId> missed_ids_;  ///< kContinueLate: already-missed.
   EventQueue events_;
   SimulationResult result_;
   bool ran_ = false;
   std::size_t fault_index_ = 0;     ///< next unapplied fault event.
   std::size_t switch_attempts_ = 0; ///< DVFS transitions attempted so far.
+  /// Source cursor: the source contract (power constant on [t, piece_end(t)),
+  /// piece_end(t) > t) lets the kernel cache the current piece's power and
+  /// end instead of making two virtual calls per segment.  Refreshed exactly
+  /// at piece boundaries, so the cached values equal the direct calls.
+  Power src_power_ = 0.0;
+  Time src_piece_end_ = -kHuge;
 
+  // --- the templated kernel (definitions in engine_kernel.hpp) ----------
+  /// One full run loop for a statically-typed scheduler; `kObserved = false`
+  /// (only ever chosen when observers_ is empty) skips every record
+  /// construction and notification while computing the same SimulationResult.
+  template <typename SchedulerT, bool kObserved>
+  SimulationResult run_loop(SchedulerT& scheduler);
+
+  template <bool kObserved>
   void release_arrivals();
+
+  template <bool kObserved>
   void process_deadlines();
 
   /// Apply every fault event due at now_ (storage drops, capacity derates)
   /// and forward the notices to the scheduler.
-  void apply_due_faults();
-  [[nodiscard]] Time next_fault_time() const;
+  template <typename SchedulerT, bool kObserved>
+  void apply_due_faults(SchedulerT& scheduler);
+
+  // The helpers below run on every segment or decision; they are defined
+  // inline so the kernel instantiations in other translation units (e.g.
+  // sched/fast_path.cpp) can fold them into the loop — without LTO an
+  // engine.cpp definition would cost a call per use.
+  [[nodiscard]] Time next_fault_time() const {
+    if (fault_ == nullptr) return kHuge;
+    const auto& events = fault_->events();
+    return fault_index_ < events.size() ? events[fault_index_].time : kHuge;
+  }
+
   /// Emit the instantaneous record documenting `drained` energy destroyed
   /// by a storage fault (level_before -> current level).
+  template <bool kObserved>
   void emit_fault_record(Energy level_before, Energy drained);
+
   /// Abort the running job under DepletionPolicy::kAbortAndCharge.
+  template <bool kObserved>
   void abort_job(std::vector<task::Job>::iterator it);
 
   /// Perform one segment according to `decision`; advances now_.
-  void execute_segment(const Decision& decision);
+  template <typename SchedulerT, bool kObserved>
+  void execute_segment(SchedulerT& scheduler, const Decision& decision);
 
   /// Apply a non-zero DVFS transition cost as a mini stall segment.
+  template <bool kObserved>
   void apply_switch_overhead(const proc::SwitchOverhead& overhead);
 
+  template <bool kObserved>
   void complete_job(std::vector<task::Job>::iterator it);
 
-  [[nodiscard]] SchedulingContext make_context() const;
+  [[nodiscard]] SchedulingContext make_context() const {
+    SchedulingContext ctx;
+    ctx.now = now_;
+    ctx.ready = &ready_;
+    ctx.stored = storage_.level();
+    ctx.predictor = &predictor_;
+    ctx.table = &processor_.table();
+    return ctx;
+  }
 
-  /// Ask the scheduler for a decision with a DecisionRecord threaded through
-  /// the context: fills the world-state fields, lets the scheduler fill its
-  /// internals, completes the outcome fields, counts it, and dispatches
-  /// on_decision before the segment executes.
-  [[nodiscard]] Decision decide_traced();
-  [[nodiscard]] std::vector<task::Job>::iterator find_ready(task::JobId id);
-  void insert_ready(const task::Job& job);
+  /// Ask the scheduler for a decision.  When observed, a DecisionRecord is
+  /// threaded through the context (the engine fills the world-state fields,
+  /// the scheduler its internals, the engine the outcome fields) and
+  /// dispatched before the segment executes; when unobserved the scheduler
+  /// sees a null trace and no record exists at all.
+  template <typename SchedulerT, bool kObserved>
+  [[nodiscard]] Decision decide(SchedulerT& scheduler);
 
-  void notify_segment(const SegmentRecord& record);
+  [[nodiscard]] std::vector<task::Job>::iterator find_ready(task::JobId id) {
+    return std::find_if(ready_.begin(), ready_.end(),
+                        [id](const task::Job& j) { return j.id == id; });
+  }
+
+  void insert_ready(const task::Job& job) {
+    const auto pos =
+        std::upper_bound(ready_.begin(), ready_.end(), job, task::EdfBefore{});
+    ready_.insert(pos, job);
+  }
 };
 
 }  // namespace eadvfs::sim
+
+#include "sim/engine_kernel.hpp"  // template definitions for the run loop

@@ -1,0 +1,514 @@
+#pragma once
+
+/// \file engine_kernel.hpp
+/// Template definitions for the Engine run loop (declared in engine.hpp —
+/// always include that header; it pulls this one in at the bottom).
+///
+/// The kernel is parameterized twice:
+///
+///   * `SchedulerT` — the scheduler's static type.  Instantiated with the
+///     base `Scheduler` it reproduces the classic virtual-dispatch engine
+///     (Engine::run()); instantiated with one of the `final` built-in
+///     scheduler classes every decide()/on_fault()/reset() call resolves at
+///     compile time and inlines into the loop (sched/fast_path.cpp holds
+///     those instantiations so regular includers of engine.hpp don't pay the
+///     compile cost six times over).
+///
+///   * `kObserved` — whether any observer is registered.  The false
+///     instantiation (chosen by run_as only when observers().empty()) strips
+///     every SegmentRecord/DecisionRecord construction and notify_* call out
+///     of the binary; schedulers see a null trace pointer, which they
+///     already handle.  SimulationResult is computed identically.
+///
+/// Correctness contract: both instantiations execute the *same* arithmetic
+/// expressions in the same order — the only `if constexpr` differences are
+/// record bookkeeping that never feeds back into the physics.  This is what
+/// lets the fast-path equivalence tests demand bit-identical results, and
+/// what keeps the golden artifacts valid for every dispatch mode.
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "util/math.hpp"
+
+namespace eadvfs::sim {
+
+template <typename SchedulerT>
+SimulationResult Engine::run_as(SchedulerT& scheduler) {
+  if (static_cast<Scheduler*>(&scheduler) != &scheduler_)
+    throw std::logic_error(
+        "Engine::run_as: scheduler is not the one this engine was built with");
+  if (ran_)
+    throw std::logic_error("Engine::run: single-shot; create a new Engine");
+  ran_ = true;
+  return observers_.empty() ? run_loop<SchedulerT, false>(scheduler)
+                            : run_loop<SchedulerT, true>(scheduler);
+}
+
+template <typename SchedulerT, bool kObserved>
+SimulationResult Engine::run_loop(SchedulerT& scheduler) {
+  result_ = SimulationResult{};
+  result_.storage_initial = storage_.level();
+  result_.time_at_op.assign(processor_.table().size(), 0.0);
+  now_ = 0.0;
+  src_power_ = 0.0;
+  src_piece_end_ = -kHuge;  // invalid: first segment refreshes the cursor
+  scheduler.reset();
+
+  while (true) {
+    release_arrivals<kObserved>();
+    process_deadlines<kObserved>();
+    apply_due_faults<SchedulerT, kObserved>(scheduler);
+    if (now_ >= config_.horizon - util::kEps) break;
+    if (++result_.segments > config_.max_segments)
+      throw std::runtime_error(
+          "Engine: segment budget exceeded (runaway loop?)");
+
+    const Decision decision =
+        ready_.empty() ? Decision::idle_until(kHuge)
+                       : decide<SchedulerT, kObserved>(scheduler);
+    execute_segment<SchedulerT, kObserved>(scheduler, decision);
+  }
+
+  for (const task::Job& job : ready_) {
+    if (!missed_ids_.contains(job.id)) ++result_.jobs_unresolved;
+  }
+  result_.end_time = now_;
+  result_.storage_final = storage_.level();
+  result_.leaked = storage_.total_leaked();
+  result_.frequency_switches = processor_.switch_count();
+  if (audit_) {
+    audit_->finalize(result_);
+    if (!audit_->ok()) throw AuditError(audit_->report());
+  }
+  return result_;
+}
+
+template <bool kObserved>
+void Engine::release_arrivals() {
+  releaser_.for_each_due(now_, [this](const task::Job& due) {
+    task::Job job = due;
+    job.arrival = std::min(job.arrival, now_);  // normalize epsilon-early pops
+    ++result_.jobs_released;
+    if constexpr (kObserved) observers_.notify_release(job);
+    if (job.actual_remaining <= util::kEps) {
+      // Degenerate zero-work job: complete on the spot (a zero-length
+      // execution segment would stall the engine's progress guarantee).
+      job.remaining = 0.0;
+      job.actual_remaining = 0.0;
+      ++result_.jobs_completed;
+      if constexpr (kObserved) observers_.notify_complete(job, now_);
+      return;
+    }
+    events_.push({job.absolute_deadline, EventType::kDeadline, job.id, 0});
+    insert_ready(job);
+  });
+}
+
+template <bool kObserved>
+void Engine::process_deadlines() {
+  events_.for_each_due(now_, [this](const Event& e) {
+    if (e.type != EventType::kDeadline) return;
+    auto it = find_ready(e.job);
+    if (it == ready_.end()) return;            // completed earlier
+    if (missed_ids_.contains(e.job)) return;   // already counted (late mode)
+    ++result_.jobs_missed;
+    if constexpr (kObserved) observers_.notify_miss(*it, e.time);
+    if (config_.miss_policy == MissPolicy::kDropAtDeadline) {
+      result_.work_dropped += it->remaining;
+      ready_.erase(it);
+    } else {
+      missed_ids_.insert(e.job);
+    }
+  });
+}
+
+template <bool kObserved>
+void Engine::emit_fault_record(Energy level_before, Energy drained) {
+  ++result_.segments;
+  if constexpr (kObserved) {
+    SegmentRecord rec;
+    rec.start = now_;
+    rec.end = now_;
+    rec.level_start = level_before;
+    rec.level_end = storage_.level();
+    rec.fault_drained = drained;
+    observers_.notify_segment(rec);
+  } else {
+    (void)level_before;
+    (void)drained;
+  }
+}
+
+template <typename SchedulerT, bool kObserved>
+void Engine::apply_due_faults(SchedulerT& scheduler) {
+  if (fault_ == nullptr) return;
+  const auto& events = fault_->events();
+  while (fault_index_ < events.size() &&
+         events[fault_index_].time <= now_ + util::kEps) {
+    const fault::FaultEvent& e = events[fault_index_++];
+    switch (e.kind) {
+      case FaultNotice::Kind::kStorageDrop: {
+        const Energy before = storage_.level();
+        const Energy drained = storage_.fault_drain(before * e.magnitude);
+        result_.fault_drained += drained;
+        ++result_.storage_faults_injected;
+        if (drained > 0.0) emit_fault_record<kObserved>(before, drained);
+        break;
+      }
+      case FaultNotice::Kind::kCapacityDerate: {
+        const Energy before = storage_.level();
+        const Energy spilled = storage_.set_capacity_derate(e.magnitude);
+        result_.fault_drained += spilled;
+        ++result_.storage_faults_injected;
+        if (spilled > 0.0) emit_fault_record<kObserved>(before, spilled);
+        break;
+      }
+      case FaultNotice::Kind::kCapacityRestore:
+        storage_.set_capacity_derate(1.0);
+        break;
+      default:
+        // Harvest-window edges: the power change already lives inside the
+        // (wrapped) source; only the scheduler notification below matters.
+        break;
+    }
+    scheduler.on_fault({now_, e.kind});
+  }
+}
+
+template <bool kObserved>
+void Engine::abort_job(std::vector<task::Job>::iterator it) {
+  const task::Job job = *it;
+  ++result_.jobs_aborted;
+  result_.work_dropped += job.remaining;
+  missed_ids_.erase(job.id);
+  ready_.erase(it);
+  // The job's deadline event may still be queued; process_deadlines skips
+  // ids absent from the ready set, so no miss is counted for aborted jobs.
+  if constexpr (kObserved) observers_.notify_abort(job, now_);
+}
+
+template <bool kObserved>
+void Engine::apply_switch_overhead(const proc::SwitchOverhead& overhead) {
+  // Model: the transition stalls the processor for `overhead.time` while
+  // drawing `overhead.energy` from the storage (clamped at empty), with
+  // harvesting continuing.  Deadlines/arrivals crossed during the stall are
+  // processed at the next loop iteration (the stall is not interruptible,
+  // which is the physically conservative choice).  A stall truncated by the
+  // horizon only draws the elapsed fraction of the transition energy, and a
+  // zero-duration transition (time == 0, energy > 0) is emitted as an
+  // instantaneous segment record so the observer stream still balances.
+  const Time t_end = std::min(now_ + overhead.time, config_.horizon);
+  const Time dt = t_end - now_;
+  const Energy level_start = storage_.level();
+  const double fraction = overhead.time > 0.0 ? dt / overhead.time : 1.0;
+  Energy harvested = 0.0;
+  Energy overflow = 0.0;
+  if (dt > 0.0) {
+    harvested = source_.energy_between(now_, t_end);
+    result_.harvested += harvested;
+    overflow = storage_.charge(harvested);
+    result_.overflow += overflow;
+    processor_.note_stall(dt);
+    result_.stall_time += dt;
+  }
+  const Energy drawn = std::min(storage_.level(), overhead.energy * fraction);
+  storage_.discharge(drawn);
+  result_.consumed += drawn;
+  const Energy leaked_before = storage_.total_leaked();
+  storage_.leak(dt);
+  const Energy leaked = storage_.total_leaked() - leaked_before;
+
+  if (dt > 0.0) predictor_.observe(now_, t_end, harvested);
+
+  if constexpr (kObserved) {
+    SegmentRecord rec;
+    rec.start = now_;
+    rec.end = t_end;
+    rec.harvest_power = dt > 0.0 ? harvested / dt : 0.0;
+    rec.consume_power = dt > 0.0 ? drawn / dt : 0.0;
+    rec.harvested = harvested;
+    rec.consumed = drawn;
+    rec.overflow = overflow;
+    rec.leaked = leaked;
+    rec.level_start = level_start;
+    rec.level_end = storage_.level();
+    rec.stalled = true;
+    observers_.notify_segment(rec);
+  } else {
+    (void)level_start;
+    (void)leaked;
+  }
+  now_ = t_end;
+}
+
+template <bool kObserved>
+void Engine::complete_job(std::vector<task::Job>::iterator it) {
+  task::Job job = *it;
+  job.remaining = util::snap_nonnegative(job.remaining);
+  job.actual_remaining = 0.0;
+  result_.work_completed += job.actual_work;
+  if (now_ <= job.absolute_deadline + util::kEps) {
+    ++result_.jobs_completed;
+  } else {
+    ++result_.jobs_completed_late;  // miss was already counted at deadline
+  }
+  missed_ids_.erase(job.id);
+  ready_.erase(it);
+  if constexpr (kObserved) observers_.notify_complete(job, now_);
+}
+
+template <typename SchedulerT, bool kObserved>
+Decision Engine::decide(SchedulerT& scheduler) {
+  if constexpr (kObserved) {
+    DecisionRecord rec;
+    rec.index = result_.decisions;
+    rec.time = now_;
+    const task::Job& front = ready_.front();
+    rec.job = front.id;
+    rec.task_id = front.task_id;
+    rec.deadline = front.absolute_deadline;
+    rec.remaining = front.remaining;
+    rec.stored = storage_.level();
+
+    SchedulingContext ctx = make_context();
+    ctx.trace = &rec;
+    const Decision decision = scheduler.decide(ctx);
+
+    rec.run = decision.kind == Decision::Kind::kRun;
+    rec.chosen_op = rec.run ? decision.op_index : 0;
+    // When running, execution starts now; when idling, the scheduler's wake
+    // bound is the planned start instant.
+    rec.start = rec.run ? now_ : decision.recheck_at;
+    rec.recheck_at = decision.recheck_at;
+    ++result_.decisions;
+    observers_.notify_decision(rec);
+    return decision;
+  } else {
+    const SchedulingContext ctx = make_context();  // ctx.trace stays null
+    const Decision decision = scheduler.decide(ctx);
+    ++result_.decisions;
+    return decision;
+  }
+}
+
+template <typename SchedulerT, bool kObserved>
+void Engine::execute_segment(SchedulerT& scheduler, const Decision& decision) {
+  // Source cursor: power is constant on [t, piece_end(t)) by the source
+  // contract, so the two virtual source queries only run when a segment
+  // actually starts a new piece.
+  if (!(now_ < src_piece_end_)) {
+    src_power_ = source_.power_at(now_);
+    src_piece_end_ = source_.piece_end(now_);
+  }
+  const Power ps = src_power_;
+
+  // --- resolve what will actually happen this segment -------------------
+  bool running = false;
+  bool stalled = false;
+  std::vector<task::Job>::iterator job_it = ready_.end();
+  std::size_t op_index = 0;
+  Power consume = 0.0;
+  double speed = 0.0;
+
+  if (decision.kind == Decision::Kind::kRun) {
+    job_it = find_ready(decision.job);
+    if (job_it == ready_.end())
+      throw std::logic_error(
+          "Engine: scheduler chose a job not in the ready set");
+    op_index = decision.op_index;
+    const proc::OperatingPoint& op = processor_.table().at(op_index);
+    if (storage_.level() <= util::kEps && op.power > ps + util::kEps) {
+      // Physically impossible: no stored energy and harvest below demand.
+      stalled = true;
+    } else {
+      if (fault_ != nullptr && fault_->profile().affects_switches() &&
+          op_index != processor_.current()) {
+        const fault::SwitchFault sf = fault_->switch_fault(switch_attempts_++);
+        const fault::FaultProfile& fp = fault_->profile();
+        if (sf.kind == fault::SwitchFault::Kind::kReject) {
+          // The transition is refused: the processor stays at its old point
+          // and the attempt costs a stall (floored at switch_min_stall so a
+          // zero-overhead model cannot retry at the same instant forever).
+          ++result_.switch_faults_injected;
+          scheduler.on_fault({now_, FaultNotice::Kind::kSwitchReject});
+          proc::SwitchOverhead cost = processor_.overhead_model();
+          cost.time = std::max(cost.time, fp.switch_min_stall);
+          apply_switch_overhead<kObserved>(cost);
+          return;  // re-decide from the unchanged operating point
+        }
+        if (sf.kind == fault::SwitchFault::Kind::kStall) {
+          // The transition succeeds but takes k× the nominal overhead.
+          ++result_.switch_faults_injected;
+          scheduler.on_fault({now_, FaultNotice::Kind::kSwitchStall});
+          proc::SwitchOverhead cost = processor_.switch_to(op_index);
+          cost.time = std::max(cost.time * fp.switch_stall_factor,
+                               fp.switch_min_stall);
+          cost.energy *= fp.switch_stall_factor;
+          apply_switch_overhead<kObserved>(cost);
+          return;  // re-decide after the slow transition
+        }
+      }
+      const proc::SwitchOverhead overhead = processor_.switch_to(op_index);
+      if (overhead.time > 0.0 || overhead.energy > 0.0) {
+        apply_switch_overhead<kObserved>(overhead);
+        return;  // re-decide after the transition stall
+      }
+      running = true;
+      consume = op.power;
+      speed = op.speed;
+    }
+  }
+
+  // --- choose the segment end -------------------------------------------
+  Time t_next = config_.horizon;
+  t_next = std::min(t_next, releaser_.next_arrival());
+  t_next = std::min(t_next, events_.next_time());
+  t_next = std::min(t_next, src_piece_end_);
+  {
+    // Fault instants are decision points: the segment must end there so the
+    // drop/derate applies at its exact time (apply_due_faults consumed
+    // everything <= now_, so this bound is always in the future).
+    const Time t_fault = next_fault_time();
+    if (t_fault > now_) t_next = std::min(t_next, t_fault);
+  }
+  if (decision.recheck_at > now_ + util::kEps)
+    t_next = std::min(t_next, decision.recheck_at);
+  if (stalled) t_next = std::min(t_next, now_ + config_.stall_wakeup);
+
+  const Energy level = storage_.level();
+  // Power drawn this segment: the operating point when running, the idle
+  // draw otherwise (the processor is powered even while waiting).  With an
+  // empty storage and harvest below the idle draw the device *browns out*:
+  // it consumes only what arrives and the unmet remainder is tracked.
+  const Power draw = running ? consume : processor_.idle_power();
+  const bool brownout = !running && level <= util::kEps && draw > ps + util::kEps;
+  const Power net = brownout ? 0.0 : ps - draw;
+  if (running) {
+    // The job physically completes when its *actual* demand is done, which
+    // may be earlier than the WCET budget the scheduler planned with.
+    const Time t_complete = now_ + job_it->actual_remaining / speed;
+    t_next = std::min(t_next, t_complete);
+  }
+  if (net < -util::kEps) {
+    const Time t_empty = now_ + level / (draw - ps);
+    t_next = std::min(t_next, t_empty);
+  }
+  if (net > util::kEps && !storage_.full()) {
+    // The storage banks only charge_efficiency of the surplus, so the level
+    // rises at net * efficiency.  Predicting the crossing with the raw net
+    // would end the segment before the storage is actually full, and the
+    // shrinking headroom would spawn a Zeno-like cascade of segments — each
+    // a spurious decision point perturbing DVFS choices.
+    const Power fill = net * storage_.config().charge_efficiency;
+    if (fill > util::kEps) {
+      const Time t_full = now_ + storage_.headroom() / fill;
+      if (t_full > now_ + util::kEps) t_next = std::min(t_next, t_full);
+    }
+  }
+
+  if (!(t_next > now_))
+    throw std::logic_error("Engine: zero-progress segment (engine bug)");
+
+  // --- integrate ----------------------------------------------------------
+  const Time dt = t_next - now_;
+  const Energy level_start = storage_.level();
+  const Energy harvested = ps * dt;
+  result_.harvested += harvested;
+  Energy overflow = 0.0;
+  Energy consumed_energy = 0.0;
+  if (running) {
+    const Energy consumed = consume * dt;
+    consumed_energy = consumed;
+    result_.consumed += consumed;
+    const Energy net_energy = harvested - consumed;
+    if (net_energy >= 0.0) {
+      overflow = storage_.charge(net_energy);
+    } else {
+      storage_.discharge(-net_energy);
+    }
+    job_it->remaining = util::snap_nonnegative(job_it->remaining - speed * dt);
+    job_it->actual_remaining =
+        util::snap_nonnegative(job_it->actual_remaining - speed * dt);
+    if (job_it->actual_remaining <= util::kEps) job_it->actual_remaining = 0.0;
+    processor_.note_busy(dt);
+    result_.busy_time += dt;
+    result_.time_at_op[op_index] += dt;
+  } else {
+    if (brownout) {
+      // Harvest feeds the idle draw directly; nothing reaches the storage
+      // and the shortfall (draw - ps) goes unmet.
+      consumed_energy = harvested;
+      result_.consumed += harvested;
+      result_.brownout_time += dt;
+    } else {
+      const Energy idle_draw = draw * dt;
+      consumed_energy = idle_draw;
+      result_.consumed += idle_draw;
+      const Energy net_energy = harvested - idle_draw;
+      if (net_energy >= 0.0) {
+        overflow = storage_.charge(net_energy);
+      } else {
+        storage_.discharge(-net_energy);
+      }
+    }
+    if (stalled) {
+      processor_.note_stall(dt);
+      result_.stall_time += dt;
+    } else {
+      processor_.note_idle(dt);
+      result_.idle_time += dt;
+    }
+  }
+  const Energy leaked_before = storage_.total_leaked();
+  storage_.leak(dt);
+  const Energy leaked = storage_.total_leaked() - leaked_before;
+  result_.overflow += overflow;
+  predictor_.observe(now_, t_next, harvested);
+
+  if constexpr (kObserved) {
+    SegmentRecord rec;
+    rec.start = now_;
+    rec.end = t_next;
+    if (running) {
+      rec.job = job_it->id;
+      rec.op_index = op_index;
+    }
+    rec.harvest_power = ps;
+    rec.consume_power = running ? consume : (brownout ? ps : draw);
+    rec.level_start = level_start;
+    rec.level_end = storage_.level();
+    rec.harvested = harvested;
+    rec.consumed = consumed_energy;
+    rec.overflow = overflow;
+    rec.leaked = leaked;
+    rec.stalled = stalled;
+    rec.brownout = brownout;
+    observers_.notify_segment(rec);
+  } else {
+    (void)level_start;
+    (void)consumed_energy;
+    (void)leaked;
+  }
+
+  now_ = t_next;
+  if (running && job_it->finished()) {
+    complete_job<kObserved>(job_it);
+  } else if (running && net < -util::kEps && storage_.level() <= util::kEps) {
+    // The segment drained the storage dry with the job unfinished — the
+    // depletion decision point.  Under suspend-and-resume the job simply
+    // stays ready: the next decide() re-enters EDF order and the physics
+    // guard above forces a stall until harvest accumulates (EA-DVFS then
+    // re-derives the minimum feasible frequency from the remaining work).
+    // Under abort-and-charge the computation is lost with the power.
+    if (config_.depletion_policy == DepletionPolicy::kAbortAndCharge) {
+      abort_job<kObserved>(job_it);
+    } else {
+      ++result_.suspensions;
+    }
+  }
+}
+
+}  // namespace eadvfs::sim

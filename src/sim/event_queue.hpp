@@ -1,40 +1,142 @@
 #pragma once
 
 /// \file event_queue.hpp
-/// Deterministic time-ordered event queue.  A thin, well-tested wrapper over
-/// a binary heap with the two operations the engine needs beyond push/pop:
-/// "when is the next event?" and "pop everything due at/before t".
+/// Deterministic time-ordered event queue on a flat binary heap laid out as
+/// a structure of arrays: the Time keys the engine compares on every segment
+/// live in their own contiguous array, separate from the (colder) event
+/// payloads.  `next_time()` is a single load, `push`/`pop` are classic
+/// sift operations over both arrays in lockstep, and `for_each_due` drains
+/// due events through a callback with no per-segment heap allocation (the
+/// vector-returning `pop_due` remains as a convenience for tests).
+///
+/// Ordering is identical to the previous std::priority_queue implementation:
+/// min-heap on time, ties broken deterministically (deadlines before probes,
+/// then by job id, then by tag — the EventAfter order).
 
-#include <queue>
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/event.hpp"
+#include "util/math.hpp"
 
 namespace eadvfs::sim {
 
 class EventQueue {
  public:
-  void push(const Event& event);
+  void push(const Event& event) {
+    time_.push_back(event.time);
+    payload_.push_back({event.type, event.job, event.tag});
+    sift_up(time_.size() - 1);
+  }
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return time_.empty(); }
+  [[nodiscard]] std::size_t size() const { return time_.size(); }
+
+  /// Pre-size the backing arrays (e.g. to the expected number of pending
+  /// deadlines) so mid-run pushes never reallocate.
+  void reserve(std::size_t n) {
+    time_.reserve(n);
+    payload_.reserve(n);
+  }
 
   /// Time of the earliest pending event; kHuge when empty.
-  [[nodiscard]] Time next_time() const;
+  [[nodiscard]] Time next_time() const {
+    return time_.empty() ? kHuge : time_[0];
+  }
 
   /// Earliest pending event; queue must not be empty.
-  [[nodiscard]] const Event& peek() const;
+  [[nodiscard]] Event peek() const {
+    if (time_.empty()) throw std::logic_error("EventQueue::peek: empty");
+    return assemble(0);
+  }
 
   /// Remove and return the earliest event; queue must not be empty.
-  Event pop();
+  Event pop() {
+    if (time_.empty()) throw std::logic_error("EventQueue::pop: empty");
+    const Event front = assemble(0);
+    const std::size_t last = time_.size() - 1;
+    time_[0] = time_[last];
+    payload_[0] = payload_[last];
+    time_.pop_back();
+    payload_.pop_back();
+    if (!time_.empty()) sift_down(0);
+    return front;
+  }
+
+  /// Invoke `fn(event)` for every event with time <= now (within epsilon),
+  /// in deterministic order, removing each as it is delivered.  This is the
+  /// engine's hot path: no container is built or returned.
+  template <typename Fn>
+  void for_each_due(Time now, Fn&& fn) {
+    while (!time_.empty() && time_[0] <= now + util::kEps) fn(pop());
+  }
 
   /// Pop every event with time <= now (within epsilon), in order.
-  [[nodiscard]] std::vector<Event> pop_due(Time now);
+  [[nodiscard]] std::vector<Event> pop_due(Time now) {
+    std::vector<Event> due;
+    for_each_due(now, [&due](const Event& e) { due.push_back(e); });
+    return due;
+  }
 
-  void clear();
+  void clear() {
+    time_.clear();
+    payload_.clear();
+  }
 
  private:
-  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  /// Event minus its time key (the array split of the SoA layout).
+  struct Payload {
+    EventType type = EventType::kProbe;
+    task::JobId job = 0;
+    std::uint64_t tag = 0;
+  };
+
+  [[nodiscard]] Event assemble(std::size_t i) const {
+    return {time_[i], payload_[i].type, payload_[i].job, payload_[i].tag};
+  }
+
+  /// Strict-weak order matching EventAfter: ascending (time, type, job, tag).
+  [[nodiscard]] bool before(std::size_t a, std::size_t b) const {
+    if (time_[a] != time_[b]) return time_[a] < time_[b];
+    const Payload& pa = payload_[a];
+    const Payload& pb = payload_[b];
+    if (pa.type != pb.type) return pa.type < pb.type;
+    if (pa.job != pb.job) return pa.job < pb.job;
+    return pa.tag < pb.tag;
+  }
+
+  void swap_at(std::size_t a, std::size_t b) {
+    std::swap(time_[a], time_[b]);
+    std::swap(payload_[a], payload_[b]);
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(i, parent)) break;
+      swap_at(i, parent);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = time_.size();
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = left + 1;
+      std::size_t smallest = i;
+      if (left < n && before(left, smallest)) smallest = left;
+      if (right < n && before(right, smallest)) smallest = right;
+      if (smallest == i) break;
+      swap_at(i, smallest);
+      i = smallest;
+    }
+  }
+
+  std::vector<Time> time_;        ///< hot heap keys (one cache line ≈ 8 keys).
+  std::vector<Payload> payload_;  ///< cold per-event data, index-paired.
 };
 
 }  // namespace eadvfs::sim

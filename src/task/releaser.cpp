@@ -1,8 +1,8 @@
 #include "task/releaser.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
-#include "util/math.hpp"
 #include "util/rng.hpp"
 
 namespace eadvfs::task {
@@ -14,6 +14,12 @@ JobReleaser::JobReleaser(const TaskSet& task_set, Time horizon,
   if (execution.bcet_fraction <= 0.0 || execution.bcet_fraction > 1.0)
     throw std::invalid_argument("JobReleaser: bcet_fraction outside (0, 1]");
   util::Xoshiro256ss rng(execution.seed);
+  std::size_t expected = 0;
+  for (const Task& t : task_set) {
+    if (t.phase < horizon && t.period > 0.0)
+      expected += static_cast<std::size_t>((horizon - t.phase) / t.period) + 1;
+  }
+  jobs_.reserve(expected);
   JobId next_id = 0;
   for (const Task& t : task_set) {
     std::uint32_t seq = 0;
@@ -31,15 +37,15 @@ JobReleaser::JobReleaser(const TaskSet& task_set, Time horizon,
               ? t.wcet
               : rng.uniform(execution.bcet_fraction * t.wcet, t.wcet);
       job.actual_remaining = job.actual_work;
-      pending_.push(job);
+      jobs_.push_back(job);
     }
   }
-  total_jobs_ = pending_.size();
+  sort_arena();
 }
 
-JobReleaser::JobReleaser(std::vector<Job> jobs) {
+JobReleaser::JobReleaser(std::vector<Job> jobs) : jobs_(std::move(jobs)) {
   JobId next_id = 0;
-  for (Job& job : jobs) {
+  for (Job& job : jobs_) {
     if (job.wcet < 0.0)
       throw std::invalid_argument("JobReleaser: negative WCET");
     if (job.absolute_deadline < job.arrival)
@@ -51,25 +57,17 @@ JobReleaser::JobReleaser(std::vector<Job> jobs) {
     job.remaining = job.wcet;
     job.actual_work = job.actual_work > 0.0 ? job.actual_work : job.wcet;
     job.actual_remaining = job.actual_work;
-    pending_.push(job);
   }
-  total_jobs_ = pending_.size();
+  sort_arena();
 }
 
-Time JobReleaser::next_arrival() const {
-  return pending_.empty() ? kHuge : pending_.top().arrival;
+void JobReleaser::sort_arena() {
+  // (arrival, id) ascending — the exact pop order of the old min-heap, so
+  // release order (and therefore every downstream artifact) is unchanged.
+  std::sort(jobs_.begin(), jobs_.end(), [](const Job& a, const Job& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.id < b.id;
+  });
 }
-
-std::vector<Job> JobReleaser::release_due(Time now) {
-  std::vector<Job> released;
-  while (!pending_.empty() &&
-         pending_.top().arrival <= now + util::kEps) {
-    released.push_back(pending_.top());
-    pending_.pop();
-  }
-  return released;
-}
-
-bool JobReleaser::exhausted() const { return pending_.empty(); }
 
 }  // namespace eadvfs::task

@@ -5,12 +5,19 @@
 /// stream the engine consumes.  Job parameters are unknown before release
 /// (paper §3.3) — the engine only ever asks for the *next* arrival instant
 /// and pops jobs whose time has come.
+///
+/// Storage is a flat arena: every release the horizon will ever see is
+/// materialized once at construction into a single contiguous vector, sorted
+/// by (arrival, id), and consumed through a cursor.  Compared with the
+/// previous priority_queue representation this removes the per-release heap
+/// sift (which copied whole Job values) and the per-call vector the engine
+/// used to receive releases in — `for_each_due` hands out jobs in place.
 
-#include <queue>
 #include <vector>
 
 #include "task/job.hpp"
 #include "task/task_set.hpp"
+#include "util/math.hpp"
 
 namespace eadvfs::task {
 
@@ -37,26 +44,38 @@ class JobReleaser {
   explicit JobReleaser(std::vector<Job> jobs);
 
   /// Arrival instant of the next unreleased job, or kHuge when exhausted.
-  [[nodiscard]] Time next_arrival() const;
+  [[nodiscard]] Time next_arrival() const {
+    return cursor_ < jobs_.size() ? jobs_[cursor_].arrival : kHuge;
+  }
+
+  /// Invoke `fn(job)` for every job with arrival <= now (within epsilon), in
+  /// (arrival, id) order, advancing the cursor past each.  The job is passed
+  /// by const reference into the arena — no copy is made here; the engine
+  /// copies it into the ready set itself.
+  template <typename Fn>
+  void for_each_due(Time now, Fn&& fn) {
+    while (cursor_ < jobs_.size() &&
+           jobs_[cursor_].arrival <= now + util::kEps)
+      fn(jobs_[cursor_++]);
+  }
 
   /// Pop every job with arrival <= now (within epsilon).
-  [[nodiscard]] std::vector<Job> release_due(Time now);
+  [[nodiscard]] std::vector<Job> release_due(Time now) {
+    std::vector<Job> released;
+    for_each_due(now, [&released](const Job& job) { released.push_back(job); });
+    return released;
+  }
 
-  [[nodiscard]] bool exhausted() const;
+  [[nodiscard]] bool exhausted() const { return cursor_ >= jobs_.size(); }
 
   /// Total number of jobs this releaser will ever produce.
-  [[nodiscard]] std::size_t total_jobs() const { return total_jobs_; }
+  [[nodiscard]] std::size_t total_jobs() const { return jobs_.size(); }
 
  private:
-  struct ArrivalAfter {
-    bool operator()(const Job& a, const Job& b) const {
-      if (a.arrival != b.arrival) return a.arrival > b.arrival;  // min-heap
-      return a.id > b.id;
-    }
-  };
+  void sort_arena();
 
-  std::priority_queue<Job, std::vector<Job>, ArrivalAfter> pending_;
-  std::size_t total_jobs_ = 0;
+  std::vector<Job> jobs_;     ///< arena: all releases, (arrival, id)-sorted.
+  std::size_t cursor_ = 0;    ///< first unreleased entry.
 };
 
 }  // namespace eadvfs::task

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file flat_set.hpp
+/// A sorted-vector set for small keys on hot paths.  std::set pays one heap
+/// node per element and pointer-chases on every lookup; for the engine's
+/// bookkeeping sets (a handful of job ids at a time) a contiguous sorted
+/// vector with binary search is both faster and allocation-free after the
+/// first few insertions.  Deterministic iteration order (ascending) for free.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace eadvfs::util {
+
+template <typename T>
+class FlatSet {
+ public:
+  /// True when `value` is present.
+  [[nodiscard]] bool contains(const T& value) const {
+    const auto it = std::lower_bound(data_.begin(), data_.end(), value);
+    return it != data_.end() && *it == value;
+  }
+
+  /// Insert `value`; returns false when it was already present.
+  bool insert(const T& value) {
+    const auto it = std::lower_bound(data_.begin(), data_.end(), value);
+    if (it != data_.end() && *it == value) return false;
+    data_.insert(it, value);
+    return true;
+  }
+
+  /// Remove `value`; returns false when it was absent.
+  bool erase(const T& value) {
+    const auto it = std::lower_bound(data_.begin(), data_.end(), value);
+    if (it == data_.end() || *it != value) return false;
+    data_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  void clear() { data_.clear(); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  /// Ascending iteration.
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+
+ private:
+  std::vector<T> data_;  ///< sorted ascending, unique.
+};
+
+}  // namespace eadvfs::util

@@ -1,0 +1,237 @@
+/// Equivalence of the engine's dispatch paths (docs/PERFORMANCE.md): the
+/// devirtualized kernel (Engine::run_as<S> via sched::run_fast /
+/// sched::run_devirtualized) must produce exactly the same SimulationResult
+/// and the same decision-trace records as the virtual-dispatch reference
+/// path (Engine::run()) for every built-in scheduler — including under
+/// fault injection and on zero-duration / simultaneous-event edge cases.
+/// "Exactly" means byte-identical serialized results and CSV rows: both
+/// paths instantiate the same kernel template, so even floating-point
+/// round-off must match bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/predictor.hpp"
+#include "energy/slotted_ewma_predictor.hpp"
+#include "energy/solar_source.hpp"
+#include "energy/source.hpp"
+#include "energy/storage.hpp"
+#include "exp/setup.hpp"
+#include "obs/decision_trace.hpp"
+#include "proc/frequency_table.hpp"
+#include "proc/processor.hpp"
+#include "sched/factory.hpp"
+#include "sched/fast_path.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault/profile.hpp"
+#include "task/generator.hpp"
+#include "task/releaser.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs {
+namespace {
+
+const char* const kAllSchedulers[] = {"edf",           "rm",
+                                      "lsa",           "ea-dvfs",
+                                      "ea-dvfs-static", "greedy-dvfs"};
+
+/// Everything two runs must agree on, flattened to comparable strings.
+struct RunArtifacts {
+  std::string result_json;
+  std::vector<std::string> decision_rows;
+};
+
+RunArtifacts artifacts_of(const sim::SimulationResult& result,
+                          const std::string& scheduler,
+                          const obs::DecisionTraceObserver& trace) {
+  RunArtifacts a;
+  a.result_json = result.to_json(2);
+  a.decision_rows.reserve(trace.records().size());
+  for (const sim::DecisionRecord& record : trace.records())
+    a.decision_rows.push_back(obs::decision_csv_row(scheduler, 0.0, record));
+  return a;
+}
+
+void expect_identical(const RunArtifacts& fast, const RunArtifacts& reference,
+                      const std::string& label) {
+  EXPECT_EQ(fast.result_json, reference.result_json) << label;
+  ASSERT_EQ(fast.decision_rows.size(), reference.decision_rows.size()) << label;
+  for (std::size_t i = 0; i < fast.decision_rows.size(); ++i)
+    ASSERT_EQ(fast.decision_rows[i], reference.decision_rows[i])
+        << label << ": decision " << i;
+}
+
+// ------------------------------------------------- RunOptions front door
+
+/// One energy-constrained periodic scenario through exp::run_with_options,
+/// toggling only `devirtualize`.  Covers the production assembly path
+/// (storage/processor/predictor wiring, sched::run_fast dispatch).
+RunArtifacts run_periodic(const std::string& scheduler, bool devirtualize,
+                          const sim::fault::FaultProfile* fault) {
+  energy::SolarSourceConfig solar;
+  solar.seed = 17;
+  solar.horizon = 2'000.0;
+
+  task::GeneratorConfig gen_cfg;
+  gen_cfg.target_utilization = 0.5;
+  task::TaskSetGenerator gen(gen_cfg);
+  util::Xoshiro256ss rng(23);
+  const task::TaskSet set = gen.generate(rng);
+
+  obs::DecisionTraceObserver trace;
+
+  exp::RunOptions opts;
+  opts.config.horizon = 2'000.0;
+  opts.source = std::make_shared<energy::SolarSource>(solar);
+  opts.tasks = &set;
+  opts.storage.capacity = 40.0;  // tight: forces energy-driven branches.
+  opts.scheduler = scheduler;
+  opts.fault = fault;
+  opts.observers.push_back(&trace);
+  opts.devirtualize = devirtualize;
+
+  const sim::SimulationResult result = exp::run_with_options(opts);
+  return artifacts_of(result, scheduler, trace);
+}
+
+class FastPathEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FastPathEquivalence, PeriodicEnergyConstrainedScenario) {
+  const std::string scheduler = GetParam();
+  const RunArtifacts fast = run_periodic(scheduler, true, nullptr);
+  const RunArtifacts reference = run_periodic(scheduler, false, nullptr);
+  EXPECT_FALSE(fast.decision_rows.empty());
+  expect_identical(fast, reference, scheduler + "/periodic");
+}
+
+TEST_P(FastPathEquivalence, MixedFaultProfileScenario) {
+  const std::string scheduler = GetParam();
+  sim::fault::FaultProfile fault = sim::fault::FaultProfile::parse("mixed");
+  fault.seed = 99;
+  const RunArtifacts fast = run_periodic(scheduler, true, &fault);
+  const RunArtifacts reference = run_periodic(scheduler, false, &fault);
+  EXPECT_FALSE(fast.decision_rows.empty());
+  expect_identical(fast, reference, scheduler + "/mixed-fault");
+}
+
+// ------------------------------------------- direct Engine construction
+
+task::Job make_job(task::JobId id, Time arrival, Time relative_deadline,
+                   Work wcet) {
+  task::Job j;
+  j.id = id;
+  j.arrival = arrival;
+  j.absolute_deadline = arrival + relative_deadline;
+  j.wcet = wcet;
+  j.remaining = wcet;
+  return j;
+}
+
+/// Zero-duration jobs, simultaneous arrivals, and a deadline coinciding with
+/// an arrival: the densest event clustering the kernel has to order.
+std::vector<task::Job> edge_case_jobs() {
+  std::vector<task::Job> jobs;
+  jobs.push_back(make_job(0, 0.0, 10.0, 2.0));
+  jobs.push_back(make_job(1, 0.0, 10.0, 0.0));   // zero work, same instant.
+  jobs.push_back(make_job(2, 5.0, 0.0, 0.0));    // deadline == arrival.
+  jobs.push_back(make_job(3, 5.0, 3.0, 1.0));    // arrival == job 2's deadline.
+  jobs.push_back(make_job(4, 10.0, 5.0, 4.0));   // arrival == job 0's deadline.
+  jobs.push_back(make_job(5, 10.0, 5.0, 4.0));   // duplicate arrival+deadline.
+  return jobs;
+}
+
+/// Run the edge-case job list through one dispatch path with fresh
+/// components.  `use_fast` selects sched::run_fast vs Engine::run().
+RunArtifacts run_edges(const std::string& scheduler_name, bool use_fast) {
+  const auto source = std::make_shared<energy::ConstantSource>(1.2);
+  energy::StorageConfig storage_cfg;
+  storage_cfg.capacity = 6.0;  // tight enough to hit empty and full.
+  energy::EnergyStorage storage(storage_cfg);
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  proc::Processor processor(table, {}, 0.0);
+  energy::SlottedEwmaPredictor predictor(energy::SlottedEwmaConfig{});
+  std::vector<task::Job> jobs = edge_case_jobs();
+  task::JobReleaser releaser(std::move(jobs));
+  const auto scheduler = sched::make_scheduler(scheduler_name);
+
+  sim::SimulationConfig cfg;
+  cfg.horizon = 30.0;
+  obs::DecisionTraceObserver trace;
+  sim::Engine engine(cfg, *source, storage, processor, predictor, *scheduler,
+                     releaser);
+  engine.observers().add(trace);
+  const sim::SimulationResult result =
+      use_fast ? sched::run_fast(engine, *scheduler) : engine.run();
+  return artifacts_of(result, scheduler_name, trace);
+}
+
+TEST_P(FastPathEquivalence, ZeroDurationAndSimultaneousEventEdges) {
+  const std::string scheduler = GetParam();
+  const RunArtifacts fast = run_edges(scheduler, true);
+  const RunArtifacts reference = run_edges(scheduler, false);
+  EXPECT_FALSE(fast.decision_rows.empty());
+  expect_identical(fast, reference, scheduler + "/edges");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, FastPathEquivalence,
+                         ::testing::ValuesIn(kAllSchedulers),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+// -------------------------------------------------- variant front door
+
+TEST(SchedulerVariant, RunDevirtualizedMatchesVirtualRun) {
+  for (const char* name : kAllSchedulers) {
+    auto run_with_variant = [&](bool devirt) {
+      const auto source = std::make_shared<energy::ConstantSource>(1.0);
+      energy::StorageConfig storage_cfg;
+      storage_cfg.capacity = 10.0;
+      energy::EnergyStorage storage(storage_cfg);
+      const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+      proc::Processor processor(table, {}, 0.0);
+      energy::SlottedEwmaPredictor predictor(energy::SlottedEwmaConfig{});
+      std::vector<task::Job> jobs = edge_case_jobs();
+      task::JobReleaser releaser(std::move(jobs));
+      sched::SchedulerVariant variant = sched::make_scheduler_variant(name);
+      sim::SimulationConfig cfg;
+      cfg.horizon = 30.0;
+      sim::Engine engine(cfg, *source, storage, processor, predictor,
+                         sched::base_scheduler(variant), releaser);
+      return devirt ? sched::run_devirtualized(engine, variant) : engine.run();
+    };
+    EXPECT_EQ(run_with_variant(true).to_json(), run_with_variant(false).to_json())
+        << name;
+  }
+}
+
+TEST(SchedulerVariant, UnknownNameThrowsWithSuggestion) {
+  EXPECT_THROW((void)sched::make_scheduler_variant("ea-dvf"),
+               std::invalid_argument);
+}
+
+TEST(SchedulerVariant, RunAsRejectsForeignScheduler) {
+  const auto source = std::make_shared<energy::ConstantSource>(1.0);
+  energy::EnergyStorage storage(energy::StorageConfig{});
+  const proc::FrequencyTable table = proc::FrequencyTable::xscale();
+  proc::Processor processor(table, {}, 0.0);
+  energy::SlottedEwmaPredictor predictor(energy::SlottedEwmaConfig{});
+  task::JobReleaser releaser(std::vector<task::Job>{make_job(0, 0.0, 5.0, 1.0)});
+  sched::EdfScheduler engine_scheduler;
+  sched::EdfScheduler other;
+  sim::SimulationConfig cfg;
+  cfg.horizon = 10.0;
+  sim::Engine engine(cfg, *source, storage, processor, predictor,
+                     engine_scheduler, releaser);
+  EXPECT_THROW((void)engine.run_as(other), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eadvfs

@@ -1,7 +1,7 @@
 /// sim::ObserverSet — the engine's observer registry: borrowed and owned
 /// registration, in-place construction, nullptr rejection, and dispatch in
-/// registration order.  Also covers the deprecated Engine::add_observer
-/// shim, which must keep forwarding for one release.
+/// registration order.  Also covers borrowed registration through the
+/// engine's observers() front door (the former add_observer shim's job).
 
 #include "sim/observer_set.hpp"
 
@@ -112,9 +112,9 @@ TEST(ObserverSet, AllHooksReachEveryObserver) {
                                            "o:decision"}));
 }
 
-TEST(EngineObserverShim, DeprecatedAddObserverStillForwards) {
+TEST(EngineObservers, BorrowedRegistrationThroughObserverSet) {
   std::vector<std::string> log;
-  TaggedObserver observer("shim", log);
+  TaggedObserver observer("borrowed", log);
 
   const energy::ConstantSource source(0.0);
   energy::StorageConfig storage_cfg;
@@ -128,10 +128,7 @@ TEST(EngineObserverShim, DeprecatedAddObserverStillForwards) {
   config.horizon = 10.0;
   Engine engine(config, source, storage, processor, predictor, *scheduler,
                 releaser);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  engine.add_observer(observer);
-#pragma GCC diagnostic pop
+  engine.observers().add(observer);
   EXPECT_EQ(engine.observers().size(), 1u);
   (void)engine.run();  // no jobs: nothing dispatched, but nothing crashes.
 }

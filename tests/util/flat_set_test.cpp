@@ -1,0 +1,53 @@
+/// util::FlatSet — the sorted-vector set the engine uses for the
+/// already-missed job-id set (small, iteration-heavy, insert-rare).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/flat_set.hpp"
+
+namespace eadvfs {
+namespace {
+
+TEST(FlatSet, StartsEmpty) {
+  util::FlatSet<int> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(3));
+}
+
+TEST(FlatSet, InsertDeduplicatesAndSorts) {
+  util::FlatSet<int> s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_TRUE(s.insert(9));
+  EXPECT_FALSE(s.insert(5));  // duplicate: rejected, size unchanged.
+  EXPECT_EQ(s.size(), 3u);
+  const std::vector<int> got(s.begin(), s.end());
+  EXPECT_EQ(got, (std::vector<int>{1, 5, 9}));
+}
+
+TEST(FlatSet, ContainsAndErase) {
+  util::FlatSet<int> s;
+  for (int v : {4, 2, 8}) s.insert(v);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_TRUE(s.erase(2));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_FALSE(s.erase(2));  // already gone.
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(FlatSet, ClearAndReserve) {
+  util::FlatSet<int> s;
+  s.reserve(16);
+  for (int v = 0; v < 10; ++v) s.insert(v);
+  EXPECT_EQ(s.size(), 10u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(7));
+}
+
+}  // namespace
+}  // namespace eadvfs

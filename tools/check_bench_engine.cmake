@@ -45,7 +45,9 @@ foreach(i RANGE ${last})
   if(NOT err STREQUAL "NOTFOUND" OR sched STREQUAL "")
     message(FATAL_ERROR "results[${i}]: missing scheduler (${err})")
   endif()
-  foreach(field segments_per_sec events_per_sec decisions_per_sec seconds)
+  foreach(field segments_per_sec events_per_sec decisions_per_sec seconds
+          reference_segments_per_sec reference_events_per_sec
+          reference_decisions_per_sec reference_seconds speedup)
     string(JSON value ERROR_VARIABLE err GET "${doc}" results ${i} ${field})
     if(NOT err STREQUAL "NOTFOUND" OR NOT value GREATER 0)
       message(FATAL_ERROR

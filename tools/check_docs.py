@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Documentation consistency check (wired into ctest as `docs_consistency`).
+
+Two classes of rot this catches:
+
+1. **Broken intra-repo links.**  Every relative markdown link in the checked
+   documents must point at an existing file (anchors into markdown targets
+   are validated against the target's headings, GitHub slug rules).
+
+2. **Phantom CLI flags.**  Every `--flag` token a checked document mentions
+   must exist in the `--help` output of one of the named binaries (or in
+   the small allowlist of build-infrastructure flags below).  Docs that
+   promise flags the binaries don't accept fail the build.
+
+Usage:
+  check_docs.py --repo-root <dir> [--binary <path>]... [--docs <glob-dir>]...
+Exit code 0 when clean, 1 with a findings list otherwise.
+"""
+
+import argparse
+import glob
+import os
+import re
+import subprocess
+import sys
+
+# Links: standard inline markdown [text](target) including images; reference
+# definitions [id]: target are rare here and intentionally not parsed.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FLAG_RE = re.compile(r"(?<![\w-])(--[a-z][a-z0-9][a-z0-9_-]*)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+# Flags that legitimately appear in the docs but belong to the build
+# toolchain (cmake/ctest/apt/git) or to third-party harnesses, not to our
+# binaries' --help surface.
+ALLOWED_INFRA_FLAGS = {
+    "--build", "--preset", "--target", "--parallel", "--output-on-failure",
+    "--test-dir", "--no-install-recommends", "--install", "--config",
+    "--version",
+    "--benchmark_filter", "--benchmark_format", "--gtest_filter",
+    "--gtest_list_tests", "--help",
+}
+
+# micro_engine consumes its mode switches before google-benchmark's argument
+# parsing, so they never show up in --help output (bench/micro_engine.cpp).
+MICRO_ENGINE_MODES = {"--engine-baseline", "--scaling"}
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor slug: lowercase, strip punctuation, spaces to dashes,
+    numeric suffix on repeats."""
+    text = re.sub(r"[`*_]", "", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links: keep text
+    slug = "".join(c for c in text.lower() if c.isalnum() or c in " -_")
+    slug = slug.replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        return f"{slug}-{seen[slug]}"
+    seen[slug] = 0
+    return slug
+
+
+def heading_anchors(path):
+    anchors, seen, in_fence = set(), {}, False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                anchors.add(github_slug(match.group(2), seen))
+    return anchors
+
+
+def check_links(doc_path, repo_root, findings):
+    with open(doc_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    rel_doc = os.path.relpath(doc_path, repo_root)
+    for target in LINK_RE.findall(text):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        path_part, _, anchor = target.partition("#")
+        if not path_part:  # same-file anchor
+            resolved = doc_path
+        else:
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(doc_path), path_part))
+        if not os.path.exists(resolved):
+            findings.append(f"{rel_doc}: broken link -> {target}")
+            continue
+        if anchor and resolved.endswith(".md"):
+            if anchor not in heading_anchors(resolved):
+                findings.append(
+                    f"{rel_doc}: link -> {target}: no heading with anchor "
+                    f"#{anchor} in {os.path.relpath(resolved, repo_root)}")
+
+
+def flags_from_help(binary):
+    try:
+        proc = subprocess.run([binary, "--help"], capture_output=True,
+                              text=True, timeout=60)
+    except (OSError, subprocess.TimeoutExpired) as error:
+        raise RuntimeError(f"cannot run {binary} --help: {error}") from error
+    return set(FLAG_RE.findall(proc.stdout + proc.stderr))
+
+
+def check_flags(doc_paths, repo_root, known_flags, findings):
+    for doc_path in doc_paths:
+        rel_doc = os.path.relpath(doc_path, repo_root)
+        with open(doc_path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        for flag in sorted(set(FLAG_RE.findall(text))):
+            if flag not in known_flags:
+                findings.append(
+                    f"{rel_doc}: mentions {flag}, which no checked binary "
+                    f"accepts (is the doc stale, or should the flag be "
+                    f"allowlisted in tools/check_docs.py?)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo-root", required=True)
+    parser.add_argument("--binary", action="append", default=[],
+                        help="binary whose --help defines accepted flags "
+                             "(repeatable)")
+    args = parser.parse_args()
+    repo_root = os.path.abspath(args.repo_root)
+
+    doc_paths = sorted(
+        glob.glob(os.path.join(repo_root, "*.md"))
+        + glob.glob(os.path.join(repo_root, "docs", "*.md")))
+    # Work-tracking scratch files, not documentation surfaces.
+    skip = {"ISSUE.md", "CHANGES.md", "SNIPPETS.md", "PAPERS.md"}
+    doc_paths = [p for p in doc_paths if os.path.basename(p) not in skip]
+    if not doc_paths:
+        print("error: no markdown documents found", file=sys.stderr)
+        return 1
+
+    findings = []
+    for doc_path in doc_paths:
+        check_links(doc_path, repo_root, findings)
+
+    known_flags = set(ALLOWED_INFRA_FLAGS) | MICRO_ENGINE_MODES
+    for binary in args.binary:
+        known_flags |= flags_from_help(binary)
+    if args.binary:
+        check_flags(doc_paths, repo_root, known_flags, findings)
+
+    if findings:
+        print(f"documentation check failed ({len(findings)} findings):",
+              file=sys.stderr)
+        for finding in findings:
+            print(f"  {finding}", file=sys.stderr)
+        return 1
+    print(f"docs OK: {len(doc_paths)} documents, "
+          f"{len(known_flags)} known flags")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Perf-budget gate for the engine kernel (docs/PERFORMANCE.md).
+
+Runs `micro_engine --engine-baseline`, then compares the fresh
+BENCH_engine.json against the checked-in baseline snapshot
+(bench/baselines/BENCH_engine_post.json) and fails on a regression larger
+than the budget:
+
+  * every fast-path rate (segments/events/decisions per second) must stay
+    above (1 - tolerance) x the baseline rate, per scheduler;
+  * the devirtualization speedup (reference_seconds / seconds, measured in
+    the same process so machine speed cancels out) must stay above
+    (1 - tolerance) x the baseline speedup.
+
+The default tolerance is 0.25 — the ">25% regression fails" budget.  The
+absolute-rate comparison assumes the baseline was recorded on comparable
+hardware; on a very different machine, re-record the baseline (see
+docs/PERFORMANCE.md, "Perf budget") or widen the budget with
+EADVFS_PERF_BUDGET_TOLERANCE / --tolerance.  The speedup comparison is
+machine-independent.
+
+Usage:
+  check_perf_budget.py --bench <micro_engine> --baseline <BENCH_engine_post.json>
+                       --work-dir <scratch dir> [--tolerance 0.25]
+Exit code 0 on pass, 1 on any budget violation or malformed input.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+RATE_FIELDS = ("segments_per_sec", "events_per_sec", "decisions_per_sec")
+
+
+def load_results(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("benchmark") != "engine_baseline":
+        raise ValueError(f"{path}: not an engine_baseline document")
+    results = {entry["scheduler"]: entry for entry in doc.get("results", [])}
+    if not results:
+        raise ValueError(f"{path}: no results")
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True, help="micro_engine binary")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in BENCH_engine_post.json")
+    parser.add_argument("--work-dir", required=True,
+                        help="scratch directory for the fresh run")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get(
+                            "EADVFS_PERF_BUDGET_TOLERANCE", "0.25")),
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    out_dir = os.path.join(args.work_dir, "perf_budget")
+    os.makedirs(out_dir, exist_ok=True)
+
+    env = dict(os.environ, EADVFS_OUT_DIR=out_dir)
+    proc = subprocess.run([args.bench, "--engine-baseline"], env=env,
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        print(f"error: {args.bench} --engine-baseline exited "
+              f"{proc.returncode}", file=sys.stderr)
+        return 1
+
+    try:
+        fresh = load_results(os.path.join(out_dir, "BENCH_engine.json"))
+        baseline = load_results(args.baseline)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    floor = 1.0 - args.tolerance
+    failures = []
+    for scheduler, base in sorted(baseline.items()):
+        now = fresh.get(scheduler)
+        if now is None:
+            failures.append(f"{scheduler}: missing from fresh run")
+            continue
+        for field in RATE_FIELDS:
+            have, want = now[field], base[field] * floor
+            status = "ok" if have >= want else "REGRESSION"
+            print(f"{scheduler:>10} {field:<22} {have:14.0f} "
+                  f"(budget floor {want:14.0f}, baseline {base[field]:14.0f}) "
+                  f"{status}")
+            if have < want:
+                failures.append(
+                    f"{scheduler}: {field} {have:.0f} < {want:.0f} "
+                    f"({100 * args.tolerance:.0f}% budget over baseline "
+                    f"{base[field]:.0f})")
+        have, want = now["speedup"], base["speedup"] * floor
+        status = "ok" if have >= want else "REGRESSION"
+        print(f"{scheduler:>10} {'speedup':<22} {have:14.2f} "
+              f"(budget floor {want:14.2f}, baseline {base['speedup']:14.2f}) "
+              f"{status}")
+        if have < want:
+            failures.append(
+                f"{scheduler}: speedup {have:.2f} < {want:.2f}")
+
+    if failures:
+        print("\nperf budget exceeded:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf budget OK ({len(baseline)} schedulers, "
+          f"tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
