@@ -1,0 +1,128 @@
+/// Fleet-scale Monte Carlo: simulate a heterogeneous population of devices
+/// (each sampling its own task set, scheduler, predictor, storage and panel
+/// sizing, and optional fault profile from a JSON fleet spec) as one
+/// batched, sharded, crash-safe job.  Results stream into population
+/// statistics plus a compact binary columnar artifact (eadvfs.fleet.v1)
+/// that is byte-identical for any --jobs and across SIGKILL + --resume.
+/// See docs/EXPERIMENTS.md §"Fleet runs".
+
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "exp/fleet/runner.hpp"
+#include "exp/report.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace eadvfs;
+
+void print_population_table(const exp::fleet::FleetResult& result) {
+  exp::TextTable table({"metric", "mean", "stddev", "min", "max"});
+  const auto row = [&table](const std::string& name,
+                            const util::RunningStats& stats) {
+    table.add_row({name, exp::fmt(stats.mean(), 4), exp::fmt(stats.stddev(), 4),
+                   exp::fmt(stats.min(), 4), exp::fmt(stats.max(), 4)});
+  };
+  row("miss_rate", result.metrics.miss_rate);
+  row("stall_time", result.metrics.stall_time);
+  row("busy_time", result.metrics.busy_time);
+  row("harvested", result.metrics.harvested);
+  row("consumed", result.metrics.consumed);
+  row("frequency_switches", result.metrics.frequency_switches);
+  std::cout << table.render() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(
+      "fleet_sweep: heterogeneous device-population Monte Carlo "
+      "(eadvfs.fleet.v1 artifact; docs/EXPERIMENTS.md §\"Fleet runs\")");
+  args.add_option("spec", "",
+                  "fleet spec JSON file (docs/EXPERIMENTS.md §\"Fleet "
+                  "runs\"); omitted = built-in default population");
+  args.add_option("devices", "0",
+                  "override the spec's device-instance count (0 = keep)");
+  args.add_option("shard-size", "0",
+                  "override the spec's devices-per-shard (0 = keep; part of "
+                  "the checkpoint fingerprint)");
+  args.add_option("seed", "0", "override the spec's master seed (0 = keep)");
+  args.add_option("horizon", "0",
+                  "override the spec's per-device simulated time units "
+                  "(0 = keep)");
+  args.add_option("out", "fleet.bin",
+                  "binary columnar artifact path (eadvfs.fleet.v1)");
+  args.add_option("csv", "",
+                  "also export the artifact as lossless CSV here");
+  args.add_flag("hist", "print the population miss-rate histogram");
+  args.add_option("jobs", std::to_string(exp::hardware_jobs()),
+                  "worker threads for shards (>= 1; results are identical "
+                  "for any value)");
+  args.add_option("log", "warn", "log level: debug|info|warn|error|off");
+  args.add_flag("quiet", "suppress progress logging (same as --log error)");
+  eadvfs::bench::add_crash_safety_options(args);
+  if (!eadvfs::bench::parse_cli(args, argc, argv)) return 0;
+  eadvfs::bench::apply_logging(args);
+
+  exp::fleet::FleetConfig config;
+  try {
+    if (!args.str("spec").empty())
+      config.spec = exp::fleet::FleetSpec::load(args.str("spec"));
+    if (args.integer("devices") > 0)
+      config.spec.devices = static_cast<std::size_t>(args.integer("devices"));
+    if (args.integer("shard-size") > 0)
+      config.spec.shard_size =
+          static_cast<std::size_t>(args.integer("shard-size"));
+    if (args.integer("seed") > 0)
+      config.spec.seed = static_cast<std::uint64_t>(args.integer("seed"));
+    if (args.real("horizon") > 0.0) config.spec.horizon = args.real("horizon");
+    config.spec.validate();
+    config.parallel = eadvfs::bench::parallel_from_args(args);
+    eadvfs::bench::apply_crash_safety(args, config.parallel,
+                                      config.checkpoint);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return util::exit_code::kUsage;
+  }
+
+  exp::print_banner(
+      std::cout, "fleet", "population-level behavior at fleet scale",
+      config.spec.name + ": " + std::to_string(config.spec.devices) +
+          " devices in " + std::to_string(config.spec.shards()) +
+          " shards of " + std::to_string(config.spec.shard_size));
+
+  exp::fleet::FleetResult result;
+  try {
+    result = exp::fleet::run_fleet(config);
+  } catch (const util::ManifestMismatchError& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return util::exit_code::kManifestMismatch;
+  }
+
+  print_population_table(result);
+  if (args.flag("hist")) {
+    std::cout << "population miss-rate distribution:\n"
+              << result.miss_rate_hist.ascii() << "\n";
+  }
+  std::cout << result.wall_clock << "\n";
+
+  if (result.complete) {
+    result.artifact.write(args.str("out"));
+    std::cout << "artifact -> " << args.str("out") << "\n";
+    if (!args.str("csv").empty()) {
+      result.artifact.export_csv(args.str("csv"));
+      std::cout << "csv -> " << args.str("csv") << "\n";
+    }
+  } else {
+    // A partial artifact would violate the byte-identical contract; the
+    // journal already holds every finished shard for --resume.
+    std::cerr << "run incomplete: artifact not written (finished shards are "
+                 "journaled; use "
+              << eadvfs::bench::resume_hint(config.checkpoint) << ")\n";
+  }
+  return eadvfs::bench::report_run_outcome(
+      result.report, result.resumed,
+      eadvfs::bench::resume_hint(config.checkpoint));
+}

@@ -1,0 +1,206 @@
+#include "exp/fleet/artifact.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/atomic_file.hpp"
+#include "util/format.hpp"
+#include "util/json.hpp"
+
+namespace eadvfs::exp::fleet {
+
+namespace {
+
+void put_u64_le(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+}
+
+std::uint64_t get_u64_le(const std::string& bytes, std::size_t offset) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i)
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes[offset + i]))
+             << (8 * i);
+  return value;
+}
+
+// Column names are machine identifiers ("miss_rate.mean"); escaping is still
+// required for a well-formed header, even though the names we emit never need
+// it.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+[[noreturn]] void corrupt(const std::string& detail) {
+  throw std::runtime_error("fleet artifact: " + detail);
+}
+
+}  // namespace
+
+std::size_t FleetArtifact::column(const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    if (columns[i] == name) return i;
+  throw std::out_of_range("fleet artifact: no column named '" + name + "'");
+}
+
+std::string FleetArtifact::serialize() const {
+  if (columns.size() != data.size())
+    throw std::logic_error("fleet artifact: column name/data count mismatch");
+  for (const auto& col : data)
+    if (col.size() != shards)
+      throw std::logic_error(
+          "fleet artifact: column length does not match shard count");
+
+  // The header is JSON but written by hand so its bytes are fully under our
+  // control — determinism of the artifact depends on it.  fingerprint and
+  // seed-sized integers are emitted as decimal *strings*: a JSON number
+  // would round-trip through double and lose bits above 2^53.
+  std::ostringstream header;
+  header << "{\"format\": \"eadvfs.fleet.v1\""
+         << ", \"spec\": " << json_escape(spec)
+         << ", \"fingerprint\": \"" << fingerprint << '"'
+         << ", \"devices\": " << devices
+         << ", \"shards\": " << shards
+         << ", \"hist_lo\": " << util::format_double(hist_lo)
+         << ", \"hist_hi\": " << util::format_double(hist_hi)
+         << ", \"hist_bins\": " << hist_bins
+         << ", \"columns\": [";
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    header << (i ? ", " : "") << json_escape(columns[i]);
+  header << "]}";
+  const std::string header_json = header.str();
+
+  std::string out;
+  out.reserve(16 + 8 + header_json.size() + data.size() * shards * 8);
+  out.append(kMagic, 16);
+  put_u64_le(out, header_json.size());
+  out += header_json;
+  for (const auto& col : data)
+    for (double value : col) put_u64_le(out, std::bit_cast<std::uint64_t>(value));
+  return out;
+}
+
+void FleetArtifact::write(const std::string& path) const {
+  util::write_file_atomic(path, serialize());
+}
+
+FleetArtifact FleetArtifact::deserialize(const std::string& bytes) {
+  if (bytes.size() < 24) corrupt("truncated (shorter than magic + header length)");
+  if (std::memcmp(bytes.data(), kMagic, 16) != 0)
+    corrupt("bad magic (not an eadvfs.fleet.v1 file)");
+  const std::uint64_t header_len = get_u64_le(bytes, 16);
+  if (header_len > bytes.size() - 24) corrupt("header length exceeds file size");
+  const std::string header = bytes.substr(24, header_len);
+
+  // The header was emitted by serialize() above; parse it with the same
+  // strict JSON front door the spec loader uses.
+  FleetArtifact artifact;
+  std::size_t payload_cols = 0;
+  {
+    // Local include-free parse: defer to util::json via spec.cpp would be
+    // circular in spirit; the header is small and flat, so reuse the shared
+    // parser directly.
+    const auto doc = [&header] {
+      try {
+        return util::json_parse(header);
+      } catch (const std::exception& error) {
+        corrupt(std::string("header is not valid JSON: ") + error.what());
+      }
+    }();
+    const util::JsonValue* format = doc.find("format");
+    if (format == nullptr || format->as_string() != "eadvfs.fleet.v1")
+      corrupt("header format field missing or mismatched");
+    const auto require = [&doc](const char* key) -> const util::JsonValue& {
+      const util::JsonValue* value = doc.find(key);
+      if (value == nullptr)
+        corrupt(std::string("header is missing key '") + key + "'");
+      return *value;
+    };
+    artifact.spec = require("spec").as_string();
+    artifact.fingerprint = std::stoull(require("fingerprint").as_string());
+    artifact.devices = static_cast<std::size_t>(require("devices").as_number());
+    artifact.shards = static_cast<std::size_t>(require("shards").as_number());
+    artifact.hist_lo = require("hist_lo").as_number();
+    artifact.hist_hi = require("hist_hi").as_number();
+    artifact.hist_bins =
+        static_cast<std::size_t>(require("hist_bins").as_number());
+    for (const util::JsonValue& name : require("columns").as_array())
+      artifact.columns.push_back(name.as_string());
+    payload_cols = artifact.columns.size();
+  }
+
+  const std::size_t payload_offset = 24 + header_len;
+  const std::size_t expected = payload_cols * artifact.shards * 8;
+  if (bytes.size() - payload_offset != expected)
+    corrupt("payload size mismatch: expected " + std::to_string(expected) +
+            " bytes of column data, found " +
+            std::to_string(bytes.size() - payload_offset));
+
+  artifact.data.resize(payload_cols);
+  std::size_t offset = payload_offset;
+  for (std::size_t c = 0; c < payload_cols; ++c) {
+    artifact.data[c].reserve(artifact.shards);
+    for (std::size_t s = 0; s < artifact.shards; ++s, offset += 8)
+      artifact.data[c].push_back(
+          std::bit_cast<double>(get_u64_le(bytes, offset)));
+  }
+  return artifact;
+}
+
+FleetArtifact FleetArtifact::read(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("fleet artifact: cannot open '" + path +
+                             "' for reading");
+  std::ostringstream content;
+  content << in.rdbuf();
+  if (in.bad())
+    throw std::runtime_error("fleet artifact: I/O error reading '" + path +
+                             "'");
+  try {
+    return deserialize(content.str());
+  } catch (const std::runtime_error& error) {
+    throw std::runtime_error(path + ": " + error.what());
+  }
+}
+
+void FleetArtifact::export_csv(const std::string& path) const {
+  std::ostringstream out;
+  out << "shard";
+  for (const std::string& name : columns) out << ',' << name;
+  out << '\n';
+  for (std::size_t s = 0; s < shards; ++s) {
+    out << s;
+    for (const auto& col : data) out << ',' << util::format_double(col[s]);
+    out << '\n';
+  }
+  util::write_file_atomic(path, out.str());
+}
+
+}  // namespace eadvfs::exp::fleet

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file artifact.hpp
+/// `eadvfs.fleet.v1` — the fleet runner's compact binary columnar result
+/// format, plus its lossless CSV export.
+///
+/// Million-device results stop being CSV-bound: the artifact stores one row
+/// per *shard* (streaming aggregation keeps per-device rows out of memory
+/// entirely), column-major, with every double serialized as its IEEE-754
+/// bit pattern — so the file is byte-identical for any `--jobs` count and
+/// across checkpoint resume, and reloads *exactly*.
+///
+/// Layout (all integers little-endian):
+///
+///   bytes 0..15   magic "eadvfs.fleet.v1\n"
+///   bytes 16..23  u64: length H of the header JSON
+///   bytes 24..    H bytes of header JSON — spec description + fingerprint,
+///                 device/shard counts, histogram shape, and the ordered
+///                 column name list (self-describing: a reader needs no
+///                 out-of-band schema)
+///   then          per column, in header order: shards × u64 (the column's
+///                 doubles as bit patterns)
+///
+/// The CSV export writes the same grid shard-major with
+/// util::format_double (shortest round-trip decimal), so re-importing the
+/// CSV reproduces every double bit for bit — lossless, just bigger.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eadvfs::exp::fleet {
+
+struct FleetArtifact {
+  static constexpr char kMagic[] = "eadvfs.fleet.v1\n";  ///< 16 bytes.
+
+  std::string spec;             ///< canonical spec description.
+  std::uint64_t fingerprint = 0;  ///< FNV-1a of `spec` (exp::fingerprint).
+  std::size_t devices = 0;      ///< device-instances the run covered.
+  std::size_t shards = 0;       ///< rows in every column.
+  double hist_lo = 0.0;         ///< miss-rate histogram shape, for readers
+  double hist_hi = 1.0;         ///< that rebuild util::Histogram.
+  std::size_t hist_bins = 0;
+
+  std::vector<std::string> columns;           ///< ordered column names.
+  std::vector<std::vector<double>> data;      ///< [column][shard].
+
+  /// Column index by name; throws std::out_of_range naming the column.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+
+  /// Serialize to the binary layout above (deterministic bytes).
+  [[nodiscard]] std::string serialize() const;
+
+  /// Atomically write serialize() to `path` (util::write_file_atomic).
+  void write(const std::string& path) const;
+
+  /// Parse an artifact; throws std::runtime_error on bad magic, truncation,
+  /// or a header/payload size mismatch.
+  [[nodiscard]] static FleetArtifact deserialize(const std::string& bytes);
+  [[nodiscard]] static FleetArtifact read(const std::string& path);
+
+  /// Lossless CSV: header `shard,<columns...>`, one row per shard, values
+  /// via util::format_double.  Written atomically.
+  void export_csv(const std::string& path) const;
+};
+
+}  // namespace eadvfs::exp::fleet

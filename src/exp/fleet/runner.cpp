@@ -1,0 +1,241 @@
+#include "exp/fleet/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "energy/solar_source.hpp"
+#include "exp/setup.hpp"
+#include "obs/perf.hpp"
+#include "sim/fault/profile.hpp"
+#include "task/generator.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::exp::fleet {
+
+namespace {
+
+/// Doubles per RunningStats in a journal/artifact row: n, mean, M2, min, max
+/// — the accumulator's full state (RunningStats::from_moments).
+constexpr std::size_t kStatsWidth = 5;
+constexpr std::size_t kMetricCount = 6;
+constexpr const char* kMetricNames[kMetricCount] = {
+    "miss_rate", "stall_time",        "busy_time",
+    "harvested", "consumed",          "frequency_switches"};
+
+void push_stats(std::vector<double>& row, const util::RunningStats& stats) {
+  row.push_back(static_cast<double>(stats.count()));
+  row.push_back(stats.mean());
+  row.push_back(stats.sum_squared_deviations());
+  row.push_back(stats.min());
+  row.push_back(stats.max());
+}
+
+util::RunningStats read_stats(const double* p) {
+  return util::RunningStats::from_moments(static_cast<std::size_t>(p[0]), p[1],
+                                          p[2], p[3], p[4]);
+}
+
+util::RunningStats* metric_slot(FleetMetrics& metrics, std::size_t index) {
+  // Must match kMetricNames order — the journal row and the artifact columns
+  // are both laid out by this mapping.
+  switch (index) {
+    case 0: return &metrics.miss_rate;
+    case 1: return &metrics.stall_time;
+    case 2: return &metrics.busy_time;
+    case 3: return &metrics.harvested;
+    case 4: return &metrics.consumed;
+    case 5: return &metrics.frequency_switches;
+    default: return nullptr;
+  }
+}
+
+sim::DepletionPolicy depletion_policy(const FleetSpec& spec) {
+  return spec.depletion == "abort" ? sim::DepletionPolicy::kAbortAndCharge
+                                   : sim::DepletionPolicy::kSuspendAndResume;
+}
+
+}  // namespace
+
+std::size_t fleet_row_width(const FleetSpec& spec) {
+  return 1 + kMetricCount * kStatsWidth + 3 + spec.hist_bins;
+}
+
+std::vector<std::string> fleet_columns(const FleetSpec& spec) {
+  std::vector<std::string> names;
+  names.reserve(fleet_row_width(spec));
+  names.emplace_back("devices");
+  for (const char* metric : kMetricNames) {
+    const std::string base(metric);
+    names.push_back(base + ".n");
+    names.push_back(base + ".mean");
+    names.push_back(base + ".m2");
+    names.push_back(base + ".min");
+    names.push_back(base + ".max");
+  }
+  names.emplace_back("hist.underflow");
+  names.emplace_back("hist.overflow");
+  names.emplace_back("hist.nan");
+  for (std::size_t b = 0; b < spec.hist_bins; ++b)
+    names.push_back("hist.bin" + std::to_string(b));
+  return names;
+}
+
+FleetResult run_fleet(const FleetConfig& config) {
+  const FleetSpec& spec = config.spec;
+  spec.validate();
+
+  FleetResult result;
+  result.spec = spec;
+  result.miss_rate_hist = util::Histogram(0.0, 1.0, spec.hist_bins);
+
+  const std::size_t shards = spec.shards();
+  const std::size_t row_width = fleet_row_width(spec);
+
+  // Sub-seeds are indexed by *global* device id, so every device's sampled
+  // configuration and simulation are independent of shard_size and --jobs.
+  const std::vector<std::uint64_t> seeds = derive_seeds(spec.seed, spec.devices);
+
+  // Parse fault profiles once; per-device copies only reseed.
+  std::vector<sim::fault::FaultProfile> profiles;
+  profiles.reserve(spec.fault_profiles.size());
+  for (const std::string& text : spec.fault_profiles)
+    profiles.push_back(sim::fault::FaultProfile::parse(text));
+
+  ManifestInfo manifest;
+  manifest.experiment = config.experiment_id;
+  manifest.config = spec.canonical_description();
+  manifest.seed = spec.seed;
+  manifest.replications = shards;
+  manifest.jobs = config.parallel.jobs;
+
+  obs::PhaseTimers timers;
+  timers.start("simulate");
+  const CheckpointedMapOutcome outcome = checkpointed_map(
+      shards, with_default_progress(config.parallel, "fleet", 1),
+      config.checkpoint, manifest, [&](std::size_t shard) {
+        FleetMetrics stats;
+        util::Histogram hist(0.0, 1.0, spec.hist_bins);
+
+        const std::size_t first = spec.shard_begin(shard);
+        const std::size_t last = spec.shard_end(shard);
+        for (std::size_t device = first; device < last; ++device) {
+          util::Xoshiro256ss rng(seeds[device]);
+          const DeviceSample sample = sample_device(spec, rng);
+
+          task::GeneratorConfig generator_config;
+          generator_config.n_tasks = sample.n_tasks;
+          generator_config.target_utilization = sample.utilization;
+          // The generator's harvest-aware draw must see the *scaled* panel.
+          generator_config.mean_harvest_power =
+              energy::SolarSource::analytic_mean_power(10.0 *
+                                                       sample.panel_scale);
+          const task::TaskSetGenerator generator(generator_config);
+          const task::TaskSet task_set = generator.generate(rng);
+
+          energy::SolarSourceConfig solar;
+          solar.amplitude = 10.0 * sample.panel_scale;
+          solar.horizon = spec.horizon;  // no point presampling past the run
+          solar.seed = seeds[device] ^ 0x5eed5eed5eed5eedULL;
+
+          sim::fault::FaultProfile fault;
+          if (sample.fault != DeviceSample::kNoFault) {
+            fault = profiles[sample.fault];
+            if (!fault.seed_provided)
+              fault.seed = seeds[device] ^ 0xfa017fa017fa017fULL;
+          }
+
+          RunOptions run;
+          run.config.horizon = spec.horizon;
+          run.config.depletion_policy = depletion_policy(spec);
+          run.source = std::make_shared<const energy::SolarSource>(solar);
+          run.tasks = &task_set;
+          run.storage.capacity = sample.capacity;
+          run.scheduler = spec.schedulers[sample.scheduler];
+          run.predictor = spec.predictors[sample.predictor];
+          run.execution.seed = seeds[device] ^ 0xac7ac7ac7ULL;
+          run.fault = fault.any() ? &fault : nullptr;
+          run.per_task_metrics = false;
+          const sim::SimulationResult sim = run_with_options(run);
+
+          stats.miss_rate.add(sim.miss_rate());
+          stats.stall_time.add(sim.stall_time);
+          stats.busy_time.add(sim.busy_time);
+          stats.harvested.add(sim.harvested);
+          stats.consumed.add(sim.consumed);
+          stats.frequency_switches.add(
+              static_cast<double>(sim.frequency_switches));
+          hist.add(sim.miss_rate());
+        }
+
+        std::vector<double> row;
+        row.reserve(row_width);
+        row.push_back(static_cast<double>(last - first));
+        push_stats(row, stats.miss_rate);
+        push_stats(row, stats.stall_time);
+        push_stats(row, stats.busy_time);
+        push_stats(row, stats.harvested);
+        push_stats(row, stats.consumed);
+        push_stats(row, stats.frequency_switches);
+        row.push_back(static_cast<double>(hist.underflow()));
+        row.push_back(static_cast<double>(hist.overflow()));
+        row.push_back(static_cast<double>(hist.nan()));
+        for (std::size_t b = 0; b < hist.bins(); ++b)
+          row.push_back(static_cast<double>(hist.count(b)));
+        return row;
+      });
+
+  // Fold journal rows in shard order — merge order is part of the
+  // byte-determinism contract, exactly like the sweeps' aggregation.
+  timers.start("aggregate");
+  bool all_rows = true;
+  for (std::size_t shard = 0; shard < outcome.rows.size(); ++shard) {
+    const std::vector<double>& row = outcome.rows[shard];
+    if (row.empty()) {  // failed or interrupt-skipped shard
+      all_rows = false;
+      continue;
+    }
+    if (row.size() != row_width)
+      throw std::runtime_error(
+          "fleet: journaled row width mismatch (checkpoint from a different "
+          "configuration?)");
+    result.devices_simulated += static_cast<std::size_t>(row[0]);
+    const double* cursor = row.data() + 1;
+    for (std::size_t m = 0; m < kMetricCount; ++m, cursor += kStatsWidth)
+      metric_slot(result.metrics, m)->merge(read_stats(cursor));
+    const auto underflow = static_cast<std::size_t>(cursor[0]);
+    const auto overflow = static_cast<std::size_t>(cursor[1]);
+    const auto nan = static_cast<std::size_t>(cursor[2]);
+    std::vector<std::size_t> counts(spec.hist_bins);
+    for (std::size_t b = 0; b < spec.hist_bins; ++b)
+      counts[b] = static_cast<std::size_t>(cursor[3 + b]);
+    result.miss_rate_hist.merge(util::Histogram::from_parts(
+        0.0, 1.0, counts, underflow, overflow, nan));
+  }
+  result.report = outcome.report;
+  result.resumed = outcome.resumed;
+  result.complete = all_rows && !outcome.report.interrupted;
+
+  if (result.complete) {
+    // The artifact grid is the journal rows transposed: column-major, one
+    // value per (column, shard).
+    result.artifact.spec = manifest.config;
+    result.artifact.fingerprint = fingerprint(manifest.config);
+    result.artifact.devices = spec.devices;
+    result.artifact.shards = shards;
+    result.artifact.hist_lo = 0.0;
+    result.artifact.hist_hi = 1.0;
+    result.artifact.hist_bins = spec.hist_bins;
+    result.artifact.columns = fleet_columns(spec);
+    result.artifact.data.assign(row_width, std::vector<double>(shards, 0.0));
+    for (std::size_t shard = 0; shard < shards; ++shard)
+      for (std::size_t c = 0; c < row_width; ++c)
+        result.artifact.data[c][shard] = outcome.rows[shard][c];
+  }
+  timers.stop();
+  result.wall_clock = timers.summary();
+  return result;
+}
+
+}  // namespace eadvfs::exp::fleet

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file runner.hpp
+/// The fleet Monte Carlo runner: simulate a heterogeneous population of
+/// 10^5–10^6 device-instances as one batched, sharded, crash-safe job
+/// (ROADMAP item 2).
+///
+/// Execution model
+/// ---------------
+/// The unit of parallel work is a *shard* of `spec.shard_size` devices — one
+/// checkpointed replication in exp::checkpointed_map terms.  Each device in a
+/// shard gets its own sub-seed from derive_seeds(spec.seed, spec.devices)
+/// (indexed by *global* device id, so the population is independent of how it
+/// is sharded), samples its configuration via fleet::sample_device, and runs
+/// one simulation through the same RunOptions/run_with_options path the CLI
+/// and sweeps use.  The shard folds its devices into six streaming
+/// util::RunningStats accumulators plus a miss-rate util::Histogram and
+/// journals one row of plain doubles — moments and counters, never
+/// per-device samples — so memory stays O(shards), not O(devices).
+///
+/// Aggregation replays journal rows in shard order, rebuilding each shard's
+/// accumulators (RunningStats::from_moments, Histogram::from_parts) and
+/// merging them left-to-right.  Every double crosses the journal as an
+/// IEEE-754 bit pattern, so the merged population statistics and the
+/// eadvfs.fleet.v1 artifact are byte-identical for any `--jobs` and across
+/// any SIGKILL/resume split — the same determinism contract the sweeps
+/// honor, now at fleet scale.
+
+#include <cstddef>
+#include <string>
+
+#include "exp/checkpoint.hpp"
+#include "exp/fleet/artifact.hpp"
+#include "exp/fleet/spec.hpp"
+#include "exp/parallel_runner.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace eadvfs::exp::fleet {
+
+struct FleetConfig {
+  FleetSpec spec;
+  ParallelConfig parallel;
+  CheckpointConfig checkpoint;
+  /// Manifest experiment id (one id per sweep kind).
+  std::string experiment_id = "fleet";
+};
+
+/// The six per-device metrics the fleet aggregates, in journal/artifact
+/// column order.
+struct FleetMetrics {
+  util::RunningStats miss_rate;
+  util::RunningStats stall_time;
+  util::RunningStats busy_time;
+  util::RunningStats harvested;
+  util::RunningStats consumed;
+  util::RunningStats frequency_switches;
+};
+
+struct FleetResult {
+  FleetSpec spec;
+  /// Population statistics merged across all shards (shard-index order).
+  FleetMetrics metrics;
+  /// Population miss-rate distribution over [0, 1); a device that missed
+  /// every resolved deadline (rate exactly 1.0) lands in overflow.
+  util::Histogram miss_rate_hist{0.0, 1.0, 1};
+  /// Devices actually simulated (== spec.devices when complete).
+  std::size_t devices_simulated = 0;
+  /// All shards finished; false after an interrupt or keep-going failures,
+  /// in which case `artifact` is not populated (a partial artifact would
+  /// violate the byte-identical contract).
+  bool complete = false;
+  /// The columnar result (one row per shard); populated only when complete.
+  FleetArtifact artifact;
+  RunReport report;
+  std::size_t resumed = 0;  ///< shards loaded from the journal.
+  std::string wall_clock;   ///< obs::PhaseTimers summary.
+};
+
+/// Number of doubles in one shard's journal/artifact row for this spec.
+[[nodiscard]] std::size_t fleet_row_width(const FleetSpec& spec);
+
+/// Ordered artifact column names for this spec (matches fleet_row_width).
+[[nodiscard]] std::vector<std::string> fleet_columns(const FleetSpec& spec);
+
+/// Run the fleet.  Throws std::invalid_argument on an invalid spec,
+/// util::ManifestMismatchError when resuming against a different
+/// configuration.  Interrupts and keep-going failures are reported through
+/// `result.report`, mirroring the sweeps.
+[[nodiscard]] FleetResult run_fleet(const FleetConfig& config);
+
+}  // namespace eadvfs::exp::fleet

@@ -1,0 +1,277 @@
+#include "exp/fleet/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/setup.hpp"
+#include "sched/factory.hpp"
+#include "util/json.hpp"
+#include "util/suggest.hpp"
+
+namespace eadvfs::exp::fleet {
+
+namespace {
+
+[[noreturn]] void spec_error(const std::string& message) {
+  throw std::invalid_argument("fleet spec: " + message);
+}
+
+void require_finite_range(const RealRange& range, const char* key) {
+  if (!std::isfinite(range.lo) || !std::isfinite(range.hi))
+    spec_error(std::string(key) + " must be finite");
+  if (range.lo > range.hi)
+    spec_error(std::string(key) + " range is inverted (lo > hi)");
+}
+
+bool is_known_predictor(const std::string& name) {
+  if (name.rfind("constant:", 0) == 0) {
+    // make_predictor parses the payload; pre-validate so a typo'd constant
+    // dies at spec load, not a million devices into the run.
+    try {
+      const double value = std::stod(name.substr(9));
+      return std::isfinite(value) && value >= 0.0;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  const std::vector<std::string> names = predictor_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+}  // namespace
+
+std::size_t FleetSpec::shards() const {
+  return (devices + shard_size - 1) / shard_size;
+}
+
+std::size_t FleetSpec::shard_begin(std::size_t shard) const {
+  return shard * shard_size;
+}
+
+std::size_t FleetSpec::shard_end(std::size_t shard) const {
+  return std::min(devices, (shard + 1) * shard_size);
+}
+
+void FleetSpec::validate() const {
+  if (name.empty()) spec_error("name must not be empty");
+  if (devices == 0) spec_error("devices must be >= 1");
+  if (shard_size == 0) spec_error("shard_size must be >= 1");
+  if (!(horizon > 0.0) || !std::isfinite(horizon))
+    spec_error("horizon must be positive and finite");
+  if (schedulers.empty()) spec_error("schedulers must not be empty");
+  const std::vector<std::string> known_schedulers = sched::scheduler_names();
+  for (const std::string& s : schedulers) {
+    if (std::find(known_schedulers.begin(), known_schedulers.end(), s) ==
+        known_schedulers.end()) {
+      const std::string hint = util::closest_match(s, known_schedulers);
+      spec_error("unknown scheduler '" + s + "'" +
+                 (hint.empty() ? "" : " (did you mean '" + hint + "'?)"));
+    }
+  }
+  if (predictors.empty()) spec_error("predictors must not be empty");
+  for (const std::string& p : predictors) {
+    if (!is_known_predictor(p)) {
+      const std::string hint = util::closest_match(p, predictor_names());
+      spec_error("unknown predictor '" + p + "'" +
+                 (hint.empty() ? "" : " (did you mean '" + hint + "'?)"));
+    }
+  }
+  if (tasks.lo == 0) spec_error("tasks range must start at >= 1");
+  if (tasks.lo > tasks.hi) spec_error("tasks range is inverted (lo > hi)");
+  require_finite_range(utilization, "utilization");
+  if (!(utilization.lo > 0.0) || !(utilization.hi < 1.0))
+    spec_error("utilization range must lie inside (0, 1)");
+  require_finite_range(capacity, "capacity");
+  if (!(capacity.lo > 0.0)) spec_error("capacity range must be positive");
+  require_finite_range(panel_scale, "panel_scale");
+  if (!(panel_scale.lo > 0.0)) spec_error("panel_scale range must be positive");
+  if (std::isnan(fault_fraction) || fault_fraction < 0.0 || fault_fraction > 1.0)
+    spec_error("fault_fraction must lie in [0, 1]");
+  if (fault_fraction > 0.0 && fault_profiles.empty())
+    spec_error("fault_fraction > 0 requires a non-empty fault_profiles list");
+  for (const std::string& profile : fault_profiles) {
+    try {
+      (void)sim::fault::FaultProfile::parse(profile);
+    } catch (const std::exception& error) {
+      spec_error("fault profile '" + profile + "': " + error.what());
+    }
+  }
+  if (depletion != "suspend" && depletion != "abort")
+    spec_error("depletion must be 'suspend' or 'abort', got '" + depletion + "'");
+  if (hist_bins == 0) spec_error("hist_bins must be >= 1");
+}
+
+std::string FleetSpec::canonical_description() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "fleet;name=" << name << ";devices=" << devices
+      << ";shard=" << shard_size << ";seed=" << seed << ";horizon=" << horizon;
+  out << ";scheds=";
+  for (std::size_t i = 0; i < schedulers.size(); ++i)
+    out << (i ? "," : "") << schedulers[i];
+  out << ";preds=";
+  for (std::size_t i = 0; i < predictors.size(); ++i)
+    out << (i ? "," : "") << predictors[i];
+  out << ";tasks=" << tasks.lo << "-" << tasks.hi;
+  out << ";u=" << utilization.lo << "," << utilization.hi;
+  out << ";cap=" << capacity.lo << "," << capacity.hi;
+  out << ";panel=" << panel_scale.lo << "," << panel_scale.hi;
+  out << ";faults=";
+  for (std::size_t i = 0; i < fault_profiles.size(); ++i)
+    out << (i ? "|" : "") << fault_profiles[i];
+  out << ";ffrac=" << fault_fraction;
+  out << ";depletion=" << depletion;
+  out << ";histbins=" << hist_bins;
+  return out.str();
+}
+
+namespace {
+
+double number_field(const util::JsonValue& value, const char* key) {
+  try {
+    return value.as_number();
+  } catch (const std::exception& error) {
+    spec_error(std::string("key '") + key + "': " + error.what());
+  }
+}
+
+std::size_t count_field(const util::JsonValue& value, const char* key) {
+  const double raw = number_field(value, key);
+  if (!(raw >= 0.0) || raw != std::floor(raw) || raw > 9.007199254740992e15)
+    spec_error(std::string("key '") + key +
+               "' must be a non-negative integer");
+  return static_cast<std::size_t>(raw);
+}
+
+std::string string_field(const util::JsonValue& value, const char* key) {
+  try {
+    return value.as_string();
+  } catch (const std::exception& error) {
+    spec_error(std::string("key '") + key + "': " + error.what());
+  }
+}
+
+std::vector<std::string> string_list_field(const util::JsonValue& value,
+                                           const char* key) {
+  std::vector<std::string> out;
+  try {
+    for (const util::JsonValue& element : value.as_array())
+      out.push_back(element.as_string());
+  } catch (const std::exception& error) {
+    spec_error(std::string("key '") + key + "': " + error.what());
+  }
+  return out;
+}
+
+RealRange real_range_field(const util::JsonValue& value, const char* key) {
+  try {
+    const auto& elements = value.as_array();
+    if (elements.size() != 2)
+      spec_error(std::string("key '") + key + "' must be a [lo, hi] pair");
+    return RealRange{elements[0].as_number(), elements[1].as_number()};
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception& error) {
+    spec_error(std::string("key '") + key + "': " + error.what());
+  }
+}
+
+IntRange int_range_field(const util::JsonValue& value, const char* key) {
+  const RealRange raw = real_range_field(value, key);
+  if (raw.lo != std::floor(raw.lo) || raw.hi != std::floor(raw.hi) ||
+      raw.lo < 0.0 || raw.hi < 0.0)
+    spec_error(std::string("key '") + key +
+               "' must be a pair of non-negative integers");
+  return IntRange{static_cast<std::size_t>(raw.lo),
+                  static_cast<std::size_t>(raw.hi)};
+}
+
+}  // namespace
+
+FleetSpec FleetSpec::parse_json(const std::string& text) {
+  const util::JsonValue doc = util::json_parse(text);
+  if (!doc.is_object())
+    spec_error(std::string("top level must be an object, found ") +
+               doc.type_name());
+
+  static const std::vector<std::string> known_keys = {
+      "name",         "devices",       "shard_size",  "seed",
+      "horizon",      "schedulers",    "predictors",  "tasks",
+      "utilization",  "capacity",      "panel_scale", "fault_profiles",
+      "fault_fraction", "depletion",   "hist_bins"};
+
+  FleetSpec spec;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "name") spec.name = string_field(value, "name");
+    else if (key == "devices") spec.devices = count_field(value, "devices");
+    else if (key == "shard_size") spec.shard_size = count_field(value, "shard_size");
+    else if (key == "seed") spec.seed = count_field(value, "seed");
+    else if (key == "horizon") spec.horizon = number_field(value, "horizon");
+    else if (key == "schedulers") spec.schedulers = string_list_field(value, "schedulers");
+    else if (key == "predictors") spec.predictors = string_list_field(value, "predictors");
+    else if (key == "tasks") spec.tasks = int_range_field(value, "tasks");
+    else if (key == "utilization") spec.utilization = real_range_field(value, "utilization");
+    else if (key == "capacity") spec.capacity = real_range_field(value, "capacity");
+    else if (key == "panel_scale") spec.panel_scale = real_range_field(value, "panel_scale");
+    else if (key == "fault_profiles") spec.fault_profiles = string_list_field(value, "fault_profiles");
+    else if (key == "fault_fraction") spec.fault_fraction = number_field(value, "fault_fraction");
+    else if (key == "depletion") spec.depletion = string_field(value, "depletion");
+    else if (key == "hist_bins") spec.hist_bins = count_field(value, "hist_bins");
+    else {
+      const std::string hint = util::closest_match(key, known_keys);
+      spec_error("unknown key '" + key + "'" +
+                 (hint.empty() ? "" : " (did you mean '" + hint + "'?)"));
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+FleetSpec FleetSpec::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("fleet spec: cannot open '" + path +
+                             "' for reading");
+  std::ostringstream content;
+  content << in.rdbuf();
+  if (in.bad())
+    throw std::runtime_error("fleet spec: I/O error reading '" + path + "'");
+  try {
+    return parse_json(content.str());
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument(path + ": " + error.what());
+  }
+}
+
+DeviceSample sample_device(const FleetSpec& spec, util::Xoshiro256ss& rng) {
+  DeviceSample sample;
+  // Draw order is fixed (see header): reordering would silently change
+  // every device in every existing spec's population.
+  sample.scheduler = rng.uniform_int(0, spec.schedulers.size() - 1);
+  sample.predictor = rng.uniform_int(0, spec.predictors.size() - 1);
+  sample.n_tasks = rng.uniform_int(spec.tasks.lo, spec.tasks.hi);
+  sample.utilization = spec.utilization.lo == spec.utilization.hi
+                           ? spec.utilization.lo
+                           : rng.uniform(spec.utilization.lo, spec.utilization.hi);
+  sample.panel_scale = spec.panel_scale.lo == spec.panel_scale.hi
+                           ? spec.panel_scale.lo
+                           : rng.uniform(spec.panel_scale.lo, spec.panel_scale.hi);
+  // Capacities span decades; sample log-uniformly so small and large
+  // devices are equally represented.
+  sample.capacity =
+      spec.capacity.lo == spec.capacity.hi
+          ? spec.capacity.lo
+          : std::exp(rng.uniform(std::log(spec.capacity.lo),
+                                 std::log(spec.capacity.hi)));
+  // The fault draw is always consumed, so enabling faults in a spec does
+  // not shift any other per-device sample.
+  const double fault_roll = rng.uniform01();
+  if (!spec.fault_profiles.empty() && fault_roll < spec.fault_fraction)
+    sample.fault = rng.uniform_int(0, spec.fault_profiles.size() - 1);
+  return sample;
+}
+
+}  // namespace eadvfs::exp::fleet

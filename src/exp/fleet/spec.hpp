@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file spec.hpp
+/// Fleet specification: the declarative description of a heterogeneous
+/// device population for the fleet Monte Carlo runner (ROADMAP item 2,
+/// "simulate a million devices").
+///
+/// A fleet spec says how many device-instances to simulate, how they are
+/// sharded, and the *distributions* each device samples its configuration
+/// from: scheduler and predictor (uniform over the given lists), task count
+/// and utilization (uniform over a range), storage capacity (log-uniform —
+/// device capacities in a deployed fleet span decades, not a linear band),
+/// solar panel size (uniform amplitude scale), and an optional fault
+/// profile assigned to a fraction of the population.
+///
+/// Specs are written as JSON (parsed by util/json.hpp) with the same
+/// hardened-front-door rules as the INI scenario files: unknown keys are
+/// rejected with a did-you-mean suggestion, malformed values throw with the
+/// offending key named, and a validated spec cannot smuggle NaN or an
+/// unknown scheduler name into a million simulations.  See
+/// docs/EXPERIMENTS.md §"Fleet runs" for the full key reference.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fault/profile.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::exp::fleet {
+
+/// Closed real interval [lo, hi] a device samples a value from (lo == hi
+/// pins the value for the whole fleet).
+struct RealRange {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Inclusive integer range.
+struct IntRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+
+struct FleetSpec {
+  std::string name = "default";
+  /// Device-instances in the population (the fleet runner's unit of work is
+  /// a *shard* of these, see shards()).
+  std::size_t devices = 100'000;
+  /// Devices per shard; the last shard may be short.  Part of the
+  /// fingerprint: resharding changes journal rows, so a checkpoint cannot
+  /// be resumed across a shard-size change.
+  std::size_t shard_size = 1'000;
+  std::uint64_t seed = 42;
+  double horizon = 500.0;
+
+  /// Per-device uniform draws.
+  std::vector<std::string> schedulers = {"lsa", "ea-dvfs"};
+  std::vector<std::string> predictors = {"slotted-ewma"};
+  IntRange tasks{3, 8};
+  RealRange utilization{0.2, 0.8};
+  /// Storage capacity, sampled log-uniformly over [lo, hi].
+  RealRange capacity{25.0, 500.0};
+  /// Solar amplitude multiplier (panel sizing), uniform over [lo, hi].
+  RealRange panel_scale{0.5, 2.0};
+
+  /// Fault assignment: each device independently receives a fault profile
+  /// with probability `fault_fraction`, drawn uniformly from
+  /// `fault_profiles` (sim::fault::FaultProfile::parse syntax).
+  std::vector<std::string> fault_profiles;
+  double fault_fraction = 0.0;
+
+  /// Mid-execution storage-depletion policy: "suspend" | "abort".
+  std::string depletion = "suspend";
+
+  /// Bins of the population miss-rate histogram over [0, 1); a device that
+  /// misses *every* deadline (rate exactly 1.0) lands in the overflow
+  /// counter.
+  std::size_t hist_bins = 40;
+
+  /// Shards covering `devices` at `shard_size` (ceiling division).
+  [[nodiscard]] std::size_t shards() const;
+
+  /// Device index range of one shard: [first, last).
+  [[nodiscard]] std::size_t shard_begin(std::size_t shard) const;
+  [[nodiscard]] std::size_t shard_end(std::size_t shard) const;
+
+  /// Throws std::invalid_argument naming the offending field on any
+  /// out-of-domain value (non-finite ranges, inverted intervals, unknown
+  /// scheduler/predictor/depletion names, unparsable fault profiles, ...).
+  void validate() const;
+
+  /// Canonical single-line description of every determinism-relevant field,
+  /// fingerprinted into the checkpoint manifest and the fleet artifact.
+  [[nodiscard]] std::string canonical_description() const;
+
+  /// Parse a spec from JSON text.  Missing keys keep their defaults;
+  /// unknown keys throw with a did-you-mean suggestion; the result is
+  /// validate()d before returning.
+  [[nodiscard]] static FleetSpec parse_json(const std::string& text);
+
+  /// parse_json() over a file (util::json_parse_file error reporting).
+  [[nodiscard]] static FleetSpec load(const std::string& path);
+};
+
+/// What one device drew from the spec's distributions.
+struct DeviceSample {
+  std::size_t scheduler = 0;    ///< index into spec.schedulers.
+  std::size_t predictor = 0;    ///< index into spec.predictors.
+  std::size_t n_tasks = 0;
+  double utilization = 0.0;
+  double capacity = 0.0;
+  double panel_scale = 1.0;
+  /// Index into spec.fault_profiles, or npos for a healthy device.
+  std::size_t fault = kNoFault;
+
+  static constexpr std::size_t kNoFault = static_cast<std::size_t>(-1);
+};
+
+/// Draw one device's configuration.  The draw order is part of the
+/// determinism contract (documented in docs/EXPERIMENTS.md): scheduler,
+/// predictor, task count, utilization, panel scale, capacity, fault.  Each
+/// device uses its own sub-seeded RNG, so samples are independent of
+/// sharding and job count.
+[[nodiscard]] DeviceSample sample_device(const FleetSpec& spec,
+                                         util::Xoshiro256ss& rng);
+
+}  // namespace eadvfs::exp::fleet

@@ -15,6 +15,12 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 
 void Histogram::add(double x) {
   ++total_;
+  // NaN fails both range guards below, and casting it to size_t is UB — it
+  // must be intercepted before the bin computation, not fall through it.
+  if (std::isnan(x)) {
+    ++nan_;
+    return;
+  }
   if (x < lo_) {
     ++underflow_;
     return;
@@ -27,6 +33,38 @@ void Histogram::add(double x) {
   auto bin = static_cast<std::size_t>((x - lo_) / width);
   bin = std::min(bin, counts_.size() - 1);  // guard against fp edge at hi_
   ++counts_[bin];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    std::ostringstream what;
+    what.precision(17);
+    what << "Histogram::merge: shape mismatch — this is [" << lo_ << ", "
+         << hi_ << ") x " << counts_.size() << " bins, other is ["
+         << other.lo_ << ", " << other.hi_ << ") x " << other.counts_.size()
+         << " bins";
+    throw std::invalid_argument(what.str());
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  nan_ += other.nan_;
+  total_ += other.total_;
+}
+
+Histogram Histogram::from_parts(double lo, double hi,
+                                const std::vector<std::size_t>& counts,
+                                std::size_t underflow, std::size_t overflow,
+                                std::size_t nan) {
+  Histogram h(lo, hi, counts.size());
+  h.counts_ = counts;
+  h.underflow_ = underflow;
+  h.overflow_ = overflow;
+  h.nan_ = nan;
+  h.total_ = underflow + overflow + nan;
+  for (std::size_t c : counts) h.total_ += c;
+  return h;
 }
 
 double Histogram::bin_lo(std::size_t bin) const {
@@ -64,6 +102,8 @@ std::string Histogram::ascii(std::size_t width) const {
   }
   if (underflow_ > 0) out << "underflow: " << underflow_ << '\n';
   if (overflow_ > 0) out << "overflow:  " << overflow_ << '\n';
+  if (nan_ > 0) out << "nan:       " << nan_ << '\n';
+  out << "total: " << total_ << '\n';
   return out.str();
 }
 

@@ -2,8 +2,9 @@
 
 /// \file histogram.hpp
 /// Fixed-bin histogram, used for distributional views of experiment outputs
-/// (e.g. per-task-set miss rates, per-job tardiness) and for test assertions
-/// about the shape of the eq. 13 energy-source generator.
+/// (e.g. per-task-set miss rates, per-job tardiness, per-device fleet
+/// metrics) and for test assertions about the shape of the eq. 13
+/// energy-source generator.
 
 #include <cstddef>
 #include <string>
@@ -12,29 +13,59 @@
 namespace eadvfs::util {
 
 /// Equal-width histogram over [lo, hi); samples outside are counted in
-/// underflow/overflow buckets rather than silently dropped.
+/// underflow/overflow buckets rather than silently dropped, and NaN samples
+/// in a dedicated side counter (casting NaN to an integer bin index is
+/// undefined behavior, and a NaN in a million-device aggregate must be
+/// visible, not crashed on).
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
 
+  /// Merge another histogram of the *same shape* — identical [lo, hi) and
+  /// bin count — summing per-bin counts, underflow, overflow, and NaN
+  /// counters.  The fleet runner uses this to fold per-shard histograms into
+  /// one population distribution; a shape mismatch means the shards were
+  /// configured differently, so it throws std::invalid_argument instead of
+  /// producing silently misaligned counts.
+  void merge(const Histogram& other);
+
+  /// Reconstruct a histogram from serialized counters (the inverse of
+  /// reading count()/underflow()/overflow()/nan()); total() is re-derived as
+  /// their sum, matching what the same adds would have produced.  Used to
+  /// rebuild per-shard histograms from checkpoint-journal rows before
+  /// merge().
+  [[nodiscard]] static Histogram from_parts(double lo, double hi,
+                                            const std::vector<std::size_t>& counts,
+                                            std::size_t underflow,
+                                            std::size_t overflow,
+                                            std::size_t nan);
+
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
   [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
   [[nodiscard]] std::size_t underflow() const { return underflow_; }
   [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  /// NaN samples observed; included in total(), never binned.
+  [[nodiscard]] std::size_t nan() const { return nan_; }
   [[nodiscard]] std::size_t total() const { return total_; }
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
 
   /// Lower edge of the given bin.
   [[nodiscard]] double bin_lo(std::size_t bin) const;
   /// Upper edge of the given bin.
   [[nodiscard]] double bin_hi(std::size_t bin) const;
 
-  /// Fraction of all samples (including under/overflow) inside this bin.
+  /// Fraction of all samples (including under/overflow and NaN) inside this
+  /// bin.
   [[nodiscard]] double fraction(std::size_t bin) const;
 
   /// Multi-line ASCII rendering (one row per bin with a bar), for bench
-  /// binaries that want a quick visual without plotting tools.
+  /// binaries that want a quick visual without plotting tools.  Always ends
+  /// with a `total: N` footer so an all-zero histogram is distinguishable
+  /// from one that simply has flat bars.
   [[nodiscard]] std::string ascii(std::size_t width = 50) const;
 
  private:
@@ -43,6 +74,7 @@ class Histogram {
   std::vector<std::size_t> counts_;
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
+  std::size_t nan_ = 0;
   std::size_t total_ = 0;
 };
 

@@ -1,0 +1,334 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace eadvfs::util {
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out;
+  out.type_ = Type::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue out;
+  out.type_ = Type::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out;
+  out.type_ = Type::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_array(Array v) {
+  JsonValue out;
+  out.type_ = Type::kArray;
+  out.array_ = std::make_shared<const Array>(std::move(v));
+  return out;
+}
+
+JsonValue JsonValue::make_object(Object v) {
+  JsonValue out;
+  out.type_ = Type::kObject;
+  out.object_ = std::make_shared<const Object>(std::move(v));
+  return out;
+}
+
+const char* JsonValue::type_name() const {
+  switch (type_) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "boolean";
+    case Type::kNumber: return "number";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "unknown";
+}
+
+namespace {
+[[noreturn]] void type_error(const char* wanted, const char* got) {
+  throw std::runtime_error(std::string("json: expected ") + wanted +
+                           ", found " + got);
+}
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) type_error("boolean", type_name());
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) type_error("number", type_name());
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_name());
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (type_ != Type::kArray) type_error("array", type_name());
+  return *array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (type_ != Type::kObject) type_error("object", type_name());
+  return *object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : *object_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_whitespace();
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after the document");
+    return value;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1, column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    std::ostringstream what;
+    what << "json: " << message << " at line " << line << ", column " << column;
+    throw std::invalid_argument(what.str());
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_whitespace() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                         peek() == '\r'))
+      ++pos_;
+  }
+
+  void expect(char c, const char* what) {
+    if (at_end() || peek() != c) fail(std::string("expected ") + what);
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    std::size_t len = 0;
+    while (literal[len] != '\0') ++len;
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (at_end()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::make_bool(true);
+        fail("malformed literal (expected 'true')");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::make_bool(false);
+        fail("malformed literal (expected 'false')");
+      case 'n':
+        if (consume_literal("null")) return JsonValue();
+        fail("malformed literal (expected 'null')");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{', "'{'");
+    JsonValue::Object members;
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      if (at_end() || peek() != '"') fail("expected a '\"'-quoted object key");
+      std::string key = parse_string();
+      for (const auto& [existing, value] : members)
+        if (existing == key) fail("duplicate object key \"" + key + "\"");
+      skip_whitespace();
+      expect(':', "':' after object key");
+      skip_whitespace();
+      members.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (at_end()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return JsonValue::make_object(std::move(members));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[', "'['");
+    JsonValue::Array elements;
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(elements));
+    }
+    while (true) {
+      skip_whitespace();
+      elements.push_back(parse_value());
+      skip_whitespace();
+      if (at_end()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return JsonValue::make_array(std::move(elements));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"', "'\"'");
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) fail("unterminated escape sequence");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("non-hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point; surrogate pairs are out of
+          // scope for config files and rejected.
+          if (code >= 0xD800 && code <= 0xDFFF)
+            fail("surrogate \\u escapes are not supported");
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(peek())))
+      fail("malformed number");
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek())))
+        fail("malformed number (digits must follow '.')");
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek())))
+        fail("malformed number (digits must follow the exponent)");
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [end, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || end != last) fail("number out of range");
+    return JsonValue::make_number(value);
+  }
+};
+
+}  // namespace
+
+JsonValue json_parse(const std::string& text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+JsonValue json_parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("json: cannot open '" + path + "' for reading");
+  std::ostringstream content;
+  content << in.rdbuf();
+  if (in.bad())
+    throw std::runtime_error("json: I/O error reading '" + path + "'");
+  try {
+    return json_parse(content.str());
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument(path + ": " + error.what());
+  }
+}
+
+}  // namespace eadvfs::util

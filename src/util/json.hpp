@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON *reader* for configuration inputs (the fleet spec files).
+///
+/// The harness already *writes* JSON (metrics snapshots, BENCH_engine.json)
+/// through deterministic formatting in format.hpp; this is the matching
+/// front door for reading operator-supplied JSON without pulling in a
+/// dependency.  Scope is deliberately small: the full JSON value grammar
+/// (objects, arrays, strings with escapes, numbers, booleans, null), strict
+/// parsing (trailing garbage, duplicate object keys and malformed literals
+/// are errors with line/column positions), no extensions.  Numbers are
+/// doubles — configuration values here are counts, seeds and physical
+/// quantities, all representable exactly within 2^53.
+///
+/// Error philosophy matches the INI scenario front door: a config typo must
+/// die loudly at parse time with a position, never surface later as a weird
+/// simulation result.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eadvfs::util {
+
+/// One parsed JSON value.  Object members keep their source order (vector of
+/// pairs) so error messages and canonical re-serialization are stable.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(Array v);
+  static JsonValue make_object(Object v);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Checked accessors; throw std::runtime_error naming the actual type on
+  /// mismatch (callers prepend the config-key context).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or when not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Human-readable type name ("object", "number", ...), for errors.
+  [[nodiscard]] const char* type_name() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Recursive containers live behind shared_ptr so JsonValue stays copyable
+  // without writing a deep-copy by hand; parsed documents are immutable.
+  std::shared_ptr<const Array> array_;
+  std::shared_ptr<const Object> object_;
+};
+
+/// Parse a complete JSON document.  Throws std::invalid_argument with
+/// "json: <message> at line L, column C" on any syntax error, including
+/// trailing non-whitespace after the document and duplicate object keys.
+[[nodiscard]] JsonValue json_parse(const std::string& text);
+
+/// json_parse() over the contents of `path`.  Throws std::runtime_error on
+/// I/O failure; parse errors are prefixed with the path.
+[[nodiscard]] JsonValue json_parse_file(const std::string& path);
+
+}  // namespace eadvfs::util

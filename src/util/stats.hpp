@@ -42,6 +42,18 @@ class RunningStats {
   [[nodiscard]] double max() const { return max_; }
   [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
 
+  /// Sum of squared deviations from the mean (Welford's M2).  Together with
+  /// count/mean/min/max this is the accumulator's full state; the fleet
+  /// runner journals these five numbers per shard and rebuilds the
+  /// accumulator with from_moments() on resume/merge.
+  [[nodiscard]] double sum_squared_deviations() const { return m2_; }
+
+  /// Reconstruct an accumulator from its serialized moments (exact inverse
+  /// of reading count()/mean()/sum_squared_deviations()/min()/max()).
+  [[nodiscard]] static RunningStats from_moments(std::size_t n, double mean,
+                                                 double m2, double min,
+                                                 double max);
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

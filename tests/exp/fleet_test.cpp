@@ -1,0 +1,302 @@
+#include "exp/fleet/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/fleet/artifact.hpp"
+#include "exp/fleet/spec.hpp"
+#include "util/rng.hpp"
+
+namespace eadvfs::exp::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Small but non-trivial population: 23 devices over 5 shards (the last one
+// short), short horizon so the whole fleet simulates in well under a second.
+FleetSpec small_spec() {
+  FleetSpec spec;
+  spec.name = "test-fleet";
+  spec.devices = 23;
+  spec.shard_size = 5;
+  spec.seed = 7;
+  spec.horizon = 150.0;
+  spec.schedulers = {"lsa", "ea-dvfs"};
+  spec.predictors = {"slotted-ewma", "pessimistic"};
+  spec.tasks = IntRange{2, 4};
+  spec.utilization = RealRange{0.2, 0.6};
+  spec.capacity = RealRange{25.0, 200.0};
+  spec.panel_scale = RealRange{0.8, 1.5};
+  spec.hist_bins = 10;
+  return spec;
+}
+
+class FleetRunTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("eadvfs_fleet_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string slurp(const std::string& path) const {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  std::string dir_;
+};
+
+// --- spec ------------------------------------------------------------------
+
+TEST(FleetSpec, DefaultsValidateAndShardCeilingDivision) {
+  FleetSpec spec;
+  EXPECT_NO_THROW(spec.validate());
+  spec.devices = 23;
+  spec.shard_size = 5;
+  EXPECT_EQ(spec.shards(), 5u);
+  EXPECT_EQ(spec.shard_begin(4), 20u);
+  EXPECT_EQ(spec.shard_end(4), 23u);  // short last shard
+}
+
+TEST(FleetSpec, ValidateRejectsUnknownSchedulerWithSuggestion) {
+  FleetSpec spec;
+  spec.schedulers = {"ea-dfvs"};  // transposed
+  try {
+    spec.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("ea-dvfs"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(FleetSpec, ParseJsonAppliesKeysAndRejectsUnknownOnes) {
+  const FleetSpec spec = FleetSpec::parse_json(
+      R"({"name": "pilot", "devices": 1000, "shard_size": 100,
+          "seed": 9, "schedulers": ["lsa"], "tasks": [2, 6],
+          "capacity": [10.0, 100.0], "fault_profiles": ["blackout:duty=0.3"],
+          "fault_fraction": 0.25})");
+  EXPECT_EQ(spec.name, "pilot");
+  EXPECT_EQ(spec.devices, 1000u);
+  EXPECT_EQ(spec.shards(), 10u);
+  EXPECT_EQ(spec.schedulers, std::vector<std::string>{"lsa"});
+  EXPECT_EQ(spec.tasks.lo, 2u);
+  EXPECT_EQ(spec.tasks.hi, 6u);
+  EXPECT_DOUBLE_EQ(spec.fault_fraction, 0.25);
+
+  try {
+    (void)FleetSpec::parse_json(R"({"shard_sise": 10})");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("shard_size"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(FleetSpec, CanonicalDescriptionCoversDeterminismRelevantFields) {
+  FleetSpec a = small_spec();
+  FleetSpec b = small_spec();
+  EXPECT_EQ(a.canonical_description(), b.canonical_description());
+  b.seed = 8;
+  EXPECT_NE(a.canonical_description(), b.canonical_description());
+  b = small_spec();
+  b.shard_size = 6;  // resharding changes journal rows → must re-fingerprint
+  EXPECT_NE(a.canonical_description(), b.canonical_description());
+}
+
+TEST(FleetSpec, FaultDrawIsAlwaysConsumedSoSamplesAreStreamStable) {
+  FleetSpec without = small_spec();
+  FleetSpec with = small_spec();
+  with.fault_profiles = {"blackout"};
+  with.fault_fraction = 1.0;
+  util::Xoshiro256ss rng_a(123);
+  util::Xoshiro256ss rng_b(123);
+  const DeviceSample a = sample_device(without, rng_a);
+  const DeviceSample b = sample_device(with, rng_b);
+  // Turning faults on must not shift any other per-device draw.
+  EXPECT_EQ(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.predictor, b.predictor);
+  EXPECT_EQ(a.n_tasks, b.n_tasks);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_DOUBLE_EQ(a.capacity, b.capacity);
+  EXPECT_DOUBLE_EQ(a.panel_scale, b.panel_scale);
+  EXPECT_EQ(a.fault, DeviceSample::kNoFault);
+  EXPECT_EQ(b.fault, 0u);
+}
+
+// --- artifact --------------------------------------------------------------
+
+FleetArtifact tiny_artifact() {
+  FleetArtifact artifact;
+  artifact.spec = "fleet;name=tiny";
+  artifact.fingerprint = 0xdeadbeefcafef00dULL;
+  artifact.devices = 6;
+  artifact.shards = 3;
+  artifact.hist_lo = 0.0;
+  artifact.hist_hi = 1.0;
+  artifact.hist_bins = 2;
+  artifact.columns = {"devices", "miss_rate.mean"};
+  artifact.data = {{2.0, 2.0, 2.0}, {0.125, 0.25, 1e-300}};
+  return artifact;
+}
+
+TEST(FleetArtifact, SerializeDeserializeRoundTripsExactly) {
+  const FleetArtifact artifact = tiny_artifact();
+  const std::string bytes = artifact.serialize();
+  const FleetArtifact back = FleetArtifact::deserialize(bytes);
+  EXPECT_EQ(back.spec, artifact.spec);
+  EXPECT_EQ(back.fingerprint, artifact.fingerprint);
+  EXPECT_EQ(back.devices, artifact.devices);
+  EXPECT_EQ(back.shards, artifact.shards);
+  EXPECT_EQ(back.hist_bins, artifact.hist_bins);
+  EXPECT_EQ(back.columns, artifact.columns);
+  EXPECT_EQ(back.data, artifact.data);  // bit-exact, including 1e-300
+  // Re-serializing the parsed artifact reproduces the same bytes.
+  EXPECT_EQ(back.serialize(), bytes);
+}
+
+TEST(FleetArtifact, DeserializeRejectsCorruptInput) {
+  EXPECT_THROW((void)FleetArtifact::deserialize("short"), std::runtime_error);
+  std::string bytes = tiny_artifact().serialize();
+  bytes[0] = 'X';
+  EXPECT_THROW((void)FleetArtifact::deserialize(bytes), std::runtime_error);
+  // Truncated payload: header promises more column data than present.
+  EXPECT_THROW(
+      (void)FleetArtifact::deserialize(
+          tiny_artifact().serialize().substr(0, bytes.size() - 8)),
+      std::runtime_error);
+}
+
+TEST(FleetArtifact, ColumnLookupByName) {
+  const FleetArtifact artifact = tiny_artifact();
+  EXPECT_EQ(artifact.column("miss_rate.mean"), 1u);
+  EXPECT_THROW((void)artifact.column("nope"), std::out_of_range);
+}
+
+// --- run_fleet -------------------------------------------------------------
+
+TEST_F(FleetRunTest, RunCoversEveryDeviceAndPopulatesArtifact) {
+  FleetConfig config;
+  config.spec = small_spec();
+  const FleetResult result = run_fleet(config);
+
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.devices_simulated, config.spec.devices);
+  EXPECT_EQ(result.metrics.miss_rate.count(), config.spec.devices);
+  EXPECT_EQ(result.miss_rate_hist.total(), config.spec.devices);
+  EXPECT_EQ(result.miss_rate_hist.nan(), 0u);
+  EXPECT_GT(result.metrics.harvested.mean(), 0.0);
+  EXPECT_GT(result.metrics.busy_time.mean(), 0.0);
+
+  EXPECT_EQ(result.artifact.shards, config.spec.shards());
+  EXPECT_EQ(result.artifact.columns.size(), fleet_row_width(config.spec));
+  // The per-shard device column sums back to the population size.
+  const std::vector<double>& devices =
+      result.artifact.data[result.artifact.column("devices")];
+  double total = 0.0;
+  for (double d : devices) total += d;
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(config.spec.devices));
+}
+
+TEST_F(FleetRunTest, ArtifactIsByteIdenticalAcrossJobCounts) {
+  FleetConfig serial;
+  serial.spec = small_spec();
+  serial.parallel.jobs = 1;
+  FleetConfig threaded = serial;
+  threaded.parallel.jobs = 4;
+
+  const FleetResult a = run_fleet(serial);
+  const FleetResult b = run_fleet(threaded);
+  ASSERT_TRUE(a.complete);
+  ASSERT_TRUE(b.complete);
+  EXPECT_EQ(a.artifact.serialize(), b.artifact.serialize());
+  EXPECT_DOUBLE_EQ(a.metrics.miss_rate.mean(), b.metrics.miss_rate.mean());
+  EXPECT_EQ(a.metrics.miss_rate.sum_squared_deviations(),
+            b.metrics.miss_rate.sum_squared_deviations());
+}
+
+TEST_F(FleetRunTest, ResumeReplaysJournaledShardsByteIdentically) {
+  FleetConfig config;
+  config.spec = small_spec();
+  config.checkpoint.dir = dir_;
+  const FleetResult fresh = run_fleet(config);
+  ASSERT_TRUE(fresh.complete);
+  EXPECT_EQ(fresh.resumed, 0u);
+
+  config.checkpoint.require_existing = true;
+  const FleetResult resumed = run_fleet(config);
+  ASSERT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.resumed, config.spec.shards());
+  EXPECT_EQ(resumed.artifact.serialize(), fresh.artifact.serialize());
+}
+
+TEST_F(FleetRunTest, PopulationIsIndependentOfShardSize) {
+  // Device sub-seeds are keyed by global device id, so resharding changes
+  // journal rows but not the simulated population: the merged statistics
+  // must agree exactly.
+  FleetConfig coarse;
+  coarse.spec = small_spec();
+  FleetConfig fine = coarse;
+  fine.spec.shard_size = 1;
+
+  const FleetResult a = run_fleet(coarse);
+  const FleetResult b = run_fleet(fine);
+  EXPECT_EQ(a.metrics.miss_rate.count(), b.metrics.miss_rate.count());
+  EXPECT_DOUBLE_EQ(a.metrics.miss_rate.mean(), b.metrics.miss_rate.mean());
+  EXPECT_DOUBLE_EQ(a.metrics.consumed.mean(), b.metrics.consumed.mean());
+  EXPECT_EQ(a.miss_rate_hist.total(), b.miss_rate_hist.total());
+  for (std::size_t bin = 0; bin < a.miss_rate_hist.bins(); ++bin)
+    EXPECT_EQ(a.miss_rate_hist.count(bin), b.miss_rate_hist.count(bin));
+}
+
+TEST_F(FleetRunTest, ArtifactWriteReadAndCsvExport) {
+  FleetConfig config;
+  config.spec = small_spec();
+  const FleetResult result = run_fleet(config);
+  ASSERT_TRUE(result.complete);
+
+  const std::string bin_path = dir_ + "/fleet.bin";
+  const std::string csv_path = dir_ + "/fleet.csv";
+  result.artifact.write(bin_path);
+  result.artifact.export_csv(csv_path);
+
+  EXPECT_EQ(slurp(bin_path), result.artifact.serialize());
+  const FleetArtifact back = FleetArtifact::read(bin_path);
+  EXPECT_EQ(back.data, result.artifact.data);
+
+  const std::string csv = slurp(csv_path);
+  EXPECT_EQ(csv.rfind("shard,devices,miss_rate.n,", 0), 0u) << csv;
+  // One header + one row per shard.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            1 + config.spec.shards());
+}
+
+TEST_F(FleetRunTest, FaultyPopulationRunsAndStaysConservative) {
+  FleetConfig config;
+  config.spec = small_spec();
+  config.spec.devices = 8;
+  config.spec.shard_size = 4;
+  config.spec.fault_profiles = {"blackout:duty=0.3,mean=40"};
+  config.spec.fault_fraction = 0.5;
+  const FleetResult result = run_fleet(config);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.devices_simulated, 8u);
+}
+
+}  // namespace
+}  // namespace eadvfs::exp::fleet

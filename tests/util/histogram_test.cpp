@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 namespace eadvfs::util {
@@ -59,6 +60,88 @@ TEST(Histogram, AsciiRenderingContainsCounts) {
   const std::string art = h.ascii(10);
   EXPECT_NE(art.find('#'), std::string::npos);
   EXPECT_NE(art.find('2'), std::string::npos);
+  EXPECT_NE(art.find("total: 3\n"), std::string::npos);
+}
+
+TEST(Histogram, AsciiDistinguishesEmptyFromFlat) {
+  // Both render all-zero-length bars (peak is clamped to 1), so without the
+  // footer an empty histogram and a never-filled one were indistinguishable
+  // in bench output.  The `total:` footer tells them apart.
+  Histogram empty(0.0, 1.0, 4);
+  EXPECT_NE(empty.ascii(10).find("total: 0\n"), std::string::npos);
+  Histogram filled(0.0, 1.0, 4);
+  filled.add(0.1);
+  EXPECT_NE(filled.ascii(10).find("total: 1\n"), std::string::npos);
+  EXPECT_NE(empty.ascii(10), filled.ascii(10));
+}
+
+TEST(Histogram, NanSamplesAreSideCountedNotBinned) {
+  // Regression: add(NaN) used to fall through both range guards into the
+  // float->size_t bin cast — undefined behavior (UBSan trap).  NaN must be
+  // intercepted, counted, and visible in total().
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(0.5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.nan(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.count(0) + h.count(1) + h.count(2) + h.count(3), 1u);
+  EXPECT_NE(h.ascii(10).find("nan:       2"), std::string::npos);
+  // fraction() denominates by total(), which includes the NaN side count.
+  EXPECT_NEAR(h.fraction(2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, MergeSumsAllCounters) {
+  Histogram a(0.0, 10.0, 5);
+  a.add(1.0);   // bin 0
+  a.add(-2.0);  // underflow
+  a.add(std::numeric_limits<double>::quiet_NaN());
+  Histogram b(0.0, 10.0, 5);
+  b.add(1.5);   // bin 0
+  b.add(9.0);   // bin 4
+  b.add(11.0);  // overflow
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(4), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.nan(), 1u);
+  EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(Histogram, MergeRejectsShapeMismatch) {
+  Histogram base(0.0, 10.0, 5);
+  EXPECT_THROW(base.merge(Histogram(0.0, 10.0, 4)), std::invalid_argument);
+  EXPECT_THROW(base.merge(Histogram(0.0, 9.0, 5)), std::invalid_argument);
+  EXPECT_THROW(base.merge(Histogram(1.0, 10.0, 5)), std::invalid_argument);
+  // The error names the shapes so a fleet-shard mismatch is diagnosable.
+  try {
+    base.merge(Histogram(0.0, 10.0, 4));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("shape mismatch"),
+              std::string::npos);
+  }
+}
+
+TEST(Histogram, MergeIsOrderIndependent) {
+  auto fill = [](Histogram& h, unsigned salt) {
+    for (int i = 0; i < 40; ++i)
+      h.add(static_cast<double>((i * 7 + salt) % 13) - 1.0);
+  };
+  Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5), combined(0.0, 10.0, 5);
+  fill(a, 1);
+  fill(combined, 1);
+  fill(b, 5);
+  fill(combined, 5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), combined.total());
+  EXPECT_EQ(a.underflow(), combined.underflow());
+  EXPECT_EQ(a.overflow(), combined.overflow());
+  for (std::size_t bin = 0; bin < a.bins(); ++bin)
+    EXPECT_EQ(a.count(bin), combined.count(bin));
 }
 
 TEST(Histogram, RejectsDegenerateConstruction) {

@@ -1,0 +1,98 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace eadvfs::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json_parse("null").is_null());
+  EXPECT_TRUE(json_parse("true").as_bool());
+  EXPECT_FALSE(json_parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json_parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(json_parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(json_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const JsonValue doc = json_parse(
+      R"({"name": "fleet", "devices": 1000,
+          "ranges": {"u": [0.2, 0.8]}, "tags": []})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("name")->as_string(), "fleet");
+  EXPECT_DOUBLE_EQ(doc.find("devices")->as_number(), 1000.0);
+  const JsonValue* u = doc.find("ranges")->find("u");
+  ASSERT_NE(u, nullptr);
+  ASSERT_EQ(u->as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(u->as_array()[0].as_number(), 0.2);
+  EXPECT_TRUE(doc.find("tags")->as_array().empty());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectMembersKeepSourceOrder) {
+  const JsonValue doc = json_parse(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& members = doc.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(json_parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(json_parse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)json_parse(""), std::invalid_argument);
+  EXPECT_THROW((void)json_parse("{"), std::invalid_argument);
+  EXPECT_THROW((void)json_parse("[1, ]"), std::invalid_argument);
+  EXPECT_THROW((void)json_parse("{'single': 1}"), std::invalid_argument);
+  EXPECT_THROW((void)json_parse("tru"), std::invalid_argument);
+  EXPECT_THROW((void)json_parse("1 2"), std::invalid_argument);
+  EXPECT_THROW((void)json_parse("0."), std::invalid_argument);
+  EXPECT_THROW((void)json_parse("1e"), std::invalid_argument);
+  EXPECT_THROW((void)json_parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW((void)json_parse("{\"a\": 1, \"a\": 2}"), std::invalid_argument);
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  try {
+    (void)json_parse("{\n  \"a\": 1,\n  oops\n}");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+}
+
+TEST(Json, TypeMismatchAccessorsNameBothTypes) {
+  const JsonValue doc = json_parse("[1]");
+  try {
+    (void)doc.as_object();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("expected object"), std::string::npos) << what;
+    EXPECT_NE(what.find("found array"), std::string::npos) << what;
+  }
+}
+
+TEST(Json, ParseFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/json_test_spec.json";
+  {
+    std::ofstream out(path);
+    out << R"({"devices": 64, "seed": 7})";
+  }
+  const JsonValue doc = json_parse_file(path);
+  EXPECT_DOUBLE_EQ(doc.find("devices")->as_number(), 64.0);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)json_parse_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace eadvfs::util

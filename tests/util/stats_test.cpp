@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace eadvfs::util {
 namespace {
@@ -81,6 +84,103 @@ TEST(RunningStats, MergeWithEmptySides) {
   b.merge(a_copy);  // empty lhs: adopt rhs
   EXPECT_EQ(b.count(), 2u);
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, MergeIsAssociativeAndOrderIndependent) {
+  // Property behind the fleet runner's determinism contract: shards are
+  // merged in shard-index order, but the *statistics* must not depend on how
+  // the sample stream was partitioned or in which order partitions are
+  // folded — within floating-point tolerance scaled to the magnitudes
+  // involved.  (Bytewise identity of fleet artifacts comes from the fixed
+  // fold order, not from exact fp associativity.)
+  Xoshiro256ss rng(20260809);
+  std::vector<double> samples(513);
+  for (double& x : samples) x = rng.normal(5.0, 3.0);
+
+  RunningStats whole;
+  for (double x : samples) whole.add(x);
+
+  // Partition into shards of varying sizes, accumulate each independently.
+  const std::vector<std::size_t> cuts = {0, 7, 64, 65, 200, 512, 513};
+  std::vector<RunningStats> shards;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    RunningStats s;
+    for (std::size_t j = cuts[i]; j < cuts[i + 1]; ++j) s.add(samples[j]);
+    shards.push_back(s);
+  }
+
+  const double mean_tol = 64.0 * std::abs(whole.mean()) *
+                          std::numeric_limits<double>::epsilon();
+  const double m2_tol = 1024.0 * whole.sum_squared_deviations() *
+                        std::numeric_limits<double>::epsilon();
+
+  // Left fold, right fold, and a shuffled fold must all agree.
+  const std::vector<std::vector<std::size_t>> orders = {
+      {0, 1, 2, 3, 4, 5}, {5, 4, 3, 2, 1, 0}, {3, 0, 5, 1, 4, 2}};
+  for (const auto& order : orders) {
+    RunningStats folded;
+    for (std::size_t index : order) folded.merge(shards[index]);
+    EXPECT_EQ(folded.count(), whole.count());
+    EXPECT_NEAR(folded.mean(), whole.mean(), mean_tol);
+    EXPECT_NEAR(folded.sum_squared_deviations(),
+                whole.sum_squared_deviations(), m2_tol);
+    EXPECT_DOUBLE_EQ(folded.min(), whole.min());
+    EXPECT_DOUBLE_EQ(folded.max(), whole.max());
+  }
+
+  // Associativity: (a + b) + c == a + (b + c), same tolerances.
+  RunningStats left = shards[0];
+  left.merge(shards[1]);
+  left.merge(shards[2]);
+  RunningStats bc = shards[1];
+  bc.merge(shards[2]);
+  RunningStats right = shards[0];
+  right.merge(bc);
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_NEAR(left.mean(), right.mean(), mean_tol);
+  EXPECT_NEAR(left.sum_squared_deviations(), right.sum_squared_deviations(),
+              m2_tol);
+}
+
+TEST(RunningStats, FromMomentsRoundTripsAccumulatorState) {
+  RunningStats original;
+  for (double x : {1.5, -2.0, 7.25, 0.0, 3.125}) original.add(x);
+  const RunningStats rebuilt = RunningStats::from_moments(
+      original.count(), original.mean(), original.sum_squared_deviations(),
+      original.min(), original.max());
+  EXPECT_EQ(rebuilt.count(), original.count());
+  EXPECT_DOUBLE_EQ(rebuilt.mean(), original.mean());
+  EXPECT_DOUBLE_EQ(rebuilt.variance(), original.variance());
+  EXPECT_DOUBLE_EQ(rebuilt.min(), original.min());
+  EXPECT_DOUBLE_EQ(rebuilt.max(), original.max());
+  // And merging a rebuilt accumulator behaves like merging the original.
+  RunningStats a, b;
+  a.add(10.0);
+  b.add(10.0);
+  a.merge(original);
+  b.merge(rebuilt);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), b.variance());
+}
+
+TEST(RunningStats, NanPropagatesIntoMomentsByDesign) {
+  // Documents (rather than papers over) the current contract: RunningStats
+  // does no NaN screening — a NaN observation poisons mean/variance and, via
+  // the comparison-based min/max updates, is *dropped* from min/max (NaN
+  // comparisons are false, so std::min/std::max keep the old value).
+  // Callers that must keep NaN out of aggregates screen at the edge, as
+  // Histogram::add now does with its side counter.
+  RunningStats s;
+  s.add(1.0);
+  s.add(std::numeric_limits<double>::quiet_NaN());
+  s.add(2.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.variance()));
+  // NaN never wins a std::min/std::max comparison, so min/max skip it and
+  // keep tracking the finite observations.
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 2.0);
 }
 
 TEST(RunningStats, Ci95ShrinksWithSamples) {

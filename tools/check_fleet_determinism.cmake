@@ -1,0 +1,76 @@
+# ctest helper: determinism acceptance for the fleet runner
+# (docs/EXPERIMENTS.md, "Fleet runs").  The eadvfs.fleet.v1 artifact and its
+# CSV export must be byte-identical for any --jobs count, and a run SIGKILLed
+# mid-fleet then resumed with --resume must reproduce both byte for byte;
+# resuming under a different population is refused with exit code 5.  Run as
+#   cmake -DBENCH=<fleet_sweep> -DWORK_DIR=<dir> -P <this file>
+
+set(root "${WORK_DIR}/fleet_determinism")
+file(REMOVE_RECURSE "${root}")
+file(MAKE_DIRECTORY "${root}")
+set(common --devices 60 --shard-size 10 --horizon 150 --quiet)
+
+function(run_fleet tag rc_var)
+  execute_process(
+    COMMAND "${BENCH}" ${common}
+            --out "${root}/${tag}.bin" --csv "${root}/${tag}.csv" ${ARGN}
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  set(${rc_var} "${rc}" PARENT_SCOPE)
+endfunction()
+
+function(expect_identical label a b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${a}" "${b}"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "${label}: ${a} differs from ${b}")
+  endif()
+endfunction()
+
+# 1. The same fleet at two worker counts: artifact and CSV byte-identical.
+run_fleet(j1 rc --jobs 1)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--jobs 1 fleet run failed (${rc})")
+endif()
+run_fleet(j8 rc --jobs 8)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--jobs 8 fleet run failed (${rc})")
+endif()
+expect_identical("jobs determinism (artifact)"
+                 "${root}/j1.bin" "${root}/j8.bin")
+expect_identical("jobs determinism (csv)"
+                 "${root}/j1.csv" "${root}/j8.csv")
+
+# 2. SIGKILL mid-fleet: --crash-after raises a real SIGKILL after 2 shard
+#    journal appends; the process must die abnormally, leaving the manifest
+#    and a partial journal. The artifact must NOT have been written.
+set(ckpt "${root}/ckpt")
+run_fleet(crashed rc --jobs 1 --checkpoint "${ckpt}" --crash-after 2)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--crash-after 2 run exited 0; expected a SIGKILL death")
+endif()
+if(NOT EXISTS "${ckpt}/manifest.txt" OR NOT EXISTS "${ckpt}/journal.txt")
+  message(FATAL_ERROR "killed run left no manifest/journal in ${ckpt}")
+endif()
+if(EXISTS "${root}/crashed.bin")
+  message(FATAL_ERROR "killed run wrote an artifact; a partial fleet must not")
+endif()
+
+# 3. Resume at a different worker count: only the missing shards re-run, and
+#    the artifact/CSV match the uninterrupted baselines byte for byte.
+run_fleet(resumed rc --jobs 8 --resume "${ckpt}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--resume after SIGKILL failed (${rc})")
+endif()
+expect_identical("crash+resume (artifact)"
+                 "${root}/j1.bin" "${root}/resumed.bin")
+expect_identical("crash+resume (csv)"
+                 "${root}/j1.csv" "${root}/resumed.csv")
+
+# 4. Resuming a different population against the same checkpoint is refused
+#    with exit code 5 (manifest fingerprint mismatch).
+run_fleet(mismatch rc --jobs 1 --resume "${ckpt}" --seed 99)
+if(NOT rc EQUAL 5)
+  message(FATAL_ERROR
+          "--resume with a different seed exited ${rc}; expected 5 "
+          "(manifest mismatch)")
+endif()
